@@ -1,0 +1,170 @@
+"""E12 (extension) — footnote-1 identity preservation vs the paper's
+default value identity.
+
+The paper's footnote 1: "One can imagine more sophisticated approaches
+in which an object preserves its identity when its core attributes
+change ... This leads to object merging. Similarly, one can find
+examples that lead to object splitting." This bench measures the
+implemented key-based preservation against the default:
+
+- identity churn per core-attribute update (should drop to ~0),
+- the merge events the footnote predicts, observed under colliding
+  updates,
+- the refresh-time cost of key matching.
+"""
+
+import random
+
+from common import emit
+from repro.bench import Table, scaled, time_call
+from repro.core import View
+from repro.engine import Database
+
+
+def build(clients: int, preserve: bool):
+    rng = random.Random(19)
+    db = Database("Ins")
+    db.define_class(
+        "Policy",
+        attributes={
+            "Num": "integer",
+            "Holder": "string",
+            "Address": "string",
+        },
+    )
+    handles = [
+        db.create(
+            "Policy",
+            Num=i,
+            Holder=f"H{i}",
+            Address=f"Street {rng.randrange(50)}",
+        )
+        for i in range(clients)
+    ]
+    view = View("V")
+    view.import_database(db)
+    view.define_imaginary_class(
+        "Client",
+        "select [Holder: P.Holder, Address: P.Address] from P in Policy",
+    )
+    imag = view.imaginary_class("Client")
+    if preserve:
+        imag.preserve_identity_on(["Holder"])
+    view.extent("Client")
+    return db, view, imag, handles
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "E12 identity preservation (footnote 1) vs value identity",
+        [
+            "updates",
+            "value-id: fresh oids",
+            "key-id: fresh oids",
+            "key-id: preserved",
+            "key-id: merges",
+        ],
+    )
+    clients = scaled(300, 30)
+    for updates in [20, 100, 300]:
+        results = {}
+        for preserve in (False, True):
+            db, view, imag, handles = build(clients, preserve)
+            fresh_baseline = imag.fresh_count
+            rng = random.Random(23)
+            for step in range(updates):
+                target = handles[rng.randrange(len(handles))]
+                db.update(target, "Address", f"Moved {step}")
+                view.extent("Client")
+            results[preserve] = (
+                imag.fresh_count - fresh_baseline,
+                imag.preserved_count,
+                len(imag.merge_log),
+            )
+        table.add_row(
+            updates,
+            results[False][0],
+            results[True][0],
+            results[True][1],
+            results[True][2],
+        )
+    table.note(
+        "extension: key identity eliminates churn entirely; merges"
+        " stay 0 because holders are unique here"
+    )
+    return table
+
+
+def run_merge_observation() -> Table:
+    """Force the footnote's merge case: duplicate keys collapsing."""
+    db = Database("Ins")
+    db.define_class(
+        "Policy",
+        attributes={"Holder": "string", "Address": "string"},
+    )
+    first = db.create("Policy", Holder="Maggy", Address="A")
+    second = db.create("Policy", Holder="Maggy", Address="B")
+    view = View("V")
+    view.import_database(db)
+    view.define_imaginary_class(
+        "Client",
+        "select [Holder: P.Holder, Address: P.Address] from P in Policy",
+    )
+    imag = view.imaginary_class("Client")
+    imag.preserve_identity_on(["Holder"])
+    before = len(view.extent("Client"))
+    db.update(first, "Address", "Shared")
+    db.update(second, "Address", "Shared")
+    after = len(view.extent("Client"))
+    table = Table(
+        "E12b observed object merging",
+        ["clients before", "clients after", "merge events"],
+    )
+    table.add_row(before, after, len(imag.merge_log))
+    table.note(
+        "footnote 1's question made concrete: two objects, one tuple —"
+        " the implementation merges deterministically and logs it"
+    )
+    return table
+
+
+def run_refresh_cost() -> Table:
+    table = Table(
+        "E12c refresh cost of key matching (ms)",
+        ["clients", "value identity", "key identity"],
+    )
+    for clients in [scaled(200, 20), scaled(1_000, 50)]:
+        costs = {}
+        for preserve in (False, True):
+            db, view, imag, handles = build(clients, preserve)
+            db.update(handles[0], "Address", "force-change")
+            costs[preserve] = time_call(imag.refresh, repeat=2)
+        table.add_row(
+            clients, costs[False] * 1e3, costs[True] * 1e3
+        )
+    return table
+
+
+def test_e12_value_identity_refresh(benchmark):
+    db, view, imag, handles = build(scaled(300, 30), preserve=False)
+    benchmark(imag.refresh)
+
+
+def test_e12_key_identity_refresh(benchmark):
+    db, view, imag, handles = build(scaled(300, 30), preserve=True)
+    benchmark(imag.refresh)
+
+
+def test_e12_report(benchmark):
+    def report():
+        emit(run_experiment())
+        emit(run_merge_observation())
+        emit(run_refresh_cost())
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(run_experiment())
+    emit(run_merge_observation())
+    emit(run_refresh_cost())

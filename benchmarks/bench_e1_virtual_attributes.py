@@ -1,0 +1,129 @@
+"""E1 — Virtual attributes: computed access vs stored access (§2 Ex.1).
+
+Paper claim: erasing the stored/computed distinction lets views
+restructure data (merge/split attributes) with *zero data movement*;
+the cost is a per-access computation.
+
+Series: population size N vs (stored read, merged virtual read,
+pre-materialized read), plus the restructuring cost itself (defining
+the view attribute vs physically rewriting every object).
+"""
+
+import random
+
+from common import emit
+from repro.bench import Table, scaled, time_call
+from repro.core import View
+from repro.workloads import build_people_db
+
+SIZES = [scaled(1_000), scaled(5_000), scaled(20_000)]
+
+
+def build(view_size):
+    db = build_people_db(view_size, seed=1)
+    view = View("V")
+    view.import_database(db)
+    view.define_attribute(
+        "Person",
+        "Address",
+        value="[City: self.City, Street: self.Street,"
+        " Zip_Code: self.Zip_Code]",
+    )
+    return db, view
+
+
+def read_stored(db, oids):
+    total = 0
+    for oid in oids:
+        total += len(db.get(oid).City)
+    return total
+
+
+def read_virtual(view, oids):
+    total = 0
+    for oid in oids:
+        total += len(view.get(oid).Address.City)
+    return total
+
+
+def physical_restructure(db, oids):
+    """The alternative the paper argues against: rewriting the data."""
+    moved = 0
+    for oid in oids:
+        value = db.raw_value(oid)
+        merged = {
+            "City": value["City"],
+            "Street": value["Street"],
+            "Zip_Code": value["Zip_Code"],
+        }
+        moved += len(merged)
+    return moved
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "E1 virtual attributes: access cost (µs/object)",
+        [
+            "N",
+            "stored read",
+            "virtual read",
+            "overhead x",
+            "define view attr (ms)",
+            "physical rewrite (ms)",
+        ],
+    )
+    rng = random.Random(0)
+    for size in SIZES:
+        db, view = build(size)
+        oids = list(db.extent("Person"))
+        sample = [oids[rng.randrange(len(oids))] for _ in range(500)]
+        stored = time_call(lambda: read_stored(db, sample)) / len(sample)
+        virtual = time_call(lambda: read_virtual(view, sample)) / len(
+            sample
+        )
+        fresh_view = View("W2")
+        fresh_view.import_database(db)
+        define_cost = time_call(
+            lambda: fresh_view.define_attribute(
+                "Person",
+                f"Addr_{rng.randrange(10**9)}",
+                value="[City: self.City]",
+            )
+        )
+        rewrite_cost = time_call(lambda: physical_restructure(db, oids))
+        table.add_row(
+            size,
+            stored * 1e6,
+            virtual * 1e6,
+            virtual / stored if stored else float("inf"),
+            define_cost * 1e3,
+            rewrite_cost * 1e3,
+        )
+    table.note(
+        "claim: virtual read costs a constant factor; view definition"
+        " is O(1) while physical restructuring is O(N)"
+    )
+    return table
+
+
+def test_e1_stored_read(benchmark):
+    db, view = build(scaled(2_000))
+    oids = list(db.extent("Person"))[:200]
+    benchmark(lambda: read_stored(db, oids))
+
+
+def test_e1_virtual_read(benchmark):
+    db, view = build(scaled(2_000))
+    oids = list(db.extent("Person"))[:200]
+    benchmark(lambda: read_virtual(view, oids))
+
+
+def test_e1_report(benchmark):
+    def report():
+        emit(run_experiment())
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(run_experiment())

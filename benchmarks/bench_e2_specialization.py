@@ -1,0 +1,153 @@
+"""E2 — Specialization: recompute vs cache vs materialize (§4.1, §6).
+
+Paper claim (implicit): a virtual class is "usable as any other class";
+the implementation may recompute, cache, or materialize its population,
+and "materialized views … acquire a new dimension in the context of
+objects".
+
+Two sub-experiments:
+
+- E2a: a *simple* specialization (single-object membership test). Its
+  materialized copy maintains itself in O(1) per update, so
+  materialization dominates at every read:write ratio — that is the
+  shape, and the reason systems materialize simple predicates.
+- E2b: a class defined over a *nested source* (no single-object
+  membership test). Maintenance degenerates to a full recompute per
+  update, so recompute/cached-on-read wins once writes dominate — the
+  crossover the trade-off folklore predicts.
+"""
+
+import random
+
+from common import emit
+from repro.bench import Table, scaled, time_call
+from repro.core import View
+from repro.workloads import build_people_db
+
+POPULATION = scaled(2_000)
+OPS = 100
+
+SIMPLE = "select P from Person where P.Age >= 21"
+COMPLEX = (
+    "select P from P in (select Q from Person where Q.Age >= 21)"
+    " where P.Income < 50,000"
+)
+
+
+def build(query: str, materialize: bool):
+    db = build_people_db(POPULATION, seed=2)
+    view = View("V")
+    view.import_database(db)
+    view.define_virtual_class("Target", includes=[query])
+    materialized = view.materialize("Target") if materialize else None
+    oids = list(db.extent("Person"))
+    return db, view, materialized, oids
+
+
+def run_mix(db, view, materialized, oids, reads, writes, use_cache, rng):
+    vclass = view.virtual_class("Target")
+    total = 0
+    for step in range(reads + writes):
+        if step < writes:
+            oid = oids[rng.randrange(len(oids))]
+            db.update(oid, "Age", rng.randrange(0, 95))
+        else:
+            if materialized is not None:
+                total += len(materialized.population())
+            else:
+                total += len(vclass.population(use_cache=use_cache))
+    return total
+
+
+def sweep(query: str, title: str) -> Table:
+    table = Table(
+        title,
+        ["reads:writes", "recompute", "cached", "materialized", "winner"],
+    )
+    for reads, writes in [(95, 5), (50, 50), (20, 80), (5, 95), (1, 99)]:
+        reads = max(1, reads * OPS // 100)
+        writes = max(1, writes * OPS // 100)
+        times = {}
+        for strategy in ("recompute", "cached", "materialized"):
+            db, view, materialized, oids = build(
+                query, materialize=(strategy == "materialized")
+            )
+            rng = random.Random(9)
+            elapsed = time_call(
+                lambda: run_mix(
+                    db,
+                    view,
+                    materialized,
+                    oids,
+                    reads,
+                    writes,
+                    use_cache=(strategy != "recompute"),
+                    rng=rng,
+                ),
+                repeat=1,
+            )
+            times[strategy] = elapsed * 1e3 * 100 / (reads + writes)
+        winner = min(times, key=times.get)
+        table.add_row(
+            f"{reads}:{writes}",
+            times["recompute"],
+            times["cached"],
+            times["materialized"],
+            winner,
+        )
+    return table
+
+
+def run_experiment():
+    simple = sweep(
+        SIMPLE,
+        "E2a simple specialization: time per 100 ops (ms)",
+    )
+    simple.note(
+        "claim: with O(1) incremental maintenance, materialization"
+        " dominates at every mix"
+    )
+    join = sweep(
+        COMPLEX,
+        "E2b nested-source class (full recompute per write): ms/100 ops",
+    )
+    join.note(
+        "claim: maintenance degenerates to recompute-per-write, so"
+        " recompute/cached-on-read wins write-heavy mixes — the"
+        " crossover"
+    )
+    return simple, join
+
+
+def test_e2_recompute(benchmark):
+    db, view, _, _ = build(SIMPLE, materialize=False)
+    vclass = view.virtual_class("Target")
+    benchmark(lambda: vclass.population(use_cache=False))
+
+
+def test_e2_materialized_read(benchmark):
+    db, view, materialized, _ = build(SIMPLE, materialize=True)
+    benchmark(lambda: materialized.population())
+
+
+def test_e2_materialized_update(benchmark):
+    db, view, materialized, oids = build(SIMPLE, materialize=True)
+    rng = random.Random(1)
+    benchmark(
+        lambda: db.update(
+            oids[rng.randrange(len(oids))], "Age", rng.randrange(0, 95)
+        )
+    )
+
+
+def test_e2_report(benchmark):
+    def report():
+        for table in run_experiment():
+            emit(table)
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    for table in run_experiment():
+        emit(table)

@@ -1,0 +1,134 @@
+"""E3 — Hierarchy inference scaling (§4.2).
+
+Paper claim: "The new class hierarchy can be computed from these two
+rules using standard type inference techniques" — i.e. placement is a
+static schema computation, cheap relative to data operations, and it
+keeps working as virtual classes pile up and nest.
+
+Series: base classes C and virtual definitions V vs definition time;
+plus the cost of placing one class into hierarchies of growing depth.
+"""
+
+import random
+
+from common import emit
+from repro.bench import Table, scaled, time_call
+from repro.core import View
+from repro.engine import Database
+
+
+def build_wide_db(classes: int) -> Database:
+    db = Database("Wide")
+    db.define_class("Root", attributes={"X": "integer"})
+    for index in range(classes):
+        db.define_class(
+            f"C{index}",
+            parents=["Root"],
+            attributes={f"A{index % 7}": "integer"},
+        )
+    return db
+
+
+def build_deep_db(depth: int) -> Database:
+    db = Database("Deep")
+    db.define_class("L0", attributes={"X": "integer"})
+    for level in range(1, depth):
+        db.define_class(f"L{level}", parents=[f"L{level - 1}"])
+    return db
+
+
+def define_generalizations(view, count: int, fan: int, rng) -> float:
+    class_names = [
+        name
+        for name in view.schema.class_names()
+        if name.startswith("C")
+    ]
+
+    def do():
+        for index in range(count):
+            members = rng.sample(class_names, min(fan, len(class_names)))
+            view.define_virtual_class(
+                f"V{rng.randrange(10**9)}", includes=members
+            )
+
+    return time_call(do, repeat=1)
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "E3 hierarchy inference: cost of placing virtual classes",
+        [
+            "base classes",
+            "virtual defs",
+            "total (ms)",
+            "per def (ms)",
+        ],
+    )
+    for classes in [scaled(20, 10), scaled(100, 10), scaled(400, 10)]:
+        for defs in [5, 20]:
+            db = build_wide_db(classes)
+            view = View("V")
+            view.import_database(db)
+            rng = random.Random(3)
+            elapsed = define_generalizations(view, defs, fan=4, rng=rng)
+            table.add_row(
+                classes, defs, elapsed * 1e3, elapsed * 1e3 / defs
+            )
+    table.note("claim: placement is a pure schema computation")
+    return table
+
+
+def run_depth_experiment() -> Table:
+    table = Table(
+        "E3b insertion into deep hierarchies: one specialization",
+        ["hierarchy depth", "define (ms)", "isa checks correct"],
+    )
+    for depth in [4, 16, 64]:
+        db = build_deep_db(depth)
+        leaf = f"L{depth - 1}"
+        db.create(leaf, X=1)
+        view = View("V")
+        view.import_database(db)
+        elapsed = time_call(
+            lambda: view.define_virtual_class(
+                f"Mid{depth}_{view.version}",
+                includes=[f"select P from {leaf} where P.X > 0"],
+            ),
+            repeat=1,
+        )
+        new_name = [
+            n for n in view.schema.class_names() if n.startswith("Mid")
+        ][0]
+        correct = view.schema.isa(new_name, "L0")
+        table.add_row(depth, elapsed * 1e3, correct)
+    return table
+
+
+def test_e3_generalization_definition(benchmark):
+    db = build_wide_db(scaled(100, 10))
+    view = View("V")
+    view.import_database(db)
+    rng = random.Random(5)
+    class_names = [f"C{i}" for i in range(scaled(100, 10))]
+    counter = [0]
+
+    def define():
+        counter[0] += 1
+        view.define_virtual_class(
+            f"B{counter[0]}", includes=rng.sample(class_names, 4)
+        )
+
+    benchmark(define)
+
+
+def test_e3_report(benchmark):
+    def report():
+        emit(run_experiment())
+        emit(run_depth_experiment())
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(run_experiment())
+    emit(run_depth_experiment())

@@ -1,0 +1,113 @@
+"""E4 — Behavioral vs enumerated generalization under schema evolution
+(§4.1/4.2, On_Sale vs On_Sale_Bis).
+
+Paper claim: "the introduction of a class Boat (with appropriate price
+and discount attributes) would require the programmer to change the
+definition of the class On_Sale_Bis. This is not needed with the
+behavioral definition."
+
+Series: k new sellable classes vs (definition edits needed, population
+correctness, membership-evaluation cost of each definition style).
+"""
+
+from common import emit
+from repro.bench import Table, scaled, time_call
+from repro.core import View, like
+from repro.workloads import add_sellable_class, build_retail_db
+
+BASE_CLASSES = ["Car", "House", "Company"]
+
+
+def build():
+    db = build_retail_db(objects_per_class=scaled(20, 5), seed=4)
+    view = View("V")
+    view.import_database(db)
+    view.define_spec_class(
+        "On_Sale_Spec",
+        attributes={"Price": "dollar", "Discount": "integer"},
+    )
+    view.define_virtual_class("On_Sale", includes=[like("On_Sale_Spec")])
+    view.define_virtual_class("On_Sale_Bis", includes=list(BASE_CLASSES))
+    return db, view
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "E4 schema evolution: behavioral vs enumerated definitions",
+        [
+            "new classes k",
+            "behavioral edits",
+            "enumerated edits",
+            "|On_Sale|",
+            "|On_Sale_Bis|",
+            "behavioral extent (ms)",
+            "enumerated extent (ms)",
+        ],
+    )
+    for k in [0, 2, 5, 10]:
+        db, view = build()
+        enumerated_edits = 0
+        for index in range(k):
+            add_sellable_class(db, index, objects=scaled(20, 5))
+            # The enumerated definition must be rewritten each time:
+            # one definition edit per evolution step (we model the edit
+            # by defining the replacement class; the behavioral class
+            # needs nothing).
+            enumerated_edits += 1
+        behavioral = len(view.extent("On_Sale"))
+        enumerated = len(view.extent("On_Sale_Bis"))
+        behavioral_cost = time_call(
+            lambda: view.virtual_class("On_Sale").population(
+                use_cache=False
+            ),
+            repeat=2,
+        )
+        enumerated_cost = time_call(
+            lambda: view.virtual_class("On_Sale_Bis").population(
+                use_cache=False
+            ),
+            repeat=2,
+        )
+        table.add_row(
+            k,
+            0,
+            enumerated_edits,
+            behavioral,
+            enumerated,
+            behavioral_cost * 1e3,
+            enumerated_cost * 1e3,
+        )
+    table.note(
+        "claim: behavioral defs need 0 edits and stay complete;"
+        " enumerated defs need O(k) edits and silently go stale"
+        " (|On_Sale_Bis| stops growing)"
+    )
+    return table
+
+
+def test_e4_behavioral_population(benchmark):
+    db, view = build()
+    vclass = view.virtual_class("On_Sale")
+    benchmark(lambda: vclass.population(use_cache=False))
+
+
+def test_e4_enumerated_population(benchmark):
+    db, view = build()
+    vclass = view.virtual_class("On_Sale_Bis")
+    benchmark(lambda: vclass.population(use_cache=False))
+
+
+def test_e4_like_matching(benchmark):
+    db, view = build()
+    benchmark(lambda: view.like_matches("On_Sale_Spec"))
+
+
+def test_e4_report(benchmark):
+    def report():
+        emit(run_experiment())
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(run_experiment())

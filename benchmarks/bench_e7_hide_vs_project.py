@@ -1,0 +1,158 @@
+"""E7 — OO hide vs relational projection (§3).
+
+Paper claims:
+1. projection "does more than just hide salary information; it also
+   hides all attributes defined in all subclasses" — the Manager loses
+   Budget;
+2. the projection view "must be changed whenever the schema of the
+   Employee relation changes", while ``hide`` states intent once.
+
+Series: correctness comparison + definition-maintenance counts under
+schema evolution + access costs.
+"""
+
+from common import emit
+from repro.bench import Table, scaled, time_call
+from repro.core import View
+from repro.relational import Relation, projection_view
+from repro.workloads import build_employment_db
+
+
+def build_flat_relation(db) -> Relation:
+    """Flatten the Employee hierarchy relationally (subclass attributes
+    become columns of one wide table, the usual relational encoding)."""
+    relation = Relation(
+        "Employee", ["Name", "Number", "Age", "Salary", "Budget"]
+    )
+    for handle in db.handles("Employee"):
+        relation.insert(
+            Name=handle.Name,
+            Number=handle.Number,
+            Age=handle.Age,
+            Salary=handle.Salary,
+            Budget=(
+                handle.Budget if handle.real_class == "Manager" else None
+            ),
+        )
+    return relation
+
+
+def run_correctness() -> Table:
+    db = build_employment_db(scaled(300, 50), seed=7)
+    view = View("V")
+    view.import_database(db)
+    view.hide_attribute("Employee", "Salary")
+    relation = build_flat_relation(db)
+    # §3's A_Relational_View: enumerate the visible base columns.
+    rel_view = projection_view(
+        "A_Relational_View", relation, ["Salary", "Budget"]
+    )
+    managers = [
+        h for h in view.handles("Employee") if h.real_class == "Manager"
+    ]
+    budgets_via_hide = sum(
+        1 for m in managers if m.Budget is not None
+    )
+    budget_rows_via_projection = sum(
+        1
+        for row in rel_view.rows().dicts()
+        if "Budget" in row
+    )
+    salary_leaks = 0
+    for handle in view.handles("Employee"):
+        try:
+            handle.Salary
+            salary_leaks += 1
+        except Exception:
+            pass
+    table = Table(
+        "E7a hiding Salary: what survives",
+        ["mechanism", "salary leaks", "manager budgets kept"],
+    )
+    table.add_row("OO hide", salary_leaks, budgets_via_hide)
+    table.add_row(
+        "relational projection", 0, budget_rows_via_projection
+    )
+    table.note(
+        f"claim: projection loses all {len(managers)} budgets; hide"
+        " loses none"
+    )
+    return table
+
+
+def run_maintenance() -> Table:
+    table = Table(
+        "E7b schema evolution: definition edits to keep hiding Salary",
+        ["columns added", "hide edits", "projection edits"],
+    )
+    for added in [1, 5, 10]:
+        db = build_employment_db(scaled(100, 20), seed=8)
+        view = View("V")
+        view.import_database(db)
+        view.hide_attribute("Employee", "Salary")
+        relation = build_flat_relation(db)
+        rel_view = projection_view("V", relation, ["Salary"])
+        hide_edits = 0
+        for index in range(added):
+            column = f"Extra_{index}"
+            # OO side: a new attribute on the class. No hide edit.
+            db.define_attribute("Employee", column, "integer")
+            # Relational side: a new column; the enumerated projection
+            # is stale until its definition is edited.
+            relation.add_column(column)
+            rel_view.refresh_columns(["Salary"])
+        table.add_row(added, hide_edits, rel_view.definition_edits)
+    table.note("claim: hide states intent once; projection is coupled")
+    return table
+
+
+def run_access_cost() -> Table:
+    db = build_employment_db(scaled(500, 50), seed=9)
+    view = View("V")
+    view.import_database(db)
+    view.hide_attribute("Employee", "Salary")
+    relation = build_flat_relation(db)
+    rel_view = projection_view("V", relation, ["Salary", "Budget"])
+    employees = view.handles("Employee")
+    oo_cost = time_call(
+        lambda: [h.Name for h in employees], repeat=2
+    )
+    rel_cost = time_call(lambda: len(rel_view.rows()), repeat=2)
+    table = Table(
+        "E7c access cost over the hidden view",
+        ["mechanism", "full scan (ms)"],
+    )
+    table.add_row("OO hide (per-object access)", oo_cost * 1e3)
+    table.add_row("relational projection (recompute)", rel_cost * 1e3)
+    return table
+
+
+def test_e7_oo_scan(benchmark):
+    db = build_employment_db(scaled(200, 20), seed=7)
+    view = View("V")
+    view.import_database(db)
+    view.hide_attribute("Employee", "Salary")
+    employees = view.handles("Employee")
+    benchmark(lambda: [h.Name for h in employees])
+
+
+def test_e7_projection_scan(benchmark):
+    db = build_employment_db(scaled(200, 20), seed=7)
+    relation = build_flat_relation(db)
+    rel_view = projection_view("V", relation, ["Salary", "Budget"])
+    benchmark(lambda: len(rel_view.rows()))
+
+
+def test_e7_report(benchmark):
+    def report():
+        emit(run_correctness())
+        emit(run_maintenance())
+        emit(run_access_cost())
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(run_correctness())
+    emit(run_maintenance())
+    emit(run_access_cost())

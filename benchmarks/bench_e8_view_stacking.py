@@ -1,0 +1,106 @@
+"""E8 — Views on views on views (§3).
+
+Paper claim: "in general, we can build views on top of views on top of
+views" — stacking must compose semantically (hides propagate, virtual
+classes remain visible) at a per-level cost.
+
+Series: stack depth d vs (attribute access cost, extent cost,
+virtual-class query cost through the stack).
+"""
+
+from common import emit
+from repro.bench import Table, scaled, time_call
+from repro.core import View
+from repro.workloads import build_people_db
+
+DEPTHS = [1, 2, 4, 8, 16]
+
+
+def build_stack(depth: int, size: int):
+    db = build_people_db(size, seed=11)
+    current = View("L0")
+    current.import_database(db)
+    current.define_virtual_class(
+        "Adult", includes=["select P from Person where P.Age >= 21"]
+    )
+    current.define_attribute(
+        "Person", "Label_0", value="self.Name"
+    )
+    for level in range(1, depth):
+        nxt = View(f"L{level}")
+        nxt.import_database(current)
+        nxt.define_attribute(
+            "Person",
+            f"Label_{level}",
+            value=f"self.Label_{level - 1} + '+'",
+        )
+        current = nxt
+    return db, current
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "E8 view stacking: cost per level",
+        [
+            "depth",
+            "extent (ms)",
+            "attr read (µs)",
+            "stacked attr read (µs)",
+            "Adult query (ms)",
+        ],
+    )
+    size = scaled(1_000)
+    for depth in DEPTHS:
+        db, top = build_stack(depth, size)
+        handles = top.handles("Person")[:100]
+        extent_cost = time_call(
+            lambda: top.extent("Person"), repeat=2
+        )
+        read_cost = time_call(
+            lambda: [h.Name for h in handles], repeat=2
+        ) / len(handles)
+        stacked_attr = f"Label_{depth - 1}"
+        stacked_cost = time_call(
+            lambda: [getattr(h, stacked_attr) for h in handles],
+            repeat=2,
+        ) / len(handles)
+        query_cost = time_call(
+            lambda: top.query(
+                "select A from Adult where A.Age >= 65"
+            ),
+            repeat=2,
+        )
+        table.add_row(
+            depth,
+            extent_cost * 1e3,
+            read_cost * 1e6,
+            stacked_cost * 1e6,
+            query_cost * 1e3,
+        )
+    table.note(
+        "claim: stacking composes; plain reads cost O(depth) provider"
+        " delegation, stacked computed attributes O(depth) evaluation"
+    )
+    return table
+
+
+def test_e8_extent_depth4(benchmark):
+    db, top = build_stack(4, scaled(500))
+    benchmark(lambda: top.extent("Person"))
+
+
+def test_e8_attribute_depth4(benchmark):
+    db, top = build_stack(4, scaled(500))
+    handles = top.handles("Person")[:50]
+    benchmark(lambda: [h.Label_3 for h in handles])
+
+
+def test_e8_report(benchmark):
+    def report():
+        emit(run_experiment())
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(run_experiment())

@@ -1,0 +1,152 @@
+"""E9 — Core-attribute design: Examples 5 vs 6 (§5.1).
+
+Paper claim: core attributes define identity. Including Address as a
+core attribute of Client means "Maggy before moving and after moving
+are two different clients"; keeping Address virtual keeps identity
+stable. Addresses themselves (Example 5) are *supposed* to churn.
+
+Series: number of address updates vs fresh oids created by the poorly
+designed and the well designed Client views (plus the Address view,
+where churn is the intended behaviour).
+"""
+
+import random
+
+from common import emit
+from repro.bench import Table, scaled, time_call
+from repro.core import View
+from repro.relational import RelationalAdapter
+from repro.workloads import build_policy_relational
+
+
+def build(clients: int):
+    rdb = build_policy_relational(clients, seed=12)
+    adapter = RelationalAdapter(rdb)
+    bad = View("Bad")
+    bad.import_database(adapter)
+    bad.define_imaginary_class(
+        "Client",
+        "select [Name: P.Name, Age: P.Age, SS#: P.SS#,"
+        " Address: P.Address] from P in Policy",
+    )
+    good = View("Good")
+    good.import_database(adapter)
+    good.define_imaginary_class(
+        "Client",
+        "select [Name: P.Name, SS#: P.SS#] from P in Policy",
+    )
+    good.define_attribute(
+        "Client",
+        "Address",
+        value="select the P.Address from P in Policy"
+        " where P.SS# = self.SS#",
+    )
+    return rdb, bad, good
+
+
+def run_experiment() -> Table:
+    table = Table(
+        "E9 identity churn under address updates",
+        [
+            "updates",
+            "bad: fresh client oids",
+            "good: fresh client oids",
+            "bad table size",
+            "good table size",
+        ],
+    )
+    clients = scaled(200, 20)
+    for updates in [0, 10, 50, 200]:
+        rdb, bad, good = build(clients)
+        # Prime both views.
+        bad.extent("Client")
+        good.extent("Client")
+        bad_imag = bad.imaginary_class("Client")
+        good_imag = good.imaginary_class("Client")
+        bad_baseline = bad_imag.fresh_count
+        good_baseline = good_imag.fresh_count
+        rng = random.Random(13)
+        policy = rdb.relation("Policy")
+        for step in range(updates):
+            target = rng.randrange(1, clients + 1)
+            policy.update_where(
+                lambda row, t=target: row["Policy_Number"] == t,
+                Address=f"{step} Moved Street",
+            )
+            bad.extent("Client")
+            good.extent("Client")
+        table.add_row(
+            updates,
+            bad_imag.fresh_count - bad_baseline,
+            good_imag.fresh_count - good_baseline,
+            bad_imag.table_size(),
+            good_imag.table_size(),
+        )
+    table.note(
+        "claim: the poorly designed view mints ~1 fresh identity per"
+        " address update; the well designed view mints none"
+    )
+    return table
+
+
+def run_example5_churn() -> Table:
+    """Example 5's Address class: churn here is the *intended*
+    semantics (a new address is a new object)."""
+    from repro.workloads import build_staff_db
+
+    db = build_staff_db(scaled(100, 20), seed=14)
+    view = View("V")
+    view.import_class(db, "Person")
+    view.define_imaginary_class(
+        "Address",
+        "select [City: P.City, Street: P.Street, Number: P.Number]"
+        " from P in Person",
+    )
+    view.extent("Address")
+    imag = view.imaginary_class("Address")
+    baseline = imag.fresh_count
+    people = list(db.extent("Person"))
+    rng = random.Random(15)
+    moves = scaled(30, 5)
+    for step in range(moves):
+        db.update(
+            people[rng.randrange(len(people))], "City", f"City_{step}"
+        )
+        view.extent("Address")
+    table = Table(
+        "E9b Example 5: address objects churn by design",
+        ["moves", "fresh address oids", "old oids dereferenceable"],
+    )
+    table.add_row(
+        moves,
+        imag.fresh_count - baseline,
+        all(imag.ever_issued(oid) for oid in imag._values),
+    )
+    return table
+
+
+def test_e9_bad_view_refresh(benchmark):
+    rdb, bad, good = build(scaled(100, 20))
+    bad.extent("Client")
+    imag = bad.imaginary_class("Client")
+    benchmark(imag.refresh)
+
+
+def test_e9_good_view_refresh(benchmark):
+    rdb, bad, good = build(scaled(100, 20))
+    good.extent("Client")
+    imag = good.imaginary_class("Client")
+    benchmark(imag.refresh)
+
+
+def test_e9_report(benchmark):
+    def report():
+        emit(run_experiment())
+        emit(run_example5_churn())
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(run_experiment())
+    emit(run_example5_churn())

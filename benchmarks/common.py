@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benches.
+
+Each ``bench_eN_*.py`` regenerates one experiment from DESIGN.md's
+index (the paper has no tables/figures of its own — see EXPERIMENTS.md
+for the mapping from its qualitative claims to these series). Benches
+are runnable two ways:
+
+- ``pytest benchmarks/ --benchmark-only`` — timings via
+  pytest-benchmark plus the experiment tables (shown with ``-s``);
+- ``python benchmarks/bench_eN_*.py`` — standalone, printing the
+  tables.
+
+Tables are also appended to ``benchmarks/results.txt`` so a run leaves
+a record.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench import Table  # noqa: E402
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def emit(table: Table) -> None:
+    """Print a table and append it to the results file."""
+    rendered = table.render()
+    print()
+    print(rendered)
+    with open(RESULTS_PATH, "a") as f:
+        f.write(rendered + "\n\n")

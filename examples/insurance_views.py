@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Examples 5 and 6 side by side: core-attribute design.
+
+Example 5 (good): addresses become shared objects; when a person
+moves, their Address attribute points to a *different* address object —
+exactly the intuition about addresses.
+
+Example 6 (bad): clients keyed on Name+Age+Address+SS#; updating an
+address creates a brand-new client identity ("Maggy before moving and
+after moving are two different clients"). The fixed version keys
+clients on SS#+Name only and makes Address a virtual attribute.
+
+Run:  python examples/insurance_views.py
+"""
+
+from repro import View
+from repro.lang import Catalog, run_script
+from repro.relational import RelationalAdapter
+from repro.workloads import build_policy_relational, build_staff_db
+
+
+def example_5_value_to_object() -> None:
+    print("=== Example 5: transforming complex values into objects ===")
+    staff = build_staff_db(30, seed=11)
+    result = run_script(
+        """
+        create view Value_to_Object;
+        import class Person from database Staff;
+        class Address includes imaginary
+          (select [City: P.City, Street: P.Street, Number: P.Number]
+           from P in Person);
+        attribute Address in class Person has value
+          (select the A in Address
+           where A.City = self.City
+             and A.Street = self.Street
+             and A.Number = self.Number);
+        hide attributes City, Street, Number in class Person;
+        """,
+        Catalog(staff),
+    )
+    view = result.view
+    people = view.handles("Person")
+    addresses = view.handles("Address")
+    print(f"{len(people)} people share {len(addresses)} address objects")
+
+    somebody = people[0]
+    home = somebody.Address
+    print(f"{somebody.Name} lives at {home.Number} {home.Street}, {home.City}")
+
+    # Moving: the person points at a *different* (possibly new) object;
+    # the old address object survives for its other occupants.
+    old_oid = home.oid
+    staff.update(somebody.oid, "City", "Samarkand")
+    new_home = view.get(somebody.oid).Address
+    print(
+        "after moving:",
+        f"new address object={new_home.oid != old_oid},",
+        f"old object still dereferenceable="
+        f"{view.imaginary_class('Address').ever_issued(old_oid)}",
+    )
+
+
+def example_6_poorly_designed() -> None:
+    print()
+    print("=== Example 6: a poorly designed view (and the fix) ===")
+    insurance = build_policy_relational(10, seed=5)
+    adapter = RelationalAdapter(insurance)
+
+    # --- the paper's poorly designed view ---
+    bad = View("My_Clients")
+    bad.import_database(adapter)
+    bad.define_imaginary_class(
+        "Client",
+        """select [Name: P.Name, Age: P.Age, SS#: P.SS#,
+                   Address: P.Address, Policy: P]
+           from P in Policy""",
+    )
+    bad.define_attribute(
+        "Policy",
+        "Person",
+        value="select the C from Client where C.Policy = self",
+    )
+    bad.hide_attributes("Policy", ["Name", "Age", "Address", "SS#"])
+
+    # --- the fixed view: Address is virtual, not core ---
+    good = View("My_Clients_Fixed")
+    good.import_database(adapter)
+    good.define_imaginary_class(
+        "Client",
+        "select [Name: P.Name, SS#: P.SS#, Policy: P] from P in Policy",
+    )
+    good.define_attribute(
+        "Client", "Address", value="self.Policy.Address"
+    )
+
+    bad_before = {c.Name: c.oid for c in bad.handles("Client")}
+    good_before = {c.Name: c.oid for c in good.handles("Client")}
+
+    # Maggy moves.
+    insurance.relation("Policy").update_where(
+        lambda row: row["Name"] == "Client_1",
+        Address="1 New Street, Lisbon",
+    )
+
+    bad_after = {c.Name: c.oid for c in bad.handles("Client")}
+    good_after = {c.Name: c.oid for c in good.handles("Client")}
+
+    print(
+        "poorly designed: Client_1 identity changed =",
+        bad_before["Client_1"] != bad_after["Client_1"],
+    )
+    print(
+        "well designed:   Client_1 identity changed =",
+        good_before["Client_1"] != good_after["Client_1"],
+    )
+    print(
+        "well designed:   address visible through view =",
+        next(
+            c.Address
+            for c in good.handles("Client")
+            if c.Name == "Client_1"
+        ),
+    )
+
+
+def main() -> None:
+    example_5_value_to_object()
+    example_6_poorly_designed()
+
+
+if __name__ == "__main__":
+    main()

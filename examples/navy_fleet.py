@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The Navy example (§4.1–4.3): generalization, hierarchy insertion,
+upward inheritance, and behavioral grouping.
+
+Reproduces:
+
+- Example 4 (bottom-up construction: Merchant_Vessel, Military_Vessel,
+  Boat);
+- the §4.2 variation where the virtual classes are inserted *between*
+  Ship and its subclasses;
+- upward inheritance of Cargo and Armament (§4.3);
+- a behavioral class grouping everything with a Cargo attribute.
+
+Run:  python examples/navy_fleet.py
+"""
+
+from repro import View, like
+from repro.workloads import build_navy_db
+
+
+def main() -> None:
+    navy = build_navy_db(ships_per_class=5, seed=7)
+    view = View("Fleet_View")
+    view.import_database(navy)
+
+    # ------------------------------------------------------------------
+    # Bottom-up generalization (Example 4).
+    # ------------------------------------------------------------------
+    view.define_virtual_class(
+        "Merchant_Vessel", includes=["Tanker", "Trawler"]
+    )
+    view.define_virtual_class(
+        "Military_Vessel", includes=["Frigate", "Cruiser"]
+    )
+    view.define_virtual_class(
+        "Boat", includes=["Merchant_Vessel", "Military_Vessel"]
+    )
+
+    print("Inferred placement (rule 1 & rule 2):")
+    for name in ("Merchant_Vessel", "Military_Vessel", "Boat"):
+        print(f"  {name:16s} parents={view.schema.direct_parents(name)}")
+    print(
+        "  Tanker           parents="
+        f"{view.schema.direct_parents('Tanker')}"
+        "   <- Merchant_Vessel inserted mid-hierarchy"
+    )
+
+    # ------------------------------------------------------------------
+    # Upward inheritance (§4.3): Cargo and Armament are acquired.
+    # ------------------------------------------------------------------
+    merchant_type = view.schema.tuple_type_of("Merchant_Vessel")
+    military_type = view.schema.tuple_type_of("Military_Vessel")
+    print()
+    print("Merchant_Vessel acquires Cargo   :", merchant_type.field_type("Cargo"))
+    print("Military_Vessel acquires Armament:", military_type.field_type("Armament"))
+
+    cargos = sorted(
+        {h.Cargo for h in view.handles("Merchant_Vessel")}
+    )
+    print("cargo kinds afloat:", cargos)
+
+    # ------------------------------------------------------------------
+    # Queries range over virtual classes like any class.
+    # ------------------------------------------------------------------
+    heavy = view.query(
+        "select S from Merchant_Vessel where S.Tonnage > 100,000"
+    )
+    print("heavy merchant vessels:", sorted(h.Name for h in heavy))
+
+    # ------------------------------------------------------------------
+    # Behavioral generalization: everything with a Cargo attribute.
+    # ------------------------------------------------------------------
+    view.define_spec_class(
+        "Cargo_Carrier_Spec", attributes={"Cargo": "string"}
+    )
+    view.define_virtual_class(
+        "Cargo_Carrier", includes=[like("Cargo_Carrier_Spec")]
+    )
+    print()
+    print(
+        "classes matching 'like Cargo_Carrier_Spec':",
+        view.like_matches("Cargo_Carrier_Spec"),
+    )
+    print("cargo carriers:", len(view.extent("Cargo_Carrier")))
+
+    # A new class with a Cargo attribute joins automatically.
+    navy.define_class(
+        "Gondola",
+        parents=["Ship"],
+        attributes={"Cargo": "string", "Capacity": "integer"},
+    )
+    navy.create(
+        "Gondola", Name="G1", Tonnage=2, Cargo="tourists", Capacity=4
+    )
+    print(
+        "after adding Gondola:",
+        view.like_matches("Cargo_Carrier_Spec"),
+        "->",
+        len(view.extent("Cargo_Carrier")),
+        "carriers (no view redefinition needed)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's running examples in a few dozen lines.
+
+Builds a people database, merges the address attributes into one
+virtual attribute (Example 1), defines the Adult/Minor/Senior virtual
+hierarchy (Example 3), and runs the paper's queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, View
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # A base database (the paper's Person class, §2).
+    # ------------------------------------------------------------------
+    staff = Database("Staff")
+    staff.define_class(
+        "Person",
+        attributes={
+            "Name": "string",
+            "Age": "integer",
+            "City": "string",
+            "Street": "string",
+            "Zip_Code": "string",
+            "Income": "integer",
+        },
+    )
+    for name, age, city, income in [
+        ("Maggy", 65, "London", 40_000),
+        ("Alice", 30, "Paris", 9_000),
+        ("Bob", 17, "Paris", 0),
+        ("Carol", 70, "Rome", 4_500),
+        ("Dan", 45, "London", 60_000),
+    ]:
+        staff.create(
+            "Person",
+            Name=name,
+            Age=age,
+            City=city,
+            Street="10 Downing St" if name == "Maggy" else "1 Main St",
+            Zip_Code="75001",
+            Income=income,
+        )
+
+    # ------------------------------------------------------------------
+    # Example 1: merge City/Street/Zip_Code into one virtual attribute.
+    # ------------------------------------------------------------------
+    view = View("My_View")
+    view.import_database(staff)
+    view.define_attribute(
+        "Person",
+        "Address",
+        value="[City: self.City, Street: self.Street,"
+        " Zip_Code: self.Zip_Code]",
+    )
+    maggy = next(
+        h for h in view.handles("Person") if h.Name == "Maggy"
+    )
+    print("Maggy.City    =", maggy.City)
+    print("Maggy.Address =", maggy.Address.as_dict())
+    print(
+        "inferred type =",
+        view.attribute_type("Person", "Address").describe(),
+    )
+
+    # ------------------------------------------------------------------
+    # Example 3: a top-down virtual class hierarchy.
+    # ------------------------------------------------------------------
+    view.define_virtual_class(
+        "Adult", includes=["select P from Person where P.Age >= 21"]
+    )
+    view.define_virtual_class(
+        "Minor", includes=["select P from Person where P.Age < 21"]
+    )
+    view.define_virtual_class(
+        "Senior", includes=["select A from Adult where A.Age >= 65"]
+    )
+    print()
+    print("Adult parents :", view.schema.direct_parents("Adult"))
+    print("Senior parents:", view.schema.direct_parents("Senior"))
+    for class_name in ("Adult", "Minor", "Senior"):
+        names = sorted(h.Name for h in view.handles(class_name))
+        print(f"{class_name:7s} -> {names}")
+
+    # Virtual classes are usable like any class — including in queries.
+    poor_adults = view.query(
+        "select A in Adult where A.Income < 5,000"
+    )
+    print("adults earning < 5,000:", sorted(h.Name for h in poor_adults))
+
+    # ------------------------------------------------------------------
+    # §3: hide the income — inheritance-aware, unlike projection.
+    # ------------------------------------------------------------------
+    view.hide_attribute("Person", "Income")
+    try:
+        maggy.Income
+    except Exception as error:
+        print()
+        print("Income is hidden:", error)
+
+
+if __name__ == "__main__":
+    main()

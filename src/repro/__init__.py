@@ -1,0 +1,68 @@
+"""repro — a reproduction of "Objects and Views" (Abiteboul & Bonner,
+SIGMOD 1991).
+
+An object-oriented database view mechanism:
+
+- :mod:`repro.engine` — the O₂-style OODB substrate (classes, types,
+  objects, extents, events, indexes);
+- :mod:`repro.query` — the ``select … from … where …`` query dialect
+  with static type inference;
+- :mod:`repro.core` — the paper's contribution: views with import/hide,
+  virtual attributes, virtual classes (specialization, generalization,
+  behavioral ``like``), parameterized class families, inferred
+  hierarchy placement, upward inheritance, schizophrenia policies, and
+  imaginary objects with stable identity;
+- :mod:`repro.lang` — the view-definition language (the paper's DDL);
+- :mod:`repro.storage` — ZODB-like persistence (codec, append-only
+  stores, journaling, transactions);
+- :mod:`repro.relational` — a relational substrate and the
+  relational→object bridge;
+- :mod:`repro.workloads` — deterministic synthetic data.
+
+Quickstart::
+
+    from repro import Database, View
+
+    db = Database("Staff")
+    db.define_class("Person", attributes={"Name": "string",
+                                          "Age": "integer"})
+    db.create("Person", Name="Maggy", Age=65)
+
+    view = View("My_View")
+    view.import_database(db)
+    view.define_virtual_class(
+        "Adult", includes=["select P from Person where P.Age >= 21"])
+    adults = view.handles("Adult")
+"""
+
+from .engine import Database, declare_atom
+from .core import (
+    ConflictPolicy,
+    View,
+    imaginary,
+    like,
+    predicate,
+)
+from .errors import ReproError
+from .lang import Catalog, run_script
+from .query import evaluate, parse_query, select, var
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "ConflictPolicy",
+    "Database",
+    "ReproError",
+    "View",
+    "__version__",
+    "declare_atom",
+    "evaluate",
+    "imaginary",
+    "like",
+    "parse_query",
+    "predicate",
+    "run_script",
+    "select",
+    "var",
+]

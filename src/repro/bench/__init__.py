@@ -1,0 +1,21 @@
+"""Benchmark harness utilities (tables, timing, workload scaling)."""
+
+from .harness import (
+    Table,
+    bench_scale,
+    microseconds,
+    ratio,
+    scaled,
+    throughput,
+    time_call,
+)
+
+__all__ = [
+    "Table",
+    "bench_scale",
+    "microseconds",
+    "ratio",
+    "scaled",
+    "throughput",
+    "time_call",
+]

@@ -1,0 +1,131 @@
+"""Benchmark harness utilities.
+
+The paper has no evaluation section, so each bench prints the series
+for one experiment from DESIGN.md's experiment index (E1–E10); the
+shapes are compared against the paper's qualitative claims in
+EXPERIMENTS.md. These helpers keep every bench uniform: deterministic
+workloads, best-of-N timing, and aligned tables.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+
+def bench_scale() -> float:
+    """Global workload multiplier, from REPRO_BENCH_SCALE (default 1).
+
+    Benches multiply their population sizes by this, so CI can run a
+    fast pass (0.2) and a real run can crank it up (5).
+    """
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    except ValueError:
+        return 1.0
+
+
+def scaled(size: int, minimum: int = 1) -> int:
+    return max(minimum, int(size * bench_scale()))
+
+
+def time_call(
+    fn: Callable[[], object], repeat: int = 3, number: int = 1
+) -> float:
+    """Best-of-``repeat`` wall time of calling ``fn`` ``number`` times.
+
+    Returns seconds per single call.
+    """
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / number)
+    return best
+
+
+def throughput(fn: Callable[[], object], seconds: float = 0.2) -> float:
+    """Calls per second over a short fixed budget."""
+    count = 0
+    start = time.perf_counter()
+    deadline = start + seconds
+    while time.perf_counter() < deadline:
+        fn()
+        count += 1
+    elapsed = time.perf_counter() - start
+    return count / elapsed if elapsed > 0 else float("inf")
+
+
+@dataclass
+class Table:
+    """An aligned text table for bench output."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has"
+                f" {len(self.columns)} columns"
+            )
+        self.rows.append([_format_cell(v) for v in values])
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        header = [str(c) for c in self.columns]
+        widths = [len(h) for h in header]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(str(cell)))
+        lines = [f"== {self.title} =="]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(header, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    str(cell).ljust(width)
+                    for cell, width in zip(row, widths)
+                )
+            )
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def microseconds(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator

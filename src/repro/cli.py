@@ -1,0 +1,224 @@
+"""An interactive shell for databases and views.
+
+Run ``python -m repro`` (optionally with ``--demo`` for sample data).
+The shell accepts:
+
+- view-definition statements (``create view …``, ``import …``,
+  ``class … includes …``, ``hide …``, ``attribute …``) executed
+  against the session catalog;
+- queries (``select …``) evaluated against the current view (or the
+  current database before any view exists);
+- dot-commands: ``.help``, ``.databases``, ``.classes``, ``.schema C``,
+  ``.extent C``, ``.explain Q``, ``.use NAME``, ``.load FILE``,
+  ``.quit``.
+
+The :class:`Session` object is the testable core: it maps one input
+line (or statement) to printable output with no I/O of its own.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from .core.view import View
+from .engine.objects import ObjectHandle, TupleValue
+from .errors import ReproError
+from .lang.executor import Catalog, run_script
+from .query.eval import evaluate
+from .query.optimizer import explain
+
+HELP = """\
+Statements end with ';'. Anything starting with 'select' is a query.
+Dot commands:
+  .help               this text
+  .databases          list catalog entries
+  .use NAME           switch the current scope
+  .classes            list classes of the current scope
+  .schema CLASS       show a class's attributes and parents
+  .extent CLASS       list the extent of a class
+  .explain QUERY      show the access plan for a query
+  .load FILE          execute a script file
+  .quit               leave the shell"""
+
+
+class Session:
+    """One shell session: a catalog plus a current scope."""
+
+    def __init__(self, scopes: Optional[List] = None):
+        self.catalog = Catalog(*(scopes or []))
+        self.current = scopes[0] if scopes else None
+
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Execute one input line, returning printable output."""
+        line = line.strip()
+        if not line:
+            return ""
+        try:
+            if line.startswith("."):
+                return self._command(line)
+            if line.rstrip(";").lstrip().lower().startswith("select"):
+                return self._query(line.rstrip(";"))
+            return self._statements(line)
+        except ReproError as error:
+            return f"error: {error}"
+
+    # ------------------------------------------------------------------
+
+    def _command(self, line: str) -> str:
+        parts = line.split(None, 1)
+        command = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command == ".help":
+            return HELP
+        if command == ".databases":
+            names = self.catalog.names()
+            current = getattr(self.current, "scope_name", None)
+            return "\n".join(
+                f"{'*' if name == current else ' '} {name}"
+                for name in names
+            ) or "(empty catalog)"
+        if command == ".use":
+            self.current = self.catalog.get(argument)
+            return f"using {argument}"
+        if command == ".classes":
+            scope = self._require_scope()
+            lines = []
+            for name in sorted(scope.schema.class_names()):
+                cdef = scope.schema.require(name)
+                kind = cdef.kind.value
+                lines.append(f"{name} ({kind})")
+            return "\n".join(lines)
+        if command == ".schema":
+            return self._schema(argument)
+        if command == ".extent":
+            scope = self._require_scope()
+            handles = [scope.get(oid) for oid in scope.extent(argument)]
+            return "\n".join(self._render(h) for h in handles) or "(empty)"
+        if command == ".explain":
+            scope = self._require_scope()
+            return explain(argument, scope)
+        if command == ".load":
+            with open(argument) as f:
+                return self._statements(f.read())
+        if command == ".quit":
+            raise SystemExit(0)
+        return f"unknown command: {command} (try .help)"
+
+    def _schema(self, class_name: str) -> str:
+        scope = self._require_scope()
+        cdef = scope.schema.require(class_name)
+        lines = [f"class {class_name} ({cdef.kind.value})"]
+        parents = scope.schema.direct_parents(class_name)
+        if parents:
+            lines.append(f"  parents: {', '.join(parents)}")
+        for name, adef in sorted(
+            scope.schema.attributes_of(class_name).items()
+        ):
+            declared = (
+                adef.declared_type.describe()
+                if adef.declared_type is not None
+                else "?"
+            )
+            kind = "computed" if adef.is_computed() else "stored"
+            suffix = " [acquired]" if adef.acquired else ""
+            lines.append(
+                f"  {name}: {declared} ({kind}, from {adef.origin})"
+                f"{suffix}"
+            )
+        return "\n".join(lines)
+
+    def _query(self, text: str) -> str:
+        scope = self._require_scope()
+        result = evaluate(text, scope)
+        if not isinstance(result, list):
+            return self._render(result)
+        if not result:
+            return "(no results)"
+        lines = [self._render(item) for item in result]
+        lines.append(f"({len(result)} result(s))")
+        return "\n".join(lines)
+
+    def _statements(self, text: str) -> str:
+        result = run_script(
+            text,
+            self.catalog,
+            view=self.current if isinstance(self.current, View) else None,
+        )
+        if result.views:
+            self.current = result.views[-1]
+            return f"view {self.current.name} is current"
+        return "ok"
+
+    def _require_scope(self):
+        if self.current is None:
+            raise ReproError(
+                "no current scope; create a view or .use a database"
+            )
+        return self.current
+
+    def _render(self, value) -> str:
+        if isinstance(value, ObjectHandle):
+            try:
+                cls = value.real_class
+            except Exception:
+                cls = "?"
+            raw = self.current.raw_value(value.oid)
+            inner = ", ".join(
+                f"{k}={self._short(v)}" for k, v in sorted(raw.items())
+            )
+            return f"{cls}<{value.oid.space}:{value.oid.number}> {inner}"
+        if isinstance(value, TupleValue):
+            inner = ", ".join(
+                f"{k}={self._short(v)}"
+                for k, v in sorted(value.as_dict().items())
+            )
+            return f"[{inner}]"
+        return repr(value)
+
+    @staticmethod
+    def _short(value) -> str:
+        text = repr(value)
+        return text if len(text) <= 40 else text[:37] + "..."
+
+
+def demo_session() -> Session:
+    """A session pre-loaded with the paper's demo data."""
+    from .workloads import build_navy_db, build_people_db
+
+    return Session([build_people_db(40, seed=1), build_navy_db(4, seed=2)])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--demo" in argv:
+        session = demo_session()
+        print("demo catalog:", ", ".join(session.catalog.names()))
+    else:
+        session = Session()
+    print("repro shell — Objects and Views (SIGMOD 1991). '.help' for help.")
+    buffer = ""
+    while True:
+        try:
+            prompt = "....> " if buffer else "repro> "
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if line.strip().startswith("."):
+            output = session.execute(line)
+            if output:
+                print(output)
+            continue
+        buffer += line + "\n"
+        if ";" in line or line.strip().lower().startswith("select"):
+            output = session.execute(buffer)
+            buffer = ""
+            if output:
+                print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""The paper's contribution: the object-oriented view mechanism.
+
+Public surface:
+
+- :class:`View` — import/hide, virtual attributes, virtual classes,
+  imaginary classes, parameterized families, conflict policies;
+- population spec helpers :func:`like`, :func:`predicate`,
+  :func:`imaginary`;
+- :class:`ConflictPolicy` for schizophrenia handling;
+- :class:`MaterializedClass` for maintained populations.
+"""
+
+from .hiding import HideSet
+from .hierarchy import Placement, apply_placement, infer_placement
+from .imaginary import ImaginaryClass, MergeRecord
+from .updates import update_through_view
+from .materialize import MaintenanceStats, MaterializedClass
+from .parameterized import ClassFamily
+from .population import (
+    ClassMember,
+    ImaginaryMember,
+    LikeMember,
+    Member,
+    PredicateMember,
+    QueryMember,
+    imaginary,
+    like,
+    normalize_includes,
+    predicate,
+)
+from .resolution import (
+    ConflictPolicy,
+    ConflictRecord,
+    ResolutionStats,
+    Resolver,
+)
+from .upward import acquired_attributes
+from .view import View
+from .virtual_classes import VirtualClass
+
+__all__ = [
+    "ClassFamily",
+    "ClassMember",
+    "ConflictPolicy",
+    "ConflictRecord",
+    "HideSet",
+    "ImaginaryClass",
+    "ImaginaryMember",
+    "LikeMember",
+    "MaintenanceStats",
+    "MaterializedClass",
+    "Member",
+    "MergeRecord",
+    "Placement",
+    "PredicateMember",
+    "QueryMember",
+    "ResolutionStats",
+    "Resolver",
+    "View",
+    "VirtualClass",
+    "acquired_attributes",
+    "apply_placement",
+    "imaginary",
+    "infer_placement",
+    "like",
+    "normalize_includes",
+    "predicate",
+    "update_through_view",
+]

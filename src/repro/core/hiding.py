@@ -1,0 +1,97 @@
+"""Hide declarations.
+
+§3 of the paper shows that relational projection is the *wrong* way to
+hide information in an object-oriented view: projecting ``Employee``
+onto [Name, Number, Age] also silently strips attributes that subclasses
+add (a ``Manager``'s ``Budget``). The paper's remedy is an explicit
+``hide`` command whose semantics is inheritance-aware:
+
+    "the definitions of Salary in class Employee and all its subclasses
+    are hidden from the view."
+
+:class:`HideSet` records hide declarations and answers whether a given
+*definition* (attribute + the class that wrote it) is hidden. Because
+hiding applies to definitions, an attribute redefined in a subclass is
+hidden along with the original, while an unrelated definition of the
+same name higher up the hierarchy stays visible — resolution simply
+falls back to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..engine.schema import Schema
+
+
+class HideSet:
+    """The hide declarations of one view."""
+
+    def __init__(self):
+        self._attributes: Set[Tuple[str, str]] = set()  # (class, attr)
+        self._classes: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def hide_attribute(self, class_name: str, attribute: str) -> None:
+        """``hide attribute A in class C``: hides the definitions of A
+        in C and all subclasses of C."""
+        self._attributes.add((class_name, attribute))
+
+    def hide_class(self, class_name: str) -> None:
+        """``hide class C``: the class name becomes invisible (it cannot
+        be queried); its objects remain members of visible superclasses."""
+        self._classes.add(class_name)
+
+    def unhide_attribute(self, class_name: str, attribute: str) -> None:
+        self._attributes.discard((class_name, attribute))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def attribute_declarations(self) -> List[Tuple[str, str]]:
+        return sorted(self._attributes)
+
+    def class_hidden(self, class_name: str) -> bool:
+        return class_name in self._classes
+
+    def hidden_classes(self) -> List[str]:
+        return sorted(self._classes)
+
+    def definition_hidden(
+        self, schema: Schema, origin_class: str, attribute: str
+    ) -> bool:
+        """True if the definition of ``attribute`` written in
+        ``origin_class`` is hidden.
+
+        A declaration ``hide attribute A in class C`` hides every
+        definition of A written in C *or any subclass of C* — so the
+        subtree below C exposes no definition of A of its own, exactly
+        the paper's semantics.
+        """
+        for hidden_class, hidden_attr in self._attributes:
+            if hidden_attr != attribute:
+                continue
+            if schema.isa(origin_class, hidden_class):
+                return True
+        return False
+
+    def attribute_mentioned(self, attribute: str) -> bool:
+        """True if any hide declaration names this attribute (used to
+        pick the right error: hidden vs unknown)."""
+        return any(attr == attribute for _, attr in self._attributes)
+
+    def merge(self, other: "HideSet") -> None:
+        """Adopt another view's hide declarations (view stacking: a
+        view importing from a view sees the lower view's face)."""
+        self._attributes |= other._attributes
+        self._classes |= other._classes
+
+    def copy(self) -> "HideSet":
+        clone = HideSet()
+        clone._attributes = set(self._attributes)
+        clone._classes = set(self._classes)
+        return clone

@@ -1,0 +1,156 @@
+"""Inference of a virtual class's position in the hierarchy.
+
+§4.2 of the paper gives two rules. If a virtual class C includes whole
+classes C1…Ck and objects selected from classes Ck+1…Cn:
+
+1. if D is a superclass of C1…Cn, then D is a superclass of C;
+2. each Ci (i ≤ k) is a subclass of C.
+
+This module computes the consequences: the *parents* of the virtual
+class (the minimal common superclasses of all members — several
+incomparable minima introduce multiple inheritance, the
+``Rich&Beautiful`` example) and its *children* (the whole classes it
+includes, which is how virtual classes get inserted into the middle of
+the hierarchy, e.g. ``Merchant_Vessel`` between ``Ship`` and
+``Tanker``).
+
+For whole-class members the common superclasses are *strict* ancestors
+(``Merchant_Vessel includes Tanker`` must not make ``Tanker`` a parent
+of ``Merchant_Vessel`` — it becomes a child); for query members the
+guaranteed classes themselves count (``Adult`` selected from ``Person``
+makes ``Person`` the parent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..engine.schema import Schema
+from ..errors import HierarchyCycleError
+from ..query.analysis import guaranteed_classes
+from .population import (
+    ClassMember,
+    ImaginaryMember,
+    LikeMember,
+    Member,
+    PredicateMember,
+    QueryMember,
+)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The inferred position of a virtual class."""
+
+    parents: tuple
+    children: tuple
+
+
+def infer_placement(
+    schema: Schema,
+    members: Sequence[Member],
+    like_matches,
+) -> Placement:
+    """Compute the inferred parents and children of a virtual class.
+
+    Args:
+        schema: The view's schema (member classes must be defined).
+        members: The normalized population members.
+        like_matches: Callable mapping a spec class name to the list of
+            classes currently matching ``like spec`` (supplied by the
+            view, which owns behavioral matching).
+    """
+    guarantee_sets: List[Optional[Set[str]]] = []
+    children: List[str] = []
+    for member in members:
+        if isinstance(member, ClassMember):
+            schema.require(member.class_name)
+            children.append(member.class_name)
+            guarantee_sets.append(set(schema.ancestors(member.class_name)))
+        elif isinstance(member, QueryMember):
+            guaranteed = guaranteed_classes(member.query)
+            closure: Set[str] = set()
+            for name in guaranteed:
+                if name in schema:
+                    closure.add(name)
+                    closure.update(schema.ancestors(name))
+            guarantee_sets.append(closure)
+        elif isinstance(member, PredicateMember):
+            schema.require(member.source_class)
+            closure = {member.source_class}
+            closure.update(schema.ancestors(member.source_class))
+            guarantee_sets.append(closure)
+        elif isinstance(member, LikeMember):
+            matches = list(like_matches(member.spec_class))
+            for match in matches:
+                if match not in children:
+                    children.append(match)
+            if matches:
+                common: Optional[Set[str]] = None
+                for match in matches:
+                    closure = set(schema.ancestors(match))
+                    common = closure if common is None else common & closure
+                guarantee_sets.append(common or set())
+            else:
+                # No matching class yet: nothing can be guaranteed, and
+                # nothing should constrain the intersection either.
+                guarantee_sets.append(None)
+        elif isinstance(member, ImaginaryMember):
+            # Imaginary objects are brand new: no existing class
+            # contains them, so the class gets no inferred parents.
+            guarantee_sets.append(set())
+        else:
+            raise TypeError(f"unknown member kind: {member!r}")
+
+    constraining = [s for s in guarantee_sets if s is not None]
+    if constraining:
+        common = set(constraining[0])
+        for s in constraining[1:]:
+            common &= s
+    else:
+        common = set()
+    # Children (and their descendants) cannot be parents.
+    excluded = set(children)
+    for child in children:
+        excluded.update(schema.descendants(child))
+    common -= excluded
+    parents = _minimal(schema, common)
+    return Placement(tuple(parents), tuple(dict.fromkeys(children)))
+
+
+def _minimal(schema: Schema, classes: Set[str]) -> List[str]:
+    """The most specific elements of a set of classes."""
+    return sorted(
+        c
+        for c in classes
+        if not any(
+            other != c and schema.isa(other, c) for other in classes
+        )
+    )
+
+
+def apply_placement(
+    schema: Schema, class_name: str, placement: Placement
+) -> Placement:
+    """Install the inferred edges in the schema.
+
+    Child edges are installed first; a parent edge that would create a
+    cycle (a class included both as a whole member and as the source of
+    a selection) is skipped — generalization wins.
+    """
+    applied_children = []
+    for child in placement.children:
+        try:
+            schema.add_parent(child, class_name)
+            applied_children.append(child)
+        except HierarchyCycleError:
+            continue
+    applied_parents = []
+    for parent in placement.parents:
+        try:
+            schema.add_parent(class_name, parent)
+            applied_parents.append(parent)
+        except HierarchyCycleError:
+            continue
+    return Placement(tuple(applied_parents), tuple(applied_children))

@@ -1,0 +1,309 @@
+"""Imaginary classes: virtual classes populated by *new* objects.
+
+§5 of the paper. The population of an imaginary class is given by a
+query returning tuples; the system attaches a fresh oid to each tuple.
+The crux (§5.1) is identity stability:
+
+    "For each tuple t returned by the query, we use the expression C(t)
+    to denote the oid assigned to t. From an implementation point of
+    view, there could be a table giving the mapping between the tuples
+    and oid's. In this way, we are guaranteed that the same tuple will
+    be assigned the same oid each time the class C is invoked."
+
+:class:`ImaginaryClass` implements exactly that table, keyed on the
+canonical form of the tuple. Consequences faithfully reproduced:
+
+- repeated queries, joins and intersections over the class agree (the
+  paper's two "seemingly equivalent" Family queries);
+- a different class assigns different oids to the same tuple (each
+  imaginary class allocates from its own oid space);
+- updating a **core attribute** changes the tuple, hence the oid — the
+  object's identity (Example 6's poorly designed ``Client`` view);
+  old oids remain dereferenceable "in other parts of the view";
+- **virtual attributes** added to the class do not affect identity.
+
+Churn counters (`fresh_count`, `vanished_count`) make the identity
+behaviour measurable — experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine.oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
+from ..engine.objects import TupleValue, unwrap
+from ..engine.schema import AttributeDef, AttributeKind
+from ..engine.types import TupleType
+from ..engine.values import canonicalize
+from ..errors import ImaginaryObjectError, UnknownOidError
+from ..query.ast import Select
+from ..query.eval import evaluate
+from ..query.typecheck import TypeEnvironment, infer_element_type
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """Footnote 1: several old objects matched one new tuple by key.
+
+    ``survivors`` lists the candidate oids; ``chosen`` absorbed the new
+    tuple (the others' identities lapse — an observed object merge).
+    """
+
+    candidates: Tuple[Oid, ...]
+    chosen: Oid
+    key: object
+
+
+class ImaginaryClass:
+    """The identity table and population of one imaginary class."""
+
+    def __init__(self, view, name: str, query: Select):
+        self._view = view
+        self._name = name
+        self._query = query
+        self._space = f"{view.scope_name}/{name}"
+        self._oids = OidGenerator(self._space)
+        self._by_tuple: Dict[object, Oid] = {}
+        self._values: Dict[Oid, Dict[str, object]] = {}
+        self._current: Set[Oid] = set()
+        self._refreshed_version: Optional[int] = None
+        # Footnote 1 ("more sophisticated approaches in which an object
+        # preserves its identity when its core attributes change"):
+        # when set, tuples are matched to vanished predecessors by this
+        # subset of core attributes.
+        self._identity_keys: Optional[Tuple[str, ...]] = None
+        # Statistics for experiment E9 (core-attribute design).
+        self.refresh_count = 0
+        self.fresh_count = 0
+        self.vanished_count = 0
+        self.preserved_count = 0
+        self.merge_log: List[MergeRecord] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def space(self) -> str:
+        return self._space
+
+    @property
+    def query(self) -> Select:
+        return self._query
+
+    # ------------------------------------------------------------------
+    # Core attributes
+    # ------------------------------------------------------------------
+
+    def core_attributes(self) -> Dict[str, AttributeDef]:
+        """The attributes of the defining tuples, with inferred types.
+
+        Static inference is attempted first (the paper: "by static type
+        inference, it declares that class Family has two attributes");
+        if it fails, the attribute names are derived from an actual
+        refresh and left untyped.
+        """
+        element = self._static_element_type()
+        if isinstance(element, TupleType):
+            return {
+                name: AttributeDef(
+                    name,
+                    ftype,
+                    AttributeKind.STORED,
+                    None,
+                    0,
+                    self._name,
+                )
+                for name, ftype in element.fields
+            }
+        names: Set[str] = set()
+        for value in self._values.values():
+            names.update(value)
+        if not names:
+            for value in self._evaluate():
+                names.update(value)
+        return {
+            name: AttributeDef(
+                name, None, AttributeKind.STORED, None, 0, self._name
+            )
+            for name in sorted(names)
+        }
+
+    def _static_element_type(self):
+        try:
+            tenv = TypeEnvironment(self._view)
+            return infer_element_type(self._query, tenv)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    def population(self) -> OidSet:
+        """The current population, refreshing if the view changed."""
+        version = getattr(self._view, "version", None)
+        if version is None or version != self._refreshed_version:
+            tainted = self._refresh_with_guard()
+            if not tainted:
+                self._refreshed_version = version
+        if not self._current:
+            return EMPTY_OID_SET
+        return OidSet.of(self._current)
+
+    def _refresh_with_guard(self) -> bool:
+        """Refresh, participating in the view's population-recursion
+        protocol (see :meth:`VirtualClass.population`). Returns True
+        when the refresh ran in a tainted (cycle-truncated) window and
+        must not be treated as up to date."""
+        stack = getattr(self._view, "_population_stack", None)
+        if stack is None:
+            self.refresh()
+            return False
+        taint = self._view._population_taint
+        marker = f"~{self._name}"
+        if marker in stack:
+            taint.update(range(stack.index(marker) + 1, len(stack)))
+            return True
+        frame = len(stack)
+        stack.append(marker)
+        try:
+            self.refresh()
+        finally:
+            tainted = frame in taint
+            taint.discard(frame)
+            stack.pop()
+        return tainted
+
+    def preserve_identity_on(self, keys) -> None:
+        """Enable footnote-1 identity preservation.
+
+        ``keys`` is a subset of the core attributes treated as the
+        object's *essence*: a new tuple that matches a vanished tuple
+        on all keys inherits its oid instead of minting a fresh one
+        (so e.g. a ``Client`` keyed on ``SS#`` survives an address
+        change even though ``Address`` is a core attribute). When
+        several vanished objects match one new tuple the candidates are
+        *merged* deterministically and the event is recorded in
+        :attr:`merge_log` — exactly the complication the footnote
+        predicts.
+        """
+        self._identity_keys = tuple(keys)
+
+    @property
+    def identity_keys(self) -> Optional[Tuple[str, ...]]:
+        return self._identity_keys
+
+    def refresh(self) -> OidSet:
+        """Re-evaluate the defining query and update the identity table.
+
+        Tuples seen before keep their oid; new tuples get fresh oids
+        (or, under :meth:`preserve_identity_on`, inherit a vanished
+        predecessor's oid by key match); tuples that disappeared leave
+        the population but stay in the table (their oids remain
+        dereferenceable, and are re-used should the same tuple
+        reappear).
+        """
+        self.refresh_count += 1
+        new_tuples = self._evaluate()
+        current: Set[Oid] = set()
+        old_by_key = None
+        if self._identity_keys is not None:
+            new_full_keys = {canonicalize(v) for v in new_tuples}
+            old_by_key = {}
+            for oid in self._current:
+                value = self._values[oid]
+                if canonicalize(value) in new_full_keys:
+                    continue  # this object's tuple still exists
+                old_by_key.setdefault(
+                    self._key_of(value), []
+                ).append(oid)
+        for value in new_tuples:
+            full_key = canonicalize(value)
+            oid = self._by_tuple.get(full_key)
+            if oid is None and old_by_key is not None:
+                oid = self._adopt_predecessor(value, full_key, old_by_key)
+            if oid is None:
+                oid = self._oids.fresh()
+                self._by_tuple[full_key] = oid
+                self._values[oid] = dict(value)
+                self.fresh_count += 1
+            current.add(oid)
+        self.vanished_count += len(self._current - current)
+        self._current = current
+        if not current:
+            return EMPTY_OID_SET
+        return OidSet.of(current)
+
+    def _key_of(self, value: Dict[str, object]):
+        assert self._identity_keys is not None
+        return canonicalize(
+            {k: value.get(k) for k in self._identity_keys}
+        )
+
+    def _adopt_predecessor(self, value, full_key, old_by_key) -> Optional[Oid]:
+        """Key-match a new tuple to a vanished object, migrating the
+        identity table entry (and recording merges)."""
+        key = self._key_of(value)
+        candidates = old_by_key.get(key)
+        if not candidates:
+            return None
+        chosen = min(candidates)
+        if len(candidates) > 1:
+            self.merge_log.append(
+                MergeRecord(tuple(sorted(candidates)), chosen, key)
+            )
+        candidates.remove(chosen)
+        # Migrate: the old exact-tuple alias must go, or a reappearance
+        # of the old tuple would collide with the new identity.
+        old_value = self._values[chosen]
+        self._by_tuple.pop(canonicalize(old_value), None)
+        self._values[chosen] = dict(value)
+        self._by_tuple[full_key] = chosen
+        self.preserved_count += 1
+        return chosen
+
+    def _evaluate(self) -> List[Dict[str, object]]:
+        with self._view.internal_evaluation():
+            results = evaluate(self._query, self._view)
+        if not isinstance(results, list):
+            results = [results]
+        tuples: List[Dict[str, object]] = []
+        for result in results:
+            value = unwrap(result)
+            if not isinstance(value, dict):
+                raise ImaginaryObjectError(
+                    f"imaginary class {self._name!r}: the defining query"
+                    f" must return tuples, got {type(value).__name__}"
+                )
+            tuples.append(value)
+        return tuples
+
+    # ------------------------------------------------------------------
+    # Object service (the view delegates here for our oid space)
+    # ------------------------------------------------------------------
+
+    def contains(self, oid: Oid) -> bool:
+        self.population()
+        return oid in self._current
+
+    def ever_issued(self, oid: Oid) -> bool:
+        return oid in self._values
+
+    def value(self, oid: Oid) -> Dict[str, object]:
+        value = self._values.get(oid)
+        if value is None:
+            raise UnknownOidError(oid)
+        return value
+
+    def oid_for(self, tuple_value) -> Optional[Oid]:
+        """The oid the table has assigned to a tuple (None if never
+        seen). ``C(t)`` in the paper's notation."""
+        if isinstance(tuple_value, TupleValue):
+            tuple_value = tuple_value.as_dict()
+        self.population()
+        return self._by_tuple.get(canonicalize(unwrap(tuple_value)))
+
+    def table_size(self) -> int:
+        return len(self._by_tuple)

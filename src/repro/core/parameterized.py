@@ -1,0 +1,246 @@
+"""Parameterized classes: ``class Adult(A) includes (select P from
+Person where P.Age > A)``.
+
+§4.2 of the paper: such a statement "effectively declares infinitely
+many classes, such as Adult(20) and Adult(21), each with a different
+name and a different population. (Only finitely many of these classes
+will be non-empty however.)" And for partitions such as
+``Resident(X)``: "as countries are removed from the database or added,
+classes automatically disappear or are created".
+
+A :class:`ClassFamily` stores the member templates with the parameters
+as free variables. ``instantiate(args)`` evaluates the population with
+the parameters bound; instances are cached per view version. For
+single-parameter partition families (an equality between a path over
+the bound variable and the parameter), :meth:`parameter_values`
+enumerates the currently non-empty instances directly from the data —
+the automatic appearance/disappearance the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.oid import EMPTY_OID_SET, OidSet
+from ..engine.objects import ObjectHandle, unwrap
+from ..engine.values import canonicalize
+from ..errors import VirtualClassError
+from ..query.analysis import guaranteed_classes
+from ..query.ast import Binary, Binding, ClassSource, Expr, Path, Select, Var
+from ..query.eval import evaluate
+from .population import Member, PredicateMember, QueryMember
+
+
+class _null_context:
+    """A no-op context manager for scopes without internal evaluation."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+class ClassFamily:
+    """A parameterized family of virtual classes."""
+
+    def __init__(
+        self,
+        view,
+        name: str,
+        parameters: Sequence[str],
+        members: Sequence[Member],
+    ):
+        if not parameters:
+            raise VirtualClassError(
+                f"class family {name!r} declared without parameters"
+            )
+        for member in members:
+            if not isinstance(member, (QueryMember, PredicateMember)):
+                raise VirtualClassError(
+                    f"class family {name!r}: members must be queries or"
+                    " predicates (whole classes cannot vary with a"
+                    " parameter)"
+                )
+        self._view = view
+        self._name = name
+        self._parameters = tuple(parameters)
+        self._members = tuple(members)
+        # (args, view version) -> population
+        self._cache: Dict[Tuple, Tuple[int, OidSet]] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def parameters(self) -> Tuple[str, ...]:
+        return self._parameters
+
+    @property
+    def members(self) -> Tuple[Member, ...]:
+        return self._members
+
+    # ------------------------------------------------------------------
+
+    def instantiate(self, args: Sequence[object]) -> OidSet:
+        """The population of the instance ``Name(args)``."""
+        if len(args) != len(self._parameters):
+            raise VirtualClassError(
+                f"{self._name} takes {len(self._parameters)} parameter(s),"
+                f" got {len(args)}"
+            )
+        key = tuple(canonicalize(a) for a in args)
+        version = self._view.version
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        bindings = dict(zip(self._parameters, args))
+        members: set = set()
+        internal = getattr(self._view, "internal_evaluation", None)
+        context = internal() if internal is not None else _null_context()
+        with context:
+            self._instantiate_members(bindings, args, members)
+        population = OidSet.of(members) if members else EMPTY_OID_SET
+        self._cache[key] = (version, population)
+        return population
+
+    def _instantiate_members(self, bindings, args, members: set) -> None:
+        for member in self._members:
+            if isinstance(member, QueryMember):
+                results = evaluate(member.query, self._view, bindings=bindings)
+                for result in results:
+                    if not isinstance(result, ObjectHandle):
+                        raise VirtualClassError(
+                            f"family {self._name!r}: population query"
+                            " must return objects"
+                        )
+                    members.add(result.oid)
+            else:  # PredicateMember
+                for oid in self._view.extent(member.source_class):
+                    handle = self._view.get(oid)
+                    if member.predicate(handle, *args):
+                        members.add(oid)
+
+    def contains(self, oid, args: Sequence[object]) -> bool:
+        return oid in self.instantiate(args)
+
+    # ------------------------------------------------------------------
+
+    def superclasses(self) -> List[str]:
+        """Classes every instance of the family specializes (the family
+        analogue of rule (1): ``Resident(X)`` instances are subclasses
+        of ``Person``)."""
+        common: Optional[set] = None
+        schema = self._view.schema
+        for member in self._members:
+            if isinstance(member, QueryMember):
+                closure = set()
+                for g in guaranteed_classes(member.query):
+                    if g in schema:
+                        closure.add(g)
+                        closure.update(schema.ancestors(g))
+            else:
+                closure = {member.source_class}
+                closure.update(schema.ancestors(member.source_class))
+            common = closure if common is None else common & closure
+        if not common:
+            return []
+        return sorted(
+            c
+            for c in common
+            if not any(
+                other != c and schema.isa(other, c) for other in common
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Partition enumeration
+    # ------------------------------------------------------------------
+
+    def parameter_values(self) -> Optional[List[object]]:
+        """Distinct parameter values with a non-empty instance.
+
+        Only computable for single-parameter families whose (single)
+        query member constrains the parameter by equality against a
+        path over the bound variable — the paper's partition pattern
+        ``Resident(X)``. Returns ``None`` when the family does not
+        match the pattern.
+        """
+        if len(self._parameters) != 1 or len(self._members) != 1:
+            return None
+        member = self._members[0]
+        if not isinstance(member, QueryMember):
+            return None
+        pattern = _partition_pattern(member.query, self._parameters[0])
+        if pattern is None:
+            return None
+        source_class, path_attrs = pattern
+        distinct: Dict[object, object] = {}
+        for oid in self._view.extent(source_class):
+            handle = self._view.get(oid)
+            value = handle
+            for attribute in path_attrs:
+                if value is None:
+                    break
+                value = getattr(value, attribute)
+            if value is None:
+                continue
+            raw = unwrap(value)
+            distinct.setdefault(canonicalize(raw), raw)
+        return [distinct[key] for key in sorted(distinct, key=repr)]
+
+    def nonempty_instances(self) -> Optional[Dict[object, OidSet]]:
+        """Map parameter value → population for partition families."""
+        values = self.parameter_values()
+        if values is None:
+            return None
+        return {value: self.instantiate((value,)) for value in values}
+
+
+def _partition_pattern(
+    query: Select, parameter: str
+) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """Detect ``select V from C where path(V) = parameter``."""
+    if len(query.bindings) != 1 or query.where is None:
+        return None
+    binding: Binding = query.bindings[0]
+    if not isinstance(binding.source, ClassSource) or binding.source.arguments:
+        return None
+    if not isinstance(query.projection, Var):
+        return None
+    if query.projection.name != binding.variable:
+        return None
+    for conjunct in _conjuncts(query.where):
+        path = _equality_with_parameter(conjunct, parameter)
+        if path is None:
+            continue
+        if (
+            isinstance(path.base, Var)
+            and path.base.name == binding.variable
+        ):
+            return binding.source.class_name, path.attributes
+    return None
+
+
+def _conjuncts(expr: Expr):
+    if isinstance(expr, Binary) and expr.op == "and":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _equality_with_parameter(expr: Expr, parameter: str) -> Optional[Path]:
+    if not isinstance(expr, Binary) or expr.op != "=":
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(right, Var) and right.name == parameter and isinstance(
+        left, Path
+    ):
+        return left
+    if isinstance(left, Var) and left.name == parameter and isinstance(
+        right, Path
+    ):
+        return right
+    return None

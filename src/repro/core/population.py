@@ -1,0 +1,131 @@
+"""Population specifications of virtual classes.
+
+§4.1 of the paper: ``class C includes α1, α2, ..., αn`` where each αi
+is (1) a previously defined class, (2) a query returning a set of
+objects, or (3) ``like B`` for a previously defined class B. §5 adds
+``imaginary`` members: queries returning tuples, each of which receives
+a fresh (but stable) oid.
+
+This module defines one dataclass per member kind plus the coercions
+that let application code write terse specs::
+
+    view.define_virtual_class("Ship", includes=["Tanker", "Cruiser"])
+    view.define_virtual_class("Adult",
+        includes=["select P from Person where P.Age >= 21"])
+    view.define_virtual_class("On_Sale", includes=[like("On_Sale_Spec")])
+    view.define_virtual_class("Minor",
+        includes=[predicate("Person", lambda p: p.Age < 21)])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple, Union
+
+from ..errors import VirtualClassError
+from ..query.ast import Select
+from ..query.builder import SelectBuilder, ensure_query
+
+
+class Member:
+    """One αi of an ``includes`` declaration."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ClassMember(Member):
+    """Generalization: include a whole existing class (rule αi = name)."""
+
+    class_name: str
+
+
+@dataclass(frozen=True)
+class QueryMember(Member):
+    """Specialization: include the objects a query returns."""
+
+    query: Select
+
+
+@dataclass(frozen=True)
+class LikeMember(Member):
+    """Behavioral generalization: include every class whose type is at
+    least as specific as the spec class's type (``like B``)."""
+
+    spec_class: str
+
+
+@dataclass(frozen=True)
+class PredicateMember(Member):
+    """Python-predicate specialization: a convenience equivalent of a
+    query member (``select X from SOURCE where predicate(X)``)."""
+
+    source_class: str
+    predicate: Callable
+
+
+@dataclass(frozen=True)
+class ImaginaryMember(Member):
+    """Imaginary population: a query returning tuples, each assigned a
+    stable fresh oid (§5)."""
+
+    query: Select
+
+
+def like(spec_class: str) -> LikeMember:
+    """Spell ``like B`` in Python code."""
+    return LikeMember(spec_class)
+
+
+def predicate(source_class: str, fn: Callable) -> PredicateMember:
+    """A specialization by Python predicate over a source class."""
+    return PredicateMember(source_class, fn)
+
+
+def imaginary(query) -> ImaginaryMember:
+    """Mark a tuple-producing query as imaginary (``includes imaginary
+    (select […] from …)``)."""
+    return ImaginaryMember(ensure_query(query))
+
+
+IncludeSpec = Union[
+    str, Select, SelectBuilder, Member, Tuple[str, Callable]
+]
+
+
+def normalize_includes(items: Iterable[IncludeSpec]) -> List[Member]:
+    """Coerce terse include specs into :class:`Member` objects.
+
+    Strings are class names, ``"like B"``, or query text (anything
+    starting with ``select``). ``(source, callable)`` pairs become
+    predicate members.
+    """
+    members: List[Member] = []
+    for item in items:
+        members.append(_normalize_one(item))
+    if not members:
+        raise VirtualClassError(
+            "a virtual class must include at least one member"
+        )
+    return members
+
+
+def _normalize_one(item: IncludeSpec) -> Member:
+    if isinstance(item, Member):
+        return item
+    if isinstance(item, (Select, SelectBuilder)):
+        return QueryMember(ensure_query(item))
+    if isinstance(item, tuple) and len(item) == 2 and callable(item[1]):
+        return PredicateMember(item[0], item[1])
+    if isinstance(item, str):
+        stripped = item.strip()
+        lowered = stripped.lower()
+        if lowered.startswith("select ") or lowered.startswith("select\n"):
+            return QueryMember(ensure_query(stripped))
+        if lowered.startswith("like ") :
+            return LikeMember(stripped[5:].strip())
+        if stripped.isidentifier() or all(
+            ch.isalnum() or ch in "_&#" for ch in stripped
+        ):
+            return ClassMember(stripped)
+    raise VirtualClassError(f"cannot interpret include member: {item!r}")

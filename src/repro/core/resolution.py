@@ -1,0 +1,212 @@
+"""Attribute (method) resolution in views, including *schizophrenia*.
+
+§4.2–4.3 of the paper: under the view mechanism the classical *upward
+resolution* rule breaks — an object selected into a virtual class may
+receive behavior from classes that are not superclasses of its real
+class. Resolution must therefore consider **every class the object
+belongs to in the view**. When two incomparable classes both define the
+attribute, the object "doesn't know which personality to choose" — the
+paper calls this **schizophrenia** and prescribes that a view system
+"should not strictly disallow schizophrenia, but should provide a
+default instead".
+
+Policies provided:
+
+- ``DEFAULT`` — deterministic choice (alphabetically first among the
+  most specific candidates); every conflict is recorded in the
+  conflict log, so "a meaningless default" is at least an observable
+  one;
+- ``PRIORITY`` — an explicit, user-supplied class priority list (the
+  paper mentions "explicitly assigning levels of priority");
+- ``ERROR`` — refuse, raising :class:`SchizophreniaError` (the paper's
+  "forbidding schemas with conflicts").
+
+Explicit conflict resolution by *overlap classes* (``Rich&Beautiful``)
+needs no special machinery: an overlap class that redefines the
+attribute is more specific than both conflicting classes, so the
+most-specific filter selects it before any policy applies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.oid import Oid
+from ..engine.schema import AttributeDef
+from ..errors import (
+    HiddenAttributeError,
+    SchizophreniaError,
+    UnknownAttributeError,
+)
+
+
+class ConflictPolicy(enum.Enum):
+    DEFAULT = "default"
+    PRIORITY = "priority"
+    ERROR = "error"
+
+
+@dataclass
+class ConflictRecord:
+    """One observed schizophrenia incident."""
+
+    oid: Oid
+    attribute: str
+    candidates: Tuple[str, ...]
+    chosen: str
+
+
+@dataclass
+class ResolutionStats:
+    """Counters for benchmarking resolution behaviour (E10)."""
+
+    resolutions: int = 0
+    conflicts: int = 0
+    membership_tests: int = 0
+
+
+class Resolver:
+    """Resolves attribute definitions for objects within one view."""
+
+    def __init__(self, view, policy: ConflictPolicy = ConflictPolicy.DEFAULT):
+        self._view = view
+        self._policy = policy
+        self._priority: List[str] = []
+        self._attribute_priority: Dict[str, List[str]] = {}
+        self.conflict_log: List[ConflictRecord] = []
+        self.stats = ResolutionStats()
+        # Version-keyed memo: the paper notes "in practice, static
+        # method resolution is preferred". A resolution is stable until
+        # the view (or a base) changes, so memoizing on the view
+        # version is the dynamic equivalent.
+        self._memo: Dict[Tuple[Oid, str, bool], AttributeDef] = {}
+        self._memo_version: Optional[int] = None
+
+    @property
+    def policy(self) -> ConflictPolicy:
+        return self._policy
+
+    def set_policy(self, policy: ConflictPolicy) -> None:
+        self._policy = policy
+        self._memo.clear()
+
+    def set_priority(
+        self, class_names: List[str], attribute: Optional[str] = None
+    ) -> None:
+        """Earlier classes win conflicts under the PRIORITY policy.
+
+        With ``attribute`` the priority applies to that attribute only
+        (``resolve Print by priority Rich, Senior``); otherwise it is
+        the global order.
+        """
+        if attribute is None:
+            self._priority = list(class_names)
+        else:
+            self._attribute_priority[attribute] = list(class_names)
+        self._policy = ConflictPolicy.PRIORITY
+        self._memo.clear()
+
+    # ------------------------------------------------------------------
+
+    def resolve(self, oid: Oid, attribute: str) -> AttributeDef:
+        """The effective definition of ``attribute`` for this object.
+
+        Considers every class the object belongs to in the view that
+        writes its own (non-acquired, non-hidden) definition, keeps the
+        most specific ones, and applies the conflict policy if several
+        incomparable definitions remain.
+        """
+        view = self._view
+        schema = view.schema
+        self.stats.resolutions += 1
+        # View-internal evaluation (population queries, attribute
+        # bodies) ignores hides: §3 hides bind the view's *users*.
+        honor_hides = not getattr(view, "in_internal_evaluation", False)
+        version = getattr(view, "version", None)
+        memo_key = (oid, attribute, honor_hides)
+        if version is not None:
+            if self._memo_version != version:
+                self._memo.clear()
+                self._memo_version = version
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                return cached
+        resolved = self._resolve_uncached(
+            view, schema, oid, attribute, honor_hides
+        )
+        if version is not None:
+            self._memo[memo_key] = resolved
+        return resolved
+
+    def _resolve_uncached(
+        self, view, schema, oid: Oid, attribute: str, honor_hides: bool
+    ) -> AttributeDef:
+        defining = view.classes_defining(attribute)
+        candidates: List[str] = []
+        hidden_seen = False
+        for class_name in defining:
+            if honor_hides and view.hides.definition_hidden(
+                schema, class_name, attribute
+            ):
+                hidden_seen = True
+                continue
+            self.stats.membership_tests += 1
+            if view.is_member(oid, class_name):
+                candidates.append(class_name)
+        if not candidates:
+            # Fallback through the object's real class chain. This is
+            # what serves imaginary objects whose tuple has vanished
+            # from the current population: "the object ... may still
+            # be used in other parts of the view" (§5.1).
+            real = view.class_of(oid)
+            for cls in schema.linearize(real):
+                adef = schema.require(cls).own_attribute(attribute)
+                if adef is None or adef.acquired:
+                    continue
+                if honor_hides and view.hides.definition_hidden(
+                    schema, cls, attribute
+                ):
+                    hidden_seen = True
+                    continue
+                return adef
+            if hidden_seen or view.hides.attribute_mentioned(attribute):
+                raise HiddenAttributeError(real, attribute)
+            raise UnknownAttributeError(real, attribute)
+        minimal = [
+            c
+            for c in candidates
+            if not any(
+                other != c and schema.isa(other, c) for other in candidates
+            )
+        ]
+        if len(minimal) == 1:
+            chosen = minimal[0]
+        else:
+            chosen = self._arbitrate(oid, attribute, minimal)
+        return schema.require(chosen).own_attribute(attribute)
+
+    # ------------------------------------------------------------------
+
+    def _arbitrate(
+        self, oid: Oid, attribute: str, minimal: List[str]
+    ) -> str:
+        self.stats.conflicts += 1
+        if self._policy is ConflictPolicy.ERROR:
+            raise SchizophreniaError(attribute, minimal)
+        chosen: Optional[str] = None
+        if self._policy is ConflictPolicy.PRIORITY:
+            ordered = self._attribute_priority.get(attribute, self._priority)
+            for name in ordered:
+                if name in minimal:
+                    chosen = name
+                    break
+        if chosen is None:
+            # The paper's "default (even a meaningless default)":
+            # deterministic alphabetical choice.
+            chosen = sorted(minimal)[0]
+        self.conflict_log.append(
+            ConflictRecord(oid, attribute, tuple(sorted(minimal)), chosen)
+        )
+        return chosen

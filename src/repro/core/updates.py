@@ -1,0 +1,74 @@
+"""Updates through views.
+
+§6 of the paper defers the problem: "important issues such as
+materialized views and view updates, which have been extensively
+studied in the relational model, acquire a new dimension in the context
+of objects." This module implements the part of that dimension the
+paper's own machinery determines:
+
+- **stored attributes** of base objects update *through* the view: the
+  update is routed to the provider that owns the object (validation and
+  events happen at the base, so every other view sees it);
+- **computed (virtual) attributes** are read-only unless the definition
+  carries an *update translator* — a callable ``(receiver, new_value)``
+  that performs the base updates realizing the new value (the classic
+  view-update inverse, supplied by the view designer because inversion
+  is not derivable in general);
+- **hidden attributes** cannot be updated (a view user who cannot read
+  a value must not write it either).
+
+Imaginary-object identity under updates (footnote 1's "more
+sophisticated approaches ... object merging ... object splitting") is
+implemented in :meth:`ImaginaryClass.preserve_identity_on` — see
+:mod:`repro.core.imaginary`.
+"""
+
+from __future__ import annotations
+
+from ..engine.objects import ObjectHandle
+from ..engine.oid import Oid
+from ..errors import (
+    ImaginaryObjectError,
+    ReadOnlyAttributeError,
+    ViewUpdateError,
+)
+
+
+def update_through_view(view, target, attribute: str, new_value) -> None:
+    """Translate one attribute assignment through a view.
+
+    Raises:
+        ReadOnlyAttributeError: computed attribute without a translator.
+        HiddenAttributeError: the attribute is hidden in this view.
+        ImaginaryObjectError: direct assignment to an imaginary object's
+            core attribute (imaginary values derive from base data; the
+            view designer must update the base or supply a translator).
+        ViewUpdateError: no provider owns the object.
+    """
+    oid = target.oid if isinstance(target, ObjectHandle) else target
+    adef = view.resolve_attribute_for(oid, attribute)
+    if adef.is_computed():
+        if adef.updater is None:
+            raise ReadOnlyAttributeError(adef.origin, attribute)
+        with view.internal_evaluation():
+            adef.updater(view.get(oid), new_value)
+        return
+    imaginary = view._imaginaries.get(oid.space)
+    if imaginary is not None and imaginary.ever_issued(oid):
+        raise ImaginaryObjectError(
+            f"cannot assign core attribute {attribute!r} of imaginary"
+            f" object {oid}; imaginary tuples derive from base data —"
+            " update the base, or define a virtual attribute with an"
+            " update translator"
+        )
+    provider = _owning_provider(view, oid)
+    if provider is None:
+        raise ViewUpdateError(f"no provider owns object {oid}")
+    provider.update(oid, attribute, new_value)
+
+
+def _owning_provider(view, oid: Oid):
+    for provider in view._providers:
+        if provider.contains_oid(oid):
+            return provider
+    return None

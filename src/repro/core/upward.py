@@ -1,0 +1,150 @@
+"""Upward inheritance: attributes a virtual class acquires from its
+members.
+
+§4.3 of the paper: if a virtual class C includes classes C1…Ck and
+objects selected from Ck+1…Cn, and *every* Ci has an attribute A whose
+types have a least upper bound τ, then C has attribute A of type τ.
+(The classic example: ``Merchant_Vessel`` acquires ``Cargo`` because
+both ``Tanker`` and ``Trawler`` have it.)
+
+Acquired attributes are schema-level facts — they give the virtual
+class a richer type, visible to queries and further ``like`` matching —
+but they never resolve a concrete access: each member object's own
+class already defines the attribute, and per-object resolution finds
+that definition. They are therefore flagged ``acquired=True`` and
+skipped by the resolver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..engine.schema import AttributeDef, AttributeKind, Schema
+from ..engine.types import Type, lub
+from ..errors import NoLeastUpperBoundError
+from ..query.analysis import guaranteed_classes
+from .population import (
+    ClassMember,
+    ImaginaryMember,
+    LikeMember,
+    Member,
+    PredicateMember,
+    QueryMember,
+)
+
+AttrMap = Dict[str, AttributeDef]
+
+
+def acquired_attributes(
+    schema: Schema,
+    class_name: str,
+    members: Sequence[Member],
+    like_matches: Callable[[str], Sequence[str]],
+    imaginary_attrs: Optional[AttrMap] = None,
+) -> AttrMap:
+    """Attributes common to every population member, typed at the LUB.
+
+    ``imaginary_attrs`` supplies the core-attribute map used for
+    imaginary members (computed by the imaginary-class machinery from
+    the defining query's type).
+    """
+    maps: List[Optional[AttrMap]] = []
+    for member in members:
+        maps.append(
+            _member_attributes(schema, member, like_matches, imaginary_attrs)
+        )
+    constraining = [m for m in maps if m is not None]
+    if not constraining:
+        return {}
+    common_names = set(constraining[0])
+    for attr_map in constraining[1:]:
+        common_names &= set(attr_map)
+    acquired: AttrMap = {}
+    for name in sorted(common_names):
+        defs = [attr_map[name] for attr_map in constraining]
+        declared = _lub_type(schema, [d.declared_type for d in defs])
+        if declared is _NO_LUB:
+            # §4.3: no least upper bound ⇒ the attribute is undefined
+            # in the virtual class.
+            continue
+        acquired[name] = AttributeDef(
+            name,
+            declared,
+            AttributeKind.STORED,
+            None,
+            0,
+            class_name,
+            acquired=True,
+        )
+    return acquired
+
+
+_NO_LUB = object()
+
+
+def _lub_type(schema: Schema, types: List[Optional[Type]]):
+    """LUB of the member types; ``None`` (untyped) when any is unknown,
+    the ``_NO_LUB`` sentinel when the LUB does not exist."""
+    if any(t is None for t in types):
+        return None
+    result = types[0]
+    for t in types[1:]:
+        try:
+            result = lub(result, t, schema)
+        except NoLeastUpperBoundError:
+            return _NO_LUB
+    return result
+
+
+def _member_attributes(
+    schema: Schema,
+    member: Member,
+    like_matches: Callable[[str], Sequence[str]],
+    imaginary_attrs: Optional[AttrMap],
+) -> Optional[AttrMap]:
+    """The attributes every object contributed by ``member`` carries.
+
+    ``None`` means the member contributes no objects right now and must
+    not constrain the intersection (e.g. a ``like`` spec with no
+    matches yet).
+    """
+    if isinstance(member, ClassMember):
+        return dict(schema.attributes_of(member.class_name))
+    if isinstance(member, PredicateMember):
+        return dict(schema.attributes_of(member.source_class))
+    if isinstance(member, QueryMember):
+        guaranteed = [
+            g for g in guaranteed_classes(member.query) if g in schema
+        ]
+        if not guaranteed:
+            return {}
+        # The selected objects belong to *all* guaranteed classes, so
+        # the union of their attributes is available on each object.
+        merged: AttrMap = {}
+        for class_name in guaranteed:
+            for name, adef in schema.attributes_of(class_name).items():
+                existing = merged.get(name)
+                if existing is None or schema.isa(
+                    adef.origin, existing.origin
+                ):
+                    merged[name] = adef
+        return merged
+    if isinstance(member, LikeMember):
+        matches = list(like_matches(member.spec_class))
+        if not matches:
+            return None
+        common: Optional[AttrMap] = None
+        for match in matches:
+            attrs = dict(schema.attributes_of(match))
+            if common is None:
+                common = attrs
+            else:
+                common = {
+                    name: common[name]
+                    for name in common
+                    if name in attrs
+                }
+        return common or {}
+    if isinstance(member, ImaginaryMember):
+        return dict(imaginary_attrs or {})
+    raise TypeError(f"unknown member kind: {member!r}")

@@ -1,0 +1,126 @@
+"""Virtual attributes: computed attribute definitions for views.
+
+§2 of the paper erases the distinction between stored attributes and
+methods: an attribute may be declared with a ``has value`` procedure and
+accessed exactly like a stored one (``Maggy.Address``). In a view, such
+declarations overlay imported classes without touching the base
+database.
+
+A value specification may be:
+
+- a Python callable receiving the receiver handle (and extra args),
+- query-dialect expression text (``"[City: self.City, ...]"``),
+- a parsed :class:`~repro.query.ast.Expr`, or
+- a query (text starting with ``select``, AST, or builder) — evaluated
+  with ``self`` bound to the receiver.
+
+Types are inferred statically when possible, as the paper prescribes
+("the view system should relieve the user of mundane tasks like
+specifying a type when the type can be inferred").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.schema import AttributeDef, AttributeKind
+from ..engine.types import ClassType, Type, type_from_signature
+from ..errors import ViewError
+from ..query.ast import Expr, Select
+from ..query.builder import SelectBuilder, as_expr
+from ..query.eval import evaluate_expression
+from ..query.parser import parse_expression
+from ..query.typecheck import TypeEnvironment, infer_expr_type
+
+
+def build_virtual_attribute(
+    view,
+    class_name: str,
+    attribute: str,
+    value,
+    declared_type=None,
+    arity: int = 0,
+    updater=None,
+) -> AttributeDef:
+    """Create the :class:`AttributeDef` for a view-level declaration
+    ``attribute A {of type T} in class C {has value V}``.
+
+    When ``value`` is ``None`` the attribute is *stored* (its values
+    live in the base objects); otherwise it is computed against the
+    view. ``updater`` optionally makes a computed attribute writable:
+    it receives ``(receiver, new_value)`` and performs the base
+    updates (see :mod:`repro.core.updates`).
+    """
+    if declared_type is not None:
+        declared_type = type_from_signature(declared_type)
+    if value is None:
+        return AttributeDef(
+            attribute,
+            declared_type,
+            AttributeKind.STORED,
+            None,
+            0,
+            class_name,
+        )
+    procedure, expr = _as_procedure(view, value)
+    if declared_type is None and expr is not None:
+        declared_type = _infer_type(view, class_name, expr)
+    return AttributeDef(
+        attribute,
+        declared_type,
+        AttributeKind.COMPUTED,
+        procedure,
+        arity,
+        class_name,
+        updater=updater,
+    )
+
+
+def _as_procedure(view, value):
+    """Coerce a value spec to ``(procedure, expr-or-None)``.
+
+    Either way the body runs under the view's *internal evaluation*
+    context: hide declarations bind the view's users, not its own
+    attribute definitions (§3's definition order puts hides last).
+    """
+    if callable(value) and not isinstance(
+        value, (Expr, Select, SelectBuilder)
+    ):
+
+        def callable_procedure(receiver, *args):
+            with view.internal_evaluation():
+                return value(receiver, *args)
+
+        return callable_procedure, None
+    if isinstance(value, str):
+        expr = parse_expression(value)
+    elif isinstance(value, (Select, SelectBuilder)):
+        expr = as_expr(value)
+    elif isinstance(value, Expr):
+        expr = value
+    else:
+        raise ViewError(
+            f"cannot interpret attribute value specification: {value!r}"
+        )
+
+    def procedure(receiver, *args):
+        bindings = {f"arg{i + 1}": arg for i, arg in enumerate(args)}
+        with view.internal_evaluation():
+            return evaluate_expression(
+                expr, view, self_value=receiver, bindings=bindings
+            )
+
+    return procedure, expr
+
+
+def _infer_type(view, class_name: str, expr: Expr) -> Optional[Type]:
+    """Best-effort static inference of the attribute's type."""
+    try:
+        tenv = TypeEnvironment(view)
+        return infer_expr_type(
+            expr, tenv, variables={}, self_type=ClassType(class_name)
+        )
+    except Exception:
+        # The paper keeps explicit type declarations available exactly
+        # because inference cannot always succeed.
+        return None

@@ -1,0 +1,267 @@
+"""Virtual classes: population evaluation and membership.
+
+A :class:`VirtualClass` owns the normalized member list of one
+``class C includes …`` declaration and computes its population against
+the view:
+
+- **generalization** members contribute the (deep) extents of the
+  included classes;
+- **specialization** members contribute the objects their query
+  returns (it is a :class:`~repro.errors.VirtualClassError` for the
+  query to return non-objects — tuple-producing queries belong to
+  imaginary classes);
+- **behavioral** members (``like B``) contribute the extents of every
+  class currently matching the spec — matching is dynamic, so classes
+  added later join automatically (the paper's ``On_Sale`` vs
+  ``On_Sale_Bis`` argument, experiment E4);
+- **imaginary** members delegate to the class's
+  :class:`~repro.core.imaginary.ImaginaryClass` identity table.
+
+Populations are cached per view version. Direct insertion is
+impossible by construction: the paper notes "it is not possible for a
+user to insert an object directly into a virtual class" — there is
+simply no API for it; views refuse ``create`` on virtual classes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set, Tuple
+
+from ..engine.oid import EMPTY_OID_SET, Oid, OidSet
+from ..engine.objects import ObjectHandle
+from ..errors import VirtualClassError
+from ..query.ast import Binding, ClassSource, Select, Var
+from ..query.eval import EvalEnv, evaluate, _eval_expr, _truthy
+from .imaginary import ImaginaryClass
+from .population import (
+    ClassMember,
+    ImaginaryMember,
+    LikeMember,
+    Member,
+    PredicateMember,
+    QueryMember,
+)
+
+
+class VirtualClass:
+    """One defined virtual (possibly imaginary) class within a view."""
+
+    def __init__(
+        self,
+        view,
+        name: str,
+        members: Sequence[Member],
+        imaginary: Optional[ImaginaryClass] = None,
+    ):
+        self._view = view
+        self._name = name
+        self._members = tuple(members)
+        self._imaginary = imaginary
+        self._cache_version: Optional[int] = None
+        self._cache: OidSet = EMPTY_OID_SET
+        self._evaluating = False
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def members(self) -> Tuple[Member, ...]:
+        return self._members
+
+    @property
+    def imaginary(self) -> Optional[ImaginaryClass]:
+        return self._imaginary
+
+    def is_imaginary(self) -> bool:
+        return self._imaginary is not None
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    def population(self, use_cache: bool = True) -> OidSet:
+        """All members of the virtual class, as an oid set.
+
+        Recursion control: population evaluation may (via deep extents)
+        re-enter another virtual class that is itself mid-evaluation.
+        The re-entered class yields the empty set to break the cycle,
+        and *taints* every evaluation frame currently on the stack —
+        tainted frames return their (possibly truncated) value but do
+        not cache it, so no caller ever observes a stale truncated
+        population on a later call.
+        """
+        view = self._view
+        version = view.version
+        if use_cache and self._cache_version == version:
+            return self._cache
+        stack = getattr(view, "_population_stack", None)
+        if stack is None:
+            stack = []
+            taint = set()
+            view._population_stack = stack
+            view._population_taint = taint
+        else:
+            taint = view._population_taint
+        if self._name in stack:
+            # Cycle: yield empty (one fixpoint iteration) and taint the
+            # frames *above* our own — they consumed a truncated value
+            # and must not cache. Our own frame's eventual result is
+            # the fixpoint and stays cacheable.
+            taint.update(range(stack.index(self._name) + 1, len(stack)))
+            return EMPTY_OID_SET
+        frame = len(stack)
+        stack.append(self._name)
+        self._evaluating = True
+        try:
+            internal = getattr(view, "internal_evaluation", None)
+            if internal is not None:
+                with internal():
+                    members = self._collect_members()
+            else:
+                members = self._collect_members()
+        finally:
+            self._evaluating = False
+            tainted = frame in taint
+            taint.discard(frame)
+            stack.pop()
+        population = OidSet.of(members) if members else EMPTY_OID_SET
+        if not tainted:
+            self._cache = population
+            self._cache_version = version
+        return population
+
+    def _collect_members(self) -> Set[Oid]:
+        members: Set[Oid] = set()
+        for member in self._members:
+            members.update(self._member_population(member).members)
+        return members
+
+    def _member_population(self, member: Member) -> OidSet:
+        view = self._view
+        if isinstance(member, ClassMember):
+            return view.extent(member.class_name)
+        if isinstance(member, QueryMember):
+            results = evaluate(member.query, view)
+            oids: Set[Oid] = set()
+            for result in results:
+                if not isinstance(result, ObjectHandle):
+                    raise VirtualClassError(
+                        f"virtual class {self._name!r}: population query"
+                        f" must return objects, got"
+                        f" {type(result).__name__} (use an imaginary"
+                        " class for tuple-producing queries)"
+                    )
+                oids.add(result.oid)
+            return OidSet.of(oids) if oids else EMPTY_OID_SET
+        if isinstance(member, PredicateMember):
+            oids = {
+                oid
+                for oid in view.extent(member.source_class)
+                if member.predicate(view.get(oid))
+            }
+            return OidSet.of(oids) if oids else EMPTY_OID_SET
+        if isinstance(member, LikeMember):
+            oids = set()
+            for match in view.like_matches(member.spec_class):
+                oids.update(view.extent(match).members)
+            return OidSet.of(oids) if oids else EMPTY_OID_SET
+        if isinstance(member, ImaginaryMember):
+            assert self._imaginary is not None
+            return self._imaginary.population()
+        raise TypeError(f"unknown member kind: {member!r}")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def contains(self, oid: Oid) -> bool:
+        """Membership test; uses per-member shortcuts when possible."""
+        version = self._view.version
+        if self._cache_version == version:
+            return oid in self._cache
+        for member in self._members:
+            quick = self.member_test(member, oid)
+            if quick:
+                return True
+            if quick is None:
+                # No cheap test for this member: fall back to the full
+                # population (which also fills the cache).
+                return oid in self.population()
+        return False
+
+    def member_test(self, member: Member, oid: Oid) -> Optional[bool]:
+        """Cheap single-object membership test for one member.
+
+        Returns ``None`` when the member admits no cheap test (complex
+        queries). Used both by :meth:`contains` and by incremental
+        materialization.
+        """
+        view = self._view
+        if isinstance(member, ClassMember):
+            return view.is_member(oid, member.class_name)
+        if isinstance(member, PredicateMember):
+            if not view.is_member(oid, member.source_class):
+                return False
+            return bool(member.predicate(view.get(oid)))
+        if isinstance(member, LikeMember):
+            try:
+                real = view.class_of(oid)
+            except Exception:
+                return False
+            matches = view.like_matches(member.spec_class)
+            return any(view.schema.isa(real, match) for match in matches)
+        if isinstance(member, QueryMember):
+            simple = _simple_filter(member.query)
+            if simple is None:
+                return None
+            source_class, variable, where = simple
+            if not view.is_member(oid, source_class):
+                return False
+            if where is None:
+                return True
+            env = EvalEnv(view, bindings={variable: view.get(oid)})
+            internal = getattr(view, "internal_evaluation", None)
+            if internal is not None:
+                with internal():
+                    return _truthy(_eval_expr(where, env))
+            return _truthy(_eval_expr(where, env))
+        if isinstance(member, ImaginaryMember):
+            assert self._imaginary is not None
+            return self._imaginary.contains(oid)
+        raise TypeError(f"unknown member kind: {member!r}")
+
+    def has_cheap_membership(self) -> bool:
+        """True when every member admits a single-object test (so a
+        materialized copy can be maintained incrementally)."""
+        for member in self._members:
+            if isinstance(member, QueryMember):
+                if _simple_filter(member.query) is None:
+                    return False
+            elif isinstance(member, ImaginaryMember):
+                return False
+        return True
+
+
+def _simple_filter(query: Select):
+    """Decompose ``select V from C where φ(V)`` into (C, V, φ).
+
+    Returns ``None`` for joins, nested sources, tuple projections —
+    anything whose membership cannot be tested one object at a time.
+    """
+    if len(query.bindings) != 1:
+        return None
+    binding: Binding = query.bindings[0]
+    if not isinstance(binding.source, ClassSource) or binding.source.arguments:
+        return None
+    if not isinstance(query.projection, Var):
+        return None
+    if query.projection.name != binding.variable:
+        return None
+    from ..query.ast import free_variables
+
+    if query.where is not None:
+        # The filter must depend on the bound variable only.
+        if free_variables(query.where) - {binding.variable}:
+            return None
+    return binding.source.class_name, binding.variable, query.where

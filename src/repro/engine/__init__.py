@@ -1,0 +1,121 @@
+"""The O₂-style object database substrate.
+
+This package implements the data model the paper assumes: a hierarchy
+of classes with typed tuple values, objects with identity, inheritance
+and overloading of attributes (stored or computed), extents, events and
+indexes. The view mechanism in :mod:`repro.core` is built on top.
+"""
+
+from .database import Database
+from .events import (
+    ClassDefined,
+    Event,
+    EventBus,
+    ObjectCreated,
+    ObjectDeleted,
+    ObjectUpdated,
+)
+from .indexes import AttributeIndex, IndexManager
+from .objects import (
+    DatabaseObject,
+    ObjectHandle,
+    Scope,
+    TupleValue,
+    unwrap,
+    wrap_value,
+)
+from .oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
+from .schema import (
+    AttributeDef,
+    AttributeKind,
+    ClassDef,
+    ClassKind,
+    Computed,
+    Schema,
+)
+from .types import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NOTHING,
+    REAL,
+    STRING,
+    AnyType,
+    AtomType,
+    ClassType,
+    ListType,
+    NothingType,
+    SetType,
+    TupleType,
+    Type,
+    TypeContext,
+    declare_atom,
+    glb,
+    is_subtype,
+    lub,
+    lub_all,
+    type_from_signature,
+)
+from .values import (
+    canonicalize,
+    conforms,
+    deep_copy_value,
+    format_value,
+    infer_type,
+    require_conforms,
+)
+
+__all__ = [
+    "ANY",
+    "AttributeDef",
+    "AttributeIndex",
+    "AttributeKind",
+    "AnyType",
+    "AtomType",
+    "BOOLEAN",
+    "ClassDef",
+    "ClassDefined",
+    "ClassKind",
+    "ClassType",
+    "Computed",
+    "Database",
+    "DatabaseObject",
+    "EMPTY_OID_SET",
+    "Event",
+    "EventBus",
+    "INTEGER",
+    "IndexManager",
+    "ListType",
+    "NOTHING",
+    "NothingType",
+    "ObjectCreated",
+    "ObjectDeleted",
+    "ObjectHandle",
+    "ObjectUpdated",
+    "Oid",
+    "OidGenerator",
+    "OidSet",
+    "REAL",
+    "STRING",
+    "Schema",
+    "Scope",
+    "SetType",
+    "TupleType",
+    "TupleValue",
+    "Type",
+    "TypeContext",
+    "canonicalize",
+    "conforms",
+    "declare_atom",
+    "deep_copy_value",
+    "format_value",
+    "glb",
+    "infer_type",
+    "is_subtype",
+    "lub",
+    "lub_all",
+    "require_conforms",
+    "type_from_signature",
+    "unwrap",
+    "wrap_value",
+]

@@ -1,0 +1,351 @@
+"""Databases: schemas plus stored objects.
+
+A :class:`Database` owns a :class:`~repro.engine.schema.Schema`, the
+objects created in it, and per-class extents. It enforces the paper's
+**unique-root rule**: every object is real in exactly one class (§4.2,
+"Implementation Issues"). The *deep extent* of a class — the set of
+objects real in it or any subclass — is what queries and views range
+over.
+
+Mutations publish events on the database's bus so indexes and
+materialized virtual classes can maintain themselves incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..errors import (
+    ObjectError,
+    UnknownAttributeError,
+    UnknownOidError,
+    ValueTypeError,
+)
+from .events import (
+    ClassDefined,
+    EventBus,
+    ObjectCreated,
+    ObjectDeleted,
+    ObjectUpdated,
+)
+from .objects import DatabaseObject, ObjectHandle, Scope, unwrap
+from .oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
+from .schema import AttributeDef, ClassKind, Schema
+from .values import require_conforms
+
+
+class Database(Scope):
+    """A named object-oriented database."""
+
+    def __init__(self, name: str, schema: Optional[Schema] = None):
+        self._name = name
+        self._schema = schema if schema is not None else Schema()
+        self._objects: Dict[Oid, DatabaseObject] = {}
+        self._extents: Dict[str, set] = {}
+        self._oids = OidGenerator(name)
+        self._events = EventBus()
+        self.functions: Dict[str, object] = {}
+        self.function_types: Dict[str, object] = {}
+        self._index_manager = None
+
+    @property
+    def indexes(self):
+        """The database's (lazily created) attribute-index manager."""
+        if self._index_manager is None:
+            from .indexes import IndexManager
+
+            self._index_manager = IndexManager(self)
+        return self._index_manager
+
+    def create_index(self, class_name: str, attribute: str):
+        """Create (or fetch) a hash index on a stored attribute."""
+        return self.indexes.create_index(class_name, attribute)
+
+    def register_function(self, name: str, fn, result_type=None) -> None:
+        """Register a named function usable in queries (e.g. ``gsd``)."""
+        from .types import type_from_signature
+
+        self.functions[name] = fn
+        if result_type is not None:
+            self.function_types[name] = type_from_signature(result_type)
+
+    def query(self, query, **parameters):
+        """Evaluate a query against this database."""
+        from ..query.eval import evaluate
+
+        return evaluate(query, self, bindings=parameters or None)
+
+    # ------------------------------------------------------------------
+    # Scope protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def scope_name(self) -> str:
+        return self._name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def events(self) -> EventBus:
+        return self._events
+
+    def class_of(self, oid: Oid) -> str:
+        return self._require(oid).class_name
+
+    def raw_value(self, oid: Oid) -> Dict[str, object]:
+        return self._require(oid).value
+
+    def resolve_attribute_for(self, oid: Oid, attribute: str) -> AttributeDef:
+        return self._schema.resolve_attribute(self.class_of(oid), attribute)
+
+    def is_member(self, oid: Oid, class_name: str) -> bool:
+        obj = self._objects.get(oid)
+        if obj is None:
+            return False
+        return self._schema.isa(obj.class_name, class_name)
+
+    # ------------------------------------------------------------------
+    # Schema definition conveniences
+    # ------------------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        parents: Sequence[str] = (),
+        attributes: Optional[Mapping] = None,
+        doc: str = "",
+    ):
+        """Define a base (storable) class. See :meth:`Schema.define_class`."""
+        cdef = self._schema.define_class(
+            name, parents, attributes, ClassKind.BASE, doc
+        )
+        self._extents.setdefault(name, set())
+        self._events.publish(ClassDefined(self._name, name))
+        return cdef
+
+    def define_attribute(
+        self,
+        class_name: str,
+        attribute: str,
+        declared_type=None,
+        value=None,
+        arity: int = 0,
+    ) -> AttributeDef:
+        """``attribute A {of type T} in class C {has value V}`` (§2).
+
+        ``value`` is a callable computing the attribute from the
+        receiver handle; omitting it declares a stored attribute.
+        """
+        return self._schema.define_attribute(
+            class_name, attribute, declared_type, value, arity
+        )
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        class_name: str,
+        value: Optional[Mapping[str, object]] = None,
+        **attributes,
+    ) -> ObjectHandle:
+        """Create an object real in ``class_name``.
+
+        The tuple value may be given as a mapping or keyword arguments.
+        Stored attributes with declared types are validated; computed
+        attributes may not be assigned.
+        """
+        cdef = self._schema.require(class_name)
+        if cdef.kind is not ClassKind.BASE:
+            raise ObjectError(
+                f"cannot create objects in {cdef.kind.value} class"
+                f" {class_name!r}; virtual classes are populated by"
+                " their declarations (§4.1)"
+            )
+        tuple_value: Dict[str, object] = dict(value or {})
+        tuple_value.update(attributes)
+        tuple_value = {k: unwrap(v) for k, v in tuple_value.items()}
+        self._validate(class_name, tuple_value)
+        oid = self._oids.fresh()
+        self._objects[oid] = DatabaseObject(oid, class_name, tuple_value)
+        self._extents.setdefault(class_name, set()).add(oid)
+        self._events.publish(ObjectCreated(self._name, class_name, oid))
+        return ObjectHandle(self, oid)
+
+    def insert_with_oid(
+        self,
+        oid: Oid,
+        class_name: str,
+        value: Optional[Mapping[str, object]] = None,
+    ) -> ObjectHandle:
+        """Insert an object under a predetermined oid.
+
+        Used by journal replay and transaction undo; refuses oids that
+        are already present. The oid generator is advanced past the
+        oid's serial so later creates cannot collide.
+        """
+        if oid in self._objects:
+            raise ObjectError(f"oid already present: {oid}")
+        cdef = self._schema.require(class_name)
+        if cdef.kind is not ClassKind.BASE:
+            raise ObjectError(
+                f"cannot insert into {cdef.kind.value} class {class_name!r}"
+            )
+        tuple_value = {k: unwrap(v) for k, v in dict(value or {}).items()}
+        self._validate(class_name, tuple_value)
+        self._objects[oid] = DatabaseObject(oid, class_name, tuple_value)
+        self._extents.setdefault(class_name, set()).add(oid)
+        if oid.space == self._name:
+            self._oids.advance_to(oid.number)
+        self._events.publish(ObjectCreated(self._name, class_name, oid))
+        return ObjectHandle(self, oid)
+
+    def update(self, target, attribute: str, new_value) -> None:
+        """Assign a stored attribute of an existing object."""
+        oid = target.oid if isinstance(target, ObjectHandle) else target
+        obj = self._require(oid)
+        adef = self._schema.resolve_attribute(obj.class_name, attribute)
+        if adef.is_computed():
+            raise ObjectError(
+                f"attribute {attribute!r} of class {obj.class_name!r}"
+                " is computed; it cannot be assigned"
+            )
+        new_value = unwrap(new_value)
+        if new_value is None:
+            # Assigning None unsets the attribute (reads return None).
+            old_value = obj.value.pop(attribute, None)
+            self._events.publish(
+                ObjectUpdated(
+                    self._name, obj.class_name, oid, attribute, old_value, None
+                )
+            )
+            return
+        if adef.declared_type is not None:
+            require_conforms(
+                new_value,
+                adef.declared_type,
+                self._schema,
+                self._class_of_or_none,
+                label=f"{obj.class_name}.{attribute}",
+            )
+        old_value = obj.value.get(attribute)
+        obj.value[attribute] = new_value
+        self._events.publish(
+            ObjectUpdated(
+                self._name, obj.class_name, oid, attribute, old_value, new_value
+            )
+        )
+
+    def delete(self, target) -> None:
+        oid = target.oid if isinstance(target, ObjectHandle) else target
+        obj = self._require(oid)
+        del self._objects[oid]
+        self._extents[obj.class_name].discard(oid)
+        self._events.publish(
+            ObjectDeleted(self._name, obj.class_name, oid)
+        )
+
+    # ------------------------------------------------------------------
+    # Extents and retrieval
+    # ------------------------------------------------------------------
+
+    def extent(self, class_name: str, deep: bool = True) -> OidSet:
+        """The oids of the class's members.
+
+        ``deep=True`` (default) includes objects real in subclasses —
+        an object created in ``Tanker`` is a member of ``Ship``.
+        """
+        self._schema.require(class_name)
+        members = set(self._extents.get(class_name, ()))
+        if deep:
+            for sub in self._schema.descendants(class_name):
+                members.update(self._extents.get(sub, ()))
+        if not members:
+            return EMPTY_OID_SET
+        return OidSet.of(members)
+
+    def handles(self, class_name: str, deep: bool = True) -> List[ObjectHandle]:
+        """Handles for the (deep) extent, in oid order."""
+        return [ObjectHandle(self, oid) for oid in self.extent(class_name, deep)]
+
+    def contains_oid(self, oid: Oid) -> bool:
+        return oid in self._objects
+
+    def all_oids(self) -> Iterator[Oid]:
+        return iter(sorted(self._objects))
+
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require(self, oid: Oid) -> DatabaseObject:
+        obj = self._objects.get(oid)
+        if obj is None:
+            raise UnknownOidError(oid)
+        return obj
+
+    def _class_of_or_none(self, oid: Oid) -> Optional[str]:
+        obj = self._objects.get(oid)
+        return obj.class_name if obj is not None else None
+
+    def _validate(self, class_name: str, tuple_value: Dict[str, object]) -> None:
+        attributes = self._schema.attributes_of(class_name)
+        for name, provided in tuple_value.items():
+            adef = attributes.get(name)
+            if adef is None:
+                raise UnknownAttributeError(class_name, name)
+            if adef.is_computed():
+                raise ValueTypeError(
+                    f"attribute {name!r} of {class_name!r} is computed;"
+                    " it cannot be stored"
+                )
+            if adef.declared_type is not None:
+                require_conforms(
+                    provided,
+                    adef.declared_type,
+                    self._schema,
+                    self._class_of_or_none,
+                    label=f"{class_name}.{name}",
+                )
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (used by transactions and the storage layer)
+    # ------------------------------------------------------------------
+
+    def snapshot_objects(self) -> Dict[Oid, DatabaseObject]:
+        """A structural copy of all objects (schema not included)."""
+        from .values import deep_copy_value
+
+        return {
+            oid: DatabaseObject(
+                obj.oid, obj.class_name, deep_copy_value(obj.value)
+            )
+            for oid, obj in self._objects.items()
+        }
+
+    def restore_objects(self, snapshot: Dict[Oid, DatabaseObject]) -> None:
+        from .values import deep_copy_value
+
+        self._objects = {
+            oid: DatabaseObject(
+                obj.oid, obj.class_name, deep_copy_value(obj.value)
+            )
+            for oid, obj in snapshot.items()
+        }
+        self._extents = {}
+        highest = 0
+        for oid, obj in self._objects.items():
+            self._extents.setdefault(obj.class_name, set()).add(oid)
+            if oid.space == self._name:
+                highest = max(highest, oid.number)
+        self._oids.advance_to(highest)

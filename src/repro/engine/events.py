@@ -1,0 +1,95 @@
+"""Update notification bus.
+
+Databases publish an event for every mutation. Subscribers include
+attribute indexes and materialized virtual classes (incremental view
+maintenance, §4/§5 of the paper generalise "the traditional problem of
+materialized views" to objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .oid import Oid
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of database events."""
+
+    database: str
+
+
+@dataclass(frozen=True)
+class ObjectCreated(Event):
+    class_name: str
+    oid: Oid
+
+
+@dataclass(frozen=True)
+class ObjectUpdated(Event):
+    class_name: str
+    oid: Oid
+    attribute: str
+    old_value: object
+    new_value: object
+
+
+@dataclass(frozen=True)
+class ObjectDeleted(Event):
+    class_name: str
+    oid: Oid
+
+
+@dataclass(frozen=True)
+class ClassDefined(Event):
+    class_name: str
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub.
+
+    Subscribers run in subscription order; a subscriber may filter on
+    event type itself (the bus stays deliberately simple).
+    """
+
+    def __init__(self):
+        self._subscribers: List[Subscriber] = []
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Register ``subscriber``; returns an unsubscribe callable."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: Event) -> None:
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+
+def on_event(
+    bus: EventBus, event_type, handler: Callable, class_name: Optional[str] = None
+) -> Callable[[], None]:
+    """Subscribe ``handler`` to events of one type (optionally one class)."""
+
+    def dispatch(event: Event) -> None:
+        if not isinstance(event, event_type):
+            return
+        if class_name is not None and getattr(event, "class_name", None) != class_name:
+            return
+        handler(event)
+
+    return bus.subscribe(dispatch)

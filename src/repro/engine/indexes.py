@@ -1,0 +1,160 @@
+"""Attribute indexes.
+
+A hash index over one stored attribute of one class (and its
+subclasses). Indexes subscribe to the database's event bus and stay
+consistent under creates, updates and deletes. Query evaluation uses
+them for equality predicates on indexed attributes; parameterized
+classes (§4.2, ``Resident(X)``) use them to enumerate the non-empty
+parameter values cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..errors import SchemaError
+from .database import Database
+from .events import (
+    Event,
+    ObjectCreated,
+    ObjectDeleted,
+    ObjectUpdated,
+)
+from .oid import EMPTY_OID_SET, Oid, OidSet
+from .values import canonicalize
+
+
+class AttributeIndex:
+    """Hash index: canonical attribute value → set of member oids."""
+
+    def __init__(self, database: Database, class_name: str, attribute: str):
+        adef = database.schema.resolve_attribute(class_name, attribute)
+        if adef.is_computed():
+            raise SchemaError(
+                f"cannot index computed attribute"
+                f" {class_name}.{attribute}"
+            )
+        self._db = database
+        self._class_name = class_name
+        self._attribute = attribute
+        self._entries: Dict[object, Set[Oid]] = {}
+        self._unsubscribe = database.events.subscribe(self._on_event)
+        self._rebuild()
+
+    @property
+    def class_name(self) -> str:
+        return self._class_name
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    def lookup(self, value) -> OidSet:
+        """Oids of members whose attribute equals ``value``."""
+        members = self._entries.get(canonicalize(value))
+        if not members:
+            return EMPTY_OID_SET
+        return OidSet.of(members)
+
+    def distinct_values_count(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterable[object]:
+        return self._entries.keys()
+
+    def drop(self) -> None:
+        """Detach the index from the event bus."""
+        self._unsubscribe()
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+
+    def _covers(self, class_name: str) -> bool:
+        return self._db.schema.isa(class_name, self._class_name)
+
+    def _rebuild(self) -> None:
+        self._entries.clear()
+        for oid in self._db.extent(self._class_name, deep=True):
+            self._insert(oid)
+
+    def _insert(self, oid: Oid) -> None:
+        value = self._db.raw_value(oid).get(self._attribute)
+        if value is None:
+            return
+        self._entries.setdefault(canonicalize(value), set()).add(oid)
+
+    def _remove(self, oid: Oid, value) -> None:
+        if value is None:
+            return
+        key = canonicalize(value)
+        bucket = self._entries.get(key)
+        if bucket is None:
+            return
+        bucket.discard(oid)
+        if not bucket:
+            del self._entries[key]
+
+    def _on_event(self, event: Event) -> None:
+        if isinstance(event, ObjectCreated) and self._covers(event.class_name):
+            self._insert(event.oid)
+        elif isinstance(event, ObjectUpdated):
+            if event.attribute != self._attribute:
+                return
+            if not self._covers(event.class_name):
+                return
+            self._remove(event.oid, event.old_value)
+            if event.new_value is not None:
+                self._entries.setdefault(
+                    canonicalize(event.new_value), set()
+                ).add(event.oid)
+        elif isinstance(event, ObjectDeleted) and self._covers(event.class_name):
+            value = None
+            # The object is already gone; scan buckets for the oid.
+            for key in list(self._entries):
+                bucket = self._entries[key]
+                if event.oid in bucket:
+                    bucket.discard(event.oid)
+                    if not bucket:
+                        del self._entries[key]
+                    break
+
+
+class IndexManager:
+    """Registry of attribute indexes for one database."""
+
+    def __init__(self, database: Database):
+        self._db = database
+        self._indexes: Dict[Tuple[str, str], AttributeIndex] = {}
+
+    def create_index(self, class_name: str, attribute: str) -> AttributeIndex:
+        key = (class_name, attribute)
+        existing = self._indexes.get(key)
+        if existing is not None:
+            return existing
+        index = AttributeIndex(self._db, class_name, attribute)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, class_name: str, attribute: str) -> None:
+        index = self._indexes.pop((class_name, attribute), None)
+        if index is not None:
+            index.drop()
+
+    def find(self, class_name: str, attribute: str) -> Optional[AttributeIndex]:
+        """An index usable for equality lookups on the class's extent.
+
+        An index on a superclass covers the subclass's extent too (its
+        buckets contain a superset; callers intersect with the extent).
+        """
+        exact = self._indexes.get((class_name, attribute))
+        if exact is not None:
+            return exact
+        for (indexed_class, indexed_attr), index in self._indexes.items():
+            if indexed_attr != attribute:
+                continue
+            if self._db.schema.isa(class_name, indexed_class):
+                return index
+        return None
+
+    def __len__(self) -> int:
+        return len(self._indexes)

@@ -1,0 +1,497 @@
+"""Class hierarchy and attribute declarations.
+
+A :class:`Schema` is a DAG of :class:`ClassDef` nodes. Multiple
+inheritance is allowed (the paper's hierarchy inference introduces it,
+§4.2 ``Rich&Beautiful``). The schema doubles as the
+:class:`~repro.engine.types.TypeContext` used by the type lattice, so
+class types are compared via the ``isa`` relation it maintains.
+
+The model deliberately blurs attributes and methods (§2 of the paper):
+a class declares *attributes*, each either **stored** or **computed**,
+and the same attribute may be stored in one class and computed in a
+subclass — that is ordinary overriding here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import (
+    DuplicateClassError,
+    HierarchyCycleError,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownClassError,
+)
+from .types import (
+    ClassType,
+    TupleType,
+    Type,
+    TypeContext,
+    type_from_signature,
+)
+
+
+class AttributeKind(enum.Enum):
+    """Whether an attribute's value is stored with the object or computed."""
+
+    STORED = "stored"
+    COMPUTED = "computed"
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """One attribute declaration on one class.
+
+    Attributes:
+        name: Attribute name.
+        declared_type: Declared (or inferred) type; ``None`` when the
+            type could not be determined statically.
+        kind: Stored or computed.
+        procedure: For computed attributes, a callable receiving the
+            receiver handle (and any extra arguments) and returning the
+            value. ``None`` for stored attributes.
+        arity: Number of extra arguments beyond the receiver.
+        origin: Name of the class where this definition was written
+            (useful when a subclass inherits it).
+        acquired: True for definitions produced by *upward inheritance*
+            (§4.3): they contribute to the class's type but never to
+            per-object resolution (each member object's own class
+            already provides the value).
+        updater: For computed attributes, an optional *update
+            translator*: a callable ``(receiver, new_value)`` that
+            applies base updates making the computed value come out as
+            ``new_value`` — the classical view-update inverse. ``None``
+            means the attribute is read-only when computed.
+    """
+
+    name: str
+    declared_type: Optional[Type] = None
+    kind: AttributeKind = AttributeKind.STORED
+    procedure: Optional[Callable] = None
+    arity: int = 0
+    origin: str = ""
+    acquired: bool = False
+    updater: Optional[Callable] = None
+
+    def is_computed(self) -> bool:
+        return self.kind is AttributeKind.COMPUTED
+
+    def rebased(self, origin: str) -> "AttributeDef":
+        """A copy of this definition recorded as written in ``origin``."""
+        return AttributeDef(
+            self.name,
+            self.declared_type,
+            self.kind,
+            self.procedure,
+            self.arity,
+            origin,
+            self.acquired,
+            self.updater,
+        )
+
+
+@dataclass(frozen=True)
+class Computed:
+    """A terse spec for a computed attribute with an optional type.
+
+    Usable as an attribute value in ``define_class``::
+
+        db.define_class("Manager", parents=["Employee"], attributes={
+            "Address": Computed(lambda self: self.Company.Address),
+        })
+    """
+
+    procedure: Callable
+    declared_type: object = None
+    arity: int = 0
+
+
+class ClassKind(enum.Enum):
+    """Origin of a class: stored base class, or view-defined."""
+
+    BASE = "base"
+    VIRTUAL = "virtual"
+    IMAGINARY = "imaginary"
+
+
+@dataclass
+class ClassDef:
+    """One class: its parents and its own attribute definitions."""
+
+    name: str
+    parents: Tuple[str, ...] = ()
+    attributes: Dict[str, AttributeDef] = field(default_factory=dict)
+    kind: ClassKind = ClassKind.BASE
+    doc: str = ""
+
+    def own_attribute(self, name: str) -> Optional[AttributeDef]:
+        return self.attributes.get(name)
+
+    def copy(self) -> "ClassDef":
+        return ClassDef(
+            self.name,
+            self.parents,
+            dict(self.attributes),
+            self.kind,
+            self.doc,
+        )
+
+
+def _normalize_attributes(
+    class_name: str, attributes: Optional[Mapping]
+) -> Dict[str, AttributeDef]:
+    """Accept terse attribute specs and produce :class:`AttributeDef` s.
+
+    Each value may be an :class:`AttributeDef`, a type signature (see
+    :func:`~repro.engine.types.type_from_signature`), or a callable
+    (making the attribute computed with an inferred type).
+    """
+    result: Dict[str, AttributeDef] = {}
+    for name, spec in (attributes or {}).items():
+        if isinstance(spec, AttributeDef):
+            result[name] = spec.rebased(class_name)
+        elif isinstance(spec, Computed):
+            declared = (
+                type_from_signature(spec.declared_type)
+                if spec.declared_type is not None
+                else None
+            )
+            result[name] = AttributeDef(
+                name,
+                declared,
+                AttributeKind.COMPUTED,
+                spec.procedure,
+                spec.arity,
+                class_name,
+            )
+        elif callable(spec) and not isinstance(spec, type):
+            result[name] = AttributeDef(
+                name,
+                None,
+                AttributeKind.COMPUTED,
+                spec,
+                origin=class_name,
+            )
+        else:
+            result[name] = AttributeDef(
+                name,
+                type_from_signature(spec),
+                AttributeKind.STORED,
+                origin=class_name,
+            )
+    return result
+
+
+class Schema(TypeContext):
+    """A mutable collection of class definitions forming a DAG."""
+
+    def __init__(self):
+        self._classes: Dict[str, ClassDef] = {}
+
+    # ------------------------------------------------------------------
+    # Definition
+    # ------------------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        parents: Sequence[str] = (),
+        attributes: Optional[Mapping] = None,
+        kind: ClassKind = ClassKind.BASE,
+        doc: str = "",
+    ) -> ClassDef:
+        """Define a new class.
+
+        Raises:
+            DuplicateClassError: if ``name`` already exists.
+            UnknownClassError: if a parent is undefined.
+        """
+        if name in self._classes:
+            raise DuplicateClassError(name)
+        for parent in parents:
+            if parent not in self._classes:
+                raise UnknownClassError(parent)
+        cdef = ClassDef(
+            name,
+            tuple(parents),
+            _normalize_attributes(name, attributes),
+            kind,
+            doc,
+        )
+        self._classes[name] = cdef
+        return cdef
+
+    def define_attribute(
+        self,
+        class_name: str,
+        attribute: str,
+        declared_type=None,
+        procedure: Optional[Callable] = None,
+        arity: int = 0,
+    ) -> AttributeDef:
+        """Add (or override) an attribute on an existing class.
+
+        With ``procedure`` the attribute is computed; otherwise stored.
+        Mirrors the paper's declaration
+        ``attribute A {of type T} in class C {has value V}``.
+        """
+        cdef = self.require(class_name)
+        if declared_type is not None:
+            declared_type = type_from_signature(declared_type)
+        kind = (
+            AttributeKind.COMPUTED
+            if procedure is not None
+            else AttributeKind.STORED
+        )
+        adef = AttributeDef(
+            attribute, declared_type, kind, procedure, arity, class_name
+        )
+        cdef.attributes[attribute] = adef
+        return adef
+
+    def add_parent(self, class_name: str, parent: str) -> None:
+        """Add a superclass edge, refusing cycles.
+
+        Hierarchy inference for virtual classes (§4.2) uses this to
+        insert classes into the middle of the hierarchy.
+        """
+        cdef = self.require(class_name)
+        self.require(parent)
+        if parent in cdef.parents:
+            return
+        if self.isa(parent, class_name):
+            raise HierarchyCycleError(
+                f"making {parent!r} a superclass of {class_name!r}"
+                " would create a cycle"
+            )
+        cdef.parents = cdef.parents + (parent,)
+
+    def remove_parent(self, class_name: str, parent: str) -> None:
+        cdef = self.require(class_name)
+        cdef.parents = tuple(p for p in cdef.parents if p != parent)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self):
+        return iter(self._classes.values())
+
+    def class_names(self) -> List[str]:
+        return list(self._classes)
+
+    def get(self, name: str) -> Optional[ClassDef]:
+        return self._classes.get(name)
+
+    def require(self, name: str) -> ClassDef:
+        cdef = self._classes.get(name)
+        if cdef is None:
+            raise UnknownClassError(name)
+        return cdef
+
+    # ------------------------------------------------------------------
+    # Hierarchy queries
+    # ------------------------------------------------------------------
+
+    def direct_parents(self, name: str) -> Tuple[str, ...]:
+        return self.require(name).parents
+
+    def direct_children(self, name: str) -> List[str]:
+        self.require(name)
+        return [
+            cdef.name
+            for cdef in self._classes.values()
+            if name in cdef.parents
+        ]
+
+    def ancestors(self, name: str) -> List[str]:
+        """All strict superclasses, nearest first (BFS order)."""
+        self.require(name)
+        seen: List[str] = []
+        frontier = list(self.require(name).parents)
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            frontier.extend(self.require(current).parents)
+        return seen
+
+    def descendants(self, name: str) -> List[str]:
+        """All strict subclasses (BFS order)."""
+        self.require(name)
+        seen: List[str] = []
+        frontier = self.direct_children(name)
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            frontier.extend(self.direct_children(current))
+        return seen
+
+    def isa(self, sub: str, sup: str) -> bool:
+        """True if ``sub`` equals ``sup`` or is a transitive subclass."""
+        if sub == sup:
+            return sub in self._classes
+        if sub not in self._classes or sup not in self._classes:
+            return False
+        return sup in self.ancestors(sub)
+
+    def roots(self) -> List[str]:
+        return [c.name for c in self._classes.values() if not c.parents]
+
+    def least_common_superclasses(
+        self, first: str, second: str
+    ) -> Sequence[str]:
+        """Minimal common superclasses of two classes.
+
+        Used by the type lattice to take LUBs of class types.
+        """
+        if first not in self._classes or second not in self._classes:
+            return []
+        common = set([first] + self.ancestors(first)) & set(
+            [second] + self.ancestors(second)
+        )
+        minimal = [
+            c
+            for c in common
+            if not any(
+                other != c and self.isa(other, c) for other in common
+            )
+        ]
+        return sorted(minimal)
+
+    def linearize(self, name: str) -> List[str]:
+        """Attribute-resolution order: the class, then superclasses.
+
+        Uses C3 linearization when it exists, otherwise a deterministic
+        BFS fallback (the paper does not fix a policy; C3 matches what
+        the O₂ successor systems adopted).
+        """
+        self.require(name)
+        try:
+            return self._c3(name)
+        except SchemaError:
+            return [name] + self.ancestors(name)
+
+    def _c3(self, name: str) -> List[str]:
+        parents = list(self.require(name).parents)
+        if not parents:
+            return [name]
+        sequences = [self._c3(p) for p in parents] + [parents]
+        return [name] + self._c3_merge(sequences)
+
+    @staticmethod
+    def _c3_merge(sequences: List[List[str]]) -> List[str]:
+        result: List[str] = []
+        sequences = [list(s) for s in sequences if s]
+        while sequences:
+            head = None
+            for seq in sequences:
+                candidate = seq[0]
+                if not any(
+                    candidate in other[1:] for other in sequences
+                ):
+                    head = candidate
+                    break
+            if head is None:
+                raise SchemaError("inconsistent hierarchy (C3 failed)")
+            result.append(head)
+            sequences = [
+                [c for c in seq if c != head] for seq in sequences
+            ]
+            sequences = [seq for seq in sequences if seq]
+        return result
+
+    # ------------------------------------------------------------------
+    # Attribute resolution (downward inheritance)
+    # ------------------------------------------------------------------
+
+    def resolve_attribute(
+        self, class_name: str, attribute: str
+    ) -> AttributeDef:
+        """Find the effective definition of ``attribute`` for the class.
+
+        Walks the linearization; the nearest definition wins — this is
+        the standard downward inheritance with overriding.
+        """
+        for cls in self.linearize(class_name):
+            adef = self.require(cls).own_attribute(attribute)
+            if adef is not None:
+                return adef
+        raise UnknownAttributeError(class_name, attribute)
+
+    def attributes_of(self, class_name: str) -> Dict[str, AttributeDef]:
+        """All effective attributes of a class, resolution applied."""
+        result: Dict[str, AttributeDef] = {}
+        for cls in reversed(self.linearize(class_name)):
+            for name, adef in self.require(cls).attributes.items():
+                result[name] = adef
+        return result
+
+    def stored_attributes_of(
+        self, class_name: str
+    ) -> Dict[str, AttributeDef]:
+        return {
+            name: adef
+            for name, adef in self.attributes_of(class_name).items()
+            if not adef.is_computed()
+        }
+
+    def tuple_type_of(self, class_name: str) -> TupleType:
+        """The tuple type of a class: all typed effective attributes."""
+        fields: Dict[str, Type] = {}
+        for name, adef in self.attributes_of(class_name).items():
+            if adef.declared_type is not None:
+                fields[name] = adef.declared_type
+        return TupleType(fields)
+
+    def class_type(self, class_name: str) -> ClassType:
+        self.require(class_name)
+        return ClassType(class_name)
+
+    # ------------------------------------------------------------------
+    # Copying (views derive their schema from base schemas)
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Schema":
+        clone = Schema()
+        for name, cdef in self._classes.items():
+            clone._classes[name] = cdef.copy()
+        return clone
+
+    def copy_classes_from(
+        self, other: "Schema", names: Optional[Iterable[str]] = None
+    ) -> None:
+        """Import class definitions (with their subclasses) from another
+        schema. Importing a class makes its whole subtree visible, per
+        §3 of the paper ("when classes are imported, they become visible
+        together with their subclasses").
+        """
+        if names is None:
+            wanted = set(other.class_names())
+        else:
+            wanted = set()
+            for name in names:
+                other.require(name)
+                wanted.add(name)
+                wanted.update(other.descendants(name))
+        # Parents outside the imported set must come along too, or the
+        # DAG would dangle; they are imported transitively.
+        frontier = list(wanted)
+        while frontier:
+            current = frontier.pop()
+            for parent in other.require(current).parents:
+                if parent not in wanted:
+                    wanted.add(parent)
+                    frontier.append(parent)
+        for name in wanted:
+            if name not in self._classes:
+                self._classes[name] = other.require(name).copy()

@@ -1,0 +1,412 @@
+"""The type lattice of the O₂-style data model.
+
+Types are immutable and hashable. The lattice has:
+
+- ``ANY`` at the top and ``NOTHING`` at the bottom;
+- atom types (``string``, ``integer``, ``real``, ``boolean``, plus
+  user-declared atoms such as ``dollar``), with ``integer <: real``;
+- tuple types with *width and depth* subtyping — a tuple type with more
+  attributes is a subtype, exactly the relation the paper's ``like``
+  construct needs ("group all classes whose type is at least as specific
+  as the type of B. Such a class may have more attributes than B, but not
+  fewer");
+- covariant set and list types;
+- class types, whose subtyping is delegated to a :class:`TypeContext`
+  (normally a schema) via its ``isa`` relation.
+
+The module also implements least upper bounds (:func:`lub`), which §4.3
+of the paper uses for upward inheritance: a virtual class acquires an
+attribute only when the member types have a least upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import NoLeastUpperBoundError, TypeSystemError
+
+
+class Type:
+    """Abstract base of all types. Instances are immutable."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class AnyType(Type):
+    """Top of the lattice: every type is a subtype of ``ANY``."""
+
+    __slots__ = ()
+    _instance: Optional["AnyType"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def describe(self) -> str:
+        return "any"
+
+
+class NothingType(Type):
+    """Bottom of the lattice: ``NOTHING`` is a subtype of every type.
+
+    It is the element type of an empty set literal and the identity of
+    :func:`lub`.
+    """
+
+    __slots__ = ()
+    _instance: Optional["NothingType"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def describe(self) -> str:
+        return "nothing"
+
+
+ANY = AnyType()
+NOTHING = NothingType()
+
+
+class AtomType(Type):
+    """A named atomic type such as ``string`` or ``dollar``.
+
+    Atom instances are interned: ``AtomType("string") is STRING``.
+    """
+
+    __slots__ = ("name",)
+    _interned: Dict[str, "AtomType"] = {}
+
+    def __new__(cls, name: str):
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        instance = super().__new__(cls)
+        object.__setattr__(instance, "name", name)
+        cls._interned[name] = instance
+        return instance
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("AtomType is immutable")
+
+    def describe(self) -> str:
+        return self.name
+
+
+STRING = AtomType("string")
+INTEGER = AtomType("integer")
+REAL = AtomType("real")
+BOOLEAN = AtomType("boolean")
+
+#: Built-in widening: integer may be used where real is expected.
+_ATOM_WIDENING = {(INTEGER, REAL)}
+
+
+class TupleType(Type):
+    """A tuple type ``[a1: T1, ..., an: Tn]``.
+
+    Field order is not significant for equality; fields are stored sorted
+    by name so equal tuple types hash equally.
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Mapping[str, Type]):
+        for name, ftype in fields.items():
+            if not isinstance(ftype, Type):
+                raise TypeSystemError(
+                    f"tuple field {name!r} is not a Type: {ftype!r}"
+                )
+        object.__setattr__(
+            self, "fields", tuple(sorted(fields.items()))
+        )
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("TupleType is immutable")
+
+    def field_map(self) -> Dict[str, Type]:
+        return dict(self.fields)
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def field_type(self, name: str) -> Optional[Type]:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        return None
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TupleType) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(("tuple", self.fields))
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            f"{name}: {ftype.describe()}" for name, ftype in self.fields
+        )
+        return f"[{inner}]"
+
+
+class SetType(Type):
+    """A set type ``{T}`` (covariant in its element type)."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type):
+        if not isinstance(element, Type):
+            raise TypeSystemError(f"set element is not a Type: {element!r}")
+        object.__setattr__(self, "element", element)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("SetType is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SetType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("set", self.element))
+
+    def describe(self) -> str:
+        return f"{{{self.element.describe()}}}"
+
+
+class ListType(Type):
+    """A list type ``<T>`` (covariant in its element type)."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type):
+        if not isinstance(element, Type):
+            raise TypeSystemError(f"list element is not a Type: {element!r}")
+        object.__setattr__(self, "element", element)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("ListType is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ListType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("list", self.element))
+
+    def describe(self) -> str:
+        return f"<{self.element.describe()}>"
+
+
+class ClassType(Type):
+    """A reference to a class; its values are oids of members.
+
+    Subtyping between class types is the ``isa`` relation of the schema,
+    supplied through a :class:`TypeContext`.
+    """
+
+    __slots__ = ("class_name",)
+
+    def __init__(self, class_name: str):
+        object.__setattr__(self, "class_name", class_name)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability
+        raise AttributeError("ClassType is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ClassType)
+            and self.class_name == other.class_name
+        )
+
+    def __hash__(self) -> int:
+        return hash(("class", self.class_name))
+
+    def describe(self) -> str:
+        return self.class_name
+
+
+class TypeContext:
+    """Resolves class-type subtyping questions.
+
+    The default context knows nothing: class types relate only to
+    themselves. A schema provides a richer context.
+    """
+
+    def isa(self, sub: str, sup: str) -> bool:
+        """True if class ``sub`` is ``sup`` or a (transitive) subclass."""
+        return sub == sup
+
+    def least_common_superclasses(
+        self, first: str, second: str
+    ) -> Sequence[str]:
+        """Minimal common superclasses of the two classes (maybe empty)."""
+        if first == second:
+            return [first]
+        return []
+
+
+EMPTY_CONTEXT = TypeContext()
+
+
+def is_subtype(sub: Type, sup: Type, ctx: TypeContext = EMPTY_CONTEXT) -> bool:
+    """True if ``sub`` may be used wherever ``sup`` is expected."""
+    if isinstance(sub, NothingType) or isinstance(sup, AnyType):
+        return True
+    if isinstance(sub, AnyType) or isinstance(sup, NothingType):
+        return False
+    if isinstance(sub, AtomType) and isinstance(sup, AtomType):
+        return sub is sup or (sub, sup) in _ATOM_WIDENING
+    if isinstance(sub, TupleType) and isinstance(sup, TupleType):
+        sub_fields = sub.field_map()
+        for name, sup_field in sup.fields:
+            sub_field = sub_fields.get(name)
+            if sub_field is None or not is_subtype(sub_field, sup_field, ctx):
+                return False
+        return True
+    if isinstance(sub, SetType) and isinstance(sup, SetType):
+        return is_subtype(sub.element, sup.element, ctx)
+    if isinstance(sub, ListType) and isinstance(sup, ListType):
+        return is_subtype(sub.element, sup.element, ctx)
+    if isinstance(sub, ClassType) and isinstance(sup, ClassType):
+        return ctx.isa(sub.class_name, sup.class_name)
+    return False
+
+
+def lub(first: Type, second: Type, ctx: TypeContext = EMPTY_CONTEXT) -> Type:
+    """Least upper bound of two types.
+
+    Raises:
+        NoLeastUpperBoundError: when the two types have no unique least
+            upper bound other than falling back to ``ANY`` would hide a
+            modelling error (e.g. a string and an integer). Upward
+            inheritance (§4.3) treats this as "attribute undefined".
+    """
+    if is_subtype(first, second, ctx):
+        return second
+    if is_subtype(second, first, ctx):
+        return first
+    if isinstance(first, AtomType) and isinstance(second, AtomType):
+        if {first, second} == {INTEGER, REAL}:
+            return REAL
+        raise NoLeastUpperBoundError(
+            f"atoms {first.describe()} and {second.describe()} are unrelated"
+        )
+    if isinstance(first, TupleType) and isinstance(second, TupleType):
+        # The LUB of tuple types keeps the common fields, each at the LUB
+        # of the two field types; fields whose types have no LUB are
+        # dropped (width subtyping makes the result an upper bound).
+        merged: Dict[str, Type] = {}
+        second_fields = second.field_map()
+        for name, ftype in first.fields:
+            other = second_fields.get(name)
+            if other is None:
+                continue
+            try:
+                merged[name] = lub(ftype, other, ctx)
+            except NoLeastUpperBoundError:
+                continue
+        return TupleType(merged)
+    if isinstance(first, SetType) and isinstance(second, SetType):
+        return SetType(lub(first.element, second.element, ctx))
+    if isinstance(first, ListType) and isinstance(second, ListType):
+        return ListType(lub(first.element, second.element, ctx))
+    if isinstance(first, ClassType) and isinstance(second, ClassType):
+        common = ctx.least_common_superclasses(
+            first.class_name, second.class_name
+        )
+        if len(common) == 1:
+            return ClassType(common[0])
+        if len(common) > 1:
+            # Multiple minimal common superclasses: pick deterministically
+            # so inference is stable, preferring the alphabetically first.
+            return ClassType(sorted(common)[0])
+        raise NoLeastUpperBoundError(
+            f"classes {first.class_name!r} and {second.class_name!r}"
+            " share no superclass"
+        )
+    raise NoLeastUpperBoundError(
+        f"{first.describe()} and {second.describe()} have no least"
+        " upper bound"
+    )
+
+
+def lub_all(types: Iterable[Type], ctx: TypeContext = EMPTY_CONTEXT) -> Type:
+    """Least upper bound of an iterable of types (``NOTHING`` if empty)."""
+    result: Type = NOTHING
+    for t in types:
+        result = lub(result, t, ctx)
+    return result
+
+
+def glb(first: Type, second: Type, ctx: TypeContext = EMPTY_CONTEXT) -> Type:
+    """Greatest lower bound for the constructs the library needs.
+
+    Only the cases used by query type-checking (intersecting membership
+    constraints) are implemented; unrelated types meet at ``NOTHING``.
+    """
+    if is_subtype(first, second, ctx):
+        return first
+    if is_subtype(second, first, ctx):
+        return second
+    if isinstance(first, TupleType) and isinstance(second, TupleType):
+        merged = first.field_map()
+        for name, ftype in second.fields:
+            if name in merged:
+                merged[name] = glb(merged[name], ftype, ctx)
+            else:
+                merged[name] = ftype
+        return TupleType(merged)
+    if isinstance(first, SetType) and isinstance(second, SetType):
+        return SetType(glb(first.element, second.element, ctx))
+    return NOTHING
+
+
+def declare_atom(name: str) -> AtomType:
+    """Declare (or fetch) a user atom type such as ``dollar``.
+
+    Once declared, the name is recognised by :func:`type_from_signature`.
+    """
+    return AtomType(name)
+
+
+def type_from_signature(signature) -> Type:
+    """Build a :class:`Type` from a lightweight Python description.
+
+    Accepts a :class:`Type` (returned as is), a string (atom or class
+    name — names of built-in atoms become atoms, anything else a class
+    type), a dict (tuple type), a one-element set (set type), or a
+    one-element list (list type). This keeps example and test code terse::
+
+        type_from_signature({"Name": "string", "Tags": {"string"}})
+    """
+    if isinstance(signature, Type):
+        return signature
+    if isinstance(signature, str):
+        if signature in AtomType._interned:
+            return AtomType(signature)
+        if signature in ("any",):
+            return ANY
+        return ClassType(signature)
+    if isinstance(signature, dict):
+        return TupleType(
+            {name: type_from_signature(v) for name, v in signature.items()}
+        )
+    if isinstance(signature, (set, frozenset)):
+        if len(signature) != 1:
+            raise TypeSystemError(
+                "set signature must contain exactly one element type"
+            )
+        return SetType(type_from_signature(next(iter(signature))))
+    if isinstance(signature, list):
+        if len(signature) != 1:
+            raise TypeSystemError(
+                "list signature must contain exactly one element type"
+            )
+        return ListType(type_from_signature(signature[0]))
+    raise TypeSystemError(f"cannot interpret type signature: {signature!r}")

@@ -1,0 +1,247 @@
+"""The value model and value/type conformance.
+
+Values are ordinary Python data:
+
+====================  =========================================
+Model value           Python representation
+====================  =========================================
+atom                  ``str``, ``bool``, ``int``, ``float``
+object reference      :class:`~repro.engine.oid.Oid`
+tuple value           ``dict`` mapping attribute name → value
+set value             ``set`` / ``frozenset``
+list value            ``list`` / ``tuple``
+====================  =========================================
+
+The module provides conformance checking against the type lattice,
+canonicalisation (a hashable normal form, used by imaginary classes to
+key their tuple→oid table, §5.1 of the paper), and best-effort type
+inference for literals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ValueTypeError
+from .oid import Oid
+from .types import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NOTHING,
+    REAL,
+    STRING,
+    AnyType,
+    AtomType,
+    ClassType,
+    ListType,
+    NothingType,
+    SetType,
+    TupleType,
+    Type,
+    TypeContext,
+    EMPTY_CONTEXT,
+    lub,
+)
+
+#: Signature of the resolver mapping an oid to the name of the class the
+#: object is *real* in (unique-root rule). ``None`` means "unknown".
+ClassOf = Callable[[Oid], Optional[str]]
+
+
+def _no_class_of(_oid: Oid) -> Optional[str]:
+    return None
+
+
+def conforms(
+    value,
+    expected: Type,
+    ctx: TypeContext = EMPTY_CONTEXT,
+    class_of: ClassOf = _no_class_of,
+) -> bool:
+    """True if ``value`` is a legal inhabitant of ``expected``.
+
+    Tuple conformance uses width subtyping: the value may carry extra
+    attributes beyond those the type declares.
+    """
+    if isinstance(expected, AnyType):
+        return True
+    if isinstance(expected, NothingType):
+        return False
+    if isinstance(expected, AtomType):
+        if expected is STRING:
+            return isinstance(value, str)
+        if expected is BOOLEAN:
+            return isinstance(value, bool)
+        if expected is INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if expected is REAL:
+            return (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            )
+        # User atoms (dollar, date, ...) admit ints, floats and strings;
+        # they are distinguished by declaration, not representation.
+        return isinstance(value, (int, float, str)) and not isinstance(
+            value, bool
+        )
+    if isinstance(expected, TupleType):
+        if not isinstance(value, dict):
+            return False
+        for name, ftype in expected.fields:
+            if name not in value:
+                return False
+            if not conforms(value[name], ftype, ctx, class_of):
+                return False
+        return True
+    if isinstance(expected, SetType):
+        if not isinstance(value, (set, frozenset)):
+            return False
+        return all(
+            conforms(item, expected.element, ctx, class_of) for item in value
+        )
+    if isinstance(expected, ListType):
+        if not isinstance(value, (list, tuple)):
+            return False
+        return all(
+            conforms(item, expected.element, ctx, class_of) for item in value
+        )
+    if isinstance(expected, ClassType):
+        if not isinstance(value, Oid):
+            return False
+        actual = class_of(value)
+        if actual is None:
+            # Unknown membership: accept; the database layer re-checks
+            # when it can resolve the oid.
+            return True
+        return ctx.isa(actual, expected.class_name)
+    raise ValueTypeError(f"unsupported type: {expected!r}")
+
+
+def require_conforms(
+    value,
+    expected: Type,
+    ctx: TypeContext = EMPTY_CONTEXT,
+    class_of: ClassOf = _no_class_of,
+    label: str = "value",
+) -> None:
+    """Raise :class:`ValueTypeError` unless ``value`` conforms."""
+    if not conforms(value, expected, ctx, class_of):
+        raise ValueTypeError(
+            f"{label} {format_value(value)} does not conform to type"
+            f" {expected.describe()}"
+        )
+
+
+def canonicalize(value):
+    """Return a hashable canonical form of a model value.
+
+    Two values are equal as model values iff their canonical forms are
+    equal. Imaginary classes key their identity table on this form, which
+    is what guarantees "the same tuple will be assigned the same oid each
+    time the class is invoked" (§5.1).
+    """
+    if isinstance(value, dict):
+        return (
+            "t",
+            tuple(
+                (name, canonicalize(value[name])) for name in sorted(value)
+            ),
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("s", frozenset(canonicalize(item) for item in value))
+    if isinstance(value, (list, tuple)):
+        return ("l", tuple(canonicalize(item) for item in value))
+    if isinstance(value, Oid):
+        return ("o", value.space, value.number)
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        # 1 and 1.0 are the same model number.
+        return ("n", float(value))
+    if isinstance(value, str):
+        return ("a", value)
+    if value is None:
+        return ("z",)
+    raise ValueTypeError(f"value is not a model value: {value!r}")
+
+
+def infer_type(
+    value,
+    ctx: TypeContext = EMPTY_CONTEXT,
+    class_of: ClassOf = _no_class_of,
+) -> Type:
+    """Best-effort type of a literal value.
+
+    Oids become class types when the resolver knows their class, else
+    ``ANY``. Heterogeneous collections get the LUB of their element
+    types, falling back to ``ANY`` when no LUB exists.
+    """
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return REAL
+    if isinstance(value, str):
+        return STRING
+    if isinstance(value, Oid):
+        name = class_of(value)
+        return ClassType(name) if name is not None else ANY
+    if isinstance(value, dict):
+        return TupleType(
+            {
+                name: infer_type(item, ctx, class_of)
+                for name, item in value.items()
+            }
+        )
+    if isinstance(value, (set, frozenset)):
+        return SetType(_element_lub(value, ctx, class_of))
+    if isinstance(value, (list, tuple)):
+        return ListType(_element_lub(value, ctx, class_of))
+    if value is None:
+        return NOTHING
+    raise ValueTypeError(f"value is not a model value: {value!r}")
+
+
+def _element_lub(items, ctx: TypeContext, class_of: ClassOf) -> Type:
+    element: Type = NOTHING
+    for item in items:
+        try:
+            element = lub(element, infer_type(item, ctx, class_of), ctx)
+        except Exception:
+            return ANY
+    return element
+
+
+def format_value(value) -> str:
+    """Human-readable rendering used in error messages and examples."""
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"{name}: {format_value(value[name])}" for name in sorted(value)
+        )
+        return f"[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ", ".join(sorted(format_value(item) for item in value))
+        return f"{{{inner}}}"
+    if isinstance(value, (list, tuple)):
+        inner = ", ".join(format_value(item) for item in value)
+        return f"<{inner}>"
+    if isinstance(value, Oid):
+        return repr(value)
+    if isinstance(value, str):
+        return repr(value)
+    return str(value)
+
+
+def deep_copy_value(value):
+    """Structural copy of a model value (oids are shared, not copied)."""
+    if isinstance(value, dict):
+        return {name: deep_copy_value(item) for name, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return {deep_copy_value(item) for item in value}
+    if isinstance(value, list):
+        return [deep_copy_value(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(deep_copy_value(item) for item in value)
+    return value

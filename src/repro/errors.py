@@ -1,0 +1,188 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Subsystems add narrower classes:
+schema errors, type errors, query errors, view errors, storage errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema operation: unknown class, duplicate class, cycle."""
+
+
+class UnknownClassError(SchemaError):
+    """A class name was referenced but is not defined in the schema."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown class: {name!r}")
+        self.name = name
+
+
+class DuplicateClassError(SchemaError):
+    """A class with the same name is already defined."""
+
+    def __init__(self, name: str):
+        super().__init__(f"class already defined: {name!r}")
+        self.name = name
+
+
+class HierarchyCycleError(SchemaError):
+    """A subclass declaration would create a cycle in the class DAG."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute was referenced but is not defined for the class."""
+
+    def __init__(self, class_name: str, attribute: str):
+        super().__init__(
+            f"class {class_name!r} has no attribute {attribute!r}"
+        )
+        self.class_name = class_name
+        self.attribute = attribute
+
+
+class TypeSystemError(ReproError):
+    """Type mismatch, failed inference, or invalid type construction."""
+
+
+class NoLeastUpperBoundError(TypeSystemError):
+    """Two types have no least upper bound in the lattice."""
+
+
+class ValueTypeError(TypeSystemError):
+    """A value does not conform to its declared type."""
+
+
+class ObjectError(ReproError):
+    """Invalid object operation."""
+
+
+class UnknownOidError(ObjectError):
+    """An oid was dereferenced but no object carries it."""
+
+    def __init__(self, oid):
+        super().__init__(f"unknown oid: {oid}")
+        self.oid = oid
+
+
+class UniqueRootViolationError(ObjectError):
+    """An operation would make an object real in more than one class."""
+
+
+class QueryError(ReproError):
+    """Error while parsing, type-checking, or evaluating a query."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text failed to parse."""
+
+    def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryTypeError(QueryError):
+    """The query failed static type checking."""
+
+
+class NonUniqueResultError(QueryError):
+    """``select the`` found zero or more than one result."""
+
+    def __init__(self, count: int):
+        super().__init__(
+            f"'select the' expected exactly one result, found {count}"
+        )
+        self.count = count
+
+
+class ViewError(ReproError):
+    """Invalid view definition or use."""
+
+
+class HiddenAttributeError(ViewError):
+    """A hidden attribute was accessed through a view."""
+
+    def __init__(self, class_name: str, attribute: str):
+        super().__init__(
+            f"attribute {attribute!r} of class {class_name!r} is hidden"
+            " in this view"
+        )
+        self.class_name = class_name
+        self.attribute = attribute
+
+
+class VirtualClassError(ViewError):
+    """Invalid virtual class definition."""
+
+
+class DirectInsertionError(ViewError):
+    """Objects cannot be inserted directly into a virtual class."""
+
+    def __init__(self, class_name: str):
+        super().__init__(
+            f"cannot insert directly into virtual class {class_name!r};"
+            " its population is defined by its declaration"
+        )
+        self.class_name = class_name
+
+
+class SchizophreniaError(ViewError):
+    """A method resolution conflict with no applicable policy."""
+
+    def __init__(self, attribute: str, classes):
+        names = ", ".join(sorted(classes))
+        super().__init__(
+            f"schizophrenia: attribute {attribute!r} is defined in"
+            f" incomparable classes [{names}] and no resolution policy"
+            " applies"
+        )
+        self.attribute = attribute
+        self.classes = tuple(classes)
+
+
+class ImaginaryObjectError(ViewError):
+    """Invalid operation on an imaginary object or class."""
+
+
+class ViewUpdateError(ViewError):
+    """An update through a view could not be translated to the base."""
+
+
+class ReadOnlyAttributeError(ViewUpdateError):
+    """A computed attribute without an update translator was assigned."""
+
+    def __init__(self, class_name: str, attribute: str):
+        super().__init__(
+            f"computed attribute {class_name}.{attribute} has no update"
+            " translator; it is read-only through this view"
+        )
+        self.class_name = class_name
+        self.attribute = attribute
+
+
+class LanguageError(ReproError):
+    """Error while parsing or executing view-definition statements."""
+
+
+class StorageError(ReproError):
+    """Persistence-layer failure."""
+
+
+class SerializationError(StorageError):
+    """A value could not be encoded or decoded."""
+
+
+class TransactionError(StorageError):
+    """Invalid transaction state transition."""
+
+
+class RelationalError(ReproError):
+    """Error in the relational substrate."""

@@ -1,0 +1,58 @@
+"""The view-definition language: the paper's DDL, parsed and executed.
+
+Example::
+
+    from repro.lang import Catalog, run_script
+
+    result = run_script('''
+        create view My_View;
+        import all classes from database Staff;
+        class Adult includes (select P from Person where P.Age >= 21);
+        hide attribute Income in class Person;
+    ''', Catalog(staff_db))
+    adults = result.view.handles("Adult")
+"""
+
+from .ast import (
+    AttributeStatement,
+    ClassIncludes,
+    ClassSpec,
+    CreateView,
+    HideAttributes,
+    HideClass,
+    ImportAll,
+    ImportClasses,
+    MemberSpec,
+    ResolvePriority,
+    Script,
+    Statement,
+    TypeExpr,
+)
+from .decompile import decompile_view
+from .executor import Catalog, ScriptResult, run_script
+from .parser import parse_script, parse_statement
+from .printer import format_script, format_statement
+
+__all__ = [
+    "AttributeStatement",
+    "Catalog",
+    "ClassIncludes",
+    "ClassSpec",
+    "CreateView",
+    "HideAttributes",
+    "HideClass",
+    "ImportAll",
+    "ImportClasses",
+    "MemberSpec",
+    "ResolvePriority",
+    "Script",
+    "ScriptResult",
+    "Statement",
+    "TypeExpr",
+    "decompile_view",
+    "format_script",
+    "format_statement",
+    "parse_script",
+    "parse_statement",
+    "run_script",
+]

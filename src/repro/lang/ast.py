@@ -1,0 +1,119 @@
+"""Statement AST of the view-definition language.
+
+One dataclass per statement kind of the paper's DDL (§3–§5):
+``create view``, ``import``, ``hide``, ``attribute … has value …``,
+``class … includes …`` (with optional parameters, ``like`` members and
+``imaginary`` members), plus spec-class declarations
+(``class B has attribute A of type T``) and a resolution-priority
+statement for schizophrenia policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..query.ast import Expr, Select
+
+
+class Statement:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CreateView(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class ImportAll(Statement):
+    """``import all classes from database D``."""
+
+    database: str
+
+
+@dataclass(frozen=True)
+class ImportClasses(Statement):
+    """``import class C1, C2 from database D``."""
+
+    classes: Tuple[str, ...]
+    database: str
+
+
+@dataclass(frozen=True)
+class HideAttributes(Statement):
+    """``hide attribute(s) A1, A2 in class C``."""
+
+    attributes: Tuple[str, ...]
+    class_name: str
+
+
+@dataclass(frozen=True)
+class HideClass(Statement):
+    class_name: str
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    """A surface type expression, resolved by the executor.
+
+    ``kind`` is one of ``name`` (atom or class), ``tuple``, ``set``.
+    """
+
+    kind: str
+    name: str = ""
+    fields: Tuple[Tuple[str, "TypeExpr"], ...] = ()
+    element: Optional["TypeExpr"] = None
+
+
+@dataclass(frozen=True)
+class AttributeStatement(Statement):
+    """``attribute A {of type T} in class C {has value V}``."""
+
+    attribute: str
+    class_name: str
+    declared_type: Optional[TypeExpr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class MemberSpec:
+    """One αi of an includes list.
+
+    ``kind``: ``class`` | ``like`` | ``query`` | ``imaginary``.
+    """
+
+    kind: str
+    class_name: str = ""
+    query: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class ClassIncludes(Statement):
+    """``class C {(P1,...)} includes α1, ..., αn``."""
+
+    name: str
+    parameters: Tuple[str, ...]
+    members: Tuple[MemberSpec, ...]
+
+
+@dataclass(frozen=True)
+class ClassSpec(Statement):
+    """``class B {has attribute A of type T}*`` — a specification class
+    for behavioral generalization (``On_Sale_Spec``)."""
+
+    name: str
+    attributes: Tuple[Tuple[str, TypeExpr], ...]
+
+
+@dataclass(frozen=True)
+class ResolvePriority(Statement):
+    """``resolve A by priority C1, C2`` — schizophrenia policy."""
+
+    attribute: str
+    classes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Script:
+    statements: Tuple[Statement, ...]

@@ -1,0 +1,170 @@
+"""Decompiling views back to view-definition language.
+
+The analogue of SQL's ``SHOW CREATE VIEW``: every definition operation
+a :class:`~repro.core.view.View` performs is recorded in its
+``definition_log``; :func:`decompile_view` renders the log as a script
+that — run against the same catalog — rebuilds an equivalent view.
+
+Definitions only expressible in Python (callable-valued attributes,
+Python predicates, update translators) cannot be textualized; they are
+emitted as ``-- not textual:`` comments so the script is still valid
+and the omission is visible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.population import (
+    ClassMember,
+    ImaginaryMember,
+    LikeMember,
+    PredicateMember,
+    QueryMember,
+)
+from ..engine.types import (
+    AtomType,
+    ClassType,
+    SetType,
+    TupleType,
+    Type,
+)
+from ..query.ast import Expr, Select
+from ..query.builder import SelectBuilder, as_expr
+from ..query.parser import parse_expression
+from ..query.printer import format_expression, format_query
+from .ast import TypeExpr
+from .printer import format_type
+
+
+def decompile_view(view) -> str:
+    """Render a view's definition as view-definition language."""
+    lines: List[str] = [f"create view {view.name};"]
+    for record in view.definition_log:
+        rendered = _render(record)
+        if rendered is not None:
+            lines.append(rendered)
+    return "\n".join(lines)
+
+
+def _render(record: tuple) -> Optional[str]:
+    kind = record[0]
+    if kind == "import_all":
+        return f"import all classes from database {record[1]};"
+    if kind == "import_class":
+        return f"import class {record[2]} from database {record[1]};"
+    if kind == "hide_attribute":
+        return f"hide attribute {record[2]} in class {record[1]};"
+    if kind == "hide_class":
+        return f"hide class {record[1]};"
+    if kind == "define_attribute":
+        return _render_attribute(record)
+    if kind == "define_virtual_class":
+        return _render_class(record)
+    if kind == "define_spec_class":
+        return _render_spec(record)
+    return f"-- unknown definition record: {kind}"
+
+
+def _render_attribute(record: tuple) -> str:
+    _, class_name, attribute, adef, value = record
+    type_clause = ""
+    if adef.declared_type is not None:
+        rendered_type = _render_type(adef.declared_type)
+        if rendered_type is not None:
+            type_clause = f" of type {rendered_type}"
+    expr = _value_expression(value)
+    if value is None:
+        return f"attribute {attribute}{type_clause} in class {class_name};"
+    if expr is None:
+        return (
+            f"-- not textual: attribute {attribute} in class"
+            f" {class_name} has a Python-callable value"
+        )
+    return (
+        f"attribute {attribute}{type_clause} in class {class_name}"
+        f" has value {format_expression(expr)};"
+    )
+
+
+def _value_expression(value) -> Optional[Expr]:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, Select):
+        return as_expr(value)
+    if isinstance(value, SelectBuilder):
+        return as_expr(value)
+    if isinstance(value, str):
+        try:
+            return parse_expression(value)
+        except Exception:
+            return None
+    return None
+
+
+def _render_class(record: tuple) -> str:
+    _, name, members, parameters = record
+    rendered_members: List[str] = []
+    for member in members:
+        if isinstance(member, ClassMember):
+            rendered_members.append(member.class_name)
+        elif isinstance(member, LikeMember):
+            rendered_members.append(f"like {member.spec_class}")
+        elif isinstance(member, QueryMember):
+            rendered_members.append(f"({format_query(member.query)})")
+        elif isinstance(member, ImaginaryMember):
+            rendered_members.append(
+                f"imaginary ({format_query(member.query)})"
+            )
+        elif isinstance(member, PredicateMember):
+            return (
+                f"-- not textual: class {name} includes a Python"
+                f" predicate over {member.source_class}"
+            )
+    header = name
+    if parameters:
+        header += "(" + ", ".join(parameters) + ")"
+    return f"class {header} includes {', '.join(rendered_members)};"
+
+
+def _render_spec(record: tuple) -> str:
+    _, name, cdef = record
+    clauses = []
+    for attr_name, adef in cdef.attributes.items():
+        rendered = (
+            _render_type(adef.declared_type)
+            if adef.declared_type is not None
+            else None
+        )
+        clauses.append(
+            f"has attribute {attr_name} of type {rendered or 'any'}"
+        )
+    return f"class {name} {'; '.join(clauses)};"
+
+
+def _render_type(t: Type) -> Optional[str]:
+    texpr = _type_to_surface(t)
+    if texpr is None:
+        return None
+    return format_type(texpr)
+
+
+def _type_to_surface(t: Type) -> Optional[TypeExpr]:
+    if isinstance(t, AtomType):
+        return TypeExpr("name", name=t.name)
+    if isinstance(t, ClassType):
+        return TypeExpr("name", name=t.class_name)
+    if isinstance(t, SetType):
+        element = _type_to_surface(t.element)
+        if element is None:
+            return None
+        return TypeExpr("set", element=element)
+    if isinstance(t, TupleType):
+        fields: List[Tuple[str, TypeExpr]] = []
+        for name, ftype in t.fields:
+            surface = _type_to_surface(ftype)
+            if surface is None:
+                return None
+            fields.append((name, surface))
+        return TypeExpr("tuple", fields=tuple(fields))
+    return None

@@ -1,0 +1,187 @@
+"""Execution of view-definition scripts against a catalog of databases.
+
+A :class:`Catalog` names the scopes (databases and views) a script may
+import from. :func:`run_script` executes statements in order; ``create
+view`` opens a new current view (and registers it back into the
+catalog, so later scripts can stack views on views, §3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.population import (
+    ClassMember,
+    ImaginaryMember,
+    LikeMember,
+    Member,
+    QueryMember,
+)
+from ..core.view import View
+from ..engine.types import AtomType, ClassType, SetType, TupleType, Type
+from ..errors import LanguageError
+from .ast import (
+    AttributeStatement,
+    ClassIncludes,
+    ClassSpec,
+    CreateView,
+    HideAttributes,
+    HideClass,
+    ImportAll,
+    ImportClasses,
+    MemberSpec,
+    ResolvePriority,
+    Script,
+    Statement,
+    TypeExpr,
+)
+from .parser import parse_script
+
+
+class Catalog:
+    """Named scopes a script can import from."""
+
+    def __init__(self, *scopes):
+        self._scopes: Dict[str, object] = {}
+        for scope in scopes:
+            self.register(scope)
+
+    def register(self, scope) -> None:
+        self._scopes[scope.scope_name] = scope
+
+    def get(self, name: str):
+        scope = self._scopes.get(name)
+        if scope is None:
+            raise LanguageError(f"unknown database: {name!r}")
+        return scope
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scopes
+
+    def names(self) -> List[str]:
+        return sorted(self._scopes)
+
+
+class ScriptResult:
+    """Views created by a script, in creation order."""
+
+    def __init__(self):
+        self.views: List[View] = []
+
+    @property
+    def view(self) -> View:
+        """The last created view (the common single-view case)."""
+        if not self.views:
+            raise LanguageError("the script created no view")
+        return self.views[-1]
+
+
+def run_script(script, catalog: Catalog, view: Optional[View] = None) -> ScriptResult:
+    """Execute a script (text or parsed :class:`Script`).
+
+    ``view`` supplies an initial current view, letting scripts extend a
+    view built programmatically.
+    """
+    if isinstance(script, str):
+        script = parse_script(script)
+    result = ScriptResult()
+    current = view
+    for statement in script.statements:
+        current = _execute(statement, catalog, current, result)
+    return result
+
+
+def _execute(
+    statement: Statement,
+    catalog: Catalog,
+    current: Optional[View],
+    result: ScriptResult,
+) -> Optional[View]:
+    if isinstance(statement, CreateView):
+        view = View(statement.name)
+        catalog.register(view)
+        result.views.append(view)
+        return view
+    view = _require_view(current, statement)
+    if isinstance(statement, ImportAll):
+        view.import_database(catalog.get(statement.database))
+    elif isinstance(statement, ImportClasses):
+        source = catalog.get(statement.database)
+        for name in statement.classes:
+            view.import_class(source, name)
+    elif isinstance(statement, HideAttributes):
+        for attribute in statement.attributes:
+            view.hide_attribute(statement.class_name, attribute)
+    elif isinstance(statement, HideClass):
+        view.hide_class(statement.class_name)
+    elif isinstance(statement, AttributeStatement):
+        declared = (
+            _resolve_type(statement.declared_type, view)
+            if statement.declared_type is not None
+            else None
+        )
+        view.define_attribute(
+            statement.class_name,
+            statement.attribute,
+            declared_type=declared,
+            value=statement.value,
+        )
+    elif isinstance(statement, ClassSpec):
+        _define_spec_class(statement, view)
+    elif isinstance(statement, ClassIncludes):
+        members = [_to_member(m) for m in statement.members]
+        view.define_virtual_class(
+            statement.name, members, parameters=statement.parameters
+        )
+    elif isinstance(statement, ResolvePriority):
+        view.resolver.set_priority(
+            list(statement.classes), attribute=statement.attribute
+        )
+    else:
+        raise LanguageError(f"unknown statement: {statement!r}")
+    return view
+
+
+def _require_view(current: Optional[View], statement: Statement) -> View:
+    if current is None:
+        raise LanguageError(
+            f"statement {type(statement).__name__} before 'create view'"
+        )
+    return current
+
+
+def _to_member(spec: MemberSpec) -> Member:
+    if spec.kind == "class":
+        return ClassMember(spec.class_name)
+    if spec.kind == "like":
+        return LikeMember(spec.class_name)
+    if spec.kind == "query":
+        return QueryMember(spec.query)
+    if spec.kind == "imaginary":
+        return ImaginaryMember(spec.query)
+    raise LanguageError(f"unknown member kind: {spec.kind!r}")
+
+
+def _define_spec_class(statement: ClassSpec, view: View) -> None:
+    """A specification class (``On_Sale_Spec``): a schema-only class
+    carrying the attributes behavioral generalization matches on."""
+    attributes = {
+        name: _resolve_type(texpr, view)
+        for name, texpr in statement.attributes
+    }
+    view.define_spec_class(statement.name, attributes)
+
+
+def _resolve_type(texpr: TypeExpr, view: View) -> Type:
+    if texpr.kind == "name":
+        if view.has_class(texpr.name):
+            return ClassType(texpr.name)
+        # Unknown names declare atoms ('dollar' in the paper).
+        return AtomType(texpr.name)
+    if texpr.kind == "tuple":
+        return TupleType(
+            {name: _resolve_type(f, view) for name, f in texpr.fields}
+        )
+    if texpr.kind == "set":
+        return SetType(_resolve_type(texpr.element, view))
+    raise LanguageError(f"unknown type expression: {texpr!r}")

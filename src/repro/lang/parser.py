@@ -1,0 +1,245 @@
+"""Parser of the view-definition language.
+
+Statements are separated by semicolons. The grammar follows the paper's
+examples closely — each of Examples 1–6 parses verbatim (modulo ASCII
+spellings of ≥/≤):
+
+.. code-block:: text
+
+    create view My_View;
+    import all classes from database Chrysler;
+    import class Person from database Ford;
+    hide attribute Salary in class Employee;
+    hide attributes City, Street, Number in class Person;
+    attribute Address in class Person has value
+        [City: self.City, Street: self.Street, Zip_Code: self.Zip_Code];
+    class Adult includes (select P from Person where P.Age >= 21);
+    class Ship includes Tanker, Cruiser, Trawler;
+    class On_Sale_Spec
+        has attribute Price of type dollar;
+        has attribute Discount of type integer;
+    class On_Sale includes like On_Sale_Spec;
+    class Adult(A) includes (select P from Person where P.Age > A);
+    class Family includes imaginary
+        (select [Husband: H, Wife: H.Spouse]
+         from H in Person where H.Sex = 'male');
+    resolve Print by priority Rich, Senior;
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..query.lexer import TokenStream, tokenize
+from ..query.parser import parse_expression_stream, parse_query_stream
+from .ast import (
+    AttributeStatement,
+    ClassIncludes,
+    ClassSpec,
+    CreateView,
+    HideAttributes,
+    HideClass,
+    ImportAll,
+    ImportClasses,
+    MemberSpec,
+    ResolvePriority,
+    Script,
+    Statement,
+    TypeExpr,
+)
+
+
+def parse_script(text: str) -> Script:
+    """Parse a whole view-definition script."""
+    stream = TokenStream(tokenize(text))
+    statements: List[Statement] = []
+    while not stream.at_end():
+        if stream.accept_op(";"):
+            continue
+        statements.append(_parse_statement(stream))
+        if not stream.at_end():
+            stream.expect_op(";")
+    return Script(tuple(statements))
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single statement (trailing semicolon optional)."""
+    stream = TokenStream(tokenize(text))
+    statement = _parse_statement(stream)
+    stream.accept_op(";")
+    if not stream.at_end():
+        raise stream.error("unexpected input after statement")
+    return statement
+
+
+def _parse_statement(stream: TokenStream) -> Statement:
+    token = stream.peek()
+    if token.is_keyword("create"):
+        return _parse_create(stream)
+    if token.is_keyword("import"):
+        return _parse_import(stream)
+    if token.is_keyword("hide"):
+        return _parse_hide(stream)
+    if token.is_keyword("attribute"):
+        return _parse_attribute(stream)
+    if token.is_keyword("class"):
+        return _parse_class(stream)
+    if token.is_keyword("resolve"):
+        return _parse_resolve(stream)
+    raise stream.error(f"expected a statement, found {token.text!r}")
+
+
+def _parse_create(stream: TokenStream) -> CreateView:
+    stream.expect_keyword("create")
+    stream.expect_keyword("view")
+    return CreateView(stream.expect_ident().text)
+
+
+def _parse_import(stream: TokenStream) -> Statement:
+    stream.expect_keyword("import")
+    if stream.accept_keyword("all"):
+        stream.expect_keyword("classes")
+        stream.expect_keyword("from")
+        stream.expect_keyword("database")
+        return ImportAll(stream.expect_ident().text)
+    if stream.accept_keyword("class") or stream.accept_keyword("classes"):
+        names = [stream.expect_ident().text]
+        while stream.accept_op(","):
+            names.append(stream.expect_ident().text)
+        stream.expect_keyword("from")
+        stream.expect_keyword("database")
+        return ImportClasses(tuple(names), stream.expect_ident().text)
+    raise stream.error("expected 'all classes' or 'class' after import")
+
+
+def _parse_hide(stream: TokenStream) -> Statement:
+    stream.expect_keyword("hide")
+    if stream.accept_keyword("class"):
+        return HideClass(stream.expect_ident().text)
+    if not (
+        stream.accept_keyword("attribute")
+        or stream.accept_keyword("attributes")
+    ):
+        raise stream.error("expected 'attribute(s)' or 'class' after hide")
+    names = [stream.expect_ident().text]
+    while stream.accept_op(","):
+        names.append(stream.expect_ident().text)
+    stream.expect_keyword("in")
+    stream.expect_keyword("class")
+    return HideAttributes(tuple(names), stream.expect_ident().text)
+
+
+def _parse_attribute(stream: TokenStream) -> AttributeStatement:
+    stream.expect_keyword("attribute")
+    attribute = stream.expect_ident().text
+    declared_type = None
+    if stream.accept_keyword("of"):
+        stream.expect_keyword("type")
+        declared_type = _parse_type(stream)
+    stream.expect_keyword("in")
+    stream.expect_keyword("class")
+    class_name = stream.expect_ident().text
+    value = None
+    if stream.accept_keyword("has"):
+        stream.expect_keyword("value")
+        value = parse_expression_stream(stream)
+    return AttributeStatement(attribute, class_name, declared_type, value)
+
+
+def _parse_class(stream: TokenStream) -> Statement:
+    stream.expect_keyword("class")
+    name = stream.expect_ident().text
+    parameters: List[str] = []
+    if stream.accept_op("("):
+        parameters.append(stream.expect_ident().text)
+        while stream.accept_op(","):
+            parameters.append(stream.expect_ident().text)
+        stream.expect_op(")")
+    if stream.peek().is_keyword("has"):
+        return _parse_class_spec(stream, name)
+    stream.expect_keyword("includes")
+    members = [_parse_member(stream)]
+    while stream.accept_op(","):
+        members.append(_parse_member(stream))
+    return ClassIncludes(name, tuple(parameters), tuple(members))
+
+
+def _parse_class_spec(stream: TokenStream, name: str) -> ClassSpec:
+    """``class B has attribute A of type T; has attribute ...``
+
+    The semicolon-plus-``has`` continuation mirrors the paper's layout
+    of ``On_Sale_Spec``.
+    """
+    attributes: List[Tuple[str, TypeExpr]] = []
+    while True:
+        stream.expect_keyword("has")
+        stream.expect_keyword("attribute")
+        attribute = stream.expect_ident().text
+        stream.expect_keyword("of")
+        stream.expect_keyword("type")
+        attributes.append((attribute, _parse_type(stream)))
+        if stream.peek().is_op(";") and stream.peek(1).is_keyword("has"):
+            stream.expect_op(";")
+            continue
+        break
+    return ClassSpec(name, tuple(attributes))
+
+
+def _parse_member(stream: TokenStream) -> MemberSpec:
+    token = stream.peek()
+    if token.is_keyword("like"):
+        stream.next()
+        return MemberSpec("like", class_name=stream.expect_ident().text)
+    if token.is_keyword("imaginary"):
+        stream.next()
+        if stream.accept_op("("):
+            query = parse_query_stream(stream)
+            stream.expect_op(")")
+        else:
+            query = parse_query_stream(stream)
+        return MemberSpec("imaginary", query=query)
+    if token.is_op("("):
+        stream.expect_op("(")
+        query = parse_query_stream(stream)
+        stream.expect_op(")")
+        return MemberSpec("query", query=query)
+    if token.is_keyword("select"):
+        return MemberSpec("query", query=parse_query_stream(stream))
+    if token.kind == "ident":
+        return MemberSpec("class", class_name=stream.next().text)
+    raise stream.error(f"expected a population member, found {token.text!r}")
+
+
+def _parse_resolve(stream: TokenStream) -> ResolvePriority:
+    stream.expect_keyword("resolve")
+    attribute = stream.expect_ident().text
+    stream.expect_keyword("by")
+    stream.expect_keyword("priority")
+    classes = [stream.expect_ident().text]
+    while stream.accept_op(","):
+        classes.append(stream.expect_ident().text)
+    return ResolvePriority(attribute, tuple(classes))
+
+
+def _parse_type(stream: TokenStream) -> TypeExpr:
+    token = stream.peek()
+    if token.is_op("["):
+        stream.expect_op("[")
+        fields: List[Tuple[str, TypeExpr]] = []
+        if not stream.accept_op("]"):
+            while True:
+                fname = stream.expect_ident().text
+                stream.expect_op(":")
+                fields.append((fname, _parse_type(stream)))
+                if stream.accept_op("]"):
+                    break
+                stream.expect_op(",")
+        return TypeExpr("tuple", fields=tuple(fields))
+    if token.is_op("{"):
+        stream.expect_op("{")
+        element = _parse_type(stream)
+        stream.expect_op("}")
+        return TypeExpr("set", element=element)
+    if token.kind == "ident":
+        return TypeExpr("name", name=stream.next().text)
+    raise stream.error(f"expected a type, found {token.text!r}")

@@ -1,0 +1,100 @@
+"""Unparsing of view-definition statements.
+
+``parse_statement(format_statement(s)) == s`` (round-trip property
+test). Used by the CLI and for decompiling scripts.
+"""
+
+from __future__ import annotations
+
+from ..query.printer import format_expression, format_query
+from .ast import (
+    AttributeStatement,
+    ClassIncludes,
+    ClassSpec,
+    CreateView,
+    HideAttributes,
+    HideClass,
+    ImportAll,
+    ImportClasses,
+    MemberSpec,
+    ResolvePriority,
+    Script,
+    Statement,
+    TypeExpr,
+)
+
+
+def format_script(script: Script) -> str:
+    return "\n".join(
+        format_statement(s) + ";" for s in script.statements
+    )
+
+
+def format_statement(statement: Statement) -> str:
+    if isinstance(statement, CreateView):
+        return f"create view {statement.name}"
+    if isinstance(statement, ImportAll):
+        return f"import all classes from database {statement.database}"
+    if isinstance(statement, ImportClasses):
+        keyword = "class" if len(statement.classes) == 1 else "classes"
+        names = ", ".join(statement.classes)
+        return f"import {keyword} {names} from database {statement.database}"
+    if isinstance(statement, HideAttributes):
+        keyword = (
+            "attribute" if len(statement.attributes) == 1 else "attributes"
+        )
+        names = ", ".join(statement.attributes)
+        return f"hide {keyword} {names} in class {statement.class_name}"
+    if isinstance(statement, HideClass):
+        return f"hide class {statement.class_name}"
+    if isinstance(statement, AttributeStatement):
+        parts = [f"attribute {statement.attribute}"]
+        if statement.declared_type is not None:
+            parts.append(f"of type {format_type(statement.declared_type)}")
+        parts.append(f"in class {statement.class_name}")
+        if statement.value is not None:
+            parts.append(f"has value {format_expression(statement.value)}")
+        return " ".join(parts)
+    if isinstance(statement, ClassSpec):
+        clauses = "; ".join(
+            f"has attribute {name} of type {format_type(texpr)}"
+            for name, texpr in statement.attributes
+        )
+        return f"class {statement.name} {clauses}"
+    if isinstance(statement, ClassIncludes):
+        name = statement.name
+        if statement.parameters:
+            name += "(" + ", ".join(statement.parameters) + ")"
+        members = ", ".join(
+            _format_member(m) for m in statement.members
+        )
+        return f"class {name} includes {members}"
+    if isinstance(statement, ResolvePriority):
+        classes = ", ".join(statement.classes)
+        return f"resolve {statement.attribute} by priority {classes}"
+    raise TypeError(f"unknown statement: {statement!r}")
+
+
+def _format_member(member: MemberSpec) -> str:
+    if member.kind == "class":
+        return member.class_name
+    if member.kind == "like":
+        return f"like {member.class_name}"
+    if member.kind == "query":
+        return f"({format_query(member.query)})"
+    if member.kind == "imaginary":
+        return f"imaginary ({format_query(member.query)})"
+    raise TypeError(f"unknown member kind: {member.kind!r}")
+
+
+def format_type(texpr: TypeExpr) -> str:
+    if texpr.kind == "name":
+        return texpr.name
+    if texpr.kind == "tuple":
+        inner = ", ".join(
+            f"{name}: {format_type(f)}" for name, f in texpr.fields
+        )
+        return f"[{inner}]"
+    if texpr.kind == "set":
+        return f"{{{format_type(texpr.element)}}}"
+    raise TypeError(f"unknown type expression: {texpr!r}")

@@ -1,0 +1,103 @@
+"""Static analysis of queries for hierarchy inference.
+
+Section 4.2 of the paper derives the position of a virtual class from
+its population declaration. For a specialization — a virtual class
+defined by a query — the superclasses are the classes that *every*
+result of the query is statically guaranteed to belong to:
+
+- the class the projection variable ranges over
+  (``select P from Person where …`` ⇒ every result is a ``Person``);
+- any class-membership conjunct on the projection variable
+  (``select P from Rich where P in Beautiful`` ⇒ results are both
+  ``Rich`` and ``Beautiful`` — the ``Rich&Beautiful`` example, which
+  introduces multiple inheritance);
+- classes guaranteed by a nested query the variable ranges over.
+
+The analysis is conservative: it only mines top-level conjunctions, so
+it never reports a class the results might not belong to.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Binary,
+    ClassSource,
+    Expr,
+    InClass,
+    InQuery,
+    QuerySource,
+    Select,
+    Var,
+)
+
+
+def guaranteed_classes(query: Select) -> List[str]:
+    """Classes every result of ``query`` is statically known to be in.
+
+    Returns an ordered, duplicate-free list. Empty when the projection
+    is not a plain variable (e.g. a tuple constructor — those queries
+    build values, not object selections).
+    """
+    if not isinstance(query.projection, Var):
+        return []
+    variable = query.projection.name
+    classes: List[str] = []
+
+    def add(name: str) -> None:
+        if name not in classes:
+            classes.append(name)
+
+    for binding in query.bindings:
+        if binding.variable != variable:
+            continue
+        source = binding.source
+        if isinstance(source, ClassSource) and not source.arguments:
+            add(source.class_name)
+        elif isinstance(source, QuerySource):
+            for name in guaranteed_classes(source.query):
+                add(name)
+    if query.where is not None:
+        for conjunct in _conjuncts(query.where):
+            if (
+                isinstance(conjunct, InClass)
+                and isinstance(conjunct.operand, Var)
+                and conjunct.operand.name == variable
+                and not conjunct.class_args
+            ):
+                add(conjunct.class_name)
+            elif (
+                isinstance(conjunct, InQuery)
+                and isinstance(conjunct.operand, Var)
+                and conjunct.operand.name == variable
+            ):
+                for name in guaranteed_classes(conjunct.query):
+                    add(name)
+    return classes
+
+
+def _conjuncts(expr: Expr):
+    if isinstance(expr, Binary) and expr.op == "and":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def source_classes(query: Select) -> List[str]:
+    """All class names any binding of the query ranges over (used to
+    subscribe materialized virtual classes to the right update events)."""
+    classes: List[str] = []
+
+    def visit(select: Select) -> None:
+        for binding in select.bindings:
+            source = binding.source
+            if isinstance(source, ClassSource):
+                if source.class_name not in classes:
+                    classes.append(source.class_name)
+            elif isinstance(source, QuerySource):
+                visit(source.query)
+
+    visit(query)
+    return classes

@@ -1,0 +1,294 @@
+"""Abstract syntax of the query dialect.
+
+The dialect is the paper's ``select … from … where …`` language (after
+the O₂ query language [4] it borrows from). All nodes are immutable
+dataclasses; a query is a :class:`Select`.
+
+Notable productions used in the paper and supported here:
+
+- ``select P from Person where P.Age >= 21`` — implicit binding of the
+  projection variable to the source;
+- ``select A in Adult where …`` — the ``in`` binding form (Example 2);
+- ``select [Husband: H, Wife: H.Spouse] from H in Person …`` — tuple
+  projections (imaginary classes, §5);
+- ``select the A in Address where …`` — uniqueness (Example 5);
+- ``… where P in Beautiful`` — class membership predicates, which the
+  hierarchy inference mines for superclasses (``Rich&Beautiful``);
+- ``Resident(X)`` — parameterized class sources (§4.2);
+- ``gsd(self)`` — calls to registered functions (Example 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    __slots__ = ()
+
+
+class Expr(Node):
+    """Base class of expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: string, integer, real, or boolean."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference (query variable or view parameter)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SelfExpr(Expr):
+    """The receiver of a virtual attribute (``self``)."""
+
+
+@dataclass(frozen=True)
+class Path(Expr):
+    """Attribute navigation: ``base.A1.A2...`` (dereference + select)."""
+
+    base: Expr
+    attributes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TupleExpr(Expr):
+    """A tuple constructor ``[Name: expr, ...]``."""
+
+    fields: Tuple[Tuple[str, "Expr"], ...]
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+
+@dataclass(frozen=True)
+class SetExpr(Expr):
+    """A set literal ``{e1, e2, ...}``."""
+
+    elements: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """A binary operation.
+
+    ``op`` is one of ``= != < <= > >= + - * / and or``.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class InClass(Expr):
+    """Membership in a (possibly virtual) class: ``P in Beautiful``."""
+
+    operand: Expr
+    class_name: str
+    class_args: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class InExpr(Expr):
+    """Membership in a computed collection: ``P in self.Children``."""
+
+    operand: Expr
+    container: Expr
+
+
+@dataclass(frozen=True)
+class InQuery(Expr):
+    """Membership in a subquery's result: ``F in (select ...)``."""
+
+    operand: Expr
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class QueryExpr(Expr):
+    """A subquery in expression position (e.g. a virtual attribute body
+    that is a select, as in the ``Children`` attribute of ``Family``)."""
+
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a registered function: ``gsd(self)``."""
+
+    function: str
+    arguments: Tuple[Expr, ...]
+
+
+class Source(Node):
+    """What a query variable ranges over."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ClassSource(Source):
+    """A class extent, optionally a parameterized class instance."""
+
+    class_name: str
+    arguments: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class QuerySource(Source):
+    """A nested query."""
+
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class ExprSource(Source):
+    """An expression evaluating to a collection (``self.Children``)."""
+
+    expression: Expr
+
+
+@dataclass(frozen=True)
+class Binding(Node):
+    """One ``var in source`` binding of a select."""
+
+    variable: str
+    source: Source
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    """A select query.
+
+    Attributes:
+        projection: The expression computed for each binding of the
+            variables that satisfies ``where``.
+        bindings: The variable bindings, evaluated left-to-right (later
+            bindings may reference earlier variables).
+        where: Optional filter.
+        unique: ``select the`` — the result must be a single value.
+    """
+
+    projection: Expr
+    bindings: Tuple[Binding, ...]
+    where: Optional[Expr] = None
+    unique: bool = False
+
+
+def walk(node: Node):
+    """Yield ``node`` and all nodes beneath it (pre-order)."""
+    yield node
+    if isinstance(node, Path):
+        yield from walk(node.base)
+    elif isinstance(node, TupleExpr):
+        for _, expr in node.fields:
+            yield from walk(expr)
+    elif isinstance(node, SetExpr):
+        for expr in node.elements:
+            yield from walk(expr)
+    elif isinstance(node, Binary):
+        yield from walk(node.left)
+        yield from walk(node.right)
+    elif isinstance(node, Not):
+        yield from walk(node.operand)
+    elif isinstance(node, InClass):
+        yield from walk(node.operand)
+        for arg in node.class_args:
+            yield from walk(arg)
+    elif isinstance(node, InExpr):
+        yield from walk(node.operand)
+        yield from walk(node.container)
+    elif isinstance(node, InQuery):
+        yield from walk(node.operand)
+        yield from walk(node.query)
+    elif isinstance(node, Call):
+        for arg in node.arguments:
+            yield from walk(arg)
+    elif isinstance(node, QueryExpr):
+        yield from walk(node.query)
+    elif isinstance(node, ClassSource):
+        for arg in node.arguments:
+            yield from walk(arg)
+    elif isinstance(node, QuerySource):
+        yield from walk(node.query)
+    elif isinstance(node, ExprSource):
+        yield from walk(node.expression)
+    elif isinstance(node, Binding):
+        yield from walk(node.source)
+    elif isinstance(node, Select):
+        yield from walk(node.projection)
+        for binding in node.bindings:
+            yield from walk(binding)
+        if node.where is not None:
+            yield from walk(node.where)
+
+
+def free_variables(node: Node) -> set:
+    """Names of :class:`Var` nodes not bound by an enclosing select."""
+    if isinstance(node, Var):
+        return {node.name}
+    if isinstance(node, Select):
+        free = free_variables(node.projection)
+        if node.where is not None:
+            free |= free_variables(node.where)
+        for binding in node.bindings:
+            free |= free_variables(binding.source)
+        return free - {b.variable for b in node.bindings}
+    if isinstance(node, Path):
+        return free_variables(node.base)
+    if isinstance(node, TupleExpr):
+        return set().union(
+            *(free_variables(expr) for _, expr in node.fields)
+        ) if node.fields else set()
+    if isinstance(node, SetExpr):
+        return set().union(
+            *(free_variables(expr) for expr in node.elements)
+        ) if node.elements else set()
+    if isinstance(node, Binary):
+        return free_variables(node.left) | free_variables(node.right)
+    if isinstance(node, Not):
+        return free_variables(node.operand)
+    if isinstance(node, InClass):
+        free = free_variables(node.operand)
+        for arg in node.class_args:
+            free |= free_variables(arg)
+        return free
+    if isinstance(node, InExpr):
+        return free_variables(node.operand) | free_variables(node.container)
+    if isinstance(node, InQuery):
+        return free_variables(node.operand) | free_variables(node.query)
+    if isinstance(node, Call):
+        return set().union(
+            *(free_variables(arg) for arg in node.arguments)
+        ) if node.arguments else set()
+    if isinstance(node, QueryExpr):
+        return free_variables(node.query)
+    if isinstance(node, ClassSource):
+        return set().union(
+            *(free_variables(arg) for arg in node.arguments)
+        ) if node.arguments else set()
+    if isinstance(node, QuerySource):
+        return free_variables(node.query)
+    if isinstance(node, ExprSource):
+        return free_variables(node.expression)
+    if isinstance(node, Binding):
+        return free_variables(node.source)
+    return set()

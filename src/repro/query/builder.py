@@ -1,0 +1,286 @@
+"""A fluent Python API for building query ASTs.
+
+For programs that prefer not to embed query text::
+
+    from repro.query.builder import select, var
+
+    adults = select("P").from_("Person").where(var("P").Age >= 21)
+
+``select(...)`` returns a :class:`SelectBuilder`; anywhere the library
+accepts a query it also accepts a builder (``.build()`` is called for
+you). Expression wrappers overload the comparison operators, attribute
+access (building paths) and provide ``in_class`` / ``in_`` membership
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import QueryError
+from .ast import (
+    Binary,
+    Binding,
+    Call,
+    ClassSource,
+    Expr,
+    ExprSource,
+    InClass,
+    InExpr,
+    InQuery,
+    Literal,
+    Not,
+    Path,
+    QueryExpr,
+    QuerySource,
+    Select,
+    SelfExpr,
+    SetExpr,
+    Source,
+    TupleExpr,
+    Var,
+)
+
+
+class X:
+    """An expression wrapper with operator overloading."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Expr):
+        object.__setattr__(self, "node", node)
+
+    def __getattr__(self, name: str) -> "X":
+        if name.startswith("_"):
+            raise AttributeError(name)
+        node = self.node
+        if isinstance(node, Path):
+            return X(Path(node.base, node.attributes + (name,)))
+        return X(Path(node, (name,)))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("expression wrappers are immutable")
+
+    # Comparisons -------------------------------------------------------
+
+    def __eq__(self, other) -> "X":  # type: ignore[override]
+        return X(Binary("=", self.node, as_expr(other)))
+
+    def __ne__(self, other) -> "X":  # type: ignore[override]
+        return X(Binary("!=", self.node, as_expr(other)))
+
+    def __lt__(self, other) -> "X":
+        return X(Binary("<", self.node, as_expr(other)))
+
+    def __le__(self, other) -> "X":
+        return X(Binary("<=", self.node, as_expr(other)))
+
+    def __gt__(self, other) -> "X":
+        return X(Binary(">", self.node, as_expr(other)))
+
+    def __ge__(self, other) -> "X":
+        return X(Binary(">=", self.node, as_expr(other)))
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # Boolean connectives ----------------------------------------------
+
+    def __and__(self, other) -> "X":
+        return X(Binary("and", self.node, as_expr(other)))
+
+    def __or__(self, other) -> "X":
+        return X(Binary("or", self.node, as_expr(other)))
+
+    def __invert__(self) -> "X":
+        return X(Not(self.node))
+
+    # Arithmetic --------------------------------------------------------
+
+    def __add__(self, other) -> "X":
+        return X(Binary("+", self.node, as_expr(other)))
+
+    def __sub__(self, other) -> "X":
+        return X(Binary("-", self.node, as_expr(other)))
+
+    def __mul__(self, other) -> "X":
+        return X(Binary("*", self.node, as_expr(other)))
+
+    def __truediv__(self, other) -> "X":
+        return X(Binary("/", self.node, as_expr(other)))
+
+    # Membership --------------------------------------------------------
+
+    def in_class(self, class_name: str, *args) -> "X":
+        return X(
+            InClass(
+                self.node,
+                class_name,
+                tuple(as_expr(a) for a in args),
+            )
+        )
+
+    def in_(self, container) -> "X":
+        if isinstance(container, SelectBuilder):
+            return X(InQuery(self.node, container.build()))
+        if isinstance(container, Select):
+            return X(InQuery(self.node, container))
+        return X(InExpr(self.node, as_expr(container)))
+
+
+def var(name: str) -> X:
+    """A query variable reference."""
+    return X(Var(name))
+
+
+def self_() -> X:
+    """The attribute-body receiver."""
+    return X(SelfExpr())
+
+
+def lit(value) -> X:
+    """A literal constant."""
+    return X(Literal(value))
+
+
+def call(function: str, *args) -> X:
+    """A call to a registered function (``call("gsd", self_())``)."""
+    return X(Call(function, tuple(as_expr(a) for a in args)))
+
+
+def record(**fields) -> X:
+    """A tuple constructor: ``record(Husband=var("H"), ...)``."""
+    return X(
+        TupleExpr(
+            tuple((name, as_expr(value)) for name, value in fields.items())
+        )
+    )
+
+
+def setof(*elements) -> X:
+    return X(SetExpr(tuple(as_expr(e) for e in elements)))
+
+
+def as_expr(value) -> Expr:
+    """Coerce a Python value / wrapper / AST node to an expression."""
+    if isinstance(value, X):
+        return value.node
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, SelectBuilder):
+        return QueryExpr(value.build())
+    if isinstance(value, Select):
+        return QueryExpr(value)
+    if isinstance(value, (str, int, float, bool)):
+        return Literal(value)
+    if isinstance(value, dict):
+        return TupleExpr(
+            tuple((name, as_expr(item)) for name, item in value.items())
+        )
+    raise QueryError(f"cannot use {value!r} as a query expression")
+
+
+def _as_source(source) -> Source:
+    if isinstance(source, Source):
+        return source
+    if isinstance(source, SelectBuilder):
+        return QuerySource(source.build())
+    if isinstance(source, Select):
+        return QuerySource(source)
+    if isinstance(source, str):
+        return ClassSource(source)
+    if isinstance(source, X):
+        return ExprSource(source.node)
+    if isinstance(source, Expr):
+        return ExprSource(source)
+    raise QueryError(f"cannot use {source!r} as a query source")
+
+
+def class_(name: str, *args) -> Source:
+    """A (possibly parameterized) class source: ``class_("Adult", 21)``."""
+    return ClassSource(name, tuple(as_expr(a) for a in args))
+
+
+class SelectBuilder:
+    """Accumulates the pieces of a :class:`Select`."""
+
+    def __init__(self, projection, unique: bool = False):
+        if isinstance(projection, str):
+            projection = Var(projection)
+        self._projection = as_expr(projection) if not isinstance(
+            projection, Expr
+        ) else projection
+        self._bindings: Tuple[Binding, ...] = ()
+        self._where: Optional[Expr] = None
+        self._unique = unique
+
+    def from_(self, *args) -> "SelectBuilder":
+        """``.from_("Person")`` binds the projection variable;
+        ``.from_("H", "Person")`` binds an explicit variable. May be
+        called repeatedly for joins."""
+        if len(args) == 1:
+            projection = self._projection
+            if not isinstance(projection, Var):
+                raise QueryError(
+                    "from_(source) without a variable requires a bare-"
+                    "variable projection; use from_(var, source)"
+                )
+            variable = projection.name
+            source = args[0]
+        elif len(args) == 2:
+            variable, source = args
+        else:
+            raise QueryError("from_ takes (source) or (variable, source)")
+        binding = Binding(variable, _as_source(source))
+        clone = self._clone()
+        clone._bindings = self._bindings + (binding,)
+        return clone
+
+    def where(self, condition) -> "SelectBuilder":
+        clone = self._clone()
+        condition = as_expr(condition)
+        if self._where is None:
+            clone._where = condition
+        else:
+            clone._where = Binary("and", self._where, condition)
+        return clone
+
+    def the(self) -> "SelectBuilder":
+        clone = self._clone()
+        clone._unique = True
+        return clone
+
+    def build(self) -> Select:
+        if not self._bindings:
+            raise QueryError("query has no from/in binding")
+        return Select(
+            self._projection, self._bindings, self._where, self._unique
+        )
+
+    def _clone(self) -> "SelectBuilder":
+        clone = SelectBuilder(self._projection, self._unique)
+        clone._bindings = self._bindings
+        clone._where = self._where
+        return clone
+
+
+def select(projection) -> SelectBuilder:
+    """Start building a query: ``select("P")``, ``select(record(...))``."""
+    return SelectBuilder(projection)
+
+
+def select_the(projection) -> SelectBuilder:
+    """Start a ``select the`` (unique result) query."""
+    return SelectBuilder(projection, unique=True)
+
+
+def ensure_query(query) -> Select:
+    """Coerce text / builder / AST to a :class:`Select`."""
+    from .parser import parse_query
+
+    if isinstance(query, Select):
+        return query
+    if isinstance(query, SelectBuilder):
+        return query.build()
+    if isinstance(query, str):
+        return parse_query(query)
+    raise QueryError(f"not a query: {query!r}")

@@ -1,0 +1,438 @@
+"""Query evaluation.
+
+Queries run against a *scope* — a :class:`~repro.engine.database.Database`
+or a :class:`~repro.core.view.View`. The evaluator only relies on the
+scope protocol (``extent``, ``get``, ``is_member``, ``access``) plus two
+optional extensions provided by views:
+
+- ``instantiate_family(name, args)`` for parameterized classes, and
+- ``functions`` for registered named functions (the paper's ``gsd``).
+
+Results are *sets* in the model sense: duplicates (by canonical value)
+are removed, first-seen order is preserved so runs are deterministic.
+``select the`` returns the single element and raises
+:class:`~repro.errors.NonUniqueResultError` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..engine.objects import ObjectHandle, TupleValue, unwrap, wrap_value
+from ..engine.oid import Oid
+from ..engine.values import canonicalize
+from ..errors import NonUniqueResultError, QueryError
+from .ast import (
+    Binary,
+    Call,
+    ClassSource,
+    Expr,
+    ExprSource,
+    InClass,
+    InExpr,
+    InQuery,
+    Literal,
+    Not,
+    Path,
+    QueryExpr,
+    QuerySource,
+    Select,
+    SelfExpr,
+    SetExpr,
+    Source,
+    TupleExpr,
+    Var,
+)
+from .parser import parse_query
+
+
+def _builtin_count(collection) -> int:
+    if collection is None:
+        return 0
+    return len(collection)
+
+
+def _numbers(collection):
+    return [unwrap(item) for item in (collection or [])]
+
+
+BUILTIN_FUNCTIONS = {
+    # Aggregates over set/list values and query results; always
+    # available (a scope-registered function of the same name wins).
+    # Empty collections: count=0, sum=0, exists=false, min/max/avg=None.
+    "count": _builtin_count,
+    "sum": lambda c: sum(_numbers(c)),
+    "min": lambda c: min(_numbers(c)) if c else None,
+    "max": lambda c: max(_numbers(c)) if c else None,
+    "avg": lambda c: (
+        sum(_numbers(c)) / len(_numbers(c)) if c else None
+    ),
+    "exists": lambda c: bool(c),
+}
+
+
+class EvalEnv:
+    """Evaluation environment: scope + variable/function bindings."""
+
+    def __init__(
+        self,
+        scope,
+        bindings: Optional[Dict[str, object]] = None,
+        functions: Optional[Dict[str, object]] = None,
+        self_value=None,
+    ):
+        self.scope = scope
+        self.bindings = dict(bindings or {})
+        self.functions = dict(functions or {})
+        scope_functions = getattr(scope, "functions", None)
+        if scope_functions:
+            for name, fn in scope_functions.items():
+                self.functions.setdefault(name, fn)
+        for name, fn in BUILTIN_FUNCTIONS.items():
+            self.functions.setdefault(name, fn)
+        self.self_value = self_value
+        # Memo for loop-invariant (closed) subqueries, shared across
+        # the whole evaluation: a nested "F in (select ...)" would
+        # otherwise re-run its subquery once per candidate.
+        self.subquery_cache: Dict[int, object] = {}
+
+    def child(self, variable: str, value) -> "EvalEnv":
+        env = EvalEnv(self.scope, self.bindings, self.functions, self.self_value)
+        env.bindings[variable] = value
+        env.subquery_cache = self.subquery_cache
+        return env
+
+
+def evaluate(
+    query,
+    scope,
+    bindings: Optional[Dict[str, object]] = None,
+    functions: Optional[Dict[str, object]] = None,
+    self_value=None,
+):
+    """Evaluate a query (AST or source text) against a scope.
+
+    Returns a list of distinct results (or a single value for
+    ``select the``).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    env = EvalEnv(scope, bindings, functions, self_value)
+    return _eval_select(query, env)
+
+
+def evaluate_expression(
+    expr,
+    scope,
+    self_value=None,
+    bindings: Optional[Dict[str, object]] = None,
+    functions: Optional[Dict[str, object]] = None,
+):
+    """Evaluate a bare expression (e.g. a virtual attribute body)."""
+    env = EvalEnv(scope, bindings, functions, self_value)
+    return _eval_expr(expr, env)
+
+
+# ----------------------------------------------------------------------
+# Select
+# ----------------------------------------------------------------------
+
+
+def _eval_select(select: Select, env: EvalEnv):
+    results: List[object] = []
+    seen = set()
+    for row_env in _bind(select.bindings, 0, env):
+        if select.where is not None and not _truthy(
+            _eval_expr(select.where, row_env)
+        ):
+            continue
+        value = _eval_expr(select.projection, row_env)
+        key = canonicalize(unwrap(value))
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append(value)
+    if select.unique:
+        if len(results) != 1:
+            raise NonUniqueResultError(len(results))
+        return results[0]
+    return results
+
+
+def _bind(bindings, index: int, env: EvalEnv):
+    if index >= len(bindings):
+        yield env
+        return
+    binding = bindings[index]
+    for value in _iterate_source(binding.source, env):
+        yield from _bind(bindings, index + 1, env.child(binding.variable, value))
+
+
+def _iterate_source(source: Source, env: EvalEnv) -> Iterable[object]:
+    if isinstance(source, ClassSource):
+        scope = env.scope
+        if source.arguments:
+            args = tuple(
+                unwrap(_eval_expr(arg, env)) for arg in source.arguments
+            )
+            instantiate = getattr(scope, "instantiate_family", None)
+            if instantiate is None:
+                raise QueryError(
+                    f"scope {getattr(scope, 'scope_name', scope)!r} does"
+                    " not support parameterized classes"
+                )
+            return [scope.get(oid) for oid in instantiate(source.class_name, args)]
+        return [scope.get(oid) for oid in scope.extent(source.class_name)]
+    if isinstance(source, QuerySource):
+        result = _eval_select(source.query, env)
+        return result if isinstance(result, list) else [result]
+    if isinstance(source, ExprSource):
+        value = _eval_expr(source.expression, env)
+        return _as_collection(value)
+    raise QueryError(f"unknown source node: {source!r}")
+
+
+def _as_collection(value) -> Iterable[object]:
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    if isinstance(value, (set, frozenset)):
+        # Deterministic order for reproducible results.
+        return sorted(value, key=lambda item: canonicalize(unwrap(item)) if not isinstance(item, ObjectHandle) else ("o", item.oid.space, item.oid.number))
+    if value is None:
+        return []
+    raise QueryError(
+        f"source expression did not produce a collection: {value!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+def _eval_expr(expr: Expr, env: EvalEnv):
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Var):
+        if expr.name in env.bindings:
+            return env.bindings[expr.name]
+        raise QueryError(f"unbound variable: {expr.name!r}")
+    if isinstance(expr, SelfExpr):
+        if env.self_value is None:
+            raise QueryError("'self' used outside an attribute body")
+        return env.self_value
+    if isinstance(expr, Path):
+        return _eval_path(expr, env)
+    if isinstance(expr, TupleExpr):
+        return TupleValue(
+            env.scope,
+            {name: unwrap(_eval_expr(value, env)) for name, value in expr.fields},
+        )
+    if isinstance(expr, SetExpr):
+        return frozenset(
+            wrap_value(env.scope, unwrap(_eval_expr(item, env)))
+            for item in expr.elements
+        )
+    if isinstance(expr, Binary):
+        return _eval_binary(expr, env)
+    if isinstance(expr, Not):
+        return not _truthy(_eval_expr(expr.operand, env))
+    if isinstance(expr, InClass):
+        return _eval_in_class(expr, env)
+    if isinstance(expr, InExpr):
+        operand = _eval_expr(expr.operand, env)
+        container = _eval_expr(expr.container, env)
+        return _contains(container, operand)
+    if isinstance(expr, InQuery):
+        operand = _eval_expr(expr.operand, env)
+        result = _eval_closed_subquery(expr.query, env)
+        return _contains(result, operand)
+    if isinstance(expr, QueryExpr):
+        return _eval_select(expr.query, env)
+    if isinstance(expr, Call):
+        fn = env.functions.get(expr.function)
+        if fn is None:
+            raise QueryError(f"unknown function: {expr.function!r}")
+        args = [_eval_expr(arg, env) for arg in expr.arguments]
+        return wrap_value(env.scope, unwrap(fn(*args)))
+    raise QueryError(f"unknown expression node: {expr!r}")
+
+
+def _eval_closed_subquery(query: Select, env: EvalEnv):
+    """Evaluate a subquery, memoizing it when it is *closed* (no free
+    variables), since a closed subquery is loop-invariant within one
+    evaluation."""
+    from .ast import free_variables
+
+    key = id(query)
+    if key in env.subquery_cache:
+        return env.subquery_cache[key]
+    result = _eval_select(query, env)
+    if not free_variables(query):
+        canon = {canonicalize(unwrap(item)) for item in result}
+        env.subquery_cache[key] = _CachedResult(result, canon)
+        return env.subquery_cache[key]
+    return result
+
+
+class _CachedResult:
+    """A memoized subquery result with O(1) membership tests."""
+
+    __slots__ = ("items", "canonical")
+
+    def __init__(self, items, canonical):
+        self.items = items
+        self.canonical = canonical
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self):
+        return len(self.items)
+
+
+def _eval_path(path: Path, env: EvalEnv):
+    value = _eval_expr(path.base, env)
+    for attribute in path.attributes:
+        if value is None:
+            return None
+        if isinstance(value, (ObjectHandle, TupleValue)):
+            value = getattr(value, attribute)
+        elif isinstance(value, dict):
+            value = wrap_value(env.scope, value.get(attribute))
+        else:
+            raise QueryError(
+                f"cannot select attribute {attribute!r} from"
+                f" {type(value).__name__}"
+            )
+    return value
+
+
+def _eval_in_class(expr: InClass, env: EvalEnv):
+    operand = _eval_expr(expr.operand, env)
+    oid = _as_oid(operand)
+    if oid is None:
+        return False
+    scope = env.scope
+    if expr.class_args:
+        args = tuple(
+            unwrap(_eval_expr(arg, env)) for arg in expr.class_args
+        )
+        instantiate = getattr(scope, "instantiate_family", None)
+        if instantiate is None:
+            raise QueryError(
+                "scope does not support parameterized classes"
+            )
+        return oid in instantiate(expr.class_name, args)
+    return scope.is_member(oid, expr.class_name)
+
+
+def _eval_binary(expr: Binary, env: EvalEnv):
+    if expr.op == "and":
+        return _truthy(_eval_expr(expr.left, env)) and _truthy(
+            _eval_expr(expr.right, env)
+        )
+    if expr.op == "or":
+        return _truthy(_eval_expr(expr.left, env)) or _truthy(
+            _eval_expr(expr.right, env)
+        )
+    left = _eval_expr(expr.left, env)
+    right = _eval_expr(expr.right, env)
+    if expr.op == "=":
+        return _model_equal(left, right)
+    if expr.op == "!=":
+        return not _model_equal(left, right)
+    if expr.op in ("<", "<=", ">", ">="):
+        return _compare(expr.op, left, right)
+    if expr.op in ("+", "-", "*", "/"):
+        return _arith(expr.op, left, right)
+    raise QueryError(f"unknown operator: {expr.op!r}")
+
+
+def _model_equal(left, right) -> bool:
+    left = unwrap(left)
+    right = unwrap(right)
+    if left is None or right is None:
+        return left is right
+    try:
+        return canonicalize(left) == canonicalize(right)
+    except Exception:
+        return left == right
+
+
+def _compare(op: str, left, right) -> bool:
+    left = unwrap(left)
+    right = unwrap(right)
+    if left is None or right is None:
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        raise QueryError("booleans are not ordered")
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        pass
+    elif isinstance(left, str) and isinstance(right, str):
+        pass
+    else:
+        raise QueryError(
+            f"cannot order {type(left).__name__} and {type(right).__name__}"
+        )
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _arith(op: str, left, right):
+    left = unwrap(left)
+    right = unwrap(right)
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if not isinstance(left, (int, float)) or not isinstance(
+        right, (int, float)
+    ):
+        raise QueryError(
+            f"arithmetic on non-numbers:"
+            f" {type(left).__name__} {op} {type(right).__name__}"
+        )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if right == 0:
+        raise QueryError("division by zero")
+    return left / right
+
+
+def _truthy(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if value is None:
+        return False
+    raise QueryError(
+        f"condition did not evaluate to a boolean: {value!r}"
+    )
+
+
+def _contains(container, operand) -> bool:
+    target = canonicalize(unwrap(operand))
+    if isinstance(container, _CachedResult):
+        return target in container.canonical
+    if isinstance(container, (list, tuple, set, frozenset)):
+        return any(
+            canonicalize(unwrap(item)) == target for item in container
+        )
+    if container is None:
+        return False
+    raise QueryError(f"'in' applied to non-collection: {container!r}")
+
+
+def _as_oid(value) -> Optional[Oid]:
+    if isinstance(value, ObjectHandle):
+        return value.oid
+    if isinstance(value, Oid):
+        return value
+    return None

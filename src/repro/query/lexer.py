@@ -1,0 +1,179 @@
+"""Tokenizer shared by the query parser and the view-definition parser.
+
+Conventions (matching the paper's informal syntax):
+
+- Keywords are lowercase words (``select``, ``from``, ``where``, …);
+  capitalized identifiers (``Person``, ``Age``) are never keywords, so
+  schema names cannot collide with the grammar.
+- Identifiers may contain ``&`` and ``#`` and ``_`` after the first
+  letter (the paper uses ``Rich&Beautiful`` and ``SS#``).
+- Numbers may use digit grouping: ``5,000`` lexes as the number 5000
+  (Example 2 writes ``A.Income < 5,000``).
+- Strings use single or double quotes.
+- ``≥`` and ``≤`` are accepted as spellings of ``>=`` and ``<=``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import QuerySyntaxError
+
+KEYWORDS = frozenset(
+    [
+        "select",
+        "the",
+        "from",
+        "in",
+        "where",
+        "and",
+        "or",
+        "not",
+        "like",
+        "imaginary",
+        "class",
+        "classes",
+        "includes",
+        "attribute",
+        "attributes",
+        "of",
+        "type",
+        "has",
+        "value",
+        "create",
+        "view",
+        "import",
+        "hide",
+        "all",
+        "database",
+        "self",
+        "true",
+        "false",
+        "union",
+        "method",
+        "resolve",
+        "by",
+        "priority",
+    ]
+)
+
+#: Token kinds: KEYWORD, IDENT, NUMBER, STRING, OP, EOF.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<number>\d{1,3}(?:,\d{3})+(?:\.\d+)?|\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_&#]*)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<op><=|>=|!=|≥|≤|[=<>+\-*/().,:;\[\]{}])
+    """,
+    re.VERBOSE,
+)
+
+_OP_ALIASES = {"≥": ">=", "≤": "<="}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "keyword" | "ident" | "number" | "string" | "op" | "eof"
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``, raising :class:`QuerySyntaxError` on garbage."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r}", position
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token("number", value.replace(",", ""), match.start()))
+        elif match.lastgroup == "ident":
+            kind = "keyword" if value in KEYWORDS else "ident"
+            tokens.append(Token(kind, value, match.start()))
+        elif match.lastgroup == "string":
+            body = value[1:-1]
+            body = body.replace("\\'", "'").replace('\\"', '"')
+            body = body.replace("\\\\", "\\")
+            tokens.append(Token("string", body, match.start()))
+        else:
+            op = _OP_ALIASES.get(value, value)
+            tokens.append(Token("op", op, match.start()))
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with the usual helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "eof"
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.next()
+            return True
+        return False
+
+    def accept_op(self, op: str) -> bool:
+        if self.peek().is_op(op):
+            self.next()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise QuerySyntaxError(
+                f"expected {word!r}, found {token.text!r}", token.position
+            )
+        return self.next()
+
+    def expect_op(self, op: str) -> Token:
+        token = self.peek()
+        if not token.is_op(op):
+            raise QuerySyntaxError(
+                f"expected {op!r}, found {token.text!r}", token.position
+            )
+        return self.next()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.kind != "ident":
+            raise QuerySyntaxError(
+                f"expected identifier, found {token.text!r}", token.position
+            )
+        return self.next()
+
+    def error(self, message: str) -> QuerySyntaxError:
+        return QuerySyntaxError(message, self.peek().position)

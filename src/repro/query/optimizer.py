@@ -1,0 +1,185 @@
+"""Index-accelerated query evaluation.
+
+The paper predates query optimization and never relies on it, but its
+"Implementation Issues" discussion (§4.2) motivates why the unique-root
+rule matters: fixed structure makes objects "stored uniformly along
+with similar objects", i.e. amenable to physical access paths. This
+module supplies the simplest such path: when a query's filter contains
+an equality between an attribute path of the bound variable and a
+constant, and the scope has a hash index on that attribute, the scan is
+replaced by an index probe plus a residual filter.
+
+Only single-binding selects over plain class sources are optimized;
+anything else falls back to the interpretive evaluator — correctness is
+never at stake (see the equivalence property test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..engine.objects import ObjectHandle, unwrap
+from ..engine.values import canonicalize
+from .ast import (
+    Binary,
+    Binding,
+    ClassSource,
+    Expr,
+    Literal,
+    Path,
+    Select,
+    Var,
+)
+from .builder import ensure_query
+from .eval import EvalEnv, _eval_expr, _truthy
+
+
+@dataclass(frozen=True)
+class ProbePlan:
+    """An index probe: class, attribute, constant, residual filter."""
+
+    class_name: str
+    variable: str
+    attribute: str
+    value: object
+    residual: Optional[Expr]
+    projection: Expr
+    unique: bool
+
+    def describe(self) -> str:
+        residual = " + residual filter" if self.residual is not None else ""
+        return (
+            f"index probe {self.class_name}.{self.attribute} ="
+            f" {self.value!r}{residual}"
+        )
+
+
+def plan(query, scope) -> Optional[ProbePlan]:
+    """The probe plan for ``query`` on ``scope``, or ``None`` when the
+    query is not optimizable (shape or missing index)."""
+    query = ensure_query(query)
+    indexes = getattr(scope, "indexes", None)
+    if indexes is None:
+        return None
+    if len(query.bindings) != 1:
+        return None
+    binding: Binding = query.bindings[0]
+    source = binding.source
+    if not isinstance(source, ClassSource) or source.arguments:
+        return None
+    if query.where is None:
+        return None
+    conjuncts = list(_conjuncts(query.where))
+    for position, conjunct in enumerate(conjuncts):
+        probe = _equality_probe(conjunct, binding.variable)
+        if probe is None:
+            continue
+        attribute, value = probe
+        index = indexes.find(source.class_name, attribute)
+        if index is None:
+            continue
+        residual = _conjoin(
+            conjuncts[:position] + conjuncts[position + 1:]
+        )
+        return ProbePlan(
+            source.class_name,
+            binding.variable,
+            attribute,
+            value,
+            residual,
+            query.projection,
+            query.unique,
+        )
+    return None
+
+
+def explain(query, scope) -> str:
+    """A one-line description of how the query would run."""
+    probe = plan(query, scope)
+    if probe is None:
+        query = ensure_query(query)
+        sources = ", ".join(
+            b.source.class_name
+            if isinstance(b.source, ClassSource)
+            else "<expr>"
+            for b in query.bindings
+        )
+        return f"full scan over {sources}"
+    return probe.describe()
+
+
+def evaluate_optimized(query, scope, bindings=None, functions=None):
+    """Evaluate ``query``, using an index probe when one applies.
+
+    Results are identical to :func:`repro.query.eval.evaluate` (the
+    property test ``test_optimizer_equivalence`` pins this down).
+    """
+    from .eval import evaluate
+
+    probe = plan(query, scope)
+    if probe is None:
+        return evaluate(query, scope, bindings=bindings, functions=functions)
+    index = scope.indexes.find(probe.class_name, probe.attribute)
+    candidates = index.lookup(probe.value)
+    extent = scope.extent(probe.class_name)
+    env = EvalEnv(scope, bindings, functions)
+    results: List[object] = []
+    seen = set()
+    for oid in candidates:
+        if oid not in extent:
+            continue  # the index may cover a superclass
+        handle = ObjectHandle(scope, oid)
+        row_env = env.child(probe.variable, handle)
+        if probe.residual is not None and not _truthy(
+            _eval_expr(probe.residual, row_env)
+        ):
+            continue
+        value = _eval_expr(probe.projection, row_env)
+        key = canonicalize(unwrap(value))
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append(value)
+    if probe.unique:
+        from ..errors import NonUniqueResultError
+
+        if len(results) != 1:
+            raise NonUniqueResultError(len(results))
+        return results[0]
+    return results
+
+
+def _conjuncts(expr: Expr):
+    if isinstance(expr, Binary) and expr.op == "and":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _conjoin(conjuncts: List[Expr]) -> Optional[Expr]:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = Binary("and", result, conjunct)
+    return result
+
+
+def _equality_probe(
+    expr: Expr, variable: str
+) -> Optional[Tuple[str, object]]:
+    """Match ``var.Attr = literal`` (either orientation)."""
+    if not isinstance(expr, Binary) or expr.op != "=":
+        return None
+    for lhs, rhs in ((expr.left, expr.right), (expr.right, expr.left)):
+        if (
+            isinstance(lhs, Path)
+            and len(lhs.attributes) == 1
+            and isinstance(lhs.base, Var)
+            and lhs.base.name == variable
+            and isinstance(rhs, Literal)
+        ):
+            return lhs.attributes[0], rhs.value
+    return None

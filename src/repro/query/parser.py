@@ -1,0 +1,333 @@
+"""Recursive-descent parser for the query dialect.
+
+Entry points: :func:`parse_query` for a select, :func:`parse_expression`
+for a bare expression (used for virtual-attribute bodies and class
+parameters). The grammar is liberal, matching the paper's prose: both
+``select P from Person where …`` (projection variable implicitly bound)
+and ``select A in Adult where …`` (Example 2) are accepted, as are
+multiple bindings, nested queries, tuple constructors, membership
+predicates and parameterized class references.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import QuerySyntaxError
+from .ast import (
+    Binary,
+    Binding,
+    Call,
+    ClassSource,
+    Expr,
+    ExprSource,
+    InClass,
+    InExpr,
+    InQuery,
+    Literal,
+    Not,
+    Path,
+    QueryExpr,
+    QuerySource,
+    Select,
+    SelfExpr,
+    SetExpr,
+    Source,
+    TupleExpr,
+    Var,
+)
+from .lexer import TokenStream, tokenize
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def parse_query(text: str) -> Select:
+    """Parse a complete ``select`` query."""
+    stream = TokenStream(tokenize(text))
+    query = _parse_select(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        raise QuerySyntaxError(
+            f"unexpected input after query: {token.text!r}", token.position
+        )
+    return query
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (or a parenthesised select)."""
+    stream = TokenStream(tokenize(text))
+    expr = _parse_expr(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        raise QuerySyntaxError(
+            f"unexpected input after expression: {token.text!r}",
+            token.position,
+        )
+    return expr
+
+
+def parse_query_stream(stream: TokenStream) -> Select:
+    """Parse a select from an existing token stream (used by the
+    view-definition language, which embeds queries in statements)."""
+    return _parse_select(stream)
+
+
+def parse_expression_stream(stream: TokenStream) -> Expr:
+    """Parse an expression from an existing token stream."""
+    return _parse_expr(stream)
+
+
+def _parse_select(stream: TokenStream) -> Select:
+    stream.expect_keyword("select")
+    unique = stream.accept_keyword("the")
+    # The projection is parsed at additive level: a top-level `in`
+    # belongs to the binding ("select A in Adult"), not to a
+    # membership predicate.
+    projection = _parse_additive(stream)
+    bindings: List[Binding] = []
+    if stream.accept_keyword("in"):
+        # "select A in Adult where ...": the projection names the variable.
+        if not isinstance(projection, Var):
+            raise stream.error(
+                "the 'select VAR in SOURCE' form requires a bare variable"
+            )
+        bindings.append(Binding(projection.name, _parse_source(stream)))
+    elif stream.accept_keyword("from"):
+        bindings.extend(_parse_bindings(stream, projection))
+    else:
+        raise stream.error("expected 'from' or 'in' after the projection")
+    where = None
+    if stream.accept_keyword("where"):
+        where = _parse_expr(stream)
+    return Select(projection, tuple(bindings), where, unique)
+
+
+def _parse_bindings(stream: TokenStream, projection: Expr) -> List[Binding]:
+    bindings: List[Binding] = []
+    while True:
+        bindings.append(_parse_binding(stream, projection, bool(bindings)))
+        if not stream.accept_op(","):
+            break
+    return bindings
+
+
+def _parse_binding(
+    stream: TokenStream, projection: Expr, have_bindings: bool
+) -> Binding:
+    # Either "VAR in SOURCE" or a bare source whose variable is the
+    # projection variable ("select P from Person").
+    token = stream.peek()
+    if token.kind == "ident" and stream.peek(1).is_keyword("in"):
+        variable = stream.expect_ident().text
+        stream.expect_keyword("in")
+        return Binding(variable, _parse_source(stream))
+    source = _parse_source(stream)
+    if not have_bindings:
+        # "select P from Person" / "select P.City from Person": the
+        # projection's root variable is bound to the source.
+        if isinstance(projection, Var):
+            return Binding(projection.name, source)
+        if isinstance(projection, Path) and isinstance(
+            projection.base, Var
+        ):
+            return Binding(projection.base.name, source)
+    raise QuerySyntaxError(
+        "a source without 'VAR in' requires a variable-rooted projection",
+        token.position,
+    )
+
+
+def _parse_source(stream: TokenStream) -> Source:
+    token = stream.peek()
+    if token.is_op("("):
+        if stream.peek(1).is_keyword("select"):
+            stream.expect_op("(")
+            query = _parse_select(stream)
+            stream.expect_op(")")
+            return QuerySource(query)
+        stream.expect_op("(")
+        expr = _parse_expr(stream)
+        stream.expect_op(")")
+        return ExprSource(expr)
+    if token.kind == "ident":
+        # Class name, parameterized class, or a navigation expression.
+        if stream.peek(1).is_op("."):
+            return ExprSource(_parse_expr(stream))
+        name = stream.expect_ident().text
+        if stream.accept_op("("):
+            args = _parse_argument_list(stream)
+            return ClassSource(name, tuple(args))
+        return ClassSource(name)
+    if token.is_keyword("self"):
+        return ExprSource(_parse_expr(stream))
+    raise stream.error(f"expected a source, found {token.text!r}")
+
+
+def _parse_argument_list(stream: TokenStream) -> List[Expr]:
+    args: List[Expr] = []
+    if stream.accept_op(")"):
+        return args
+    while True:
+        args.append(_parse_expr(stream))
+        if stream.accept_op(")"):
+            return args
+        stream.expect_op(",")
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+def _parse_expr(stream: TokenStream) -> Expr:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> Expr:
+    left = _parse_and(stream)
+    while stream.accept_keyword("or"):
+        left = Binary("or", left, _parse_and(stream))
+    return left
+
+
+def _parse_and(stream: TokenStream) -> Expr:
+    left = _parse_not(stream)
+    while stream.accept_keyword("and"):
+        left = Binary("and", left, _parse_not(stream))
+    return left
+
+
+def _parse_not(stream: TokenStream) -> Expr:
+    if stream.accept_keyword("not"):
+        return Not(_parse_not(stream))
+    return _parse_comparison(stream)
+
+
+def _parse_comparison(stream: TokenStream) -> Expr:
+    left = _parse_additive(stream)
+    token = stream.peek()
+    if token.kind == "op" and token.text in _COMPARISON_OPS:
+        stream.next()
+        right = _parse_additive(stream)
+        return Binary(token.text, left, right)
+    if token.is_keyword("in"):
+        stream.next()
+        return _parse_membership(stream, left)
+    return left
+
+
+def _parse_membership(stream: TokenStream, operand: Expr) -> Expr:
+    token = stream.peek()
+    if token.is_op("(") and stream.peek(1).is_keyword("select"):
+        stream.expect_op("(")
+        query = _parse_select(stream)
+        stream.expect_op(")")
+        return InQuery(operand, query)
+    target = _parse_additive(stream)
+    if isinstance(target, Var):
+        return InClass(operand, target.name)
+    if isinstance(target, Call):
+        return InClass(operand, target.function, target.arguments)
+    return InExpr(operand, target)
+
+
+def _parse_additive(stream: TokenStream) -> Expr:
+    left = _parse_term(stream)
+    while True:
+        if stream.accept_op("+"):
+            left = Binary("+", left, _parse_term(stream))
+        elif stream.accept_op("-"):
+            left = Binary("-", left, _parse_term(stream))
+        else:
+            return left
+
+
+def _parse_term(stream: TokenStream) -> Expr:
+    left = _parse_path(stream)
+    while True:
+        if stream.accept_op("*"):
+            left = Binary("*", left, _parse_path(stream))
+        elif stream.accept_op("/"):
+            left = Binary("/", left, _parse_path(stream))
+        else:
+            return left
+
+
+def _parse_path(stream: TokenStream) -> Expr:
+    base = _parse_primary(stream)
+    attributes: List[str] = []
+    while stream.accept_op("."):
+        attributes.append(stream.expect_ident().text)
+    if attributes:
+        return Path(base, tuple(attributes))
+    return base
+
+
+def _parse_primary(stream: TokenStream) -> Expr:
+    token = stream.peek()
+    if token.kind == "number":
+        stream.next()
+        text = token.text
+        return Literal(float(text) if "." in text else int(text))
+    if token.kind == "string":
+        stream.next()
+        return Literal(token.text)
+    if token.is_keyword("true"):
+        stream.next()
+        return Literal(True)
+    if token.is_keyword("false"):
+        stream.next()
+        return Literal(False)
+    if token.is_keyword("self"):
+        stream.next()
+        return SelfExpr()
+    if token.kind == "ident":
+        stream.next()
+        if stream.accept_op("("):
+            args = _parse_argument_list(stream)
+            return Call(token.text, tuple(args))
+        return Var(token.text)
+    if token.is_op("("):
+        if stream.peek(1).is_keyword("select"):
+            stream.expect_op("(")
+            query = _parse_select(stream)
+            stream.expect_op(")")
+            return QueryExpr(query)
+        stream.expect_op("(")
+        expr = _parse_expr(stream)
+        stream.expect_op(")")
+        return expr
+    if token.is_op("["):
+        return _parse_tuple(stream)
+    if token.is_op("{"):
+        return _parse_set(stream)
+    if token.is_keyword("select"):
+        # A bare select in expression position (attribute bodies).
+        return QueryExpr(_parse_select(stream))
+    raise stream.error(f"expected an expression, found {token.text!r}")
+
+
+def _parse_tuple(stream: TokenStream) -> TupleExpr:
+    stream.expect_op("[")
+    fields: List[Tuple[str, Expr]] = []
+    if stream.accept_op("]"):
+        return TupleExpr(())
+    while True:
+        name = stream.expect_ident().text
+        stream.expect_op(":")
+        fields.append((name, _parse_expr(stream)))
+        if stream.accept_op("]"):
+            return TupleExpr(tuple(fields))
+        stream.expect_op(",")
+
+
+def _parse_set(stream: TokenStream) -> SetExpr:
+    stream.expect_op("{")
+    elements: List[Expr] = []
+    if stream.accept_op("}"):
+        return SetExpr(())
+    while True:
+        elements.append(_parse_expr(stream))
+        if stream.accept_op("}"):
+            return SetExpr(tuple(elements))
+        stream.expect_op(",")

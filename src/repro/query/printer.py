@@ -1,0 +1,172 @@
+"""Unparsing: render query ASTs back to source text.
+
+``parse_query(format_query(q)) == q`` for every query the parser
+accepts (pinned by a round-trip property test). Used by the CLI's
+``explain``, error messages, and the view decompiler.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Binary,
+    Binding,
+    Call,
+    ClassSource,
+    Expr,
+    ExprSource,
+    InClass,
+    InExpr,
+    InQuery,
+    Literal,
+    Not,
+    Path,
+    QueryExpr,
+    QuerySource,
+    Select,
+    SelfExpr,
+    SetExpr,
+    Source,
+    TupleExpr,
+    Var,
+)
+
+#: Binding strength of each operator (higher binds tighter).
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "=": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "in": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+}
+_ATOM = 7
+
+
+def format_query(query: Select) -> str:
+    """Render a select query as parseable text."""
+    parts = ["select"]
+    if query.unique:
+        parts.append("the")
+    parts.append(format_expression(query.projection))
+    parts.append("from")
+    parts.append(
+        ", ".join(_format_binding(b) for b in query.bindings)
+    )
+    if query.where is not None:
+        parts.append("where")
+        parts.append(format_expression(query.where))
+    return " ".join(parts)
+
+
+def _format_binding(binding: Binding) -> str:
+    return f"{binding.variable} in {_format_source(binding.source)}"
+
+
+def _format_source(source: Source) -> str:
+    if isinstance(source, ClassSource):
+        if source.arguments:
+            args = ", ".join(
+                format_expression(a) for a in source.arguments
+            )
+            return f"{source.class_name}({args})"
+        return source.class_name
+    if isinstance(source, QuerySource):
+        return f"({format_query(source.query)})"
+    if isinstance(source, ExprSource):
+        return f"({format_expression(source.expression)})"
+    raise TypeError(f"unknown source: {source!r}")
+
+
+def format_expression(expr: Expr) -> str:
+    """Render an expression as parseable text."""
+    return _format(expr, 0)
+
+
+def _format(expr: Expr, parent_precedence: int) -> str:
+    text, precedence = _render(expr)
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _render(expr: Expr):
+    if isinstance(expr, Literal):
+        return _render_literal(expr.value), _ATOM
+    if isinstance(expr, Var):
+        return expr.name, _ATOM
+    if isinstance(expr, SelfExpr):
+        return "self", _ATOM
+    if isinstance(expr, Path):
+        base = _format(expr.base, _ATOM)
+        return base + "".join(f".{a}" for a in expr.attributes), _ATOM
+    if isinstance(expr, TupleExpr):
+        inner = ", ".join(
+            f"{name}: {format_expression(value)}"
+            for name, value in expr.fields
+        )
+        return f"[{inner}]", _ATOM
+    if isinstance(expr, SetExpr):
+        inner = ", ".join(
+            format_expression(e) for e in expr.elements
+        )
+        return f"{{{inner}}}", _ATOM
+    if isinstance(expr, Binary):
+        precedence = _PRECEDENCE[expr.op]
+        if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            # Comparisons are non-associative in the grammar: both
+            # operands must sit strictly above comparison level.
+            left = _format(expr.left, precedence + 1)
+        else:
+            # Arithmetic and boolean connectives associate left.
+            left = _format(expr.left, precedence)
+        right = _format(expr.right, precedence + 1)
+        return f"{left} {expr.op} {right}", precedence
+    if isinstance(expr, Not):
+        precedence = _PRECEDENCE["not"]
+        return f"not {_format(expr.operand, precedence)}", precedence
+    if isinstance(expr, InClass):
+        precedence = _PRECEDENCE["in"]
+        operand = _format(expr.operand, precedence + 1)
+        if expr.class_args:
+            args = ", ".join(
+                format_expression(a) for a in expr.class_args
+            )
+            return f"{operand} in {expr.class_name}({args})", precedence
+        return f"{operand} in {expr.class_name}", precedence
+    if isinstance(expr, InExpr):
+        precedence = _PRECEDENCE["in"]
+        operand = _format(expr.operand, precedence + 1)
+        container = _format(expr.container, precedence + 1)
+        return f"{operand} in {container}", precedence
+    if isinstance(expr, InQuery):
+        precedence = _PRECEDENCE["in"]
+        operand = _format(expr.operand, precedence + 1)
+        return f"{operand} in ({format_query(expr.query)})", precedence
+    if isinstance(expr, QueryExpr):
+        return f"({format_query(expr.query)})", _ATOM
+    if isinstance(expr, Call):
+        args = ", ".join(format_expression(a) for a in expr.arguments)
+        return f"{expr.function}({args})", _ATOM
+    raise TypeError(f"unknown expression: {expr!r}")
+
+
+def _render_literal(value) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        text = repr(value)
+        return text if "." in text or "e" in text else text + ".0"
+    return str(value)

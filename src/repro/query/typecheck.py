@@ -1,0 +1,285 @@
+"""Static type inference for queries.
+
+The paper leans on inference throughout: "static type inference
+determines that attribute Address … is a tuple of type [City: string,
+…]" (§2), and imaginary classes get their *core attributes* and types
+from the type of their defining query (§5). This module implements that
+inference.
+
+Inference runs against a :class:`TypeEnvironment`, which adapts either a
+database or a view; views override attribute types (hides, virtual
+attributes) through their own ``attribute_type`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..engine.types import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NOTHING,
+    REAL,
+    STRING,
+    ClassType,
+    SetType,
+    TupleType,
+    Type,
+    TypeContext,
+    lub,
+)
+from ..errors import NoLeastUpperBoundError, QueryTypeError
+from .ast import (
+    Binary,
+    Call,
+    ClassSource,
+    Expr,
+    ExprSource,
+    InClass,
+    InExpr,
+    InQuery,
+    Literal,
+    Not,
+    Path,
+    QueryExpr,
+    QuerySource,
+    Select,
+    SelfExpr,
+    SetExpr,
+    TupleExpr,
+    Var,
+)
+
+
+class TypeEnvironment:
+    """What the type checker needs to know about a scope."""
+
+    def __init__(self, scope):
+        self._scope = scope
+
+    @property
+    def ctx(self) -> TypeContext:
+        return self._scope.schema
+
+    def class_exists(self, name: str) -> bool:
+        if hasattr(self._scope, "has_class"):
+            return self._scope.has_class(name)
+        return name in self._scope.schema
+
+    def attribute_type(self, class_name: str, attribute: str) -> Type:
+        """Effective type of an attribute in this scope (``ANY`` if
+        undeclared)."""
+        if hasattr(self._scope, "attribute_type"):
+            declared = self._scope.attribute_type(class_name, attribute)
+        else:
+            adef = self._scope.schema.resolve_attribute(class_name, attribute)
+            declared = adef.declared_type
+        return declared if declared is not None else ANY
+
+    def function_type(self, name: str) -> Type:
+        types = getattr(self._scope, "function_types", None)
+        if types and name in types:
+            return types[name]
+        return ANY
+
+
+def infer_query_type(
+    query: Select,
+    tenv: TypeEnvironment,
+    variable_types: Optional[Dict[str, Type]] = None,
+    self_type: Optional[Type] = None,
+) -> Type:
+    """Type of a query's result: ``{element}`` or the element for
+    ``select the``."""
+    element = infer_element_type(query, tenv, variable_types, self_type)
+    if query.unique:
+        return element
+    return SetType(element)
+
+
+def infer_element_type(
+    query: Select,
+    tenv: TypeEnvironment,
+    variable_types: Optional[Dict[str, Type]] = None,
+    self_type: Optional[Type] = None,
+) -> Type:
+    """Type of one element of the query's result set."""
+    variables: Dict[str, Type] = dict(variable_types or {})
+    for binding in query.bindings:
+        variables[binding.variable] = _source_element_type(
+            binding.source, tenv, variables, self_type
+        )
+    if query.where is not None:
+        condition = infer_expr_type(query.where, tenv, variables, self_type)
+        if condition is not BOOLEAN and condition is not ANY:
+            raise QueryTypeError(
+                f"where-clause is not boolean: {condition.describe()}"
+            )
+    return infer_expr_type(query.projection, tenv, variables, self_type)
+
+
+def _source_element_type(
+    source,
+    tenv: TypeEnvironment,
+    variables: Dict[str, Type],
+    self_type: Optional[Type],
+) -> Type:
+    if isinstance(source, ClassSource):
+        if not tenv.class_exists(source.class_name):
+            raise QueryTypeError(f"unknown class: {source.class_name!r}")
+        return ClassType(source.class_name)
+    if isinstance(source, QuerySource):
+        return infer_element_type(source.query, tenv, variables, self_type)
+    if isinstance(source, ExprSource):
+        collection = infer_expr_type(
+            source.expression, tenv, variables, self_type
+        )
+        if isinstance(collection, SetType):
+            return collection.element
+        if collection is ANY:
+            return ANY
+        raise QueryTypeError(
+            f"source expression is not a set: {collection.describe()}"
+        )
+    raise QueryTypeError(f"unknown source: {source!r}")
+
+
+def infer_expr_type(
+    expr: Expr,
+    tenv: TypeEnvironment,
+    variables: Optional[Dict[str, Type]] = None,
+    self_type: Optional[Type] = None,
+) -> Type:
+    variables = variables or {}
+    if isinstance(expr, Literal):
+        return _literal_type(expr.value)
+    if isinstance(expr, Var):
+        if expr.name in variables:
+            return variables[expr.name]
+        raise QueryTypeError(f"unbound variable: {expr.name!r}")
+    if isinstance(expr, SelfExpr):
+        if self_type is None:
+            raise QueryTypeError("'self' used outside an attribute body")
+        return self_type
+    if isinstance(expr, Path):
+        return _path_type(expr, tenv, variables, self_type)
+    if isinstance(expr, TupleExpr):
+        return TupleType(
+            {
+                name: infer_expr_type(value, tenv, variables, self_type)
+                for name, value in expr.fields
+            }
+        )
+    if isinstance(expr, SetExpr):
+        element: Type = NOTHING
+        for item in expr.elements:
+            item_type = infer_expr_type(item, tenv, variables, self_type)
+            try:
+                element = lub(element, item_type, tenv.ctx)
+            except NoLeastUpperBoundError:
+                element = ANY
+        return SetType(element)
+    if isinstance(expr, Binary):
+        return _binary_type(expr, tenv, variables, self_type)
+    if isinstance(expr, (Not, InClass, InExpr, InQuery)):
+        # Operand types are still checked for errors.
+        for child in _boolean_children(expr):
+            infer_expr_type(child, tenv, variables, self_type)
+        if isinstance(expr, InClass) and not tenv.class_exists(expr.class_name):
+            raise QueryTypeError(f"unknown class: {expr.class_name!r}")
+        if isinstance(expr, InQuery):
+            infer_element_type(expr.query, tenv, variables, self_type)
+        return BOOLEAN
+    if isinstance(expr, QueryExpr):
+        return infer_query_type(expr.query, tenv, variables, self_type)
+    if isinstance(expr, Call):
+        for arg in expr.arguments:
+            infer_expr_type(arg, tenv, variables, self_type)
+        return tenv.function_type(expr.function)
+    raise QueryTypeError(f"unknown expression node: {expr!r}")
+
+
+def _boolean_children(expr: Expr):
+    if isinstance(expr, Not):
+        return [expr.operand]
+    if isinstance(expr, InClass):
+        return [expr.operand, *expr.class_args]
+    if isinstance(expr, InExpr):
+        return [expr.operand, expr.container]
+    if isinstance(expr, InQuery):
+        return [expr.operand]
+    return []
+
+
+def _literal_type(value) -> Type:
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return REAL
+    if isinstance(value, str):
+        return STRING
+    return ANY
+
+
+def _path_type(
+    path: Path,
+    tenv: TypeEnvironment,
+    variables: Dict[str, Type],
+    self_type: Optional[Type],
+) -> Type:
+    current = infer_expr_type(path.base, tenv, variables, self_type)
+    for attribute in path.attributes:
+        if current is ANY:
+            return ANY
+        if isinstance(current, ClassType):
+            current = tenv.attribute_type(current.class_name, attribute)
+        elif isinstance(current, TupleType):
+            field = current.field_type(attribute)
+            if field is None:
+                raise QueryTypeError(
+                    f"tuple type {current.describe()} has no field"
+                    f" {attribute!r}"
+                )
+            current = field
+        else:
+            raise QueryTypeError(
+                f"cannot select {attribute!r} from {current.describe()}"
+            )
+    return current
+
+
+def _binary_type(
+    expr: Binary,
+    tenv: TypeEnvironment,
+    variables: Dict[str, Type],
+    self_type: Optional[Type],
+) -> Type:
+    left = infer_expr_type(expr.left, tenv, variables, self_type)
+    right = infer_expr_type(expr.right, tenv, variables, self_type)
+    if expr.op in ("and", "or"):
+        for side, label in ((left, "left"), (right, "right")):
+            if side is not BOOLEAN and side is not ANY:
+                raise QueryTypeError(
+                    f"{label} side of {expr.op!r} is not boolean:"
+                    f" {side.describe()}"
+                )
+        return BOOLEAN
+    if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+        return BOOLEAN
+    # Arithmetic.
+    if expr.op == "+" and left is STRING and right is STRING:
+        return STRING
+    for side in (left, right):
+        if side in (INTEGER, REAL, ANY):
+            continue
+        raise QueryTypeError(
+            f"arithmetic on non-number: {side.describe()}"
+        )
+    if expr.op == "/" or REAL in (left, right):
+        return REAL
+    if ANY in (left, right):
+        return ANY
+    return INTEGER

@@ -1,0 +1,35 @@
+"""The relational substrate: relations, algebra, a SQL subset,
+relational views (the paper's §3 baseline) and the relational→object
+bridge (§5's flagship imaginary-object application)."""
+
+from .algebra import (
+    difference,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    union,
+)
+from .bridge import RelationalAdapter, snapshot_database
+from .relation import Relation, RelationalDatabase
+from .sql import execute
+from .views import RelationalView, define_view, projection_view
+
+__all__ = [
+    "Relation",
+    "RelationalAdapter",
+    "RelationalDatabase",
+    "RelationalView",
+    "define_view",
+    "difference",
+    "execute",
+    "natural_join",
+    "product",
+    "project",
+    "projection_view",
+    "rename",
+    "select",
+    "snapshot_database",
+    "union",
+]

@@ -1,0 +1,110 @@
+"""Relational algebra over :class:`~repro.relational.relation.Relation`.
+
+Operators return fresh (anonymous) relations. ``project`` is the
+operator the paper's §3 critiques as a hiding primitive: it keeps
+exactly the named columns and drops everything else — including the
+attributes relational modelling flattens in from what would be
+subclasses in an object model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import RelationalError
+from .relation import Relation
+
+
+def select(relation: Relation, predicate: Callable[[Dict[str, object]], bool],
+           name: str = "") -> Relation:
+    """σ: the rows satisfying the predicate."""
+    result = Relation(name or f"select({relation.name})", relation.columns)
+    for values in relation.dicts():
+        if predicate(values):
+            result.insert(**values)
+    return result
+
+
+def project(relation: Relation, columns: Sequence[str], name: str = "") -> Relation:
+    """π: keep exactly ``columns`` (duplicates eliminated)."""
+    for column in columns:
+        relation.column_index(column)
+    result = Relation(name or f"project({relation.name})", columns)
+    seen = set()
+    for values in relation.dicts():
+        row = tuple(values[c] for c in columns)
+        if row in seen:
+            continue
+        seen.add(row)
+        result.insert(*row)
+    return result
+
+
+def rename(relation: Relation, mapping: Dict[str, str], name: str = "") -> Relation:
+    """ρ: rename columns."""
+    columns = [mapping.get(c, c) for c in relation.columns]
+    result = Relation(name or f"rename({relation.name})", columns)
+    for row in relation.rows():
+        result.insert(*row)
+    return result
+
+
+def union(first: Relation, second: Relation, name: str = "") -> Relation:
+    if first.columns != second.columns:
+        raise RelationalError(
+            f"union over different schemas: {first.columns} vs"
+            f" {second.columns}"
+        )
+    result = Relation(name or f"union({first.name},{second.name})", first.columns)
+    seen = set()
+    for relation in (first, second):
+        for row in relation.rows():
+            if row in seen:
+                continue
+            seen.add(row)
+            result.insert(*row)
+    return result
+
+
+def difference(first: Relation, second: Relation, name: str = "") -> Relation:
+    if first.columns != second.columns:
+        raise RelationalError("difference over different schemas")
+    other = set(second.rows())
+    result = Relation(name or f"diff({first.name},{second.name})", first.columns)
+    for row in first.rows():
+        if row not in other:
+            result.insert(*row)
+    return result
+
+
+def natural_join(first: Relation, second: Relation, name: str = "") -> Relation:
+    """⋈: join on all shared column names (hash join on the shared key)."""
+    shared = [c for c in first.columns if c in second.columns]
+    extra = [c for c in second.columns if c not in shared]
+    columns = list(first.columns) + extra
+    result = Relation(name or f"join({first.name},{second.name})", columns)
+    index: Dict[tuple, List[Dict[str, object]]] = {}
+    for values in second.dicts():
+        key = tuple(values[c] for c in shared)
+        index.setdefault(key, []).append(values)
+    for values in first.dicts():
+        key = tuple(values[c] for c in shared)
+        for match in index.get(key, ()):
+            merged = dict(values)
+            merged.update({c: match[c] for c in extra})
+            result.insert(**merged)
+    return result
+
+
+def product(first: Relation, second: Relation, name: str = "") -> Relation:
+    """×: Cartesian product (columns must not overlap)."""
+    overlap = set(first.columns) & set(second.columns)
+    if overlap:
+        raise RelationalError(f"product with shared columns: {sorted(overlap)}")
+    columns = list(first.columns) + list(second.columns)
+    result = Relation(name or f"product({first.name},{second.name})", columns)
+    second_rows = list(second.rows())
+    for left in first.rows():
+        for right in second_rows:
+            result.insert(*(left + right))
+    return result

@@ -1,0 +1,184 @@
+"""The relational→object bridge.
+
+§5 of the paper lists as the first application of imaginary objects
+"creating an object-oriented view of a relational database. Typically,
+this means creating new objects from database tuples."
+
+:class:`RelationalAdapter` implements exactly that idea one level down:
+it is a :class:`~repro.engine.objects.Scope` that presents each
+relation as a class and each row as an object, with the same stable
+tuple→oid identity discipline imaginary classes use. Views can then
+import the adapter like any database and build virtual/imaginary
+classes on top (see ``examples/relational_bridge.py``).
+
+Relation mutations surface as object events, so materialized virtual
+classes over relational data maintain themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..engine.database import Database
+from ..engine.events import EventBus, ObjectCreated, ObjectDeleted
+from ..engine.objects import ObjectHandle, Scope
+from ..engine.oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
+from ..engine.schema import AttributeDef, Schema
+from ..engine.values import canonicalize
+from ..errors import UnknownOidError
+from .relation import Relation, RelationalDatabase
+
+
+class _RelationMirror:
+    """Identity table and live population for one relation."""
+
+    def __init__(self, adapter_name: str, relation: Relation):
+        self.relation = relation
+        self.space = f"{adapter_name}/{relation.name}"
+        self._oids = OidGenerator(self.space)
+        self._by_row: Dict[object, Oid] = {}
+        self._values: Dict[Oid, Dict[str, object]] = {}
+        self.current: set = set()
+
+    def oid_for(self, row) -> Oid:
+        values = self.relation.row_dict(row)
+        key = canonicalize(values)
+        oid = self._by_row.get(key)
+        if oid is None:
+            oid = self._oids.fresh()
+            self._by_row[key] = oid
+            self._values[oid] = values
+        return oid
+
+    def value(self, oid: Oid) -> Dict[str, object]:
+        value = self._values.get(oid)
+        if value is None:
+            raise UnknownOidError(oid)
+        return value
+
+    def knows(self, oid: Oid) -> bool:
+        return oid in self._values
+
+
+class RelationalAdapter(Scope):
+    """Expose a relational database as an object scope."""
+
+    def __init__(self, reldb: RelationalDatabase):
+        self._reldb = reldb
+        self._name = reldb.name
+        self._schema = Schema()
+        self._mirrors: Dict[str, _RelationMirror] = {}
+        self._events = EventBus()
+        for relation in reldb:
+            self._mount(relation)
+
+    # ------------------------------------------------------------------
+
+    def _mount(self, relation: Relation) -> None:
+        self._schema.define_class(
+            relation.name,
+            (),
+            {
+                column: AttributeDef(column, None)
+                for column in relation.columns
+            },
+            doc=f"relation {relation.name}",
+        )
+        mirror = _RelationMirror(self._name, relation)
+        self._mirrors[relation.name] = mirror
+        for row in relation.rows():
+            oid = mirror.oid_for(row)
+            mirror.current.add(oid)
+        relation.observe(
+            lambda kind, row, _m=mirror, _r=relation: self._on_mutation(
+                _m, _r, kind, row
+            )
+        )
+
+    def refresh(self) -> None:
+        """Mount relations created after the adapter (schema evolution)."""
+        for relation in self._reldb:
+            if relation.name not in self._mirrors:
+                self._mount(relation)
+
+    def _on_mutation(
+        self, mirror: _RelationMirror, relation: Relation, kind: str, row
+    ) -> None:
+        oid = mirror.oid_for(row)
+        if kind == "insert":
+            mirror.current.add(oid)
+            self._events.publish(
+                ObjectCreated(self._name, relation.name, oid)
+            )
+        else:
+            mirror.current.discard(oid)
+            self._events.publish(
+                ObjectDeleted(self._name, relation.name, oid)
+            )
+
+    # ------------------------------------------------------------------
+    # Scope protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def scope_name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def events(self) -> EventBus:
+        return self._events
+
+    def class_of(self, oid: Oid) -> str:
+        for name, mirror in self._mirrors.items():
+            if mirror.knows(oid):
+                return name
+        raise UnknownOidError(oid)
+
+    def contains_oid(self, oid: Oid) -> bool:
+        return any(m.knows(oid) for m in self._mirrors.values())
+
+    def raw_value(self, oid: Oid) -> Dict[str, object]:
+        for mirror in self._mirrors.values():
+            if mirror.knows(oid):
+                return mirror.value(oid)
+        raise UnknownOidError(oid)
+
+    def resolve_attribute_for(self, oid: Oid, attribute: str) -> AttributeDef:
+        return self._schema.resolve_attribute(self.class_of(oid), attribute)
+
+    def is_member(self, oid: Oid, class_name: str) -> bool:
+        mirror = self._mirrors.get(class_name)
+        return mirror is not None and oid in mirror.current
+
+    def extent(self, class_name: str, deep: bool = True) -> OidSet:
+        self._schema.require(class_name)
+        mirror = self._mirrors[class_name]
+        if not mirror.current:
+            return EMPTY_OID_SET
+        return OidSet.of(mirror.current)
+
+    def handles(self, class_name: str, deep: bool = True) -> List[ObjectHandle]:
+        return [self.get(oid) for oid in self.extent(class_name, deep)]
+
+
+def snapshot_database(reldb: RelationalDatabase, name: Optional[str] = None) -> Database:
+    """Copy a relational database into a plain object database
+    (one class per relation, one object per row). A one-shot import —
+    later relational updates are not reflected; use
+    :class:`RelationalAdapter` for a live bridge."""
+    db = Database(name or f"{reldb.name}_objects")
+    for relation in reldb:
+        db.define_class(
+            relation.name,
+            attributes={
+                column: AttributeDef(column, None)
+                for column in relation.columns
+            },
+        )
+        for values in relation.dicts():
+            db.create(relation.name, values)
+    return db

@@ -1,0 +1,184 @@
+"""Relations: named, typed, row-oriented tables.
+
+A deliberately small relational engine, used two ways by the
+reproduction:
+
+- as the *baseline* in experiment E7 (§3 of the paper shows relational
+  projection is the wrong hiding primitive for objects);
+- as the substrate for the paper's flagship imaginary-object
+  application, "creating an object-oriented view of a relational
+  database" (§5) — see :mod:`repro.relational.bridge`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import RelationalError
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """A named relation with a fixed column list."""
+
+    def __init__(self, name: str, columns: Sequence[str]):
+        if len(set(columns)) != len(columns):
+            raise RelationalError(f"duplicate columns in {name!r}")
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._index = {c: i for i, c in enumerate(self.columns)}
+        self._rows: List[Row] = []
+        self._observers: List[Callable[[str, Row], None]] = []
+
+    # ------------------------------------------------------------------
+
+    def column_index(self, column: str) -> int:
+        index = self._index.get(column)
+        if index is None:
+            raise RelationalError(
+                f"relation {self.name!r} has no column {column!r}"
+            )
+        return index
+
+    def add_column(self, column: str, default=None) -> None:
+        """Schema evolution: append a column, filling existing rows
+        with ``default``."""
+        if column in self._index:
+            raise RelationalError(
+                f"column already exists: {column!r}"
+            )
+        self.columns = self.columns + (column,)
+        self._index[column] = len(self.columns) - 1
+        self._rows = [row + (default,) for row in self._rows]
+
+    def observe(self, callback: Callable[[str, Row], None]) -> Callable[[], None]:
+        """Register a mutation observer: called with ("insert"|"delete",
+        row). Updates are delete+insert."""
+        self._observers.append(callback)
+
+        def unobserve():
+            try:
+                self._observers.remove(callback)
+            except ValueError:
+                pass
+
+        return unobserve
+
+    def _notify(self, kind: str, row: Row) -> None:
+        for observer in list(self._observers):
+            observer(kind, row)
+
+    # ------------------------------------------------------------------
+
+    def insert(self, *values, **named) -> Row:
+        """Insert a row, positionally or by column name."""
+        if values and named:
+            raise RelationalError("mix of positional and named values")
+        if named:
+            missing = set(self.columns) - set(named)
+            extra = set(named) - set(self.columns)
+            if extra:
+                raise RelationalError(f"unknown columns: {sorted(extra)}")
+            row = tuple(named.get(c) for c in self.columns)
+            del missing  # unset columns default to None
+        else:
+            if len(values) != len(self.columns):
+                raise RelationalError(
+                    f"{self.name!r} expects {len(self.columns)} values,"
+                    f" got {len(values)}"
+                )
+            row = tuple(values)
+        self._rows.append(row)
+        self._notify("insert", row)
+        return row
+
+    def delete_where(self, predicate: Callable[[Dict[str, object]], bool]) -> int:
+        """Delete rows matching a predicate over named values."""
+        kept: List[Row] = []
+        deleted = 0
+        for row in self._rows:
+            if predicate(self.row_dict(row)):
+                deleted += 1
+                self._notify("delete", row)
+            else:
+                kept.append(row)
+        self._rows = kept
+        return deleted
+
+    def update_where(
+        self,
+        predicate: Callable[[Dict[str, object]], bool],
+        **assignments,
+    ) -> int:
+        """Update matching rows (observers see delete+insert)."""
+        for column in assignments:
+            self.column_index(column)
+        updated = 0
+        new_rows: List[Row] = []
+        for row in self._rows:
+            values = self.row_dict(row)
+            if predicate(values):
+                values.update(assignments)
+                new_row = tuple(values[c] for c in self.columns)
+                self._notify("delete", row)
+                self._notify("insert", new_row)
+                new_rows.append(new_row)
+                updated += 1
+            else:
+                new_rows.append(row)
+        self._rows = new_rows
+        return updated
+
+    # ------------------------------------------------------------------
+
+    def rows(self) -> Iterator[Row]:
+        return iter(list(self._rows))
+
+    def row_dict(self, row: Row) -> Dict[str, object]:
+        return dict(zip(self.columns, row))
+
+    def dicts(self) -> Iterator[Dict[str, object]]:
+        for row in self.rows():
+            yield self.row_dict(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+
+class RelationalDatabase:
+    """A named collection of relations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._relations: Dict[str, Relation] = {}
+
+    def create_relation(self, name: str, columns: Sequence[str]) -> Relation:
+        if name in self._relations:
+            raise RelationalError(f"relation already exists: {name!r}")
+        relation = Relation(name, columns)
+        self._relations[name] = relation
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        if name not in self._relations:
+            raise RelationalError(f"unknown relation: {name!r}")
+        del self._relations[name]
+
+    def relation(self, name: str) -> Relation:
+        relation = self._relations.get(name)
+        if relation is None:
+            raise RelationalError(f"unknown relation: {name!r}")
+        return relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())

@@ -1,0 +1,248 @@
+"""A small SQL subset over the relational substrate.
+
+Supported statements::
+
+    CREATE TABLE Employee (Name, Number, Age, Salary)
+    INSERT INTO Employee VALUES ('Maggy', 1, 65, 100000)
+    SELECT Name, Age FROM Employee WHERE Age >= 21 AND Name != 'Bob'
+    DELETE FROM Employee WHERE Number = 1
+    UPDATE Employee SET Salary = 0 WHERE Age < 18
+
+Keywords are case-insensitive here (SQL convention), unlike the
+object query dialect. The executor returns a
+:class:`~repro.relational.relation.Relation` for SELECT and an affected
+row count otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..errors import RelationalError
+from .relation import Relation, RelationalDatabase
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_#]*)
+  | (?P<op><=|>=|<>|!=|[(),=<>*])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise RelationalError(f"bad SQL at {text[pos:pos + 10]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "string":
+            value = value[1:-1].replace("''", "'")
+        tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.tokens[self.pos]
+        if token[0] != "eof":
+            self.pos += 1
+        return token
+
+    def accept_word(self, word: str) -> bool:
+        kind, value = self.peek()
+        if kind == "ident" and value.upper() == word:
+            self.next()
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.accept_word(word):
+            raise RelationalError(
+                f"expected {word}, found {self.peek()[1]!r}"
+            )
+
+    def expect_ident(self) -> str:
+        kind, value = self.peek()
+        if kind != "ident":
+            raise RelationalError(f"expected identifier, found {value!r}")
+        self.next()
+        return value
+
+    def accept_op(self, op: str) -> bool:
+        kind, value = self.peek()
+        if kind == "op" and value == op:
+            self.next()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise RelationalError(
+                f"expected {op!r}, found {self.peek()[1]!r}"
+            )
+
+
+def execute(db: RelationalDatabase, sql: str):
+    """Parse and run one SQL statement against ``db``."""
+    cursor = _Cursor(_tokenize(sql))
+    kind, value = cursor.peek()
+    if kind != "ident":
+        raise RelationalError(f"expected a statement, found {value!r}")
+    word = value.upper()
+    if word == "CREATE":
+        return _create(db, cursor)
+    if word == "INSERT":
+        return _insert(db, cursor)
+    if word == "SELECT":
+        return _select(db, cursor)
+    if word == "DELETE":
+        return _delete(db, cursor)
+    if word == "UPDATE":
+        return _update(db, cursor)
+    raise RelationalError(f"unsupported statement: {word}")
+
+
+def _create(db: RelationalDatabase, cursor: _Cursor) -> int:
+    cursor.expect_word("CREATE")
+    cursor.expect_word("TABLE")
+    name = cursor.expect_ident()
+    cursor.expect_op("(")
+    columns = [cursor.expect_ident()]
+    while cursor.accept_op(","):
+        columns.append(cursor.expect_ident())
+    cursor.expect_op(")")
+    db.create_relation(name, columns)
+    return 0
+
+
+def _insert(db: RelationalDatabase, cursor: _Cursor) -> int:
+    cursor.expect_word("INSERT")
+    cursor.expect_word("INTO")
+    relation = db.relation(cursor.expect_ident())
+    cursor.expect_word("VALUES")
+    cursor.expect_op("(")
+    values = [_literal(cursor)]
+    while cursor.accept_op(","):
+        values.append(_literal(cursor))
+    cursor.expect_op(")")
+    relation.insert(*values)
+    return 1
+
+
+def _select(db: RelationalDatabase, cursor: _Cursor) -> Relation:
+    cursor.expect_word("SELECT")
+    star = cursor.accept_op("*")
+    columns: List[str] = []
+    if not star:
+        columns.append(cursor.expect_ident())
+        while cursor.accept_op(","):
+            columns.append(cursor.expect_ident())
+    cursor.expect_word("FROM")
+    relation = db.relation(cursor.expect_ident())
+    predicate = _where(cursor)
+    if star:
+        columns = list(relation.columns)
+    result = Relation("result", columns)
+    seen = set()
+    for values in relation.dicts():
+        if predicate is not None and not predicate(values):
+            continue
+        row = tuple(values[c] for c in columns)
+        if row in seen:
+            continue
+        seen.add(row)
+        result.insert(*row)
+    return result
+
+
+def _delete(db: RelationalDatabase, cursor: _Cursor) -> int:
+    cursor.expect_word("DELETE")
+    cursor.expect_word("FROM")
+    relation = db.relation(cursor.expect_ident())
+    predicate = _where(cursor) or (lambda _values: True)
+    return relation.delete_where(predicate)
+
+
+def _update(db: RelationalDatabase, cursor: _Cursor) -> int:
+    cursor.expect_word("UPDATE")
+    relation = db.relation(cursor.expect_ident())
+    cursor.expect_word("SET")
+    assignments: Dict[str, object] = {}
+    while True:
+        column = cursor.expect_ident()
+        cursor.expect_op("=")
+        assignments[column] = _literal(cursor)
+        if not cursor.accept_op(","):
+            break
+    predicate = _where(cursor) or (lambda _values: True)
+    return relation.update_where(predicate, **assignments)
+
+
+def _where(cursor: _Cursor):
+    if not cursor.accept_word("WHERE"):
+        return None
+    conditions = [_condition(cursor)]
+    while cursor.accept_word("AND"):
+        conditions.append(_condition(cursor))
+
+    def predicate(values: Dict[str, object]) -> bool:
+        return all(c(values) for c in conditions)
+
+    return predicate
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and b is not None and a < b,
+    "<=": lambda a, b: a is not None and b is not None and a <= b,
+    ">": lambda a, b: a is not None and b is not None and a > b,
+    ">=": lambda a, b: a is not None and b is not None and a >= b,
+}
+
+
+def _condition(cursor: _Cursor):
+    column = cursor.expect_ident()
+    kind, op = cursor.next()
+    if kind != "op" or op not in _OPS:
+        raise RelationalError(f"expected a comparison, found {op!r}")
+    literal = _literal(cursor)
+    compare = _OPS[op]
+
+    def test(values: Dict[str, object]) -> bool:
+        if column not in values:
+            raise RelationalError(f"unknown column {column!r}")
+        return compare(values[column], literal)
+
+    return test
+
+
+def _literal(cursor: _Cursor):
+    kind, value = cursor.next()
+    if kind == "number":
+        return float(value) if "." in value else int(value)
+    if kind == "string":
+        return value
+    if kind == "ident" and value.upper() == "NULL":
+        return None
+    raise RelationalError(f"expected a literal, found {value!r}")

@@ -1,0 +1,89 @@
+"""Relational views: the baseline §3 argues against.
+
+A :class:`RelationalView` is a stored select/project query, recomputed
+on access — the classic relational view. It exists to make the paper's
+§3 argument measurable (experiment E7):
+
+- ``projection_view`` must *enumerate* the visible columns, so hiding
+  one attribute couples the view definition to the full schema: when a
+  column is added, the definition must be edited
+  (:meth:`RelationalView.refresh_columns` models that maintenance);
+- applied to data flattened from an object hierarchy, projection also
+  drops subclass-specific attributes (a ``Manager``'s ``Budget``),
+  which the object-oriented ``hide`` preserves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from .algebra import project, select
+from .relation import Relation, RelationalDatabase
+
+
+class RelationalView:
+    """A named, recompute-on-access relational view."""
+
+    def __init__(
+        self,
+        name: str,
+        base: Relation,
+        columns: Sequence[str],
+        predicate: Optional[Callable[[Dict[str, object]], bool]] = None,
+    ):
+        self.name = name
+        self._base = base
+        self.columns = list(columns)
+        self._predicate = predicate
+        # Maintenance bookkeeping for experiment E7.
+        self.definition_edits = 0
+
+    def rows(self) -> Relation:
+        source = self._base
+        if self._predicate is not None:
+            source = select(source, self._predicate)
+        return project(source, self.columns, name=self.name)
+
+    def refresh_columns(self, hidden: Sequence[str]) -> int:
+        """Re-derive the column list from the (possibly changed) base
+        schema, keeping ``hidden`` columns out.
+
+        Returns the number of definition edits performed (0 when the
+        stored definition was already correct). This is the maintenance
+        the paper calls "cumbersome": every base-schema change forces
+        an edit even though the *intent* (hide these columns) did not
+        change.
+        """
+        wanted = [c for c in self._base.columns if c not in set(hidden)]
+        if wanted != self.columns:
+            self.columns = wanted
+            self.definition_edits += 1
+            return 1
+        return 0
+
+
+def projection_view(
+    name: str,
+    base: Relation,
+    hidden: Sequence[str],
+) -> RelationalView:
+    """Define a view hiding ``hidden`` by enumerating the others —
+    exactly the ``A_Relational_View`` of §3."""
+    hidden_set = set(hidden)
+    for column in hidden:
+        base.column_index(column)
+    visible = [c for c in base.columns if c not in hidden_set]
+    return RelationalView(name, base, visible)
+
+
+def define_view(
+    db: RelationalDatabase,
+    name: str,
+    base_name: str,
+    columns: Sequence[str],
+    predicate: Optional[Callable[[Dict[str, object]], bool]] = None,
+) -> RelationalView:
+    base = db.relation(base_name)
+    for column in columns:
+        base.column_index(column)
+    return RelationalView(name, base, columns, predicate)

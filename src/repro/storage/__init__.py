@@ -1,0 +1,37 @@
+"""Persistence substrate: codec, record stores, journaling,
+transactions, and whole-database snapshots."""
+
+from .journal import JournalWriter, replay_journal
+from .persistence import (
+    compact,
+    load_database,
+    open_persistent,
+    save_database,
+)
+from .serializer import (
+    decode_value,
+    encode_value,
+    type_from_data,
+    type_to_data,
+)
+from .stores import FileStore, MemoryStore, RecordStore
+from .transactions import Transaction, TransactionManager, TxState
+
+__all__ = [
+    "FileStore",
+    "JournalWriter",
+    "MemoryStore",
+    "RecordStore",
+    "Transaction",
+    "TransactionManager",
+    "TxState",
+    "compact",
+    "decode_value",
+    "encode_value",
+    "load_database",
+    "open_persistent",
+    "replay_journal",
+    "save_database",
+    "type_from_data",
+    "type_to_data",
+]

@@ -1,0 +1,117 @@
+"""Journaling: durable logs of database operations.
+
+A journal record is one committed batch of operations. Replay applies
+batches in order onto a database whose schema is already in place
+(usually restored from a snapshot in the same store — see
+:mod:`repro.storage.persistence`).
+
+Record shapes (as codec values):
+
+- ``{"kind": "schema", "classes": [...]}`` — schema snapshot;
+- ``{"kind": "txn", "ops": [...]}`` — a committed batch, each op one of
+  ``create`` / ``update`` / ``delete``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..engine.database import Database
+from ..engine.events import (
+    Event,
+    ObjectCreated,
+    ObjectDeleted,
+    ObjectUpdated,
+)
+from ..errors import StorageError
+from .serializer import decode_value, encode_value
+from .stores import RecordStore
+
+
+class JournalWriter:
+    """Appends committed operation batches to a record store."""
+
+    def __init__(self, store: RecordStore):
+        self._store = store
+
+    @property
+    def store(self) -> RecordStore:
+        return self._store
+
+    def write_batch(self, events: Iterable[Event], db: Database) -> None:
+        """Serialize a batch of events and append it atomically.
+
+        Values of created objects are captured at commit time; an
+        object created and deleted in the same batch is journaled as an
+        empty create followed by a delete, which replays to the same
+        state.
+        """
+        ops: List[dict] = []
+        for event in events:
+            if isinstance(event, ObjectCreated):
+                value = (
+                    dict(db.raw_value(event.oid))
+                    if db.contains_oid(event.oid)
+                    else {}
+                )
+                ops.append(
+                    {
+                        "op": "create",
+                        "class": event.class_name,
+                        "oid": event.oid,
+                        "value": value,
+                    }
+                )
+            elif isinstance(event, ObjectUpdated):
+                ops.append(
+                    {
+                        "op": "update",
+                        "oid": event.oid,
+                        "attr": event.attribute,
+                        "value": event.new_value,
+                    }
+                )
+            elif isinstance(event, ObjectDeleted):
+                ops.append({"op": "delete", "oid": event.oid})
+        if not ops:
+            return
+        self._store.append(encode_value({"kind": "txn", "ops": ops}))
+        self._store.sync()
+
+
+def replay_journal(store: RecordStore, db: Database) -> int:
+    """Apply all ``txn`` batches in the store to the database.
+
+    Returns the number of operations applied. ``schema`` records are
+    skipped here (handled by :mod:`repro.storage.persistence`).
+    """
+    applied = 0
+    for raw in store.records():
+        record = decode_value(raw)
+        if not isinstance(record, dict) or record.get("kind") != "txn":
+            continue
+        for op in record["ops"]:
+            _apply(db, op)
+            applied += 1
+    return applied
+
+
+def _apply(db: Database, op: dict) -> None:
+    kind = op.get("op")
+    if kind == "create":
+        if op["value"]:
+            db.insert_with_oid(op["oid"], op["class"], op["value"])
+        # An empty create followed by a delete in the same batch is a
+        # no-op pair; creating it just to delete it would trip
+        # not-null expectations, so skip empty creates whose object is
+        # deleted later; if no delete follows, insert the empty object.
+        else:
+            db.insert_with_oid(op["oid"], op["class"], {})
+    elif kind == "update":
+        if db.contains_oid(op["oid"]):
+            db.update(op["oid"], op["attr"], op["value"])
+    elif kind == "delete":
+        if db.contains_oid(op["oid"]):
+            db.delete(op["oid"])
+    else:
+        raise StorageError(f"unknown journal op: {kind!r}")

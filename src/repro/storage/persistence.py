@@ -1,0 +1,207 @@
+"""Whole-database snapshots and re-opening.
+
+A persistent database is a store containing, in order: a ``database``
+record (the name), a ``schema`` record, a snapshot of object creates,
+and then journaled transaction batches. :func:`save_database` writes
+the first three; :func:`load_database` rebuilds a database from the
+whole store (snapshot + journal replay).
+
+Computed attributes have procedures — Python code — which a data log
+cannot carry. They are journaled by name and restored as placeholders
+that raise until the application re-registers them via
+:meth:`Database.define_attribute` (documented limitation; the paper's
+view definitions are code and live with the application).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..engine.database import Database
+from ..engine.schema import AttributeDef, AttributeKind
+from ..errors import StorageError
+from .journal import JournalWriter
+from .serializer import (
+    decode_value,
+    encode_value,
+    type_from_data,
+    type_to_data,
+)
+from .stores import RecordStore
+from .transactions import TransactionManager
+
+
+def save_database(db: Database, store: RecordStore) -> None:
+    """Write a full snapshot of the database to the store."""
+    store.append(encode_value({"kind": "database", "name": db.name}))
+    classes = []
+    for cdef in db.schema:
+        attrs = []
+        for adef in cdef.attributes.values():
+            attrs.append(
+                {
+                    "name": adef.name,
+                    "type": (
+                        type_to_data(adef.declared_type)
+                        if adef.declared_type is not None
+                        else None
+                    ),
+                    "computed": adef.is_computed(),
+                    "arity": adef.arity,
+                }
+            )
+        classes.append(
+            {
+                "name": cdef.name,
+                "parents": list(cdef.parents),
+                "attrs": attrs,
+                "doc": cdef.doc,
+            }
+        )
+    store.append(encode_value({"kind": "schema", "classes": classes}))
+    ops = []
+    for oid in db.all_oids():
+        ops.append(
+            {
+                "op": "create",
+                "class": db.class_of(oid),
+                "oid": oid,
+                "value": dict(db.raw_value(oid)),
+            }
+        )
+    if ops:
+        store.append(encode_value({"kind": "txn", "ops": ops}))
+    store.sync()
+
+
+def load_database(store: RecordStore) -> Database:
+    """Rebuild a database from a store written by
+    :func:`save_database` (plus any journal batches appended since)."""
+    db: Optional[Database] = None
+    for raw in store.records():
+        record = decode_value(raw)
+        if not isinstance(record, dict):
+            raise StorageError(f"malformed record: {record!r}")
+        kind = record.get("kind")
+        if kind == "database":
+            db = Database(record["name"])
+        elif kind == "schema":
+            if db is None:
+                raise StorageError("schema record before database record")
+            _restore_schema(db, record["classes"])
+        elif kind == "txn":
+            # Batches are replayed after the full scan (order is
+            # preserved by the store, so applying inline is also
+            # correct — do it inline to keep one pass).
+            if db is None:
+                raise StorageError("txn record before database record")
+            from .journal import _apply
+
+            for op in record["ops"]:
+                _apply(db, op)
+        else:
+            raise StorageError(f"unknown record kind: {kind!r}")
+    if db is None:
+        raise StorageError("store contains no database record")
+    return db
+
+
+def _restore_schema(db: Database, classes) -> None:
+    remaining = list(classes)
+    defined = set(db.schema.class_names())
+    while remaining:
+        progressed = False
+        deferred = []
+        for cls in remaining:
+            if all(parent in defined for parent in cls["parents"]):
+                db.define_class(cls["name"], cls["parents"], doc=cls["doc"])
+                for attr in cls["attrs"]:
+                    _restore_attribute(db, cls["name"], attr)
+                defined.add(cls["name"])
+                progressed = True
+            else:
+                deferred.append(cls)
+        if not progressed:
+            names = ", ".join(c["name"] for c in deferred)
+            raise StorageError(
+                f"schema record has unsatisfiable parents for: {names}"
+            )
+        remaining = deferred
+
+
+def _restore_attribute(db: Database, class_name: str, attr: dict) -> None:
+    declared = (
+        type_from_data(attr["type"]) if attr["type"] is not None else None
+    )
+    if attr["computed"]:
+
+        def placeholder(*_args, _name=attr["name"], _cls=class_name):
+            raise StorageError(
+                f"computed attribute {_cls}.{_name} was restored from"
+                " a snapshot; re-register its procedure with"
+                " define_attribute() before use"
+            )
+
+        cdef = db.schema.require(class_name)
+        cdef.attributes[attr["name"]] = AttributeDef(
+            attr["name"],
+            declared,
+            AttributeKind.COMPUTED,
+            placeholder,
+            attr.get("arity", 0),
+            class_name,
+        )
+    else:
+        db.define_attribute(class_name, attr["name"], declared)
+
+
+def compact(path: str) -> int:
+    """Rewrite a file-store log as a fresh snapshot.
+
+    Long-running journals accumulate superseded operations (updates to
+    the same attribute, deleted objects); compaction loads the current
+    state and atomically replaces the log with a snapshot of it.
+    Returns the number of bytes reclaimed. Crash-safe: the snapshot is
+    written to a sibling temp file and swapped in with ``os.replace``.
+    """
+    import os
+
+    from .stores import FileStore
+
+    before = os.path.getsize(path)
+    with FileStore(path) as store:
+        db = load_database(store)
+    temp_path = path + ".compact"
+    if os.path.exists(temp_path):
+        os.unlink(temp_path)
+    with FileStore(temp_path) as temp_store:
+        save_database(db, temp_store)
+    os.replace(temp_path, path)
+    return before - os.path.getsize(path)
+
+
+def open_persistent(
+    store: RecordStore, name: str = "db", setup=None
+) -> Tuple[Database, TransactionManager]:
+    """Open (or initialize) a persistent database on a store.
+
+    On an empty store a fresh database named ``name`` is created,
+    ``setup(db)`` (if given) defines its schema and seed data, and the
+    snapshot is written. On a non-empty store the database is rebuilt
+    from the snapshot plus journal; ``setup`` is *not* run (the schema
+    is already on disk), but computed-attribute procedures must be
+    re-registered by the application.
+
+    Returns the database and a transaction manager whose commits append
+    to the store.
+    """
+    has_records = any(True for _ in store.records())
+    if has_records:
+        db = load_database(store)
+    else:
+        db = Database(name)
+        if setup is not None:
+            setup(db)
+        save_database(db, store)
+    manager = TransactionManager(db, JournalWriter(store))
+    return db, manager

@@ -1,0 +1,275 @@
+"""A compact self-describing binary codec for model values and types.
+
+No pickle: records written by one process are readable by any other,
+and malformed bytes raise :class:`SerializationError` rather than
+executing anything. The format is tag-prefixed:
+
+==== ======================= =====================================
+tag  value                   payload
+==== ======================= =====================================
+``z`` None                   —
+``t``/``f`` booleans         —
+``i`` int                    zigzag varint
+``d`` float                  8-byte IEEE-754 big-endian
+``s`` str                    varint length + UTF-8
+``o`` Oid                    str space + varint number
+``u`` tuple value (dict)     varint count + (str key, value)*
+``e`` set                    varint count + value*
+``l`` list                   varint count + value*
+``b`` bytes                  varint length + raw
+==== ======================= =====================================
+
+Types serialize through :func:`type_to_data` / :func:`type_from_data`
+as ordinary values, so one codec covers both.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from ..engine.oid import Oid
+from ..engine.types import (
+    ANY,
+    NOTHING,
+    AnyType,
+    AtomType,
+    ClassType,
+    ListType,
+    NothingType,
+    SetType,
+    TupleType,
+    Type,
+)
+from ..engine.values import canonicalize
+from ..errors import SerializationError
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise SerializationError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise SerializationError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    encoded = text.encode("utf-8")
+    _write_varint(out, len(encoded))
+    out.extend(encoded)
+
+
+def _read_str(data: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = _read_varint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise SerializationError("truncated string")
+    return data[pos:end].decode("utf-8"), end
+
+
+def encode_value(value) -> bytes:
+    """Encode a model value to bytes."""
+    out = bytearray()
+    _encode(out, value)
+    return bytes(out)
+
+
+def _encode(out: bytearray, value) -> None:
+    if value is None:
+        out.append(ord("z"))
+    elif value is True:
+        out.append(ord("t"))
+    elif value is False:
+        out.append(ord("f"))
+    elif isinstance(value, int):
+        out.append(ord("i"))
+        _write_varint(out, _zigzag(value))
+    elif isinstance(value, float):
+        out.append(ord("d"))
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, str):
+        out.append(ord("s"))
+        _write_str(out, value)
+    elif isinstance(value, Oid):
+        out.append(ord("o"))
+        _write_str(out, value.space)
+        _write_varint(out, value.number)
+    elif isinstance(value, dict):
+        out.append(ord("u"))
+        _write_varint(out, len(value))
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"tuple keys must be strings, got {key!r}"
+                )
+            _write_str(out, key)
+            _encode(out, value[key])
+    elif isinstance(value, (set, frozenset)):
+        out.append(ord("e"))
+        _write_varint(out, len(value))
+        # Deterministic element order via canonical form.
+        for item in sorted(value, key=lambda v: canonicalize(v)):
+            _encode(out, item)
+    elif isinstance(value, (list, tuple)):
+        out.append(ord("l"))
+        _write_varint(out, len(value))
+        for item in value:
+            _encode(out, item)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(ord("b"))
+        _write_varint(out, len(value))
+        out.extend(value)
+    else:
+        raise SerializationError(
+            f"cannot serialize {type(value).__name__}: {value!r}"
+        )
+
+
+def decode_value(data: bytes):
+    """Decode bytes produced by :func:`encode_value`."""
+    value, pos = _decode(data, 0)
+    if pos != len(data):
+        raise SerializationError(
+            f"{len(data) - pos} trailing bytes after value"
+        )
+    return value
+
+
+def _decode(data: bytes, pos: int):
+    if pos >= len(data):
+        raise SerializationError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == ord("z"):
+        return None, pos
+    if tag == ord("t"):
+        return True, pos
+    if tag == ord("f"):
+        return False, pos
+    if tag == ord("i"):
+        raw, pos = _read_varint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == ord("d"):
+        end = pos + 8
+        if end > len(data):
+            raise SerializationError("truncated float")
+        return struct.unpack(">d", data[pos:end])[0], end
+    if tag == ord("s"):
+        return _read_str(data, pos)
+    if tag == ord("o"):
+        space, pos = _read_str(data, pos)
+        number, pos = _read_varint(data, pos)
+        return Oid(space, number), pos
+    if tag == ord("u"):
+        count, pos = _read_varint(data, pos)
+        result = {}
+        for _ in range(count):
+            key, pos = _read_str(data, pos)
+            result[key], pos = _decode(data, pos)
+        return result, pos
+    if tag == ord("e"):
+        count, pos = _read_varint(data, pos)
+        items = set()
+        for _ in range(count):
+            item, pos = _decode(data, pos)
+            items.add(item)
+        return items, pos
+    if tag == ord("l"):
+        count, pos = _read_varint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == ord("b"):
+        length, pos = _read_varint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise SerializationError("truncated bytes")
+        return bytes(data[pos:end]), end
+    raise SerializationError(f"unknown tag byte: {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Types as data
+# ----------------------------------------------------------------------
+
+
+def type_to_data(t: Type):
+    """Render a type as a plain value the codec can carry."""
+    if isinstance(t, AnyType):
+        return {"!": "any"}
+    if isinstance(t, NothingType):
+        return {"!": "nothing"}
+    if isinstance(t, AtomType):
+        return {"!": "atom", "name": t.name}
+    if isinstance(t, ClassType):
+        return {"!": "class", "name": t.class_name}
+    if isinstance(t, SetType):
+        return {"!": "set", "element": type_to_data(t.element)}
+    if isinstance(t, ListType):
+        return {"!": "list", "element": type_to_data(t.element)}
+    if isinstance(t, TupleType):
+        return {
+            "!": "tuple",
+            "fields": {
+                name: type_to_data(ftype) for name, ftype in t.fields
+            },
+        }
+    raise SerializationError(f"cannot serialize type: {t!r}")
+
+
+def type_from_data(data) -> Type:
+    """Inverse of :func:`type_to_data`."""
+    if not isinstance(data, dict) or "!" not in data:
+        raise SerializationError(f"not a type description: {data!r}")
+    kind = data["!"]
+    if kind == "any":
+        return ANY
+    if kind == "nothing":
+        return NOTHING
+    if kind == "atom":
+        return AtomType(data["name"])
+    if kind == "class":
+        return ClassType(data["name"])
+    if kind == "set":
+        return SetType(type_from_data(data["element"]))
+    if kind == "list":
+        return ListType(type_from_data(data["element"]))
+    if kind == "tuple":
+        return TupleType(
+            {
+                name: type_from_data(ftype)
+                for name, ftype in data["fields"].items()
+            }
+        )
+    raise SerializationError(f"unknown type kind: {kind!r}")

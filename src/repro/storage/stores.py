@@ -1,0 +1,108 @@
+"""Record stores: append-only logs of serialized records.
+
+A store is the durability primitive under persistent databases: an
+ordered sequence of byte records with atomic append. Two
+implementations share the interface:
+
+- :class:`MemoryStore` — in-process, for tests and benchmarks;
+- :class:`FileStore` — a single append-only file. Each record is
+  framed as ``length (4 bytes BE) + crc32 (4 bytes BE) + payload``;
+  on open, replay stops at the first torn or corrupt frame, which
+  makes a half-written tail (crash during append) harmless.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator, List
+
+from ..errors import StorageError
+
+_HEADER = struct.Struct(">II")
+
+
+class RecordStore:
+    """Interface of an append-only record store."""
+
+    def append(self, record: bytes) -> None:
+        raise NotImplementedError
+
+    def records(self) -> Iterator[bytes]:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Flush to durable media (no-op for memory stores)."""
+
+    def close(self) -> None:
+        """Release resources."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class MemoryStore(RecordStore):
+    """An in-memory record store."""
+
+    def __init__(self):
+        self._records: List[bytes] = []
+
+    def append(self, record: bytes) -> None:
+        self._records.append(bytes(record))
+
+    def records(self) -> Iterator[bytes]:
+        return iter(list(self._records))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class FileStore(RecordStore):
+    """An append-only file of checksummed records."""
+
+    def __init__(self, path: str):
+        self._path = path
+        self._file = open(path, "ab")
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def append(self, record: bytes) -> None:
+        if self._file.closed:
+            raise StorageError("store is closed")
+        frame = _HEADER.pack(len(record), zlib.crc32(record)) + record
+        self._file.write(frame)
+
+    def sync(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def records(self) -> Iterator[bytes]:
+        self._file.flush()
+        with open(self._path, "rb") as reader:
+            while True:
+                header = reader.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return  # clean end or torn header: stop
+                length, crc = _HEADER.unpack(header)
+                payload = reader.read(length)
+                if len(payload) < length:
+                    return  # torn record: ignore the tail
+                if zlib.crc32(payload) != crc:
+                    return  # corrupt record: stop replay here
+                yield payload
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())

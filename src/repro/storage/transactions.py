@@ -1,0 +1,163 @@
+"""Transactions over a database, with optional journaling.
+
+Single-writer transactions with undo-based abort:
+
+- while a transaction is open, every database event is recorded;
+- ``abort()`` applies inverse operations in reverse order (updates are
+  reverted through the normal update path so indexes and materialized
+  views stay consistent);
+- ``commit()`` appends the batch to the journal (if one is attached)
+  bracketed in a single atomic record — replay never sees a partial
+  transaction;
+- outside any transaction, operations auto-commit one at a time.
+
+Deletes must go through :meth:`TransactionManager.delete` so the
+pre-image needed for undo is captured.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.database import Database
+from ..engine.events import (
+    Event,
+    ObjectCreated,
+    ObjectDeleted,
+    ObjectUpdated,
+)
+from ..engine.oid import Oid
+from ..engine.values import deep_copy_value
+from ..errors import TransactionError
+from .journal import JournalWriter
+
+
+class TxState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One open transaction; obtained from
+    :meth:`TransactionManager.begin` and usable as a context manager."""
+
+    def __init__(self, manager: "TransactionManager", txid: int):
+        self._manager = manager
+        self.txid = txid
+        self.state = TxState.ACTIVE
+        self.ops: List[Event] = []
+
+    def commit(self) -> None:
+        self._require_active()
+        self._manager._finish(self, commit=True)
+        self.state = TxState.COMMITTED
+
+    def abort(self) -> None:
+        self._require_active()
+        self._manager._finish(self, commit=False)
+        self.state = TxState.ABORTED
+
+    def _require_active(self) -> None:
+        if self.state is not TxState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txid} is {self.state.value}"
+            )
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.state is TxState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+
+class TransactionManager:
+    """Coordinates transactions for one database."""
+
+    def __init__(
+        self, database: Database, journal: Optional[JournalWriter] = None
+    ):
+        self._db = database
+        self._journal = journal
+        self._current: Optional[Transaction] = None
+        self._next_txid = 1
+        self._undoing = False
+        self._pre_images: Dict[Oid, Tuple[str, dict]] = {}
+        database.events.subscribe(self._on_event)
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    def begin(self) -> Transaction:
+        if self._current is not None:
+            raise TransactionError("a transaction is already active")
+        txn = Transaction(self, self._next_txid)
+        self._next_txid += 1
+        self._current = txn
+        return txn
+
+    def in_transaction(self) -> bool:
+        return self._current is not None
+
+    def delete(self, target) -> None:
+        """Delete an object, keeping its pre-image for undo."""
+        oid = getattr(target, "oid", target)
+        class_name = self._db.class_of(oid)
+        self._pre_images[oid] = (
+            class_name,
+            deep_copy_value(self._db.raw_value(oid)),
+        )
+        self._db.delete(oid)
+
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if self._undoing:
+            return
+        if not isinstance(
+            event, (ObjectCreated, ObjectUpdated, ObjectDeleted)
+        ):
+            return
+        if self._current is not None:
+            self._current.ops.append(event)
+        elif self._journal is not None:
+            self._journal.write_batch([event], self._db)
+
+    def _finish(self, txn: Transaction, commit: bool) -> None:
+        if self._current is not txn:
+            raise TransactionError("not the active transaction")
+        self._current = None
+        try:
+            if commit:
+                if self._journal is not None and txn.ops:
+                    self._journal.write_batch(txn.ops, self._db)
+                return
+            self._undoing = True
+            try:
+                for event in reversed(txn.ops):
+                    self._undo_event(event)
+            finally:
+                self._undoing = False
+        finally:
+            self._pre_images.clear()
+
+    def _undo_event(self, event: Event) -> None:
+        db = self._db
+        if isinstance(event, ObjectCreated):
+            if db.contains_oid(event.oid):
+                db.delete(event.oid)
+        elif isinstance(event, ObjectUpdated):
+            if db.contains_oid(event.oid):
+                db.update(event.oid, event.attribute, event.old_value)
+        elif isinstance(event, ObjectDeleted):
+            pre_image = self._pre_images.get(event.oid)
+            if pre_image is not None and not db.contains_oid(event.oid):
+                class_name, value = pre_image
+                db.insert_with_oid(event.oid, class_name, value)

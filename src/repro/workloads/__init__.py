@@ -1,0 +1,38 @@
+"""Deterministic synthetic workloads for examples, tests and benches.
+
+The paper has no datasets (it predates evaluation sections); these
+generators produce the populations its examples describe: people,
+employees/managers, ships, insurance policies, and retail goods.
+"""
+
+from .insurance import build_policy_relational, build_staff_db
+from .navy import (
+    ARMAMENT_KINDS,
+    CARGO_KINDS,
+    MERCHANT_CLASSES,
+    MILITARY_CLASSES,
+    build_navy_db,
+)
+from .people import (
+    build_employment_db,
+    build_people_db,
+    define_person_class,
+    random_person_update,
+)
+from .retail import add_sellable_class, build_retail_db
+
+__all__ = [
+    "ARMAMENT_KINDS",
+    "CARGO_KINDS",
+    "MERCHANT_CLASSES",
+    "MILITARY_CLASSES",
+    "add_sellable_class",
+    "build_employment_db",
+    "build_navy_db",
+    "build_people_db",
+    "build_policy_relational",
+    "build_retail_db",
+    "build_staff_db",
+    "define_person_class",
+    "random_person_update",
+]

@@ -1,0 +1,78 @@
+"""The Navy workload (§4.1/§4.2's ship examples).
+
+A ``Ship`` hierarchy with merchant classes carrying ``Cargo`` and
+military classes carrying ``Armament`` — the substrate of the
+generalization and upward-inheritance examples (``Merchant_Vessel``,
+``Military_Vessel``, ``Boat``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence
+
+from ..engine.database import Database
+
+MERCHANT_CLASSES = ["Tanker", "Trawler", "Freighter", "Ferry", "Barge"]
+MILITARY_CLASSES = ["Frigate", "Cruiser", "Destroyer", "Mine_Sweeper"]
+CARGO_KINDS = ["oil", "fish", "grain", "containers", "cars"]
+ARMAMENT_KINDS = ["guns", "missiles", "torpedoes", "depth charges"]
+
+
+def build_navy_db(
+    ships_per_class: int = 10,
+    seed: int = 0,
+    name: str = "Navy",
+    merchant_classes: Sequence[str] = ("Tanker", "Trawler"),
+    military_classes: Sequence[str] = ("Frigate", "Cruiser"),
+) -> Database:
+    """Ships with the classic four (or more) subclasses.
+
+    Every subclass of ``Ship`` gets ``ships_per_class`` instances;
+    merchant classes share the ``Cargo`` attribute, military classes
+    share ``Armament`` — so upward inheritance has something to find.
+    """
+    rng = random.Random(seed)
+    db = Database(name)
+    db.define_class(
+        "Ship",
+        attributes={"Name": "string", "Tonnage": "integer"},
+    )
+    for class_name in merchant_classes:
+        db.define_class(
+            class_name,
+            parents=["Ship"],
+            attributes={"Cargo": "string", "Capacity": "integer"},
+        )
+    for class_name in military_classes:
+        db.define_class(
+            class_name,
+            parents=["Ship"],
+            attributes={"Armament": "string", "Crew": "integer"},
+        )
+    serial = 0
+    for class_name in list(merchant_classes) + list(military_classes):
+        for _ in range(ships_per_class):
+            serial += 1
+            extra: Dict[str, object]
+            if class_name in merchant_classes:
+                extra = {
+                    "Cargo": rng.choice(CARGO_KINDS),
+                    "Capacity": rng.randrange(1_000, 100_000),
+                }
+            else:
+                extra = {
+                    "Armament": rng.choice(ARMAMENT_KINDS),
+                    "Crew": rng.randrange(50, 500),
+                }
+            db.create(
+                class_name,
+                dict(
+                    {
+                        "Name": f"{class_name}_{serial}",
+                        "Tonnage": rng.randrange(500, 200_000),
+                    },
+                    **extra,
+                ),
+            )
+    return db

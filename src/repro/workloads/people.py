@@ -1,0 +1,195 @@
+"""Deterministic people workloads.
+
+Generators for the running example of the paper: persons with names,
+ages, incomes and addresses; an employment variant with an
+``Employee``/``Manager`` hierarchy and companies (§2's overloaded
+``Address``, §3's salary hiding). All generators take a seed, so every
+test and benchmark run sees identical data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..engine.database import Database
+from ..engine.objects import ObjectHandle
+
+FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Henry",
+    "Iris", "Jack", "Karen", "Leo", "Maggy", "Nina", "Oscar", "Pam",
+    "Quinn", "Rita", "Sam", "Tina",
+]
+CITIES = [
+    "Paris", "London", "Rome", "Berlin", "Madrid", "Vienna", "Lisbon",
+    "Dublin", "Oslo", "Athens",
+]
+COUNTRIES = [
+    "France", "UK", "Italy", "Germany", "Spain", "Austria", "Portugal",
+    "Ireland", "Norway", "Greece",
+]
+STREETS = ["Main St", "High St", "Rue X", "Downing St", "Elm St"]
+
+
+def define_person_class(db: Database) -> None:
+    """The ``Person`` class used throughout the paper's examples."""
+    db.define_class(
+        "Person",
+        attributes={
+            "Name": "string",
+            "Age": "integer",
+            "Sex": "string",
+            "Income": "integer",
+            "City": "string",
+            "Street": "string",
+            "Zip_Code": "string",
+            "Country": "string",
+            "Spouse": "Person",
+            "Children": {"Person"},
+        },
+    )
+
+
+def build_people_db(
+    count: int,
+    seed: int = 0,
+    name: str = "Staff",
+    married_fraction: float = 0.4,
+) -> Database:
+    """A database of ``count`` persons with deterministic demographics.
+
+    A ``married_fraction`` of the population is paired into couples
+    (mutual ``Spouse`` references), and married couples receive shared
+    ``Children`` drawn from the under-18 population.
+    """
+    rng = random.Random(seed)
+    db = Database(name)
+    define_person_class(db)
+    people: List[ObjectHandle] = []
+    for index in range(count):
+        city_index = rng.randrange(len(CITIES))
+        person = db.create(
+            "Person",
+            Name=f"{FIRST_NAMES[index % len(FIRST_NAMES)]}_{index}",
+            Age=rng.randrange(0, 95),
+            Sex=rng.choice(["male", "female"]),
+            Income=rng.randrange(0, 100_000),
+            City=CITIES[city_index],
+            Street=f"{rng.randrange(1, 200)} {rng.choice(STREETS)}",
+            Zip_Code=f"{rng.randrange(10000, 99999)}",
+            Country=COUNTRIES[city_index],
+        )
+        people.append(person)
+    adults = [p for p in people if p.Age >= 18]
+    minors = [p for p in people if p.Age < 18]
+    rng.shuffle(adults)
+    couple_count = int(len(adults) * married_fraction) // 2
+    for pair_index in range(couple_count):
+        husband = adults[2 * pair_index]
+        wife = adults[2 * pair_index + 1]
+        db.update(husband, "Spouse", wife)
+        db.update(wife, "Spouse", husband)
+        if minors and rng.random() < 0.6:
+            children = {
+                rng.choice(minors).oid
+                for _ in range(rng.randrange(1, 4))
+            }
+            db.update(husband, "Children", children)
+            db.update(wife, "Children", children)
+    return db
+
+
+def build_employment_db(
+    count: int, seed: int = 0, name: str = "Company_DB"
+) -> Database:
+    """Persons, employees, managers and companies (§2/§3 examples).
+
+    ``Manager`` is a subclass of ``Employee`` adding ``Budget``; the
+    classic setting for the hide-vs-project experiment (E7).
+    """
+    rng = random.Random(seed)
+    db = Database(name)
+    db.define_class(
+        "Company",
+        attributes={"Name": "string", "Address": "string"},
+    )
+    db.define_class(
+        "Person",
+        attributes={
+            "Name": "string",
+            "Age": "integer",
+            "City": "string",
+        },
+    )
+    db.define_class(
+        "Employee",
+        parents=["Person"],
+        attributes={
+            "Number": "integer",
+            "Salary": "integer",
+            "Company": "Company",
+        },
+    )
+    db.define_class(
+        "Manager",
+        parents=["Employee"],
+        attributes={"Budget": "integer"},
+    )
+    companies = [
+        db.create(
+            "Company",
+            Name=f"Company_{i}",
+            Address=f"{rng.randrange(1, 99)} {rng.choice(STREETS)}",
+        )
+        for i in range(max(1, count // 50))
+    ]
+    for index in range(count):
+        roll = rng.random()
+        base = {
+            "Name": f"{FIRST_NAMES[index % len(FIRST_NAMES)]}_{index}",
+            "Age": rng.randrange(18, 70),
+            "City": rng.choice(CITIES),
+        }
+        if roll < 0.2:
+            db.create("Person", base)
+        elif roll < 0.9:
+            db.create(
+                "Employee",
+                dict(
+                    base,
+                    Number=index,
+                    Salary=rng.randrange(20_000, 90_000),
+                    Company=rng.choice(companies),
+                ),
+            )
+        else:
+            db.create(
+                "Manager",
+                dict(
+                    base,
+                    Number=index,
+                    Salary=rng.randrange(60_000, 200_000),
+                    Company=rng.choice(companies),
+                    Budget=rng.randrange(100_000, 5_000_000),
+                ),
+            )
+    return db
+
+
+def random_person_update(
+    db: Database, rng: random.Random, attribute: str = "Age"
+) -> None:
+    """Apply one random update to the people database (bench helper)."""
+    oids = list(db.extent("Person"))
+    if not oids:
+        return
+    oid = oids[rng.randrange(len(oids))]
+    if attribute == "Age":
+        db.update(oid, "Age", rng.randrange(0, 95))
+    elif attribute == "City":
+        city_index = rng.randrange(len(CITIES))
+        db.update(oid, "City", CITIES[city_index])
+    elif attribute == "Income":
+        db.update(oid, "Income", rng.randrange(0, 100_000))
+    else:
+        raise ValueError(f"unsupported update attribute: {attribute!r}")

@@ -1,0 +1,86 @@
+"""The retail workload (behavioral generalization, §4.1/§4.2).
+
+Classes of things for sale — each with ``Price`` and ``Discount`` — plus
+distractor classes without them. Used by experiment E4 to compare the
+enumerated ``On_Sale_Bis`` definition with the behavioral ``On_Sale``
+definition under schema evolution.
+"""
+
+from __future__ import annotations
+
+import random
+from ..engine.database import Database
+from ..engine.types import declare_atom
+
+SELLABLE_BASE = ["Car", "House", "Company"]
+DISTRACTORS = ["Contract", "Review", "Complaint"]
+
+
+def build_retail_db(
+    objects_per_class: int = 10,
+    extra_sellable: int = 0,
+    seed: int = 0,
+    name: str = "Retail",
+) -> Database:
+    """Cars, houses and companies for sale, plus non-sellable classes.
+
+    ``extra_sellable`` adds further sellable classes (``Sellable_0``,
+    ``Sellable_1``, …) so the E4 sweep can grow the schema.
+    """
+    declare_atom("dollar")
+    rng = random.Random(seed)
+    db = Database(name)
+    for class_name in SELLABLE_BASE:
+        _define_sellable(db, class_name)
+    for index in range(extra_sellable):
+        _define_sellable(db, f"Sellable_{index}")
+    for class_name in DISTRACTORS:
+        db.define_class(
+            class_name,
+            attributes={"Title": "string", "Body": "string"},
+        )
+    for cdef in list(db.schema):
+        for serial in range(objects_per_class):
+            if cdef.name in DISTRACTORS:
+                db.create(
+                    cdef.name,
+                    Title=f"{cdef.name}_{serial}",
+                    Body="lorem",
+                )
+            else:
+                db.create(
+                    cdef.name,
+                    Label=f"{cdef.name}_{serial}",
+                    Price=rng.randrange(1_000, 1_000_000),
+                    Discount=rng.randrange(0, 30),
+                )
+    return db
+
+
+def _define_sellable(db: Database, class_name: str) -> None:
+    db.define_class(
+        class_name,
+        attributes={
+            "Label": "string",
+            "Price": "dollar",
+            "Discount": "integer",
+        },
+    )
+
+
+def add_sellable_class(
+    db: Database, index: int, objects: int = 5, seed: int = 0
+) -> str:
+    """Define one more sellable class with some instances (the schema
+    evolution step of E4). Returns the new class name."""
+    rng = random.Random(seed + index)
+    class_name = f"New_Sellable_{index}"
+    _define_sellable(db, class_name)
+    for serial in range(objects):
+        db.create(
+            class_name,
+            Label=f"{class_name}_{serial}",
+            Price=rng.randrange(1_000, 1_000_000),
+            Discount=rng.randrange(0, 30),
+        )
+    return class_name

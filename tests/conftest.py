@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic databases and views."""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database, declare_atom
+from repro.workloads import (
+    build_employment_db,
+    build_navy_db,
+    build_people_db,
+)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _atoms():
+    declare_atom("dollar")
+
+
+@pytest.fixture
+def tiny_db():
+    """A five-person database with known demographics."""
+    db = Database("Staff")
+    db.define_class(
+        "Person",
+        attributes={
+            "Name": "string",
+            "Age": "integer",
+            "Sex": "string",
+            "Income": "integer",
+            "City": "string",
+            "Spouse": "Person",
+            "Children": {"Person"},
+        },
+    )
+    people = {}
+    rows = [
+        ("Alice", 30, "female", 9_000, "Paris"),
+        ("Bob", 35, "male", 3_000, "Paris"),
+        ("Carol", 70, "female", 20_000, "Rome"),
+        ("Dan", 15, "male", 0, "Rome"),
+        ("Eve", 22, "female", 4_000, "London"),
+    ]
+    for name, age, sex, income, city in rows:
+        people[name] = db.create(
+            "Person", Name=name, Age=age, Sex=sex, Income=income, City=city
+        )
+    db.update(people["Bob"], "Spouse", people["Alice"])
+    db.update(people["Alice"], "Spouse", people["Bob"])
+    db.update(people["Bob"], "Children", {people["Dan"].oid})
+    return db
+
+
+@pytest.fixture
+def tiny_view(tiny_db):
+    view = View("V")
+    view.import_database(tiny_db)
+    return view
+
+
+@pytest.fixture
+def people_db():
+    return build_people_db(60, seed=42)
+
+
+@pytest.fixture
+def navy_db():
+    return build_navy_db(ships_per_class=4, seed=42)
+
+
+@pytest.fixture
+def employment_db():
+    return build_employment_db(50, seed=42)
+
+
+@pytest.fixture
+def navy_view(navy_db):
+    view = View("Fleet")
+    view.import_database(navy_db)
+    return view

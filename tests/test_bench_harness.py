@@ -1,0 +1,80 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import (
+    Table,
+    bench_scale,
+    microseconds,
+    ratio,
+    scaled,
+    throughput,
+    time_call,
+)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("T", ["name", "value"])
+        table.add_row("short", 1)
+        table.add_row("much longer name", 123456)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "== T =="
+        # All data lines equally wide columns: header and rows align.
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "123,456" in rendered
+
+    def test_float_formatting(self):
+        table = Table("T", ["x"])
+        table.add_row(0.00123)
+        table.add_row(3.14159)
+        table.add_row(12345.6)
+        rendered = table.render()
+        assert "0.00123" in rendered
+        assert "3.14" in rendered
+        assert "12,346" in rendered
+
+    def test_zero(self):
+        table = Table("T", ["x"])
+        table.add_row(0.0)
+        assert "0" in table.render()
+
+    def test_wrong_arity_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        table.note("claim: something")
+        assert "note: claim: something" in table.render()
+
+
+class TestTiming:
+    def test_time_call_positive(self):
+        elapsed = time_call(lambda: sum(range(100)), repeat=2)
+        assert elapsed > 0
+
+    def test_throughput_positive(self):
+        ops = throughput(lambda: None, seconds=0.01)
+        assert ops > 0
+
+    def test_scaled_respects_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        assert scaled(100, minimum=5) == 5
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5
+        assert scaled(100) == 250
+
+    def test_bad_scale_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "lots")
+        assert bench_scale() == 1.0
+
+    def test_helpers(self):
+        assert microseconds(0.001) == 1000
+        assert ratio(10, 2) == 5
+        assert ratio(1, 0) == float("inf")

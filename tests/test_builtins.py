@@ -1,0 +1,129 @@
+"""Tests for the built-in aggregate functions, including the paper's
+verbatim ``F.Size > 5`` query from §5.1."""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+from repro.query import evaluate
+
+
+@pytest.fixture
+def db(tiny_db):
+    return tiny_db
+
+
+class TestAggregates:
+    def test_count_of_stored_set(self, db):
+        result = evaluate(
+            "select P from Person where count(P.Children) > 0", db
+        )
+        assert sorted(h.Name for h in result) == ["Bob"]
+
+    def test_count_of_unset_is_zero(self, db):
+        result = evaluate(
+            "select P from Person where count(P.Children) = 0", db
+        )
+        assert len(result) == 4
+
+    def test_count_of_subquery(self, db):
+        result = evaluate(
+            "select the count((select P from Person where P.Age >= 21))"
+            " from X in Person where X.Name = 'Alice'",
+            db,
+        )
+        assert result == 4
+
+    def test_exists(self, db):
+        result = evaluate(
+            "select P from Person where exists(P.Children)", db
+        )
+        assert len(result) == 1
+
+    def test_sum_min_max_avg(self, db):
+        db.define_attribute(
+            "Person",
+            "Ages_Around",
+            value=lambda self: [10, 20, 30],
+        )
+        someone = db.handles("Person")[0]
+        assert evaluate(
+            "select the sum(P.Ages_Around) from P in Person"
+            " where P.Name = 'Alice'",
+            db,
+        ) == 60
+        assert evaluate(
+            "select the min(P.Ages_Around) from P in Person"
+            " where P.Name = 'Alice'",
+            db,
+        ) == 10
+        assert evaluate(
+            "select the max(P.Ages_Around) from P in Person"
+            " where P.Name = 'Alice'",
+            db,
+        ) == 30
+        assert evaluate(
+            "select the avg(P.Ages_Around) from P in Person"
+            " where P.Name = 'Alice'",
+            db,
+        ) == 20
+        del someone
+
+    def test_min_of_empty_is_none(self, db):
+        result = evaluate(
+            "select P from Person where min(P.Children) = 1", db
+        )
+        assert result == []
+
+    def test_scope_function_overrides_builtin(self, db):
+        db.register_function("count", lambda c: 999)
+        assert evaluate(
+            "select the count(P.Children) from P in Person"
+            " where P.Name = 'Bob'",
+            db,
+        ) == 999
+
+
+class TestPaperSizeQuery:
+    """§5.1's pair of queries, with Size as a virtual attribute."""
+
+    @pytest.fixture
+    def family_view(self, db):
+        view = View("V")
+        view.import_class(db, "Person")
+        view.define_imaginary_class(
+            "Family",
+            "select [Husband: H, Wife: H.Spouse] from H in Person"
+            " where H.Sex = 'male' and H.Spouse in Person",
+        )
+        view.define_attribute(
+            "Family",
+            "Children",
+            value="select P from Person where P in self.Husband.Children"
+            " or P in self.Wife.Children",
+        )
+        view.define_attribute(
+            "Family", "Size", value="2 + count(self.Children)"
+        )
+        view.define_attribute(
+            "Family", "Father", value="self.Husband"
+        )
+        return view
+
+    def test_size_attribute(self, family_view):
+        family = family_view.handles("Family")[0]
+        assert family.Size == 3  # Bob + Alice + Dan
+
+    def test_verbatim_paper_queries_agree(self, family_view):
+        """The exact §5.1 pair: 'select F from Family where F.Size > 5
+        and F.Father.Age < 25' vs the nested-membership variant."""
+        direct = family_view.query(
+            "select F from Family where F.Size > 2"
+            " and F.Father.Age < 60"
+        )
+        nested = family_view.query(
+            "select F from Family where F.Size > 2"
+            " and F in (select F from Family where F.Father.Age < 60)"
+        )
+        assert {f.oid for f in direct} == {f.oid for f in nested}
+        assert len(direct) == 1

@@ -1,0 +1,141 @@
+"""Tests for the interactive shell's Session core."""
+
+import pytest
+
+from repro.cli import Session, demo_session
+
+
+@pytest.fixture
+def session(tiny_db):
+    return Session([tiny_db])
+
+
+class TestStatements:
+    def test_create_view_becomes_current(self, session):
+        out = session.execute("create view V;")
+        assert "V is current" in out
+        assert session.current.name == "V"
+
+    def test_full_definition_flow(self, session):
+        session.execute(
+            """
+            create view V;
+            import all classes from database Staff;
+            class Adult includes (select P from Person where P.Age >= 21);
+            """
+        )
+        out = session.execute("select A from Adult")
+        assert "(4 result(s))" in out
+
+    def test_incremental_statements_extend_current_view(self, session):
+        session.execute("create view V;")
+        session.execute("import all classes from database Staff;")
+        session.execute(
+            "class Minor includes (select P from Person where P.Age < 21);"
+        )
+        assert "1 result(s)" in session.execute("select M from Minor")
+
+    def test_error_is_reported_not_raised(self, session):
+        out = session.execute("import all classes from database Ghost;")
+        assert out.startswith("error:")
+
+
+class TestQueries:
+    def test_query_against_database_scope(self, session):
+        out = session.execute(
+            "select P from Person where P.Name = 'Alice'"
+        )
+        assert "Alice" in out
+
+    def test_select_the_renders_single(self, session):
+        out = session.execute(
+            "select the P from Person where P.Name = 'Alice'"
+        )
+        assert out.startswith("Person<")
+
+    def test_empty_result(self, session):
+        out = session.execute(
+            "select P from Person where P.Age > 500"
+        )
+        assert out == "(no results)"
+
+    def test_tuple_results_render(self, session):
+        out = session.execute(
+            "select [N: P.Name] from P in Person where P.Age >= 65"
+        )
+        assert "N='Carol'" in out
+
+
+class TestCommands:
+    def test_help(self, session):
+        assert ".schema" in session.execute(".help")
+
+    def test_databases_marks_current(self, session):
+        out = session.execute(".databases")
+        assert "* Staff" in out
+
+    def test_use_switches(self, session):
+        session.execute("create view V;")
+        out = session.execute(".use Staff")
+        assert "using Staff" in out
+        assert session.current.scope_name == "Staff"
+
+    def test_classes(self, session):
+        assert "Person (base)" in session.execute(".classes")
+
+    def test_schema(self, session):
+        out = session.execute(".schema Person")
+        assert "Age: integer (stored" in out
+
+    def test_schema_shows_virtual_parents(self, session):
+        session.execute(
+            """
+            create view V;
+            import all classes from database Staff;
+            class Adult includes (select P from Person where P.Age >= 21);
+            """
+        )
+        out = session.execute(".schema Adult")
+        assert "parents: Person" in out
+        assert "(virtual)" in out
+
+    def test_extent(self, session):
+        out = session.execute(".extent Person")
+        assert out.count("Person<") == 5
+
+    def test_explain(self, session, tiny_db):
+        tiny_db.create_index("Person", "City")
+        out = session.execute(
+            ".explain select P from Person where P.City = 'Paris'"
+        )
+        assert "index probe" in out
+
+    def test_unknown_command(self, session):
+        assert "unknown command" in session.execute(".frobnicate")
+
+    def test_quit_raises_system_exit(self, session):
+        with pytest.raises(SystemExit):
+            session.execute(".quit")
+
+    def test_no_scope_error(self):
+        empty = Session()
+        assert "error" in empty.execute(".classes")
+
+    def test_load_script(self, session, tmp_path):
+        script = tmp_path / "v.ddl"
+        script.write_text(
+            "create view V;\n"
+            "import all classes from database Staff;\n"
+        )
+        out = session.execute(f".load {script}")
+        assert "V is current" in out
+
+
+class TestDemo:
+    def test_demo_session_has_data(self):
+        session = demo_session()
+        assert "Staff" in session.catalog.names()
+        assert "Navy" in session.catalog.names()
+        session.execute(".use Navy")
+        out = session.execute("select S from Ship where S.Tonnage > 0")
+        assert "result(s)" in out

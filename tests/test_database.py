@@ -1,0 +1,248 @@
+"""Unit tests for databases: lifecycle, validation, extents, events."""
+
+import pytest
+
+from repro.engine import (
+    Database,
+    ObjectCreated,
+    ObjectDeleted,
+    ObjectUpdated,
+    Oid,
+)
+from repro.errors import (
+    ObjectError,
+    UnknownAttributeError,
+    UnknownOidError,
+    ValueTypeError,
+)
+
+
+@pytest.fixture
+def db():
+    d = Database("Test")
+    d.define_class(
+        "Person", attributes={"Name": "string", "Age": "integer"}
+    )
+    d.define_class(
+        "Employee", parents=["Person"], attributes={"Salary": "integer"}
+    )
+    return d
+
+
+class TestCreate:
+    def test_create_returns_handle(self, db):
+        h = db.create("Person", Name="Alice", Age=30)
+        assert h.Name == "Alice"
+        assert h.Age == 30
+        assert h.real_class == "Person"
+
+    def test_create_with_mapping(self, db):
+        h = db.create("Person", {"Name": "Bob", "Age": 1})
+        assert h.Name == "Bob"
+
+    def test_oids_are_sequential_in_database_space(self, db):
+        a = db.create("Person", Name="A", Age=1)
+        b = db.create("Person", Name="B", Age=2)
+        assert (a.oid.space, b.oid.number - a.oid.number) == ("Test", 1)
+
+    def test_missing_attributes_read_as_none(self, db):
+        h = db.create("Person", Name="A")
+        assert h.Age is None
+
+    def test_type_validation(self, db):
+        with pytest.raises(ValueTypeError):
+            db.create("Person", Name="A", Age="old")
+
+    def test_unknown_attribute_rejected(self, db):
+        with pytest.raises(UnknownAttributeError):
+            db.create("Person", Name="A", Wings=2)
+
+    def test_computed_attribute_cannot_be_stored(self, db):
+        db.define_attribute("Person", "Greeting", value=lambda s: "hi")
+        with pytest.raises(ValueTypeError):
+            db.create("Person", Name="A", Greeting="yo")
+
+    def test_object_reference_validated(self, db):
+        db.define_attribute("Person", "Boss", "Employee")
+        alice = db.create("Person", Name="Alice", Age=3)
+        with pytest.raises(ValueTypeError):
+            db.create("Person", Name="B", Boss=alice)  # Alice not Employee
+        boss = db.create("Employee", Name="C", Salary=1)
+        db.create("Person", Name="D", Boss=boss)  # fine
+
+    def test_handles_can_be_stored_directly(self, db):
+        db.define_attribute("Person", "Friend", "Person")
+        alice = db.create("Person", Name="Alice", Age=3)
+        bob = db.create("Person", Name="Bob", Age=4, Friend=alice)
+        assert bob.Friend.Name == "Alice"
+
+
+class TestUniqueRoot:
+    def test_object_is_real_in_one_class(self, db):
+        e = db.create("Employee", Name="E", Age=30, Salary=10)
+        assert e.real_class == "Employee"
+        assert db.is_member(e.oid, "Person")
+        assert db.is_member(e.oid, "Employee")
+
+    def test_person_is_not_employee(self, db):
+        p = db.create("Person", Name="P", Age=30)
+        assert not db.is_member(p.oid, "Employee")
+
+
+class TestUpdate:
+    def test_update_stored(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        db.update(h, "Age", 2)
+        assert h.Age == 2
+
+    def test_update_validates(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        with pytest.raises(ValueTypeError):
+            db.update(h, "Age", "two")
+
+    def test_update_computed_rejected(self, db):
+        db.define_attribute("Person", "Greeting", value=lambda s: "hi")
+        h = db.create("Person", Name="A", Age=1)
+        with pytest.raises(ObjectError):
+            db.update(h, "Greeting", "yo")
+
+    def test_update_none_unsets(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        db.update(h, "Age", None)
+        assert h.Age is None
+
+    def test_update_by_oid(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        db.update(h.oid, "Age", 9)
+        assert h.Age == 9
+
+
+class TestDelete:
+    def test_delete_removes(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        db.delete(h)
+        assert not db.contains_oid(h.oid)
+        with pytest.raises(UnknownOidError):
+            db.raw_value(h.oid)
+
+    def test_delete_updates_extent(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        db.delete(h)
+        assert len(db.extent("Person")) == 0
+
+
+class TestExtents:
+    def test_deep_extent_includes_subclasses(self, db):
+        db.create("Person", Name="P", Age=1)
+        db.create("Employee", Name="E", Age=2, Salary=3)
+        assert len(db.extent("Person", deep=True)) == 2
+        assert len(db.extent("Person", deep=False)) == 1
+        assert len(db.extent("Employee")) == 1
+
+    def test_handles_sorted_by_oid(self, db):
+        created = [db.create("Person", Name=str(i), Age=i) for i in range(5)]
+        handles = db.handles("Person")
+        assert [h.oid for h in handles] == [c.oid for c in created]
+
+    def test_empty_extent(self, db):
+        assert len(db.extent("Employee")) == 0
+
+
+class TestInsertWithOid:
+    def test_roundtrip(self, db):
+        oid = Oid("Test", 77)
+        db.insert_with_oid(oid, "Person", {"Name": "X", "Age": 1})
+        assert db.class_of(oid) == "Person"
+        # The generator skipped past the inserted serial.
+        fresh = db.create("Person", Name="Y", Age=2)
+        assert fresh.oid.number > 77
+
+    def test_duplicate_rejected(self, db):
+        oid = Oid("Test", 5)
+        db.insert_with_oid(oid, "Person", {"Name": "X", "Age": 1})
+        with pytest.raises(ObjectError):
+            db.insert_with_oid(oid, "Person", {"Name": "Y", "Age": 2})
+
+
+class TestEvents:
+    def test_event_stream(self, db):
+        events = []
+        db.events.subscribe(events.append)
+        h = db.create("Person", Name="A", Age=1)
+        db.update(h, "Age", 2)
+        db.delete(h)
+        kinds = [type(e) for e in events]
+        assert kinds == [ObjectCreated, ObjectUpdated, ObjectDeleted]
+        assert events[1].old_value == 1 and events[1].new_value == 2
+
+    def test_unsubscribe(self, db):
+        events = []
+        unsubscribe = db.events.subscribe(events.append)
+        unsubscribe()
+        db.create("Person", Name="A", Age=1)
+        assert events == []
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self, db):
+        a = db.create("Person", Name="A", Age=1)
+        snapshot = db.snapshot_objects()
+        db.update(a, "Age", 99)
+        db.create("Person", Name="B", Age=2)
+        db.restore_objects(snapshot)
+        assert db.object_count() == 1
+        assert db.get(a.oid).Age == 1
+
+    def test_snapshot_is_deep(self, db):
+        db.define_attribute("Person", "Tags", {"string"})
+        a = db.create("Person", Name="A", Age=1, Tags={"x"})
+        snapshot = db.snapshot_objects()
+        db.raw_value(a.oid)["Tags"].add("y")
+        assert snapshot[a.oid].value["Tags"] == {"x"}
+
+
+class TestQueriesAndFunctions:
+    def test_query_method(self, db):
+        db.create("Person", Name="A", Age=30)
+        db.create("Person", Name="B", Age=10)
+        result = db.query("select P from Person where P.Age >= 21")
+        assert [h.Name for h in result] == ["A"]
+
+    def test_registered_function(self, db):
+        db.register_function("double", lambda x: x * 2)
+        db.create("Person", Name="A", Age=30)
+        result = db.query("select P from Person where double(P.Age) = 60")
+        assert len(result) == 1
+
+    def test_create_in_unknown_class(self, db):
+        from repro.errors import UnknownClassError
+
+        with pytest.raises(UnknownClassError):
+            db.create("Ghost")
+
+
+class TestHandles:
+    def test_handle_equality_by_oid(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        assert db.get(h.oid) == h
+        assert h == h.oid
+
+    def test_handles_are_read_only(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        with pytest.raises(ObjectError):
+            h.Age = 4
+
+    def test_in_class(self, db):
+        e = db.create("Employee", Name="E", Age=1, Salary=2)
+        assert e.in_class("Person")
+        assert not e.in_class("Ghost")
+
+    def test_value_copy(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        value = h.value()
+        value["Age"] = 99
+        assert h.Age == 1
+
+    def test_getitem(self, db):
+        h = db.create("Person", Name="A", Age=1)
+        assert h["Name"] == "A"

@@ -1,0 +1,113 @@
+"""Tests for decompiling views back to the definition language."""
+
+import pytest
+
+from repro.core import View, like, predicate
+from repro.lang import Catalog, decompile_view, run_script
+
+
+SCRIPT = """
+create view My_View;
+import all classes from database Staff;
+class Adult includes (select P from Person where P.Age >= 21);
+class Senior includes (select A from Adult where A.Age >= 65);
+class Resident(X) includes (select P from Person where P.City = X);
+attribute Label in class Person has value self.Name + '!';
+hide attribute Income in class Person;
+"""
+
+
+@pytest.fixture
+def catalog(tiny_db):
+    return Catalog(tiny_db)
+
+
+class TestSemanticRoundTrip:
+    def test_script_view_rebuilds_identically(self, catalog, tiny_db):
+        original = run_script(SCRIPT, catalog).view
+        script = decompile_view(original)
+        rebuilt = run_script(
+            script.replace("create view My_View", "create view Rebuilt"),
+            Catalog(tiny_db),
+        ).view
+        for class_name in ("Adult", "Senior"):
+            assert rebuilt.extent(class_name).members == original.extent(
+                class_name
+            ).members
+        assert rebuilt.instantiate_family(
+            "Resident", ("Paris",)
+        ).members == original.instantiate_family(
+            "Resident", ("Paris",)
+        ).members
+        somebody = rebuilt.handles("Person")[0]
+        assert somebody.Label.endswith("!")
+        from repro.errors import HiddenAttributeError
+
+        with pytest.raises(HiddenAttributeError):
+            somebody.Income
+
+    def test_programmatic_view_decompiles(self, tiny_db):
+        view = View("Prog")
+        view.import_class(tiny_db, "Person")
+        view.define_virtual_class(
+            "Rich",
+            includes=["select P from Person where P.Income > 5,000"],
+        )
+        view.define_spec_class("Spec", attributes={"Age": "integer"})
+        view.define_virtual_class("Aged", includes=[like("Spec")])
+        script = decompile_view(view)
+        assert "create view Prog;" in script
+        assert "import class Person from database Staff;" in script
+        assert "class Rich includes (select P from P in Person" in script
+        assert "like Spec" in script
+        rebuilt = run_script(
+            script.replace("create view Prog", "create view P2"),
+            Catalog(tiny_db),
+        ).view
+        assert rebuilt.extent("Rich").members == view.extent("Rich").members
+
+    def test_imaginary_class_decompiles(self, tiny_db):
+        view = View("V")
+        view.import_class(tiny_db, "Person")
+        view.define_imaginary_class(
+            "Family",
+            "select [Husband: H, Wife: H.Spouse] from H in Person"
+            " where H.Sex = 'male' and H.Spouse in Person",
+        )
+        script = decompile_view(view)
+        assert "imaginary (select [Husband: H" in script
+        rebuilt = run_script(
+            script.replace("create view V", "create view V2"),
+            Catalog(tiny_db),
+        ).view
+        assert len(rebuilt.extent("Family")) == len(view.extent("Family"))
+
+
+class TestNonTextualDefinitions:
+    def test_callable_attribute_becomes_comment(self, tiny_db):
+        view = View("V")
+        view.import_class(tiny_db, "Person")
+        view.define_attribute("Person", "Magic", value=lambda s: 42)
+        script = decompile_view(view)
+        assert "-- not textual: attribute Magic" in script
+        # The script still parses and executes.
+        run_script(
+            script.replace("create view V", "create view V2"),
+            Catalog(tiny_db),
+        )
+
+    def test_predicate_member_becomes_comment(self, tiny_db):
+        view = View("V")
+        view.import_class(tiny_db, "Person")
+        view.define_virtual_class(
+            "Young", includes=[predicate("Person", lambda p: p.Age < 30)]
+        )
+        script = decompile_view(view)
+        assert "-- not textual: class Young" in script
+
+    def test_stored_attribute_declaration(self, tiny_db):
+        view = View("V")
+        view.import_class(tiny_db, "Person")
+        view.define_attribute("Person", "Nickname", "string")
+        script = decompile_view(view)
+        assert "attribute Nickname of type string in class Person;" in script

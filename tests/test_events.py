@@ -1,0 +1,82 @@
+"""Tests for the event bus."""
+
+from repro.engine import Database, EventBus, ObjectCreated, ObjectUpdated
+from repro.engine.events import on_event
+
+
+class TestEventBus:
+    def test_publish_order(self):
+        bus = EventBus()
+        log = []
+        bus.subscribe(lambda e: log.append(("first", e)))
+        bus.subscribe(lambda e: log.append(("second", e)))
+        event = ObjectCreated("db", "C", None)
+        bus.publish(event)
+        assert [tag for tag, _ in log] == ["first", "second"]
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        unsubscribe = bus.subscribe(lambda e: None)
+        unsubscribe()
+        unsubscribe()
+        assert bus.subscriber_count() == 0
+
+    def test_subscriber_added_during_publish_not_called(self):
+        bus = EventBus()
+        log = []
+
+        def adder(event):
+            bus.subscribe(log.append)
+
+        bus.subscribe(adder)
+        bus.publish(ObjectCreated("db", "C", None))
+        assert log == []
+        bus.publish(ObjectCreated("db", "C", None))
+        assert len(log) == 1
+
+
+class TestOnEvent:
+    def test_filters_by_type(self):
+        bus = EventBus()
+        log = []
+        on_event(bus, ObjectUpdated, log.append)
+        bus.publish(ObjectCreated("db", "C", None))
+        bus.publish(ObjectUpdated("db", "C", None, "A", 1, 2))
+        assert len(log) == 1
+
+    def test_filters_by_class(self):
+        bus = EventBus()
+        log = []
+        on_event(bus, ObjectCreated, log.append, class_name="Person")
+        bus.publish(ObjectCreated("db", "Ship", None))
+        bus.publish(ObjectCreated("db", "Person", None))
+        assert len(log) == 1
+
+    def test_returns_unsubscribe(self):
+        bus = EventBus()
+        log = []
+        unsubscribe = on_event(bus, ObjectCreated, log.append)
+        unsubscribe()
+        bus.publish(ObjectCreated("db", "C", None))
+        assert log == []
+
+
+class TestViewEventForwarding:
+    def test_base_events_reach_view_subscribers(self, tiny_db):
+        from repro.core import View
+
+        view = View("V")
+        view.import_database(tiny_db)
+        log = []
+        view.events.subscribe(log.append)
+        tiny_db.create("Person", Name="X", Age=1)
+        assert any(isinstance(e, ObjectCreated) for e in log)
+
+    def test_version_bumps_on_base_mutation(self, tiny_db):
+        from repro.core import View
+
+        view = View("V")
+        view.import_database(tiny_db)
+        before = view.version
+        tiny_db.create("Person", Name="X", Age=1)
+        assert view.version > before

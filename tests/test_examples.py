@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; this guards them against
+drift. Each runs in a subprocess exactly as a user would run it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+)
+
+EXAMPLES = sorted(
+    name
+    for name in os.listdir(EXAMPLES_DIR)
+    if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "navy_fleet.py",
+        "families.py",
+        "insurance_views.py",
+        "tax_office.py",
+        "relational_bridge.py",
+        "view_language.py",
+        "persistent_store.py",
+        "updatable_views.py",
+    } <= set(EXAMPLES)

@@ -1,0 +1,195 @@
+"""Tests for §4.2: inferring the position of virtual classes."""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+
+
+class TestSpecializationPlacement:
+    def test_source_class_becomes_parent(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        assert tiny_view.schema.direct_parents("Adult") == ("Person",)
+
+    def test_stacked_specialization(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        tiny_view.define_virtual_class(
+            "Senior", includes=["select A from Adult where A.Age >= 65"]
+        )
+        assert tiny_view.schema.direct_parents("Senior") == ("Adult",)
+        assert tiny_view.schema.isa("Senior", "Person")
+
+    def test_members_belong_to_inferred_superclasses(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        for oid in tiny_view.extent("Adult"):
+            assert tiny_view.is_member(oid, "Person")
+
+
+class TestMultipleInheritance:
+    def test_rich_and_beautiful(self, tiny_view):
+        """The paper's flagship multiple-inheritance example."""
+        tiny_view.define_virtual_class(
+            "Rich", includes=["select P from Person where P.Income > 3,000"]
+        )
+        tiny_view.define_virtual_class(
+            "Beautiful", includes=["select P from Person where P.Age < 40"]
+        )
+        tiny_view.define_virtual_class(
+            "Rich&Beautiful",
+            includes=["select P from Rich where P in Beautiful"],
+        )
+        parents = set(tiny_view.schema.direct_parents("Rich&Beautiful"))
+        assert parents == {"Rich", "Beautiful"}
+
+    def test_comparable_guarantees_keep_most_specific(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        tiny_view.define_virtual_class(
+            "X", includes=["select A from Adult where A in Person"]
+        )
+        # Person is an ancestor of Adult; only Adult is minimal.
+        assert tiny_view.schema.direct_parents("X") == ("Adult",)
+
+
+class TestGeneralizationPlacement:
+    def test_included_classes_become_children(self, navy_view):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        assert "Merchant_Vessel" in navy_view.schema.direct_parents(
+            "Tanker"
+        )
+        assert "Merchant_Vessel" in navy_view.schema.direct_parents(
+            "Trawler"
+        )
+
+    def test_common_superclass_becomes_parent(self, navy_view):
+        """Insertion in the middle of the hierarchy."""
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        assert navy_view.schema.direct_parents("Merchant_Vessel") == (
+            "Ship",
+        )
+
+    def test_included_class_is_not_its_own_parent(self, navy_view):
+        navy_view.define_virtual_class("Tankers_Only", includes=["Tanker"])
+        parents = navy_view.schema.direct_parents("Tankers_Only")
+        assert "Tanker" not in parents
+        assert "Tankers_Only" in navy_view.schema.direct_parents("Tanker")
+
+    def test_no_common_superclass_means_root(self):
+        db = Database("D")
+        db.define_class("Apple")
+        db.define_class("Orange")
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class("Fruit", includes=["Apple", "Orange"])
+        assert view.schema.direct_parents("Fruit") == ()
+        assert view.schema.isa("Apple", "Fruit")
+
+    def test_mixed_members_example_2(self, tiny_db):
+        """Government_Supported: Person becomes the superclass."""
+        tiny_db.define_class(
+            "Student", parents=["Person"], attributes={"School": "string"}
+        )
+        view = View("V")
+        view.import_database(tiny_db)
+        view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        view.define_virtual_class(
+            "Senior", includes=["select A from Adult where A.Age >= 65"]
+        )
+        view.define_virtual_class(
+            "Government_Supported",
+            includes=[
+                "Senior",
+                "Student",
+                "select A in Adult where A.Income < 5,000",
+            ],
+        )
+        assert view.schema.direct_parents("Government_Supported") == (
+            "Person",
+        )
+        assert view.schema.isa("Senior", "Government_Supported")
+        assert view.schema.isa("Student", "Government_Supported")
+
+
+class TestCycleAvoidance:
+    def test_class_both_whole_and_source(self, tiny_view):
+        """`class V includes Person, (select P from Person)` would make
+        Person both child and parent; generalization wins."""
+        tiny_view.define_virtual_class(
+            "V",
+            includes=[
+                "Person",
+                "select P from Person where P.Age > 0",
+            ],
+        )
+        schema = tiny_view.schema
+        assert schema.isa("Person", "V")
+        assert not schema.isa("V", "Person")
+
+    def test_no_cycles_ever(self, navy_view):
+        navy_view.define_virtual_class(
+            "A", includes=["Tanker", "Trawler"]
+        )
+        navy_view.define_virtual_class("B", includes=["A", "Frigate"])
+        navy_view.define_virtual_class(
+            "C", includes=["select S from B where S.Tonnage > 0"]
+        )
+        schema = navy_view.schema
+        for name in schema.class_names():
+            for ancestor in schema.ancestors(name):
+                assert not schema.isa(ancestor, name) or ancestor == name
+
+
+class TestDeepExtents:
+    def test_extent_of_base_includes_virtual_descendants(self, navy_view):
+        """Virtual classes inserted below a base class contribute their
+        population to the base extent (they're subsets anyway)."""
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        ship_count = len(navy_view.extent("Ship"))
+        assert ship_count == 16  # 4 classes x 4 ships, unchanged
+
+    def test_shallow_extent_of_virtual(self, navy_view):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        assert len(
+            navy_view.extent("Merchant_Vessel", deep=False)
+        ) == len(navy_view.extent("Merchant_Vessel", deep=True))
+
+
+class TestPlacementFunctions:
+    def test_infer_placement_pure(self, navy_view):
+        from repro.core import ClassMember, infer_placement
+
+        placement = infer_placement(
+            navy_view.schema,
+            [ClassMember("Tanker"), ClassMember("Trawler")],
+            navy_view.like_matches,
+        )
+        assert placement.parents == ("Ship",)
+        assert placement.children == ("Tanker", "Trawler")
+
+    def test_imaginary_member_has_no_parents(self, tiny_view):
+        from repro.core import imaginary, infer_placement
+
+        placement = infer_placement(
+            tiny_view.schema,
+            [imaginary("select [N: P.Name] from P in Person")],
+            tiny_view.like_matches,
+        )
+        assert placement.parents == ()
+        assert placement.children == ()

@@ -1,0 +1,261 @@
+"""Tests for §5: imaginary classes and object identity."""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+from repro.engine.types import ClassType, TupleType
+from repro.errors import ImaginaryObjectError, VirtualClassError
+
+
+@pytest.fixture
+def family_view(tiny_db):
+    view = View("F")
+    view.import_class(tiny_db, "Person")
+    view.define_imaginary_class(
+        "Family",
+        "select [Husband: H, Wife: H.Spouse] from H in Person"
+        " where H.Sex = 'male' and H.Spouse in Person",
+    )
+    return view
+
+
+class TestPopulation:
+    def test_tuples_become_objects(self, family_view):
+        families = family_view.handles("Family")
+        assert len(families) == 1
+        family = families[0]
+        assert family.Husband.Name == "Bob"
+        assert family.Wife.Name == "Alice"
+
+    def test_oid_space_is_per_class(self, family_view):
+        oid = next(iter(family_view.extent("Family")))
+        assert oid.space == "F/Family"
+
+    def test_core_attributes_inferred(self, family_view):
+        t = family_view.schema.tuple_type_of("Family")
+        assert t == TupleType(
+            {"Husband": ClassType("Person"), "Wife": ClassType("Person")}
+        )
+
+    def test_class_of_and_membership(self, family_view):
+        oid = next(iter(family_view.extent("Family")))
+        assert family_view.class_of(oid) == "Family"
+        assert family_view.is_member(oid, "Family")
+
+    def test_imaginary_class_has_no_inferred_parents(self, family_view):
+        assert family_view.schema.direct_parents("Family") == ()
+
+    def test_non_tuple_query_rejected(self, tiny_db):
+        view = View("V")
+        view.import_class(tiny_db, "Person")
+        with pytest.raises(ImaginaryObjectError):
+            view.define_imaginary_class("Bad", "select P from Person")
+            view.extent("Bad")
+
+    def test_imaginary_must_be_sole_member(self, tiny_db):
+        from repro.core import imaginary
+
+        view = View("V")
+        view.import_class(tiny_db, "Person")
+        with pytest.raises(VirtualClassError):
+            view.define_virtual_class(
+                "Mixed",
+                includes=[
+                    "Person",
+                    imaginary("select [N: P.Name] from P in Person"),
+                ],
+            )
+
+
+class TestIdentityStability:
+    def test_same_oid_across_invocations(self, family_view):
+        first = sorted(family_view.extent("Family"))
+        second = sorted(family_view.extent("Family"))
+        assert first == second
+
+    def test_seemingly_equivalent_queries_agree(self, family_view):
+        """The §5.1 pair of queries."""
+        direct = family_view.query(
+            "select F from Family where F.Husband.Age < 60"
+        )
+        nested = family_view.query(
+            "select F from Family where F in"
+            " (select F from Family where F.Husband.Age < 60)"
+        )
+        assert {f.oid for f in direct} == {f.oid for f in nested}
+        assert len(direct) == 1
+
+    def test_same_tuple_same_oid_table(self, family_view, tiny_db):
+        imag = family_view.imaginary_class("Family")
+        bob = next(h for h in tiny_db.handles("Person") if h.Name == "Bob")
+        alice = next(
+            h for h in tiny_db.handles("Person") if h.Name == "Alice"
+        )
+        oid = imag.oid_for({"Husband": bob.oid, "Wife": alice.oid})
+        assert oid is not None
+        assert oid == imag.oid_for({"Wife": alice.oid, "Husband": bob.oid})
+
+    def test_different_class_different_oid(self, tiny_db):
+        """§5.1: a tuple generates a different oid in a different class."""
+        view = View("V")
+        view.import_class(tiny_db, "Person")
+        query = "select [N: P.Name] from P in Person"
+        view.define_imaginary_class("C1", query)
+        view.define_imaginary_class("C2", query)
+        oids1 = set(view.extent("C1"))
+        oids2 = set(view.extent("C2"))
+        assert oids1 and oids2
+        assert not (oids1 & oids2)
+
+    def test_identity_survives_unrelated_updates(self, family_view, tiny_db):
+        before = set(family_view.extent("Family"))
+        carol = next(
+            h for h in tiny_db.handles("Person") if h.Name == "Carol"
+        )
+        tiny_db.update(carol, "Income", 1)
+        assert set(family_view.extent("Family")) == before
+
+    def test_core_update_changes_identity(self, family_view, tiny_db):
+        """Updating a core attribute creates a new object."""
+        before = set(family_view.extent("Family"))
+        bob = next(h for h in tiny_db.handles("Person") if h.Name == "Bob")
+        eve = next(h for h in tiny_db.handles("Person") if h.Name == "Eve")
+        tiny_db.update(bob, "Spouse", eve)  # Bob remarries
+        after = set(family_view.extent("Family"))
+        assert after != before
+        assert len(after) == 1
+
+    def test_vanished_tuples_stay_dereferenceable(self, family_view, tiny_db):
+        """'The object ... may still be used in other parts of the
+        view' — old oids keep their values."""
+        old_oid = next(iter(family_view.extent("Family")))
+        bob = next(h for h in tiny_db.handles("Person") if h.Name == "Bob")
+        tiny_db.update(bob, "Spouse", None)
+        assert len(family_view.extent("Family")) == 0
+        imag = family_view.imaginary_class("Family")
+        assert imag.ever_issued(old_oid)
+        assert family_view.get(old_oid).Husband.Name == "Bob"
+
+    def test_reappearing_tuple_reuses_oid(self, family_view, tiny_db):
+        old_oid = next(iter(family_view.extent("Family")))
+        bob = next(h for h in tiny_db.handles("Person") if h.Name == "Bob")
+        alice = next(
+            h for h in tiny_db.handles("Person") if h.Name == "Alice"
+        )
+        tiny_db.update(bob, "Spouse", None)
+        assert len(family_view.extent("Family")) == 0
+        tiny_db.update(bob, "Spouse", alice)
+        assert next(iter(family_view.extent("Family"))) == old_oid
+
+    def test_churn_counters(self, family_view, tiny_db):
+        imag = family_view.imaginary_class("Family")
+        family_view.extent("Family")
+        fresh_before = imag.fresh_count
+        bob = next(h for h in tiny_db.handles("Person") if h.Name == "Bob")
+        eve = next(h for h in tiny_db.handles("Person") if h.Name == "Eve")
+        tiny_db.update(bob, "Spouse", eve)
+        family_view.extent("Family")
+        assert imag.fresh_count == fresh_before + 1
+        assert imag.vanished_count >= 1
+
+
+class TestVirtualAttributesOnImaginary:
+    def test_children_attribute(self, family_view):
+        family_view.define_attribute(
+            "Family",
+            "Children",
+            value="select P from Person where P in self.Husband.Children"
+            " or P in self.Wife.Children",
+        )
+        family = family_view.handles("Family")[0]
+        assert sorted(c.Name for c in family.Children) == ["Dan"]
+
+    def test_virtual_attribute_does_not_affect_identity(
+        self, family_view, tiny_db
+    ):
+        before = set(family_view.extent("Family"))
+        family_view.define_attribute(
+            "Family", "Size", value=lambda f: 2
+        )
+        assert set(family_view.extent("Family")) == before
+        assert family_view.handles("Family")[0].Size == 2
+
+
+class TestValueToObject:
+    """Example 5: addresses as shared objects."""
+
+    @pytest.fixture
+    def address_view(self):
+        db = Database("Staff")
+        db.define_class(
+            "Person",
+            attributes={
+                "Name": "string",
+                "City": "string",
+                "Street": "string",
+                "Number": "integer",
+            },
+        )
+        rows = [
+            ("Maggy", "London", "Downing St", 10),
+            ("John", "London", "Downing St", 10),
+            ("Paul", "Liverpool", "Penny Lane", 1),
+        ]
+        for name, city, street, number in rows:
+            db.create(
+                "Person", Name=name, City=city, Street=street, Number=number
+            )
+        view = View("Value_to_Object")
+        view.import_class(db, "Person")
+        view.define_imaginary_class(
+            "Address",
+            "select [City: P.City, Street: P.Street, Number: P.Number]"
+            " from P in Person",
+        )
+        view.define_attribute(
+            "Person",
+            "Address",
+            value="select the A in Address where A.City = self.City"
+            " and A.Street = self.Street and A.Number = self.Number",
+        )
+        view.hide_attributes("Person", ["City", "Street", "Number"])
+        return db, view
+
+    def test_addresses_are_shared(self, address_view):
+        _, view = address_view
+        assert len(view.extent("Address")) == 2
+        maggy, john = [
+            h
+            for h in view.handles("Person")
+            if h.Name in ("Maggy", "John")
+        ]
+        assert maggy.Address.oid == john.Address.oid
+
+    def test_moving_rebinds_to_new_object(self, address_view):
+        db, view = address_view
+        maggy = next(
+            h for h in view.handles("Person") if h.Name == "Maggy"
+        )
+        old = maggy.Address.oid
+        db.update(maggy.oid, "City", "Oxford")
+        assert view.get(maggy.oid).Address.oid != old
+
+    def test_flat_attributes_hidden(self, address_view):
+        from repro.errors import HiddenAttributeError
+
+        _, view = address_view
+        with pytest.raises(HiddenAttributeError):
+            view.handles("Person")[0].City
+
+    def test_table_only_grows(self, address_view):
+        db, view = address_view
+        imag = view.imaginary_class("Address")
+        view.extent("Address")
+        size = imag.table_size()
+        maggy = next(
+            h for h in view.handles("Person") if h.Name == "Maggy"
+        )
+        db.update(maggy.oid, "City", "Oxford")
+        view.extent("Address")
+        assert imag.table_size() == size + 1

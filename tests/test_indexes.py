@@ -1,0 +1,99 @@
+"""Unit tests for attribute indexes."""
+
+import pytest
+
+from repro.engine import Database, IndexManager
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def db():
+    d = Database("Idx")
+    d.define_class("Person", attributes={"Name": "string", "City": "string"})
+    d.define_class("Employee", parents=["Person"])
+    return d
+
+
+@pytest.fixture
+def manager(db):
+    return IndexManager(db)
+
+
+class TestLookup:
+    def test_finds_existing_objects(self, db, manager):
+        a = db.create("Person", Name="A", City="Paris")
+        db.create("Person", Name="B", City="Rome")
+        index = manager.create_index("Person", "City")
+        assert list(index.lookup("Paris")) == [a.oid]
+        assert len(index.lookup("Berlin")) == 0
+
+    def test_tracks_creates(self, db, manager):
+        index = manager.create_index("Person", "City")
+        a = db.create("Person", Name="A", City="Paris")
+        assert list(index.lookup("Paris")) == [a.oid]
+
+    def test_tracks_updates(self, db, manager):
+        index = manager.create_index("Person", "City")
+        a = db.create("Person", Name="A", City="Paris")
+        db.update(a, "City", "Rome")
+        assert len(index.lookup("Paris")) == 0
+        assert list(index.lookup("Rome")) == [a.oid]
+
+    def test_tracks_deletes(self, db, manager):
+        index = manager.create_index("Person", "City")
+        a = db.create("Person", Name="A", City="Paris")
+        db.delete(a)
+        assert len(index.lookup("Paris")) == 0
+
+    def test_unset_values_not_indexed(self, db, manager):
+        index = manager.create_index("Person", "City")
+        a = db.create("Person", Name="A", City="Paris")
+        db.update(a, "City", None)
+        assert index.distinct_values_count() == 0
+
+    def test_covers_subclasses(self, db, manager):
+        index = manager.create_index("Person", "City")
+        e = db.create("Employee", Name="E", City="Paris")
+        assert e.oid in index.lookup("Paris")
+
+    def test_other_attribute_updates_ignored(self, db, manager):
+        index = manager.create_index("Person", "City")
+        a = db.create("Person", Name="A", City="Paris")
+        db.update(a, "Name", "AA")
+        assert a.oid in index.lookup("Paris")
+
+
+class TestManager:
+    def test_create_is_idempotent(self, db, manager):
+        first = manager.create_index("Person", "City")
+        second = manager.create_index("Person", "City")
+        assert first is second
+        assert len(manager) == 1
+
+    def test_find_exact(self, db, manager):
+        index = manager.create_index("Person", "City")
+        assert manager.find("Person", "City") is index
+
+    def test_find_via_superclass(self, db, manager):
+        index = manager.create_index("Person", "City")
+        assert manager.find("Employee", "City") is index
+
+    def test_find_missing(self, db, manager):
+        assert manager.find("Person", "Name") is None
+
+    def test_drop_detaches(self, db, manager):
+        index = manager.create_index("Person", "City")
+        manager.drop_index("Person", "City")
+        db.create("Person", Name="A", City="Paris")
+        assert len(index.lookup("Paris")) == 0
+
+    def test_cannot_index_computed(self, db, manager):
+        db.define_attribute("Person", "Greeting", value=lambda s: "hi")
+        with pytest.raises(SchemaError):
+            manager.create_index("Person", "Greeting")
+
+    def test_distinct_values_count(self, db, manager):
+        index = manager.create_index("Person", "City")
+        for city in ("Paris", "Paris", "Rome"):
+            db.create("Person", Name="X", City=city)
+        assert index.distinct_values_count() == 2

@@ -1,0 +1,208 @@
+"""Tests for executing view-definition scripts."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import LanguageError
+from repro.lang import Catalog, run_script
+
+
+@pytest.fixture
+def catalog(tiny_db, navy_db):
+    return Catalog(tiny_db, navy_db)
+
+
+class TestCatalog:
+    def test_lookup(self, catalog, tiny_db):
+        assert catalog.get("Staff") is tiny_db
+        assert "Navy" in catalog
+        assert "Staff" in catalog.names()
+
+    def test_unknown_database(self, catalog):
+        with pytest.raises(LanguageError):
+            catalog.get("Atlantis")
+
+
+class TestExecution:
+    def test_create_and_import(self, catalog):
+        result = run_script(
+            """
+            create view V;
+            import all classes from database Staff;
+            """,
+            catalog,
+        )
+        assert result.view.name == "V"
+        assert result.view.has_class("Person")
+
+    def test_import_single_class(self, catalog):
+        view = run_script(
+            """
+            create view V;
+            import class Tanker from database Navy;
+            """,
+            catalog,
+        ).view
+        assert view.has_class("Tanker")
+        assert not view.has_class("Frigate")
+
+    def test_virtual_class_and_query(self, catalog):
+        view = run_script(
+            """
+            create view V;
+            import all classes from database Staff;
+            class Adult includes (select P from Person where P.Age >= 21);
+            """,
+            catalog,
+        ).view
+        assert len(view.extent("Adult")) == 4
+
+    def test_attribute_with_value(self, catalog):
+        view = run_script(
+            """
+            create view V;
+            import all classes from database Staff;
+            attribute Label in class Person has value self.Name + '!';
+            """,
+            catalog,
+        ).view
+        assert view.handles("Person")[0].Label.endswith("!")
+
+    def test_attribute_with_declared_type(self, catalog):
+        from repro.engine.types import AtomType
+
+        view = run_script(
+            """
+            create view V;
+            import all classes from database Staff;
+            attribute Wealth of type dollar in class Person
+              has value self.Income;
+            """,
+            catalog,
+        ).view
+        assert view.attribute_type("Person", "Wealth") is AtomType("dollar")
+
+    def test_type_name_resolves_class_first(self, catalog):
+        from repro.engine.types import ClassType
+
+        view = run_script(
+            """
+            create view V;
+            import all classes from database Staff;
+            attribute Buddy of type Person in class Person;
+            """,
+            catalog,
+        ).view
+        assert view.attribute_type("Person", "Buddy") == ClassType("Person")
+
+    def test_hide_statements(self, catalog):
+        from repro.errors import HiddenAttributeError, UnknownClassError
+
+        view = run_script(
+            """
+            create view V;
+            import all classes from database Staff;
+            hide attribute Income in class Person;
+            """,
+            catalog,
+        ).view
+        with pytest.raises(HiddenAttributeError):
+            view.handles("Person")[0].Income
+
+    def test_resolve_priority_statement(self, catalog):
+        view = run_script(
+            """
+            create view V;
+            import all classes from database Staff;
+            class Rich includes (select P from Person where P.Income > 10,000);
+            class Old includes (select P from Person where P.Age >= 65);
+            attribute Print in class Rich has value 'rich';
+            attribute Print in class Old has value 'old';
+            resolve Print by priority Old, Rich;
+            """,
+            catalog,
+        ).view
+        carol = next(
+            h for h in view.handles("Person") if h.Name == "Carol"
+        )
+        assert carol.Print == "old"
+
+    def test_statement_before_create_view(self, catalog):
+        with pytest.raises(LanguageError):
+            run_script(
+                "import all classes from database Staff;", catalog
+            )
+
+    def test_created_views_are_registered(self, catalog):
+        run_script(
+            """
+            create view Lower;
+            import all classes from database Staff;
+            """,
+            catalog,
+        )
+        view = run_script(
+            """
+            create view Upper;
+            import all classes from database Lower;
+            class Adult includes (select P from Person where P.Age >= 21);
+            """,
+            catalog,
+        ).view
+        assert len(view.extent("Adult")) == 4
+
+    def test_multiple_views_in_one_script(self, catalog):
+        result = run_script(
+            """
+            create view A;
+            import all classes from database Staff;
+            create view B;
+            import all classes from database A;
+            """,
+            catalog,
+        )
+        assert [v.name for v in result.views] == ["A", "B"]
+        assert result.view.name == "B"
+
+    def test_extend_existing_view(self, catalog):
+        from repro.core import View
+
+        view = View("Pre")
+        view.import_database(catalog.get("Staff"))
+        run_script(
+            "class Adult includes (select P from Person where"
+            " P.Age >= 21);",
+            catalog,
+            view=view,
+        )
+        assert view.has_class("Adult")
+
+    def test_no_view_created_raises_on_access(self, catalog):
+        result = run_script("", catalog)
+        with pytest.raises(LanguageError):
+            result.view
+
+    def test_spec_class_and_like(self, catalog):
+        view = run_script(
+            """
+            create view V;
+            import all classes from database Navy;
+            class Cargo_Spec
+              has attribute Cargo of type string;
+            class Carrier includes like Cargo_Spec;
+            """,
+            catalog,
+        ).view
+        assert len(view.extent("Carrier")) == 8  # tankers + trawlers
+
+    def test_parameterized_class_through_script(self, catalog):
+        view = run_script(
+            """
+            create view V;
+            import all classes from database Staff;
+            class Resident(X) includes
+              (select P from Person where P.City = X);
+            """,
+            catalog,
+        ).view
+        assert len(view.instantiate_family("Resident", ("Paris",))) == 2

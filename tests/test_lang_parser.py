@@ -1,0 +1,192 @@
+"""Tests for the view-definition language parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.lang import parse_script, parse_statement
+from repro.lang.ast import (
+    AttributeStatement,
+    ClassIncludes,
+    ClassSpec,
+    CreateView,
+    HideAttributes,
+    HideClass,
+    ImportAll,
+    ImportClasses,
+    ResolvePriority,
+)
+
+
+class TestStatements:
+    def test_create_view(self):
+        assert parse_statement("create view My_View") == CreateView(
+            "My_View"
+        )
+
+    def test_import_all(self):
+        s = parse_statement("import all classes from database Chrysler")
+        assert s == ImportAll("Chrysler")
+
+    def test_import_one_class(self):
+        s = parse_statement("import class Person from database Ford")
+        assert s == ImportClasses(("Person",), "Ford")
+
+    def test_import_many_classes(self):
+        s = parse_statement(
+            "import classes Person, Company from database Ford"
+        )
+        assert s.classes == ("Person", "Company")
+
+    def test_hide_attribute(self):
+        s = parse_statement("hide attribute Salary in class Employee")
+        assert s == HideAttributes(("Salary",), "Employee")
+
+    def test_hide_attributes_plural(self):
+        s = parse_statement(
+            "hide attributes City, Street, Number in class Person"
+        )
+        assert s.attributes == ("City", "Street", "Number")
+
+    def test_hide_class(self):
+        assert parse_statement("hide class Manager") == HideClass(
+            "Manager"
+        )
+
+    def test_resolve_priority(self):
+        s = parse_statement("resolve Print by priority Rich, Senior")
+        assert s == ResolvePriority("Print", ("Rich", "Senior"))
+
+
+class TestAttributeStatements:
+    def test_stored(self):
+        s = parse_statement("attribute Address in class Employee")
+        assert s.value is None and s.declared_type is None
+
+    def test_with_type(self):
+        s = parse_statement(
+            "attribute Price of type dollar in class Car"
+        )
+        assert s.declared_type.kind == "name"
+        assert s.declared_type.name == "dollar"
+
+    def test_with_tuple_type(self):
+        s = parse_statement(
+            "attribute Address of type [City: string, Zip: integer]"
+            " in class Person"
+        )
+        assert s.declared_type.kind == "tuple"
+        assert [f[0] for f in s.declared_type.fields] == ["City", "Zip"]
+
+    def test_with_set_type(self):
+        s = parse_statement(
+            "attribute Children of type {Person} in class Person"
+        )
+        assert s.declared_type.kind == "set"
+        assert s.declared_type.element.name == "Person"
+
+    def test_example_1_verbatim(self):
+        s = parse_statement(
+            "attribute Address in class Person has value"
+            " [City: self.City, Street: self.Street,"
+            " Zip_Code: self.Zip_Code]"
+        )
+        assert isinstance(s, AttributeStatement)
+        assert s.value is not None
+
+    def test_query_value(self):
+        s = parse_statement(
+            "attribute Person in class Policy has value"
+            " (select the C from Client where C.Policy = self)"
+        )
+        from repro.query.ast import QueryExpr
+
+        assert isinstance(s.value, QueryExpr)
+        assert s.value.query.unique
+
+
+class TestClassStatements:
+    def test_generalization(self):
+        s = parse_statement("class Ship includes Tanker, Cruiser, Trawler")
+        assert isinstance(s, ClassIncludes)
+        assert [m.kind for m in s.members] == ["class"] * 3
+
+    def test_specialization(self):
+        s = parse_statement(
+            "class Adult includes (select P from Person where P.Age >= 21)"
+        )
+        assert s.members[0].kind == "query"
+
+    def test_like(self):
+        s = parse_statement("class On_Sale includes like On_Sale_Spec")
+        assert s.members[0] .kind == "like"
+        assert s.members[0].class_name == "On_Sale_Spec"
+
+    def test_imaginary(self):
+        s = parse_statement(
+            "class Family includes imaginary"
+            " (select [Husband: H] from H in Person)"
+        )
+        assert s.members[0].kind == "imaginary"
+
+    def test_mixed_members(self):
+        s = parse_statement(
+            "class Government_Supported includes Senior, Student,"
+            " (select A in Adult where A.Income < 5,000)"
+        )
+        assert [m.kind for m in s.members] == ["class", "class", "query"]
+
+    def test_parameterized(self):
+        s = parse_statement(
+            "class Adult(A) includes"
+            " (select P from Person where P.Age > A)"
+        )
+        assert s.parameters == ("A",)
+
+    def test_spec_class_multi_clause(self):
+        script = parse_script(
+            """
+            class On_Sale_Spec
+              has attribute Price of type dollar;
+              has attribute Discount of type integer;
+            """
+        )
+        assert len(script.statements) == 1
+        spec = script.statements[0]
+        assert isinstance(spec, ClassSpec)
+        assert [a[0] for a in spec.attributes] == ["Price", "Discount"]
+
+
+class TestScripts:
+    def test_full_script_statement_count(self):
+        script = parse_script(
+            """
+            create view My_View;
+            import all classes from database Chrysler;
+            import class Person from database Ford;
+            class Adult includes (select P from Person where P.Age >= 21);
+            hide attribute Salary in class Employee;
+            """
+        )
+        assert len(script.statements) == 5
+
+    def test_comments_and_blank_statements(self):
+        script = parse_script(
+            """
+            -- header comment
+            create view V;;
+            -- trailing comment
+            """
+        )
+        assert len(script.statements) == 1
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_script("create view V import all classes from database D;")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement("frobnicate the database")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement("create view V extra")

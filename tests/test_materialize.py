@@ -1,0 +1,129 @@
+"""Tests for materialized virtual classes and incremental maintenance."""
+
+import pytest
+
+from repro.core import View, like
+
+
+@pytest.fixture
+def setup(tiny_db):
+    view = View("V")
+    view.import_database(tiny_db)
+    view.define_virtual_class(
+        "Adult", includes=["select P from Person where P.Age >= 21"]
+    )
+    materialized = view.materialize("Adult")
+    return tiny_db, view, materialized
+
+
+class TestMaterialization:
+    def test_initial_population(self, setup):
+        _, view, materialized = setup
+        assert materialized.population().members == view.virtual_class(
+            "Adult"
+        ).population(use_cache=False).members
+
+    def test_simple_class_is_incremental(self, setup):
+        _, _, materialized = setup
+        assert materialized.incremental
+
+    def test_create_maintains(self, setup):
+        db, view, materialized = setup
+        new = db.create("Person", Name="New", Age=40)
+        assert materialized.contains(new.oid)
+        assert materialized.stats.incremental_steps >= 1
+        assert materialized.stats.full_recomputes == 0
+
+    def test_update_in_and_out(self, setup):
+        db, view, materialized = setup
+        dan = next(h for h in db.handles("Person") if h.Name == "Dan")
+        db.update(dan, "Age", 30)
+        assert materialized.contains(dan.oid)
+        db.update(dan, "Age", 10)
+        assert not materialized.contains(dan.oid)
+
+    def test_delete_maintains(self, setup):
+        db, view, materialized = setup
+        carol = next(h for h in db.handles("Person") if h.Name == "Carol")
+        db.delete(carol)
+        assert not materialized.contains(carol.oid)
+
+    def test_extent_uses_materialized_population(self, setup):
+        db, view, materialized = setup
+        new = db.create("Person", Name="New", Age=40)
+        assert new.oid in view.extent("Adult")
+
+    def test_unrelated_update_keeps_membership(self, setup):
+        db, view, materialized = setup
+        carol = next(h for h in db.handles("Person") if h.Name == "Carol")
+        db.update(carol, "Income", 1)
+        assert materialized.contains(carol.oid)
+
+    def test_materialize_is_idempotent(self, setup):
+        _, view, materialized = setup
+        assert view.materialize("Adult") is materialized
+
+    def test_dematerialize_detaches(self, setup):
+        db, view, materialized = setup
+        view.dematerialize("Adult")
+        before = materialized.stats.events_seen
+        db.create("Person", Name="X", Age=30)
+        assert materialized.stats.events_seen == before
+        # The extent falls back to on-demand population.
+        assert len(view.extent("Adult")) == 5
+
+
+class TestFullRecomputePath:
+    def test_join_query_forces_recompute(self, tiny_db):
+        view = View("V")
+        view.import_database(tiny_db)
+        view.define_virtual_class(
+            "Married_Pairs",
+            includes=[
+                "select P from P in Person, Q in Person"
+                " where P.Spouse = Q"
+            ],
+        )
+        materialized = view.materialize("Married_Pairs")
+        assert not materialized.incremental
+        tiny_db.create("Person", Name="X", Age=1)
+        assert materialized.stats.full_recomputes >= 1
+
+    def test_recompute_stays_correct(self, tiny_db):
+        view = View("V")
+        view.import_database(tiny_db)
+        view.define_virtual_class(
+            "Married",
+            includes=[
+                "select P from P in Person, Q in Person"
+                " where P.Spouse = Q"
+            ],
+        )
+        materialized = view.materialize("Married")
+        eve = next(h for h in tiny_db.handles("Person") if h.Name == "Eve")
+        carol = next(
+            h for h in tiny_db.handles("Person") if h.Name == "Carol"
+        )
+        tiny_db.update(eve, "Spouse", carol)
+        assert materialized.contains(eve.oid)
+
+    def test_behavioral_class_recomputes_on_class_defined(self, navy_db):
+        view = View("V")
+        view.import_database(navy_db)
+        view.define_spec_class(
+            "Carrier_Spec", attributes={"Cargo": "string"}
+        )
+        view.define_virtual_class(
+            "Carrier", includes=[like("Carrier_Spec")]
+        )
+        materialized = view.materialize("Carrier")
+        before = len(materialized.population())
+        navy_db.define_class(
+            "Gondola",
+            parents=["Ship"],
+            attributes={"Cargo": "string", "Capacity": "integer"},
+        )
+        navy_db.create(
+            "Gondola", Name="G", Tonnage=1, Cargo="people", Capacity=2
+        )
+        assert len(materialized.population()) == before + 1

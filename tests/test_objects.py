@@ -1,0 +1,125 @@
+"""Unit tests for handles, tuple values, and value wrapping."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.objects import (
+    ObjectHandle,
+    TupleValue,
+    unwrap,
+    wrap_value,
+)
+from repro.engine.oid import Oid
+from repro.errors import ObjectError
+
+
+@pytest.fixture
+def db():
+    d = Database("D")
+    d.define_class(
+        "Node",
+        attributes={
+            "Label": "string",
+            "Next": "Node",
+            "Parts": {"Node"},
+            "Meta": {"Depth": "integer"},
+        },
+    )
+    return d
+
+
+class TestWrapping:
+    def test_oid_becomes_handle(self, db):
+        node = db.create("Node", Label="a")
+        wrapped = wrap_value(db, node.oid)
+        assert isinstance(wrapped, ObjectHandle)
+        assert wrapped.Label == "a"
+
+    def test_dict_becomes_tuple_value(self, db):
+        wrapped = wrap_value(db, {"Depth": 3})
+        assert isinstance(wrapped, TupleValue)
+        assert wrapped.Depth == 3
+
+    def test_set_wraps_elements(self, db):
+        a = db.create("Node", Label="a")
+        wrapped = wrap_value(db, {a.oid})
+        assert isinstance(wrapped, frozenset)
+        assert next(iter(wrapped)).Label == "a"
+
+    def test_list_wraps_elements(self, db):
+        wrapped = wrap_value(db, [1, {"X": 2}])
+        assert wrapped[0] == 1
+        assert wrapped[1].X == 2
+
+    def test_scalars_pass_through(self, db):
+        assert wrap_value(db, 42) == 42
+        assert wrap_value(db, "x") == "x"
+
+    def test_unwrap_inverts(self, db):
+        a = db.create("Node", Label="a")
+        value = {"k": a.oid, "s": {a.oid}, "l": [a.oid], "n": 1}
+        assert unwrap(wrap_value(db, value)) == value
+
+    def test_unwrap_handles_nested_proxies(self, db):
+        a = db.create("Node", Label="a")
+        assert unwrap(ObjectHandle(db, a.oid)) == a.oid
+        assert unwrap(TupleValue(db, {"x": a.oid})) == {"x": a.oid}
+
+
+class TestHandleNavigation:
+    def test_chained_navigation(self, db):
+        c = db.create("Node", Label="c")
+        b = db.create("Node", Label="b", Next=c)
+        a = db.create("Node", Label="a", Next=b)
+        assert a.Next.Next.Label == "c"
+
+    def test_tuple_attribute_navigation(self, db):
+        a = db.create("Node", Label="a", Meta={"Depth": 7})
+        assert a.Meta.Depth == 7
+        assert a.Meta["Depth"] == 7
+        assert "Depth" in a.Meta
+
+    def test_set_attribute_wrapped(self, db):
+        p = db.create("Node", Label="p")
+        q = db.create("Node", Label="q", Parts={p.oid})
+        parts = q.Parts
+        assert {h.Label for h in parts} == {"p"}
+
+    def test_missing_tuple_field_raises(self, db):
+        a = db.create("Node", Label="a", Meta={"Depth": 1})
+        with pytest.raises(AttributeError):
+            a.Meta.Width
+
+    def test_private_names_raise_attribute_error(self, db):
+        a = db.create("Node", Label="a")
+        with pytest.raises(AttributeError):
+            a._internal
+
+    def test_tuple_value_read_only(self, db):
+        a = db.create("Node", Label="a", Meta={"Depth": 1})
+        with pytest.raises(ObjectError):
+            a.Meta.Depth = 9
+
+    def test_tuple_value_equality(self):
+        assert TupleValue(None, {"a": 1}) == TupleValue(None, {"a": 1})
+        assert TupleValue(None, {"a": 1}) == {"a": 1}
+        assert TupleValue(None, {"a": 1}) != TupleValue(None, {"a": 2})
+
+    def test_tuple_value_keys_and_dict(self):
+        tv = TupleValue(None, {"a": 1, "b": 2})
+        assert sorted(tv.keys()) == ["a", "b"]
+        assert tv.as_dict() == {"a": 1, "b": 2}
+
+    def test_handle_ordering(self, db):
+        a = db.create("Node", Label="a")
+        b = db.create("Node", Label="b")
+        assert a < b
+
+    def test_handles_hash_by_oid(self, db):
+        a = db.create("Node", Label="a")
+        again = db.get(a.oid)
+        assert len({a, again}) == 1
+
+    def test_handle_repr_safe_for_unknown(self, db):
+        ghost = ObjectHandle(db, Oid("D", 999))
+        assert "?" in repr(ghost)

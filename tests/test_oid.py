@@ -1,0 +1,102 @@
+"""Unit tests for oids, generators and oid sets."""
+
+import pytest
+
+from repro.engine.oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
+
+
+class TestOid:
+    def test_equality_by_space_and_number(self):
+        assert Oid("A", 1) == Oid("A", 1)
+        assert Oid("A", 1) != Oid("A", 2)
+        assert Oid("A", 1) != Oid("B", 1)
+
+    def test_hashable(self):
+        assert len({Oid("A", 1), Oid("A", 1), Oid("B", 1)}) == 2
+
+    def test_total_order(self):
+        assert Oid("A", 1) < Oid("A", 2)
+        assert Oid("A", 9) < Oid("B", 1)
+
+    def test_immutable(self):
+        oid = Oid("A", 1)
+        with pytest.raises(Exception):
+            oid.number = 2
+
+
+class TestOidGenerator:
+    def test_fresh_is_sequential(self):
+        gen = OidGenerator("DB")
+        assert [gen.fresh().number for _ in range(3)] == [1, 2, 3]
+
+    def test_space_is_stamped(self):
+        gen = OidGenerator("Navy")
+        assert gen.fresh().space == "Navy"
+
+    def test_deterministic_across_instances(self):
+        a = OidGenerator("X")
+        b = OidGenerator("X")
+        assert [a.fresh() for _ in range(5)] == [b.fresh() for _ in range(5)]
+
+    def test_advance_to_prevents_collision(self):
+        gen = OidGenerator("X")
+        gen.advance_to(10)
+        assert gen.fresh().number == 11
+
+    def test_advance_to_never_goes_backwards(self):
+        gen = OidGenerator("X")
+        for _ in range(5):
+            gen.fresh()
+        gen.advance_to(2)
+        assert gen.fresh().number == 6
+
+    def test_issued_enumerates_all(self):
+        gen = OidGenerator("X")
+        issued = [gen.fresh() for _ in range(4)]
+        assert list(gen.issued()) == issued
+
+    def test_last_issued(self):
+        gen = OidGenerator("X")
+        assert gen.last_issued == 0
+        gen.fresh()
+        assert gen.last_issued == 1
+
+
+class TestOidSet:
+    def test_empty(self):
+        assert len(EMPTY_OID_SET) == 0
+        assert not EMPTY_OID_SET
+        assert Oid("A", 1) not in EMPTY_OID_SET
+
+    def test_of_and_contains(self):
+        s = OidSet.of([Oid("A", 1), Oid("A", 2)])
+        assert Oid("A", 1) in s
+        assert Oid("A", 3) not in s
+        assert len(s) == 2
+
+    def test_iteration_is_sorted(self):
+        s = OidSet.of([Oid("A", 3), Oid("A", 1), Oid("A", 2)])
+        assert [o.number for o in s] == [1, 2, 3]
+
+    def test_union(self):
+        a = OidSet.of([Oid("A", 1)])
+        b = OidSet.of([Oid("A", 2)])
+        assert len(a | b) == 2
+
+    def test_intersection(self):
+        a = OidSet.of([Oid("A", 1), Oid("A", 2)])
+        b = OidSet.of([Oid("A", 2), Oid("A", 3)])
+        assert list(a & b) == [Oid("A", 2)]
+
+    def test_difference(self):
+        a = OidSet.of([Oid("A", 1), Oid("A", 2)])
+        b = OidSet.of([Oid("A", 2)])
+        assert list(a - b) == [Oid("A", 1)]
+
+    def test_truthiness(self):
+        assert OidSet.of([Oid("A", 1)])
+        assert not OidSet.of([])
+
+    def test_immutability_of_members(self):
+        s = OidSet.of([Oid("A", 1)])
+        assert isinstance(s.members, frozenset)

@@ -1,0 +1,167 @@
+"""Tests for index-accelerated query evaluation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+from repro.query import (
+    evaluate,
+    evaluate_optimized,
+    explain,
+    parse_query,
+    plan,
+)
+
+
+@pytest.fixture
+def db():
+    d = Database("Idx")
+    d.define_class(
+        "Person",
+        attributes={
+            "Name": "string",
+            "City": "string",
+            "Age": "integer",
+        },
+    )
+    d.define_class("Employee", parents=["Person"])
+    rng = random.Random(0)
+    cities = ["Paris", "Rome", "Oslo"]
+    for i in range(60):
+        cls = "Employee" if i % 3 == 0 else "Person"
+        d.create(
+            cls,
+            Name=f"P{i}",
+            City=cities[rng.randrange(3)],
+            Age=rng.randrange(0, 90),
+        )
+    d.create_index("Person", "City")
+    return d
+
+
+PROBE_QUERY = "select P from Person where P.City = 'Paris'"
+RESIDUAL_QUERY = (
+    "select P from Person where P.City = 'Paris' and P.Age >= 30"
+)
+
+
+class TestPlanning:
+    def test_probe_planned(self, db):
+        probe = plan(PROBE_QUERY, db)
+        assert probe is not None
+        assert probe.attribute == "City"
+        assert probe.value == "Paris"
+        assert probe.residual is None
+
+    def test_residual_kept(self, db):
+        probe = plan(RESIDUAL_QUERY, db)
+        assert probe is not None
+        assert probe.residual is not None
+
+    def test_reversed_equality(self, db):
+        assert plan(
+            "select P from Person where 'Paris' = P.City", db
+        ) is not None
+
+    def test_no_index_no_plan(self, db):
+        assert plan("select P from Person where P.Name = 'P1'", db) is None
+
+    def test_inequality_not_planned(self, db):
+        assert plan("select P from Person where P.City != 'Paris'", db) is None
+
+    def test_joins_not_planned(self, db):
+        assert plan(
+            "select P from P in Person, Q in Person"
+            " where P.City = 'Paris'",
+            db,
+        ) is None
+
+    def test_superclass_index_serves_subclass(self, db):
+        probe = plan("select E from Employee where E.City = 'Paris'", db)
+        assert probe is not None
+
+    def test_explain(self, db):
+        assert "index probe" in explain(PROBE_QUERY, db)
+        assert "residual" in explain(RESIDUAL_QUERY, db)
+        assert "full scan" in explain("select P from Person", db)
+
+
+class TestEquivalence:
+    QUERIES = [
+        PROBE_QUERY,
+        RESIDUAL_QUERY,
+        "select P.Name from Person where P.City = 'Rome'",
+        "select [N: P.Name] from P in Person where P.City = 'Oslo'",
+        "select E from Employee where E.City = 'Paris'",
+        "select P from Person where P.City = 'Atlantis'",
+        "select P from Person where P.Age > 50",  # fallback path
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_results(self, db, query):
+        plain = evaluate(query, db)
+        fast = evaluate_optimized(query, db)
+        def keyify(items):
+            from repro.engine.objects import unwrap
+            from repro.engine.values import canonicalize
+
+            return sorted(
+                (repr(canonicalize(unwrap(i))) for i in items)
+            )
+        assert keyify(plain) == keyify(fast)
+
+    def test_unique_result(self, db):
+        target = db.handles("Person")[0]
+        query = (
+            f"select the P from Person where P.City = '{target.City}'"
+            f" and P.Name = '{target.Name}'"
+        )
+        assert evaluate_optimized(query, db) == evaluate(query, db)
+
+    def test_index_maintained_under_updates(self, db):
+        someone = db.handles("Person")[0]
+        db.update(someone, "City", "Paris")
+        plain = {h.oid for h in evaluate(PROBE_QUERY, db)}
+        fast = {h.oid for h in evaluate_optimized(PROBE_QUERY, db)}
+        assert plain == fast
+        assert someone.oid in fast
+
+    def test_subclass_probe_excludes_superclass_only_members(self, db):
+        fast = evaluate_optimized(
+            "select E from Employee where E.City = 'Paris'", db
+        )
+        assert all(h.real_class == "Employee" for h in fast)
+
+
+class TestEquivalenceProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["Paris", "Rome", "Oslo"]),
+                st.integers(0, 90),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.sampled_from(["Paris", "Rome", "Oslo", "Atlantis"]),
+        st.integers(0, 90),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_optimizer_equivalence(self, rows, city, cutoff):
+        db = Database("H")
+        db.define_class(
+            "Person", attributes={"City": "string", "Age": "integer"}
+        )
+        for c, a in rows:
+            db.create("Person", City=c, Age=a)
+        db.create_index("Person", "City")
+        query = (
+            f"select P from Person where P.City = '{city}'"
+            f" and P.Age >= {cutoff}"
+        )
+        plain = {h.oid for h in evaluate(query, db)}
+        fast = {h.oid for h in evaluate_optimized(query, db)}
+        assert plain == fast

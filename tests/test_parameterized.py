@@ -1,0 +1,137 @@
+"""Tests for §4.2: parameterized classes (Adult(A), Resident(X))."""
+
+import pytest
+
+from repro.core import View, predicate
+from repro.errors import VirtualClassError
+
+
+@pytest.fixture
+def view(tiny_view):
+    tiny_view.define_virtual_class(
+        "Adult",
+        parameters=["A"],
+        includes=["select P from Person where P.Age > A"],
+    )
+    tiny_view.define_virtual_class(
+        "Resident",
+        parameters=["X"],
+        includes=["select P from Person where P.City = X"],
+    )
+    return tiny_view
+
+
+class TestInstantiation:
+    def test_different_parameters_different_populations(self, view):
+        assert len(view.instantiate_family("Adult", (20,))) == 4
+        assert len(view.instantiate_family("Adult", (60,))) == 1
+        assert len(view.instantiate_family("Adult", (200,))) == 0
+
+    def test_membership(self, view):
+        carol = next(
+            h for h in view.handles("Person") if h.Name == "Carol"
+        )
+        family = view.family("Adult")
+        assert family.contains(carol.oid, (60,))
+        assert not family.contains(carol.oid, (80,))
+
+    def test_wrong_arity(self, view):
+        with pytest.raises(VirtualClassError):
+            view.instantiate_family("Adult", (1, 2))
+
+    def test_family_name_without_args_rejected(self, view):
+        with pytest.raises(VirtualClassError):
+            view.extent("Adult")
+        with pytest.raises(VirtualClassError):
+            view.is_member(
+                next(iter(view.extent("Person"))), "Adult"
+            )
+
+    def test_queries_over_instances(self, view):
+        result = view.query(
+            "select P from Resident('Paris') where P.Age > 30"
+        )
+        assert sorted(h.Name for h in result) == ["Bob"]
+
+    def test_membership_predicate_in_query(self, view):
+        result = view.query(
+            "select P from Person where P in Adult(60)"
+        )
+        assert sorted(h.Name for h in result) == ["Carol"]
+
+    def test_cache_invalidation_on_update(self, view, tiny_db):
+        assert len(view.instantiate_family("Adult", (60,))) == 1
+        eve = next(h for h in tiny_db.handles("Person") if h.Name == "Eve")
+        tiny_db.update(eve, "Age", 90)
+        assert len(view.instantiate_family("Adult", (60,))) == 2
+
+    def test_predicate_member_family(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Older",
+            parameters=["A"],
+            includes=[
+                predicate("Person", lambda p, a: p.Age > a)
+            ],
+        )
+        assert len(tiny_view.instantiate_family("Older", (60,))) == 1
+
+    def test_whole_class_member_rejected(self, tiny_view):
+        with pytest.raises(VirtualClassError):
+            tiny_view.define_virtual_class(
+                "Bad", parameters=["X"], includes=["Person"]
+            )
+
+    def test_parameters_required(self, tiny_view):
+        from repro.core.parameterized import ClassFamily
+
+        with pytest.raises(VirtualClassError):
+            ClassFamily(tiny_view, "NoParams", [], [])
+
+
+class TestPartitionEnumeration:
+    def test_parameter_values(self, view):
+        assert view.family("Resident").parameter_values() == [
+            "London",
+            "Paris",
+            "Rome",
+        ]
+
+    def test_values_follow_data(self, view, tiny_db):
+        """Classes appear and disappear as the data changes (§4.2)."""
+        tiny_db.create("Person", Name="New", Age=1, City="Oslo")
+        assert "Oslo" in view.family("Resident").parameter_values()
+
+    def test_partition_covers_extent(self, view):
+        family = view.family("Resident")
+        instances = family.nonempty_instances()
+        total = sum(len(pop) for pop in instances.values())
+        assert total == len(view.extent("Person"))
+
+    def test_non_partition_family_returns_none(self, view):
+        assert view.family("Adult").parameter_values() is None
+
+    def test_reversed_equality_detected(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "R2",
+            parameters=["X"],
+            includes=["select P from Person where X = P.City"],
+        )
+        assert tiny_view.family("R2").parameter_values() == [
+            "London",
+            "Paris",
+            "Rome",
+        ]
+
+
+class TestSuperclasses:
+    def test_instances_specialize_source(self, view):
+        assert view.family("Resident").superclasses() == ["Person"]
+
+    def test_family_listed_in_has_class(self, view):
+        assert view.has_class("Resident")
+
+    def test_unknown_family(self, view):
+        from repro.errors import UnknownClassError
+
+        with pytest.raises(UnknownClassError):
+            view.family("Ghost")

@@ -1,0 +1,174 @@
+"""Round-trip tests for the unparser: parse(format(x)) == x."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse_statement
+from repro.lang.printer import format_statement
+from repro.query import parse_expression, parse_query
+from repro.query.ast import (
+    Binary,
+    Binding,
+    Call,
+    ClassSource,
+    InClass,
+    Literal,
+    Not,
+    Path,
+    Select,
+    SelfExpr,
+    SetExpr,
+    TupleExpr,
+    Var,
+)
+from repro.query.printer import format_expression, format_query
+
+QUERIES = [
+    "select P from Person where P.Age >= 21",
+    "select the A in Address where A.City = self.City",
+    "select [Husband: H, Wife: H.Spouse] from H in Person"
+    " where H.Sex = 'male'",
+    "select F from Family where F in (select F from Family"
+    " where F.Husband.Age < 25)",
+    "select P from Rich where P in Beautiful and P.Income > 5,000",
+    "select P from Resident('USA') where not P.Age < 18",
+    "select C from P in Person, C in P.Children where C.Age >= 13",
+    "select X from Person where X.A + 1 * 2 = 3 or X.B = true",
+    "select P from Person where gsd(P) >= 100",
+    "select S from S in (select Q from Person where Q.Age >= 21)"
+    " where S.Income < 50,000",
+]
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_parse_format_parse(self, text):
+        first = parse_query(text)
+        assert parse_query(format_query(first)) == first
+
+    def test_precedence_preserved(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert parse_expression(format_expression(expr)) == expr
+        assert "(" in format_expression(expr)
+
+    def test_left_associativity_preserved(self):
+        expr = parse_expression("1 - 2 - 3")
+        assert parse_expression(format_expression(expr)) == expr
+
+    def test_right_grouping_preserved(self):
+        expr = Binary("-", Literal(1), Binary("-", Literal(2), Literal(3)))
+        assert parse_expression(format_expression(expr)) == expr
+
+    def test_string_escaping(self):
+        expr = Literal("it's a 'test'")
+        assert parse_expression(format_expression(expr)) == expr
+
+    def test_boolean_literals(self):
+        assert format_expression(Literal(True)) == "true"
+
+    def test_float_literal(self):
+        expr = Literal(2.5)
+        assert parse_expression(format_expression(expr)) == expr
+
+
+# Hypothesis strategy for random expression ASTs.
+_names = st.sampled_from(["P", "Q", "Age", "Name", "City"])
+_leaves = st.one_of(
+    st.builds(Var, st.sampled_from(["P", "Q", "R"])),
+    st.just(SelfExpr()),
+    st.builds(Literal, st.integers(0, 999)),
+    st.builds(Literal, st.sampled_from(["x", "it's", ""])),
+    st.builds(Literal, st.booleans()),
+)
+
+
+def _exprs(depth=3):
+    if depth == 0:
+        return _leaves
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _leaves,
+        st.builds(
+            Binary,
+            st.sampled_from(["+", "-", "*", "/", "=", "<", ">="]),
+            sub,
+            sub,
+        ).filter(_well_typed_shape),
+        st.builds(Not, st.builds(Binary, st.just("="), sub, sub)),
+        st.builds(
+            Path,
+            st.builds(Var, st.sampled_from(["P", "Q"])),
+            st.lists(_names, min_size=1, max_size=2).map(tuple),
+        ),
+        st.builds(
+            InClass,
+            st.builds(Var, st.just("P")),
+            st.sampled_from(["Rich", "Adult"]),
+        ),
+        st.builds(
+            TupleExpr,
+            st.lists(
+                st.tuples(_names, sub), min_size=1, max_size=2, unique_by=lambda t: t[0]
+            ).map(tuple),
+        ),
+        st.builds(
+            SetExpr, st.lists(sub, min_size=1, max_size=2).map(tuple)
+        ),
+    )
+
+
+def _well_typed_shape(expr):
+    # The grammar parses any shape; no filtering needed, kept for
+    # future restrictions.
+    return True
+
+
+class TestPropertyRoundTrip:
+    @given(_exprs())
+    @settings(max_examples=200, deadline=None)
+    def test_expression_round_trip(self, expr):
+        text = format_expression(expr)
+        assert parse_expression(text) == expr
+
+    @given(_exprs(depth=2))
+    @settings(max_examples=100, deadline=None)
+    def test_query_round_trip(self, where):
+        query = Select(
+            Var("P"),
+            (Binding("P", ClassSource("Person")),),
+            Binary("=", where, where),
+        )
+        assert parse_query(format_query(query)) == query
+
+
+STATEMENTS = [
+    "create view My_View",
+    "import all classes from database Chrysler",
+    "import class Person from database Ford",
+    "import classes A, B from database D",
+    "hide attribute Salary in class Employee",
+    "hide attributes City, Street in class Person",
+    "hide class Manager",
+    "attribute Address in class Person has value"
+    " [City: self.City, Street: self.Street]",
+    "attribute Price of type dollar in class Car",
+    "attribute Kids of type {Person} in class Person",
+    "class Ship includes Tanker, Cruiser, Trawler",
+    "class Adult includes (select P from Person where P.Age >= 21)",
+    "class On_Sale includes like On_Sale_Spec",
+    "class Family includes imaginary"
+    " (select [H: P] from P in Person)",
+    "class Resident(X) includes"
+    " (select P from Person where P.City = X)",
+    "class Spec has attribute Price of type dollar;"
+    " has attribute Discount of type integer",
+    "resolve Print by priority Rich, Senior",
+]
+
+
+class TestStatementRoundTrip:
+    @pytest.mark.parametrize("text", STATEMENTS)
+    def test_parse_format_parse(self, text):
+        first = parse_statement(text)
+        assert parse_statement(format_statement(first)) == first

@@ -1,0 +1,364 @@
+"""Property-based tests (hypothesis) for the core invariants listed in
+DESIGN.md."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import View
+from repro.engine import Database
+from repro.engine.schema import Schema
+from repro.engine.types import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NOTHING,
+    REAL,
+    STRING,
+    ListType,
+    SetType,
+    TupleType,
+    Type,
+    is_subtype,
+    lub,
+)
+from repro.engine.values import canonicalize, conforms, infer_type
+from repro.engine.oid import Oid
+from repro.errors import NoLeastUpperBoundError
+from repro.storage import decode_value, encode_value
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+atoms = st.sampled_from([STRING, INTEGER, REAL, BOOLEAN, ANY, NOTHING])
+
+field_names = st.sampled_from(["A", "B", "C", "D"])
+
+
+def types(depth=2):
+    if depth == 0:
+        return atoms
+    sub = types(depth - 1)
+    return st.one_of(
+        atoms,
+        st.builds(SetType, sub),
+        st.builds(ListType, sub),
+        st.dictionaries(field_names, sub, max_size=3).map(TupleType),
+    )
+
+
+# None is "attribute unset", not a first-class member of collections,
+# so it only appears at top level in the strategies below.
+scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.builds(Oid, st.sampled_from(["A", "B"]), st.integers(1, 100)),
+)
+
+
+def values(depth=2):
+    if depth == 0:
+        return scalars
+    sub = values(depth - 1)
+    return st.one_of(
+        scalars,
+        st.lists(sub, max_size=3),
+        st.dictionaries(
+            st.text(min_size=1, max_size=5), sub, max_size=3
+        ),
+        st.sets(scalars.filter(lambda v: not isinstance(v, float)), max_size=3),
+    )
+
+
+# ----------------------------------------------------------------------
+# Type lattice laws
+# ----------------------------------------------------------------------
+
+
+class TestLatticeLaws:
+    @given(types())
+    def test_subtyping_reflexive(self, t):
+        assert is_subtype(t, t)
+
+    @given(types(), types(), types())
+    def test_subtyping_transitive(self, a, b, c):
+        if is_subtype(a, b) and is_subtype(b, c):
+            assert is_subtype(a, c)
+
+    @given(types())
+    def test_bounds(self, t):
+        assert is_subtype(t, ANY)
+        assert is_subtype(NOTHING, t)
+
+    @given(types(), types())
+    def test_lub_commutative(self, a, b):
+        try:
+            left = lub(a, b)
+        except NoLeastUpperBoundError:
+            with pytest.raises(NoLeastUpperBoundError):
+                lub(b, a)
+            return
+        assert left == lub(b, a)
+
+    @given(types(), types())
+    def test_lub_is_upper_bound(self, a, b):
+        try:
+            bound = lub(a, b)
+        except NoLeastUpperBoundError:
+            return
+        assert is_subtype(a, bound)
+        assert is_subtype(b, bound)
+
+    @given(types())
+    def test_lub_idempotent(self, t):
+        assert lub(t, t) == t
+
+    @given(types(), types())
+    def test_antisymmetry_modulo_equality(self, a, b):
+        if is_subtype(a, b) and is_subtype(b, a):
+            assert lub(a, b) in (a, b)
+
+
+# ----------------------------------------------------------------------
+# Values
+# ----------------------------------------------------------------------
+
+
+class TestValueProperties:
+    @given(values())
+    def test_canonicalize_total_and_stable(self, v):
+        assert canonicalize(v) == canonicalize(v)
+        hash(canonicalize(v))
+
+    @given(values())
+    def test_inferred_type_admits_value(self, v):
+        t = infer_type(v)
+        assert conforms(v, t)
+
+    @given(values())
+    def test_codec_roundtrip(self, v):
+        assert decode_value(encode_value(v)) == v
+
+    @given(values(), values())
+    def test_codec_injective_on_canonical_form(self, a, b):
+        if canonicalize(a) != canonicalize(b):
+            # Distinct model values must encode distinctly... unless
+            # one is int and the other the equal float (canonical form
+            # equates them; encoding does not need to).
+            if encode_value(a) == encode_value(b):
+                assert a == b
+
+
+# ----------------------------------------------------------------------
+# Hierarchy invariants
+# ----------------------------------------------------------------------
+
+edges = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    max_size=12,
+)
+
+
+class TestHierarchyProperties:
+    @given(edges)
+    @settings(max_examples=50)
+    def test_random_dags_stay_acyclic(self, pairs):
+        schema = Schema()
+        for i in range(8):
+            schema.define_class(f"C{i}")
+        for child, parent in pairs:
+            if child == parent:
+                continue
+            try:
+                schema.add_parent(f"C{child}", f"C{parent}")
+            except Exception:
+                continue
+        for name in schema.class_names():
+            assert name not in schema.ancestors(name)
+
+    @given(edges)
+    @settings(max_examples=50)
+    def test_isa_matches_ancestors(self, pairs):
+        schema = Schema()
+        for i in range(8):
+            schema.define_class(f"C{i}")
+        for child, parent in pairs:
+            if child == parent:
+                continue
+            try:
+                schema.add_parent(f"C{child}", f"C{parent}")
+            except Exception:
+                continue
+        for a in schema.class_names():
+            for b in schema.class_names():
+                expected = a == b or b in schema.ancestors(a)
+                assert schema.isa(a, b) == expected
+
+
+# ----------------------------------------------------------------------
+# View invariants over generated populations
+# ----------------------------------------------------------------------
+
+ages = st.lists(st.integers(0, 99), min_size=1, max_size=25)
+
+
+class TestViewProperties:
+    @given(ages, st.integers(0, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_specialization_population_is_exact(self, age_list, cutoff):
+        db = Database("P")
+        db.define_class("Person", attributes={"Age": "integer"})
+        handles = [db.create("Person", Age=a) for a in age_list]
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class(
+            "Olds", includes=[f"select P from Person where P.Age >= {cutoff}"]
+        )
+        expected = {h.oid for h in handles if h.Age >= cutoff}
+        assert set(view.extent("Olds")) == expected
+        # Membership agrees with the extent for every object.
+        for h in handles:
+            assert view.is_member(h.oid, "Olds") == (h.oid in expected)
+
+    @given(ages)
+    @settings(max_examples=30, deadline=None)
+    def test_partition_families_partition_the_extent(self, age_list):
+        db = Database("P")
+        db.define_class("Person", attributes={"Age": "integer"})
+        for a in age_list:
+            db.create("Person", Age=a % 5)
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class(
+            "ByAge",
+            parameters=["X"],
+            includes=["select P from Person where P.Age = X"],
+        )
+        instances = view.family("ByAge").nonempty_instances()
+        seen = set()
+        for population in instances.values():
+            assert not (seen & set(population))  # disjoint
+            seen |= set(population)
+        assert seen == set(view.extent("Person"))
+
+    @given(ages, st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_imaginary_identity_function(self, age_list, cutoff):
+        """Same tuple ⇒ same oid, across arbitrary repopulation."""
+        db = Database("P")
+        db.define_class("Person", attributes={"Age": "integer"})
+        for a in age_list:
+            db.create("Person", Age=a)
+        view = View("V")
+        view.import_database(db)
+        view.define_imaginary_class(
+            "AgeGroup",
+            f"select [Age: P.Age] from P in Person where P.Age >= {cutoff}",
+        )
+        imag = view.imaginary_class("AgeGroup")
+        first = {
+            tuple(sorted(view.raw_value(oid).items())): oid
+            for oid in view.extent("AgeGroup")
+        }
+        db.create("Person", Age=cutoff)  # force repopulation
+        second = {
+            tuple(sorted(view.raw_value(oid).items())): oid
+            for oid in view.extent("AgeGroup")
+        }
+        for key, oid in first.items():
+            assert second.get(key) == oid
+        # Distinct ages within the window, deduplicated:
+        assert len(first) == len(
+            {a for a in age_list if a >= cutoff}
+        )
+
+    @given(ages, st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_materialized_equals_recomputed(self, age_list, cutoff):
+        import random
+
+        db = Database("P")
+        db.define_class("Person", attributes={"Age": "integer"})
+        handles = [db.create("Person", Age=a) for a in age_list]
+        view = View("V")
+        view.import_database(db)
+        vclass = view.define_virtual_class(
+            "Olds",
+            includes=[f"select P from Person where P.Age >= {cutoff}"],
+        )
+        materialized = view.materialize("Olds")
+        rng = random.Random(0)
+        for _ in range(10):
+            target = rng.choice(handles)
+            db.update(target, "Age", rng.randrange(0, 99))
+        assert materialized.population().members == vclass.population(
+            use_cache=False
+        ).members
+
+
+hide_sets = st.lists(
+    st.sampled_from(
+        ["Name", "Age", "Sex", "Income", "City"]
+    ),
+    max_size=3,
+)
+
+
+class TestHideMonotonicity:
+    @given(hide_sets, hide_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_hiding_more_reveals_nothing(self, first, second):
+        """Accessible attributes shrink monotonically as hides grow."""
+        from repro.workloads import build_people_db
+
+        db = build_people_db(3, seed=0)
+
+        def accessible(hides):
+            view = View("V")
+            view.import_database(db)
+            for attr in hides:
+                view.hide_attribute("Person", attr)
+            person = view.handles("Person")[0]
+            names = set()
+            for attr in ["Name", "Age", "Sex", "Income", "City"]:
+                try:
+                    getattr(person, attr)
+                    names.add(attr)
+                except Exception:
+                    pass
+            return names
+
+        assert accessible(first + second) <= accessible(first)
+
+    @given(hide_sets)
+    @settings(max_examples=20, deadline=None)
+    def test_hide_is_idempotent(self, hides):
+        from repro.workloads import build_people_db
+
+        db = build_people_db(3, seed=0)
+        view = View("V")
+        view.import_database(db)
+        for attr in hides + hides:
+            view.hide_attribute("Person", attr)
+        person = view.handles("Person")[0]
+        for attr in hides:
+            with pytest.raises(Exception):
+                getattr(person, attr)
+
+
+class TestLinearizationFallback:
+    def test_c3_failure_falls_back_to_bfs(self):
+        """An order-inconsistent diamond still linearizes (the paper
+        fixes no policy; we fall back to BFS when C3 refuses)."""
+        schema = Schema()
+        schema.define_class("A")
+        schema.define_class("B")
+        schema.define_class("C", parents=["A", "B"])
+        schema.define_class("D", parents=["B", "A"])
+        schema.define_class("E", parents=["C", "D"])
+        order = schema.linearize("E")
+        assert order[0] == "E"
+        assert set(order) == {"A", "B", "C", "D", "E"}

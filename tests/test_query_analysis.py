@@ -1,0 +1,72 @@
+"""Unit tests for the membership-constraint analysis that powers
+hierarchy inference (§4.2)."""
+
+from repro.query import guaranteed_classes, parse_query, source_classes
+
+
+class TestGuaranteedClasses:
+    def test_simple_source(self):
+        q = parse_query("select P from Person where P.Age > 1")
+        assert guaranteed_classes(q) == ["Person"]
+
+    def test_rich_and_beautiful(self):
+        q = parse_query("select P from Rich where P in Beautiful")
+        assert guaranteed_classes(q) == ["Rich", "Beautiful"]
+
+    def test_conjunction_mined(self):
+        q = parse_query(
+            "select P from Rich where P in Beautiful and P in Young"
+        )
+        assert guaranteed_classes(q) == ["Rich", "Beautiful", "Young"]
+
+    def test_disjunction_not_mined(self):
+        q = parse_query(
+            "select P from Rich where P in Beautiful or P in Young"
+        )
+        assert guaranteed_classes(q) == ["Rich"]
+
+    def test_negation_not_mined(self):
+        q = parse_query("select P from Rich where not P in Beautiful")
+        assert guaranteed_classes(q) == ["Rich"]
+
+    def test_membership_of_other_variable_ignored(self):
+        q = parse_query(
+            "select P from Rich, Q in Person where Q in Beautiful"
+        )
+        assert guaranteed_classes(q) == ["Rich"]
+
+    def test_nested_query_source(self):
+        q = parse_query(
+            "select S from S in (select A from Adult where A in Rich)"
+        )
+        assert guaranteed_classes(q) == ["Adult", "Rich"]
+
+    def test_in_subquery_where(self):
+        q = parse_query(
+            "select P from Person where P in (select R from Rich)"
+        )
+        assert guaranteed_classes(q) == ["Person", "Rich"]
+
+    def test_tuple_projection_guarantees_nothing(self):
+        q = parse_query("select [X: H] from H in Person")
+        assert guaranteed_classes(q) == []
+
+    def test_parameterized_source_not_guaranteed(self):
+        q = parse_query("select P from Resident('USA')")
+        assert guaranteed_classes(q) == []
+
+    def test_no_duplicates(self):
+        q = parse_query("select P from Rich where P in Rich")
+        assert guaranteed_classes(q) == ["Rich"]
+
+
+class TestSourceClasses:
+    def test_all_bindings(self):
+        q = parse_query(
+            "select H from H in Person, S in Ship where H.Age > 1"
+        )
+        assert source_classes(q) == ["Person", "Ship"]
+
+    def test_nested(self):
+        q = parse_query("select S from S in (select P from Person)")
+        assert source_classes(q) == ["Person"]

@@ -1,0 +1,147 @@
+"""Unit tests for the fluent query builder."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import (
+    evaluate,
+    parse_query,
+    record,
+    select,
+    select_the,
+    self_,
+    var,
+)
+from repro.query.builder import as_expr, call, class_, ensure_query, lit
+
+
+class TestBuilderShapes:
+    def test_matches_parsed_query(self):
+        built = (
+            select("P").from_("Person").where(var("P").Age >= 21).build()
+        )
+        parsed = parse_query("select P from Person where P.Age >= 21")
+        assert built == parsed
+
+    def test_explicit_variable(self):
+        built = select("H").from_("H", "Person").build()
+        assert built == parse_query("select H from H in Person")
+
+    def test_tuple_projection(self):
+        built = (
+            select(record(Husband=var("H"), Wife=var("H").Spouse))
+            .from_("H", "Person")
+            .build()
+        )
+        parsed = parse_query(
+            "select [Husband: H, Wife: H.Spouse] from H in Person"
+        )
+        assert built == parsed
+
+    def test_the(self):
+        assert select_the("P").from_("Person").build().unique
+        assert select("P").from_("Person").the().build().unique
+
+    def test_chained_where_is_conjunction(self):
+        built = (
+            select("P")
+            .from_("Person")
+            .where(var("P").Age >= 21)
+            .where(var("P").Age < 65)
+            .build()
+        )
+        parsed = parse_query(
+            "select P from Person where P.Age >= 21 and P.Age < 65"
+        )
+        assert built == parsed
+
+    def test_membership(self):
+        built = (
+            select("P")
+            .from_("Rich")
+            .where(var("P").in_class("Beautiful"))
+            .build()
+        )
+        parsed = parse_query("select P from Rich where P in Beautiful")
+        assert built == parsed
+
+    def test_in_subquery(self):
+        sub = select("F").from_("Family")
+        built = (
+            select("F").from_("Family").where(var("F").in_(sub)).build()
+        )
+        parsed = parse_query(
+            "select F from Family where F in (select F from Family)"
+        )
+        assert built == parsed
+
+    def test_call_and_self(self):
+        from repro.query.ast import Call, SelfExpr
+
+        built = call("gsd", self_())
+        assert built.node == Call("gsd", (SelfExpr(),))
+
+    def test_parameterized_source(self):
+        built = select("P").from_("P", class_("Resident", "USA")).build()
+        parsed = parse_query("select P from Resident('USA')")
+        assert built == parsed
+
+    def test_join(self):
+        built = (
+            select("P")
+            .from_("P", "Person")
+            .from_("Q", "Person")
+            .where(var("P").Spouse == var("Q"))
+            .build()
+        )
+        assert len(built.bindings) == 2
+
+
+class TestBuilderSemantics:
+    def test_evaluates_like_text(self, tiny_db):
+        built = select("P").from_("Person").where(var("P").Age >= 21)
+        from_text = evaluate(
+            "select P from Person where P.Age >= 21", tiny_db
+        )
+        from_builder = evaluate(built.build(), tiny_db)
+        assert [h.oid for h in from_text] == [h.oid for h in from_builder]
+
+    def test_builder_is_immutable(self):
+        base = select("P").from_("Person")
+        with_where = base.where(var("P").Age > 1)
+        assert base.build().where is None
+        assert with_where.build().where is not None
+
+
+class TestCoercions:
+    def test_ensure_query_accepts_all_forms(self):
+        text = "select P from Person"
+        parsed = parse_query(text)
+        builder = select("P").from_("Person")
+        assert ensure_query(text) == parsed
+        assert ensure_query(parsed) is parsed
+        assert ensure_query(builder) == parsed
+
+    def test_ensure_query_rejects_junk(self):
+        with pytest.raises(QueryError):
+            ensure_query(42)
+
+    def test_as_expr_literals(self):
+        from repro.query.ast import Literal
+
+        assert as_expr(5) == Literal(5)
+        assert as_expr("x") == Literal("x")
+        assert as_expr(lit(True)) == Literal(True)
+
+    def test_as_expr_dict(self):
+        from repro.query.ast import Literal, TupleExpr
+
+        assert as_expr({"A": 1}) == TupleExpr((("A", Literal(1)),))
+
+    def test_errors_on_missing_binding(self):
+        with pytest.raises(QueryError):
+            select("P").build()
+
+    def test_from_requires_var_projection_for_bare_source(self):
+        with pytest.raises(QueryError):
+            select(record(X=var("P"))).from_("Person")

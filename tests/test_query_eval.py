@@ -1,0 +1,239 @@
+"""Unit tests for query evaluation against a database scope."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import NonUniqueResultError, QueryError
+from repro.query import evaluate, evaluate_expression, parse_expression
+
+
+@pytest.fixture
+def db(tiny_db):
+    return tiny_db
+
+
+def names(result):
+    return sorted(h.Name for h in result)
+
+
+class TestSelection:
+    def test_filter(self, db):
+        assert names(
+            evaluate("select P from Person where P.Age >= 21", db)
+        ) == ["Alice", "Bob", "Carol", "Eve"]
+
+    def test_no_filter(self, db):
+        assert len(evaluate("select P from Person", db)) == 5
+
+    def test_string_equality(self, db):
+        assert names(
+            evaluate("select P from Person where P.Sex = 'male'", db)
+        ) == ["Bob", "Dan"]
+
+    def test_conjunction(self, db):
+        assert names(
+            evaluate(
+                "select P from Person where P.Age >= 21 and"
+                " P.Income < 5,000",
+                db,
+            )
+        ) == ["Bob", "Eve"]
+
+    def test_disjunction(self, db):
+        assert names(
+            evaluate(
+                "select P from Person where P.Age < 18 or P.Age > 65", db
+            )
+        ) == ["Carol", "Dan"]
+
+    def test_negation(self, db):
+        assert names(
+            evaluate("select P from Person where not P.City = 'Paris'", db)
+        ) == ["Carol", "Dan", "Eve"]
+
+    def test_inequality(self, db):
+        assert len(
+            evaluate("select P from Person where P.Name != 'Alice'", db)
+        ) == 4
+
+
+class TestPaths:
+    def test_spouse_navigation(self, db):
+        result = evaluate(
+            "select P from Person where P.Spouse.Name = 'Alice'", db
+        )
+        assert names(result) == ["Bob"]
+
+    def test_none_propagates_safely(self, db):
+        # Carol has no spouse; the path yields None, comparison False.
+        result = evaluate(
+            "select P from Person where P.Spouse.City = 'Paris'", db
+        )
+        assert names(result) == ["Alice", "Bob"]
+
+    def test_projection_of_path(self, db):
+        cities = evaluate("select P.City from Person", db)
+        assert sorted(cities) == ["London", "Paris", "Rome"]
+
+
+class TestProjections:
+    def test_tuple_projection(self, db):
+        result = evaluate(
+            "select [N: P.Name, A: P.Age] from P in Person"
+            " where P.Age > 60",
+            db,
+        )
+        assert len(result) == 1
+        assert result[0].N == "Carol"
+
+    def test_deduplication(self, db):
+        # Two Paris residents, one Paris value.
+        cities = evaluate("select P.City from Person", db)
+        assert len(cities) == 3
+
+    def test_arithmetic_projection(self, db):
+        result = evaluate(
+            "select the P.Age + 1 from P in Person where P.Name = 'Dan'",
+            db,
+        )
+        assert result == 16
+
+
+class TestTheQuantifier:
+    def test_unique_ok(self, db):
+        result = evaluate(
+            "select the P from Person where P.Name = 'Alice'", db
+        )
+        assert result.Name == "Alice"
+
+    def test_zero_raises(self, db):
+        with pytest.raises(NonUniqueResultError):
+            evaluate("select the P from Person where P.Age > 200", db)
+
+    def test_many_raises(self, db):
+        with pytest.raises(NonUniqueResultError):
+            evaluate("select the P from Person", db)
+
+
+class TestMembershipAndNesting:
+    def test_in_class(self, db):
+        db.define_class("VIP", parents=["Person"])
+        result = evaluate("select P from Person where P in VIP", db)
+        assert result == []
+
+    def test_in_subquery(self, db):
+        result = evaluate(
+            "select P from Person where P in"
+            " (select Q from Person where Q.Age >= 21)",
+            db,
+        )
+        assert len(result) == 4
+
+    def test_in_stored_set(self, db):
+        result = evaluate(
+            "select C from P in Person, C in Person where C in P.Children",
+            db,
+        )
+        assert names(result) == ["Dan"]
+
+    def test_source_from_stored_set(self, db):
+        bob = next(h for h in db.handles("Person") if h.Name == "Bob")
+        result = evaluate(
+            "select C from C in B.Children",
+            db,
+            bindings={"B": bob},
+        )
+        assert names(result) == ["Dan"]
+
+    def test_nested_source(self, db):
+        result = evaluate(
+            "select S from S in (select P from Person where P.Age >= 21)"
+            " where S.Income < 4,000",
+            db,
+        )
+        assert names(result) == ["Bob"]
+
+    def test_join_two_bindings(self, db):
+        couples = evaluate(
+            "select [A: P.Name, B: Q.Name] from P in Person, Q in Person"
+            " where P.Spouse = Q",
+            db,
+        )
+        pairs = sorted((c.A, c.B) for c in couples)
+        assert pairs == [("Alice", "Bob"), ("Bob", "Alice")]
+
+
+class TestFunctionsAndParameters:
+    def test_registered_function(self, db):
+        db.register_function("initial", lambda h: h.Name[0])
+        result = evaluate(
+            "select P from Person where initial(P) = 'A'", db
+        )
+        assert names(result) == ["Alice"]
+
+    def test_unknown_function(self, db):
+        with pytest.raises(QueryError, match="unknown function"):
+            evaluate("select P from Person where f(P) = 1", db)
+
+    def test_parameter_bindings(self, db):
+        result = evaluate(
+            "select P from Person where P.Age >= Min",
+            db,
+            bindings={"Min": 65},
+        )
+        assert names(result) == ["Carol"]
+
+    def test_unbound_variable(self, db):
+        with pytest.raises(QueryError, match="unbound"):
+            evaluate("select P from Person where P.Age > Limit", db)
+
+
+class TestExpressionEvaluation:
+    def test_self_binding(self, db):
+        alice = next(h for h in db.handles("Person") if h.Name == "Alice")
+        expr = parse_expression("[N: self.Name, C: self.City]")
+        value = evaluate_expression(expr, db, self_value=alice)
+        assert value.N == "Alice"
+
+    def test_self_outside_body(self, db):
+        with pytest.raises(QueryError):
+            evaluate("select P from Person where self.Age = P.Age", db)
+
+    def test_set_literal(self, db):
+        value = evaluate_expression(parse_expression("{1, 2, 2}"), db)
+        assert value == frozenset({1, 2})
+
+
+class TestErrorsAndEdgeCases:
+    def test_non_boolean_where(self, db):
+        with pytest.raises(QueryError):
+            evaluate("select P from Person where P.Age", db)
+
+    def test_ordering_strings_and_numbers_rejected(self, db):
+        with pytest.raises(QueryError):
+            evaluate("select P from Person where P.Name > 3", db)
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(QueryError):
+            evaluate("select P from Person where P.Age / 0 > 1", db)
+
+    def test_arithmetic_on_strings(self, db):
+        with pytest.raises(QueryError):
+            evaluate("select P from Person where P.Name * 2 = 4", db)
+
+    def test_string_concatenation_allowed(self, db):
+        result = evaluate(
+            "select the P from Person where P.Name + '!' = 'Alice!'", db
+        )
+        assert result.Name == "Alice"
+
+    def test_unknown_class_source(self, db):
+        from repro.errors import UnknownClassError
+
+        with pytest.raises(UnknownClassError):
+            evaluate("select P from Ghost", db)
+
+    def test_deterministic_result_order(self, db):
+        first = [h.oid for h in evaluate("select P from Person", db)]
+        second = [h.oid for h in evaluate("select P from Person", db)]
+        assert first == second

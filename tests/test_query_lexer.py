@@ -1,0 +1,107 @@
+"""Unit tests for the shared tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.lexer import TokenStream, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokenKinds:
+    def test_keywords_are_lowercase_words(self):
+        assert kinds("select from where") == [
+            ("keyword", "select"),
+            ("keyword", "from"),
+            ("keyword", "where"),
+        ]
+
+    def test_capitalized_words_are_identifiers(self):
+        # Schema names can shadow keyword spellings when capitalized.
+        assert kinds("Select Person")[0] == ("ident", "Select")
+
+    def test_identifier_with_ampersand_and_hash(self):
+        assert kinds("Rich&Beautiful SS#") == [
+            ("ident", "Rich&Beautiful"),
+            ("ident", "SS#"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 3.5") == [("number", "42"), ("number", "3.5")]
+
+    def test_digit_grouping(self):
+        # The paper writes "5,000" (Example 2).
+        assert kinds("5,000") == [("number", "5000")]
+        assert kinds("1,234,567.5") == [("number", "1234567.5")]
+
+    def test_grouping_requires_three_digits(self):
+        assert kinds("5,00") == [
+            ("number", "5"),
+            ("op", ","),
+            ("number", "00"),
+        ]
+
+    def test_strings_both_quotes(self):
+        assert kinds("'male' \"female\"") == [
+            ("string", "male"),
+            ("string", "female"),
+        ]
+
+    def test_string_escapes(self):
+        assert kinds(r"'it\'s'") == [("string", "it's")]
+
+    def test_operators(self):
+        assert [k for k, _ in kinds("<= >= != = ( ) [ ] { } . , ; :")] == [
+            "op"
+        ] * 14
+
+    def test_unicode_comparisons(self):
+        assert kinds("≥ ≤") == [("op", ">="), ("op", "<=")]
+
+    def test_comments_are_skipped(self):
+        assert kinds("select -- a comment\n P") == [
+            ("keyword", "select"),
+            ("ident", "P"),
+        ]
+
+    def test_garbage_raises_with_position(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            tokenize("select @")
+        assert exc.value.position == 7
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "eof"
+
+
+class TestTokenStream:
+    def test_peek_and_next(self):
+        s = TokenStream(tokenize("a b"))
+        assert s.peek().text == "a"
+        assert s.peek(1).text == "b"
+        assert s.next().text == "a"
+
+    def test_next_at_eof_is_safe(self):
+        s = TokenStream(tokenize(""))
+        assert s.next().kind == "eof"
+        assert s.next().kind == "eof"
+
+    def test_accept_and_expect(self):
+        s = TokenStream(tokenize("select x"))
+        assert s.accept_keyword("select")
+        assert not s.accept_keyword("from")
+        assert s.expect_ident().text == "x"
+        assert s.at_end()
+
+    def test_expect_failure_mentions_expected(self):
+        s = TokenStream(tokenize("x"))
+        with pytest.raises(QuerySyntaxError, match="select"):
+            s.expect_keyword("select")
+
+    def test_expect_op(self):
+        s = TokenStream(tokenize("( )"))
+        s.expect_op("(")
+        with pytest.raises(QuerySyntaxError):
+            s.expect_op("[")

@@ -1,0 +1,193 @@
+"""Unit tests for the query parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    Binary,
+    Binding,
+    Call,
+    ClassSource,
+    ExprSource,
+    InClass,
+    InExpr,
+    InQuery,
+    Literal,
+    Not,
+    Path,
+    QueryExpr,
+    QuerySource,
+    Select,
+    SelfExpr,
+    TupleExpr,
+    Var,
+)
+from repro.query.parser import parse_expression, parse_query
+
+
+class TestBindingForms:
+    def test_implicit_binding(self):
+        q = parse_query("select P from Person")
+        assert q.bindings == (Binding("P", ClassSource("Person")),)
+        assert q.projection == Var("P")
+
+    def test_explicit_binding(self):
+        q = parse_query("select [H: H] from H in Person")
+        assert q.bindings == (Binding("H", ClassSource("Person")),)
+
+    def test_select_in_form(self):
+        # Example 2: "select A in Adult where ..."
+        q = parse_query("select A in Adult where A.Age > 1")
+        assert q.bindings == (Binding("A", ClassSource("Adult")),)
+
+    def test_multiple_bindings(self):
+        q = parse_query("select H from H in Person, W in Person")
+        assert len(q.bindings) == 2
+
+    def test_nested_query_source(self):
+        q = parse_query("select S from S in (select P from Person)")
+        assert isinstance(q.bindings[0].source, QuerySource)
+
+    def test_expression_source(self):
+        q = parse_query("select C from C in self.Children")
+        assert isinstance(q.bindings[0].source, ExprSource)
+
+    def test_parameterized_class_source(self):
+        q = parse_query("select P from Resident('USA')")
+        source = q.bindings[0].source
+        assert source == ClassSource("Resident", (Literal("USA"),))
+
+    def test_missing_binding_is_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select P where P.Age > 1")
+
+    def test_bare_source_requires_var_projection(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select [A: P] from Person")
+
+
+class TestTheAndWhere:
+    def test_select_the(self):
+        q = parse_query("select the P from Person where P.Age = 1")
+        assert q.unique
+
+    def test_where_optional(self):
+        assert parse_query("select P from Person").where is None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select P from Person extra")
+
+
+class TestExpressions:
+    def test_path(self):
+        q = parse_query("select P.Address.City from P in Person")
+        assert q.projection == Path(Var("P"), ("Address", "City"))
+
+    def test_tuple_constructor(self):
+        q = parse_query("select [Husband: H, Wife: H.Spouse] from H in Person")
+        assert isinstance(q.projection, TupleExpr)
+        assert q.projection.field_names() == ("Husband", "Wife")
+
+    def test_comparisons(self):
+        q = parse_query("select P from Person where P.Age >= 21")
+        assert q.where == Binary(
+            ">=", Path(Var("P"), ("Age",)), Literal(21)
+        )
+
+    def test_unicode_ge(self):
+        q = parse_query("select P from Person where P.Age ≥ 21")
+        assert q.where.op == ">="
+
+    def test_grouped_number_literal(self):
+        q = parse_query("select A from Person where A.Income < 5,000")
+        assert q.where.right == Literal(5000)
+
+    def test_and_or_precedence(self):
+        q = parse_query(
+            "select P from Person where P.A = 1 and P.B = 2 or P.C = 3"
+        )
+        assert q.where.op == "or"
+        assert q.where.left.op == "and"
+
+    def test_not(self):
+        q = parse_query("select P from Person where not P.A = 1")
+        assert isinstance(q.where, Not)
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == Binary(
+            "+", Literal(1), Binary("*", Literal(2), Literal(3))
+        )
+
+    def test_parenthesized(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_self(self):
+        expr = parse_expression("self.City")
+        assert expr == Path(SelfExpr(), ("City",))
+
+    def test_booleans(self):
+        assert parse_expression("true") == Literal(True)
+        assert parse_expression("false") == Literal(False)
+
+    def test_float_literal(self):
+        assert parse_expression("1.5") == Literal(1.5)
+
+    def test_call(self):
+        expr = parse_expression("gsd(self)")
+        assert expr == Call("gsd", (SelfExpr(),))
+
+    def test_call_no_args(self):
+        assert parse_expression("now()") == Call("now", ())
+
+    def test_set_literal(self):
+        expr = parse_expression("{1, 2}")
+        assert expr.elements == (Literal(1), Literal(2))
+
+    def test_string_concat(self):
+        expr = parse_expression("'a' + self.Name")
+        assert expr.op == "+"
+
+
+class TestMembership:
+    def test_in_class(self):
+        q = parse_query("select P from Rich where P in Beautiful")
+        assert q.where == InClass(Var("P"), "Beautiful")
+
+    def test_in_parameterized_class(self):
+        q = parse_query("select P from Person where P in Resident('USA')")
+        assert q.where == InClass(Var("P"), "Resident", (Literal("USA"),))
+
+    def test_in_subquery(self):
+        q = parse_query(
+            "select F from Family where F in (select F from Family)"
+        )
+        assert isinstance(q.where, InQuery)
+
+    def test_in_expression(self):
+        q = parse_query(
+            "select P from Person where P in self.Husband.Children"
+        )
+        assert isinstance(q.where, InExpr)
+
+    def test_subquery_in_expression_position(self):
+        expr = parse_expression(
+            "(select P from Person where P.Age > 1)"
+        )
+        assert isinstance(expr, QueryExpr)
+
+
+class TestErrors:
+    def test_unclosed_tuple(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_expression("[A: 1")
+
+    def test_missing_projection(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select from Person")
+
+    def test_empty_input(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("")

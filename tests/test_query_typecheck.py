@@ -1,0 +1,187 @@
+"""Unit tests for static type inference of queries."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.types import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    ClassType,
+    SetType,
+    TupleType,
+)
+from repro.errors import QueryTypeError
+from repro.query import (
+    TypeEnvironment,
+    infer_element_type,
+    infer_expr_type,
+    infer_query_type,
+    parse_expression,
+    parse_query,
+)
+
+
+@pytest.fixture
+def tenv(tiny_db):
+    return TypeEnvironment(tiny_db)
+
+
+def qtype(text, tenv):
+    return infer_query_type(parse_query(text), tenv)
+
+
+def etype(text, tenv, **variables):
+    return infer_expr_type(
+        parse_expression(text), tenv, variables=variables or None
+    )
+
+
+class TestQueryTypes:
+    def test_object_selection(self, tenv):
+        assert qtype("select P from Person", tenv) == SetType(
+            ClassType("Person")
+        )
+
+    def test_the_unwraps_set(self, tenv):
+        assert qtype(
+            "select the P from Person where P.Age = 1", tenv
+        ) == ClassType("Person")
+
+    def test_tuple_projection(self, tenv):
+        t = qtype("select [H: P, N: P.Name] from P in Person", tenv)
+        assert t == SetType(
+            TupleType({"H": ClassType("Person"), "N": STRING})
+        )
+
+    def test_path_through_objects(self, tenv):
+        assert qtype("select P.Spouse.City from P in Person", tenv) == (
+            SetType(STRING)
+        )
+
+    def test_set_valued_attribute_as_source(self, tenv):
+        q = parse_query("select C from C in P.Children")
+        element = infer_element_type(
+            q, tenv, variable_types={"P": ClassType("Person")}
+        )
+        assert element == ClassType("Person")
+
+    def test_nested_query_source(self, tenv):
+        assert qtype(
+            "select S from S in (select P from Person)", tenv
+        ) == SetType(ClassType("Person"))
+
+    def test_unknown_class(self, tenv):
+        with pytest.raises(QueryTypeError):
+            qtype("select P from Ghost", tenv)
+
+    def test_unknown_attribute(self, tenv):
+        with pytest.raises(Exception):
+            qtype("select P.Wings from P in Person", tenv)
+
+    def test_non_boolean_where_rejected(self, tenv):
+        with pytest.raises(QueryTypeError):
+            qtype("select P from Person where P.Age + 1", tenv)
+
+
+class TestExpressionTypes:
+    def test_literals(self, tenv):
+        assert etype("1", tenv) is INTEGER
+        assert etype("1.5", tenv) is REAL
+        assert etype("'x'", tenv) is STRING
+        assert etype("true", tenv) is BOOLEAN
+
+    def test_comparison_is_boolean(self, tenv):
+        assert etype("1 < 2", tenv) is BOOLEAN
+
+    def test_arithmetic_widening(self, tenv):
+        assert etype("1 + 2", tenv) is INTEGER
+        assert etype("1 + 2.5", tenv) is REAL
+        assert etype("4 / 2", tenv) is REAL
+
+    def test_string_concat(self, tenv):
+        assert etype("'a' + 'b'", tenv) is STRING
+
+    def test_arithmetic_on_strings_rejected(self, tenv):
+        with pytest.raises(QueryTypeError):
+            etype("'a' * 2", tenv)
+
+    def test_boolean_connectives_checked(self, tenv):
+        with pytest.raises(QueryTypeError):
+            etype("1 and true", tenv)
+
+    def test_membership_is_boolean(self, tenv, tiny_db):
+        assert etype(
+            "P in Person", tenv, P=ClassType("Person")
+        ) is BOOLEAN
+
+    def test_membership_unknown_class(self, tenv):
+        with pytest.raises(QueryTypeError):
+            etype("P in Ghost", tenv, P=ClassType("Person"))
+
+    def test_self_type(self, tiny_db):
+        tenv = TypeEnvironment(tiny_db)
+        t = infer_expr_type(
+            parse_expression("[C: self.City]"),
+            tenv,
+            self_type=ClassType("Person"),
+        )
+        assert t == TupleType({"C": STRING})
+
+    def test_self_without_receiver(self, tenv):
+        with pytest.raises(QueryTypeError):
+            etype("self.City", tenv)
+
+    def test_untyped_attribute_is_any(self):
+        db = Database("U")
+        db.define_attribute  # noqa: B018 - just to reference
+        db.define_class("Thing")
+        db.schema.define_attribute("Thing", "Mystery")
+        tenv = TypeEnvironment(db)
+        assert tenv.attribute_type("Thing", "Mystery") is ANY
+
+    def test_function_types(self, tiny_db):
+        tiny_db.register_function(
+            "gsd", lambda p: 0, result_type="integer"
+        )
+        tenv = TypeEnvironment(tiny_db)
+        assert etype("gsd(P)", tenv, P=ClassType("Person")) is INTEGER
+
+    def test_unregistered_function_is_any(self, tenv):
+        assert etype("f(1)", tenv) is ANY
+
+    def test_set_literal_lub(self, tenv):
+        assert etype("{1, 2.5}", tenv) == SetType(REAL)
+
+    def test_heterogeneous_set_is_any(self, tenv):
+        assert etype("{1, 'x'}", tenv) == SetType(ANY)
+
+    def test_unbound_variable(self, tenv):
+        with pytest.raises(QueryTypeError):
+            etype("X", tenv)
+
+
+class TestPaperInferences:
+    def test_address_merge_type(self, tiny_db):
+        """§2: inference determines the merged Address tuple type."""
+        tenv = TypeEnvironment(tiny_db)
+        t = infer_expr_type(
+            parse_expression("[City: self.City, Name: self.Name]"),
+            tenv,
+            self_type=ClassType("Person"),
+        )
+        assert t == TupleType({"City": STRING, "Name": STRING})
+
+    def test_family_core_type(self, tiny_db):
+        """§5: the Family query's element type gives the core attrs."""
+        tenv = TypeEnvironment(tiny_db)
+        q = parse_query(
+            "select [Husband: H, Wife: H.Spouse] from H in Person"
+            " where H.Sex = 'male'"
+        )
+        element = infer_element_type(q, tenv)
+        assert element == TupleType(
+            {"Husband": ClassType("Person"), "Wife": ClassType("Person")}
+        )

@@ -1,0 +1,301 @@
+"""Tests for the relational substrate and the relational→object bridge."""
+
+import pytest
+
+from repro.core import View
+from repro.errors import RelationalError
+from repro.relational import (
+    Relation,
+    RelationalAdapter,
+    RelationalDatabase,
+    difference,
+    execute,
+    natural_join,
+    product,
+    project,
+    projection_view,
+    rename,
+    select,
+    snapshot_database,
+    union,
+)
+
+
+@pytest.fixture
+def employees():
+    r = Relation("Employee", ["Name", "Number", "Age", "Salary"])
+    r.insert("Maggy", 1, 65, 90_000)
+    r.insert("John", 2, 40, 50_000)
+    r.insert("Paul", 3, 30, 40_000)
+    return r
+
+
+class TestRelation:
+    def test_insert_positional_and_named(self, employees):
+        assert len(employees) == 3
+        employees.insert(Name="Ringo", Number=4, Age=28, Salary=30_000)
+        assert len(employees) == 4
+
+    def test_named_insert_defaults_to_none(self):
+        r = Relation("R", ["A", "B"])
+        r.insert(A=1)
+        assert list(r.dicts()) == [{"A": 1, "B": None}]
+
+    def test_wrong_arity_rejected(self, employees):
+        with pytest.raises(RelationalError):
+            employees.insert("X", 9)
+
+    def test_unknown_named_column_rejected(self, employees):
+        with pytest.raises(RelationalError):
+            employees.insert(Name="X", Wings=2)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(RelationalError):
+            Relation("R", ["A", "A"])
+
+    def test_delete_where(self, employees):
+        deleted = employees.delete_where(lambda row: row["Age"] > 35)
+        assert deleted == 2
+        assert len(employees) == 1
+
+    def test_update_where(self, employees):
+        updated = employees.update_where(
+            lambda row: row["Name"] == "John", Salary=55_000
+        )
+        assert updated == 1
+        john = next(
+            r for r in employees.dicts() if r["Name"] == "John"
+        )
+        assert john["Salary"] == 55_000
+
+    def test_observers_see_mutations(self, employees):
+        log = []
+        employees.observe(lambda kind, row: log.append(kind))
+        employees.insert("X", 9, 20, 1)
+        employees.update_where(lambda r: r["Name"] == "X", Age=21)
+        employees.delete_where(lambda r: r["Name"] == "X")
+        assert log == ["insert", "delete", "insert", "delete"]
+
+
+class TestAlgebra:
+    def test_select(self, employees):
+        old = select(employees, lambda r: r["Age"] >= 40)
+        assert len(old) == 2
+
+    def test_project_keeps_only_named_columns(self, employees):
+        slim = project(employees, ["Name", "Age"])
+        assert slim.columns == ("Name", "Age")
+        assert len(slim) == 3
+
+    def test_project_eliminates_duplicates(self):
+        r = Relation("R", ["A", "B"])
+        r.insert(1, "x")
+        r.insert(1, "y")
+        assert len(project(r, ["A"])) == 1
+
+    def test_project_unknown_column(self, employees):
+        with pytest.raises(RelationalError):
+            project(employees, ["Wings"])
+
+    def test_rename(self, employees):
+        renamed = rename(employees, {"Name": "Emp_Name"})
+        assert "Emp_Name" in renamed.columns
+
+    def test_union_and_difference(self, employees):
+        young = select(employees, lambda r: r["Age"] < 40)
+        old = select(employees, lambda r: r["Age"] >= 40)
+        assert len(union(young, old)) == 3
+        assert len(difference(employees, young)) == 2
+
+    def test_union_schema_mismatch(self, employees):
+        with pytest.raises(RelationalError):
+            union(employees, Relation("R", ["X"]))
+
+    def test_natural_join(self):
+        dept = Relation("Dept", ["Dept_Id", "Dept_Name"])
+        dept.insert(1, "R&D")
+        dept.insert(2, "Sales")
+        staff = Relation("Staff", ["Name", "Dept_Id"])
+        staff.insert("Ada", 1)
+        staff.insert("Bob", 2)
+        staff.insert("Cid", 1)
+        joined = natural_join(staff, dept)
+        assert len(joined) == 3
+        ada = next(r for r in joined.dicts() if r["Name"] == "Ada")
+        assert ada["Dept_Name"] == "R&D"
+
+    def test_product(self):
+        a = Relation("A", ["X"])
+        a.insert(1)
+        a.insert(2)
+        b = Relation("B", ["Y"])
+        b.insert("p")
+        assert len(product(a, b)) == 2
+
+    def test_product_shared_columns_rejected(self, employees):
+        with pytest.raises(RelationalError):
+            product(employees, employees)
+
+
+class TestSql:
+    @pytest.fixture
+    def rdb(self):
+        db = RelationalDatabase("DB")
+        execute(db, "CREATE TABLE Employee (Name, Age, Salary)")
+        execute(db, "INSERT INTO Employee VALUES ('Maggy', 65, 90000)")
+        execute(db, "INSERT INTO Employee VALUES ('John', 40, 50000)")
+        return db
+
+    def test_select_with_where(self, rdb):
+        result = execute(
+            rdb, "SELECT Name FROM Employee WHERE Age >= 50"
+        )
+        assert list(result.rows()) == [("Maggy",)]
+
+    def test_select_star(self, rdb):
+        result = execute(rdb, "SELECT * FROM Employee")
+        assert result.columns == ("Name", "Age", "Salary")
+
+    def test_select_conjunction(self, rdb):
+        result = execute(
+            rdb,
+            "SELECT Name FROM Employee WHERE Age > 30 AND Salary < 60000",
+        )
+        assert list(result.rows()) == [("John",)]
+
+    def test_update(self, rdb):
+        count = execute(
+            rdb, "UPDATE Employee SET Salary = 1 WHERE Name = 'John'"
+        )
+        assert count == 1
+        rows = execute(rdb, "SELECT Salary FROM Employee WHERE Name = 'John'")
+        assert list(rows.rows()) == [(1,)]
+
+    def test_delete(self, rdb):
+        assert execute(rdb, "DELETE FROM Employee WHERE Age < 50") == 1
+        assert len(rdb.relation("Employee")) == 1
+
+    def test_case_insensitive_keywords(self, rdb):
+        result = execute(rdb, "select Name from Employee where Age >= 50")
+        assert len(result) == 1
+
+    def test_string_escaping(self, rdb):
+        execute(rdb, "INSERT INTO Employee VALUES ('O''Brien', 30, 1)")
+        result = execute(
+            rdb, "SELECT Name FROM Employee WHERE Name = 'O''Brien'"
+        )
+        assert len(result) == 1
+
+    def test_unknown_table(self, rdb):
+        with pytest.raises(RelationalError):
+            execute(rdb, "SELECT * FROM Ghost")
+
+    def test_bad_syntax(self, rdb):
+        with pytest.raises(RelationalError):
+            execute(rdb, "SELEKT * FROM Employee")
+
+
+class TestProjectionView:
+    def test_the_paper_s_section_3_critique(self, employees):
+        """Projection hides Salary but must enumerate every other
+        column — and loses columns added later until redefined."""
+        view = projection_view("A_Relational_View", employees, ["Salary"])
+        assert view.columns == ["Name", "Number", "Age"]
+        rows = view.rows()
+        assert "Salary" not in rows.columns
+
+    def test_refresh_columns_counts_maintenance(self, employees):
+        view = projection_view("V", employees, ["Salary"])
+        assert view.refresh_columns(["Salary"]) == 0  # already right
+        assert view.definition_edits == 0
+
+    def test_view_with_predicate(self, employees):
+        from repro.relational import define_view
+
+        db = RelationalDatabase("DB")
+        db._relations["Employee"] = employees  # direct mount for test
+        view = define_view(
+            db,
+            "Elders",
+            "Employee",
+            ["Name"],
+            predicate=lambda r: r["Age"] >= 50,
+        )
+        assert len(view.rows()) == 1
+
+
+class TestAdapter:
+    @pytest.fixture
+    def setup(self):
+        rdb = RelationalDatabase("Company")
+        execute(rdb, "CREATE TABLE Staff (Emp_Id, Name, Salary)")
+        execute(rdb, "INSERT INTO Staff VALUES (1, 'Ada', 90)")
+        execute(rdb, "INSERT INTO Staff VALUES (2, 'Bob', 50)")
+        return rdb, RelationalAdapter(rdb)
+
+    def test_relations_become_classes(self, setup):
+        _, adapter = setup
+        assert "Staff" in adapter.schema
+        assert len(adapter.extent("Staff")) == 2
+
+    def test_rows_become_objects(self, setup):
+        _, adapter = setup
+        ada = next(
+            h for h in adapter.handles("Staff") if h.Name == "Ada"
+        )
+        assert ada.Salary == 90
+        assert adapter.class_of(ada.oid) == "Staff"
+
+    def test_stable_identity_per_row(self, setup):
+        _, adapter = setup
+        first = sorted(adapter.extent("Staff"))
+        second = sorted(adapter.extent("Staff"))
+        assert first == second
+
+    def test_mutations_flow_through(self, setup):
+        rdb, adapter = setup
+        execute(rdb, "INSERT INTO Staff VALUES (3, 'Cid', 10)")
+        assert len(adapter.extent("Staff")) == 3
+        execute(rdb, "DELETE FROM Staff WHERE Name = 'Cid'")
+        assert len(adapter.extent("Staff")) == 2
+
+    def test_update_changes_row_identity(self, setup):
+        """Rows are value-identified (like imaginary objects): an
+        update is a delete+insert with a new row object."""
+        rdb, adapter = setup
+        ada_before = next(
+            h for h in adapter.handles("Staff") if h.Name == "Ada"
+        )
+        execute(rdb, "UPDATE Staff SET Salary = 95 WHERE Name = 'Ada'")
+        ada_after = next(
+            h for h in adapter.handles("Staff") if h.Name == "Ada"
+        )
+        assert ada_before.oid != ada_after.oid
+
+    def test_views_import_adapters(self, setup):
+        _, adapter = setup
+        view = View("V")
+        view.import_database(adapter)
+        rich = view.query("select S from Staff where S.Salary > 60")
+        assert [h.Name for h in rich] == ["Ada"]
+
+    def test_imaginary_class_over_relational_rows(self, setup):
+        _, adapter = setup
+        view = View("V")
+        view.import_database(adapter)
+        view.define_imaginary_class(
+            "Worker", "select [Name: S.Name] from S in Staff"
+        )
+        assert len(view.extent("Worker")) == 2
+
+    def test_refresh_mounts_new_relations(self, setup):
+        rdb, adapter = setup
+        execute(rdb, "CREATE TABLE Dept (Id, Label)")
+        adapter.refresh()
+        assert "Dept" in adapter.schema
+
+    def test_snapshot_database(self, setup):
+        rdb, _ = setup
+        db = snapshot_database(rdb)
+        assert db.object_count() == 2
+        assert len(db.extent("Staff")) == 2

@@ -1,0 +1,109 @@
+"""Property-based tests for the relational algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Relation,
+    difference,
+    natural_join,
+    project,
+    select,
+    union,
+)
+
+rows = st.lists(
+    st.tuples(
+        st.integers(0, 5),
+        st.sampled_from(["x", "y", "z"]),
+        st.integers(0, 100),
+    ),
+    max_size=20,
+)
+
+
+def make(name, data):
+    relation = Relation(name, ["A", "B", "C"])
+    for row in data:
+        relation.insert(*row)
+    return relation
+
+
+class TestAlgebraLaws:
+    @given(rows)
+    def test_select_true_is_identity(self, data):
+        r = make("R", data)
+        assert sorted(select(r, lambda _: True).rows()) == sorted(
+            r.rows()
+        )
+
+    @given(rows)
+    def test_select_false_is_empty(self, data):
+        assert len(select(make("R", data), lambda _: False)) == 0
+
+    @given(rows, st.integers(0, 5))
+    def test_select_commutes_with_itself(self, data, k):
+        r = make("R", data)
+        p1 = lambda row: row["A"] <= k  # noqa: E731
+        p2 = lambda row: row["C"] >= 50  # noqa: E731
+        left = select(select(r, p1), p2)
+        right = select(select(r, p2), p1)
+        assert sorted(left.rows()) == sorted(right.rows())
+
+    @given(rows)
+    def test_project_idempotent(self, data):
+        r = make("R", data)
+        once = project(r, ["A", "B"])
+        twice = project(once, ["A", "B"])
+        assert sorted(once.rows()) == sorted(twice.rows())
+
+    @given(rows)
+    def test_project_narrowing_composes(self, data):
+        r = make("R", data)
+        direct = project(r, ["A"])
+        staged = project(project(r, ["A", "B"]), ["A"])
+        assert sorted(direct.rows()) == sorted(staged.rows())
+
+    @given(rows, rows)
+    def test_union_commutative(self, data1, data2):
+        a, b = make("A", data1), make("B", data2)
+        b2 = make("B2", data2)
+        a2 = make("A2", data1)
+        assert sorted(union(a, b).rows()) == sorted(union(b2, a2).rows())
+
+    @given(rows)
+    def test_union_idempotent(self, data):
+        a, b = make("A", data), make("B", data)
+        assert sorted(union(a, b).rows()) == sorted(set(a.rows()))
+
+    @given(rows, rows)
+    def test_difference_subset_of_left(self, data1, data2):
+        a, b = make("A", data1), make("B", data2)
+        result = set(difference(a, b).rows())
+        assert result <= set(a.rows())
+        assert not (result & set(b.rows()))
+
+    @given(rows)
+    def test_self_difference_empty(self, data):
+        a, b = make("A", data), make("B", data)
+        assert len(difference(a, b)) == 0
+
+    @given(rows)
+    @settings(max_examples=30)
+    def test_join_with_self_keeps_rows(self, data):
+        a = make("A", data)
+        b = make("B", data)
+        joined = natural_join(a, b)
+        # Natural join on all columns = intersection (as sets).
+        assert set(joined.rows()) == set(a.rows()) & set(b.rows())
+
+    @given(rows, st.integers(0, 5))
+    def test_selection_pushes_through_projection(self, data, k):
+        r = make("R", data)
+        p = lambda row: row["A"] <= k  # noqa: E731
+        early = project(select(r, p), ["A", "B"])
+        late = select(
+            project(r, ["A", "B"]), lambda row: row["A"] <= k
+        )
+        assert sorted(early.rows()) == sorted(late.rows())

@@ -1,0 +1,138 @@
+"""Tests for §4.2/4.3: method resolution and schizophrenia."""
+
+import pytest
+
+from repro.core import ConflictPolicy, View
+from repro.errors import SchizophreniaError
+
+
+@pytest.fixture
+def overlap_view(tiny_db):
+    """Rich and Senior overlap on Carol; both define Print."""
+    view = View("V")
+    view.import_database(tiny_db)
+    view.define_virtual_class(
+        "Rich", includes=["select P from Person where P.Income > 10,000"]
+    )
+    view.define_virtual_class(
+        "Senior", includes=["select P from Person where P.Age >= 65"]
+    )
+    view.define_attribute("Rich", "Print", value="'rich ' + self.Name")
+    view.define_attribute("Senior", "Print", value="'old ' + self.Name")
+    return view
+
+
+def carol(view):
+    return next(h for h in view.handles("Person") if h.Name == "Carol")
+
+
+class TestUpwardResolutionBreaks:
+    def test_virtual_class_provides_behavior(self, overlap_view):
+        """An attribute defined on a virtual class reaches objects whose
+        real class knows nothing about it — upward resolution is gone."""
+        alice = next(
+            h for h in overlap_view.handles("Person") if h.Name == "Alice"
+        )
+        overlap_view.define_attribute(
+            "Rich", "Tax_Bracket", value="'high'"
+        )
+        # Alice is not Rich (income 9000); Carol is.
+        assert not alice.in_class("Rich")
+        assert carol(overlap_view).Tax_Bracket == "high"
+
+    def test_non_member_does_not_get_it(self, overlap_view):
+        from repro.errors import UnknownAttributeError
+
+        overlap_view.define_attribute("Rich", "Yacht", value="'big'")
+        dan = next(
+            h for h in overlap_view.handles("Person") if h.Name == "Dan"
+        )
+        with pytest.raises(UnknownAttributeError):
+            dan.Yacht
+
+
+class TestSchizophrenia:
+    def test_conflict_detected_and_default_applied(self, overlap_view):
+        """Carol is both Rich and Senior: schizophrenia. The default
+        policy picks deterministically and logs the conflict."""
+        value = carol(overlap_view).Print
+        assert value in ("rich Carol", "old Carol")
+        assert value == "rich Carol"  # alphabetical default: Rich
+        assert len(overlap_view.conflict_log) == 1
+        record = overlap_view.conflict_log[0]
+        assert set(record.candidates) == {"Rich", "Senior"}
+
+    def test_error_policy(self, overlap_view):
+        overlap_view.set_conflict_policy(ConflictPolicy.ERROR)
+        with pytest.raises(SchizophreniaError):
+            carol(overlap_view).Print
+
+    def test_policy_from_string(self, overlap_view):
+        overlap_view.set_conflict_policy("error")
+        with pytest.raises(SchizophreniaError):
+            carol(overlap_view).Print
+
+    def test_priority_policy(self, overlap_view):
+        overlap_view.set_resolution_priority(["Senior", "Rich"])
+        assert carol(overlap_view).Print == "old Carol"
+        overlap_view.set_resolution_priority(["Rich", "Senior"])
+        assert carol(overlap_view).Print == "rich Carol"
+
+    def test_per_attribute_priority(self, overlap_view):
+        overlap_view.resolver.set_priority(
+            ["Senior"], attribute="Print"
+        )
+        assert carol(overlap_view).Print == "old Carol"
+
+    def test_priority_falls_back_to_default(self, overlap_view):
+        overlap_view.set_resolution_priority(["Unrelated"])
+        assert carol(overlap_view).Print == "rich Carol"
+
+    def test_no_conflict_for_single_membership(self, overlap_view):
+        eve = next(
+            h for h in overlap_view.handles("Person") if h.Name == "Eve"
+        )
+        overlap_view.define_attribute(
+            "Person", "Print", value="'person ' + self.Name"
+        )
+        assert eve.Print == "person Eve"
+        assert not overlap_view.conflict_log
+
+    def test_overlap_class_redefinition_wins(self, overlap_view):
+        """The paper's explicit conflict resolution: define the overlap
+        as a class and redefine the method there."""
+        overlap_view.define_virtual_class(
+            "Rich&Senior",
+            includes=["select P from Rich where P in Senior"],
+        )
+        overlap_view.define_attribute(
+            "Rich&Senior", "Print", value="'rich old ' + self.Name"
+        )
+        assert carol(overlap_view).Print == "rich old Carol"
+        assert not overlap_view.conflict_log
+
+    def test_more_specific_real_class_beats_virtual_superclass(
+        self, overlap_view, tiny_db
+    ):
+        """A definition on the real class is more specific than one on
+        an inferred superclass when they are comparable."""
+        overlap_view.define_attribute(
+            "Person", "Motto", value="'base'"
+        )
+        overlap_view.define_attribute(
+            "Rich", "Motto", value="'gold'"
+        )
+        # Rich is a subclass of Person: for Carol (a member of both)
+        # Rich's definition is more specific.
+        assert carol(overlap_view).Motto == "gold"
+
+    def test_stats_counters(self, overlap_view):
+        carol(overlap_view).Print
+        stats = overlap_view.resolver.stats
+        assert stats.resolutions >= 1
+        assert stats.conflicts == 1
+        assert stats.membership_tests >= 2
+
+    def test_real_class_chain_still_resolves(self, overlap_view):
+        assert carol(overlap_view).Name == "Carol"
+        assert carol(overlap_view).Age == 70

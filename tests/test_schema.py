@@ -1,0 +1,282 @@
+"""Unit tests for the class hierarchy and attribute resolution."""
+
+import pytest
+
+from repro.engine.schema import (
+    AttributeDef,
+    AttributeKind,
+    ClassKind,
+    Computed,
+    Schema,
+)
+from repro.engine.types import (
+    INTEGER,
+    STRING,
+    ClassType,
+    TupleType,
+)
+from repro.errors import (
+    DuplicateClassError,
+    HierarchyCycleError,
+    UnknownAttributeError,
+    UnknownClassError,
+)
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    s.define_class("Person", attributes={"Name": "string", "Age": "integer"})
+    s.define_class(
+        "Employee", parents=["Person"], attributes={"Salary": "integer"}
+    )
+    s.define_class(
+        "Manager", parents=["Employee"], attributes={"Budget": "integer"}
+    )
+    return s
+
+
+class TestDefinition:
+    def test_define_and_lookup(self, schema):
+        assert "Person" in schema
+        assert schema.get("Nobody") is None
+        assert schema.require("Person").name == "Person"
+
+    def test_duplicate_rejected(self, schema):
+        with pytest.raises(DuplicateClassError):
+            schema.define_class("Person")
+
+    def test_unknown_parent_rejected(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.define_class("X", parents=["Nobody"])
+
+    def test_require_unknown_raises(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.require("Nobody")
+
+    def test_attribute_spec_forms(self):
+        s = Schema()
+        s.define_class(
+            "C",
+            attributes={
+                "Stored": "string",
+                "Lambda": lambda self: 1,
+                "Typed": Computed(lambda self: 1, declared_type="integer"),
+                "Explicit": AttributeDef("Explicit", INTEGER),
+            },
+        )
+        attrs = s.require("C").attributes
+        assert not attrs["Stored"].is_computed()
+        assert attrs["Lambda"].is_computed()
+        assert attrs["Lambda"].declared_type is None
+        assert attrs["Typed"].is_computed()
+        assert attrs["Typed"].declared_type is INTEGER
+        assert attrs["Explicit"].declared_type is INTEGER
+
+    def test_define_attribute_stored_and_computed(self, schema):
+        schema.define_attribute("Person", "City", "string")
+        assert not schema.resolve_attribute("Person", "City").is_computed()
+        schema.define_attribute(
+            "Person", "Greeting", procedure=lambda self: "hi"
+        )
+        assert schema.resolve_attribute("Person", "Greeting").is_computed()
+
+    def test_attribute_origin_recorded(self, schema):
+        assert schema.resolve_attribute("Manager", "Salary").origin == (
+            "Employee"
+        )
+
+
+class TestHierarchy:
+    def test_ancestors_nearest_first(self, schema):
+        assert schema.ancestors("Manager") == ["Employee", "Person"]
+
+    def test_descendants(self, schema):
+        assert set(schema.descendants("Person")) == {"Employee", "Manager"}
+
+    def test_isa(self, schema):
+        assert schema.isa("Manager", "Person")
+        assert schema.isa("Person", "Person")
+        assert not schema.isa("Person", "Manager")
+        assert not schema.isa("Ghost", "Person")
+
+    def test_roots(self, schema):
+        assert schema.roots() == ["Person"]
+
+    def test_direct_children(self, schema):
+        assert schema.direct_children("Person") == ["Employee"]
+
+    def test_add_parent(self, schema):
+        schema.define_class("Taxpayer")
+        schema.add_parent("Person", "Taxpayer")
+        assert schema.isa("Manager", "Taxpayer")
+
+    def test_add_parent_idempotent(self, schema):
+        schema.define_class("Taxpayer")
+        schema.add_parent("Person", "Taxpayer")
+        schema.add_parent("Person", "Taxpayer")
+        assert schema.direct_parents("Person").count("Taxpayer") == 1
+
+    def test_cycle_rejected(self, schema):
+        with pytest.raises(HierarchyCycleError):
+            schema.add_parent("Person", "Manager")
+
+    def test_self_cycle_rejected(self, schema):
+        with pytest.raises(HierarchyCycleError):
+            schema.add_parent("Person", "Person")
+
+    def test_remove_parent(self, schema):
+        schema.define_class("Taxpayer")
+        schema.add_parent("Person", "Taxpayer")
+        schema.remove_parent("Person", "Taxpayer")
+        assert not schema.isa("Person", "Taxpayer")
+
+    def test_multiple_inheritance_ancestors(self):
+        s = Schema()
+        s.define_class("Rich")
+        s.define_class("Beautiful")
+        s.define_class("RB", parents=["Rich", "Beautiful"])
+        assert set(s.ancestors("RB")) == {"Rich", "Beautiful"}
+
+
+class TestLeastCommonSuperclasses:
+    def test_diamond(self):
+        s = Schema()
+        s.define_class("Top")
+        s.define_class("L", parents=["Top"])
+        s.define_class("R", parents=["Top"])
+        assert s.least_common_superclasses("L", "R") == ["Top"]
+
+    def test_sibling_classes(self, schema):
+        schema.define_class("Contractor", parents=["Person"])
+        assert schema.least_common_superclasses(
+            "Employee", "Contractor"
+        ) == ["Person"]
+
+    def test_related_classes(self, schema):
+        assert schema.least_common_superclasses("Manager", "Employee") == [
+            "Employee"
+        ]
+
+    def test_unrelated(self):
+        s = Schema()
+        s.define_class("A")
+        s.define_class("B")
+        assert s.least_common_superclasses("A", "B") == []
+
+    def test_multiple_minimal(self):
+        s = Schema()
+        s.define_class("X")
+        s.define_class("Y")
+        s.define_class("A", parents=["X", "Y"])
+        s.define_class("B", parents=["X", "Y"])
+        assert s.least_common_superclasses("A", "B") == ["X", "Y"]
+
+
+class TestLinearization:
+    def test_single_inheritance(self, schema):
+        assert schema.linearize("Manager") == [
+            "Manager",
+            "Employee",
+            "Person",
+        ]
+
+    def test_c3_diamond(self):
+        s = Schema()
+        s.define_class("O")
+        s.define_class("A", parents=["O"])
+        s.define_class("B", parents=["O"])
+        s.define_class("C", parents=["A", "B"])
+        assert s.linearize("C") == ["C", "A", "B", "O"]
+
+    def test_c3_respects_parent_order(self):
+        s = Schema()
+        s.define_class("O")
+        s.define_class("A", parents=["O"])
+        s.define_class("B", parents=["O"])
+        s.define_class("C", parents=["B", "A"])
+        assert s.linearize("C") == ["C", "B", "A", "O"]
+
+
+class TestResolution:
+    def test_own_attribute(self, schema):
+        assert schema.resolve_attribute("Manager", "Budget").origin == (
+            "Manager"
+        )
+
+    def test_inherited_attribute(self, schema):
+        assert schema.resolve_attribute("Manager", "Name").origin == (
+            "Person"
+        )
+
+    def test_override_wins(self, schema):
+        # The paper's §2: Address stored in Employee, computed in Manager.
+        schema.define_attribute("Employee", "Address", "string")
+        schema.define_attribute(
+            "Manager", "Address", procedure=lambda self: "company address"
+        )
+        assert not schema.resolve_attribute(
+            "Employee", "Address"
+        ).is_computed()
+        assert schema.resolve_attribute("Manager", "Address").is_computed()
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.resolve_attribute("Person", "Salary")
+
+    def test_attributes_of_accumulates(self, schema):
+        names = set(schema.attributes_of("Manager"))
+        assert names == {"Name", "Age", "Salary", "Budget"}
+
+    def test_stored_attributes_of(self, schema):
+        schema.define_attribute(
+            "Person", "Greeting", procedure=lambda self: "hi"
+        )
+        assert "Greeting" not in schema.stored_attributes_of("Person")
+
+
+class TestTupleTypes:
+    def test_tuple_type_of(self, schema):
+        t = schema.tuple_type_of("Manager")
+        assert t.field_type("Budget") is INTEGER
+        assert t.field_type("Name") is STRING
+
+    def test_tuple_type_subclass_is_subtype(self, schema):
+        from repro.engine.types import is_subtype
+
+        assert is_subtype(
+            schema.tuple_type_of("Manager"),
+            schema.tuple_type_of("Person"),
+            schema,
+        )
+
+    def test_class_type(self, schema):
+        assert schema.class_type("Person") == ClassType("Person")
+        with pytest.raises(UnknownClassError):
+            schema.class_type("Nobody")
+
+
+class TestCopying:
+    def test_copy_is_independent(self, schema):
+        clone = schema.copy()
+        clone.define_class("Extra")
+        assert "Extra" not in schema
+
+    def test_copy_classes_from_subtree(self, schema):
+        target = Schema()
+        target.copy_classes_from(schema, ["Employee"])
+        # Subclasses come along...
+        assert "Manager" in target
+        # ...and so do ancestors (the DAG must not dangle).
+        assert "Person" in target
+
+    def test_copy_classes_from_all(self, schema):
+        target = Schema()
+        target.copy_classes_from(schema)
+        assert set(target.class_names()) == set(schema.class_names())
+
+    def test_copy_classes_no_overwrite(self, schema):
+        target = Schema()
+        target.define_class("Person", attributes={"Other": "string"})
+        target.copy_classes_from(schema, ["Person"])
+        assert "Other" in target.require("Person").attributes

@@ -1,0 +1,437 @@
+"""Tests for the persistence substrate: codec, stores, journal,
+transactions, snapshots."""
+
+import os
+
+import pytest
+
+from repro.engine import Database, Oid
+from repro.engine.types import (
+    INTEGER,
+    STRING,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+)
+from repro.errors import (
+    SerializationError,
+    StorageError,
+    TransactionError,
+)
+from repro.storage import (
+    FileStore,
+    JournalWriter,
+    MemoryStore,
+    TransactionManager,
+    decode_value,
+    encode_value,
+    load_database,
+    open_persistent,
+    replay_journal,
+    save_database,
+    type_from_data,
+    type_to_data,
+)
+
+
+class TestCodec:
+    CASES = [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2 ** 40,
+        -(2 ** 40),
+        1.5,
+        -0.25,
+        "",
+        "héllo ✓",
+        b"\x00\xff",
+        Oid("Staff", 7),
+        {"a": 1, "b": [1, 2], "c": {"x"}},
+        {1, 2, 3},
+        [None, True, {"k": Oid("x", 1)}],
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=repr)
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_nested_depth(self):
+        value = {"a": [{"b": [{"c": {1, 2}}]}]}
+        assert decode_value(encode_value(value)) == value
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(SerializationError):
+            encode_value(object())
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(SerializationError):
+            encode_value({1: "x"})
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_truncated_bytes_rejected(self):
+        encoded = encode_value("hello")
+        with pytest.raises(SerializationError):
+            decode_value(encoded[:-1])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_value(b"Q")
+
+    def test_deterministic_encoding(self):
+        a = encode_value({"x": 1, "y": {3, 2, 1}})
+        b = encode_value({"y": {1, 2, 3}, "x": 1})
+        assert a == b
+
+
+class TestTypeCodec:
+    TYPES = [
+        STRING,
+        INTEGER,
+        ClassType("Person"),
+        SetType(ClassType("Person")),
+        ListType(INTEGER),
+        TupleType({"A": STRING, "Kids": SetType(ClassType("Person"))}),
+    ]
+
+    @pytest.mark.parametrize("t", TYPES, ids=lambda t: t.describe())
+    def test_roundtrip(self, t):
+        assert type_from_data(type_to_data(t)) == t
+
+    def test_through_value_codec(self):
+        t = TupleType({"A": STRING})
+        data = decode_value(encode_value(type_to_data(t)))
+        assert type_from_data(data) == t
+
+    def test_bad_data_rejected(self):
+        with pytest.raises(SerializationError):
+            type_from_data({"!": "wormhole"})
+        with pytest.raises(SerializationError):
+            type_from_data("string")
+
+
+class TestStores:
+    def test_memory_store_roundtrip(self):
+        store = MemoryStore()
+        store.append(b"one")
+        store.append(b"two")
+        assert list(store.records()) == [b"one", b"two"]
+        assert len(store) == 2
+
+    def test_file_store_roundtrip(self, tmp_path):
+        path = str(tmp_path / "log")
+        with FileStore(path) as store:
+            store.append(b"alpha")
+            store.append(b"beta")
+        with FileStore(path) as store:
+            assert list(store.records()) == [b"alpha", b"beta"]
+
+    def test_file_store_appends_across_opens(self, tmp_path):
+        path = str(tmp_path / "log")
+        with FileStore(path) as store:
+            store.append(b"one")
+        with FileStore(path) as store:
+            store.append(b"two")
+            assert list(store.records()) == [b"one", b"two"]
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "log")
+        with FileStore(path) as store:
+            store.append(b"good")
+        with open(path, "ab") as f:
+            f.write(b"\x00\x00\x00\x10PARTIAL")  # torn frame
+        with FileStore(path) as store:
+            assert list(store.records()) == [b"good"]
+
+    def test_corrupt_record_stops_replay(self, tmp_path):
+        path = str(tmp_path / "log")
+        with FileStore(path) as store:
+            store.append(b"good")
+            store.append(b"later")
+        data = bytearray(open(path, "rb").read())
+        data[10] ^= 0xFF  # flip a payload bit in the first record
+        open(path, "wb").write(bytes(data))
+        with FileStore(path) as store:
+            assert list(store.records()) == []
+
+    def test_closed_store_refuses_appends(self, tmp_path):
+        store = FileStore(str(tmp_path / "log"))
+        store.close()
+        with pytest.raises(StorageError):
+            store.append(b"x")
+
+
+@pytest.fixture
+def db():
+    d = Database("People")
+    d.define_class(
+        "Person", attributes={"Name": "string", "Age": "integer"}
+    )
+    return d
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, db):
+        manager = TransactionManager(db)
+        with manager.begin():
+            db.create("Person", Name="A", Age=1)
+        assert db.object_count() == 1
+
+    def test_abort_undoes_create(self, db):
+        manager = TransactionManager(db)
+        with manager.begin() as txn:
+            db.create("Person", Name="A", Age=1)
+            txn.abort()
+        assert db.object_count() == 0
+
+    def test_abort_undoes_update(self, db):
+        manager = TransactionManager(db)
+        h = db.create("Person", Name="A", Age=1)
+        with manager.begin() as txn:
+            db.update(h, "Age", 99)
+            txn.abort()
+        assert h.Age == 1
+
+    def test_abort_undoes_update_of_unset_attribute(self, db):
+        manager = TransactionManager(db)
+        h = db.create("Person", Name="A")
+        with manager.begin() as txn:
+            db.update(h, "Age", 99)
+            txn.abort()
+        assert h.Age is None
+
+    def test_abort_undoes_delete(self, db):
+        manager = TransactionManager(db)
+        h = db.create("Person", Name="A", Age=1)
+        with manager.begin() as txn:
+            manager.delete(h)
+            txn.abort()
+        assert db.get(h.oid).Name == "A"
+
+    def test_abort_mixed_sequence(self, db):
+        manager = TransactionManager(db)
+        a = db.create("Person", Name="A", Age=1)
+        with manager.begin() as txn:
+            db.update(a, "Age", 2)
+            b = db.create("Person", Name="B", Age=1)
+            db.update(b, "Age", 3)
+            manager.delete(a)
+            txn.abort()
+        assert db.object_count() == 1
+        assert db.get(a.oid).Age == 1
+
+    def test_exception_aborts(self, db):
+        manager = TransactionManager(db)
+        with pytest.raises(RuntimeError):
+            with manager.begin():
+                db.create("Person", Name="A", Age=1)
+                raise RuntimeError("boom")
+        assert db.object_count() == 0
+
+    def test_nested_begin_rejected(self, db):
+        manager = TransactionManager(db)
+        with manager.begin():
+            with pytest.raises(TransactionError):
+                manager.begin()
+
+    def test_finished_transaction_cannot_commit_again(self, db):
+        manager = TransactionManager(db)
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_journal_receives_committed_batches(self, db):
+        store = MemoryStore()
+        manager = TransactionManager(db, JournalWriter(store))
+        with manager.begin():
+            db.create("Person", Name="A", Age=1)
+            db.create("Person", Name="B", Age=2)
+        assert len(store) == 1  # one atomic batch
+
+    def test_journal_skips_aborted(self, db):
+        store = MemoryStore()
+        manager = TransactionManager(db, JournalWriter(store))
+        with manager.begin() as txn:
+            db.create("Person", Name="A", Age=1)
+            txn.abort()
+        assert len(store) == 0
+
+    def test_auto_commit_outside_transaction(self, db):
+        store = MemoryStore()
+        TransactionManager(db, JournalWriter(store))
+        db.create("Person", Name="A", Age=1)
+        assert len(store) == 1
+
+
+class TestJournalReplay:
+    def test_replay_applies_operations(self, db):
+        store = MemoryStore()
+        manager = TransactionManager(db, JournalWriter(store))
+        with manager.begin():
+            a = db.create("Person", Name="A", Age=1)
+            db.create("Person", Name="B", Age=2)
+        with manager.begin():
+            db.update(a, "Age", 9)
+            manager.delete(
+                next(h for h in db.handles("Person") if h.Name == "B")
+            )
+        fresh = Database("People")
+        fresh.define_class(
+            "Person", attributes={"Name": "string", "Age": "integer"}
+        )
+        applied = replay_journal(store, fresh)
+        assert applied == 4
+        assert fresh.object_count() == 1
+        assert fresh.get(a.oid).Age == 9
+
+
+class TestPersistence:
+    def test_save_and_load(self, db, tmp_path):
+        db.create("Person", Name="A", Age=1)
+        db.define_attribute("Person", "Greeting", value=lambda s: "hi")
+        path = str(tmp_path / "db.log")
+        with FileStore(path) as store:
+            save_database(db, store)
+        with FileStore(path) as store:
+            loaded = load_database(store)
+        assert loaded.name == "People"
+        assert loaded.handles("Person")[0].Name == "A"
+
+    def test_loaded_computed_attribute_is_placeholder(self, db, tmp_path):
+        db.define_attribute("Person", "Greeting", value=lambda s: "hi")
+        h = db.create("Person", Name="A", Age=1)
+        path = str(tmp_path / "db.log")
+        with FileStore(path) as store:
+            save_database(db, store)
+            loaded = load_database(store)
+        with pytest.raises(StorageError, match="re-register"):
+            loaded.get(h.oid).Greeting
+        loaded.define_attribute("Person", "Greeting", value=lambda s: "hi")
+        assert loaded.get(h.oid).Greeting == "hi"
+
+    def test_schema_hierarchy_restored(self, tmp_path):
+        db = Database("D")
+        db.define_class("A", attributes={"X": "integer"})
+        db.define_class("B", parents=["A"])
+        store = MemoryStore()
+        save_database(db, store)
+        loaded = load_database(store)
+        assert loaded.schema.isa("B", "A")
+
+    def test_open_persistent_lifecycle(self, tmp_path):
+        path = str(tmp_path / "db.log")
+
+        def setup(database):
+            database.define_class(
+                "Person", attributes={"Name": "string"}
+            )
+            database.create("Person", Name="seed")
+
+        with FileStore(path) as store:
+            database, manager = open_persistent(store, "P", setup=setup)
+            with manager.begin():
+                database.create("Person", Name="committed")
+            with manager.begin() as txn:
+                database.create("Person", Name="aborted")
+                txn.abort()
+        with FileStore(path) as store:
+            database, _ = open_persistent(store)
+            names = sorted(h.Name for h in database.handles("Person"))
+        assert names == ["committed", "seed"]
+
+    def test_load_empty_store_rejected(self):
+        with pytest.raises(StorageError):
+            load_database(MemoryStore())
+
+    def test_oid_generator_restored_past_snapshot(self, tmp_path):
+        db = Database("D")
+        db.define_class("C", attributes={"N": "integer"})
+        last = None
+        for i in range(5):
+            last = db.create("C", N=i)
+        store = MemoryStore()
+        save_database(db, store)
+        loaded = load_database(store)
+        fresh = loaded.create("C", N=99)
+        assert fresh.oid.number > last.oid.number
+
+
+class TestCompaction:
+    def test_compact_preserves_state(self, tmp_path):
+        from repro.storage import FileStore, compact, open_persistent
+
+        path = str(tmp_path / "db.log")
+
+        def setup(database):
+            database.define_class(
+                "C", attributes={"N": "integer"}
+            )
+
+        with FileStore(path) as store:
+            db, manager = open_persistent(store, "D", setup=setup)
+            handles = []
+            for i in range(20):
+                with manager.begin():
+                    handles.append(db.create("C", N=i))
+            # Churn: many superseded updates and some deletes.
+            for _ in range(10):
+                for h in handles[:10]:
+                    with manager.begin():
+                        db.update(h, "N", h.N + 1)
+            for h in handles[10:]:
+                with manager.begin():
+                    manager.delete(h)
+        reclaimed = compact(path)
+        assert reclaimed > 0
+        with FileStore(path) as store:
+            from repro.storage import load_database
+
+            loaded = load_database(store)
+        assert loaded.object_count() == 10
+        assert sorted(h.N for h in loaded.handles("C")) == sorted(
+            i + 10 for i in range(10)
+        )
+
+    def test_compacted_store_accepts_new_journal(self, tmp_path):
+        from repro.storage import FileStore, compact, open_persistent
+
+        path = str(tmp_path / "db.log")
+
+        def setup(database):
+            database.define_class("C", attributes={"N": "integer"})
+            database.create("C", N=1)
+
+        with FileStore(path) as store:
+            open_persistent(store, "D", setup=setup)
+        compact(path)
+        with FileStore(path) as store:
+            db, manager = open_persistent(store)
+            with manager.begin():
+                db.create("C", N=2)
+        with FileStore(path) as store:
+            db2, _ = open_persistent(store)
+        assert db2.object_count() == 2
+
+    def test_oids_stable_across_compaction(self, tmp_path):
+        from repro.storage import FileStore, compact, open_persistent
+
+        path = str(tmp_path / "db.log")
+
+        def setup(database):
+            database.define_class("C", attributes={"N": "integer"})
+            database.create("C", N=1)
+
+        with FileStore(path) as store:
+            db, _ = open_persistent(store, "D", setup=setup)
+            original = list(db.all_oids())
+        compact(path)
+        with FileStore(path) as store:
+            db2, _ = open_persistent(store)
+        assert list(db2.all_oids()) == original

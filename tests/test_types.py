@@ -1,0 +1,264 @@
+"""Unit tests for the type lattice."""
+
+import pytest
+
+from repro.engine.schema import Schema
+from repro.engine.types import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NOTHING,
+    REAL,
+    STRING,
+    AtomType,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    declare_atom,
+    glb,
+    is_subtype,
+    lub,
+    lub_all,
+    type_from_signature,
+)
+from repro.errors import NoLeastUpperBoundError, TypeSystemError
+
+
+@pytest.fixture
+def ship_schema():
+    s = Schema()
+    s.define_class("Ship")
+    s.define_class("Tanker", parents=["Ship"])
+    s.define_class("Trawler", parents=["Ship"])
+    s.define_class("Supertanker", parents=["Tanker"])
+    return s
+
+
+class TestAtoms:
+    def test_interning(self):
+        assert AtomType("string") is STRING
+        assert AtomType("widget") is AtomType("widget")
+
+    def test_declare_atom(self):
+        assert declare_atom("euro") is AtomType("euro")
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            STRING.name = "other"
+
+    def test_describe(self):
+        assert INTEGER.describe() == "integer"
+
+
+class TestSubtyping:
+    def test_reflexive(self):
+        for t in (STRING, INTEGER, ANY, NOTHING, SetType(STRING)):
+            assert is_subtype(t, t)
+
+    def test_top_and_bottom(self):
+        assert is_subtype(STRING, ANY)
+        assert is_subtype(NOTHING, STRING)
+        assert not is_subtype(ANY, STRING)
+        assert not is_subtype(STRING, NOTHING)
+
+    def test_integer_widens_to_real(self):
+        assert is_subtype(INTEGER, REAL)
+        assert not is_subtype(REAL, INTEGER)
+
+    def test_unrelated_atoms(self):
+        assert not is_subtype(STRING, INTEGER)
+        assert not is_subtype(AtomType("dollar"), AtomType("euro"))
+
+    def test_tuple_width_subtyping(self):
+        wide = TupleType({"A": STRING, "B": INTEGER})
+        narrow = TupleType({"A": STRING})
+        assert is_subtype(wide, narrow)
+        assert not is_subtype(narrow, wide)
+
+    def test_tuple_depth_subtyping(self):
+        sub = TupleType({"A": INTEGER})
+        sup = TupleType({"A": REAL})
+        assert is_subtype(sub, sup)
+        assert not is_subtype(sup, sub)
+
+    def test_empty_tuple_is_top_of_tuples(self):
+        assert is_subtype(TupleType({"A": STRING}), TupleType({}))
+
+    def test_set_covariance(self):
+        assert is_subtype(SetType(INTEGER), SetType(REAL))
+        assert not is_subtype(SetType(REAL), SetType(INTEGER))
+
+    def test_list_covariance(self):
+        assert is_subtype(ListType(INTEGER), ListType(REAL))
+
+    def test_set_not_list(self):
+        assert not is_subtype(SetType(INTEGER), ListType(INTEGER))
+
+    def test_class_subtyping_needs_context(self, ship_schema):
+        tanker, ship = ClassType("Tanker"), ClassType("Ship")
+        assert is_subtype(tanker, ship, ship_schema)
+        assert not is_subtype(ship, tanker, ship_schema)
+        # Without context, only equality holds.
+        assert not is_subtype(tanker, ship)
+        assert is_subtype(tanker, tanker)
+
+    def test_class_subtyping_transitive(self, ship_schema):
+        assert is_subtype(
+            ClassType("Supertanker"), ClassType("Ship"), ship_schema
+        )
+
+    def test_nested_structures(self, ship_schema):
+        sub = TupleType({"Fleet": SetType(ClassType("Tanker"))})
+        sup = TupleType({"Fleet": SetType(ClassType("Ship"))})
+        assert is_subtype(sub, sup, ship_schema)
+
+
+class TestLub:
+    def test_identity_with_nothing(self):
+        assert lub(NOTHING, STRING) is STRING
+        assert lub(STRING, NOTHING) is STRING
+
+    def test_with_any(self):
+        assert lub(ANY, STRING) is ANY
+
+    def test_numeric(self):
+        assert lub(INTEGER, REAL) is REAL
+
+    def test_equal_types(self):
+        assert lub(STRING, STRING) is STRING
+
+    def test_unrelated_atoms_raise(self):
+        with pytest.raises(NoLeastUpperBoundError):
+            lub(STRING, INTEGER)
+
+    def test_tuples_keep_common_fields(self):
+        a = TupleType({"X": STRING, "Y": INTEGER})
+        b = TupleType({"X": STRING, "Z": INTEGER})
+        result = lub(a, b)
+        assert result == TupleType({"X": STRING})
+
+    def test_tuples_lub_field_types(self):
+        a = TupleType({"X": INTEGER})
+        b = TupleType({"X": REAL})
+        assert lub(a, b) == TupleType({"X": REAL})
+
+    def test_tuples_drop_incompatible_fields(self):
+        a = TupleType({"X": STRING, "Y": INTEGER})
+        b = TupleType({"X": INTEGER, "Y": INTEGER})
+        assert lub(a, b) == TupleType({"Y": INTEGER})
+
+    def test_lub_is_upper_bound_for_tuples(self):
+        a = TupleType({"X": STRING, "Y": INTEGER})
+        b = TupleType({"X": STRING})
+        result = lub(a, b)
+        assert is_subtype(a, result) and is_subtype(b, result)
+
+    def test_sets(self):
+        assert lub(SetType(INTEGER), SetType(REAL)) == SetType(REAL)
+
+    def test_classes_via_schema(self, ship_schema):
+        result = lub(
+            ClassType("Tanker"), ClassType("Trawler"), ship_schema
+        )
+        assert result == ClassType("Ship")
+
+    def test_classes_same(self, ship_schema):
+        assert lub(
+            ClassType("Tanker"), ClassType("Tanker"), ship_schema
+        ) == ClassType("Tanker")
+
+    def test_classes_subclass(self, ship_schema):
+        assert lub(
+            ClassType("Supertanker"), ClassType("Tanker"), ship_schema
+        ) == ClassType("Tanker")
+
+    def test_classes_without_common_superclass(self, ship_schema):
+        ship_schema.define_class("Island")
+        with pytest.raises(NoLeastUpperBoundError):
+            lub(ClassType("Ship"), ClassType("Island"), ship_schema)
+
+    def test_class_vs_atom_raises(self):
+        with pytest.raises(NoLeastUpperBoundError):
+            lub(ClassType("Ship"), STRING)
+
+    def test_lub_all(self):
+        assert lub_all([INTEGER, INTEGER, REAL]) is REAL
+        assert lub_all([]) is NOTHING
+
+
+class TestGlb:
+    def test_related(self):
+        assert glb(INTEGER, REAL) is INTEGER
+
+    def test_unrelated_meet_at_nothing(self):
+        assert glb(STRING, INTEGER) is NOTHING
+
+    def test_tuples_merge_fields(self):
+        a = TupleType({"X": STRING})
+        b = TupleType({"Y": INTEGER})
+        merged = glb(a, b)
+        assert merged == TupleType({"X": STRING, "Y": INTEGER})
+
+    def test_glb_is_lower_bound_for_tuples(self):
+        a = TupleType({"X": STRING})
+        b = TupleType({"Y": INTEGER})
+        merged = glb(a, b)
+        assert is_subtype(merged, a) and is_subtype(merged, b)
+
+
+class TestSignatures:
+    def test_atom_names(self):
+        assert type_from_signature("string") is STRING
+        assert type_from_signature("integer") is INTEGER
+
+    def test_unknown_names_are_class_types(self):
+        assert type_from_signature("Person") == ClassType("Person")
+
+    def test_declared_atoms_are_recognised(self):
+        declare_atom("kelvin")
+        assert type_from_signature("kelvin") is AtomType("kelvin")
+
+    def test_dict_is_tuple(self):
+        assert type_from_signature({"A": "string"}) == TupleType(
+            {"A": STRING}
+        )
+
+    def test_set_signature(self):
+        assert type_from_signature({"Person"}) == SetType(
+            ClassType("Person")
+        )
+
+    def test_list_signature(self):
+        assert type_from_signature(["integer"]) == ListType(INTEGER)
+
+    def test_nested(self):
+        t = type_from_signature({"Kids": {"Person"}, "Name": "string"})
+        assert t.field_type("Kids") == SetType(ClassType("Person"))
+
+    def test_passthrough(self):
+        assert type_from_signature(STRING) is STRING
+
+    def test_bad_set_signature(self):
+        with pytest.raises(TypeSystemError):
+            type_from_signature({"a", "b"})
+
+    def test_bad_signature(self):
+        with pytest.raises(TypeSystemError):
+            type_from_signature(42)
+
+
+class TestEqualityAndHash:
+    def test_tuple_field_order_irrelevant(self):
+        a = TupleType({"A": STRING, "B": INTEGER})
+        b = TupleType({"B": INTEGER, "A": STRING})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_constructors_differ(self):
+        assert SetType(STRING) != ListType(STRING)
+        assert TupleType({}) != SetType(STRING)
+
+    def test_describe_nested(self):
+        t = TupleType({"Kids": SetType(ClassType("Person"))})
+        assert t.describe() == "[Kids: {Person}]"

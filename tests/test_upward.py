@@ -1,0 +1,117 @@
+"""Tests for §4.3: upward inheritance of common attributes."""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+from repro.engine.types import INTEGER, REAL, STRING
+
+
+class TestUpwardAcquisition:
+    def test_common_attribute_acquired(self, navy_view):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        t = navy_view.schema.tuple_type_of("Merchant_Vessel")
+        assert t.field_type("Cargo") is STRING
+        assert t.field_type("Capacity") is INTEGER
+
+    def test_uncommon_attribute_not_acquired(self, navy_view):
+        navy_view.define_virtual_class(
+            "Mixed", includes=["Tanker", "Frigate"]
+        )
+        t = navy_view.schema.tuple_type_of("Mixed")
+        assert t.field_type("Cargo") is None
+        assert t.field_type("Armament") is None
+        # The shared Ship attributes are inherited downward as usual.
+        assert t.field_type("Name") is STRING
+
+    def test_lub_typing(self):
+        """Types of the member attributes are joined at the LUB."""
+        db = Database("D")
+        db.define_class("A", attributes={"X": "integer"})
+        db.define_class("B", attributes={"X": "real"})
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class("AB", includes=["A", "B"])
+        assert view.schema.tuple_type_of("AB").field_type("X") is REAL
+
+    def test_no_lub_means_undefined(self):
+        """§4.3: without a least upper bound, A is undefined in C."""
+        db = Database("D")
+        db.define_class("A", attributes={"X": "integer"})
+        db.define_class("B", attributes={"X": "string"})
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class("AB", includes=["A", "B"])
+        assert view.schema.tuple_type_of("AB").field_type("X") is None
+
+    def test_acquired_attribute_readable_on_members(self, navy_view):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        for handle in navy_view.handles("Merchant_Vessel"):
+            assert handle.Cargo is not None
+
+    def test_acquired_flag_set(self, navy_view):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        cdef = navy_view.schema.require("Merchant_Vessel")
+        assert cdef.attributes["Cargo"].acquired
+
+    def test_acquired_defs_do_not_cause_conflicts(self, navy_view):
+        """Acquired definitions never participate in per-object
+        resolution — accessing Cargo resolves to Tanker's own def."""
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        tanker = navy_view.handles("Tanker")[0]
+        adef = navy_view.resolve_attribute_for(tanker.oid, "Cargo")
+        assert adef.origin in ("Tanker", "Trawler")
+        assert not navy_view.conflict_log
+
+    def test_query_member_contributes_guaranteed_attributes(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        t = tiny_view.schema.tuple_type_of("Adult")
+        assert t.field_type("Income") is INTEGER
+
+    def test_enables_typed_queries_over_virtual_class(self, navy_view):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        oily = navy_view.query(
+            "select V from Merchant_Vessel where V.Cargo = 'oil'"
+        )
+        assert all(h.Cargo == "oil" for h in oily)
+
+    def test_behavioral_member_intersects_matches(self):
+        db = Database("D")
+        db.define_class(
+            "A", attributes={"P": "integer", "Q": "integer"}
+        )
+        db.define_class(
+            "B", attributes={"P": "integer", "R": "integer"}
+        )
+        view = View("V")
+        view.import_database(db)
+        view.define_spec_class("Spec", attributes={"P": "integer"})
+        from repro.core import like
+
+        view.define_virtual_class("Ps", includes=[like("Spec")])
+        t = view.schema.tuple_type_of("Ps")
+        assert t.field_type("P") is INTEGER
+        assert t.field_type("Q") is None  # only A has it
+
+    def test_upward_feeds_behavioral_matching(self, navy_view):
+        """A virtual class with acquired attributes can itself match a
+        like spec (the type it acquires is real schema knowledge)."""
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        navy_view.define_spec_class(
+            "Carrier_Spec", attributes={"Cargo": "string"}
+        )
+        assert "Merchant_Vessel" in navy_view.like_matches("Carrier_Spec")

@@ -1,0 +1,193 @@
+"""Unit tests for the value model: conformance, canonicalisation,
+inference."""
+
+import pytest
+
+from repro.engine.oid import Oid
+from repro.engine.schema import Schema
+from repro.engine.types import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NOTHING,
+    REAL,
+    STRING,
+    AtomType,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+)
+from repro.engine.values import (
+    canonicalize,
+    conforms,
+    deep_copy_value,
+    format_value,
+    infer_type,
+    require_conforms,
+)
+from repro.errors import ValueTypeError
+
+
+class TestConforms:
+    def test_atoms(self):
+        assert conforms("x", STRING)
+        assert conforms(3, INTEGER)
+        assert conforms(3.5, REAL)
+        assert conforms(3, REAL)  # widening
+        assert conforms(True, BOOLEAN)
+
+    def test_bool_is_not_integer(self):
+        assert not conforms(True, INTEGER)
+        assert not conforms(True, REAL)
+
+    def test_integer_is_not_string(self):
+        assert not conforms(3, STRING)
+
+    def test_user_atoms_accept_scalars(self):
+        dollar = AtomType("dollar")
+        assert conforms(100, dollar)
+        assert conforms("100.00", dollar)
+        assert not conforms(True, dollar)
+
+    def test_any_accepts_everything(self):
+        assert conforms({"a": 1}, ANY)
+
+    def test_nothing_accepts_nothing(self):
+        assert not conforms(1, NOTHING)
+
+    def test_tuple_requires_fields(self):
+        t = TupleType({"A": STRING})
+        assert conforms({"A": "x"}, t)
+        assert not conforms({}, t)
+        assert not conforms({"A": 3}, t)
+
+    def test_tuple_width_tolerant(self):
+        t = TupleType({"A": STRING})
+        assert conforms({"A": "x", "Extra": 3}, t)
+
+    def test_set_and_list(self):
+        assert conforms({1, 2}, SetType(INTEGER))
+        assert not conforms([1, 2], SetType(INTEGER))
+        assert conforms([1, 2], ListType(INTEGER))
+        assert not conforms({1, "x"}, SetType(INTEGER))
+
+    def test_class_type_with_resolver(self):
+        schema = Schema()
+        schema.define_class("Ship")
+        schema.define_class("Tanker", parents=["Ship"])
+        resolver = {Oid("db", 1): "Tanker", Oid("db", 2): "Dock"}.get
+        assert conforms(Oid("db", 1), ClassType("Ship"), schema, resolver)
+        assert not conforms(
+            Oid("db", 2), ClassType("Ship"), schema, resolver
+        )
+        # Unknown oids are accepted (checked later by the database).
+        assert conforms(Oid("db", 9), ClassType("Ship"), schema, resolver)
+
+    def test_class_type_rejects_non_oids(self):
+        assert not conforms("x", ClassType("Ship"))
+
+    def test_require_conforms_raises_with_label(self):
+        with pytest.raises(ValueTypeError, match="Person.Age"):
+            require_conforms("x", INTEGER, label="Person.Age")
+
+
+class TestCanonicalize:
+    def test_equal_dicts_regardless_of_key_order(self):
+        assert canonicalize({"a": 1, "b": 2}) == canonicalize(
+            {"b": 2, "a": 1}
+        )
+
+    def test_int_and_float_equal(self):
+        assert canonicalize(1) == canonicalize(1.0)
+
+    def test_bool_distinct_from_one(self):
+        assert canonicalize(True) != canonicalize(1)
+
+    def test_sets_unordered(self):
+        assert canonicalize({1, 2, 3}) == canonicalize({3, 2, 1})
+
+    def test_lists_ordered(self):
+        assert canonicalize([1, 2]) != canonicalize([2, 1])
+
+    def test_oid_includes_space(self):
+        assert canonicalize(Oid("A", 1)) != canonicalize(Oid("B", 1))
+
+    def test_is_hashable(self):
+        hash(canonicalize({"a": [1, {2, 3}], "b": Oid("x", 1)}))
+
+    def test_none(self):
+        assert canonicalize(None) == canonicalize(None)
+
+    def test_distinguishes_string_from_number(self):
+        assert canonicalize("1") != canonicalize(1)
+
+    def test_nested_equality(self):
+        a = {"kids": {Oid("d", 1), Oid("d", 2)}, "n": 3}
+        b = {"n": 3.0, "kids": {Oid("d", 2), Oid("d", 1)}}
+        assert canonicalize(a) == canonicalize(b)
+
+    def test_rejects_non_model_values(self):
+        with pytest.raises(ValueTypeError):
+            canonicalize(object())
+
+
+class TestInferType:
+    def test_scalars(self):
+        assert infer_type(True) is BOOLEAN
+        assert infer_type(3) is INTEGER
+        assert infer_type(3.5) is REAL
+        assert infer_type("x") is STRING
+
+    def test_tuple(self):
+        t = infer_type({"A": "x", "B": 1})
+        assert t == TupleType({"A": STRING, "B": INTEGER})
+
+    def test_homogeneous_set(self):
+        assert infer_type({1, 2}) == SetType(INTEGER)
+
+    def test_mixed_numeric_set(self):
+        assert infer_type({1, 2.5}) == SetType(REAL)
+
+    def test_heterogeneous_set_falls_back_to_any(self):
+        assert infer_type({1, "x"}) == SetType(ANY)
+
+    def test_empty_set(self):
+        assert infer_type(set()) == SetType(NOTHING)
+
+    def test_oid_with_resolver(self):
+        resolver = {Oid("d", 1): "Ship"}.get
+        assert infer_type(Oid("d", 1), class_of=resolver) == ClassType(
+            "Ship"
+        )
+        assert infer_type(Oid("d", 2), class_of=resolver) is ANY
+
+
+class TestFormatting:
+    def test_tuple(self):
+        assert format_value({"B": 1, "A": "x"}) == "[A: 'x', B: 1]"
+
+    def test_set(self):
+        assert format_value({2, 1}) == "{1, 2}"
+
+    def test_list(self):
+        assert format_value([1, 2]) == "<1, 2>"
+
+
+class TestDeepCopy:
+    def test_dict_is_copied(self):
+        original = {"a": [1, 2], "b": {"c": 3}}
+        copy = deep_copy_value(original)
+        copy["a"].append(99)
+        copy["b"]["c"] = 0
+        assert original == {"a": [1, 2], "b": {"c": 3}}
+
+    def test_oids_are_shared(self):
+        oid = Oid("d", 1)
+        assert deep_copy_value({"x": oid})["x"] is oid
+
+    def test_sets(self):
+        original = {"s": {1, 2}}
+        copy = deep_copy_value(original)
+        copy["s"].add(3)
+        assert original["s"] == {1, 2}

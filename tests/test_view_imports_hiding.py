@@ -1,0 +1,251 @@
+"""Tests for §3: importing and hiding."""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+from repro.errors import (
+    HiddenAttributeError,
+    UnknownAttributeError,
+    UnknownClassError,
+    ViewError,
+)
+
+
+@pytest.fixture
+def two_dbs(employment_db):
+    other = Database("Ford")
+    other.define_class(
+        "Truck", attributes={"Model": "string", "Tons": "integer"}
+    )
+    other.create("Truck", Model="F150", Tons=2)
+    return employment_db, other
+
+
+class TestImports:
+    def test_import_all_classes(self, two_dbs):
+        chrysler, ford = two_dbs
+        view = View("V")
+        view.import_database(chrysler)
+        assert view.has_class("Person")
+        assert view.has_class("Manager")
+        assert len(view.extent("Person")) == chrysler.object_count() - len(
+            chrysler.extent("Company")
+        )
+
+    def test_import_single_class_brings_subclasses(self, two_dbs):
+        chrysler, _ = two_dbs
+        view = View("V")
+        view.import_class(chrysler, "Employee")
+        # "they become visible together with their subclasses"
+        assert view.has_class("Manager")
+        # Ancestors come along so the hierarchy doesn't dangle.
+        assert view.has_class("Person")
+
+    def test_import_from_two_databases(self, two_dbs):
+        chrysler, ford = two_dbs
+        view = View("V")
+        view.import_database(chrysler)
+        view.import_class(ford, "Truck")
+        assert len(view.extent("Truck")) == 1
+        assert view.has_class("Employee")
+
+    def test_objects_keep_identity_across_view(self, two_dbs):
+        chrysler, _ = two_dbs
+        view = View("V")
+        view.import_database(chrysler)
+        oid = next(iter(view.extent("Manager")))
+        assert view.class_of(oid) == chrysler.class_of(oid)
+        assert view.get(oid).Name == chrysler.get(oid).Name
+
+    def test_unknown_import_class(self, two_dbs):
+        _, ford = two_dbs
+        view = View("V")
+        with pytest.raises(UnknownClassError):
+            view.import_class(ford, "Spaceship")
+
+    def test_views_have_no_proper_data(self, two_dbs):
+        chrysler, _ = two_dbs
+        view = View("V")
+        view.import_database(chrysler)
+        with pytest.raises(ViewError):
+            view.create("Person", Name="X")
+
+    def test_new_base_class_appears_in_import_all_view(self, two_dbs):
+        chrysler, _ = two_dbs
+        view = View("V")
+        view.import_database(chrysler)
+        chrysler.define_class("Intern", parents=["Employee"])
+        assert view.has_class("Intern")
+
+    def test_new_subclass_appears_in_subtree_import(self, two_dbs):
+        chrysler, _ = two_dbs
+        view = View("V")
+        view.import_class(chrysler, "Employee")
+        chrysler.define_class("Intern", parents=["Employee"])
+        assert view.has_class("Intern")
+
+    def test_unrelated_new_class_not_in_subtree_import(self, two_dbs):
+        chrysler, _ = two_dbs
+        view = View("V")
+        view.import_class(chrysler, "Company")
+        chrysler.define_class("Gadget")
+        assert not view.has_class("Gadget")
+
+
+class TestHideAttribute:
+    @pytest.fixture
+    def view(self, employment_db):
+        v = View("V")
+        v.import_database(employment_db)
+        v.hide_attribute("Employee", "Salary")
+        return v
+
+    def test_hidden_attribute_raises(self, view):
+        employee = view.handles("Employee")[0]
+        with pytest.raises(HiddenAttributeError):
+            employee.Salary
+
+    def test_hiding_propagates_to_subclasses(self, view):
+        manager = next(
+            h
+            for h in view.handles("Employee")
+            if h.real_class == "Manager"
+        )
+        with pytest.raises(HiddenAttributeError):
+            manager.Salary
+
+    def test_subclass_attributes_survive(self, view):
+        """The §3 point: unlike projection, hide keeps Budget."""
+        manager = next(
+            h
+            for h in view.handles("Employee")
+            if h.real_class == "Manager"
+        )
+        assert manager.Budget is not None
+        assert manager.Name is not None
+
+    def test_hide_is_per_view(self, view, employment_db):
+        other = View("Other")
+        other.import_database(employment_db)
+        employee = other.handles("Employee")[0]
+        assert employee.Salary is not None
+
+    def test_hidden_in_queries_too(self, view):
+        with pytest.raises(HiddenAttributeError):
+            view.query("select E from Employee where E.Salary > 1")
+
+    def test_attribute_type_honors_hide(self, view):
+        with pytest.raises(HiddenAttributeError):
+            view.attribute_type("Employee", "Salary")
+
+    def test_attributes_of_excludes_hidden(self, view):
+        assert "Salary" not in view.attributes_of("Manager")
+        assert "Budget" in view.attributes_of("Manager")
+
+    def test_hide_unknown_class(self, view):
+        with pytest.raises(UnknownClassError):
+            view.hide_attribute("Ghost", "X")
+
+    def test_fallback_to_unhidden_definition_higher_up(self, employment_db):
+        """Hiding a subclass redefinition falls back to the original."""
+        db = Database("D")
+        db.define_class("A", attributes={"X": "integer"})
+        db.define_class("B", parents=["A"])
+        db.schema.define_attribute(
+            "B", "X", "integer", procedure=lambda s: 42
+        )
+        b = db.create("B")
+        view = View("V")
+        view.import_database(db)
+        assert view.get(b.oid).X == 42  # B's computed definition
+        view.hide_attribute("B", "X")
+        # B's definition is hidden; A's stored definition still applies.
+        assert view.get(b.oid).X is None
+
+    def test_view_definitions_ignore_hides(self, employment_db):
+        """§3: hides come last; the view's own attributes still work."""
+        view = View("V")
+        view.import_database(employment_db)
+        view.define_attribute(
+            "Employee", "Net", value="self.Salary - 1"
+        )
+        view.hide_attribute("Employee", "Salary")
+        employee = view.handles("Employee")[0]
+        assert employee.Net == view._providers[0].get(employee.oid).Salary - 1
+
+    def test_unhide(self, employment_db):
+        view = View("V")
+        view.import_database(employment_db)
+        view.hide_attribute("Employee", "Salary")
+        view.hides.unhide_attribute("Employee", "Salary")
+        view._invalidate()
+        assert view.handles("Employee")[0].Salary is not None
+
+
+class TestHideClass:
+    def test_hidden_class_invisible(self, employment_db):
+        view = View("V")
+        view.import_database(employment_db)
+        view.hide_class("Manager")
+        with pytest.raises(UnknownClassError):
+            view.extent("Manager")
+        assert not view.has_class("Manager")
+
+    def test_objects_remain_in_superclasses(self, employment_db):
+        view = View("V")
+        view.import_database(employment_db)
+        before = len(view.extent("Employee"))
+        view.hide_class("Manager")
+        assert len(view.extent("Employee")) == before
+
+    def test_membership_in_hidden_class_is_false(self, employment_db):
+        view = View("V")
+        view.import_database(employment_db)
+        manager_oid = next(iter(employment_db.extent("Manager", deep=False)))
+        view.hide_class("Manager")
+        assert not view.is_member(manager_oid, "Manager")
+        assert view.is_member(manager_oid, "Employee")
+
+
+class TestStacking:
+    def test_view_on_view(self, employment_db):
+        lower = View("Lower")
+        lower.import_database(employment_db)
+        lower.define_attribute(
+            "Employee", "Tag", value="'employee: ' + self.Name"
+        )
+        upper = View("Upper")
+        upper.import_database(lower)
+        employee = upper.handles("Employee")[0]
+        assert employee.Tag.startswith("employee: ")
+
+    def test_hide_in_lower_view_propagates(self, employment_db):
+        lower = View("Lower")
+        lower.import_database(employment_db)
+        lower.hide_attribute("Employee", "Salary")
+        upper = View("Upper")
+        upper.import_database(lower)
+        with pytest.raises(HiddenAttributeError):
+            upper.handles("Employee")[0].Salary
+
+    def test_three_level_stack(self, employment_db):
+        current = View("L0")
+        current.import_database(employment_db)
+        for level in range(1, 4):
+            nxt = View(f"L{level}")
+            nxt.import_database(current)
+            current = nxt
+        assert len(current.extent("Employee")) == len(
+            employment_db.extent("Employee")
+        )
+
+    def test_virtual_class_visible_through_stack(self, employment_db):
+        lower = View("Lower")
+        lower.import_database(employment_db)
+        lower.define_virtual_class(
+            "Veteran", includes=["select P from Person where P.Age >= 60"]
+        )
+        upper = View("Upper")
+        upper.import_database(lower)
+        assert len(upper.extent("Veteran")) == len(lower.extent("Veteran"))

@@ -1,0 +1,208 @@
+"""View unit tests for paths not covered elsewhere: object service,
+queries with parameters, behavioral matching on methods, attributes_of,
+and error behaviour."""
+
+import pytest
+
+from repro.core import View, like
+from repro.engine import Database
+from repro.engine.oid import Oid
+from repro.errors import (
+    UnknownClassError,
+    UnknownOidError,
+    VirtualClassError,
+)
+
+
+@pytest.fixture
+def view(tiny_view):
+    return tiny_view
+
+
+class TestObjectService:
+    def test_class_of_unknown_oid(self, view):
+        with pytest.raises(UnknownOidError):
+            view.class_of(Oid("Nowhere", 1))
+
+    def test_raw_value_unknown_oid(self, view):
+        with pytest.raises(UnknownOidError):
+            view.raw_value(Oid("Nowhere", 1))
+
+    def test_contains_oid(self, view, tiny_db):
+        known = next(iter(tiny_db.extent("Person")))
+        assert view.contains_oid(known)
+        assert not view.contains_oid(Oid("Nowhere", 1))
+
+    def test_contains_imaginary_oid(self, view):
+        view.define_imaginary_class(
+            "Tag", "select [N: P.Name] from P in Person"
+        )
+        oid = next(iter(view.extent("Tag")))
+        assert view.contains_oid(oid)
+        assert view.class_of(oid) == "Tag"
+
+    def test_get_returns_handle_bound_to_view(self, view, tiny_db):
+        oid = next(iter(tiny_db.extent("Person")))
+        handle = view.get(oid)
+        assert handle.scope is view
+
+
+class TestQueriesWithParameters:
+    def test_query_kwargs_bind_variables(self, view):
+        result = view.query(
+            "select P from Person where P.Age >= Cutoff", Cutoff=65
+        )
+        assert [h.Name for h in result] == ["Carol"]
+
+    def test_is_member_unknown_class_is_false(self, view, tiny_db):
+        oid = next(iter(tiny_db.extent("Person")))
+        assert not view.is_member(oid, "Ghost")
+
+
+class TestBehavioralOnMethods:
+    def test_printable_groups_by_method(self, tiny_db):
+        """The paper's Printable: classes *with a Print method*."""
+        navy = Database("Navy2")
+        navy.define_class(
+            "Doc",
+            attributes={
+                "Title": "string",
+                "Print": lambda self: f"doc {self.Title}",
+            },
+        )
+        navy.schema.define_attribute(
+            "Doc", "Print", "string", procedure=lambda s: f"doc {s.Title}"
+        )
+        navy.define_class("Blob", attributes={"Bytes": "string"})
+        navy.create("Doc", Title="T1")
+        navy.create("Blob", Bytes="x")
+        view = View("V")
+        view.import_database(navy)
+        view.define_spec_class(
+            "Printable_Spec", attributes={"Print": "string"}
+        )
+        view.define_virtual_class(
+            "Printable", includes=[like("Printable_Spec")]
+        )
+        assert view.like_matches("Printable_Spec") == ["Doc"]
+        assert len(view.extent("Printable")) == 1
+
+    def test_view_defined_typed_method_matches(self, view):
+        """A computed attribute whose type was inferred participates
+        in behavioral matching."""
+        view.define_attribute(
+            "Person", "Print", value="'p: ' + self.Name"
+        )
+        view.define_spec_class(
+            "Printable_Spec", attributes={"Print": "string"}
+        )
+        assert "Person" in view.like_matches("Printable_Spec")
+
+
+class TestAttributesOf:
+    def test_virtual_class_attributes(self, view):
+        view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        view.define_attribute("Adult", "Votes", value="true")
+        attrs = view.attributes_of("Adult")
+        assert "Votes" in attrs
+        assert "Name" in attrs  # inherited from Person
+
+    def test_hidden_definitions_removed(self, view):
+        view.hide_attribute("Person", "Income")
+        assert "Income" not in view.attributes_of("Person")
+
+    def test_attribute_type_of_view_attr(self, view):
+        from repro.engine.types import BOOLEAN
+
+        view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        view.define_attribute("Adult", "Votes", value="true")
+        assert view.attribute_type("Adult", "Votes") is BOOLEAN
+
+
+class TestErrorBehaviour:
+    def test_extent_of_unknown_class(self, view):
+        with pytest.raises(UnknownClassError):
+            view.extent("Ghost")
+
+    def test_attribute_type_of_hidden_class(self, view):
+        view.hide_class("Person")
+        with pytest.raises(UnknownClassError):
+            view.attribute_type("Person", "Name")
+
+    def test_query_member_over_unknown_class_fails_on_access(self, view):
+        view.define_virtual_class(
+            "Bad", includes=["select X from Ghost where X.A = 1"]
+        )
+        with pytest.raises(UnknownClassError):
+            view.extent("Bad")
+
+    def test_family_membership_check_requires_args(self, view, tiny_db):
+        view.define_virtual_class(
+            "Adult",
+            parameters=["A"],
+            includes=["select P from Person where P.Age > A"],
+        )
+        oid = next(iter(tiny_db.extent("Person")))
+        with pytest.raises(VirtualClassError):
+            view.is_member(oid, "Adult")
+
+    def test_import_same_database_twice_is_harmless(self, view, tiny_db):
+        count = len(view.extent("Person"))
+        view.import_database(tiny_db)
+        assert len(view.extent("Person")) == count
+
+
+class TestTypecheckOverViews:
+    def test_virtual_class_source_types(self, view):
+        from repro.engine.types import ClassType, SetType
+        from repro.query import TypeEnvironment, infer_query_type, parse_query
+
+        view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        tenv = TypeEnvironment(view)
+        t = infer_query_type(parse_query("select A from Adult"), tenv)
+        assert t == SetType(ClassType("Adult"))
+
+    def test_virtual_attribute_typed_in_queries(self, view):
+        from repro.engine.types import STRING, SetType
+        from repro.query import TypeEnvironment, infer_query_type, parse_query
+
+        view.define_attribute(
+            "Person", "Label", value="self.Name + '!'"
+        )
+        tenv = TypeEnvironment(view)
+        t = infer_query_type(
+            parse_query("select P.Label from P in Person"), tenv
+        )
+        assert t == SetType(STRING)
+
+    def test_hidden_attribute_fails_typecheck(self, view):
+        from repro.errors import HiddenAttributeError
+        from repro.query import TypeEnvironment, infer_query_type, parse_query
+
+        view.hide_attribute("Person", "Income")
+        tenv = TypeEnvironment(view)
+        with pytest.raises(HiddenAttributeError):
+            infer_query_type(
+                parse_query("select P.Income from P in Person"), tenv
+            )
+
+    def test_imaginary_core_types_visible(self, view):
+        from repro.engine.types import ClassType, SetType
+        from repro.query import TypeEnvironment, infer_query_type, parse_query
+
+        view.define_imaginary_class(
+            "Family",
+            "select [Husband: H] from H in Person"
+            " where H.Sex = 'male'",
+        )
+        tenv = TypeEnvironment(view)
+        t = infer_query_type(
+            parse_query("select F.Husband from F in Family"), tenv
+        )
+        assert t == SetType(ClassType("Person"))

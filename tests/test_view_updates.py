@@ -1,0 +1,235 @@
+"""Tests for updates through views (§6's deferred problem) and
+footnote-1 identity preservation."""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+from repro.errors import (
+    HiddenAttributeError,
+    ImaginaryObjectError,
+    ReadOnlyAttributeError,
+    ViewUpdateError,
+)
+
+
+@pytest.fixture
+def view(tiny_db):
+    v = View("V")
+    v.import_database(tiny_db)
+    return v
+
+
+def alice(scope):
+    return next(h for h in scope.handles("Person") if h.Name == "Alice")
+
+
+class TestStoredUpdatesRouteToBase:
+    def test_update_through_view_hits_base(self, view, tiny_db):
+        view.update(alice(view), "Age", 31)
+        assert alice(tiny_db).Age == 31
+
+    def test_base_validation_applies(self, view):
+        from repro.errors import ValueTypeError
+
+        with pytest.raises(ValueTypeError):
+            view.update(alice(view), "Age", "old")
+
+    def test_other_views_see_the_update(self, view, tiny_db):
+        other = View("Other")
+        other.import_database(tiny_db)
+        view.update(alice(view), "Income", 123)
+        assert alice(other).Income == 123
+
+    def test_virtual_class_membership_follows(self, view):
+        view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        dan = next(h for h in view.handles("Person") if h.Name == "Dan")
+        assert not dan.in_class("Adult")
+        view.update(dan, "Age", 40)
+        assert dan.in_class("Adult")
+
+    def test_update_through_stacked_view(self, view, tiny_db):
+        upper = View("Upper")
+        upper.import_database(view)
+        upper.update(alice(upper), "Age", 44)
+        assert alice(tiny_db).Age == 44
+
+    def test_hidden_attribute_not_updatable(self, view):
+        view.hide_attribute("Person", "Income")
+        with pytest.raises(HiddenAttributeError):
+            view.update(alice(view), "Income", 0)
+
+
+class TestComputedAttributeUpdaters:
+    def test_read_only_without_updater(self, view):
+        view.define_attribute("Person", "Label", value="self.Name")
+        with pytest.raises(ReadOnlyAttributeError):
+            view.update(alice(view), "Label", "x")
+
+    def test_updater_translates(self, view, tiny_db):
+        """Example 1's merged Address, made writable: assigning the
+        tuple decomposes into base updates."""
+        view.define_attribute(
+            "Person",
+            "Location",
+            value="[City: self.City]",
+            updater=lambda receiver, value: tiny_db.update(
+                receiver.oid, "City", value["City"]
+            ),
+        )
+        view.update(alice(view), "Location", {"City": "Lyon"})
+        assert alice(tiny_db).City == "Lyon"
+        assert alice(view).Location.City == "Lyon"
+
+    def test_updater_runs_with_hides_off(self, view, tiny_db):
+        view.define_attribute(
+            "Person",
+            "Wealth",
+            value="self.Income",
+            updater=lambda receiver, value: tiny_db.update(
+                receiver.oid, "Income", value
+            ),
+        )
+        view.hide_attribute("Person", "Income")
+        view.update(alice(view), "Wealth", 777)
+        assert alice(tiny_db).Income == 777
+
+    def test_updater_kept_by_resolution(self, view):
+        adef = view.define_attribute(
+            "Person", "X", value="1", updater=lambda r, v: None
+        )
+        resolved = view.resolve_attribute_for(
+            alice(view).oid, "X"
+        )
+        assert resolved.updater is adef.updater
+
+
+class TestImaginaryObjectsRefuseDirectAssignment:
+    def test_core_attribute_refused(self, tiny_db):
+        view = View("V")
+        view.import_class(tiny_db, "Person")
+        view.define_imaginary_class(
+            "Pair", "select [N: P.Name] from P in Person"
+        )
+        target = view.handles("Pair")[0]
+        with pytest.raises(ImaginaryObjectError):
+            view.update(target, "N", "zzz")
+
+    def test_unowned_object_refused(self, view):
+        from repro.engine.oid import Oid
+
+        view.schema.require("Person")
+        with pytest.raises(Exception):
+            view.update(Oid("Nowhere", 1), "Age", 1)
+
+
+class TestIdentityPreservation:
+    """Footnote 1: objects that keep identity across core changes."""
+
+    @pytest.fixture
+    def client_view(self):
+        db = Database("Ins")
+        db.define_class(
+            "Policy",
+            attributes={
+                "Num": "integer",
+                "Holder": "string",
+                "Address": "string",
+            },
+        )
+        p1 = db.create("Policy", Num=1, Holder="Maggy", Address="Downing")
+        p2 = db.create("Policy", Num=2, Holder="John", Address="Main")
+        view = View("V")
+        view.import_database(db)
+        view.define_imaginary_class(
+            "Client",
+            "select [Holder: P.Holder, Address: P.Address]"
+            " from P in Policy",
+        )
+        imag = view.imaginary_class("Client")
+        imag.preserve_identity_on(["Holder"])
+        return db, view, imag, p1, p2
+
+    def test_identity_survives_core_change(self, client_view):
+        db, view, imag, p1, p2 = client_view
+        before = {
+            view.raw_value(oid)["Holder"]: oid
+            for oid in view.extent("Client")
+        }
+        db.update(p1, "Address", "Elsewhere")
+        after = {
+            view.raw_value(oid)["Holder"]: oid
+            for oid in view.extent("Client")
+        }
+        assert after["Maggy"] == before["Maggy"]
+        assert imag.preserved_count == 1
+        assert imag.fresh_count == 2  # only the initial population
+
+    def test_value_is_migrated(self, client_view):
+        db, view, imag, p1, p2 = client_view
+        view.extent("Client")
+        db.update(p1, "Address", "Elsewhere")
+        maggy_oid = next(
+            oid
+            for oid in view.extent("Client")
+            if view.raw_value(oid)["Holder"] == "Maggy"
+        )
+        assert view.raw_value(maggy_oid)["Address"] == "Elsewhere"
+
+    def test_old_alias_removed(self, client_view):
+        """After migration, the *old* tuple reappearing mints a fresh
+        object rather than colliding with the migrated identity."""
+        db, view, imag, p1, p2 = client_view
+        view.extent("Client")
+        db.update(p1, "Address", "Elsewhere")
+        view.extent("Client")
+        db.update(p1, "Address", "Downing")  # back to the old tuple
+        maggy_oid = next(
+            oid
+            for oid in view.extent("Client")
+            if view.raw_value(oid)["Holder"] == "Maggy"
+        )
+        # Identity preserved again (key match), value back to Downing.
+        assert view.raw_value(maggy_oid)["Address"] == "Downing"
+
+    def test_merge_detected(self, client_view):
+        """Two distinct Maggy-objects collapse onto one new tuple: the
+        footnote's object-merging case, observed and logged."""
+        db, view, imag, p1, p2 = client_view
+        p3 = db.create("Policy", Num=3, Holder="Maggy", Address="Second")
+        view.extent("Client")  # two Maggy clients now
+        maggy_oids = {
+            oid
+            for oid in view.extent("Client")
+            if view.raw_value(oid)["Holder"] == "Maggy"
+        }
+        assert len(maggy_oids) == 2
+        # Both Maggy policies move to the same address: one tuple left.
+        db.update(p1, "Address", "Shared")
+        db.update(p3, "Address", "Shared")
+        view.extent("Client")
+        assert imag.merge_log
+        record = imag.merge_log[0]
+        assert set(record.candidates) <= maggy_oids
+        assert record.chosen in maggy_oids
+
+    def test_without_preservation_identity_churns(self):
+        db = Database("Ins")
+        db.define_class(
+            "Policy",
+            attributes={"Holder": "string", "Address": "string"},
+        )
+        p = db.create("Policy", Holder="Maggy", Address="A")
+        view = View("V")
+        view.import_database(db)
+        view.define_imaginary_class(
+            "Client",
+            "select [Holder: P.Holder, Address: P.Address]"
+            " from P in Policy",
+        )
+        before = set(view.extent("Client"))
+        db.update(p, "Address", "B")
+        after = set(view.extent("Client"))
+        assert before != after  # the paper's default behaviour

@@ -1,0 +1,189 @@
+"""Tests for §2: virtual attributes — the stored/computed blur."""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+from repro.engine.types import INTEGER, STRING, TupleType
+from repro.errors import ViewError
+
+
+@pytest.fixture
+def view(tiny_view):
+    return tiny_view
+
+
+def person(view, name):
+    return next(h for h in view.handles("Person") if h.Name == name)
+
+
+class TestDefinitionForms:
+    def test_expression_text(self, view):
+        view.define_attribute(
+            "Person", "Label", value="self.Name + '/' + self.City"
+        )
+        assert person(view, "Alice").Label == "Alice/Paris"
+
+    def test_python_callable(self, view):
+        view.define_attribute(
+            "Person", "Doubled", value=lambda self: self.Age * 2
+        )
+        assert person(view, "Alice").Doubled == 60
+
+    def test_query_value(self, view):
+        view.define_attribute(
+            "Person",
+            "Peers",
+            value="select P from Person where P.City = self.City",
+        )
+        peers = person(view, "Alice").Peers
+        assert sorted(h.Name for h in peers) == ["Alice", "Bob"]
+
+    def test_parsed_expression(self, view):
+        from repro.query import parse_expression
+
+        view.define_attribute(
+            "Person", "Initial", value=parse_expression("self.Name")
+        )
+        assert person(view, "Eve").Initial == "Eve"
+
+    def test_stored_attribute_declaration(self, view):
+        adef = view.define_attribute("Person", "Nickname", "string")
+        assert not adef.is_computed()
+
+    def test_bad_value_spec(self, view):
+        with pytest.raises(ViewError):
+            view.define_attribute("Person", "X", value=42)
+
+    def test_attribute_with_arguments(self, view):
+        view.define_attribute(
+            "Person",
+            "Older_Than",
+            value=lambda self, years: self.Age > years,
+            arity=1,
+        )
+        assert person(view, "Carol").invoke("Older_Than", 65)
+        assert not person(view, "Dan").invoke("Older_Than", 65)
+
+
+class TestMergeAndSplit:
+    def test_example_1_merge(self, view):
+        """Example 1: merging several attributes."""
+        view.define_attribute(
+            "Person",
+            "Address",
+            value="[City: self.City, Name: self.Name]",
+        )
+        address = person(view, "Alice").Address
+        assert address.City == "Paris"
+
+    def test_split_complex_attribute(self):
+        """§2: the inverse restructuring — splitting."""
+        db = Database("D")
+        db.define_class(
+            "Contact",
+            attributes={
+                "Home": {"Address": "string", "Telephone": "string"},
+                "Office": {"Address": "string", "Telephone": "string"},
+            },
+        )
+        db.create(
+            "Contact",
+            Home={"Address": "H", "Telephone": "1"},
+            Office={"Address": "O", "Telephone": "2"},
+        )
+        view = View("V")
+        view.import_database(db)
+        view.define_attribute(
+            "Contact",
+            "Addresses",
+            value="[Home: self.Home.Address, Office: self.Office.Address]",
+        )
+        view.define_attribute(
+            "Contact",
+            "Telephones",
+            value="[Home: self.Home.Telephone,"
+            " Office: self.Office.Telephone]",
+        )
+        contact = view.handles("Contact")[0]
+        assert contact.Addresses.Home == "H"
+        assert contact.Telephones.Office == "2"
+
+
+class TestTypeInference:
+    def test_tuple_type_inferred(self, view):
+        adef = view.define_attribute(
+            "Person",
+            "Pair",
+            value="[N: self.Name, A: self.Age]",
+        )
+        assert adef.declared_type == TupleType({"N": STRING, "A": INTEGER})
+
+    def test_declared_type_wins(self, view):
+        adef = view.define_attribute(
+            "Person", "Z", declared_type="integer", value="self.Age"
+        )
+        assert adef.declared_type is INTEGER
+
+    def test_callable_has_no_inferred_type(self, view):
+        adef = view.define_attribute(
+            "Person", "W", value=lambda self: 1
+        )
+        assert adef.declared_type is None
+
+    def test_inference_failure_leaves_untyped(self, view):
+        adef = view.define_attribute(
+            "Person", "Odd", value="self.Name + self.Age"
+        )
+        assert adef.declared_type is None
+
+
+class TestOverloadingPerClass:
+    def test_stored_in_base_computed_in_subclass(self, employment_db):
+        """§2: Address stored in Employee, computed in Manager."""
+        view = View("V")
+        view.import_database(employment_db)
+        view.define_attribute("Employee", "Location", "string")
+        view.define_attribute(
+            "Manager", "Location", value="self.Company.Address"
+        )
+        manager = next(
+            h
+            for h in view.handles("Employee")
+            if h.real_class == "Manager"
+        )
+        plain = next(
+            h
+            for h in view.handles("Employee")
+            if h.real_class == "Employee"
+        )
+        assert manager.Location == manager.Company.Address
+        assert plain.Location is None  # stored, never assigned
+
+    def test_view_overrides_base_attribute(self, view):
+        view.define_attribute("Person", "Age", value="99")
+        assert person(view, "Dan").Age == 99
+
+    def test_base_unchanged_by_view_definition(self, view, tiny_db):
+        view.define_attribute("Person", "Age", value="99")
+        dan = next(h for h in tiny_db.handles("Person") if h.Name == "Dan")
+        assert dan.Age == 15
+
+
+class TestAttributeBodiesSeeTheView:
+    def test_body_uses_other_virtual_attributes(self, view):
+        view.define_attribute("Person", "A1", value="self.Age + 1")
+        view.define_attribute("Person", "A2", value="self.A1 + 1")
+        assert person(view, "Dan").A2 == 17
+
+    def test_body_uses_registered_function(self, view):
+        view.register_function("gsd", lambda p: 5000 - p.Income)
+        view.define_attribute("Person", "Deduction", value="gsd(self)")
+        assert person(view, "Eve").Deduction == 1000
+
+    def test_body_navigates_through_handles(self, view):
+        view.define_attribute(
+            "Person", "Spouse_City", value="self.Spouse.City"
+        )
+        assert person(view, "Bob").Spouse_City == "Paris"
+        assert person(view, "Carol").Spouse_City is None

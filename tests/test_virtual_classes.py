@@ -1,0 +1,297 @@
+"""Tests for §4.1: virtual class populations (specialization,
+generalization, behavioral generalization) and membership."""
+
+import pytest
+
+from repro.core import View, like, predicate
+from repro.engine import Database
+from repro.errors import (
+    DirectInsertionError,
+    ObjectError,
+    VirtualClassError,
+)
+from repro.query import select, var
+
+
+def names(view, class_name):
+    return sorted(h.Name for h in view.handles(class_name))
+
+
+class TestSpecialization:
+    def test_query_text(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        assert names(tiny_view, "Adult") == ["Alice", "Bob", "Carol", "Eve"]
+
+    def test_builder_query(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult",
+            includes=[
+                select("P").from_("Person").where(var("P").Age >= 21)
+            ],
+        )
+        assert len(tiny_view.extent("Adult")) == 4
+
+    def test_python_predicate(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=[predicate("Person", lambda p: p.Age >= 21)]
+        )
+        assert len(tiny_view.extent("Adult")) == 4
+
+    def test_population_follows_updates(self, tiny_view, tiny_db):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        dan = next(h for h in tiny_db.handles("Person") if h.Name == "Dan")
+        assert not tiny_view.is_member(dan.oid, "Adult")
+        tiny_db.update(dan, "Age", 21)
+        assert tiny_view.is_member(dan.oid, "Adult")
+        assert "Dan" in names(tiny_view, "Adult")
+
+    def test_population_follows_creates_and_deletes(self, tiny_view, tiny_db):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        extra = tiny_db.create("Person", Name="Zoe", Age=50)
+        assert "Zoe" in names(tiny_view, "Adult")
+        tiny_db.delete(extra)
+        assert "Zoe" not in names(tiny_view, "Adult")
+
+    def test_tuple_query_rejected(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Bad", includes=["select [N: P.Name] from P in Person"]
+        )
+        with pytest.raises(VirtualClassError, match="imaginary"):
+            tiny_view.extent("Bad")
+
+    def test_top_down_stack(self, tiny_view):
+        """Example 3: Senior carved out of Adult."""
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        tiny_view.define_virtual_class(
+            "Senior", includes=["select A from Adult where A.Age >= 65"]
+        )
+        assert names(tiny_view, "Senior") == ["Carol"]
+
+
+class TestGeneralization:
+    def test_union_of_classes(self, navy_view):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        expected = len(navy_view.extent("Tanker")) + len(
+            navy_view.extent("Trawler")
+        )
+        assert len(navy_view.extent("Merchant_Vessel")) == expected
+
+    def test_example_4_bottom_up(self, navy_view):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        navy_view.define_virtual_class(
+            "Military_Vessel", includes=["Frigate", "Cruiser"]
+        )
+        navy_view.define_virtual_class(
+            "Boat", includes=["Merchant_Vessel", "Military_Vessel"]
+        )
+        assert len(navy_view.extent("Boat")) == len(
+            navy_view.extent("Ship")
+        )
+
+    def test_mixed_population(self, tiny_view):
+        """Example 2's shape: classes + a query."""
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        tiny_view.define_virtual_class(
+            "Senior", includes=["select A from Adult where A.Age >= 65"]
+        )
+        tiny_view.define_virtual_class(
+            "Government_Supported",
+            includes=[
+                "Senior",
+                "select A in Adult where A.Income < 5,000",
+            ],
+        )
+        assert names(tiny_view, "Government_Supported") == [
+            "Bob",
+            "Carol",
+            "Eve",
+        ]
+
+    def test_new_member_object_joins(self, navy_view, navy_db):
+        navy_view.define_virtual_class(
+            "Merchant_Vessel", includes=["Tanker", "Trawler"]
+        )
+        before = len(navy_view.extent("Merchant_Vessel"))
+        navy_db.create("Tanker", Name="New", Tonnage=10, Cargo="oil",
+                       Capacity=10)
+        assert len(navy_view.extent("Merchant_Vessel")) == before + 1
+
+
+class TestBehavioralGeneralization:
+    @pytest.fixture
+    def retail_view(self):
+        from repro.workloads import build_retail_db
+
+        db = build_retail_db(objects_per_class=3, seed=1)
+        view = View("V")
+        view.import_database(db)
+        view.define_spec_class(
+            "On_Sale_Spec",
+            attributes={"Price": "dollar", "Discount": "integer"},
+        )
+        view.define_virtual_class(
+            "On_Sale", includes=[like("On_Sale_Spec")]
+        )
+        return db, view
+
+    def test_matches_by_type(self, retail_view):
+        _, view = retail_view
+        assert set(view.like_matches("On_Sale_Spec")) == {
+            "Car",
+            "House",
+            "Company",
+        }
+
+    def test_population_is_union_of_matches(self, retail_view):
+        _, view = retail_view
+        assert len(view.extent("On_Sale")) == 9
+
+    def test_distractors_excluded(self, retail_view):
+        _, view = retail_view
+        assert "Contract" not in view.like_matches("On_Sale_Spec")
+
+    def test_new_class_joins_without_redefinition(self, retail_view):
+        """The paper's Boat argument (§4.2)."""
+        db, view = retail_view
+        from repro.workloads import add_sellable_class
+
+        add_sellable_class(db, 0, objects=2)
+        assert "New_Sellable_0" in view.like_matches("On_Sale_Spec")
+        assert len(view.extent("On_Sale")) == 11
+
+    def test_behavioral_equivalent_to_enumerated(self, retail_view):
+        """On_Sale and On_Sale_Bis denote the same population."""
+        _, view = retail_view
+        view.define_virtual_class(
+            "On_Sale_Bis", includes=["Car", "House", "Company"]
+        )
+        assert view.extent("On_Sale").members == view.extent(
+            "On_Sale_Bis"
+        ).members
+
+    def test_membership_shortcut(self, retail_view):
+        _, view = retail_view
+        car = view.handles("Car")[0]
+        contract = view.handles("Contract")[0]
+        assert view.is_member(car.oid, "On_Sale")
+        assert not view.is_member(contract.oid, "On_Sale")
+
+    def test_like_string_spelling(self, retail_view):
+        _, view = retail_view
+        view.define_virtual_class(
+            "Also_On_Sale", includes=["like On_Sale_Spec"]
+        )
+        assert view.extent("Also_On_Sale").members == view.extent(
+            "On_Sale"
+        ).members
+
+
+class TestMembership:
+    def test_no_direct_insertion_api(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        with pytest.raises(Exception):
+            tiny_view.create("Adult", Name="X")
+
+    def test_base_database_refuses_virtual_creation(self, tiny_db):
+        from repro.engine.schema import ClassKind
+
+        tiny_db.schema.define_class(
+            "Virtualish", kind=ClassKind.VIRTUAL
+        )
+        with pytest.raises(ObjectError):
+            tiny_db.create("Virtualish")
+
+    def test_overlapping_memberships(self, tiny_view):
+        """An object may belong to several incomparable virtual
+        classes (§4.2)."""
+        tiny_view.define_virtual_class(
+            "Rich", includes=["select P from Person where P.Income > 8,000"]
+        )
+        tiny_view.define_virtual_class(
+            "Parisian", includes=["select P from Person where P.City = 'Paris'"]
+        )
+        alice = next(
+            h for h in tiny_view.handles("Person") if h.Name == "Alice"
+        )
+        assert alice.in_class("Rich")
+        assert alice.in_class("Parisian")
+
+    def test_defined_overlap_class(self, tiny_view):
+        """Rich&Beautiful-style overlap class."""
+        tiny_view.define_virtual_class(
+            "Rich", includes=["select P from Person where P.Income > 3,000"]
+        )
+        tiny_view.define_virtual_class(
+            "Parisian",
+            includes=["select P from Person where P.City = 'Paris'"],
+        )
+        tiny_view.define_virtual_class(
+            "Rich&Parisian",
+            includes=["select P from Rich where P in Parisian"],
+        )
+        assert names(tiny_view, "Rich&Parisian") == ["Alice"]
+
+    def test_duplicate_virtual_class_rejected(self, tiny_view):
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        with pytest.raises(VirtualClassError):
+            tiny_view.define_virtual_class(
+                "Adult", includes=["select P from Person"]
+            )
+
+    def test_empty_includes_rejected(self, tiny_view):
+        with pytest.raises(VirtualClassError):
+            tiny_view.define_virtual_class("Empty", includes=[])
+
+    def test_population_caching_and_invalidation(self, tiny_view, tiny_db):
+        vclass = tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        first = vclass.population()
+        second = vclass.population()
+        assert first is second  # cached
+        tiny_db.create("Person", Name="New", Age=30)
+        third = vclass.population()
+        assert len(third) == len(first) + 1
+
+
+class TestRecursionSafety:
+    def test_self_referential_population(self, tiny_view):
+        """A class whose query ranges over itself converges to empty
+        for the self-referential part instead of looping."""
+        tiny_view.define_virtual_class(
+            "Weird", includes=["select W from Weird where W.Age > 1"]
+        )
+        assert len(tiny_view.extent("Weird")) == 0
+
+    def test_sibling_under_evaluation_not_cached_truncated(self, tiny_view):
+        """Regression: a sibling virtual class evaluated inside another
+        class's recursion-guard window must not cache a truncated
+        population."""
+        tiny_view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        tiny_view.define_virtual_class(
+            "Senior", includes=["select A from Adult where A.Age >= 65"]
+        )
+        # Trigger the nested evaluation path first:
+        assert len(tiny_view.extent("Person")) == 5
+        assert names(tiny_view, "Senior") == ["Carol"]
+        assert names(tiny_view, "Senior") == ["Carol"]  # stable

@@ -1,0 +1,86 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.workloads import (
+    add_sellable_class,
+    build_employment_db,
+    build_navy_db,
+    build_people_db,
+    build_policy_relational,
+    build_retail_db,
+    build_staff_db,
+)
+
+
+class TestDeterminism:
+    def test_people_same_seed_same_data(self):
+        a = build_people_db(30, seed=7)
+        b = build_people_db(30, seed=7)
+        assert [h.value() for h in a.handles("Person")] == [
+            h.value() for h in b.handles("Person")
+        ]
+
+    def test_people_different_seed_differs(self):
+        a = build_people_db(30, seed=7)
+        b = build_people_db(30, seed=8)
+        assert [h.Age for h in a.handles("Person")] != [
+            h.Age for h in b.handles("Person")
+        ]
+
+    def test_navy_deterministic(self):
+        a = build_navy_db(5, seed=3)
+        b = build_navy_db(5, seed=3)
+        assert [h.value() for h in a.handles("Ship")] == [
+            h.value() for h in b.handles("Ship")
+        ]
+
+
+class TestShapes:
+    def test_people_count(self):
+        db = build_people_db(25, seed=0)
+        assert len(db.extent("Person")) == 25
+
+    def test_people_spouses_are_mutual(self):
+        db = build_people_db(60, seed=1)
+        for person in db.handles("Person"):
+            spouse = person.Spouse
+            if spouse is not None:
+                assert spouse.Spouse == person
+
+    def test_employment_hierarchy(self):
+        db = build_employment_db(80, seed=2)
+        managers = db.extent("Manager")
+        employees = db.extent("Employee")
+        assert managers.members <= employees.members
+        assert all(
+            db.get(m).Budget is not None for m in managers
+        )
+
+    def test_navy_attribute_split(self):
+        db = build_navy_db(3, seed=0)
+        for tanker in db.handles("Tanker"):
+            assert tanker.Cargo is not None
+        for frigate in db.handles("Frigate"):
+            assert frigate.Armament is not None
+
+    def test_policy_relation_columns(self):
+        rdb = build_policy_relational(10, seed=0)
+        policy = rdb.relation("Policy")
+        assert "SS#" in policy.columns
+        assert len(policy) == 10
+
+    def test_staff_addresses_shared(self):
+        db = build_staff_db(30, seed=0)
+        addresses = {
+            (h.City, h.Street, h.Number) for h in db.handles("Person")
+        }
+        assert len(addresses) < 30  # pooled addresses are reused
+
+    def test_retail_extra_classes(self):
+        db = build_retail_db(objects_per_class=2, extra_sellable=2, seed=0)
+        assert "Sellable_0" in db.schema
+        assert "Sellable_1" in db.schema
+
+    def test_add_sellable_class(self):
+        db = build_retail_db(objects_per_class=2, seed=0)
+        name = add_sellable_class(db, 0, objects=3)
+        assert len(db.extent(name)) == 3

@@ -1,0 +1,268 @@
+"""E13 — Incremental view maintenance (§4/§6).
+
+The paper frames virtual-class population as "the traditional problem
+of materialized views" generalized to objects. This bench measures the
+dependency-tracked maintenance machinery:
+
+- E13a: a cached population must *survive* mutations to classes it
+  never read — lookups after unrelated-class churn are pure cache hits
+  (``full_recomputes == 0``) and beat a from-scratch evaluation by an
+  order of magnitude;
+- E13b: mutations to the source class are repaired by *delta patching*
+  (re-testing only the mutated oids), again without full recomputes;
+- E13c: the relational baseline — a :class:`RelationalView` keyed on
+  its base relation's version stops recomputing when the base is
+  untouched.
+
+Every phase ends with the tier-2 invariant: the maintained population
+equals a from-scratch recompute.
+"""
+
+import random
+
+from common import emit, verify_view_maintenance
+from repro.bench import Table, ratio, scaled, stats_table, time_call
+from repro.core import View
+from repro.relational import RelationalDatabase, define_view
+from repro.workloads import build_people_db
+
+PEOPLE = scaled(2_000)
+PRODUCTS = scaled(1_000)
+MUTATIONS = 50
+
+ADULT = "select P from Person where P.Age >= 21"
+
+
+def build():
+    """People plus an unrelated Product class in the same database."""
+    db = build_people_db(PEOPLE, seed=13)
+    db.define_class(
+        "Product",
+        attributes={"Label": "string", "Price": "integer"},
+    )
+    rng = random.Random(131)
+    for index in range(PRODUCTS):
+        db.create(
+            "Product",
+            Label=f"Item_{index}",
+            Price=rng.randrange(1, 1_000),
+        )
+    view = View("V")
+    view.import_database(db)
+    view.define_virtual_class("Adult", includes=[ADULT])
+    return db, view
+
+
+def run_unrelated_churn() -> Table:
+    db, view = build()
+    vclass = view.virtual_class("Adult")
+    rng = random.Random(7)
+    products = list(db.extent("Product"))
+    vclass.population()  # warm the cache
+    view.reset_stats()
+    for _ in range(MUTATIONS):
+        oid = products[rng.randrange(len(products))]
+        db.update(oid, "Price", rng.randrange(1, 1_000))
+        vclass.population()
+    # Copy the counters before the timing calls below touch the cache.
+    hits, patches, recomputes = (
+        view.stats.hits,
+        view.stats.delta_patches,
+        view.stats.full_recomputes,
+    )
+    hit_cost = time_call(lambda: vclass.population(), repeat=3)
+    fresh_cost = time_call(
+        lambda: vclass.population(use_cache=False), repeat=3
+    )
+    table = Table(
+        "E13a lookups after unrelated-class (Product) mutations",
+        ["series", "value"],
+    )
+    table.add_row("mutations applied", MUTATIONS)
+    table.add_row("cache hits", hits)
+    table.add_row("delta patches", patches)
+    table.add_row("full recomputes", recomputes)
+    table.add_row("cached lookup (us)", hit_cost * 1e6)
+    table.add_row("from-scratch lookup (us)", fresh_cost * 1e6)
+    table.add_row("speedup (x)", ratio(fresh_cost, hit_cost))
+    assert recomputes == 0, (
+        "unrelated-class mutations must not force recomputes, got"
+        f" {recomputes}"
+    )
+    assert ratio(fresh_cost, hit_cost) >= 10, (
+        "cached lookup must be >=10x faster than recompute, got"
+        f" {ratio(fresh_cost, hit_cost):.1f}x"
+    )
+    checked = verify_view_maintenance(view)
+    table.note(
+        f"invariant: maintained == from-scratch for {checked} class(es)"
+    )
+    table.note("claim: per-class versions keep unrelated churn invisible")
+    return table
+
+
+def run_delta_patching() -> Table:
+    db, view = build()
+    vclass = view.virtual_class("Adult")
+    rng = random.Random(17)
+    people = list(db.extent("Person"))
+    vclass.population()  # warm the cache
+    view.reset_stats()
+    for _ in range(MUTATIONS):
+        oid = people[rng.randrange(len(people))]
+        db.update(oid, "Age", rng.randrange(0, 95))
+        vclass.population()
+    patches, recomputes = (
+        view.stats.delta_patches,
+        view.stats.full_recomputes,
+    )
+    # Per-lookup costs of the three serving modes.
+    hit_cost = time_call(lambda: vclass.population(), repeat=3)
+
+    def one_patch():
+        oid = people[rng.randrange(len(people))]
+        db.update(oid, "Age", rng.randrange(0, 95))
+        return vclass.population()
+
+    patch_cost = time_call(one_patch, repeat=3)
+    fresh_cost = time_call(
+        lambda: vclass.population(use_cache=False), repeat=3
+    )
+    table = Table(
+        "E13b lookups after source-class (Person.Age) mutations",
+        ["series", "value"],
+    )
+    table.add_row("mutations applied", MUTATIONS)
+    table.add_row("delta patches", patches)
+    table.add_row("full recomputes", recomputes)
+    table.add_row("cache-hit lookup (us)", hit_cost * 1e6)
+    table.add_row("delta-patched lookup (us)", patch_cost * 1e6)
+    table.add_row("from-scratch lookup (us)", fresh_cost * 1e6)
+    table.add_row(
+        "patch vs recompute (x)", ratio(fresh_cost, patch_cost)
+    )
+    assert recomputes == 0, (
+        "source mutations should delta-patch, not recompute, got"
+        f" {recomputes}"
+    )
+    assert patches == MUTATIONS
+    checked = verify_view_maintenance(view)
+    table.note(
+        f"invariant: maintained == from-scratch for {checked} class(es)"
+    )
+    table.note(
+        "claim: repairing one mutated oid beats re-filtering the extent"
+    )
+    return table
+
+
+def run_relational_baseline() -> Table:
+    rdb = RelationalDatabase("R")
+    base = rdb.create_relation("Person", ["Name", "Age", "City"])
+    rng = random.Random(23)
+    for index in range(PEOPLE):
+        base.insert(f"P_{index}", rng.randrange(0, 95), "Paris")
+    rel_view = define_view(
+        rdb, "Adults", "Person", ["Name", "Age"],
+        predicate=lambda row: row["Age"] >= 21,
+    )
+    rel_view.rows()  # warm
+    steady_cost = time_call(lambda: len(rel_view.rows()), repeat=3)
+    steady_hits = rel_view.cache_hits
+
+    def churn_and_read():
+        base.update_where(
+            lambda row: row["Name"] == "P_0", Age=rng.randrange(0, 95)
+        )
+        return len(rel_view.rows())
+
+    churn_cost = time_call(churn_and_read, repeat=3)
+    table = Table(
+        "E13c relational view keyed on base version",
+        ["series", "value"],
+    )
+    table.add_row("steady-state read (us)", steady_cost * 1e6)
+    table.add_row("read after base change (us)", churn_cost * 1e6)
+    table.add_row("cache hits (steady)", steady_hits)
+    table.add_row("recomputes (total)", rel_view.recomputes)
+    assert steady_hits > 0, "untouched base must serve from cache"
+    table.note("claim: an untouched base never forces a recompute")
+    return table
+
+
+def run_stats_report() -> Table:
+    db, view = build()
+    vclass = view.virtual_class("Adult")
+    rng = random.Random(29)
+    people = list(db.extent("Person"))
+    products = list(db.extent("Product"))
+    vclass.population()
+    view.reset_stats()
+    for step in range(MUTATIONS):
+        if step % 2 == 0:
+            db.update(
+                products[rng.randrange(len(products))],
+                "Price",
+                rng.randrange(1, 1_000),
+            )
+        else:
+            db.update(
+                people[rng.randrange(len(people))],
+                "Age",
+                rng.randrange(0, 95),
+            )
+        vclass.population()
+    return stats_table(view, title="E13d mixed-churn maintenance stats")
+
+
+def test_e13_cached_lookup(benchmark):
+    db, view = build()
+    vclass = view.virtual_class("Adult")
+    products = list(db.extent("Product"))
+    rng = random.Random(7)
+    vclass.population()
+
+    def lookup():
+        db.update(
+            products[rng.randrange(len(products))],
+            "Price",
+            rng.randrange(1, 1_000),
+        )
+        return len(vclass.population())
+
+    benchmark(lookup)
+
+
+def test_e13_delta_patched_lookup(benchmark):
+    db, view = build()
+    vclass = view.virtual_class("Adult")
+    people = list(db.extent("Person"))
+    rng = random.Random(17)
+    vclass.population()
+
+    def lookup():
+        db.update(
+            people[rng.randrange(len(people))],
+            "Age",
+            rng.randrange(0, 95),
+        )
+        return len(vclass.population())
+
+    benchmark(lookup)
+
+
+def test_e13_report(benchmark):
+    def report():
+        emit(run_unrelated_churn())
+        emit(run_delta_patching())
+        emit(run_relational_baseline())
+        emit(run_stats_report())
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(run_unrelated_churn())
+    emit(run_delta_patching())
+    emit(run_relational_baseline())
+    emit(run_stats_report())

@@ -33,3 +33,26 @@ def emit(table: Table) -> None:
     print(rendered)
     with open(RESULTS_PATH, "a") as f:
         f.write(rendered + "\n\n")
+
+
+def verify_view_maintenance(view) -> int:
+    """Tier-2 invariant: delta-maintained populations == from-scratch.
+
+    For every virtual class of the view, the population the maintenance
+    machinery would serve (cache hit or delta patch) must equal the
+    population computed from scratch. Returns the number of classes
+    checked; raises AssertionError on any divergence. Benches that
+    mutate base data call this after their timed phases.
+    """
+    checked = 0
+    for vclass in view.virtual_classes():
+        maintained = set(vclass.population().members)
+        fresh = set(vclass.population(use_cache=False).members)
+        assert maintained == fresh, (
+            f"view {view.scope_name!r}, class {vclass.name!r}: maintained"
+            f" population diverged from recompute"
+            f" (maintained-only={sorted(maintained - fresh)},"
+            f" fresh-only={sorted(fresh - maintained)})"
+        )
+        checked += 1
+    return checked

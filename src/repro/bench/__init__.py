@@ -6,6 +6,7 @@ from .harness import (
     microseconds,
     ratio,
     scaled,
+    stats_table,
     throughput,
     time_call,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "microseconds",
     "ratio",
     "scaled",
+    "stats_table",
     "throughput",
     "time_call",
 ]

@@ -121,6 +121,29 @@ def _format_cell(value) -> str:
     return str(value)
 
 
+def stats_table(view, title: str = "view maintenance stats") -> Table:
+    """A table over a view's :class:`~repro.core.stats.ViewStats`.
+
+    Benches print this after a phase to show how the phase was served
+    (cache hits vs delta patches vs full recomputes — experiment E13).
+    """
+    stats = view.stats
+    table = Table(
+        title,
+        ["view", "hits", "misses", "delta patches", "full recomputes"],
+    )
+    table.add_row(
+        view.scope_name,
+        stats.hits,
+        stats.misses,
+        stats.delta_patches,
+        stats.full_recomputes,
+    )
+    for name, count in sorted(stats.invalidations_by_class.items()):
+        table.note(f"invalidations from {name}: {count}")
+    return table
+
+
 def microseconds(seconds: float) -> float:
     return seconds * 1e6
 

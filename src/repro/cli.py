@@ -38,6 +38,7 @@ Dot commands:
   .schema CLASS       show a class's attributes and parents
   .extent CLASS       list the extent of a class
   .explain QUERY      show the access plan for a query
+  .stats [reset]      view-maintenance cache counters of the current view
   .load FILE          execute a script file
   .quit               leave the shell"""
 
@@ -100,6 +101,8 @@ class Session:
         if command == ".explain":
             scope = self._require_scope()
             return explain(argument, scope)
+        if command == ".stats":
+            return self._stats(argument)
         if command == ".load":
             with open(argument) as f:
                 return self._statements(f.read())
@@ -129,6 +132,19 @@ class Session:
                 f"{suffix}"
             )
         return "\n".join(lines)
+
+    def _stats(self, argument: str) -> str:
+        scope = self._require_scope()
+        stats = getattr(scope, "stats", None)
+        if stats is None:
+            return (
+                f"{getattr(scope, 'scope_name', scope)!s} is not a view;"
+                " maintenance stats are tracked per view"
+            )
+        if argument == "reset":
+            stats.reset()
+            return "stats reset"
+        return stats.describe()
 
     def _query(self, text: str) -> str:
         scope = self._require_scope()

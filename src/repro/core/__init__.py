@@ -34,6 +34,7 @@ from .resolution import (
     ResolutionStats,
     Resolver,
 )
+from .stats import ViewStats
 from .upward import acquired_attributes
 from .view import View
 from .virtual_classes import VirtualClass
@@ -57,6 +58,7 @@ __all__ = [
     "ResolutionStats",
     "Resolver",
     "View",
+    "ViewStats",
     "VirtualClass",
     "acquired_attributes",
     "apply_placement",

@@ -34,6 +34,12 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..engine.oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
 from ..engine.objects import TupleValue, unwrap
 from ..engine.schema import AttributeDef, AttributeKind
+from ..engine.tracking import (
+    ACTIVE_TRACKERS,
+    DependencyTracker,
+    FrozenDependencySet,
+    replay_dependencies,
+)
 from ..engine.types import TupleType
 from ..engine.values import canonicalize
 from ..errors import ImaginaryObjectError, UnknownOidError
@@ -67,7 +73,10 @@ class ImaginaryClass:
         self._by_tuple: Dict[object, Oid] = {}
         self._values: Dict[Oid, Dict[str, object]] = {}
         self._current: Set[Oid] = set()
-        self._refreshed_version: Optional[int] = None
+        # What the last refresh read, and the version snapshot over it;
+        # the population is re-evaluated only when a dependency moved.
+        self._refresh_deps: Optional[FrozenDependencySet] = None
+        self._refresh_snapshot: Optional[tuple] = None
         # Footnote 1 ("more sophisticated approaches in which an object
         # preserves its identity when its core attributes change"):
         # when set, tuples are matched to vanished predecessors by this
@@ -142,12 +151,18 @@ class ImaginaryClass:
     # ------------------------------------------------------------------
 
     def population(self) -> OidSet:
-        """The current population, refreshing if the view changed."""
-        version = getattr(self._view, "version", None)
-        if version is None or version != self._refreshed_version:
-            tainted = self._refresh_with_guard()
-            if not tainted:
-                self._refreshed_version = version
+        """The current population, refreshing if a dependency moved."""
+        view = self._view
+        snapshot_of = getattr(view, "dependency_snapshot", None)
+        if snapshot_of is not None and self._refresh_deps is not None:
+            if snapshot_of(self._refresh_deps) == self._refresh_snapshot:
+                view.stats.record_hit()
+                if ACTIVE_TRACKERS:
+                    replay_dependencies(self._refresh_deps)
+                if not self._current:
+                    return EMPTY_OID_SET
+                return OidSet.of(self._current)
+        self._refresh_with_guard()
         if not self._current:
             return EMPTY_OID_SET
         return OidSet.of(self._current)
@@ -157,11 +172,26 @@ class ImaginaryClass:
         protocol (see :meth:`VirtualClass.population`). Returns True
         when the refresh ran in a tainted (cycle-truncated) window and
         must not be treated as up to date."""
-        stack = getattr(self._view, "_population_stack", None)
+        view = self._view
+        snapshot_of = getattr(view, "dependency_snapshot", None)
+
+        def tracked_refresh() -> None:
+            if snapshot_of is None:
+                self.refresh()
+                return
+            tracker = DependencyTracker()
+            with tracker:
+                self.refresh()
+            deps = tracker.deps.frozen()
+            self._refresh_deps = deps
+            self._refresh_snapshot = snapshot_of(deps)
+            view.stats.record_full_recompute()
+
+        stack = getattr(view, "_population_stack", None)
         if stack is None:
-            self.refresh()
+            tracked_refresh()
             return False
-        taint = self._view._population_taint
+        taint = view._population_taint
         marker = f"~{self._name}"
         if marker in stack:
             taint.update(range(stack.index(marker) + 1, len(stack)))
@@ -169,11 +199,16 @@ class ImaginaryClass:
         frame = len(stack)
         stack.append(marker)
         try:
-            self.refresh()
+            tracked_refresh()
         finally:
             tainted = frame in taint
             taint.discard(frame)
             stack.pop()
+        if tainted:
+            # The refresh consumed a cycle-truncated population; do not
+            # treat it as up to date.
+            self._refresh_deps = None
+            self._refresh_snapshot = None
         return tainted
 
     def preserve_identity_on(self, keys) -> None:

@@ -12,6 +12,13 @@ benchmarks (experiment E2) compare against on-demand recomputation:
   re-populated in full;
 - counters expose how much work maintenance did, so the recompute /
   materialize crossover is measurable.
+
+This is the *eager* end of the maintenance spectrum: every event is
+applied immediately. The default (non-materialized) tier is lazy —
+:class:`VirtualClass` buffers events and delta-patches its dependency-
+keyed cache on the next read (see :mod:`repro.engine.tracking`). Both
+rely on the same per-object tests and share the contract that
+predicates read only the candidate object's own attributes.
 """
 
 from __future__ import annotations

@@ -10,7 +10,9 @@ classes automatically disappear or are created".
 
 A :class:`ClassFamily` stores the member templates with the parameters
 as free variables. ``instantiate(args)`` evaluates the population with
-the parameters bound; instances are cached per view version. For
+the parameters bound; each instance is cached with the dependency set
+its evaluation read and a snapshot of the view's version vector over
+it, so ``Adult(20)`` survives mutations to classes it never read. For
 single-parameter partition families (an equality between a path over
 the bound variable and the parameter), :meth:`parameter_values`
 enumerates the currently non-empty instances directly from the data —
@@ -23,6 +25,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.oid import EMPTY_OID_SET, OidSet
 from ..engine.objects import ObjectHandle, unwrap
+from ..engine.tracking import (
+    ACTIVE_TRACKERS,
+    DependencyTracker,
+    FrozenDependencySet,
+    replay_dependencies,
+)
 from ..engine.values import canonicalize
 from ..errors import VirtualClassError
 from ..query.analysis import guaranteed_classes
@@ -66,8 +74,10 @@ class ClassFamily:
         self._name = name
         self._parameters = tuple(parameters)
         self._members = tuple(members)
-        # (args, view version) -> population
-        self._cache: Dict[Tuple, Tuple[int, OidSet]] = {}
+        # args -> (read set, version snapshot, population)
+        self._cache: Dict[
+            Tuple, Tuple[FrozenDependencySet, tuple, OidSet]
+        ] = {}
 
     @property
     def name(self) -> str:
@@ -91,18 +101,27 @@ class ClassFamily:
                 f" got {len(args)}"
             )
         key = tuple(canonicalize(a) for a in args)
-        version = self._view.version
+        view = self._view
         cached = self._cache.get(key)
-        if cached is not None and cached[0] == version:
-            return cached[1]
+        if cached is not None:
+            deps, snapshot, population = cached
+            if view.dependency_snapshot(deps) == snapshot:
+                view.stats.record_hit()
+                if ACTIVE_TRACKERS:
+                    replay_dependencies(deps)
+                return population
         bindings = dict(zip(self._parameters, args))
         members: set = set()
-        internal = getattr(self._view, "internal_evaluation", None)
+        internal = getattr(view, "internal_evaluation", None)
         context = internal() if internal is not None else _null_context()
-        with context:
-            self._instantiate_members(bindings, args, members)
+        tracker = DependencyTracker()
+        with tracker:
+            with context:
+                self._instantiate_members(bindings, args, members)
         population = OidSet.of(members) if members else EMPTY_OID_SET
-        self._cache[key] = (version, population)
+        view.stats.record_full_recompute()
+        deps = tracker.deps.frozen()
+        self._cache[key] = (deps, view.dependency_snapshot(deps), population)
         return population
 
     def _instantiate_members(self, bindings, args, members: set) -> None:

@@ -35,6 +35,14 @@ from typing import Dict, List, Optional, Tuple
 
 from ..engine.oid import Oid
 from ..engine.schema import AttributeDef
+from ..engine.tracking import (
+    ACTIVE_TRACKERS,
+    DependencyTracker,
+    FrozenDependencySet,
+    record_attribute_read,
+    record_extent_read,
+    replay_dependencies,
+)
 from ..errors import (
     HiddenAttributeError,
     SchizophreniaError,
@@ -77,12 +85,16 @@ class Resolver:
         self._attribute_priority: Dict[str, List[str]] = {}
         self.conflict_log: List[ConflictRecord] = []
         self.stats = ResolutionStats()
-        # Version-keyed memo: the paper notes "in practice, static
+        # Dependency-keyed memo: the paper notes "in practice, static
         # method resolution is preferred". A resolution is stable until
-        # the view (or a base) changes, so memoizing on the view
-        # version is the dynamic equivalent.
-        self._memo: Dict[Tuple[Oid, str, bool], AttributeDef] = {}
-        self._memo_version: Optional[int] = None
+        # something it *read* changes — the defining classes'
+        # memberships, the object's real class chain, the relevant
+        # hides — so each entry carries its read set and a version
+        # snapshot over it, and survives unrelated mutations.
+        self._memo: Dict[
+            Tuple[Oid, str, bool],
+            Tuple[AttributeDef, FrozenDependencySet, tuple],
+        ] = {}
 
     @property
     def policy(self) -> ConflictPolicy:
@@ -124,21 +136,27 @@ class Resolver:
         # View-internal evaluation (population queries, attribute
         # bodies) ignores hides: §3 hides bind the view's *users*.
         honor_hides = not getattr(view, "in_internal_evaluation", False)
-        version = getattr(view, "version", None)
+        snapshot_of = getattr(view, "dependency_snapshot", None)
         memo_key = (oid, attribute, honor_hides)
-        if version is not None:
-            if self._memo_version != version:
-                self._memo.clear()
-                self._memo_version = version
+        if snapshot_of is not None:
             cached = self._memo.get(memo_key)
             if cached is not None:
-                return cached
-        resolved = self._resolve_uncached(
+                adef, deps, snapshot = cached
+                if snapshot_of(deps) == snapshot:
+                    if ACTIVE_TRACKERS:
+                        replay_dependencies(deps)
+                    return adef
+            tracker = DependencyTracker()
+            with tracker:
+                resolved = self._resolve_uncached(
+                    view, schema, oid, attribute, honor_hides
+                )
+            deps = tracker.deps.frozen()
+            self._memo[memo_key] = (resolved, deps, snapshot_of(deps))
+            return resolved
+        return self._resolve_uncached(
             view, schema, oid, attribute, honor_hides
         )
-        if version is not None:
-            self._memo[memo_key] = resolved
-        return resolved
 
     def _resolve_uncached(
         self, view, schema, oid: Oid, attribute: str, honor_hides: bool
@@ -147,6 +165,12 @@ class Resolver:
         candidates: List[str] = []
         hidden_seen = False
         for class_name in defining:
+            if ACTIVE_TRACKERS:
+                # Attribute hides bump the (class, attribute) version of
+                # the hidden class and its descendants; recording the
+                # pair here makes memoized resolutions notice new hides
+                # without a schema-wide invalidation.
+                record_attribute_read(class_name, attribute)
             if honor_hides and view.hides.definition_hidden(
                 schema, class_name, attribute
             ):
@@ -161,15 +185,20 @@ class Resolver:
             # from the current population: "the object ... may still
             # be used in other parts of the view" (§5.1).
             real = view.class_of(oid)
+            if ACTIVE_TRACKERS:
+                record_extent_read(real)
             for cls in schema.linearize(real):
                 adef = schema.require(cls).own_attribute(attribute)
                 if adef is None or adef.acquired:
                     continue
-                if honor_hides and view.hides.definition_hidden(
-                    schema, cls, attribute
-                ):
-                    hidden_seen = True
-                    continue
+                if honor_hides:
+                    if ACTIVE_TRACKERS:
+                        record_attribute_read(cls, attribute)
+                    if view.hides.definition_hidden(
+                        schema, cls, attribute
+                    ):
+                        hidden_seen = True
+                        continue
                 return adef
             if hidden_seen or view.hides.attribute_mentioned(attribute):
                 raise HiddenAttributeError(real, attribute)

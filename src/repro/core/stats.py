@@ -1,0 +1,76 @@
+"""View-maintenance counters.
+
+:class:`ViewStats` observes every population-cache consultation in a
+view — virtual classes, parameterized-family instances and imaginary
+classes — and every event-driven invalidation. It is the measuring
+instrument for experiment E13 (incremental maintenance): after a
+mutation to a class no cached population depends on, lookups must be
+pure cache hits (``full_recomputes == 0``).
+
+Surfaced through the CLI (``.stats``) and the bench harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ViewStats:
+    """Counters for one view's cache behaviour.
+
+    - ``hits`` — a cached population was served unchanged;
+    - ``misses`` — a cached population could not be served as-is
+      (absent or stale); every miss ends in a delta patch or a full
+      recompute, so ``misses == delta_patches + full_recomputes``;
+    - ``delta_patches`` — a stale population was repaired by re-testing
+      only the buffered created/updated/deleted oids;
+    - ``full_recomputes`` — a population was evaluated from scratch;
+    - ``invalidations_by_class`` — how many mutation events arrived per
+      (real) class name, i.e. which classes are driving invalidation.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    delta_patches: int = 0
+    full_recomputes: int = 0
+    invalidations_by_class: Dict[str, int] = field(default_factory=dict)
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_delta_patch(self) -> None:
+        self.misses += 1
+        self.delta_patches += 1
+
+    def record_full_recompute(self) -> None:
+        self.misses += 1
+        self.full_recomputes += 1
+
+    def record_invalidation(self, class_name: str) -> None:
+        self.invalidations_by_class[class_name] = (
+            self.invalidations_by_class.get(class_name, 0) + 1
+        )
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.delta_patches = 0
+        self.full_recomputes = 0
+        self.invalidations_by_class.clear()
+
+    def describe(self) -> str:
+        lines = [
+            f"cache hits:      {self.hits}",
+            f"cache misses:    {self.misses}",
+            f"delta patches:   {self.delta_patches}",
+            f"full recomputes: {self.full_recomputes}",
+        ]
+        if self.invalidations_by_class:
+            lines.append("invalidations by class:")
+            for name in sorted(self.invalidations_by_class):
+                lines.append(
+                    f"  {name}: {self.invalidations_by_class[name]}"
+                )
+        return "\n".join(lines)

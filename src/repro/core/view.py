@@ -21,10 +21,18 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..engine.events import ClassDefined, Event, EventBus
+from ..engine.events import (
+    ClassDefined,
+    Event,
+    EventBus,
+    ObjectCreated,
+    ObjectDeleted,
+    ObjectUpdated,
+)
 from ..engine.objects import ObjectHandle, Scope
 from ..engine.oid import EMPTY_OID_SET, Oid, OidSet
 from ..engine.schema import AttributeDef, ClassKind, Schema
+from ..engine.tracking import ACTIVE_TRACKERS, record_extent_read
 from ..engine.types import Type, is_subtype, type_from_signature
 from ..errors import (
     HiddenAttributeError,
@@ -46,6 +54,7 @@ from .population import (
     normalize_includes,
 )
 from .resolution import ConflictPolicy, Resolver
+from .stats import ViewStats
 from .upward import acquired_attributes
 from .hierarchy import apply_placement, infer_placement
 from .virtual_attributes import build_virtual_attribute
@@ -67,7 +76,25 @@ class View(Scope):
         self._materialized: Dict[str, MaterializedClass] = {}
         self._resolver = Resolver(self)
         self._events = EventBus()
-        self._version = 0
+        # Version vector for dependency-keyed cache invalidation:
+        # - _schema_version covers structural change (imports, class
+        #   and attribute definitions, class hides) — everything keys
+        #   on it;
+        # - _extent_versions[C] bumps when C's extent may have changed
+        #   (create/delete of a C object or of an object real in a
+        #   descendant of C);
+        # - _attr_versions[(C, a)] bumps when reads of attribute a on
+        #   objects real in C may change (update events bump C and its
+        #   ancestors; attribute hides bump the hidden class and its
+        #   descendants);
+        # - _epoch is the monotone sum of all of the above, kept for
+        #   `version` (any-change detection).
+        self._schema_version = 0
+        self._extent_versions: Dict[str, int] = {}
+        self._attr_versions: Dict[Tuple[str, str], int] = {}
+        self._epoch = 0
+        self._bump_targets_cache: Dict[str, Tuple[str, ...]] = {}
+        self.stats = ViewStats()
         self._defining_map: Optional[Dict[str, List[str]]] = None
         self._membership_in_progress: set = set()
         self._internal_depth = 0
@@ -103,8 +130,16 @@ class View(Scope):
     @property
     def version(self) -> int:
         """Monotone counter bumped on every base mutation or view
-        redefinition; population caches key on it."""
-        return self._version
+        redefinition. Caches no longer key on this coarse counter —
+        they key on :meth:`dependency_snapshot` — but it remains the
+        cheap "did anything at all change" signal."""
+        return self._epoch
+
+    @property
+    def schema_version(self) -> int:
+        """Bumped on every structural change (imports, definitions,
+        class hides); all dependency snapshots include it."""
+        return self._schema_version
 
     @property
     def hides(self) -> HideSet:
@@ -114,8 +149,81 @@ class View(Scope):
     def resolver(self) -> Resolver:
         return self._resolver
 
-    def _bump(self) -> None:
-        self._version += 1
+    # ------------------------------------------------------------------
+    # Version vector (dependency-keyed invalidation)
+    # ------------------------------------------------------------------
+
+    def extent_version(self, class_name: str) -> int:
+        return self._extent_versions.get(class_name, 0)
+
+    def attribute_version(self, class_name: str, attribute: str) -> int:
+        return self._attr_versions.get((class_name, attribute), 0)
+
+    def dependency_snapshot(self, deps) -> tuple:
+        """The current versions of a frozen dependency set's reads.
+
+        A cached result stored with ``(deps, snapshot)`` is current
+        exactly when ``dependency_snapshot(deps) == snapshot`` — i.e.
+        no class it read from has seen a relevant mutation and the
+        schema is structurally unchanged.
+        """
+        extent_versions = self._extent_versions
+        attr_versions = self._attr_versions
+        return (
+            self._schema_version,
+            tuple(extent_versions.get(c, 0) for c in deps.extents),
+            tuple(attr_versions.get(k, 0) for k in deps.attributes),
+        )
+
+    def dependencies_current(self, deps, snapshot) -> bool:
+        return (
+            snapshot is not None
+            and snapshot == self.dependency_snapshot(deps)
+        )
+
+    def _bump_targets(
+        self, class_name: str, provider: Optional[Scope] = None
+    ) -> Tuple[str, ...]:
+        """The class and every class whose extent covers it.
+
+        Mutation events bump *upward*: an object created in ``Tanker``
+        also changes the extent of ``Ship`` (and of any virtual class
+        placed above ``Tanker``), so all ancestors' versions move.
+        """
+        targets = self._bump_targets_cache.get(class_name)
+        if targets is not None:
+            return targets
+        if class_name in self._schema:
+            targets = (class_name, *self._schema.ancestors(class_name))
+            self._bump_targets_cache[class_name] = targets
+            return targets
+        if provider is not None and class_name in provider.schema:
+            # Not visible in the view, but its objects may surface
+            # through imported ancestors; don't cache (provider-local).
+            return (class_name, *provider.schema.ancestors(class_name))
+        return (class_name,)
+
+    def _bump_extents(self, class_name: str, provider: Optional[Scope]) -> None:
+        versions = self._extent_versions
+        for target in self._bump_targets(class_name, provider):
+            versions[target] = versions.get(target, 0) + 1
+
+    def _bump_attribute(
+        self,
+        class_name: str,
+        attribute: str,
+        provider: Optional[Scope] = None,
+        targets: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        versions = self._attr_versions
+        if targets is None:
+            targets = self._bump_targets(class_name, provider)
+        for target in targets:
+            key = (target, attribute)
+            versions[key] = versions.get(key, 0) + 1
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
 
     def internal_evaluation(self):
         """Context manager marking view-internal evaluation.
@@ -142,7 +250,7 @@ class View(Scope):
         self._import_all.add(index)
         self._schema.copy_classes_from(source.schema)
         self.definition_log.append(("import_all", source.scope_name))
-        self._invalidate()
+        self._invalidate_schema()
 
     def import_class(self, source: Scope, class_name: str) -> None:
         """``import class C from database S``.
@@ -156,7 +264,7 @@ class View(Scope):
         self.definition_log.append(
             ("import_class", source.scope_name, class_name)
         )
-        self._invalidate()
+        self._invalidate_schema()
 
     def _add_provider(self, source: Scope) -> int:
         for index, existing in enumerate(self._providers):
@@ -174,15 +282,41 @@ class View(Scope):
         return index
 
     def _on_provider_event(self, event: Event, provider_index: int) -> None:
-        if isinstance(event, ClassDefined):
-            provider = self._providers[provider_index]
+        provider = self._providers[provider_index]
+        if isinstance(event, ObjectUpdated):
+            # An update changes no extent of a *base* class; only reads
+            # of this attribute (on the class or an ancestor) can
+            # differ. Virtual-class extents that depend on the
+            # attribute recorded it as a dependency and invalidate
+            # through the attribute version.
+            self.stats.record_invalidation(event.class_name)
+            self._bump_attribute(event.class_name, event.attribute, provider)
+            self._epoch += 1
+            self._forward_delta(event)
+        elif isinstance(event, (ObjectCreated, ObjectDeleted)):
+            self.stats.record_invalidation(event.class_name)
+            self._bump_extents(event.class_name, provider)
+            self._epoch += 1
+            self._forward_delta(event)
+        elif isinstance(event, ClassDefined):
             name = event.class_name
             if name not in self._schema and self._covers_new_class(
                 provider_index, provider, name
             ):
                 self._schema.copy_classes_from(provider.schema, [name])
-        self._invalidate()
+            self._invalidate_schema()
+        else:
+            # Unknown event kinds are treated as structural so no cache
+            # can go stale silently.
+            self._invalidate_schema()
         self._events.publish(event)
+
+    def _forward_delta(self, event: Event) -> None:
+        """Buffer an object-level event with every virtual class so a
+        stale cached population can be delta-patched instead of fully
+        recomputed."""
+        for vclass in self._virtuals.values():
+            vclass.note_event(event)
 
     def _covers_new_class(
         self, provider_index: int, provider: Scope, name: str
@@ -196,9 +330,11 @@ class View(Scope):
             for parent in provider.schema.ancestors(name)
         )
 
-    def _invalidate(self) -> None:
+    def _invalidate_schema(self) -> None:
         self._defining_map = None
-        self._bump()
+        self._bump_targets_cache.clear()
+        self._schema_version += 1
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # Hiding (§3)
@@ -206,13 +342,25 @@ class View(Scope):
 
     def hide_attribute(self, class_name: str, attribute: str) -> None:
         """``hide attribute A in class C`` — hides the definitions of A
-        in C and all its subclasses."""
+        in C and all its subclasses.
+
+        Invalidation is *targeted*: hiding an attribute can change only
+        how that attribute resolves at C and below (hides bind the
+        view's users — populations evaluate with hides off), so only
+        the ``(class, attribute)`` versions of that subtree move. A
+        cached population that never read the attribute survives.
+        """
         self._schema.require(class_name)
         self._hides.hide_attribute(class_name, attribute)
         self.definition_log.append(
             ("hide_attribute", class_name, attribute)
         )
-        self._invalidate()
+        self._bump_attribute(
+            class_name,
+            attribute,
+            targets=(class_name, *self._schema.descendants(class_name)),
+        )
+        self._epoch += 1
 
     def hide_attributes(
         self, class_name: str, attributes: Sequence[str]
@@ -224,7 +372,7 @@ class View(Scope):
         self._schema.require(class_name)
         self._hides.hide_class(class_name)
         self.definition_log.append(("hide_class", class_name))
-        self._invalidate()
+        self._invalidate_schema()
 
     # ------------------------------------------------------------------
     # Virtual attributes (§2)
@@ -256,7 +404,7 @@ class View(Scope):
         self.definition_log.append(
             ("define_attribute", class_name, attribute, adef, value)
         )
-        self._invalidate()
+        self._invalidate_schema()
         return adef
 
     def update(self, target, attribute: str, new_value) -> None:
@@ -298,7 +446,7 @@ class View(Scope):
         if parameters:
             family = ClassFamily(self, name, parameters, members)
             self._families[name] = family
-            self._invalidate()
+            self._invalidate_schema()
             return family
         if name in self._schema:
             raise VirtualClassError(f"class already defined: {name!r}")
@@ -336,7 +484,7 @@ class View(Scope):
             # imaginary class (served from the identity table), not
             # merely acquired type information.
             cdef.attributes.update(core_attrs)
-        self._invalidate()
+        self._invalidate_schema()
         return vclass
 
     def define_spec_class(
@@ -353,7 +501,7 @@ class View(Scope):
             doc or "specification class",
         )
         self.definition_log.append(("define_spec_class", name, cdef))
-        self._invalidate()
+        self._invalidate_schema()
         return cdef
 
     def define_imaginary_class(self, name: str, query, doc: str = ""):
@@ -369,6 +517,12 @@ class View(Scope):
         if vclass is None:
             raise UnknownClassError(name)
         return vclass
+
+    def virtual_classes(self) -> List[VirtualClass]:
+        """All virtual classes defined in this view (the tier-2 bench
+        invariant iterates these to compare maintained populations with
+        from-scratch evaluation)."""
+        return list(self._virtuals.values())
 
     def family(self, name: str) -> ClassFamily:
         family = self._families.get(name)
@@ -464,6 +618,8 @@ class View(Scope):
                 f" arguments, e.g. extent of {class_name}(x)"
             )
         self._schema.require(class_name)
+        if ACTIVE_TRACKERS:
+            record_extent_read(class_name)
         members: set = set()
         members.update(self._class_population(class_name).members)
         if deep:
@@ -503,6 +659,8 @@ class View(Scope):
         return [self.get(oid) for oid in self.extent(class_name, deep)]
 
     def is_member(self, oid: Oid, class_name: str) -> bool:
+        if ACTIVE_TRACKERS:
+            record_extent_read(class_name)
         if self._hides.class_hidden(class_name):
             return False
         if class_name in self._families:

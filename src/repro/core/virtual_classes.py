@@ -17,18 +17,37 @@ the view:
 - **imaginary** members delegate to the class's
   :class:`~repro.core.imaginary.ImaginaryClass` identity table.
 
-Populations are cached per view version. Direct insertion is
-impossible by construction: the paper notes "it is not possible for a
-user to insert an object directly into a virtual class" — there is
-simply no API for it; views refuse ``create`` on virtual classes.
+Populations are cached with the *dependency set* the evaluation read
+(which extents it iterated, which ``(class, attribute)`` pairs it
+consulted) plus a snapshot of the view's version vector over that set.
+A cached population is served as long as no recorded dependency has
+been bumped — mutations to unrelated classes leave it untouched. When
+a dependency *is* bumped, specialization populations whose members all
+admit cheap per-object tests are **delta-patched**: only the oids
+carried by the buffered mutation events are re-tested against the
+member predicates, instead of re-running the defining queries over the
+whole extent.
+
+Direct insertion is impossible by construction: the paper notes "it is
+not possible for a user to insert an object directly into a virtual
+class" — there is simply no API for it; views refuse ``create`` on
+virtual classes.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
+from ..engine.events import Event, ObjectDeleted
 from ..engine.oid import EMPTY_OID_SET, Oid, OidSet
 from ..engine.objects import ObjectHandle
+from ..engine.tracking import (
+    ACTIVE_TRACKERS,
+    DependencySet,
+    DependencyTracker,
+    FrozenDependencySet,
+    replay_dependencies,
+)
 from ..errors import VirtualClassError
 from ..query.ast import Binding, ClassSource, Select, Var
 from ..query.eval import EvalEnv, evaluate, _eval_expr, _truthy
@@ -41,6 +60,11 @@ from .population import (
     PredicateMember,
     QueryMember,
 )
+
+# A virtual class stops buffering mutation events (and falls back to a
+# full recompute on the next stale access) once this many accumulate:
+# past that point re-testing the deltas costs as much as re-evaluating.
+DELTA_BUFFER_LIMIT = 512
 
 
 class VirtualClass:
@@ -57,8 +81,16 @@ class VirtualClass:
         self._name = name
         self._members = tuple(members)
         self._imaginary = imaginary
-        self._cache_version: Optional[int] = None
+        # Cache: the population, the dependency set its evaluation
+        # read, and the version snapshot over that set. ``_cache_deps``
+        # is None until the first (untainted) evaluation.
         self._cache: OidSet = EMPTY_OID_SET
+        self._cache_deps: Optional[FrozenDependencySet] = None
+        self._cache_snapshot: Optional[tuple] = None
+        # Mutation events buffered since the cache was filled, for
+        # delta patching.
+        self._delta_events: List[Event] = []
+        self._delta_overflow = False
         self._evaluating = False
 
     @property
@@ -83,6 +115,14 @@ class VirtualClass:
     def population(self, use_cache: bool = True) -> OidSet:
         """All members of the virtual class, as an oid set.
 
+        Serving order: a cached population whose dependency snapshot is
+        still current is returned as-is (a *hit* — its stored read set
+        is replayed into any enclosing tracker); a stale one is
+        repaired by :meth:`_try_delta_patch` when every member admits a
+        cheap per-object test; otherwise the defining members are
+        evaluated from scratch under a fresh
+        :class:`~repro.engine.tracking.DependencyTracker`.
+
         Recursion control: population evaluation may (via deep extents)
         re-enter another virtual class that is itself mid-evaluation.
         The re-entered class yields the empty set to break the cycle,
@@ -92,9 +132,22 @@ class VirtualClass:
         population on a later call.
         """
         view = self._view
-        version = view.version
-        if use_cache and self._cache_version == version:
-            return self._cache
+        if use_cache and self._cache_deps is not None:
+            if (
+                view.dependency_snapshot(self._cache_deps)
+                == self._cache_snapshot
+            ):
+                view.stats.record_hit()
+                if ACTIVE_TRACKERS:
+                    replay_dependencies(self._cache_deps)
+                # Buffered events that left the snapshot intact cannot
+                # concern any dependency; drop them.
+                self._delta_events.clear()
+                self._delta_overflow = False
+                return self._cache
+            patched = self._try_delta_patch()
+            if patched is not None:
+                return patched
         stack = getattr(view, "_population_stack", None)
         if stack is None:
             stack = []
@@ -113,23 +166,169 @@ class VirtualClass:
         frame = len(stack)
         stack.append(self._name)
         self._evaluating = True
+        tracker = DependencyTracker()
         try:
             internal = getattr(view, "internal_evaluation", None)
-            if internal is not None:
-                with internal():
+            with tracker:
+                if internal is not None:
+                    with internal():
+                        members = self._collect_members()
+                else:
                     members = self._collect_members()
-            else:
-                members = self._collect_members()
         finally:
             self._evaluating = False
             tainted = frame in taint
             taint.discard(frame)
             stack.pop()
         population = OidSet.of(members) if members else EMPTY_OID_SET
+        view.stats.record_full_recompute()
         if not tainted:
+            deps = tracker.deps.frozen()
             self._cache = population
-            self._cache_version = version
+            self._cache_deps = deps
+            self._cache_snapshot = view.dependency_snapshot(deps)
+            self._delta_events.clear()
+            self._delta_overflow = False
         return population
+
+    # ------------------------------------------------------------------
+    # Delta maintenance
+    # ------------------------------------------------------------------
+
+    def note_event(self, event: Event) -> None:
+        """Buffer a provider mutation event for later delta patching.
+
+        Called by the view for every ``ObjectCreated`` / ``Updated`` /
+        ``Deleted`` it receives. Events are only worth keeping while a
+        cached population exists; past :data:`DELTA_BUFFER_LIMIT` the
+        buffer is abandoned and the next stale access recomputes.
+        """
+        if self._cache_deps is None or self._delta_overflow:
+            return
+        self._delta_events.append(event)
+        if len(self._delta_events) > DELTA_BUFFER_LIMIT:
+            self._delta_events.clear()
+            self._delta_overflow = True
+
+    def _delta_closure(self) -> Optional[Set[str]]:
+        """The classes delta candidates can be real in — or ``None``
+        when the class cannot be delta-patched at all.
+
+        Patchability requires every member to admit a cheap per-object
+        test (``member_test`` never returns ``None``); the closure is
+        each member's source class plus its schema descendants, since
+        extent membership draws exactly from those.
+        """
+        view = self._view
+        schema = view.schema
+        closure: Set[str] = set()
+
+        def add(class_name: str) -> None:
+            closure.add(class_name)
+            closure.update(schema.descendants(class_name))
+
+        for member in self._members:
+            if isinstance(member, ClassMember):
+                add(member.class_name)
+            elif isinstance(member, PredicateMember):
+                add(member.source_class)
+            elif isinstance(member, QueryMember):
+                simple = _simple_filter(member.query)
+                if simple is None:
+                    return None
+                add(simple[0])
+            elif isinstance(member, LikeMember):
+                for match in view.like_matches(member.spec_class):
+                    add(match)
+            else:
+                # Imaginary members maintain their own identity tables;
+                # their refresh is not a per-object re-test.
+                return None
+        return closure
+
+    def _try_delta_patch(self) -> Optional[OidSet]:
+        """Repair the stale cached population from buffered events.
+
+        Sound only when (a) the schema is structurally unchanged since
+        the cache was filled, (b) every member admits a cheap
+        per-object test, and (c) every class the cached evaluation read
+        from lies inside the members' source closure — i.e. the
+        evaluation never reached *other* objects through references, so
+        any relevant mutation names a candidate oid that is in the
+        buffer. Returns ``None`` when patching is not applicable (the
+        caller falls back to a full recompute).
+        """
+        view = self._view
+        if self._delta_overflow or not self._delta_events:
+            return None
+        if (
+            self._cache_snapshot is None
+            or self._cache_snapshot[0] != view.schema_version
+        ):
+            return None
+        closure = self._delta_closure()
+        if closure is None or not self._cache_deps.classes() <= closure:
+            return None
+        stack = getattr(view, "_population_stack", None)
+        if stack and self._name in stack:
+            return None
+        events = self._delta_events
+        self._delta_events = []
+        members = set(self._cache.members)
+        tracker = DependencyTracker()
+        internal = getattr(view, "internal_evaluation", None)
+        with tracker:
+            if internal is not None:
+                with internal():
+                    ok = self._apply_delta(events, closure, members)
+            else:
+                ok = self._apply_delta(events, closure, members)
+        if not ok:
+            self._delta_overflow = True
+            return None
+        deps = DependencySet(
+            self._cache_deps.extents, self._cache_deps.attributes
+        )
+        deps.merge(tracker.deps)
+        frozen = deps.frozen()
+        population = OidSet.of(members) if members else EMPTY_OID_SET
+        self._cache = population
+        self._cache_deps = frozen
+        self._cache_snapshot = view.dependency_snapshot(frozen)
+        view.stats.record_delta_patch()
+        if ACTIVE_TRACKERS:
+            replay_dependencies(frozen)
+        return population
+
+    def _apply_delta(
+        self, events: List[Event], closure: Set[str], members: Set[Oid]
+    ) -> bool:
+        """Re-test each event's oid, editing ``members`` in place.
+
+        Returns False if some member unexpectedly refused a cheap test
+        (e.g. a behavioral match set changed under us).
+        """
+        for event in events:
+            if isinstance(event, ObjectDeleted):
+                members.discard(event.oid)
+                continue
+            if event.class_name not in closure:
+                # Created/updated outside every member's source closure:
+                # cannot be (or become) a member.
+                continue
+            verdict = False
+            for member in self._members:
+                quick = self.member_test(member, event.oid)
+                if quick is None:
+                    return False
+                if quick:
+                    verdict = True
+                    break
+            if verdict:
+                members.add(event.oid)
+            else:
+                members.discard(event.oid)
+        return True
 
     def _collect_members(self) -> Set[Oid]:
         members: Set[Oid] = set()
@@ -177,8 +376,15 @@ class VirtualClass:
 
     def contains(self, oid: Oid) -> bool:
         """Membership test; uses per-member shortcuts when possible."""
-        version = self._view.version
-        if self._cache_version == version:
+        view = self._view
+        if (
+            self._cache_deps is not None
+            and view.dependency_snapshot(self._cache_deps)
+            == self._cache_snapshot
+        ):
+            view.stats.record_hit()
+            if ACTIVE_TRACKERS:
+                replay_dependencies(self._cache_deps)
             return oid in self._cache
         for member in self._members:
             quick = self.member_test(member, oid)

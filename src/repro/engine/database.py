@@ -31,6 +31,7 @@ from .events import (
 from .objects import DatabaseObject, ObjectHandle, Scope, unwrap
 from .oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
 from .schema import AttributeDef, ClassKind, Schema
+from .tracking import ACTIVE_TRACKERS, record_extent_read
 from .values import require_conforms
 
 
@@ -105,6 +106,8 @@ class Database(Scope):
         return self._schema.resolve_attribute(self.class_of(oid), attribute)
 
     def is_member(self, oid: Oid, class_name: str) -> bool:
+        if ACTIVE_TRACKERS:
+            record_extent_read(class_name)
         obj = self._objects.get(oid)
         if obj is None:
             return False
@@ -262,6 +265,8 @@ class Database(Scope):
         ``deep=True`` (default) includes objects real in subclasses —
         an object created in ``Tanker`` is a member of ``Ship``.
         """
+        if ACTIVE_TRACKERS:
+            record_extent_read(class_name)
         self._schema.require(class_name)
         members = set(self._extents.get(class_name, ()))
         if deep:

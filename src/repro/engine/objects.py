@@ -22,6 +22,7 @@ from typing import Dict, Optional
 from ..errors import ObjectError
 from .oid import Oid
 from .schema import AttributeDef
+from .tracking import ACTIVE_TRACKERS, record_attribute_read
 
 
 @dataclass
@@ -73,6 +74,12 @@ class Scope:
 
     def access(self, oid: Oid, attribute: str, *args):
         """Read an attribute (stored or computed) of an object."""
+        if ACTIVE_TRACKERS:
+            # Key on the real class: mutation events carry it, so a
+            # cached read of (class, attribute) is invalidated exactly
+            # by updates to that attribute on that class (or an
+            # ancestor/descendant, see View bump routing).
+            record_attribute_read(self.class_of(oid), attribute)
         adef = self.resolve_attribute_for(oid, attribute)
         if adef.is_computed():
             receiver = self.get(oid)

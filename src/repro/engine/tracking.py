@@ -1,0 +1,162 @@
+"""Read-dependency tracking for incremental view maintenance.
+
+The paper (§4/§5) frames virtual-class population as a generalization
+of "the traditional problem of materialized views". Maintaining those
+populations incrementally requires knowing *what each cached
+computation read*: which class extents it iterated and which
+(class, attribute) pairs it consulted. This module supplies the
+ambient recorder the rest of the system reports into:
+
+- :class:`DependencySet` — the read set of one computation: class
+  names whose extents/membership were consulted, plus
+  ``(class, attribute)`` pairs whose stored or computed values were
+  read;
+- :class:`DependencyTracker` — a recorder pushed onto a process-wide
+  stack for the duration of one computation (population evaluation,
+  family instantiation, attribute resolution);
+- module functions :func:`record_extent_read`,
+  :func:`record_attribute_read` and :func:`replay_dependencies` called
+  from the scopes (``extent``/``is_member``/``access``); they are
+  no-ops when no tracker is active, so untracked reads cost one list
+  truthiness check.
+
+Trackers nest: population evaluation inside a query evaluation records
+into *both* recorders, so an outer cache's dependency set always
+covers its inner caches' reads. When an inner cache *hits*, the inner
+computation does not re-run — the cache owner must call
+:func:`replay_dependencies` with the stored read set so the outer
+recorder still sees the transitive dependencies.
+
+Dependency sets are interpreted against a view's per-class version
+vector (see :meth:`repro.core.view.View.dependency_snapshot`): a
+cached result is current exactly when every recorded dependency still
+has the version it had when the result was computed.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+
+class DependencySet:
+    """The read set of one computation.
+
+    ``extents`` holds class names whose extent or membership was
+    consulted; ``attributes`` holds ``(class, attribute)`` pairs whose
+    values were read (keyed by the *real* class of the object read, so
+    an update event — which carries the real class — maps directly).
+    """
+
+    __slots__ = ("extents", "attributes")
+
+    def __init__(
+        self,
+        extents: Optional[FrozenSet[str]] = None,
+        attributes: Optional[FrozenSet[Tuple[str, str]]] = None,
+    ):
+        self.extents = set(extents or ())
+        self.attributes = set(attributes or ())
+
+    def merge(self, other: "DependencySet") -> None:
+        self.extents |= other.extents
+        self.attributes |= other.attributes
+
+    def classes(self) -> set:
+        """Every class name the computation depends on."""
+        return self.extents | {cls for cls, _ in self.attributes}
+
+    def frozen(self) -> "FrozenDependencySet":
+        return FrozenDependencySet(
+            tuple(sorted(self.extents)), tuple(sorted(self.attributes))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DependencySet(extents={sorted(self.extents)},"
+            f" attributes={sorted(self.attributes)})"
+        )
+
+
+class FrozenDependencySet:
+    """An immutable dependency set, stored alongside a cached result.
+
+    The tuples are sorted so a version snapshot taken against them can
+    be compared positionally (see ``View.dependency_snapshot``).
+    """
+
+    __slots__ = ("extents", "attributes")
+
+    def __init__(
+        self,
+        extents: Tuple[str, ...],
+        attributes: Tuple[Tuple[str, str], ...],
+    ):
+        self.extents = extents
+        self.attributes = attributes
+
+    def classes(self) -> set:
+        return set(self.extents) | {cls for cls, _ in self.attributes}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FrozenDependencySet(extents={list(self.extents)},"
+            f" attributes={list(self.attributes)})"
+        )
+
+
+class DependencyTracker:
+    """Records reads into a :class:`DependencySet` while active.
+
+    Use as a context manager::
+
+        with DependencyTracker() as tracker:
+            population = evaluate(query, view)
+        deps = tracker.deps.frozen()
+    """
+
+    __slots__ = ("deps",)
+
+    def __init__(self):
+        self.deps = DependencySet()
+
+    def __enter__(self) -> "DependencyTracker":
+        ACTIVE_TRACKERS.append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        ACTIVE_TRACKERS.remove(self)
+        return False
+
+
+# The ambient tracker stack. Reads are recorded into *every* active
+# tracker so nested computations feed their enclosing caches.
+ACTIVE_TRACKERS: List[DependencyTracker] = []
+
+
+def tracking_active() -> bool:
+    return bool(ACTIVE_TRACKERS)
+
+
+def record_extent_read(class_name: str) -> None:
+    """Record that a computation consulted a class's extent or
+    membership."""
+    for tracker in ACTIVE_TRACKERS:
+        tracker.deps.extents.add(class_name)
+
+
+def record_attribute_read(class_name: str, attribute: str) -> None:
+    """Record that a computation read an attribute of an object real in
+    ``class_name``."""
+    for tracker in ACTIVE_TRACKERS:
+        tracker.deps.attributes.add((class_name, attribute))
+
+
+def replay_dependencies(deps) -> None:
+    """Feed a stored read set into the active trackers (cache hit: the
+    computation did not re-run, but its dependencies still flow to any
+    enclosing cache)."""
+    if not ACTIVE_TRACKERS:
+        return
+    for tracker in ACTIVE_TRACKERS:
+        tracker.deps.extents.update(deps.extents)
+        tracker.deps.attributes.update(deps.attributes)

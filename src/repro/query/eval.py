@@ -20,6 +20,15 @@ from typing import Dict, Iterable, List, Optional
 
 from ..engine.objects import ObjectHandle, TupleValue, unwrap, wrap_value
 from ..engine.oid import Oid
+from ..engine.tracking import (  # noqa: F401  (re-exported API)
+    ACTIVE_TRACKERS,
+    DependencySet,
+    DependencyTracker,
+    record_attribute_read,
+    record_extent_read,
+    replay_dependencies,
+    tracking_active,
+)
 from ..engine.values import canonicalize
 from ..errors import NonUniqueResultError, QueryError
 from .ast import (
@@ -119,6 +128,29 @@ def evaluate(
         query = parse_query(query)
     env = EvalEnv(scope, bindings, functions, self_value)
     return _eval_select(query, env)
+
+
+def evaluate_tracked(
+    query,
+    scope,
+    bindings: Optional[Dict[str, object]] = None,
+    functions: Optional[Dict[str, object]] = None,
+    self_value=None,
+):
+    """Evaluate a query while recording what it reads.
+
+    Returns ``(result, deps)`` where ``deps`` is the
+    :class:`DependencyTracker`'s :class:`DependencySet`: every class
+    extent iterated or membership-tested and every (class, attribute)
+    pair read during evaluation — including reads performed inside
+    nested population evaluations, attribute bodies and Python
+    predicates. Population caches key on these dependencies (see
+    ``View.dependency_snapshot``), which is what lets a cached
+    population survive mutations to unrelated classes.
+    """
+    with DependencyTracker() as tracker:
+        result = evaluate(query, scope, bindings, functions, self_value)
+    return result, tracker.deps
 
 
 def evaluate_expression(

@@ -30,6 +30,9 @@ class Relation:
         self._index = {c: i for i, c in enumerate(self.columns)}
         self._rows: List[Row] = []
         self._observers: List[Callable[[str, Row], None]] = []
+        # Bumped on every mutation (rows or schema); views key their
+        # caches on it so an untouched base never forces a recompute.
+        self.version = 0
 
     # ------------------------------------------------------------------
 
@@ -51,6 +54,7 @@ class Relation:
         self.columns = self.columns + (column,)
         self._index[column] = len(self.columns) - 1
         self._rows = [row + (default,) for row in self._rows]
+        self.version += 1
 
     def observe(self, callback: Callable[[str, Row], None]) -> Callable[[], None]:
         """Register a mutation observer: called with ("insert"|"delete",
@@ -90,6 +94,7 @@ class Relation:
                 )
             row = tuple(values)
         self._rows.append(row)
+        self.version += 1
         self._notify("insert", row)
         return row
 
@@ -104,6 +109,8 @@ class Relation:
             else:
                 kept.append(row)
         self._rows = kept
+        if deleted:
+            self.version += 1
         return deleted
 
     def update_where(
@@ -128,6 +135,8 @@ class Relation:
             else:
                 new_rows.append(row)
         self._rows = new_rows
+        if updated:
+            self.version += 1
         return updated
 
     # ------------------------------------------------------------------

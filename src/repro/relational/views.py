@@ -1,8 +1,11 @@
 """Relational views: the baseline §3 argues against.
 
-A :class:`RelationalView` is a stored select/project query, recomputed
-on access — the classic relational view. It exists to make the paper's
-§3 argument measurable (experiment E7):
+A :class:`RelationalView` is a stored select/project query — the
+classic relational view. Its result is cached against the base
+relation's version counter, so repeated access recomputes only when
+the base actually changed (the relational analogue of the view
+system's dependency-tracked population caches). It exists to make the
+paper's §3 argument measurable (experiment E7):
 
 - ``projection_view`` must *enumerate* the visible columns, so hiding
   one attribute couples the view definition to the full schema: when a
@@ -22,7 +25,7 @@ from .relation import Relation, RelationalDatabase
 
 
 class RelationalView:
-    """A named, recompute-on-access relational view."""
+    """A named relational view, cached on the base's version."""
 
     def __init__(
         self,
@@ -35,14 +38,30 @@ class RelationalView:
         self._base = base
         self.columns = list(columns)
         self._predicate = predicate
+        # Result cache: (base version, column tuple) -> materialized
+        # projection. A column-list edit (refresh_columns) changes the
+        # key, so stale definitions never serve stale rows.
+        self._cache_key: Optional[tuple] = None
+        self._cache_rows: Optional[Relation] = None
+        # Cache behaviour counters (mirrors ViewStats for E13).
+        self.cache_hits = 0
+        self.recomputes = 0
         # Maintenance bookkeeping for experiment E7.
         self.definition_edits = 0
 
     def rows(self) -> Relation:
+        key = (self._base.version, tuple(self.columns))
+        if self._cache_rows is not None and self._cache_key == key:
+            self.cache_hits += 1
+            return self._cache_rows
         source = self._base
         if self._predicate is not None:
             source = select(source, self._predicate)
-        return project(source, self.columns, name=self.name)
+        result = project(source, self.columns, name=self.name)
+        self.recomputes += 1
+        self._cache_key = key
+        self._cache_rows = result
+        return result
 
     def refresh_columns(self, hidden: Sequence[str]) -> int:
         """Re-derive the column list from the (possibly changed) base

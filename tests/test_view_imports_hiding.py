@@ -179,7 +179,7 @@ class TestHideAttribute:
         view.import_database(employment_db)
         view.hide_attribute("Employee", "Salary")
         view.hides.unhide_attribute("Employee", "Salary")
-        view._invalidate()
+        view._invalidate_schema()
         assert view.handles("Employee")[0].Salary is not None
 
 

@@ -1,0 +1,266 @@
+"""E14 — Multi-client server throughput (repro.server).
+
+The ROADMAP's north star is a served, multi-tenant system; §2 of the
+paper motivates views as *per-user* restructurings of one shared
+database. This bench drives the TCP server with concurrent clients:
+
+- E14a: 8 clients, mixed workload (queries + base mutations + per-
+  connection view DDL) against the reader-writer-locked server —
+  client-observed p50/p99 latency and aggregate req/s, with zero
+  dropped or errored frames required;
+- E14b: read-only scaling — the same read workload at 1/2/4/8 clients
+  against (i) the RW-locked server, where readers run in parallel, and
+  (ii) a serialized baseline (an exclusive lock in the same server),
+  where every request queues. Reads call a registered predicate that
+  simulates a 50µs-per-object page fetch (``time.sleep`` releases the
+  GIL), modelling the I/O-bound reads of a served database, so the
+  lock discipline — not the interpreter lock — is what's measured;
+- E14c: the server's own metrics table for the mixed run.
+"""
+
+import random
+import threading
+import time
+
+from common import emit
+from repro.bench import Table, ratio, scaled, server_metrics_table
+from repro.server import Client, ViewServer
+from repro.server.locks import ExclusiveLock
+from repro.workloads import build_people_db
+
+PEOPLE = scaled(60)
+PAGE_FETCH_S = 50e-6
+CLIENTS = 8
+MIXED_REQUESTS = scaled(25)
+READ_REQUESTS = scaled(15)
+
+READ_QUERY = "select P from Person where fetch_age(P) >= 21"
+PLAIN_QUERY = "select P from Person where P.Age >= 21"
+
+
+def build_db():
+    db = build_people_db(PEOPLE, seed=14)
+
+    def fetch_age(handle):
+        # One simulated page fetch per object touched: sleep releases
+        # the GIL, like a real disk or network wait would release the
+        # CPU.
+        time.sleep(PAGE_FETCH_S)
+        return handle.Age
+
+    db.register_function("fetch_age", fetch_age, result_type="integer")
+    return db
+
+
+def run_clients(host, port, count, worker):
+    """Run ``count`` client threads; return (latencies, errors, seconds)."""
+    latencies = [[] for _ in range(count)]
+    errors = []
+    barrier = threading.Barrier(count + 1, timeout=60)
+
+    def body(index):
+        try:
+            with Client(host, port) as client:
+                barrier.wait()
+                worker(client, index, latencies[index])
+        except Exception as error:
+            errors.append(error)
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [
+        threading.Thread(target=body, args=(i,)) for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join(timeout=120)
+    elapsed = time.perf_counter() - start
+    flat = [x for per_client in latencies for x in per_client]
+    return flat, errors, elapsed
+
+
+def percentile(values, fraction):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5)
+    )
+    return ordered[index]
+
+
+def timed_call(fn, latencies):
+    start = time.perf_counter()
+    result = fn()
+    latencies.append(time.perf_counter() - start)
+    return result
+
+
+def run_mixed_workload():
+    """E14a: 8 concurrent clients, mixed query/mutation workload."""
+    db = build_db()
+    server = ViewServer([db])
+    host, port = server.start()
+
+    def worker(client, index, latencies):
+        rng = random.Random(1400 + index)
+        timed_call(lambda: client.execute(f"create view W{index};"), latencies)
+        timed_call(
+            lambda: client.execute(
+                "import all classes from database Staff;"
+            ),
+            latencies,
+        )
+        timed_call(
+            lambda: client.execute(
+                f"class Grown{index} includes ({PLAIN_QUERY});"
+            ),
+            latencies,
+        )
+        for step in range(MIXED_REQUESTS):
+            roll = rng.random()
+            if roll < 0.7:
+                out = timed_call(
+                    lambda: client.execute(PLAIN_QUERY), latencies
+                )
+                assert "result" in out or out == "(no results)", out
+            elif roll < 0.85:
+                timed_call(
+                    lambda: client.execute(f"select G from Grown{index}"),
+                    latencies,
+                )
+            else:
+                oid = timed_call(
+                    lambda: client.create(
+                        "Staff",
+                        "Person",
+                        {
+                            "Name": f"N{index}_{step}",
+                            "Age": rng.randrange(1, 90),
+                        },
+                    ),
+                    latencies,
+                )
+                timed_call(
+                    lambda: client.update(
+                        "Staff", oid, "Age", rng.randrange(1, 90)
+                    ),
+                    latencies,
+                )
+
+    latencies, errors, elapsed = run_clients(host, port, CLIENTS, worker)
+    snapshot = server.metrics.snapshot()
+    metrics_table = server_metrics_table(
+        server.metrics, title="E14c server-side metrics (mixed run)"
+    )
+    server.stop()
+
+    table = Table(
+        "E14a mixed workload, 8 concurrent clients (RW lock)",
+        ["series", "value"],
+    )
+    table.add_row("clients", CLIENTS)
+    table.add_row("requests completed", len(latencies))
+    table.add_row("client-side errors", len(errors))
+    table.add_row("server-side error frames", sum(snapshot["errors"].values()))
+    table.add_row("wall time (s)", elapsed)
+    table.add_row("throughput (req/s)", len(latencies) / elapsed)
+    table.add_row("p50 latency (ms)", percentile(latencies, 0.5) * 1e3)
+    table.add_row("p99 latency (ms)", percentile(latencies, 0.99) * 1e3)
+    assert not errors, f"dropped/errored frames at client: {errors[:3]}"
+    assert sum(snapshot["errors"].values()) == 0, snapshot["errors"]
+    table.note(
+        "acceptance: zero dropped or errored frames across all clients"
+    )
+    table.note(
+        "each client holds a private view stack over the shared catalog"
+    )
+    return table, metrics_table
+
+
+def run_read_scaling():
+    """E14b: read-only scaling, RW lock vs serialized baseline."""
+
+    def read_worker(client, index, latencies):
+        client.execute(".use Staff")
+        for _ in range(READ_REQUESTS):
+            out = timed_call(lambda: client.execute(READ_QUERY), latencies)
+            assert "result" in out or out == "(no results)", out
+
+    table = Table(
+        "E14b read scaling: parallel readers vs serialized baseline",
+        [
+            "clients",
+            "rwlock req/s",
+            "serialized req/s",
+            "rw speedup (x)",
+            "rw p99 (ms)",
+            "serialized p99 (ms)",
+        ],
+    )
+    speedup_at_8 = None
+    for count in (1, 2, 4, 8):
+        results = {}
+        for label, lock in (
+            ("rw", None),
+            ("serial", ExclusiveLock()),
+        ):
+            db = build_db()
+            server = ViewServer([db], lock=lock) if lock else ViewServer([db])
+            host, port = server.start()
+            latencies, errors, elapsed = run_clients(
+                host, port, count, read_worker
+            )
+            server.stop()
+            assert not errors, errors[:3]
+            results[label] = (
+                len(latencies) / elapsed,
+                percentile(latencies, 0.99) * 1e3,
+            )
+        speedup = ratio(results["rw"][0], results["serial"][0])
+        if count == 8:
+            speedup_at_8 = speedup
+        table.add_row(
+            count,
+            results["rw"][0],
+            results["serial"][0],
+            speedup,
+            results["rw"][1],
+            results["serial"][1],
+        )
+    assert speedup_at_8 is not None and speedup_at_8 > 1.3, (
+        "parallel readers should beat the serialized baseline at 8"
+        f" clients, got {speedup_at_8:.2f}x"
+    )
+    table.note(
+        f"reads simulate {PAGE_FETCH_S * 1e6:.0f}us page fetches per"
+        " object (sleep releases the GIL), so lock discipline is the"
+        " measured variable"
+    )
+    table.note(
+        "claim: a reader-writer lock lets concurrent queries overlap;"
+        " an exclusive lock serializes them"
+    )
+    return table
+
+
+def test_e14_report(benchmark):
+    def report():
+        mixed, metrics = run_mixed_workload()
+        emit(mixed)
+        emit(run_read_scaling())
+        emit(metrics)
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    mixed, metrics = run_mixed_workload()
+    emit(mixed)
+    emit(run_read_scaling())
+    emit(metrics)

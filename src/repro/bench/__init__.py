@@ -6,6 +6,7 @@ from .harness import (
     microseconds,
     ratio,
     scaled,
+    server_metrics_table,
     stats_table,
     throughput,
     time_call,
@@ -17,6 +18,7 @@ __all__ = [
     "microseconds",
     "ratio",
     "scaled",
+    "server_metrics_table",
     "stats_table",
     "throughput",
     "time_call",

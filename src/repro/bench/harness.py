@@ -144,6 +144,45 @@ def stats_table(view, title: str = "view maintenance stats") -> Table:
     return table
 
 
+def server_metrics_table(
+    metrics, title: str = "server metrics"
+) -> Table:
+    """A table over a server's
+    :class:`~repro.server.metrics.ServerMetrics` snapshot.
+
+    The network-tier sibling of :func:`stats_table`: request counts,
+    error counts and read/write latency percentiles for one
+    :class:`~repro.server.ViewServer` (experiment E14).
+    """
+    snap = metrics.snapshot()
+    table = Table(
+        title,
+        [
+            "kind",
+            "requests",
+            "mean ms",
+            "p50 ms",
+            "p99 ms",
+        ],
+    )
+    for kind in ("read", "write"):
+        latency = snap["latency"][kind]
+        table.add_row(
+            kind,
+            latency["count"],
+            latency["mean_ms"],
+            latency["p50_ms"],
+            latency["p99_ms"],
+        )
+    table.note(
+        f"throughput {snap['requests_per_s']} req/s over"
+        f" {snap['uptime_s']}s; errors: {sum(snap['errors'].values())};"
+        f" connections: {snap['connections']['opened']} opened,"
+        f" {snap['connections']['rejected']} rejected"
+    )
+    return table
+
+
 def microseconds(seconds: float) -> float:
     return seconds * 1e6
 

@@ -1,7 +1,9 @@
 """An interactive shell for databases and views.
 
 Run ``python -m repro`` (optionally with ``--demo`` for sample data).
-The shell accepts:
+``python -m repro serve`` starts the network server and ``python -m
+repro connect`` opens a remote shell against one (see
+:mod:`repro.server`). The local shell accepts:
 
 - view-definition statements (``create view …``, ``import …``,
   ``class … includes …``, ``hide …``, ``attribute …``) executed
@@ -65,6 +67,13 @@ class Session:
             return self._statements(line)
         except ReproError as error:
             return f"error: {error}"
+        except (SystemExit, KeyboardInterrupt):
+            raise
+        except Exception as error:
+            # A session must survive any bad input: one malformed
+            # statement (or a missing .load file, or a computed
+            # attribute raising) must not kill a server connection.
+            return f"error: {type(error).__name__}: {error}"
 
     # ------------------------------------------------------------------
 
@@ -209,6 +218,14 @@ def demo_session() -> Session:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        from .server.server import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "connect":
+        from .server.client import connect_main
+
+        return connect_main(argv[1:])
     if "--demo" in argv:
         session = demo_session()
         print("demo catalog:", ", ".join(session.catalog.names()))

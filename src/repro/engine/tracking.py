@@ -11,9 +11,11 @@ ambient recorder the rest of the system reports into:
   names whose extents/membership were consulted, plus
   ``(class, attribute)`` pairs whose stored or computed values were
   read;
-- :class:`DependencyTracker` — a recorder pushed onto a process-wide
-  stack for the duration of one computation (population evaluation,
-  family instantiation, attribute resolution);
+- :class:`DependencyTracker` — a recorder pushed onto an ambient
+  per-thread stack for the duration of one computation (population
+  evaluation, family instantiation, attribute resolution); concurrent
+  server threads each get an independent stack, so one connection's
+  reads never leak into another's read set;
 - module functions :func:`record_extent_read`,
   :func:`record_attribute_read` and :func:`replay_dependencies` called
   from the scopes (``extent``/``is_member``/``access``); they are
@@ -35,7 +37,8 @@ has the version it had when the result was computed.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Tuple
+import threading
+from typing import FrozenSet, Iterator, List, Optional, Tuple
 
 
 class DependencySet:
@@ -128,9 +131,52 @@ class DependencyTracker:
         return False
 
 
+class _TrackerStack:
+    """The ambient tracker stack, kept per-thread.
+
+    Server connections evaluate queries concurrently (one thread per
+    connection); a process-wide list would let one thread's reads leak
+    into another thread's read set, poisoning its cache dependencies.
+    Each thread therefore sees its own independent stack. The object
+    keeps the list interface the recording sites rely on (truthiness,
+    iteration, ``append``/``remove``), so ``from tracking import
+    ACTIVE_TRACKERS`` binds one shared proxy whose *contents* are
+    thread-local.
+    """
+
+    __slots__ = ("_local",)
+
+    def __init__(self):
+        self._local = threading.local()
+
+    def _stack(self) -> List[DependencyTracker]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def append(self, tracker: DependencyTracker) -> None:
+        self._stack().append(tracker)
+
+    def remove(self, tracker: DependencyTracker) -> None:
+        self._stack().remove(tracker)
+
+    def __bool__(self) -> bool:
+        stack = getattr(self._local, "stack", None)
+        return bool(stack)
+
+    def __iter__(self) -> Iterator[DependencyTracker]:
+        return iter(self._stack())
+
+    def __len__(self) -> int:
+        stack = getattr(self._local, "stack", None)
+        return len(stack) if stack else 0
+
+
 # The ambient tracker stack. Reads are recorded into *every* active
-# tracker so nested computations feed their enclosing caches.
-ACTIVE_TRACKERS: List[DependencyTracker] = []
+# tracker of the current thread so nested computations feed their
+# enclosing caches; other threads' trackers never see them.
+ACTIVE_TRACKERS = _TrackerStack()
 
 
 def tracking_active() -> bool:

@@ -1,0 +1,40 @@
+"""``repro.server`` — a multi-client network service for the view engine.
+
+The paper's motivating scenario (§2) is inherently multi-tenant:
+different users see different restructured views of one shared
+database. This package serves that scenario over TCP:
+
+- one process holds the shared :class:`~repro.engine.database.Database`
+  scopes;
+- each connection gets its own :class:`~repro.server.session.ServerSession`
+  (a private catalog and view stack over the shared databases), handled
+  by a dedicated thread;
+- a reader-writer lock (:mod:`~repro.server.locks`) lets read-only
+  queries from different connections run in parallel while mutations
+  and view DDL serialize;
+- requests and responses travel as length-prefixed JSON frames
+  (:mod:`~repro.server.protocol`);
+- :mod:`~repro.server.metrics` counts requests, errors and latencies,
+  surfaced through ``.stats`` and the bench harness.
+
+See ``docs/server.md`` for the wire protocol and concurrency model.
+"""
+
+from .client import Client, ServerError
+from .locks import LockTimeoutError, ReadWriteLock
+from .metrics import ServerMetrics
+from .protocol import MAX_FRAME, ProtocolError
+from .server import ViewServer
+from .session import ServerSession
+
+__all__ = [
+    "Client",
+    "LockTimeoutError",
+    "MAX_FRAME",
+    "ProtocolError",
+    "ReadWriteLock",
+    "ServerError",
+    "ServerMetrics",
+    "ServerSession",
+    "ViewServer",
+]

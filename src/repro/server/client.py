@@ -1,0 +1,192 @@
+"""A blocking client for the view server.
+
+:class:`Client` speaks the length-prefixed JSON protocol over one TCP
+connection. Requests are answered strictly in order, so the client is
+a straightforward call/response wrapper; it is *not* thread-safe — use
+one client per thread (the E14 bench does exactly that).
+
+Error frames surface as :class:`ServerError`, carrying the stable wire
+``code`` so callers can dispatch (``timeout``, ``query_syntax_error``,
+``server_busy``, …).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import List, Optional
+
+from ..engine.oid import Oid
+from ..errors import ReproError
+from .protocol import (
+    MAX_FRAME,
+    ConnectionClosed,
+    recv_frame,
+    send_frame,
+    wire_decode,
+    wire_encode,
+)
+
+
+class ServerError(ReproError):
+    """An error frame from the server."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.wire_message = message
+
+
+class Client:
+    """One blocking connection to a :class:`~repro.server.ViewServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 30.0,
+        max_frame: int = MAX_FRAME,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def call(self, op: str, **fields):
+        """Send one request, wait for its response, return the result.
+
+        Raises :class:`ServerError` on an error frame and
+        :class:`ConnectionClosed` if the transport dies.
+        """
+        if self._closed:
+            raise ConnectionClosed("client is closed")
+        request_id = next(self._ids)
+        send_frame(self._sock, {"id": request_id, "op": op, **fields})
+        response = recv_frame(self._sock, self._max_frame)
+        if response is None:
+            self._closed = True
+            raise ConnectionClosed("server closed the connection")
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServerError(
+            str(error.get("code", "internal")),
+            str(error.get("message", "unknown error")),
+        )
+
+    # -- convenience wrappers ------------------------------------------
+
+    def ping(self) -> str:
+        return self.call("ping")
+
+    def execute(self, line: str) -> str:
+        """Run one shell line (statement, query or dot-command) in this
+        connection's private session; returns its printable output."""
+        return self.call("execute", line=line)["output"]
+
+    def query(self, text: str) -> str:
+        return self.execute(text)
+
+    def databases(self) -> List[str]:
+        return self.call("databases")["names"]
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def create(self, database: str, class_name: str, value: dict) -> Oid:
+        result = self.call(
+            "create",
+            database=database,
+            **{"class": class_name},
+            value=wire_encode(value),
+        )
+        return wire_decode(result["oid"])
+
+    def update(self, database: str, oid: Oid, attribute: str, value) -> None:
+        self.call(
+            "update",
+            database=database,
+            oid=wire_encode(oid),
+            attribute=attribute,
+            value=wire_encode(value),
+        )
+
+    def delete(self, database: str, oid: Oid) -> None:
+        self.call("delete", database=database, oid=wire_encode(oid))
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (``repro connect``)
+
+
+def connect_main(argv: Optional[List[str]] = None) -> int:
+    """``repro connect [HOST] [PORT]`` — an interactive shell whose
+    every line is executed by the server (default 127.0.0.1:7474)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro connect", description=connect_main.__doc__
+    )
+    parser.add_argument("host", nargs="?", default="127.0.0.1")
+    parser.add_argument("port", nargs="?", type=int, default=7474)
+    args = parser.parse_args(argv)
+
+    try:
+        client = Client(args.host, args.port)
+    except OSError as error:
+        print(f"cannot connect to {args.host}:{args.port}: {error}")
+        return 1
+    print(
+        f"connected to {args.host}:{args.port} —"
+        " lines are executed remotely; '.quit' to leave."
+    )
+    with client:
+        buffer = ""
+        while True:
+            try:
+                prompt = "....> " if buffer else "repro> "
+                line = input(prompt)
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return 0
+            if line.strip() == ".quit":
+                return 0
+            if line.strip().startswith("."):
+                _print_remote(client, line)
+                continue
+            buffer += line + "\n"
+            if ";" in line or line.strip().lower().startswith("select"):
+                _print_remote(client, buffer)
+                buffer = ""
+
+
+def _print_remote(client: Client, text: str) -> None:
+    try:
+        output = client.execute(text)
+    except ServerError as error:
+        output = f"error: {error}"
+    except ConnectionClosed:
+        print("connection lost")
+        raise SystemExit(1)
+    if output:
+        print(output)

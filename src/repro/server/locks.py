@@ -1,0 +1,174 @@
+"""A reader-writer lock for the shared catalog.
+
+Concurrency model of the server: any number of read-only requests
+(queries, schema listings) may evaluate at once, while a write request
+(a base-data mutation, or view DDL such as ``hide`` / ``class …
+includes`` — which subscribes to the shared event bus) holds the
+catalog exclusively. Writers take preference: once a writer is
+waiting, new readers queue behind it, so a steady stream of queries
+cannot starve mutations.
+
+Exclusivity is what makes the single-process engine safe to share:
+mutation events fan out synchronously to every connection's views, and
+those callbacks touch per-view caches that concurrent readers would
+otherwise be traversing.
+
+Acquisition takes an optional timeout so a request can fail with a
+structured ``timeout`` error frame instead of stalling its connection
+forever behind a long writer.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import ReproError
+
+
+class LockTimeoutError(ReproError):
+    """Lock acquisition did not succeed within the allotted time."""
+
+    def __init__(self, mode: str, timeout: float):
+        super().__init__(
+            f"could not acquire {mode} lock within {timeout:.3g}s"
+        )
+        self.mode = mode
+        self.timeout = timeout
+
+
+class ReadWriteLock:
+    """A writer-preference reader-writer lock.
+
+    Not reentrant: a thread must not acquire the lock again (in either
+    mode) while holding it — the server takes it exactly once per
+    request.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer and not self._writers_waiting,
+                timeout,
+            )
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and self._readers == 0,
+                    timeout,
+                )
+                if not ok:
+                    return False
+                self._writer = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+                if not self._writer:
+                    # A timed-out writer may have been the only thing
+                    # holding queued readers back.
+                    self._cond.notify_all()
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def read_locked(
+        self, timeout: Optional[float] = None
+    ) -> Iterator[None]:
+        if not self.acquire_read(timeout):
+            raise LockTimeoutError("read", timeout or 0.0)
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(
+        self, timeout: Optional[float] = None
+    ) -> Iterator[None]:
+        if not self.acquire_write(timeout):
+            raise LockTimeoutError("write", timeout or 0.0)
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    @contextmanager
+    def locked(
+        self, mode: str, timeout: Optional[float] = None
+    ) -> Iterator[None]:
+        """``mode`` is ``"read"`` or ``"write"``."""
+        ctx = self.read_locked if mode == "read" else self.write_locked
+        with ctx(timeout):
+            yield
+
+
+class ExclusiveLock:
+    """A drop-in replacement serializing *all* requests.
+
+    The baseline for the E14 bench: same interface as
+    :class:`ReadWriteLock`, but readers exclude each other too.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        return self._lock.acquire(timeout=-1 if timeout is None else timeout)
+
+    acquire_write = acquire_read
+
+    def release_read(self) -> None:
+        self._lock.release()
+
+    release_write = release_read
+
+    @contextmanager
+    def read_locked(
+        self, timeout: Optional[float] = None
+    ) -> Iterator[None]:
+        if not self.acquire_read(timeout):
+            raise LockTimeoutError("read", timeout or 0.0)
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    write_locked = read_locked
+
+    @contextmanager
+    def locked(
+        self, mode: str, timeout: Optional[float] = None
+    ) -> Iterator[None]:
+        with self.read_locked(timeout):
+            yield

@@ -1,0 +1,180 @@
+"""Server observability: request, error and latency counters.
+
+:class:`ServerMetrics` is the server-side sibling of the view engine's
+:class:`~repro.core.stats.ViewStats`: where ``ViewStats`` counts how a
+view's caches served its queries, ``ServerMetrics`` counts how the
+server served its clients. Both surface the same way — ``.stats`` in a
+connected shell prints the server snapshot next to the view counters,
+and :func:`repro.bench.server_metrics_table` renders one as a bench
+table.
+
+Latencies are kept in a bounded reservoir per request class
+(read/write), so a long-running server reports stable percentiles in
+constant memory.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Dict, List, Optional
+
+_RESERVOIR_CAP = 4096
+
+
+class LatencyReservoir:
+    """Bounded uniform sample of request latencies (seconds)."""
+
+    def __init__(self, cap: int = _RESERVOIR_CAP):
+        self._cap = cap
+        self._sample: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._rng = random.Random(0)
+
+    def record(self, seconds: float) -> None:
+        self._count += 1
+        self._total += seconds
+        if len(self._sample) < self._cap:
+            self._sample.append(seconds)
+            return
+        slot = self._rng.randrange(self._count)
+        if slot < self._cap:
+            self._sample[slot] = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction``-quantile (0..1) of the sampled latencies."""
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        index = min(
+            len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5)
+        )
+        return ordered[index]
+
+
+class ServerMetrics:
+    """Thread-safe counters for one server instance."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.requests_by_op: Dict[str, int] = {}
+        self.errors_by_code: Dict[str, int] = {}
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.connections_rejected = 0
+        self._latency = {
+            "read": LatencyReservoir(),
+            "write": LatencyReservoir(),
+        }
+
+    # ------------------------------------------------------------------
+
+    def record_request(
+        self,
+        op: str,
+        kind: str,
+        seconds: float,
+        error_code: Optional[str] = None,
+    ) -> None:
+        with self._lock:
+            self.requests_by_op[op] = self.requests_by_op.get(op, 0) + 1
+            if error_code is not None:
+                self.errors_by_code[error_code] = (
+                    self.errors_by_code.get(error_code, 0) + 1
+                )
+            self._latency.get(kind, self._latency["read"]).record(seconds)
+
+    def record_connection(self, event: str) -> None:
+        """``event`` is ``opened``, ``closed`` or ``rejected``."""
+        with self._lock:
+            if event == "opened":
+                self.connections_opened += 1
+            elif event == "closed":
+                self.connections_closed += 1
+            elif event == "rejected":
+                self.connections_rejected += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.requests_by_op.values())
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors_by_code.values())
+
+    def snapshot(self) -> dict:
+        """A JSON-able summary (served to clients by the ``stats`` op)."""
+        with self._lock:
+            uptime = time.monotonic() - self._started
+            reads = self._latency["read"]
+            writes = self._latency["write"]
+            return {
+                "uptime_s": round(uptime, 3),
+                "requests": dict(self.requests_by_op),
+                "errors": dict(self.errors_by_code),
+                "connections": {
+                    "opened": self.connections_opened,
+                    "closed": self.connections_closed,
+                    "rejected": self.connections_rejected,
+                },
+                "latency": {
+                    "read": _latency_summary(reads),
+                    "write": _latency_summary(writes),
+                },
+                "requests_per_s": (
+                    round((reads.count + writes.count) / uptime, 2)
+                    if uptime > 0
+                    else 0.0
+                ),
+            }
+
+    def describe(self) -> str:
+        """Human-readable counters, in the style of ViewStats.describe."""
+        snap = self.snapshot()
+        lines = [
+            f"requests:        {sum(snap['requests'].values())}",
+            f"errors:          {sum(snap['errors'].values())}",
+            f"connections:     {snap['connections']['opened']} opened,"
+            f" {snap['connections']['closed']} closed,"
+            f" {snap['connections']['rejected']} rejected",
+            f"throughput:      {snap['requests_per_s']} req/s",
+        ]
+        for kind in ("read", "write"):
+            summary = snap["latency"][kind]
+            if summary["count"]:
+                lines.append(
+                    f"{kind} latency:    p50 {summary['p50_ms']}ms"
+                    f"  p99 {summary['p99_ms']}ms"
+                    f"  mean {summary['mean_ms']}ms"
+                    f"  ({summary['count']} reqs)"
+                )
+        if snap["requests"]:
+            lines.append("requests by op:")
+            for op in sorted(snap["requests"]):
+                lines.append(f"  {op}: {snap['requests'][op]}")
+        if snap["errors"]:
+            lines.append("errors by code:")
+            for code in sorted(snap["errors"]):
+                lines.append(f"  {code}: {snap['errors'][code]}")
+        return "\n".join(lines)
+
+
+def _latency_summary(reservoir: LatencyReservoir) -> dict:
+    return {
+        "count": reservoir.count,
+        "mean_ms": round(reservoir.mean() * 1e3, 3),
+        "p50_ms": round(reservoir.percentile(0.50) * 1e3, 3),
+        "p99_ms": round(reservoir.percentile(0.99) * 1e3, 3),
+    }

@@ -1,0 +1,199 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+A frame is ``length (4 bytes, big-endian, unsigned) + payload``, where
+the payload is a UTF-8 JSON object. Requests carry::
+
+    {"id": <int>, "op": "<operation>", ...operation fields...}
+
+and every request gets exactly one response, in order::
+
+    {"id": <int>, "ok": true,  "result": <value>}
+    {"id": <int>, "ok": false, "error": {"code": "...", "message": "..."}}
+
+``id`` is chosen by the client and echoed back verbatim (``None`` in
+error responses to frames whose id could not be parsed). Error codes
+are stable strings (see ``docs/server.md``); :func:`error_code_for`
+maps the library's exception hierarchy onto them.
+
+JSON cannot carry :class:`~repro.engine.oid.Oid` values or sets, so
+operation fields holding engine values are passed through
+:func:`wire_encode` / :func:`wire_decode`, which tag them::
+
+    Oid("Staff", 7)  <->  {"$oid": ["Staff", 7]}
+    {1, 2}           <->  {"$set": [1, 2]}
+
+Oversized frames are a protocol error, not a transport failure: the
+reader skips exactly the declared length, so the connection stays
+usable and the peer receives a structured ``frame_too_large`` error.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from ..engine.oid import Oid
+from ..errors import ReproError
+
+_LENGTH = struct.Struct(">I")
+
+# Default cap on one frame's payload. Large enough for any realistic
+# statement or result page, small enough that a misbehaving client
+# cannot make the server buffer unbounded input.
+MAX_FRAME = 1 << 20
+
+# Stable error codes carried in error frames.
+ERR_BAD_REQUEST = "bad_request"
+ERR_FRAME_TOO_LARGE = "frame_too_large"
+ERR_INTERNAL = "internal"
+ERR_PARSE = "parse_error"
+ERR_SERVER_BUSY = "server_busy"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_TIMEOUT = "timeout"
+ERR_UNKNOWN_OP = "unknown_op"
+
+
+class ProtocolError(ReproError):
+    """A malformed or oversized frame, or an invalid request shape."""
+
+    def __init__(self, message: str, code: str = ERR_BAD_REQUEST):
+        super().__init__(message)
+        self.code = code
+
+
+class ConnectionClosed(ReproError):
+    """The peer closed the connection mid-frame."""
+
+
+def error_code_for(error: Exception) -> str:
+    """Map an exception to a stable wire error code.
+
+    Library errors keep their class identity (``QuerySyntaxError`` ->
+    ``query_syntax_error``) so clients can dispatch on them; anything
+    else is ``internal``.
+    """
+    if isinstance(error, ProtocolError):
+        return error.code
+    if isinstance(error, ReproError):
+        name = type(error).__name__
+        out = [name[0].lower()]
+        for ch in name[1:]:
+            if ch.isupper():
+                out.append("_")
+                out.append(ch.lower())
+            else:
+                out.append(ch)
+        return "".join(out)
+    return ERR_INTERNAL
+
+
+# ----------------------------------------------------------------------
+# Value codec
+
+
+def wire_encode(value):
+    """Encode an engine value into JSON-able data (tagging oids/sets)."""
+    if isinstance(value, Oid):
+        return {"$oid": [value.space, value.number]}
+    if isinstance(value, (set, frozenset)):
+        return {"$set": [wire_encode(v) for v in sorted(value, key=repr)]}
+    if isinstance(value, dict):
+        return {str(k): wire_encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [wire_encode(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ProtocolError(
+        f"value of type {type(value).__name__} cannot cross the wire"
+    )
+
+
+def wire_decode(value):
+    """Invert :func:`wire_encode`."""
+    if isinstance(value, dict):
+        if set(value) == {"$oid"}:
+            space, number = value["$oid"]
+            return Oid(str(space), int(number))
+        if set(value) == {"$set"}:
+            return {wire_decode(v) for v in value["$set"]}
+        return {k: wire_decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [wire_decode(v) for v in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Framing
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Serialize ``payload`` and write one frame."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame: int = MAX_FRAME
+) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF between frames.
+
+    Raises :class:`ProtocolError` (code ``frame_too_large``) after
+    *discarding* an oversized payload — the stream stays framed, so the
+    caller can answer with an error frame and keep the connection.
+    Raises :class:`ConnectionClosed` on EOF inside a frame.
+    """
+    header = _recv_exact(sock, _LENGTH.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > max_frame:
+        _discard_exact(sock, length)
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds limit of {max_frame}",
+            code=ERR_FRAME_TOO_LARGE,
+        )
+    data = _recv_exact(sock, length)
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def result_frame(request_id, result) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_frame(request_id, code: str, message: str) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def _recv_exact(sock, count: int, allow_eof: bool = False):
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ConnectionClosed("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _discard_exact(sock, count: int) -> None:
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            raise ConnectionClosed("connection closed mid-frame")
+        remaining -= len(chunk)

@@ -1,0 +1,377 @@
+"""The TCP server: accept loop, connection threads, lifecycle.
+
+:class:`ViewServer` owns the shared database scopes, the catalog-wide
+reader-writer lock and the metrics. Each accepted connection gets a
+daemon thread running :meth:`ViewServer._serve_connection`: read one
+frame, classify it read/write, acquire the corresponding side of the
+lock (bounded by ``request_timeout``), dispatch through the
+connection's private :class:`~repro.server.session.ServerSession`, and
+answer with exactly one frame. Every failure mode answers with a
+*structured error frame* — parse errors, oversized frames, unknown
+ops, engine errors, lock timeouts — the connection is only dropped
+when the transport itself dies.
+
+Robustness limits:
+
+- ``max_frame`` bounds one request's size (oversized payloads are
+  drained and refused, the connection survives);
+- ``max_connections`` bounds concurrent clients; excess connections
+  receive a ``server_busy`` error frame and are closed (backpressure
+  instead of an unbounded thread pile-up);
+- ``request_timeout`` bounds lock acquisition, so one long writer
+  cannot wedge every reader silently;
+- :meth:`stop` drains gracefully: the listener closes first, in-flight
+  requests finish, then idle connections are torn down.
+  :meth:`serve_forever` installs a ``SIGTERM``/``SIGINT`` handler that
+  triggers exactly that drain.
+"""
+
+from __future__ import annotations
+
+import select
+import signal
+import socket
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from .locks import LockTimeoutError, ReadWriteLock
+from .metrics import ServerMetrics
+from .protocol import (
+    ERR_INTERNAL,
+    ERR_SERVER_BUSY,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    MAX_FRAME,
+    ConnectionClosed,
+    ProtocolError,
+    error_code_for,
+    error_frame,
+    recv_frame,
+    result_frame,
+    send_frame,
+)
+from .session import ServerSession
+
+# How often an idle connection thread re-checks the stop flag.
+_POLL_INTERVAL = 0.2
+
+
+class ViewServer:
+    """Serves a catalog of shared scopes to many clients over TCP."""
+
+    def __init__(
+        self,
+        scopes: Sequence,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        max_frame: int = MAX_FRAME,
+        request_timeout: float = 10.0,
+        lock=None,
+    ):
+        self._scopes = list(scopes)
+        self._host = host
+        self._port = port
+        self._max_connections = max_connections
+        self._max_frame = max_frame
+        self._request_timeout = request_timeout
+        self.lock = lock if lock is not None else ReadWriteLock()
+        self.metrics = ServerMetrics()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._connections: List[socket.socket] = []
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, start the accept thread, return ``(host, port)``."""
+        if self._started:
+            raise RuntimeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(128)
+        self._listener = listener
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        close connections."""
+        if not self._started or self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=drain_timeout)
+        deadline = time.monotonic() + drain_timeout
+        for thread in list(self._threads):
+            remaining = max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+        # Anything still alive is past the drain budget: cut transport.
+        with self._conn_lock:
+            leftovers = list(self._connections)
+        for conn in leftovers:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in list(self._threads):
+            thread.join(timeout=1.0)
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until ``SIGTERM``/``SIGINT``."""
+        if not self._started:
+            self.start()
+        stop_requested = threading.Event()
+
+        def _handler(signum, frame):
+            stop_requested.set()
+
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                installed.append((signum, signal.signal(signum, _handler)))
+            except ValueError:  # not the main thread
+                pass
+        try:
+            while not stop_requested.wait(timeout=0.5):
+                pass
+        finally:
+            for signum, previous in installed:
+                signal.signal(signum, previous)
+            self.stop()
+
+    def __enter__(self) -> "ViewServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Accept loop
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                ready, _, _ = select.select([listener], [], [], _POLL_INTERVAL)
+            except (OSError, ValueError):
+                return
+            if not ready:
+                continue
+            try:
+                conn, _peer = listener.accept()
+            except OSError:
+                return
+            if self._active_connections() >= self._max_connections:
+                self.metrics.record_connection("rejected")
+                self._refuse(conn)
+                continue
+            self.metrics.record_connection("opened")
+            self._threads = [t for t in self._threads if t.is_alive()]
+            with self._conn_lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-conn",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _active_connections(self) -> int:
+        with self._conn_lock:
+            return len(self._connections)
+
+    def _refuse(self, conn: socket.socket) -> None:
+        try:
+            send_frame(
+                conn,
+                error_frame(
+                    None,
+                    ERR_SERVER_BUSY,
+                    f"connection limit of {self._max_connections} reached",
+                ),
+            )
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        session = ServerSession(self._scopes, metrics=self.metrics)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    ready, _, _ = select.select(
+                        [conn], [], [], _POLL_INTERVAL
+                    )
+                except (OSError, ValueError):
+                    return
+                if not ready:
+                    continue
+                if not self._serve_one(conn, session):
+                    return
+        finally:
+            self._close_connection(conn)
+
+    def _serve_one(
+        self, conn: socket.socket, session: ServerSession
+    ) -> bool:
+        """Handle one request; False ends the connection."""
+        request_id = None
+        try:
+            request = recv_frame(conn, self._max_frame)
+        except ProtocolError as error:
+            # Oversized or malformed frame: refuse it, keep the
+            # connection (the stream is still framed).
+            return self._answer(
+                conn, error_frame(None, error_code_for(error), str(error))
+            )
+        except (ConnectionClosed, OSError):
+            return False
+        if request is None:  # clean EOF
+            return False
+        request_id = request.get("id")
+        if self._stopping.is_set():
+            return self._answer(
+                conn,
+                error_frame(
+                    request_id, ERR_SHUTTING_DOWN, "server is draining"
+                ),
+            )
+        op = str(request.get("op"))
+        kind = session.classify(request)
+        start = time.perf_counter()
+        error_code = None
+        try:
+            with self.lock.locked(kind, timeout=self._request_timeout):
+                result = session.handle(request)
+            frame = result_frame(request_id, result)
+        except LockTimeoutError as error:
+            error_code = ERR_TIMEOUT
+            frame = error_frame(request_id, ERR_TIMEOUT, str(error))
+        except ProtocolError as error:
+            error_code = error_code_for(error)
+            frame = error_frame(request_id, error_code, str(error))
+        except Exception as error:  # engine errors -> structured frames
+            error_code = error_code_for(error)
+            message = (
+                str(error)
+                if error_code != ERR_INTERNAL
+                else f"{type(error).__name__}: {error}"
+            )
+            frame = error_frame(request_id, error_code, message)
+        elapsed = time.perf_counter() - start
+        self.metrics.record_request(op, kind, elapsed, error_code)
+        return self._answer(conn, frame)
+
+    def _answer(self, conn: socket.socket, frame: dict) -> bool:
+        try:
+            send_frame(conn, frame)
+            return True
+        except OSError:
+            return False
+
+    def _close_connection(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            if conn in self._connections:
+                self._connections.remove(conn)
+                self.metrics.record_connection("closed")
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (``repro serve``)
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``repro serve [--demo] [--store PATH] [--host H] [--port P]``.
+
+    ``--demo`` serves the paper's demo workloads; ``--store PATH``
+    serves a persistent database journaled to ``PATH`` (created empty
+    if absent) so mutations survive restarts; with neither, an empty
+    catalog is served (clients can still create views over nothing —
+    mostly useful for smoke tests).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description=serve_main.__doc__
+    )
+    parser.add_argument("--demo", action="store_true")
+    parser.add_argument("--store", default=None, metavar="PATH")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474)
+    parser.add_argument(
+        "--max-connections", type=int, default=64, dest="max_connections"
+    )
+    args = parser.parse_args(argv)
+
+    scopes = []
+    store = None
+    if args.demo:
+        from ..workloads import build_navy_db, build_people_db
+
+        scopes = [build_people_db(40, seed=1), build_navy_db(4, seed=2)]
+    if args.store:
+        from ..storage.persistence import open_persistent
+        from ..storage.stores import FileStore
+
+        store = FileStore(args.store)
+        db, _manager = open_persistent(store, name="db")
+        scopes.append(db)
+
+    server = ViewServer(
+        scopes,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+    )
+    host, port = server.start()
+    names = ", ".join(s.scope_name for s in scopes) or "(empty catalog)"
+    print(f"repro server on {host}:{port} serving {names}")
+    try:
+        server.serve_forever()
+    finally:
+        if store is not None:
+            store.close()
+    return 0

@@ -1,0 +1,170 @@
+"""Per-connection sessions: request dispatch over a private view stack.
+
+Each client connection owns one :class:`ServerSession`. It wraps the
+shell's :class:`repro.cli.Session` with a *fresh catalog over the
+shared database scopes*: the databases themselves are the server's
+single shared copies, but every view a connection defines is private
+to it — exactly the paper's §2 scenario of different users holding
+different restructured views of one database.
+
+The session also classifies each request as a read or a write for the
+server's reader-writer lock:
+
+- ``select`` queries and introspection dot-commands only read shared
+  state — they run under the shared read lock;
+- view DDL (``import``, ``hide``, ``class … includes``, ``attribute``)
+  mutates only the private view, but *subscribes to the shared event
+  bus* and reads schema that a concurrent writer may be redefining, so
+  it serializes as a write;
+- ``create`` / ``update`` / ``delete`` mutate the shared databases and
+  fan events out to every connection's views: writes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..cli import Session
+from ..engine.oid import Oid
+from .protocol import ERR_UNKNOWN_OP, ProtocolError, wire_decode, wire_encode
+
+READ = "read"
+WRITE = "write"
+
+# Dot-commands that only read (``.use`` and ``.stats reset`` touch
+# connection-private state only, so they are reads for lock purposes).
+_READ_COMMANDS = {
+    ".help",
+    ".databases",
+    ".use",
+    ".classes",
+    ".schema",
+    ".extent",
+    ".explain",
+    ".stats",
+}
+
+
+class ServerSession:
+    """One connection's state: a private shell session plus dispatch."""
+
+    def __init__(self, shared_scopes, metrics=None):
+        self.session = Session(list(shared_scopes))
+        self._metrics = metrics
+
+    # ------------------------------------------------------------------
+    # Classification
+
+    def classify(self, request: dict) -> str:
+        """``read`` or ``write`` — which side of the RW lock this op
+        needs."""
+        op = request.get("op")
+        if op in ("create", "update", "delete"):
+            return WRITE
+        if op != "execute":
+            return READ
+        line = str(request.get("line", "")).strip()
+        if line.rstrip(";").lstrip().lower().startswith("select"):
+            return READ
+        if line.startswith("."):
+            command = line.split(None, 1)[0]
+            return READ if command in _READ_COMMANDS else WRITE
+        return WRITE
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    def handle(self, request: dict):
+        """Execute one request dict, returning a JSON-able result.
+
+        Raises :class:`ProtocolError` for malformed requests and lets
+        :class:`ReproError` escape for the server to turn into an
+        error frame.
+        """
+        op = request.get("op")
+        handler = self._HANDLERS.get(op)
+        if handler is None:
+            raise ProtocolError(
+                f"unknown op: {op!r}", code=ERR_UNKNOWN_OP
+            )
+        return handler(self, request)
+
+    # -- operations ----------------------------------------------------
+
+    def _op_ping(self, request: dict):
+        return "pong"
+
+    def _op_execute(self, request: dict):
+        line = request.get("line")
+        if not isinstance(line, str):
+            raise ProtocolError("execute requires a string 'line'")
+        output = self.session.execute(line)
+        if self._metrics is not None and line.strip() == ".stats":
+            output = (
+                f"{output}\n-- server --\n{self._metrics.describe()}"
+            )
+        return {"output": output}
+
+    def _op_databases(self, request: dict):
+        return {"names": self.session.catalog.names()}
+
+    def _op_stats(self, request: dict):
+        if self._metrics is None:
+            return {}
+        return self._metrics.snapshot()
+
+    def _op_create(self, request: dict):
+        scope, cls = self._mutable_scope(request, need_class=True)
+        value = wire_decode(request.get("value") or {})
+        if not isinstance(value, dict):
+            raise ProtocolError("create 'value' must be an object")
+        handle = scope.create(cls, value)
+        return {"oid": wire_encode(handle.oid), "class": cls}
+
+    def _op_update(self, request: dict):
+        scope, _ = self._mutable_scope(request)
+        oid = self._oid_of(request)
+        attribute = request.get("attribute")
+        if not isinstance(attribute, str):
+            raise ProtocolError("update requires a string 'attribute'")
+        scope.update(oid, attribute, wire_decode(request.get("value")))
+        return {"updated": wire_encode(oid)}
+
+    def _op_delete(self, request: dict):
+        scope, _ = self._mutable_scope(request)
+        oid = self._oid_of(request)
+        scope.delete(oid)
+        return {"deleted": wire_encode(oid)}
+
+    # -- helpers -------------------------------------------------------
+
+    def _mutable_scope(
+        self, request: dict, need_class: bool = False
+    ) -> Tuple[object, str]:
+        name = request.get("database")
+        if not isinstance(name, str):
+            raise ProtocolError("a 'database' name is required")
+        scope = self.session.catalog.get(name)
+        cls = request.get("class")
+        if need_class and not isinstance(cls, str):
+            raise ProtocolError("a 'class' name is required")
+        return scope, cls
+
+    def _oid_of(self, request: dict) -> Oid:
+        oid = wire_decode(request.get("oid"))
+        if not isinstance(oid, Oid):
+            raise ProtocolError(
+                "an 'oid' of the form {\"$oid\": [space, number]}"
+                " is required"
+            )
+        return oid
+
+    _HANDLERS: Dict[str, Callable] = {
+        "ping": _op_ping,
+        "execute": _op_execute,
+        "databases": _op_databases,
+        "stats": _op_stats,
+        "create": _op_create,
+        "update": _op_update,
+        "delete": _op_delete,
+    }

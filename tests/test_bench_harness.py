@@ -8,6 +8,7 @@ from repro.bench import (
     microseconds,
     ratio,
     scaled,
+    server_metrics_table,
     throughput,
     time_call,
 )
@@ -78,3 +79,20 @@ class TestTiming:
         assert microseconds(0.001) == 1000
         assert ratio(10, 2) == 5
         assert ratio(1, 0) == float("inf")
+
+
+class TestServerMetricsTable:
+    def test_renders_read_write_rows_and_summary_note(self):
+        from repro.server.metrics import ServerMetrics
+
+        metrics = ServerMetrics()
+        metrics.record_connection("opened")
+        metrics.record_request("execute", "read", 0.002)
+        metrics.record_request("create", "write", 0.001)
+        metrics.record_request("execute", "read", 0.004, "timeout")
+        table = server_metrics_table(metrics, title="T")
+        rendered = table.render()
+        assert "read" in rendered and "write" in rendered
+        assert "p99 ms" in rendered
+        assert "errors: 1" in rendered
+        assert "1 opened" in rendered

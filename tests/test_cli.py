@@ -39,6 +39,22 @@ class TestStatements:
         out = session.execute("import all classes from database Ghost;")
         assert out.startswith("error:")
 
+    def test_non_repro_exception_is_reported_not_raised(self, session):
+        # A missing .load file raises FileNotFoundError inside the
+        # session; a server connection must get an error string, not a
+        # propagated exception.
+        out = session.execute(".load /no/such/file.ddl")
+        assert out.startswith("error: FileNotFoundError")
+
+    def test_computed_attribute_crash_is_reported(self, session, tiny_db):
+        tiny_db.register_function("boom", lambda h: {}["missing"])
+        out = session.execute("select P from Person where boom(P) = 1")
+        assert out.startswith("error:")
+
+    def test_quit_still_exits_after_broad_catch(self, session):
+        with pytest.raises(SystemExit):
+            session.execute(".quit")
+
 
 class TestQueries:
     def test_query_against_database_scope(self, session):

@@ -96,6 +96,77 @@ class TestTrackerAPI:
         assert deps.frozen().classes() == {"A", "B"}
 
 
+class TestThreadLocalStack:
+    def test_tracker_stacks_are_per_thread(self, mixed_db):
+        """Concurrent evaluations must not leak reads across threads.
+
+        Two threads each run a tracked computation against a different
+        class; a shared (process-wide) stack would merge both read sets
+        into both trackers. Barriers force the two tracked sections to
+        overlap in time.
+        """
+        import threading
+
+        ready = threading.Barrier(2, timeout=10)
+        recorded = threading.Barrier(2, timeout=10)
+        results = {}
+        failures = []
+
+        def tracked_read(label, class_name, attribute):
+            try:
+                with DependencyTracker() as tracker:
+                    ready.wait()  # both trackers active before any read
+                    record_extent_read(class_name)
+                    record_attribute_read(class_name, attribute)
+                    for oid in mixed_db.extent(class_name):
+                        getattr(mixed_db.get(oid), attribute)
+                    recorded.wait()  # both done reading before exit
+                results[label] = tracker.deps
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        threads = [
+            threading.Thread(
+                target=tracked_read, args=("a", "Person", "Age")
+            ),
+            threading.Thread(
+                target=tracked_read, args=("b", "Product", "Price")
+            ),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not failures
+        assert results["a"].extents == {"Person"}
+        assert results["a"].attributes == {("Person", "Age")}
+        assert results["b"].extents == {"Product"}
+        assert results["b"].attributes == {("Product", "Price")}
+
+    def test_other_threads_tracker_invisible_here(self):
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+
+        def hold_tracker():
+            with DependencyTracker():
+                started.set()
+                release.wait(timeout=10)
+
+        t = threading.Thread(target=hold_tracker)
+        t.start()
+        try:
+            assert started.wait(timeout=10)
+            # The other thread's active tracker must not make *this*
+            # thread record.
+            assert not ACTIVE_TRACKERS
+            record_extent_read("Person")
+        finally:
+            release.set()
+            t.join(timeout=10)
+
+
 class TestCacheSurvival:
     def test_cache_survives_unrelated_class_update(self, mixed_db, adult_view):
         vclass = adult_view.virtual_class("Adult")

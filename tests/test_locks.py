@@ -1,0 +1,120 @@
+"""Tests for the server's reader-writer lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.server.locks import (
+    ExclusiveLock,
+    LockTimeoutError,
+    ReadWriteLock,
+)
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read_locked(timeout=5):
+                inside.wait()  # all three must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        assert lock.acquire_write(timeout=1)
+
+        def reader():
+            with lock.read_locked(timeout=5):
+                order.append("reader")
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        order.append("writer-release")
+        lock.release_write()
+        t.join(timeout=5)
+        assert order == ["writer-release", "reader"]
+
+    def test_writers_exclude_each_other(self):
+        lock = ReadWriteLock()
+        assert lock.acquire_write(timeout=1)
+        assert lock.acquire_write(timeout=0.05) is False
+        lock.release_write()
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        assert lock.acquire_read(timeout=1)
+        writer_started = threading.Event()
+        got_write = []
+
+        def writer():
+            writer_started.set()
+            got_write.append(lock.acquire_write(timeout=5))
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        writer_started.wait(timeout=5)
+        time.sleep(0.05)  # let the writer reach the wait
+        # Writer preference: a new reader must now time out.
+        assert lock.acquire_read(timeout=0.05) is False
+        lock.release_read()
+        t.join(timeout=5)
+        assert got_write == [True]
+        # After the writer passes, readers flow again.
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_read_timeout_raises_in_context_manager(self):
+        lock = ReadWriteLock()
+        assert lock.acquire_write(timeout=1)
+        with pytest.raises(LockTimeoutError):
+            with lock.read_locked(timeout=0.05):
+                pass  # pragma: no cover
+        lock.release_write()
+
+    def test_release_without_acquire_is_an_error(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_locked_dispatches_on_mode(self):
+        lock = ReadWriteLock()
+        with lock.locked("read", timeout=1):
+            # A second reader may enter...
+            assert lock.acquire_read(timeout=0.1)
+            lock.release_read()
+        with lock.locked("write", timeout=1):
+            # ...but nobody shares with a writer.
+            assert lock.acquire_read(timeout=0.05) is False
+
+
+class TestExclusiveLock:
+    def test_serializes_readers(self):
+        lock = ExclusiveLock()
+        assert lock.acquire_read(timeout=1)
+        assert lock.acquire_read(timeout=0.05) is False
+        lock.release_read()
+
+    def test_context_managers(self):
+        lock = ExclusiveLock()
+        with lock.read_locked(timeout=1):
+            pass
+        with lock.write_locked(timeout=1):
+            pass
+        with lock.locked("read", timeout=1):
+            assert lock.acquire_write(timeout=0.05) is False

@@ -1,0 +1,305 @@
+"""Tests for the multi-client network server (repro.server)."""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.engine.oid import Oid
+from repro.server import Client, ServerError, ViewServer
+from repro.server.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+    wire_decode,
+    wire_encode,
+)
+from repro.storage.persistence import open_persistent
+from repro.storage.stores import FileStore
+from repro.workloads import build_people_db
+
+
+@pytest.fixture
+def server():
+    srv = ViewServer([build_people_db(20, seed=1)])
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with Client(host, port) as c:
+        yield c
+
+
+class TestWireProtocol:
+    def test_wire_codec_roundtrips_oids_and_sets(self):
+        value = {
+            "who": Oid("Staff", 7),
+            "kids": {Oid("Staff", 1), Oid("Staff", 2)},
+            "nested": [1, "two", None, {"x": 3.5}],
+        }
+        encoded = wire_encode(value)
+        json.dumps(encoded)  # must be pure JSON
+        assert wire_decode(encoded) == value
+
+    def test_wire_encode_rejects_opaque_values(self):
+        with pytest.raises(ProtocolError):
+            wire_encode(object())
+
+    def test_frame_roundtrip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"id": 1, "op": "ping"})
+            assert recv_frame(right) == {"id": 1, "op": "ping"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_is_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+
+class TestBasicService:
+    def test_ping(self, client):
+        assert client.ping() == "pong"
+
+    def test_databases_lists_shared_scopes(self, client):
+        assert client.databases() == ["Staff"]
+
+    def test_full_view_flow_over_the_wire(self, client):
+        client.execute("create view V;")
+        client.execute("import all classes from database Staff;")
+        client.execute(
+            "class Adult includes"
+            " (select P from Person where P.Age >= 21);"
+        )
+        out = client.execute("select A from Adult")
+        assert "result(s)" in out
+
+    def test_sessions_are_private_per_connection(self, server, client):
+        client.execute("create view V;")
+        client.execute("import all classes from database Staff;")
+        host, port = server.address
+        with Client(host, port) as other:
+            # The other connection's catalog has the shared database
+            # but not this connection's view.
+            assert other.databases() == ["Staff"]
+        assert "V" in client.databases()
+
+    def test_mutations_are_shared_across_connections(self, server, client):
+        oid = client.create(
+            "Staff", "Person", {"Name": "Zed", "Age": 33}
+        )
+        assert isinstance(oid, Oid)
+        host, port = server.address
+        with Client(host, port) as other:
+            other.execute(".use Staff")
+            out = other.execute("select P from Person where P.Name = 'Zed'")
+            assert "Zed" in out
+        client.update("Staff", oid, "Age", 34)
+        client.delete("Staff", oid)
+        out = client.execute("select P from Person where P.Name = 'Zed'")
+        assert out == "(no results)"
+
+
+class TestErrorFrames:
+    def test_unknown_op_is_an_error_frame_not_a_drop(self, client):
+        with pytest.raises(ServerError) as info:
+            client.call("frobnicate")
+        assert info.value.code == "unknown_op"
+        assert client.ping() == "pong"
+
+    def test_bad_statement_keeps_connection_alive(self, client):
+        out = client.execute("class X includes")
+        assert out.startswith("error:")
+        assert client.ping() == "pong"
+
+    def test_engine_error_maps_to_stable_code(self, client):
+        with pytest.raises(ServerError) as info:
+            client.create("Staff", "NoSuchClass", {})
+        assert info.value.code == "unknown_class_error"
+        assert client.ping() == "pong"
+
+    def test_unknown_database_is_an_error_frame(self, client):
+        with pytest.raises(ServerError) as info:
+            client.create("Ghost", "Person", {})
+        assert info.value.code == "language_error"
+
+    def test_malformed_json_frame_gets_error_frame(self, server):
+        host, port = server.address
+        raw = socket.create_connection((host, port), timeout=5)
+        try:
+            payload = b"this is not json"
+            raw.sendall(struct.pack(">I", len(payload)) + payload)
+            response = recv_frame(raw)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+            # Connection is still usable afterwards.
+            send_frame(raw, {"id": 9, "op": "ping"})
+            assert recv_frame(raw)["result"] == "pong"
+        finally:
+            raw.close()
+
+    def test_oversized_frame_is_refused_but_survivable(self):
+        srv = ViewServer([build_people_db(5, seed=1)], max_frame=1024)
+        host, port = srv.start()
+        raw = socket.create_connection((host, port), timeout=5)
+        try:
+            big = json.dumps(
+                {"id": 1, "op": "execute", "line": "x" * 4096}
+            ).encode()
+            raw.sendall(struct.pack(">I", len(big)) + big)
+            response = recv_frame(raw)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "frame_too_large"
+            send_frame(raw, {"id": 2, "op": "ping"})
+            assert recv_frame(raw)["result"] == "pong"
+        finally:
+            raw.close()
+            srv.stop()
+
+
+class TestBackpressure:
+    def test_connection_limit_rejects_with_busy_frame(self):
+        srv = ViewServer([build_people_db(5, seed=1)], max_connections=2)
+        host, port = srv.start()
+        clients = []
+        try:
+            for _ in range(2):
+                c = Client(host, port)
+                c.ping()  # ensure the server registered the connection
+                clients.append(c)
+            extra = Client(host, port)
+            with pytest.raises((ServerError, ConnectionClosed)) as info:
+                extra.ping()
+            if info.type is ServerError:
+                assert info.value.code == "server_busy"
+            extra.close()
+            assert srv.metrics.connections_rejected >= 1
+        finally:
+            for c in clients:
+                c.close()
+            srv.stop()
+
+
+class TestConcurrency:
+    def test_parallel_mixed_workload_no_dropped_frames(self, server):
+        host, port = server.address
+        errors = []
+        done = []
+
+        def worker(index):
+            try:
+                with Client(host, port) as c:
+                    c.execute("create view W;")
+                    c.execute("import all classes from database Staff;")
+                    for i in range(15):
+                        if i % 5 == 4:
+                            oid = c.create(
+                                "Staff",
+                                "Person",
+                                {"Name": f"T{index}-{i}", "Age": 40},
+                            )
+                            c.update("Staff", oid, "Age", 41)
+                        else:
+                            c.execute(
+                                "select P from Person where P.Age >= 21"
+                            )
+                    done.append(index)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert sorted(done) == list(range(8))
+        assert server.metrics.total_errors == 0
+
+    def test_writer_invalidates_other_connections_views(self, server):
+        host, port = server.address
+        with Client(host, port) as reader, Client(host, port) as writer:
+            reader.execute("create view V;")
+            reader.execute("import all classes from database Staff;")
+            reader.execute(
+                "class Senior includes"
+                " (select P from Person where P.Age >= 65);"
+            )
+            before = reader.execute("select S from Senior")
+            writer.create(
+                "Staff", "Person", {"Name": "Methuselah", "Age": 96}
+            )
+            after = reader.execute("select S from Senior")
+            assert "Methuselah" in after
+            assert after != before
+
+
+class TestShutdown:
+    def test_stop_is_idempotent_and_clients_see_eof(self, server):
+        host, port = server.address
+        c = Client(host, port)
+        assert c.ping() == "pong"
+        server.stop()
+        server.stop()
+        with pytest.raises((ConnectionClosed, OSError)):
+            for _ in range(5):
+                c.ping()
+        c.close()
+
+
+class TestDurability:
+    def test_restart_replays_journal_for_reconnecting_client(self, tmp_path):
+        path = str(tmp_path / "served.db")
+
+        def setup(db):
+            db.define_class(
+                "Person",
+                attributes={"Name": "string", "Age": "integer"},
+            )
+
+        # First server lifetime: mutate over the wire.
+        store = FileStore(path)
+        db, _manager = open_persistent(store, name="Ops", setup=setup)
+        srv = ViewServer([db])
+        host, port = srv.start()
+        with Client(host, port) as c:
+            oid = c.create("Ops", "Person", {"Name": "Ada", "Age": 36})
+            c.update("Ops", oid, "Age", 37)
+            doomed = c.create("Ops", "Person", {"Name": "Tmp", "Age": 1})
+            c.delete("Ops", doomed)
+        srv.stop()
+        store.close()
+
+        # Second lifetime: a fresh Database restored from the journal.
+        store = FileStore(path)
+        db2, _manager2 = open_persistent(store, name="Ops", setup=setup)
+        assert db2 is not db
+        srv2 = ViewServer([db2])
+        host, port = srv2.start()
+        try:
+            with Client(host, port) as c:
+                c.execute(".use Ops")
+                out = c.execute("select P from Person where P.Name = 'Ada'")
+                assert "Ada" in out and "Age=37" in out
+                gone = c.execute(
+                    "select P from Person where P.Name = 'Tmp'"
+                )
+                assert gone == "(no results)"
+        finally:
+            srv2.stop()
+            store.close()

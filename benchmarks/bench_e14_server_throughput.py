@@ -22,7 +22,7 @@ import random
 import threading
 import time
 
-from common import emit
+from common import SMOKE, emit
 from repro.bench import Table, ratio, scaled, server_metrics_table
 from repro.server import Client, ViewServer
 from repro.server.locks import ExclusiveLock
@@ -233,10 +233,11 @@ def run_read_scaling():
             results["rw"][1],
             results["serial"][1],
         )
-    assert speedup_at_8 is not None and speedup_at_8 > 1.3, (
-        "parallel readers should beat the serialized baseline at 8"
-        f" clients, got {speedup_at_8:.2f}x"
-    )
+    if not SMOKE:  # timing claims are meaningless at smoke scale
+        assert speedup_at_8 is not None and speedup_at_8 > 1.3, (
+            "parallel readers should beat the serialized baseline at 8"
+            f" clients, got {speedup_at_8:.2f}x"
+        )
     table.note(
         f"reads simulate {PAGE_FETCH_S * 1e6:.0f}us page fetches per"
         " object (sleep releases the GIL), so lock discipline is the"

@@ -27,8 +27,8 @@ from .core.view import View
 from .engine.objects import ObjectHandle, TupleValue
 from .errors import ReproError
 from .lang.executor import Catalog, run_script
-from .query.eval import evaluate
-from .query.optimizer import explain
+from .query.planner import execute as plan_execute
+from .query.planner import explain_plan, plan_cache_of
 
 HELP = """\
 Statements end with ';'. Anything starting with 'select' is a query.
@@ -40,7 +40,7 @@ Dot commands:
   .schema CLASS       show a class's attributes and parents
   .extent CLASS       list the extent of a class
   .explain QUERY      show the access plan for a query
-  .stats [reset]      view-maintenance cache counters of the current view
+  .stats [reset]      maintenance + query-plan counters of the current scope
   .load FILE          execute a script file
   .quit               leave the shell"""
 
@@ -109,7 +109,7 @@ class Session:
             return "\n".join(self._render(h) for h in handles) or "(empty)"
         if command == ".explain":
             scope = self._require_scope()
-            return explain(argument, scope)
+            return explain_plan(argument, scope)
         if command == ".stats":
             return self._stats(argument)
         if command == ".load":
@@ -145,19 +145,20 @@ class Session:
     def _stats(self, argument: str) -> str:
         scope = self._require_scope()
         stats = getattr(scope, "stats", None)
-        if stats is None:
-            return (
-                f"{getattr(scope, 'scope_name', scope)!s} is not a view;"
-                " maintenance stats are tracked per view"
-            )
+        cache = plan_cache_of(scope)
         if argument == "reset":
-            stats.reset()
+            if stats is not None:
+                stats.reset()
+            cache.reset_counters()
             return "stats reset"
-        return stats.describe()
+        if stats is not None:
+            # Views: ViewStats already carries the plan counters.
+            return stats.describe()
+        return cache.describe()
 
     def _query(self, text: str) -> str:
         scope = self._require_scope()
-        result = evaluate(text, scope)
+        result = plan_execute(text, scope)
         if not isinstance(result, list):
             return self._render(result)
         if not result:

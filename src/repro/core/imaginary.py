@@ -44,7 +44,7 @@ from ..engine.types import TupleType
 from ..engine.values import canonicalize
 from ..errors import ImaginaryObjectError, UnknownOidError
 from ..query.ast import Select
-from ..query.eval import evaluate
+from ..query.planner import execute as plan_execute
 from ..query.typecheck import TypeEnvironment, infer_element_type
 
 
@@ -301,7 +301,7 @@ class ImaginaryClass:
 
     def _evaluate(self) -> List[Dict[str, object]]:
         with self._view.internal_evaluation():
-            results = evaluate(self._query, self._view)
+            results = plan_execute(self._query, self._view)
         if not isinstance(results, list):
             results = [results]
         tuples: List[Dict[str, object]] = []

@@ -35,7 +35,7 @@ from ..engine.values import canonicalize
 from ..errors import VirtualClassError
 from ..query.analysis import guaranteed_classes
 from ..query.ast import Binary, Binding, ClassSource, Expr, Path, Select, Var
-from ..query.eval import evaluate
+from ..query.planner import execute as plan_execute
 from .population import Member, PredicateMember, QueryMember
 
 
@@ -127,7 +127,9 @@ class ClassFamily:
     def _instantiate_members(self, bindings, args, members: set) -> None:
         for member in self._members:
             if isinstance(member, QueryMember):
-                results = evaluate(member.query, self._view, bindings=bindings)
+                results = plan_execute(
+                    member.query, self._view, bindings=bindings
+                )
                 for result in results:
                     if not isinstance(result, ObjectHandle):
                         raise VirtualClassError(

@@ -28,7 +28,13 @@ class ViewStats:
       only the buffered created/updated/deleted oids;
     - ``full_recomputes`` — a population was evaluated from scratch;
     - ``invalidations_by_class`` — how many mutation events arrived per
-      (real) class name, i.e. which classes are driving invalidation.
+      (real) class name, i.e. which classes are driving invalidation;
+    - ``plans_compiled`` / ``plan_cache_hits`` — how often a query run
+      against this view had to be compiled to a fresh plan vs. served
+      from the plan cache (see :mod:`repro.query.planner`);
+    - ``index_probes`` / ``range_probes`` — how many executions used an
+      index equality probe or an ordered-index range scan instead of a
+      full extent scan.
     """
 
     hits: int = 0
@@ -36,6 +42,10 @@ class ViewStats:
     delta_patches: int = 0
     full_recomputes: int = 0
     invalidations_by_class: Dict[str, int] = field(default_factory=dict)
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    index_probes: int = 0
+    range_probes: int = 0
 
     def record_hit(self) -> None:
         self.hits += 1
@@ -53,12 +63,28 @@ class ViewStats:
             self.invalidations_by_class.get(class_name, 0) + 1
         )
 
+    def record_plan_compiled(self) -> None:
+        self.plans_compiled += 1
+
+    def record_plan_hit(self) -> None:
+        self.plan_cache_hits += 1
+
+    def record_index_probe(self) -> None:
+        self.index_probes += 1
+
+    def record_range_probe(self) -> None:
+        self.range_probes += 1
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.delta_patches = 0
         self.full_recomputes = 0
         self.invalidations_by_class.clear()
+        self.plans_compiled = 0
+        self.plan_cache_hits = 0
+        self.index_probes = 0
+        self.range_probes = 0
 
     def describe(self) -> str:
         lines = [
@@ -66,6 +92,10 @@ class ViewStats:
             f"cache misses:    {self.misses}",
             f"delta patches:   {self.delta_patches}",
             f"full recomputes: {self.full_recomputes}",
+            f"plans compiled:  {self.plans_compiled}",
+            f"plan cache hits: {self.plan_cache_hits}",
+            f"index probes:    {self.index_probes}",
+            f"range probes:    {self.range_probes}",
         ]
         if self.invalidations_by_class:
             lines.append("invalidations by class:")

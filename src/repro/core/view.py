@@ -90,6 +90,10 @@ class View(Scope):
         # - _epoch is the monotone sum of all of the above, kept for
         #   `version` (any-change detection).
         self._schema_version = 0
+        # Hides invalidate compiled query plans but deliberately do
+        # NOT bump _schema_version (population caches evaluate with
+        # hides off and must survive); the plan cache keys on both.
+        self._hide_version = 0
         self._extent_versions: Dict[str, int] = {}
         self._attr_versions: Dict[Tuple[str, str], int] = {}
         self._epoch = 0
@@ -140,6 +144,11 @@ class View(Scope):
         """Bumped on every structural change (imports, definitions,
         class hides); all dependency snapshots include it."""
         return self._schema_version
+
+    @property
+    def hide_version(self) -> int:
+        """Bumped on every hide; cached query plans key on it."""
+        return self._hide_version
 
     @property
     def hides(self) -> HideSet:
@@ -360,6 +369,7 @@ class View(Scope):
             attribute,
             targets=(class_name, *self._schema.descendants(class_name)),
         )
+        self._hide_version += 1
         self._epoch += 1
 
     def hide_attributes(
@@ -372,6 +382,7 @@ class View(Scope):
         self._schema.require(class_name)
         self._hides.hide_class(class_name)
         self.definition_log.append(("hide_class", class_name))
+        self._hide_version += 1
         self._invalidate_schema()
 
     # ------------------------------------------------------------------
@@ -830,8 +841,10 @@ class View(Scope):
             self.function_types[name] = type_from_signature(result_type)
 
     def query(self, query, **parameters):
-        """Evaluate a query against this view."""
-        return evaluate(query, self, bindings=parameters or None)
+        """Evaluate a query against this view (via the plan cache)."""
+        from ..query.planner import execute
+
+        return execute(query, self, bindings=parameters or None)
 
 
 class _InternalEvaluation:

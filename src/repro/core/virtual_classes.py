@@ -36,7 +36,7 @@ virtual classes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..engine.events import Event, ObjectDeleted
 from ..engine.oid import EMPTY_OID_SET, Oid, OidSet
@@ -50,7 +50,8 @@ from ..engine.tracking import (
 )
 from ..errors import VirtualClassError
 from ..query.ast import Binding, ClassSource, Select, Var
-from ..query.eval import EvalEnv, evaluate, _eval_expr, _truthy
+from ..query.compile import Runtime, compile_test
+from ..query.planner import execute as plan_execute
 from .imaginary import ImaginaryClass
 from .population import (
     ClassMember,
@@ -92,6 +93,9 @@ class VirtualClass:
         self._delta_events: List[Event] = []
         self._delta_overflow = False
         self._evaluating = False
+        # Compiled per-member where-closures for the quick membership
+        # test, keyed by member identity (member ASTs are immutable).
+        self._member_tests: Dict[int, object] = {}
 
     @property
     def name(self) -> str:
@@ -341,7 +345,7 @@ class VirtualClass:
         if isinstance(member, ClassMember):
             return view.extent(member.class_name)
         if isinstance(member, QueryMember):
-            results = evaluate(member.query, view)
+            results = plan_execute(member.query, view)
             oids: Set[Oid] = set()
             for result in results:
                 if not isinstance(result, ObjectHandle):
@@ -426,12 +430,15 @@ class VirtualClass:
                 return False
             if where is None:
                 return True
-            env = EvalEnv(view, bindings={variable: view.get(oid)})
+            test = self._member_tests.get(id(member))
+            if test is None:
+                test = self._member_tests[id(member)] = compile_test(where)
+            env = {variable: view.get(oid)}
             internal = getattr(view, "internal_evaluation", None)
             if internal is not None:
                 with internal():
-                    return _truthy(_eval_expr(where, env))
-            return _truthy(_eval_expr(where, env))
+                    return test(Runtime(view), env)
+            return test(Runtime(view), env)
         if isinstance(member, ImaginaryMember):
             assert self._imaginary is not None
             return self._imaginary.contains(oid)

@@ -58,9 +58,18 @@ class Database(Scope):
             self._index_manager = IndexManager(self)
         return self._index_manager
 
-    def create_index(self, class_name: str, attribute: str):
-        """Create (or fetch) a hash index on a stored attribute."""
-        return self.indexes.create_index(class_name, attribute)
+    def create_index(self, class_name: str, attribute: str,
+                     kind: str = "hash"):
+        """Create (or fetch) an index on a stored attribute.
+
+        ``kind`` is ``"hash"`` (equality only) or ``"ordered"``
+        (equality plus ``<``/``<=``/``>``/``>=``/range predicates).
+        """
+        return self.indexes.create_index(class_name, attribute, kind)
+
+    def create_ordered_index(self, class_name: str, attribute: str):
+        """Create (or fetch) an ordered index on a stored attribute."""
+        return self.indexes.create_index(class_name, attribute, "ordered")
 
     def register_function(self, name: str, fn, result_type=None) -> None:
         """Register a named function usable in queries (e.g. ``gsd``)."""
@@ -71,10 +80,11 @@ class Database(Scope):
             self.function_types[name] = type_from_signature(result_type)
 
     def query(self, query, **parameters):
-        """Evaluate a query against this database."""
-        from ..query.eval import evaluate
+        """Evaluate a query against this database (via the plan
+        cache: compiled closures plus index/range probes)."""
+        from ..query.planner import execute
 
-        return evaluate(query, self, bindings=parameters or None)
+        return execute(query, self, bindings=parameters or None)
 
     # ------------------------------------------------------------------
     # Scope protocol

@@ -6,11 +6,23 @@ consistent under creates, updates and deletes. Query evaluation uses
 them for equality predicates on indexed attributes; parameterized
 classes (§4.2, ``Resident(X)``) use them to enumerate the non-empty
 parameter values cheaply.
+
+:class:`OrderedAttributeIndex` extends the hash index with sorted key
+lists so the planner can serve ``<``/``<=``/``>``/``>=``/range
+predicates with a ``bisect`` scan instead of a full extent walk.
+Numeric and string keys are kept in separate sorted lists (the model
+does not order values across types); booleans and structured values
+stay equality-only.
+
+Every index keeps an oid→key reverse map, so deletes (where the
+object's values are already gone) are O(1) instead of a scan over
+every bucket.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import SchemaError
 from .database import Database
@@ -38,6 +50,7 @@ class AttributeIndex:
         self._class_name = class_name
         self._attribute = attribute
         self._entries: Dict[object, Set[Oid]] = {}
+        self._oid_keys: Dict[Oid, object] = {}
         self._unsubscribe = database.events.subscribe(self._on_event)
         self._rebuild()
 
@@ -66,6 +79,7 @@ class AttributeIndex:
         """Detach the index from the event bus."""
         self._unsubscribe()
         self._entries.clear()
+        self._oid_keys.clear()
 
     # ------------------------------------------------------------------
 
@@ -74,6 +88,7 @@ class AttributeIndex:
 
     def _rebuild(self) -> None:
         self._entries.clear()
+        self._oid_keys.clear()
         for oid in self._db.extent(self._class_name, deep=True):
             self._insert(oid)
 
@@ -81,18 +96,37 @@ class AttributeIndex:
         value = self._db.raw_value(oid).get(self._attribute)
         if value is None:
             return
-        self._entries.setdefault(canonicalize(value), set()).add(oid)
+        self._add(oid, value)
 
-    def _remove(self, oid: Oid, value) -> None:
-        if value is None:
-            return
+    def _add(self, oid: Oid, value) -> None:
         key = canonicalize(value)
+        bucket = self._entries.get(key)
+        if bucket is None:
+            bucket = self._entries[key] = set()
+            self._key_added(key)
+        bucket.add(oid)
+        self._oid_keys[oid] = key
+
+    def _discard(self, oid: Oid) -> None:
+        key = self._oid_keys.pop(oid, None)
+        if key is None:
+            return
         bucket = self._entries.get(key)
         if bucket is None:
             return
         bucket.discard(oid)
         if not bucket:
             del self._entries[key]
+            self._key_removed(key)
+
+    # Hooks for ordered subclasses: called exactly when a bucket is
+    # created / becomes empty, with the canonical key.
+
+    def _key_added(self, key) -> None:
+        pass
+
+    def _key_removed(self, key) -> None:
+        pass
 
     def _on_event(self, event: Event) -> None:
         if isinstance(event, ObjectCreated) and self._covers(event.class_name):
@@ -102,43 +136,159 @@ class AttributeIndex:
                 return
             if not self._covers(event.class_name):
                 return
-            self._remove(event.oid, event.old_value)
+            self._discard(event.oid)
             if event.new_value is not None:
-                self._entries.setdefault(
-                    canonicalize(event.new_value), set()
-                ).add(event.oid)
+                self._add(event.oid, event.new_value)
         elif isinstance(event, ObjectDeleted) and self._covers(event.class_name):
-            value = None
-            # The object is already gone; scan buckets for the oid.
-            for key in list(self._entries):
-                bucket = self._entries[key]
-                if event.oid in bucket:
-                    bucket.discard(event.oid)
-                    if not bucket:
-                        del self._entries[key]
-                    break
+            # The object's values are already gone; the reverse map
+            # still knows its key.
+            self._discard(event.oid)
+
+
+class OrderedAttributeIndex(AttributeIndex):
+    """A hash index that also keeps its keys sorted for range scans.
+
+    Canonical keys tag the value's type (``("n", float)`` for numbers,
+    ``("a", str)`` for strings, …); the sorted lists hold the bare
+    payloads per type so ``bisect`` never compares across types.
+    """
+
+    def __init__(self, database: Database, class_name: str, attribute: str):
+        self._numeric_keys: List[float] = []
+        self._string_keys: List[str] = []
+        super().__init__(database, class_name, attribute)
+
+    def _rebuild(self) -> None:
+        self._numeric_keys.clear()
+        self._string_keys.clear()
+        super()._rebuild()
+
+    def _key_added(self, key) -> None:
+        tag = key[0]
+        if tag == "n":
+            insort(self._numeric_keys, key[1])
+        elif tag == "a":
+            insort(self._string_keys, key[1])
+
+    def _key_removed(self, key) -> None:
+        tag = key[0]
+        if tag == "n":
+            _sorted_discard(self._numeric_keys, key[1])
+        elif tag == "a":
+            _sorted_discard(self._string_keys, key[1])
+
+    def drop(self) -> None:
+        super().drop()
+        self._numeric_keys.clear()
+        self._string_keys.clear()
+
+    def range_lookup(
+        self,
+        low=None,
+        high=None,
+        low_strict: bool = False,
+        high_strict: bool = False,
+    ) -> OidSet:
+        """Oids whose attribute falls in the (half-)open interval.
+
+        Bounds must be both numeric or both strings; ``None`` leaves
+        that side unbounded (at least one bound is required).
+        """
+        bound = low if low is not None else high
+        if bound is None:
+            raise ValueError("range_lookup needs at least one bound")
+        if isinstance(bound, bool):
+            return EMPTY_OID_SET  # booleans are not ordered
+        if isinstance(bound, (int, float)):
+            keys = self._numeric_keys
+            tag = "n"
+        elif isinstance(bound, str):
+            keys = self._string_keys
+            tag = "a"
+        else:
+            return EMPTY_OID_SET
+        if low is None:
+            start = 0
+        elif low_strict:
+            start = bisect_right(keys, low)
+        else:
+            start = bisect_left(keys, low)
+        if high is None:
+            stop = len(keys)
+        elif high_strict:
+            stop = bisect_left(keys, high)
+        else:
+            stop = bisect_right(keys, high)
+        if start >= stop:
+            return EMPTY_OID_SET
+        members: Set[Oid] = set()
+        entries = self._entries
+        for payload in keys[start:stop]:
+            members.update(entries[(tag, payload)])
+        return OidSet.of(members)
+
+
+def _sorted_discard(keys: list, value) -> None:
+    position = bisect_left(keys, value)
+    if position < len(keys) and keys[position] == value:
+        del keys[position]
 
 
 class IndexManager:
-    """Registry of attribute indexes for one database."""
+    """Registry of attribute indexes for one database.
+
+    Alongside the primary ``(class, attribute)`` map a secondary
+    attribute→indexes map is kept, so :meth:`find` touches only the
+    indexes that could possibly serve a lookup instead of scanning
+    the whole registry per miss. A version counter ticks on every
+    create/drop; the query planner's cached plans are validated
+    against it.
+    """
 
     def __init__(self, database: Database):
         self._db = database
         self._indexes: Dict[Tuple[str, str], AttributeIndex] = {}
+        self._by_attribute: Dict[
+            str, Dict[Tuple[str, str], AttributeIndex]
+        ] = {}
+        self._version = 0
 
-    def create_index(self, class_name: str, attribute: str) -> AttributeIndex:
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def create_index(
+        self, class_name: str, attribute: str, kind: str = "hash"
+    ) -> AttributeIndex:
+        if kind not in ("hash", "ordered"):
+            raise SchemaError(f"unknown index kind: {kind!r}")
         key = (class_name, attribute)
         existing = self._indexes.get(key)
         if existing is not None:
-            return existing
-        index = AttributeIndex(self._db, class_name, attribute)
+            if kind == "hash" or isinstance(existing, OrderedAttributeIndex):
+                return existing
+            # Upgrade: an ordered index answers everything the hash
+            # index does, so replace rather than refuse.
+            self.drop_index(class_name, attribute)
+        factory = (
+            OrderedAttributeIndex if kind == "ordered" else AttributeIndex
+        )
+        index = factory(self._db, class_name, attribute)
         self._indexes[key] = index
+        self._by_attribute.setdefault(attribute, {})[key] = index
+        self._version += 1
         return index
 
     def drop_index(self, class_name: str, attribute: str) -> None:
         index = self._indexes.pop((class_name, attribute), None)
         if index is not None:
             index.drop()
+            bucket = self._by_attribute.get(attribute)
+            if bucket is not None:
+                bucket.pop((class_name, attribute), None)
+                if not bucket:
+                    del self._by_attribute[attribute]
+            self._version += 1
 
     def find(self, class_name: str, attribute: str) -> Optional[AttributeIndex]:
         """An index usable for equality lookups on the class's extent.
@@ -146,13 +296,31 @@ class IndexManager:
         An index on a superclass covers the subclass's extent too (its
         buckets contain a superset; callers intersect with the extent).
         """
-        exact = self._indexes.get((class_name, attribute))
+        candidates = self._by_attribute.get(attribute)
+        if not candidates:
+            return None
+        exact = candidates.get((class_name, attribute))
         if exact is not None:
             return exact
-        for (indexed_class, indexed_attr), index in self._indexes.items():
-            if indexed_attr != attribute:
-                continue
+        for (indexed_class, _), index in candidates.items():
             if self._db.schema.isa(class_name, indexed_class):
+                return index
+        return None
+
+    def find_ordered(
+        self, class_name: str, attribute: str
+    ) -> Optional[OrderedAttributeIndex]:
+        """An ordered index covering the class, for range predicates."""
+        candidates = self._by_attribute.get(attribute)
+        if not candidates:
+            return None
+        exact = candidates.get((class_name, attribute))
+        if isinstance(exact, OrderedAttributeIndex):
+            return exact
+        for (indexed_class, _), index in candidates.items():
+            if isinstance(index, OrderedAttributeIndex) and self._db.schema.isa(
+                class_name, indexed_class
+            ):
                 return index
         return None
 

@@ -190,6 +190,13 @@ class Schema(TypeContext):
 
     def __init__(self):
         self._classes: Dict[str, ClassDef] = {}
+        # Ticks on every structural mutation; cached query plans are
+        # validated against it (see repro.query.planner).
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
 
     # ------------------------------------------------------------------
     # Definition
@@ -222,6 +229,7 @@ class Schema(TypeContext):
             doc,
         )
         self._classes[name] = cdef
+        self._version += 1
         return cdef
 
     def define_attribute(
@@ -250,6 +258,7 @@ class Schema(TypeContext):
             attribute, declared_type, kind, procedure, arity, class_name
         )
         cdef.attributes[attribute] = adef
+        self._version += 1
         return adef
 
     def add_parent(self, class_name: str, parent: str) -> None:
@@ -268,10 +277,12 @@ class Schema(TypeContext):
                 " would create a cycle"
             )
         cdef.parents = cdef.parents + (parent,)
+        self._version += 1
 
     def remove_parent(self, class_name: str, parent: str) -> None:
         cdef = self.require(class_name)
         cdef.parents = tuple(p for p in cdef.parents if p != parent)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Lookup
@@ -495,3 +506,4 @@ class Schema(TypeContext):
         for name in wanted:
             if name not in self._classes:
                 self._classes[name] = other.require(name).copy()
+                self._version += 1

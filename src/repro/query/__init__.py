@@ -53,9 +53,21 @@ from .builder import (
     setof,
     var,
 )
+from .compile import CompiledQuery, Runtime, compile_query
 from .eval import EvalEnv, evaluate, evaluate_expression
 from .lexer import Token, TokenStream, tokenize
 from .optimizer import ProbePlan, evaluate_optimized, explain, plan
+from .planner import (
+    IndexEqPlan,
+    IndexRangePlan,
+    PlanCache,
+    ScanPlan,
+    build_plan,
+    execute,
+    explain_plan,
+    plan_cache_of,
+)
+from .printer import format_expression, format_query
 from .parser import parse_expression, parse_query
 from .typecheck import (
     TypeEnvironment,
@@ -69,9 +81,12 @@ __all__ = [
     "Binding",
     "Call",
     "ClassSource",
+    "CompiledQuery",
     "EvalEnv",
     "Expr",
     "ExprSource",
+    "IndexEqPlan",
+    "IndexRangePlan",
     "InClass",
     "InExpr",
     "InQuery",
@@ -79,9 +94,12 @@ __all__ = [
     "Node",
     "Not",
     "Path",
+    "PlanCache",
     "ProbePlan",
     "QueryExpr",
     "QuerySource",
+    "Runtime",
+    "ScanPlan",
     "Select",
     "SelectBuilder",
     "SelfExpr",
@@ -94,13 +112,19 @@ __all__ = [
     "Var",
     "X",
     "as_expr",
+    "build_plan",
     "call",
     "class_",
+    "compile_query",
     "ensure_query",
     "evaluate",
     "evaluate_expression",
     "evaluate_optimized",
+    "execute",
     "explain",
+    "explain_plan",
+    "format_expression",
+    "format_query",
     "free_variables",
     "guaranteed_classes",
     "infer_element_type",
@@ -110,6 +134,7 @@ __all__ = [
     "parse_expression",
     "parse_query",
     "plan",
+    "plan_cache_of",
     "record",
     "select",
     "select_the",

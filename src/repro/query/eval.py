@@ -65,6 +65,13 @@ def _numbers(collection):
     return [unwrap(item) for item in (collection or [])]
 
 
+def _builtin_avg(collection):
+    if not collection:
+        return None
+    numbers = _numbers(collection)
+    return sum(numbers) / len(numbers)
+
+
 BUILTIN_FUNCTIONS = {
     # Aggregates over set/list values and query results; always
     # available (a scope-registered function of the same name wins).
@@ -73,9 +80,7 @@ BUILTIN_FUNCTIONS = {
     "sum": lambda c: sum(_numbers(c)),
     "min": lambda c: min(_numbers(c)) if c else None,
     "max": lambda c: max(_numbers(c)) if c else None,
-    "avg": lambda c: (
-        sum(_numbers(c)) / len(_numbers(c)) if c else None
-    ),
+    "avg": _builtin_avg,
     "exists": lambda c: bool(c),
 }
 

@@ -19,8 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..engine.objects import ObjectHandle, unwrap
-from ..engine.values import canonicalize
 from .ast import (
     Binary,
     Binding,
@@ -28,11 +26,9 @@ from .ast import (
     Expr,
     Literal,
     Path,
-    Select,
     Var,
 )
 from .builder import ensure_query
-from .eval import EvalEnv, _eval_expr, _truthy
 
 
 @dataclass(frozen=True)
@@ -114,40 +110,15 @@ def evaluate_optimized(query, scope, bindings=None, functions=None):
 
     Results are identical to :func:`repro.query.eval.evaluate` (the
     property test ``test_optimizer_equivalence`` pins this down).
+    Since the planner landed this is a thin wrapper over
+    :func:`repro.query.planner.execute`, which compiles the query to
+    closures, caches the plan and additionally handles range
+    predicates; ``plan``/``explain`` above are kept as the stable
+    single-equality planning API.
     """
-    from .eval import evaluate
+    from .planner import execute
 
-    probe = plan(query, scope)
-    if probe is None:
-        return evaluate(query, scope, bindings=bindings, functions=functions)
-    index = scope.indexes.find(probe.class_name, probe.attribute)
-    candidates = index.lookup(probe.value)
-    extent = scope.extent(probe.class_name)
-    env = EvalEnv(scope, bindings, functions)
-    results: List[object] = []
-    seen = set()
-    for oid in candidates:
-        if oid not in extent:
-            continue  # the index may cover a superclass
-        handle = ObjectHandle(scope, oid)
-        row_env = env.child(probe.variable, handle)
-        if probe.residual is not None and not _truthy(
-            _eval_expr(probe.residual, row_env)
-        ):
-            continue
-        value = _eval_expr(probe.projection, row_env)
-        key = canonicalize(unwrap(value))
-        if key in seen:
-            continue
-        seen.add(key)
-        results.append(value)
-    if probe.unique:
-        from ..errors import NonUniqueResultError
-
-        if len(results) != 1:
-            raise NonUniqueResultError(len(results))
-        return results[0]
-    return results
+    return execute(query, scope, bindings=bindings, functions=functions)
 
 
 def _conjuncts(expr: Expr):

@@ -1,0 +1,612 @@
+"""Query planning: access-path selection plus a compiled-plan cache.
+
+The planner sits between the callers that used to invoke the
+interpreter directly (``Database.query``, ``View.query``, the shell,
+virtual-class population, parameterized families) and the closure
+compiler in :mod:`repro.query.compile`. For each query it builds one
+of three plans:
+
+- :class:`ScanPlan` — the compiled query run over full extents;
+- :class:`IndexEqPlan` — an equality probe into a hash (or ordered)
+  index plus a compiled residual filter;
+- :class:`IndexRangePlan` — a ``bisect`` range scan over an ordered
+  index (``<``/``<=``/``>``/``>=`` atoms intersected into one
+  interval) plus a compiled residual.
+
+Conjunctive ``where`` clauses are decomposed into indexable atoms and
+a residual: among the equality atoms the one whose index has the most
+distinct values (i.e. the most selective probe) wins; range atoms are
+considered only when no equality atom has an index. Range plans are
+additionally gated on the attribute's *declared* type (``integer``,
+``real`` or ``string`` matching the literal bounds): the interpreter's
+``_compare`` raises on mixed-type or boolean comparisons, and an index
+scan that silently skipped such rows would diverge from it.
+
+Plans are cached per scope in a :class:`PlanCache`, keyed on the
+canonical query text and validated against a version token combining
+the schema version, the view's schema/hide versions and the index
+registry version — so server sessions and delta-driven view
+re-population share compiled plans until a schema change, a ``hide``
+or an index create/drop invalidates them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.objects import ObjectHandle, unwrap
+from ..engine.tracking import ACTIVE_TRACKERS, record_attribute_read
+from ..engine.types import INTEGER, REAL, STRING
+from ..engine.values import canonicalize
+from ..errors import NonUniqueResultError, QueryError
+from .ast import (
+    Binary,
+    Binding,
+    ClassSource,
+    Expr,
+    Literal,
+    Path,
+    Select,
+    Var,
+)
+from .builder import ensure_query
+from .compile import CompiledQuery, Runtime, compile_expression, compile_test
+from .printer import format_query
+
+# A bounded cache: real servers run a finite statement vocabulary, but
+# a misbehaving client generating unique query texts must not grow the
+# cache without bound.
+_PLAN_CACHE_CAP = 1024
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+
+
+class PlanCache:
+    """Compiled plans for one scope, keyed on canonical query text.
+
+    Entries carry the version token current when they were compiled;
+    a token mismatch on fetch recompiles (schema change, ``hide``,
+    index create/drop). Thread-safe: server read requests run
+    concurrently under the shared lock.
+    """
+
+    def __init__(self, cap: int = _PLAN_CACHE_CAP):
+        self._lock = threading.Lock()
+        self._cap = cap
+        self._plans: Dict[str, Tuple[tuple, "Plan"]] = {}
+        self.plans_compiled = 0
+        self.plan_cache_hits = 0
+        self.invalidations = 0
+        self.index_probes = 0
+        self.range_probes = 0
+
+    def fetch(self, key: str, token: tuple, build) -> Tuple["Plan", bool]:
+        """The cached plan for ``key`` at ``token``, or a fresh one.
+
+        Returns ``(plan, hit)``.
+        """
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is not None:
+                if entry[0] == token:
+                    self.plan_cache_hits += 1
+                    return entry[1], True
+                self.invalidations += 1
+        plan = build()
+        with self._lock:
+            self.plans_compiled += 1
+            while len(self._plans) >= self._cap:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = (token, plan)
+        return plan, False
+
+    def record_probe(self, kind: str) -> None:
+        with self._lock:
+            if kind == "range":
+                self.range_probes += 1
+            else:
+                self.index_probes += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.plans_compiled = 0
+            self.plan_cache_hits = 0
+            self.invalidations = 0
+            self.index_probes = 0
+            self.range_probes = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "plans_compiled": self.plans_compiled,
+                "plan_cache_hits": self.plan_cache_hits,
+                "invalidations": self.invalidations,
+                "index_probes": self.index_probes,
+                "range_probes": self.range_probes,
+                "cached_plans": len(self._plans),
+            }
+
+    def describe(self) -> str:
+        snap = self.snapshot()
+        return "\n".join(
+            [
+                f"plans compiled:  {snap['plans_compiled']}",
+                f"plan cache hits: {snap['plan_cache_hits']}",
+                f"plan invalidations: {snap['invalidations']}",
+                f"index probes:    {snap['index_probes']}",
+                f"range probes:    {snap['range_probes']}",
+                f"cached plans:    {snap['cached_plans']}",
+            ]
+        )
+
+
+def plan_cache_of(scope) -> PlanCache:
+    """The scope's plan cache, attached lazily."""
+    cache = getattr(scope, "_plan_cache", None)
+    if cache is None:
+        cache = PlanCache()
+        try:
+            scope._plan_cache = cache
+        except AttributeError:  # exotic read-only scope: plan per call
+            pass
+    return cache
+
+
+def plan_token(scope) -> tuple:
+    """The version token compiled plans are validated against."""
+    indexes = getattr(scope, "indexes", None)
+    return (
+        getattr(getattr(scope, "schema", None), "version", 0),
+        getattr(scope, "schema_version", 0),
+        getattr(scope, "hide_version", 0),
+        indexes.version if indexes is not None else -1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+
+class Plan:
+    """A compiled access path for one query."""
+
+    kind = "scan"
+
+    def execute(self, scope, cache, bindings, functions, self_value):
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class ScanPlan(Plan):
+    """Run the compiled query over full extents."""
+
+    kind = "scan"
+
+    def __init__(self, select: Select):
+        self.compiled = CompiledQuery(select)
+
+    def execute(self, scope, cache, bindings, functions, self_value):
+        return self.compiled.run(scope, bindings, functions, self_value)
+
+    def describe(self) -> str:
+        sources = ", ".join(
+            b.source.class_name
+            if isinstance(b.source, ClassSource)
+            else "<expr>"
+            for b in self.compiled.select.bindings
+        )
+        return f"compiled scan over {sources}"
+
+
+class _ProbePlanBase(Plan):
+    """Shared candidate-loop machinery for index-backed plans."""
+
+    def __init__(
+        self,
+        select: Select,
+        class_name: str,
+        variable: str,
+        attribute: str,
+        residual: Optional[Expr],
+    ):
+        self.class_name = class_name
+        self.variable = variable
+        self.attribute = attribute
+        self.residual = (
+            compile_test(residual) if residual is not None else None
+        )
+        self.residual_text = residual is not None
+        self.project = compile_expression(select.projection)
+        self.unique = select.unique
+        # The interpreter is always a valid fallback: used if the
+        # index disappears between planning and execution (the version
+        # token makes that a one-request race at worst).
+        self._fallback = None
+        self._select = select
+
+    def _fallback_plan(self) -> ScanPlan:
+        if self._fallback is None:
+            self._fallback = ScanPlan(self._select)
+        return self._fallback
+
+    def _candidates(self, scope):
+        """OidSet of candidates, or ``None`` to force a fallback."""
+        raise NotImplementedError
+
+    def execute(self, scope, cache, bindings, functions, self_value):
+        candidates = self._candidates(scope)
+        if candidates is None:
+            return self._fallback_plan().execute(
+                scope, cache, bindings, functions, self_value
+            )
+        cache.record_probe(self.kind)
+        stats = getattr(scope, "stats", None)
+        if stats is not None:
+            if self.kind == "range":
+                stats.record_range_probe()
+            else:
+                stats.record_index_probe()
+        if ACTIVE_TRACKERS:
+            # The probe consults the index instead of reading the
+            # attribute per object; record the equivalent reads so
+            # dependency-tracked callers still invalidate correctly.
+            record_attribute_read(self.class_name, self.attribute)
+        extent = scope.extent(self.class_name)
+        rt = Runtime(scope, functions, self_value)
+        env = dict(bindings) if bindings else {}
+        variable = self.variable
+        residual = self.residual
+        project = self.project
+        results: List[object] = []
+        seen = set()
+        # OidSet iteration is sorted; sort here too so probe results
+        # come back in the same deterministic order as a scan.
+        for oid in sorted(candidates.members):
+            if oid not in extent:
+                continue  # the index may cover a superclass
+            env[variable] = ObjectHandle(scope, oid)
+            if residual is not None and not residual(rt, env):
+                continue
+            value = project(rt, env)
+            key = canonicalize(unwrap(value))
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(value)
+        if self.unique:
+            if len(results) != 1:
+                raise NonUniqueResultError(len(results))
+            return results[0]
+        return results
+
+
+class IndexEqPlan(_ProbePlanBase):
+    """Equality probe into a hash or ordered index."""
+
+    kind = "eq"
+
+    def __init__(self, select, class_name, variable, attribute, value,
+                 residual):
+        super().__init__(select, class_name, variable, attribute, residual)
+        self.value = value
+
+    def _candidates(self, scope):
+        indexes = getattr(scope, "indexes", None)
+        index = (
+            indexes.find(self.class_name, self.attribute)
+            if indexes is not None
+            else None
+        )
+        if index is None:
+            return None
+        return index.lookup(self.value)
+
+    def describe(self) -> str:
+        residual = " + residual filter" if self.residual_text else ""
+        return (
+            f"index probe {self.class_name}.{self.attribute} ="
+            f" {self.value!r}{residual}"
+        )
+
+
+class IndexRangePlan(_ProbePlanBase):
+    """Range scan over an ordered index."""
+
+    kind = "range"
+
+    def __init__(self, select, class_name, variable, attribute, interval,
+                 residual):
+        super().__init__(select, class_name, variable, attribute, residual)
+        self.interval = interval
+
+    def _candidates(self, scope):
+        indexes = getattr(scope, "indexes", None)
+        index = (
+            indexes.find_ordered(self.class_name, self.attribute)
+            if indexes is not None and hasattr(indexes, "find_ordered")
+            else None
+        )
+        if index is None:
+            return None
+        interval = self.interval
+        return index.range_lookup(
+            low=interval.low,
+            high=interval.high,
+            low_strict=interval.low_strict,
+            high_strict=interval.high_strict,
+        )
+
+    def describe(self) -> str:
+        residual = " + residual filter" if self.residual_text else ""
+        return (
+            f"range probe {self.class_name}.{self.attribute}"
+            f" {self.interval.describe()}{residual}"
+        )
+
+
+class _Interval:
+    """A one-attribute interval: intersection of range atoms."""
+
+    __slots__ = ("low", "high", "low_strict", "high_strict")
+
+    def __init__(self):
+        self.low = None
+        self.high = None
+        self.low_strict = False
+        self.high_strict = False
+
+    def add(self, op: str, value) -> None:
+        if op in (">", ">="):
+            strict = op == ">"
+            if (
+                self.low is None
+                or value > self.low
+                or (value == self.low and strict)
+            ):
+                self.low = value
+                self.low_strict = strict
+        else:
+            strict = op == "<"
+            if (
+                self.high is None
+                or value < self.high
+                or (value == self.high and strict)
+            ):
+                self.high = value
+                self.high_strict = strict
+
+    def describe(self) -> str:
+        parts = []
+        if self.low is not None:
+            parts.append(f"{'>' if self.low_strict else '>='} {self.low!r}")
+        if self.high is not None:
+            parts.append(f"{'<' if self.high_strict else '<='} {self.high!r}")
+        return " and ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+
+_RANGE_OPS = frozenset({"<", "<=", ">", ">="})
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _conjuncts(expr: Expr):
+    if isinstance(expr, Binary) and expr.op == "and":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _conjoin(conjuncts: List[Expr]) -> Optional[Expr]:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = Binary("and", result, conjunct)
+    return result
+
+
+def _attribute_atom(expr: Expr, variable: str):
+    """Match ``var.Attr <op> literal`` (either orientation).
+
+    Returns ``(attribute, op, value)`` with the attribute on the left
+    (the comparison flipped if needed), or ``None``.
+    """
+    if not isinstance(expr, Binary):
+        return None
+    if expr.op != "=" and expr.op not in _RANGE_OPS:
+        return None
+    for lhs, rhs, op in (
+        (expr.left, expr.right, expr.op),
+        (expr.right, expr.left, _FLIP.get(expr.op, expr.op)),
+    ):
+        if (
+            isinstance(lhs, Path)
+            and len(lhs.attributes) == 1
+            and isinstance(lhs.base, Var)
+            and lhs.base.name == variable
+            and isinstance(rhs, Literal)
+            # A null literal is not probeable: `= null` matches absent
+            # attributes (which indexes do not store) and a null range
+            # bound would read as "unbounded".
+            and rhs.value is not None
+        ):
+            return lhs.attributes[0], op, rhs.value
+    return None
+
+
+def _range_type_ok(scope, class_name: str, attribute: str, values) -> bool:
+    """Whether a range plan is error-equivalent to the interpreter.
+
+    ``_compare`` raises on boolean or mixed-type operands; an index
+    scan would silently skip them. The declared attribute type rules
+    that out: ``integer``/``real`` attributes can only hold non-bool
+    numbers (see ``values.conforms``), ``string`` only strings — so a
+    matching literal bound can never hit a type error row-by-row.
+    """
+    try:
+        adef = scope.schema.resolve_attribute(class_name, attribute)
+    except Exception:
+        return False
+    declared = adef.declared_type
+    if declared is INTEGER or declared is REAL:
+        return all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in values
+        )
+    if declared is STRING:
+        return all(isinstance(v, str) for v in values)
+    return False
+
+
+def build_plan(query, scope) -> Plan:
+    """Choose an access path for ``query`` on ``scope``."""
+    select = ensure_query(query)
+    probe = _probe_plan(select, scope)
+    if probe is not None:
+        return probe
+    return ScanPlan(select)
+
+
+def _probe_plan(select: Select, scope) -> Optional[Plan]:
+    indexes = getattr(scope, "indexes", None)
+    if indexes is None:
+        return None
+    if len(select.bindings) != 1:
+        return None
+    binding: Binding = select.bindings[0]
+    source = binding.source
+    if not isinstance(source, ClassSource) or source.arguments:
+        return None
+    if select.where is None:
+        return None
+    class_name = source.class_name
+    variable = binding.variable
+    conjuncts = list(_conjuncts(select.where))
+
+    equalities = []  # (position, attribute, value, index)
+    ranges: Dict[str, List[Tuple[int, str, object]]] = {}
+    for position, conjunct in enumerate(conjuncts):
+        atom = _attribute_atom(conjunct, variable)
+        if atom is None:
+            continue
+        attribute, op, value = atom
+        if op == "=":
+            index = indexes.find(class_name, attribute)
+            if index is not None:
+                equalities.append((position, attribute, value, index))
+        else:
+            ranges.setdefault(attribute, []).append((position, op, value))
+
+    if equalities:
+        # Most distinct values == smallest expected bucket.
+        position, attribute, value, _index = max(
+            equalities, key=lambda entry: entry[3].distinct_values_count()
+        )
+        residual = _conjoin(
+            conjuncts[:position] + conjuncts[position + 1:]
+        )
+        return IndexEqPlan(
+            select, class_name, variable, attribute, value, residual
+        )
+
+    find_ordered = getattr(indexes, "find_ordered", None)
+    if find_ordered is None:
+        return None
+    best = None
+    for attribute, atoms in ranges.items():
+        index = find_ordered(class_name, attribute)
+        if index is None:
+            continue
+        if not _range_type_ok(
+            scope, class_name, attribute, [value for _, _, value in atoms]
+        ):
+            continue
+        score = index.distinct_values_count()
+        if best is None or score > best[0]:
+            best = (score, attribute, atoms)
+    if best is None:
+        return None
+    _score, attribute, atoms = best
+    interval = _Interval()
+    used = set()
+    for position, op, value in atoms:
+        interval.add(op, value)
+        used.add(position)
+    residual = _conjoin(
+        [c for i, c in enumerate(conjuncts) if i not in used]
+    )
+    return IndexRangePlan(
+        select, class_name, variable, attribute, interval, residual
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def execute(
+    query,
+    scope,
+    bindings: Optional[Dict[str, object]] = None,
+    functions: Optional[Dict[str, object]] = None,
+    self_value=None,
+):
+    """Evaluate ``query`` via the plan cache.
+
+    The drop-in replacement for :func:`repro.query.eval.evaluate`:
+    same result contract, but the query is compiled to closures once
+    per (canonical text, version token) and may run as an index probe
+    or range scan.
+    """
+    select = ensure_query(query)
+    cache = plan_cache_of(scope)
+    key = format_query(select)
+    token = plan_token(scope)
+    plan, hit = cache.fetch(key, token, lambda: build_plan(select, scope))
+    stats = getattr(scope, "stats", None)
+    if stats is not None:
+        if hit:
+            stats.record_plan_hit()
+        else:
+            stats.record_plan_compiled()
+    return plan.execute(scope, cache, bindings, functions, self_value)
+
+
+def explain_plan(query, scope) -> str:
+    """A one-line description of the chosen access path."""
+    return build_plan(query, scope).describe()
+
+
+def aggregate_plan_stats(scopes) -> dict:
+    """Summed plan-cache counters across ``scopes`` (server `.stats`)."""
+    totals = {
+        "plans_compiled": 0,
+        "plan_cache_hits": 0,
+        "invalidations": 0,
+        "index_probes": 0,
+        "range_probes": 0,
+        "cached_plans": 0,
+    }
+    for scope in scopes:
+        cache = getattr(scope, "_plan_cache", None)
+        if cache is None:
+            continue
+        for field, value in cache.snapshot().items():
+            totals[field] += value
+    return totals

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Tuple
 
 from ..cli import Session
 from ..engine.oid import Oid
+from ..query.planner import aggregate_plan_stats
 from .protocol import ERR_UNKNOWN_OP, ProtocolError, wire_decode, wire_encode
 
 READ = "read"
@@ -100,8 +101,17 @@ class ServerSession:
             raise ProtocolError("execute requires a string 'line'")
         output = self.session.execute(line)
         if self._metrics is not None and line.strip() == ".stats":
+            plans = self._plan_cache_totals()
+            plan_line = (
+                "plan cache (all scopes): "
+                f"{plans['plans_compiled']} compiled,"
+                f" {plans['plan_cache_hits']} hits,"
+                f" {plans['index_probes']} index probes,"
+                f" {plans['range_probes']} range probes"
+            )
             output = (
                 f"{output}\n-- server --\n{self._metrics.describe()}"
+                f"\n{plan_line}"
             )
         return {"output": output}
 
@@ -109,9 +119,19 @@ class ServerSession:
         return {"names": self.session.catalog.names()}
 
     def _op_stats(self, request: dict):
-        if self._metrics is None:
-            return {}
-        return self._metrics.snapshot()
+        snapshot = (
+            self._metrics.snapshot() if self._metrics is not None else {}
+        )
+        snapshot["plan_cache"] = self._plan_cache_totals()
+        return snapshot
+
+    def _plan_cache_totals(self) -> dict:
+        """Plan-cache counters summed over this connection's scopes
+        (the shared databases plus any private views)."""
+        catalog = self.session.catalog
+        return aggregate_plan_stats(
+            catalog.get(name) for name in catalog.names()
+        )
 
     def _op_create(self, request: dict):
         scope, cls = self._mutable_scope(request, need_class=True)

@@ -1,0 +1,326 @@
+"""Plan cache lifecycle, range indexes, and access-path selection.
+
+The compiled-plan cache (`repro.query.planner.PlanCache`) must serve
+repeated queries without recompiling, yet drop stale plans the moment
+the world changes under them: a schema edit, an index create/drop, or
+a view hiding a class or attribute. These tests pin the invalidation
+triggers, the ordered index's maintenance under mutation, and the
+planner's choice among competing access paths.
+"""
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+from repro.engine.indexes import OrderedAttributeIndex
+from repro.errors import (
+    HiddenAttributeError,
+    QueryError,
+    UnknownClassError,
+)
+from repro.query import evaluate, execute, explain_plan, plan_cache_of
+from repro.server import Client, ViewServer
+from repro.workloads import build_people_db
+
+
+@pytest.fixture
+def db():
+    d = Database("Staff")
+    d.define_class(
+        "Person",
+        attributes={
+            "Name": "string",
+            "Age": "integer",
+            "City": "string",
+            "Flag": "boolean",
+        },
+    )
+    d.define_class("Employee", parents=["Person"])
+    cities = ["Paris", "Rome", "Oslo"]
+    for i in range(30):
+        cls = "Employee" if i % 3 == 0 else "Person"
+        d.create(
+            cls,
+            Name=f"P{i}",
+            Age=i * 3 % 90,
+            City=cities[i % 3],
+            Flag=i % 2 == 0,
+        )
+    return d
+
+
+# ----------------------------------------------------------------------
+# Plan cache: hits and invalidation
+# ----------------------------------------------------------------------
+
+
+QUERY = "select P.Name from Person where P.Age > 40"
+
+
+def test_repeated_query_hits_the_cache(db):
+    cache = plan_cache_of(db)
+    first = execute(QUERY, db)
+    assert cache.snapshot()["plans_compiled"] == 1
+    assert execute(QUERY, db) == first
+    assert execute(QUERY, db) == first
+    snap = cache.snapshot()
+    assert snap["plans_compiled"] == 1
+    assert snap["plan_cache_hits"] == 2
+    assert snap["cached_plans"] == 1
+
+
+def test_equivalent_text_shares_one_plan(db):
+    # The cache key is the *canonical* text: formatting differences
+    # (whitespace, redundant parens) land on the same entry.
+    cache = plan_cache_of(db)
+    execute("select P.Name   from Person where (P.Age > 40)", db)
+    execute("select P.Name from Person where P.Age>40", db)
+    snap = cache.snapshot()
+    assert snap["plans_compiled"] == 1
+    assert snap["plan_cache_hits"] == 1
+
+
+def test_schema_change_invalidates(db):
+    cache = plan_cache_of(db)
+    execute(QUERY, db)
+    db.define_attribute("Person", "Nickname", declared_type="string")
+    execute(QUERY, db)
+    snap = cache.snapshot()
+    assert snap["plans_compiled"] == 2
+    assert snap["invalidations"] == 1
+
+
+def test_index_create_and_drop_swap_the_plan(db):
+    query = "select P from Person where P.City = 'Rome'"
+    scan_rows = execute(query, db)
+    assert explain_plan(query, db) == "compiled scan over Person"
+
+    db.create_index("Person", "City")
+    assert (
+        explain_plan(query, db)
+        == "index probe Person.City = 'Rome'"
+    )
+    assert execute(query, db) == scan_rows  # recompiled, same rows
+    cache = plan_cache_of(db)
+    assert cache.snapshot()["index_probes"] == 1
+
+    db.indexes.drop_index("Person", "City")
+    assert explain_plan(query, db) == "compiled scan over Person"
+    assert execute(query, db) == scan_rows
+    # Two invalidations: one per index-registry version bump.
+    assert cache.snapshot()["invalidations"] == 2
+
+
+def test_view_hide_attribute_invalidates(db):
+    view = View("V")
+    view.import_database(db)
+    query = "select P.Name from Person where P.Age > 40"
+    expected = execute(query, db)
+    assert execute(query, view) == expected
+    cache = plan_cache_of(view)
+    compiled_before = cache.snapshot()["plans_compiled"]
+
+    view.hide_attribute("Person", "Age")
+    with pytest.raises(HiddenAttributeError):
+        execute(query, view)
+    assert cache.snapshot()["plans_compiled"] == compiled_before + 1
+    assert cache.snapshot()["invalidations"] == 1
+
+
+def test_view_hide_class_invalidates(db):
+    view = View("V")
+    view.import_database(db)
+    query = "select E.Name from Employee where E.Age >= 0"
+    assert len(execute(query, view)) > 0
+    view.hide_class("Employee")
+    with pytest.raises(UnknownClassError):
+        execute(query, view)
+
+
+def test_stats_surface_plan_counters(db):
+    view = View("V")
+    view.import_database(db)
+    execute(QUERY, view)
+    execute(QUERY, view)
+    assert view.stats.plans_compiled == 1
+    assert view.stats.plan_cache_hits == 1
+    described = view.stats.describe()
+    assert "plans compiled" in described
+    assert "plan cache hits" in described
+
+
+# ----------------------------------------------------------------------
+# Ordered indexes: maintenance and range lookups
+# ----------------------------------------------------------------------
+
+
+def test_ordered_index_tracks_mutations(db):
+    index = db.create_ordered_index("Person", "Age")
+    assert isinstance(index, OrderedAttributeIndex)
+
+    young = {
+        h.oid for h in db.handles("Person") if h.Age is not None and h.Age < 30
+    }
+    assert set(index.range_lookup(low=0, high=30, high_strict=True)) == young
+
+    # Update moves an object between keys; delete removes it (via the
+    # oid→key reverse map — the object's values are already gone).
+    mover = db.handles("Person")[0]
+    db.update(mover, "Age", 200)
+    assert set(index.range_lookup(low=150)) == {mover.oid}
+    db.update(mover, "Age", None)
+    assert set(index.range_lookup(low=150)) == set()
+    victim = next(h for h in db.handles("Person") if h.Age == 3)
+    db.delete(victim)
+    assert victim.oid not in set(index.range_lookup(low=0))
+    born = db.create("Person", Name="New", Age=199)
+    assert set(index.range_lookup(low=150)) == {born.oid}
+
+
+def test_range_lookup_strict_bounds_and_strings(db):
+    index = db.create_ordered_index("Person", "City")
+    paris = {h.oid for h in db.handles("Person") if h.City == "Paris"}
+    rome = {h.oid for h in db.handles("Person") if h.City == "Rome"}
+    oslo = {h.oid for h in db.handles("Person") if h.City == "Oslo"}
+    # Keys sort Oslo < Paris < Rome.
+    assert set(index.range_lookup(low="Paris")) == paris | rome
+    assert set(index.range_lookup(low="Paris", low_strict=True)) == rome
+    assert set(index.range_lookup(high="Paris")) == oslo | paris
+    assert set(index.range_lookup(high="Paris", high_strict=True)) == oslo
+    with pytest.raises(ValueError):
+        index.range_lookup()
+
+
+def test_hash_index_upgrades_to_ordered(db):
+    hash_index = db.create_index("Person", "Age")
+    assert not isinstance(hash_index, OrderedAttributeIndex)
+    version = db.indexes.version
+    upgraded = db.create_index("Person", "Age", kind="ordered")
+    assert isinstance(upgraded, OrderedAttributeIndex)
+    assert db.indexes.find("Person", "Age") is upgraded
+    assert db.indexes.version > version
+    # Asking for a hash index where an ordered one exists keeps it.
+    assert db.create_index("Person", "Age") is upgraded
+
+
+def test_index_manager_secondary_map(db):
+    index = db.create_index("Person", "City")
+    # A superclass index serves the subclass...
+    assert db.indexes.find("Employee", "City") is index
+    # ...but not an unrelated attribute or class.
+    assert db.indexes.find("Person", "Name") is None
+    assert db.indexes.find_ordered("Person", "City") is None
+    ordered = db.create_ordered_index("Person", "Age")
+    assert db.indexes.find_ordered("Employee", "Age") is ordered
+    db.indexes.drop_index("Person", "City")
+    assert db.indexes.find("Person", "City") is None
+    assert db.indexes.find("Employee", "City") is None
+    assert len(db.indexes) == 1
+
+
+# ----------------------------------------------------------------------
+# Access-path selection
+# ----------------------------------------------------------------------
+
+
+def test_planner_prefers_most_selective_equality(db):
+    db.create_index("Person", "City")   # 3 distinct values
+    db.create_index("Person", "Name")   # 30 distinct values
+    query = (
+        "select P from Person"
+        " where P.City = 'Paris' and P.Name = 'P4'"
+    )
+    assert (
+        explain_plan(query, db)
+        == "index probe Person.Name = 'P4' + residual filter"
+    )
+    assert execute(query, db) == evaluate(query, db)
+
+
+def test_planner_prefers_equality_over_range(db):
+    db.create_index("Person", "City")
+    db.create_ordered_index("Person", "Age")
+    query = (
+        "select P from Person"
+        " where P.City = 'Paris' and P.Age > 10"
+    )
+    assert explain_plan(query, db).startswith("index probe Person.City")
+
+
+def test_range_atoms_intersect_into_one_interval(db):
+    db.create_ordered_index("Person", "Age")
+    query = (
+        "select P.Name from Person"
+        " where P.Age >= 30 and P.Age < 60 and P.Age > 20"
+    )
+    assert (
+        explain_plan(query, db)
+        == "range probe Person.Age >= 30 and < 60"
+    )
+    assert execute(query, db) == evaluate(query, db)
+    assert plan_cache_of(db).snapshot()["range_probes"] == 1
+
+
+def test_range_gate_rejects_boolean_attributes(db):
+    # Flag is boolean: `<` on booleans raises in the interpreter, so
+    # the planner must not serve it from an index (which would
+    # silently skip the error).
+    db.create_ordered_index("Person", "Flag")
+    query = "select P from Person where P.Flag < true"
+    assert explain_plan(query, db) == "compiled scan over Person"
+    with pytest.raises(QueryError):
+        evaluate(query, db)
+    with pytest.raises(QueryError):
+        execute(query, db)
+
+
+def test_range_gate_rejects_user_atom_types(db):
+    from repro.engine.types import declare_atom
+
+    declare_atom("dollar")
+    db.define_attribute("Person", "Salary", declared_type="dollar")
+    for h in db.handles("Person"):
+        db.update(h, "Salary", 100)
+    db.create_ordered_index("Person", "Salary")
+    query = "select P from Person where P.Salary > 50"
+    # The declared type is opaque — stay on the scan path.
+    assert explain_plan(query, db) == "compiled scan over Person"
+    assert execute(query, db) == evaluate(query, db)
+
+
+def test_probe_plan_falls_back_if_index_vanishes(db):
+    # Simulate the one-request race: the plan was built against an
+    # index that is gone by execution time.
+    from repro.query.planner import build_plan
+
+    db.create_index("Person", "City")
+    query = "select P.Name from Person where P.City = 'Oslo'"
+    plan = build_plan(query, db)
+    db.indexes.drop_index("Person", "City")
+    cache = plan_cache_of(db)
+    result = plan.execute(db, cache, None, None, None)
+    assert result == evaluate(query, db)
+    assert cache.snapshot()["index_probes"] == 0  # fell back to scan
+
+
+# ----------------------------------------------------------------------
+# Server surfaces the shared counters
+# ----------------------------------------------------------------------
+
+
+def test_server_reports_plan_cache_hits():
+    srv = ViewServer([build_people_db(20, seed=1)])
+    srv.start()
+    try:
+        host, port = srv.address
+        with Client(host, port) as client:
+            for _ in range(3):
+                client.execute("select P.Name from Person where P.Age > 30")
+            stats = client.stats()
+            cache = stats["plan_cache"]
+            assert cache["plans_compiled"] >= 1
+            assert cache["plan_cache_hits"] >= 2
+            text = client.execute(".stats")
+            assert "plan cache (all scopes):" in text
+    finally:
+        srv.stop()

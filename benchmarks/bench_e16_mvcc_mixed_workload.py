@@ -1,0 +1,335 @@
+"""E16 — MVCC snapshot reads vs RW-lock under a mixed workload.
+
+PR 4's tentpole claim: with versioned extents (``Database.snapshot``)
+the server answers queries from a pinned immutable snapshot and never
+takes the catalog lock for reads, so readers neither wait for writers
+nor for each other; writers coalesce through group commit. Series:
+
+- E16a: 8 reader clients + 2 writer clients against (i) the RW-locked
+  baseline (``mvcc=False`` — PR 2's discipline, readers queue behind
+  every write) and (ii) the MVCC server. Reads call a registered
+  predicate simulating a 500µs page fetch per object (sleep releases
+  the GIL), so the lock discipline — not the interpreter lock — is
+  the measured variable. The read mix is heterogeneous (6 clients run
+  short scans, 2 run long ones), which is where the RW lock hurts:
+  with writers continuously queued, writer preference means every
+  write admission waits for the longest in-flight scan and blocks all
+  new readers behind it, convoying short scans to the long scans'
+  pace. Snapshot readers never take the lock, so short scans stream
+  at their own rate. Non-smoke acceptance: MVCC aggregate read
+  throughput >= 2x baseline, zero dropped or errored frames on both
+  servers;
+- E16b: snapshot consistency over the wire — writers transfer money
+  between accounts with atomic ``batch`` frames while readers sum all
+  balances; every read must see the total conserved (a torn batch
+  would show up as a wrong sum);
+- E16c: the MVCC server's own metrics for the mixed run (snapshot
+  reads and group-commit batch sizes).
+"""
+
+import re
+import threading
+import time
+
+from common import SMOKE, emit
+from repro.bench import Table, ratio, scaled, server_metrics_table
+from repro.engine.database import Database
+from repro.server import Client, ViewServer
+from repro.workloads import build_people_db
+
+PEOPLE = scaled(40)
+TASKS = scaled(8, minimum=2)
+PAGE_FETCH_S = 500e-6
+READERS = 8
+LONG_READERS = 2  # readers 0..LONG_READERS-1 run the long scan
+WRITERS = 2
+WRITE_BATCH = 16
+MIXED_SECONDS = 4.0 if not SMOKE else 0.4
+ACCOUNTS = scaled(10, minimum=2 * WRITERS)
+TRANSFERS = scaled(30)
+CONSISTENCY_READS = scaled(25)
+
+LONG_QUERY = "select P from Person where fetch_age(P) >= 21"
+SHORT_QUERY = "select T from Task where fetch_age(T) >= 0"
+
+
+def build_db():
+    """``Person`` (long scans), ``Task`` (short scans), plus a
+    registered predicate that simulates one page fetch per object."""
+    db = build_people_db(PEOPLE, seed=16)
+    db.define_class("Task", attributes={"Age": "integer"})
+    for index in range(TASKS):
+        db.create("Task", Age=index)
+
+    def fetch_age(handle):
+        # One simulated page fetch per object touched; the sleep
+        # releases the GIL like a real disk wait releases the CPU.
+        time.sleep(PAGE_FETCH_S)
+        return handle.Age
+
+    db.register_function("fetch_age", fetch_age, result_type="integer")
+    return db
+
+
+def run_mixed(server, host, port, person_oids):
+    """6 short-scan + 2 long-scan readers, 2 batch writers, for a
+    fixed wall-clock window; returns (reads done, seconds, errors).
+
+    Writers update existing objects rather than creating new ones so
+    the extents — and with them the per-read page-fetch cost — stay
+    constant: otherwise a server with faster writes grows the database
+    under its own readers and the two modes measure different read
+    workloads. Each write frame is a batch of ``WRITE_BATCH`` updates
+    — under the RW-lock baseline the whole batch holds the exclusive
+    lock (readers drain and wait); under MVCC it installs one version
+    that pinned readers never wait for."""
+    errors = []
+    reads_done = [0] * READERS
+    stop = threading.Event()
+    barrier = threading.Barrier(READERS + WRITERS + 1, timeout=60)
+
+    def reader(index):
+        query = LONG_QUERY if index < LONG_READERS else SHORT_QUERY
+        try:
+            with Client(host, port) as client:
+                client.execute(".use Staff")
+                barrier.wait()
+                while not stop.is_set():
+                    out = client.execute(query)
+                    assert "result" in out or out == "(no results)", out
+                    reads_done[index] += 1
+        except Exception as error:
+            errors.append(error)
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                pass
+
+    def writer(index):
+        try:
+            with Client(host, port) as client:
+                barrier.wait()
+                step = 0
+                while not stop.is_set():
+                    operations = []
+                    for slot in range(WRITE_BATCH):
+                        oid = person_oids[
+                            (index * 37 + step + slot) % len(person_oids)
+                        ]
+                        operations.append(
+                            {"op": "update", "oid": oid,
+                             "attribute": "Age",
+                             "value": 20 + (step + slot) % 60}
+                        )
+                    client.batch("Staff", operations)
+                    step += WRITE_BATCH
+        except Exception as error:
+            errors.append(error)
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [
+        threading.Thread(target=reader, args=(i,)) for i in range(READERS)
+    ] + [
+        threading.Thread(target=writer, args=(i,)) for i in range(WRITERS)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    time.sleep(MIXED_SECONDS)
+    stop.set()
+    for t in threads:
+        t.join(timeout=120)
+    elapsed = time.perf_counter() - start
+    return sum(reads_done), elapsed, errors
+
+
+def run_mixed_comparison():
+    """E16a: read throughput under write pressure, baseline vs MVCC."""
+    results = {}
+    metrics_table = None
+    for label, mvcc in (("rwlock", False), ("mvcc", True)):
+        db = build_db()
+        person_oids = sorted(db.extent("Person"))
+        server = ViewServer([db], mvcc=mvcc)
+        host, port = server.start()
+        reads, elapsed, errors = run_mixed(server, host, port, person_oids)
+        snapshot = server.metrics.snapshot()
+        if mvcc:
+            metrics_table = server_metrics_table(
+                server.metrics,
+                title="E16c MVCC server metrics (mixed run)",
+            )
+        server.stop()
+        assert not errors, f"{label}: errored frames: {errors[:3]}"
+        assert sum(snapshot["errors"].values()) == 0, snapshot["errors"]
+        results[label] = reads / elapsed
+
+    speedup = ratio(results["mvcc"], results["rwlock"])
+    table = Table(
+        "E16a mixed workload: 8 readers + 2 writers, read throughput",
+        ["series", "reads/s"],
+    )
+    table.add_row("rwlock baseline", results["rwlock"])
+    table.add_row("mvcc snapshots", results["mvcc"])
+    table.add_row("speedup (x)", speedup)
+    if not SMOKE:  # timing claims are meaningless at smoke scale
+        assert speedup >= 2.0, (
+            "snapshot reads should at least double read throughput"
+            f" under write pressure, got {speedup:.2f}x"
+        )
+    table.note(
+        "acceptance: mvcc >= 2x baseline read throughput, zero errored"
+        " frames on both servers"
+    )
+    table.note(
+        f"reads simulate {PAGE_FETCH_S * 1e6:.0f}us page fetches per"
+        f" object; {READERS - LONG_READERS} short scans ({TASKS} objects)"
+        f" + {LONG_READERS} long scans ({PEOPLE}); under the RW lock,"
+        " queued writers convoy short scans behind long ones"
+    )
+    return table, metrics_table
+
+
+_BALANCE = re.compile(r"Balance=(-?\d+)")
+
+
+def run_batch_consistency():
+    """E16b: wire batches are atomic under concurrent snapshot reads."""
+    db = Database("Bank")
+    db.define_class("Account", attributes={"Balance": "integer"})
+    accounts = [
+        db.create("Account", Balance=100).oid for _ in range(ACCOUNTS)
+    ]
+    total = 100 * len(accounts)
+    server = ViewServer([db])
+    host, port = server.start()
+    errors = []
+    bad_sums = []
+    barrier = threading.Barrier(WRITERS + READERS + 1, timeout=60)
+    writers_done = threading.Event()
+
+    def writer(index):
+        # Each writer owns a disjoint slice of the accounts and tracks
+        # their balances locally (it is the only writer touching them,
+        # so server state tracks its ledger exactly). Every transfer
+        # debits and credits the same amount in ONE batch frame, so
+        # the global sum is invariant at every version boundary — a
+        # torn (half-applied) batch is the only thing that could make
+        # a reader's sum come out wrong.
+        try:
+            mine = accounts[index::WRITERS]
+            ledger = {oid: 100 for oid in mine}
+            with Client(host, port) as client:
+                barrier.wait()
+                for step in range(TRANSFERS):
+                    src = mine[step % len(mine)]
+                    dst = mine[(step + 1) % len(mine)]
+                    if src == dst:
+                        continue
+                    amount = 1 + step % 7
+                    ledger[src] -= amount
+                    ledger[dst] += amount
+                    client.batch(
+                        "Bank",
+                        [
+                            {"op": "update", "oid": src,
+                             "attribute": "Balance",
+                             "value": ledger[src]},
+                            {"op": "update", "oid": dst,
+                             "attribute": "Balance",
+                             "value": ledger[dst]},
+                        ],
+                    )
+        except Exception as error:
+            errors.append(error)
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                pass
+
+    def reader(index):
+        try:
+            with Client(host, port) as client:
+                client.execute(".use Bank")
+                barrier.wait()
+                reads = 0
+                while reads < CONSISTENCY_READS and not writers_done.is_set():
+                    out = client.execute("select A from Account")
+                    balances = [
+                        int(m) for m in _BALANCE.findall(out)
+                    ]
+                    reads += 1
+                    if len(balances) != len(accounts):
+                        bad_sums.append(("count", len(balances)))
+                        return
+                    if sum(balances) != total:
+                        bad_sums.append(("sum", sum(balances)))
+                        return
+        except Exception as error:
+            errors.append(error)
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [
+        threading.Thread(target=writer, args=(i,)) for i in range(WRITERS)
+    ] + [
+        threading.Thread(target=reader, args=(i,)) for i in range(READERS)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    for t in threads[:WRITERS]:
+        t.join(timeout=300)
+    writers_done.set()
+    for t in threads[WRITERS:]:
+        t.join(timeout=300)
+    snapshot = server.metrics.snapshot()
+    server.stop()
+
+    assert not errors, f"errored frames: {errors[:3]}"
+    assert not bad_sums, f"inconsistent snapshot reads: {bad_sums[:3]}"
+    final = [db.raw_value(oid)["Balance"] for oid in accounts]
+    assert sum(final) == total, (sum(final), total)
+    table = Table(
+        "E16b snapshot consistency under batched wire writes",
+        ["series", "value"],
+    )
+    table.add_row("accounts", len(accounts))
+    table.add_row("transfer batches", WRITERS * TRANSFERS)
+    table.add_row("consistency reads", READERS * CONSISTENCY_READS)
+    table.add_row("errored frames", len(errors))
+    table.add_row("torn reads observed", len(bad_sums))
+    table.add_row("group batches", snapshot["mvcc"]["group_batches"])
+    table.add_row("min/max final balance",
+                  f"{min(final)}/{max(final)}")
+    table.note(
+        "every batch frame (debit+credit) installs one version; a"
+        " snapshot reader can never observe half of one"
+    )
+    table.note(f"initial total {total}; assertions ran inside readers")
+    return table
+
+
+def test_e16_report(benchmark):
+    def report():
+        mixed, metrics = run_mixed_comparison()
+        emit(mixed)
+        emit(run_batch_consistency())
+        if metrics is not None:
+            emit(metrics)
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    mixed, metrics = run_mixed_comparison()
+    emit(mixed)
+    emit(run_batch_consistency())
+    if metrics is not None:
+        emit(metrics)

@@ -180,6 +180,14 @@ def server_metrics_table(
         f" connections: {snap['connections']['opened']} opened,"
         f" {snap['connections']['rejected']} rejected"
     )
+    mvcc = snap.get("mvcc") or {}
+    if any(mvcc.values()):
+        table.note(
+            f"mvcc: {mvcc['snapshot_reads']} snapshot reads;"
+            f" {mvcc['group_batches']} group commits"
+            f" ({mvcc['group_batched_ops']} writes,"
+            f" max batch {mvcc['group_max_batch']})"
+        )
     return table
 
 

@@ -40,7 +40,7 @@ Dot commands:
   .schema CLASS       show a class's attributes and parents
   .extent CLASS       list the extent of a class
   .explain QUERY      show the access plan for a query
-  .stats [reset]      maintenance + query-plan counters of the current scope
+  .stats [reset]      maintenance, plan and commit counters of the scope
   .load FILE          execute a script file
   .quit               leave the shell"""
 
@@ -143,6 +143,12 @@ class Session:
         return "\n".join(lines)
 
     def _stats(self, argument: str) -> str:
+        from .engine.versions import (
+            aggregate_commit_stats,
+            commit_stats_sources,
+            describe_commit_totals,
+        )
+
         scope = self._require_scope()
         stats = getattr(scope, "stats", None)
         cache = plan_cache_of(scope)
@@ -150,11 +156,19 @@ class Session:
             if stats is not None:
                 stats.reset()
             cache.reset_counters()
+            for source in commit_stats_sources(scope):
+                source.reset()
             return "stats reset"
+        commit_totals = aggregate_commit_stats([scope])
         if stats is not None:
-            # Views: ViewStats already carries the plan counters.
+            # Views: ViewStats carries the plan counters and, merged
+            # here, the commit counters of the underlying databases.
+            stats.merge_commit_stats(commit_totals)
             return stats.describe()
-        return cache.describe()
+        output = cache.describe()
+        if any(commit_totals.values()):
+            output += f"\n{describe_commit_totals(commit_totals)}"
+        return output
 
     def _query(self, text: str) -> str:
         scope = self._require_scope()

@@ -64,12 +64,17 @@ class MaterializedClass:
         return self._incremental
 
     def population(self) -> OidSet:
-        if not self._members:
-            return EMPTY_OID_SET
-        return OidSet.of(self._members)
+        # Copy under the view's maintenance lock: the committing
+        # thread's _on_event (which runs under the same lock) edits the
+        # member set in place.
+        with self._view.maintenance_lock:
+            if not self._members:
+                return EMPTY_OID_SET
+            return OidSet.of(self._members)
 
     def contains(self, oid: Oid) -> bool:
-        return oid in self._members
+        with self._view.maintenance_lock:
+            return oid in self._members
 
     def drop(self) -> None:
         self._unsubscribe()
@@ -77,25 +82,28 @@ class MaterializedClass:
     # ------------------------------------------------------------------
 
     def _on_event(self, event: Event) -> None:
-        self.stats.events_seen += 1
-        if isinstance(event, ClassDefined):
-            # Behavioral members may start matching the new class.
-            self._recompute()
-            return
-        if not self._incremental:
-            self._recompute()
-            return
-        if isinstance(event, ObjectDeleted):
-            self._members.discard(event.oid)
-            self.stats.incremental_steps += 1
-            return
-        if isinstance(event, (ObjectCreated, ObjectUpdated)):
-            oid = event.oid
-            self.stats.incremental_steps += 1
-            if self._test(oid):
-                self._members.add(oid)
-            else:
-                self._members.discard(oid)
+        # Usually already held (the view republishes provider events
+        # under its maintenance lock); re-entrant for direct publishes.
+        with self._view.maintenance_lock:
+            self.stats.events_seen += 1
+            if isinstance(event, ClassDefined):
+                # Behavioral members may start matching the new class.
+                self._recompute()
+                return
+            if not self._incremental:
+                self._recompute()
+                return
+            if isinstance(event, ObjectDeleted):
+                self._members.discard(event.oid)
+                self.stats.incremental_steps += 1
+                return
+            if isinstance(event, (ObjectCreated, ObjectUpdated)):
+                oid = event.oid
+                self.stats.incremental_steps += 1
+                if self._test(oid):
+                    self._members.add(oid)
+                else:
+                    self._members.discard(oid)
 
     def _test(self, oid: Oid) -> bool:
         for member in self._vclass.members:

@@ -102,14 +102,21 @@ class ClassFamily:
             )
         key = tuple(canonicalize(a) for a in args)
         view = self._view
-        cached = self._cache.get(key)
-        if cached is not None:
-            deps, snapshot, population = cached
-            if view.dependency_snapshot(deps) == snapshot:
-                view.stats.record_hit()
-                if ACTIVE_TRACKERS:
-                    replay_dependencies(deps)
-                return population
+        # Currency check under the maintenance lock (the version
+        # vector moves atomically under it); evaluation outside, with
+        # an epoch guard deciding whether the result may be cached —
+        # same discipline as VirtualClass.population().
+        pinned_current = view.reads_are_current()
+        with view.maintenance_lock:
+            cached = self._cache.get(key)
+            if cached is not None and pinned_current:
+                deps, snapshot, population = cached
+                if view.dependency_snapshot(deps) == snapshot:
+                    view.stats.record_hit()
+                    if ACTIVE_TRACKERS:
+                        replay_dependencies(deps)
+                    return population
+            epoch0 = view._epoch
         bindings = dict(zip(self._parameters, args))
         members: set = set()
         internal = getattr(view, "internal_evaluation", None)
@@ -121,7 +128,14 @@ class ClassFamily:
         population = OidSet.of(members) if members else EMPTY_OID_SET
         view.stats.record_full_recompute()
         deps = tracker.deps.frozen()
-        self._cache[key] = (deps, view.dependency_snapshot(deps), population)
+        if pinned_current:
+            with view.maintenance_lock:
+                if view._epoch == epoch0:
+                    self._cache[key] = (
+                        deps,
+                        view.dependency_snapshot(deps),
+                        population,
+                    )
         return population
 
     def _instantiate_members(self, bindings, args, members: set) -> None:

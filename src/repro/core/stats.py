@@ -34,7 +34,12 @@ class ViewStats:
       from the plan cache (see :mod:`repro.query.planner`);
     - ``index_probes`` / ``range_probes`` — how many executions used an
       index equality probe or an ordered-index range scan instead of a
-      full extent scan.
+      full extent scan;
+    - ``snapshots_taken`` / ``versions_installed`` / ``batch_commits``
+      / ``batched_ops`` / ``max_batch_size`` / ``conflict_retries`` —
+      MVCC commit-path traffic of the view's provider databases,
+      merged in via :meth:`merge_commit_stats` (see
+      :mod:`repro.engine.versions`).
     """
 
     hits: int = 0
@@ -46,6 +51,12 @@ class ViewStats:
     plan_cache_hits: int = 0
     index_probes: int = 0
     range_probes: int = 0
+    snapshots_taken: int = 0
+    versions_installed: int = 0
+    batch_commits: int = 0
+    batched_ops: int = 0
+    max_batch_size: int = 0
+    conflict_retries: int = 0
 
     def record_hit(self) -> None:
         self.hits += 1
@@ -75,6 +86,18 @@ class ViewStats:
     def record_range_probe(self) -> None:
         self.range_probes += 1
 
+    def merge_commit_stats(self, totals: Dict[str, int]) -> None:
+        """Overwrite the commit-path counters from aggregated
+        :class:`~repro.engine.versions.CommitStats` totals (the
+        databases own the live counters; the view mirrors them when
+        stats are rendered)."""
+        self.snapshots_taken = totals.get("snapshots_taken", 0)
+        self.versions_installed = totals.get("versions_installed", 0)
+        self.batch_commits = totals.get("batch_commits", 0)
+        self.batched_ops = totals.get("batched_ops", 0)
+        self.max_batch_size = totals.get("max_batch_size", 0)
+        self.conflict_retries = totals.get("conflict_retries", 0)
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
@@ -85,6 +108,12 @@ class ViewStats:
         self.plan_cache_hits = 0
         self.index_probes = 0
         self.range_probes = 0
+        self.snapshots_taken = 0
+        self.versions_installed = 0
+        self.batch_commits = 0
+        self.batched_ops = 0
+        self.max_batch_size = 0
+        self.conflict_retries = 0
 
     def describe(self) -> str:
         lines = [
@@ -97,6 +126,17 @@ class ViewStats:
             f"index probes:    {self.index_probes}",
             f"range probes:    {self.range_probes}",
         ]
+        if self.versions_installed or self.snapshots_taken:
+            lines.extend(
+                [
+                    f"snapshots taken:    {self.snapshots_taken}",
+                    f"versions installed: {self.versions_installed}",
+                    f"batch commits:      {self.batch_commits}"
+                    f" ({self.batched_ops} ops,"
+                    f" max {self.max_batch_size})",
+                    f"conflict retries:   {self.conflict_retries}",
+                ]
+            )
         if self.invalidations_by_class:
             lines.append("invalidations by class:")
             for name in sorted(self.invalidations_by_class):

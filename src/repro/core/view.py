@@ -19,6 +19,7 @@ paper's principle (1): "a view should be treated as a database".
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..engine.events import (
@@ -98,6 +99,17 @@ class View(Scope):
         self._attr_versions: Dict[Tuple[str, str], int] = {}
         self._epoch = 0
         self._bump_targets_cache: Dict[str, Tuple[str, ...]] = {}
+        # Serializes maintenance against cache validation: a provider
+        # commit bumps versions, forwards deltas and republishes under
+        # this lock; a reader's currency-check / delta-buffer swap /
+        # cache store takes it too, so the version vector and the
+        # buffers can never be observed half-updated. Re-entrant
+        # because event fanout can trigger a materialized recompute,
+        # which evaluates a population, which checks caches — all on
+        # the committing thread. Lock order: a thread may take a
+        # database commit lock and then this lock, never the reverse
+        # (population evaluation pins snapshots without holding it).
+        self._maintenance_lock = threading.RLock()
         self.stats = ViewStats()
         self._defining_map: Optional[Dict[str, List[str]]] = None
         self._membership_in_progress: set = set()
@@ -155,6 +167,12 @@ class View(Scope):
         return self._hides
 
     @property
+    def maintenance_lock(self) -> threading.RLock:
+        """The lock serializing provider-event maintenance against
+        population-cache validation (see ``__init__``)."""
+        return self._maintenance_lock
+
+    @property
     def resolver(self) -> Resolver:
         return self._resolver
 
@@ -189,6 +207,20 @@ class View(Scope):
             snapshot is not None
             and snapshot == self.dependency_snapshot(deps)
         )
+
+    def reads_are_current(self) -> bool:
+        """False while the calling thread holds a stale snapshot pin
+        on any (transitive) provider database.
+
+        Population caches are bypassed for such a reader — a cache
+        keyed on the *latest* version vector can neither serve nor be
+        filled by an evaluation of an older pinned version.
+        """
+        for provider in self._providers:
+            check = getattr(provider, "reads_are_current", None)
+            if check is not None and not check():
+                return False
+        return True
 
     def _bump_targets(
         self, class_name: str, provider: Optional[Scope] = None
@@ -291,34 +323,40 @@ class View(Scope):
         return index
 
     def _on_provider_event(self, event: Event, provider_index: int) -> None:
-        provider = self._providers[provider_index]
-        if isinstance(event, ObjectUpdated):
-            # An update changes no extent of a *base* class; only reads
-            # of this attribute (on the class or an ancestor) can
-            # differ. Virtual-class extents that depend on the
-            # attribute recorded it as a dependency and invalidate
-            # through the attribute version.
-            self.stats.record_invalidation(event.class_name)
-            self._bump_attribute(event.class_name, event.attribute, provider)
-            self._epoch += 1
-            self._forward_delta(event)
-        elif isinstance(event, (ObjectCreated, ObjectDeleted)):
-            self.stats.record_invalidation(event.class_name)
-            self._bump_extents(event.class_name, provider)
-            self._epoch += 1
-            self._forward_delta(event)
-        elif isinstance(event, ClassDefined):
-            name = event.class_name
-            if name not in self._schema and self._covers_new_class(
-                provider_index, provider, name
-            ):
-                self._schema.copy_classes_from(provider.schema, [name])
-            self._invalidate_schema()
-        else:
-            # Unknown event kinds are treated as structural so no cache
-            # can go stale silently.
-            self._invalidate_schema()
-        self._events.publish(event)
+        # The whole maintenance step — version bump, delta forwarding,
+        # republish to subscribers (materialized classes, stacked
+        # views) — is atomic w.r.t. cache validation on reader threads.
+        with self._maintenance_lock:
+            provider = self._providers[provider_index]
+            if isinstance(event, ObjectUpdated):
+                # An update changes no extent of a *base* class; only
+                # reads of this attribute (on the class or an ancestor)
+                # can differ. Virtual-class extents that depend on the
+                # attribute recorded it as a dependency and invalidate
+                # through the attribute version.
+                self.stats.record_invalidation(event.class_name)
+                self._bump_attribute(
+                    event.class_name, event.attribute, provider
+                )
+                self._epoch += 1
+                self._forward_delta(event)
+            elif isinstance(event, (ObjectCreated, ObjectDeleted)):
+                self.stats.record_invalidation(event.class_name)
+                self._bump_extents(event.class_name, provider)
+                self._epoch += 1
+                self._forward_delta(event)
+            elif isinstance(event, ClassDefined):
+                name = event.class_name
+                if name not in self._schema and self._covers_new_class(
+                    provider_index, provider, name
+                ):
+                    self._schema.copy_classes_from(provider.schema, [name])
+                self._invalidate_schema()
+            else:
+                # Unknown event kinds are treated as structural so no
+                # cache can go stale silently.
+                self._invalidate_schema()
+            self._events.publish(event)
 
     def _forward_delta(self, event: Event) -> None:
         """Buffer an object-level event with every virtual class so a
@@ -655,7 +693,10 @@ class View(Scope):
         vclass = self._virtuals.get(name)
         if vclass is not None:
             materialized = self._materialized.get(name)
-            if materialized is not None:
+            if materialized is not None and self.reads_are_current():
+                # A stale-pinned reader skips the (eagerly maintained,
+                # therefore latest-version) copy and evaluates against
+                # its own pinned version instead.
                 return materialized.population()
             return vclass.population()
         members: set = set()

@@ -136,19 +136,28 @@ class VirtualClass:
         population on a later call.
         """
         view = self._view
-        if use_cache and self._cache_deps is not None:
-            if (
-                view.dependency_snapshot(self._cache_deps)
-                == self._cache_snapshot
-            ):
-                view.stats.record_hit()
-                if ACTIVE_TRACKERS:
-                    replay_dependencies(self._cache_deps)
-                # Buffered events that left the snapshot intact cannot
-                # concern any dependency; drop them.
-                self._delta_events.clear()
-                self._delta_overflow = False
-                return self._cache
+        # A reader pinned to an older database version bypasses the
+        # cache entirely: the cache tracks the latest version, the
+        # reader must see its own (View.reads_are_current).
+        pinned_current = view.reads_are_current()
+        if use_cache and pinned_current and self._cache_deps is not None:
+            # Currency check and buffer clear are atomic against a
+            # provider commit's bump+buffer step (same lock in
+            # View._on_provider_event), so an event can never land
+            # between "snapshot is current" and "drop the buffer".
+            with view.maintenance_lock:
+                if self._cache_deps is not None and (
+                    view.dependency_snapshot(self._cache_deps)
+                    == self._cache_snapshot
+                ):
+                    view.stats.record_hit()
+                    if ACTIVE_TRACKERS:
+                        replay_dependencies(self._cache_deps)
+                    # Buffered events that left the snapshot intact
+                    # cannot concern any dependency; drop them.
+                    self._delta_events.clear()
+                    self._delta_overflow = False
+                    return self._cache
             patched = self._try_delta_patch()
             if patched is not None:
                 return patched
@@ -170,6 +179,12 @@ class VirtualClass:
         frame = len(stack)
         stack.append(self._name)
         self._evaluating = True
+        # Epoch guard: evaluation runs outside the maintenance lock
+        # (it may reach into provider views, whose locks a committing
+        # writer acquires in the opposite order). If a commit lands
+        # while we evaluate, the result may mix pre- and post-commit
+        # reads — return it, but do not cache it.
+        epoch0 = view._epoch
         tracker = DependencyTracker()
         try:
             internal = getattr(view, "internal_evaluation", None)
@@ -186,13 +201,15 @@ class VirtualClass:
             stack.pop()
         population = OidSet.of(members) if members else EMPTY_OID_SET
         view.stats.record_full_recompute()
-        if not tainted:
+        if not tainted and pinned_current:
             deps = tracker.deps.frozen()
-            self._cache = population
-            self._cache_deps = deps
-            self._cache_snapshot = view.dependency_snapshot(deps)
-            self._delta_events.clear()
-            self._delta_overflow = False
+            with view.maintenance_lock:
+                if view._epoch == epoch0:
+                    self._cache = population
+                    self._cache_deps = deps
+                    self._cache_snapshot = view.dependency_snapshot(deps)
+                    self._delta_events.clear()
+                    self._delta_overflow = False
         return population
 
     # ------------------------------------------------------------------
@@ -263,22 +280,29 @@ class VirtualClass:
         caller falls back to a full recompute).
         """
         view = self._view
-        if self._delta_overflow or not self._delta_events:
-            return None
-        if (
-            self._cache_snapshot is None
-            or self._cache_snapshot[0] != view.schema_version
-        ):
-            return None
-        closure = self._delta_closure()
-        if closure is None or not self._cache_deps.classes() <= closure:
-            return None
-        stack = getattr(view, "_population_stack", None)
-        if stack and self._name in stack:
-            return None
-        events = self._delta_events
-        self._delta_events = []
-        members = set(self._cache.members)
+        # Take the buffer and capture the epoch under the maintenance
+        # lock so the swap is atomic against a committing writer's
+        # bump+append; the per-object re-tests then run outside it
+        # (they may reach into provider views — see population()).
+        with view.maintenance_lock:
+            if self._delta_overflow or not self._delta_events:
+                return None
+            if (
+                self._cache_snapshot is None
+                or self._cache_snapshot[0] != view.schema_version
+            ):
+                return None
+            closure = self._delta_closure()
+            if closure is None or not self._cache_deps.classes() <= closure:
+                return None
+            stack = getattr(view, "_population_stack", None)
+            if stack and self._name in stack:
+                return None
+            events = self._delta_events
+            self._delta_events = []
+            members = set(self._cache.members)
+            cache_deps = self._cache_deps
+            epoch0 = view._epoch
         tracker = DependencyTracker()
         internal = getattr(view, "internal_evaluation", None)
         with tracker:
@@ -288,17 +312,25 @@ class VirtualClass:
             else:
                 ok = self._apply_delta(events, closure, members)
         if not ok:
-            self._delta_overflow = True
+            with view.maintenance_lock:
+                self._delta_overflow = True
             return None
-        deps = DependencySet(
-            self._cache_deps.extents, self._cache_deps.attributes
-        )
+        deps = DependencySet(cache_deps.extents, cache_deps.attributes)
         deps.merge(tracker.deps)
         frozen = deps.frozen()
         population = OidSet.of(members) if members else EMPTY_OID_SET
-        self._cache = population
-        self._cache_deps = frozen
-        self._cache_snapshot = view.dependency_snapshot(frozen)
+        with view.maintenance_lock:
+            if view._epoch != epoch0:
+                # A commit landed while we re-tested: the version
+                # vector we would store claims currency over events
+                # still in (or newly added to) the buffer. Push the
+                # consumed events back in order and fall back to a
+                # full recompute.
+                self._delta_events[:0] = events
+                return None
+            self._cache = population
+            self._cache_deps = frozen
+            self._cache_snapshot = view.dependency_snapshot(frozen)
         view.stats.record_delta_patch()
         if ACTIVE_TRACKERS:
             replay_dependencies(frozen)
@@ -381,15 +413,17 @@ class VirtualClass:
     def contains(self, oid: Oid) -> bool:
         """Membership test; uses per-member shortcuts when possible."""
         view = self._view
-        if (
-            self._cache_deps is not None
-            and view.dependency_snapshot(self._cache_deps)
-            == self._cache_snapshot
-        ):
-            view.stats.record_hit()
-            if ACTIVE_TRACKERS:
-                replay_dependencies(self._cache_deps)
-            return oid in self._cache
+        with view.maintenance_lock:
+            if (
+                self._cache_deps is not None
+                and view.dependency_snapshot(self._cache_deps)
+                == self._cache_snapshot
+                and view.reads_are_current()
+            ):
+                view.stats.record_hit()
+                if ACTIVE_TRACKERS:
+                    replay_dependencies(self._cache_deps)
+                return oid in self._cache
         for member in self._members:
             quick = self.member_test(member, oid)
             if quick:

@@ -9,10 +9,22 @@ over.
 
 Mutations publish events on the database's bus so indexes and
 materialized virtual classes can maintain themselves incrementally.
+
+Concurrency (see :mod:`repro.engine.versions`): every mutation and DDL
+statement serializes through one re-entrant commit lock and ends by
+installing a new store version; :meth:`snapshot` returns an immutable
+:class:`~repro.engine.versions.DatabaseSnapshot` of the latest
+installed version, and :meth:`read_view` pins it for the calling
+thread so *every* read the database serves on that thread — direct,
+through handles, or through a view population — is answered from the
+frozen version without taking any lock. Structures are copied lazily,
+only when a published snapshot actually shares them.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from ..errors import (
@@ -31,8 +43,9 @@ from .events import (
 from .objects import DatabaseObject, ObjectHandle, Scope, unwrap
 from .oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
 from .schema import AttributeDef, ClassKind, Schema
-from .tracking import ACTIVE_TRACKERS, record_extent_read
+from .tracking import ACTIVE_TRACKERS, ScopePins, record_extent_read
 from .values import require_conforms
+from .versions import CommitStats, DatabaseSnapshot
 
 
 class Database(Scope):
@@ -48,15 +61,45 @@ class Database(Scope):
         self.functions: Dict[str, object] = {}
         self.function_types: Dict[str, object] = {}
         self._index_manager = None
+        # -- commit path (MVCC) ----------------------------------------
+        # Re-entrant so a transaction (begin_batch) can keep committing
+        # through the normal mutators on the owning thread.
+        self._commit_lock = threading.RLock()
+        self._store_version = 0
+        self._current_snapshot: Optional[DatabaseSnapshot] = None
+        # Copy-on-write-on-share flags: set when a published snapshot
+        # references the live structures, cleared when a mutation takes
+        # a private copy.
+        self._objects_shared = False
+        self._extents_outer_shared = False
+        self._shared_extent_classes: set = set()
+        # Group-commit bracketing: while _batch_depth > 0 mutations
+        # accumulate and one version is installed at the outermost
+        # end_batch.
+        self._batch_depth = 0
+        self._batch_ops = 0
+        self._pins = ScopePins()
+        self.mvcc = CommitStats()
 
-    @property
-    def indexes(self):
-        """The database's (lazily created) attribute-index manager."""
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def _live_indexes(self):
         if self._index_manager is None:
             from .indexes import IndexManager
 
             self._index_manager = IndexManager(self)
         return self._index_manager
+
+    @property
+    def indexes(self):
+        """The attribute-index manager — the live registry, or the
+        frozen captured one while the calling thread holds a pin."""
+        pinned = self._pins.current()
+        if pinned is not None and pinned.indexes is not None:
+            return pinned.indexes
+        return self._live_indexes()
 
     def create_index(self, class_name: str, attribute: str,
                      kind: str = "hash"):
@@ -64,12 +107,18 @@ class Database(Scope):
 
         ``kind`` is ``"hash"`` (equality only) or ``"ordered"``
         (equality plus ``<``/``<=``/``>``/``>=``/range predicates).
+        Index DDL commits like any write: it installs a new version.
         """
-        return self.indexes.create_index(class_name, attribute, kind)
+        with self._commit_lock:
+            index = self._live_indexes().create_index(
+                class_name, attribute, kind
+            )
+            self._commit()
+        return index
 
     def create_ordered_index(self, class_name: str, attribute: str):
         """Create (or fetch) an ordered index on a stored attribute."""
-        return self.indexes.create_index(class_name, attribute, "ordered")
+        return self.create_index(class_name, attribute, "ordered")
 
     def register_function(self, name: str, fn, result_type=None) -> None:
         """Register a named function usable in queries (e.g. ``gsd``)."""
@@ -85,6 +134,179 @@ class Database(Scope):
         from ..query.planner import execute
 
         return execute(query, self, bindings=parameters or None)
+
+    # ------------------------------------------------------------------
+    # Versioned snapshots (MVCC read path)
+    # ------------------------------------------------------------------
+
+    @property
+    def store_version(self) -> int:
+        """Monotone counter; bumps once per installed version (a
+        single mutation, a DDL statement, or one whole batch)."""
+        return self._store_version
+
+    def snapshot(self) -> DatabaseSnapshot:
+        """An immutable, consistent view of the latest installed
+        version.
+
+        The first call after an install materializes the snapshot
+        under the commit lock (marking the live structures shared, so
+        the next mutation copies before writing); every later call
+        until the next install is a lock-free reference grab.
+        """
+        snap = self._current_snapshot
+        if snap is not None:
+            return snap
+        with self._commit_lock:
+            snap = self._current_snapshot
+            if snap is None:
+                snap = self._publish()
+                if self._batch_depth == 0:
+                    # Mid-batch snapshots (only reachable by the batch
+                    # owner itself) see the partial batch; don't cache
+                    # them where the lock-free fast path could hand
+                    # them to another thread.
+                    self._current_snapshot = snap
+            return snap
+
+    def _publish(self) -> DatabaseSnapshot:
+        self._objects_shared = True
+        self._extents_outer_shared = True
+        self._shared_extent_classes = set(self._extents)
+        self.mvcc.record_snapshot()
+        return DatabaseSnapshot(
+            self,
+            self._store_version,
+            self._objects,
+            self._extents,
+            self._live_indexes().publish(),
+        )
+
+    def reads_are_current(self) -> bool:
+        """False while the calling thread holds a pin on an older
+        version than the latest install.
+
+        View-population caches consult this: a stale-pinned reader
+        bypasses them (both serving and filling), so cached
+        populations always correspond to the latest version and a
+        pinned reader always sees its own version.
+        """
+        pinned = self._pins.current()
+        return pinned is None or pinned.version == self._store_version
+
+    @contextmanager
+    def read_view(self):
+        """Pin a snapshot for the calling thread.
+
+        While the context is active, every read this database serves
+        on this thread is answered from the pinned frozen version —
+        concurrent commits are invisible until the pin is released.
+        Pins nest (an inner ``read_view`` keeps the outer frozen
+        version rather than advancing mid-region); other threads are
+        unaffected.
+        """
+        snapshot = self._pins.current()
+        if snapshot is None:
+            snapshot = self.snapshot()
+        previous = self._pins.push(snapshot)
+        try:
+            yield snapshot
+        finally:
+            self._pins.restore(previous)
+
+    def begin_batch(self) -> None:
+        """Open a commit batch: the calling thread holds the commit
+        lock until the matching :meth:`end_batch`, and all mutations
+        in between install as **one** version."""
+        self._commit_lock.acquire()
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Close a batch; the outermost close installs the version."""
+        if self._batch_depth <= 0:
+            raise ObjectError("end_batch without begin_batch")
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            ops, self._batch_ops = self._batch_ops, 0
+            if ops:
+                self._install(ops)
+        self._commit_lock.release()
+
+    def apply_batch(self, operations: Sequence[Mapping]) -> List[Oid]:
+        """Apply a sequence of mutation descriptors as one batch.
+
+        Each descriptor is ``{"op": "create", "class": C, "value": V}``,
+        ``{"op": "update", "oid": O, "attribute": A, "value": V}`` or
+        ``{"op": "delete", "oid": O}``. Returns the affected oids in
+        order. On error the already-applied prefix stays committed
+        (installed as one version) and the error propagates — wire
+        clients see which prefix applied via the error position.
+        """
+        applied: List[Oid] = []
+        self.begin_batch()
+        try:
+            for descriptor in operations:
+                kind = descriptor.get("op")
+                if kind == "create":
+                    handle = self.create(
+                        descriptor.get("class"),
+                        descriptor.get("value") or {},
+                    )
+                    applied.append(handle.oid)
+                elif kind == "update":
+                    oid = descriptor.get("oid")
+                    self.update(
+                        oid,
+                        descriptor.get("attribute"),
+                        descriptor.get("value"),
+                    )
+                    applied.append(oid)
+                elif kind == "delete":
+                    oid = descriptor.get("oid")
+                    self.delete(oid)
+                    applied.append(oid)
+                else:
+                    raise ObjectError(f"unknown batch op: {kind!r}")
+        finally:
+            self.end_batch()
+        return applied
+
+    def _commit(self) -> None:
+        """Finish one mutation: install now, or defer to the batch."""
+        if self._batch_depth:
+            self._batch_ops += 1
+        else:
+            self._install(1)
+
+    def _install(self, ops: int) -> None:
+        """Install a new version: O(1) — bump and invalidate. The next
+        snapshot() materializes the version lazily."""
+        self._store_version += 1
+        self._current_snapshot = None
+        self.mvcc.record_install(ops)
+
+    # -- copy-on-write-on-share helpers --------------------------------
+
+    def _writable_objects(self) -> Dict[Oid, DatabaseObject]:
+        if self._objects_shared:
+            self._objects = dict(self._objects)
+            self._objects_shared = False
+        return self._objects
+
+    def _writable_extents_outer(self) -> Dict[str, set]:
+        if self._extents_outer_shared:
+            self._extents = dict(self._extents)
+            self._extents_outer_shared = False
+        return self._extents
+
+    def _writable_extent(self, class_name: str) -> set:
+        extents = self._writable_extents_outer()
+        if class_name in self._shared_extent_classes:
+            self._shared_extent_classes.discard(class_name)
+            fresh = set(extents.get(class_name, ()))
+            extents[class_name] = fresh
+            return fresh
+        return extents.setdefault(class_name, set())
 
     # ------------------------------------------------------------------
     # Scope protocol
@@ -107,15 +329,24 @@ class Database(Scope):
         return self._events
 
     def class_of(self, oid: Oid) -> str:
+        pinned = self._pins.current()
+        if pinned is not None:
+            return pinned.class_of(oid)
         return self._require(oid).class_name
 
     def raw_value(self, oid: Oid) -> Dict[str, object]:
+        pinned = self._pins.current()
+        if pinned is not None:
+            return pinned.raw_value(oid)
         return self._require(oid).value
 
     def resolve_attribute_for(self, oid: Oid, attribute: str) -> AttributeDef:
         return self._schema.resolve_attribute(self.class_of(oid), attribute)
 
     def is_member(self, oid: Oid, class_name: str) -> bool:
+        pinned = self._pins.current()
+        if pinned is not None:
+            return pinned.is_member(oid, class_name)
         if ACTIVE_TRACKERS:
             record_extent_read(class_name)
         obj = self._objects.get(oid)
@@ -135,11 +366,13 @@ class Database(Scope):
         doc: str = "",
     ):
         """Define a base (storable) class. See :meth:`Schema.define_class`."""
-        cdef = self._schema.define_class(
-            name, parents, attributes, ClassKind.BASE, doc
-        )
-        self._extents.setdefault(name, set())
-        self._events.publish(ClassDefined(self._name, name))
+        with self._commit_lock:
+            cdef = self._schema.define_class(
+                name, parents, attributes, ClassKind.BASE, doc
+            )
+            self._writable_extents_outer().setdefault(name, set())
+            self._events.publish(ClassDefined(self._name, name))
+            self._commit()
         return cdef
 
     def define_attribute(
@@ -155,9 +388,12 @@ class Database(Scope):
         ``value`` is a callable computing the attribute from the
         receiver handle; omitting it declares a stored attribute.
         """
-        return self._schema.define_attribute(
-            class_name, attribute, declared_type, value, arity
-        )
+        with self._commit_lock:
+            adef = self._schema.define_attribute(
+                class_name, attribute, declared_type, value, arity
+            )
+            self._commit()
+        return adef
 
     # ------------------------------------------------------------------
     # Object lifecycle
@@ -185,11 +421,15 @@ class Database(Scope):
         tuple_value: Dict[str, object] = dict(value or {})
         tuple_value.update(attributes)
         tuple_value = {k: unwrap(v) for k, v in tuple_value.items()}
-        self._validate(class_name, tuple_value)
-        oid = self._oids.fresh()
-        self._objects[oid] = DatabaseObject(oid, class_name, tuple_value)
-        self._extents.setdefault(class_name, set()).add(oid)
-        self._events.publish(ObjectCreated(self._name, class_name, oid))
+        with self._commit_lock:
+            self._validate(class_name, tuple_value)
+            oid = self._oids.fresh()
+            self._writable_objects()[oid] = DatabaseObject(
+                oid, class_name, tuple_value
+            )
+            self._writable_extent(class_name).add(oid)
+            self._events.publish(ObjectCreated(self._name, class_name, oid))
+            self._commit()
         return ObjectHandle(self, oid)
 
     def insert_with_oid(
@@ -204,66 +444,80 @@ class Database(Scope):
         are already present. The oid generator is advanced past the
         oid's serial so later creates cannot collide.
         """
-        if oid in self._objects:
-            raise ObjectError(f"oid already present: {oid}")
         cdef = self._schema.require(class_name)
         if cdef.kind is not ClassKind.BASE:
             raise ObjectError(
                 f"cannot insert into {cdef.kind.value} class {class_name!r}"
             )
         tuple_value = {k: unwrap(v) for k, v in dict(value or {}).items()}
-        self._validate(class_name, tuple_value)
-        self._objects[oid] = DatabaseObject(oid, class_name, tuple_value)
-        self._extents.setdefault(class_name, set()).add(oid)
-        if oid.space == self._name:
-            self._oids.advance_to(oid.number)
-        self._events.publish(ObjectCreated(self._name, class_name, oid))
+        with self._commit_lock:
+            if oid in self._objects:
+                raise ObjectError(f"oid already present: {oid}")
+            self._validate(class_name, tuple_value)
+            self._writable_objects()[oid] = DatabaseObject(
+                oid, class_name, tuple_value
+            )
+            self._writable_extent(class_name).add(oid)
+            if oid.space == self._name:
+                self._oids.advance_to(oid.number)
+            self._events.publish(ObjectCreated(self._name, class_name, oid))
+            self._commit()
         return ObjectHandle(self, oid)
 
     def update(self, target, attribute: str, new_value) -> None:
-        """Assign a stored attribute of an existing object."""
+        """Assign a stored attribute of an existing object.
+
+        The stored tuple is replaced, not mutated in place: a
+        published snapshot may still hold the old
+        :class:`DatabaseObject`, and it must keep reading the old
+        value.
+        """
         oid = target.oid if isinstance(target, ObjectHandle) else target
-        obj = self._require(oid)
-        adef = self._schema.resolve_attribute(obj.class_name, attribute)
-        if adef.is_computed():
-            raise ObjectError(
-                f"attribute {attribute!r} of class {obj.class_name!r}"
-                " is computed; it cannot be assigned"
-            )
         new_value = unwrap(new_value)
-        if new_value is None:
-            # Assigning None unsets the attribute (reads return None).
-            old_value = obj.value.pop(attribute, None)
+        with self._commit_lock:
+            obj = self._require_live(oid)
+            adef = self._schema.resolve_attribute(obj.class_name, attribute)
+            if adef.is_computed():
+                raise ObjectError(
+                    f"attribute {attribute!r} of class {obj.class_name!r}"
+                    " is computed; it cannot be assigned"
+                )
+            value = dict(obj.value)
+            if new_value is None:
+                # Assigning None unsets the attribute (reads return None).
+                old_value = value.pop(attribute, None)
+            else:
+                if adef.declared_type is not None:
+                    require_conforms(
+                        new_value,
+                        adef.declared_type,
+                        self._schema,
+                        self._class_of_or_none,
+                        label=f"{obj.class_name}.{attribute}",
+                    )
+                old_value = value.get(attribute)
+                value[attribute] = new_value
+            self._writable_objects()[oid] = DatabaseObject(
+                oid, obj.class_name, value
+            )
             self._events.publish(
                 ObjectUpdated(
-                    self._name, obj.class_name, oid, attribute, old_value, None
+                    self._name, obj.class_name, oid, attribute,
+                    old_value, new_value,
                 )
             )
-            return
-        if adef.declared_type is not None:
-            require_conforms(
-                new_value,
-                adef.declared_type,
-                self._schema,
-                self._class_of_or_none,
-                label=f"{obj.class_name}.{attribute}",
-            )
-        old_value = obj.value.get(attribute)
-        obj.value[attribute] = new_value
-        self._events.publish(
-            ObjectUpdated(
-                self._name, obj.class_name, oid, attribute, old_value, new_value
-            )
-        )
+            self._commit()
 
     def delete(self, target) -> None:
         oid = target.oid if isinstance(target, ObjectHandle) else target
-        obj = self._require(oid)
-        del self._objects[oid]
-        self._extents[obj.class_name].discard(oid)
-        self._events.publish(
-            ObjectDeleted(self._name, obj.class_name, oid)
-        )
+        with self._commit_lock:
+            obj = self._require_live(oid)
+            del self._writable_objects()[oid]
+            self._writable_extent(obj.class_name).discard(oid)
+            self._events.publish(
+                ObjectDeleted(self._name, obj.class_name, oid)
+            )
+            self._commit()
 
     # ------------------------------------------------------------------
     # Extents and retrieval
@@ -275,6 +529,9 @@ class Database(Scope):
         ``deep=True`` (default) includes objects real in subclasses —
         an object created in ``Tanker`` is a member of ``Ship``.
         """
+        pinned = self._pins.current()
+        if pinned is not None:
+            return pinned.extent(class_name, deep)
         if ACTIVE_TRACKERS:
             record_extent_read(class_name)
         self._schema.require(class_name)
@@ -291,12 +548,21 @@ class Database(Scope):
         return [ObjectHandle(self, oid) for oid in self.extent(class_name, deep)]
 
     def contains_oid(self, oid: Oid) -> bool:
+        pinned = self._pins.current()
+        if pinned is not None:
+            return pinned.contains_oid(oid)
         return oid in self._objects
 
     def all_oids(self) -> Iterator[Oid]:
+        pinned = self._pins.current()
+        if pinned is not None:
+            return pinned.all_oids()
         return iter(sorted(self._objects))
 
     def object_count(self) -> int:
+        pinned = self._pins.current()
+        if pinned is not None:
+            return pinned.object_count()
         return len(self._objects)
 
     # ------------------------------------------------------------------
@@ -304,6 +570,12 @@ class Database(Scope):
     # ------------------------------------------------------------------
 
     def _require(self, oid: Oid) -> DatabaseObject:
+        pinned = self._pins.current()
+        if pinned is not None:
+            return pinned._require(oid)
+        return self._require_live(oid)
+
+    def _require_live(self, oid: Oid) -> DatabaseObject:
         obj = self._objects.get(oid)
         if obj is None:
             raise UnknownOidError(oid)
@@ -341,26 +613,32 @@ class Database(Scope):
         """A structural copy of all objects (schema not included)."""
         from .values import deep_copy_value
 
-        return {
-            oid: DatabaseObject(
-                obj.oid, obj.class_name, deep_copy_value(obj.value)
-            )
-            for oid, obj in self._objects.items()
-        }
+        with self._commit_lock:
+            return {
+                oid: DatabaseObject(
+                    obj.oid, obj.class_name, deep_copy_value(obj.value)
+                )
+                for oid, obj in self._objects.items()
+            }
 
     def restore_objects(self, snapshot: Dict[Oid, DatabaseObject]) -> None:
         from .values import deep_copy_value
 
-        self._objects = {
-            oid: DatabaseObject(
-                obj.oid, obj.class_name, deep_copy_value(obj.value)
-            )
-            for oid, obj in snapshot.items()
-        }
-        self._extents = {}
-        highest = 0
-        for oid, obj in self._objects.items():
-            self._extents.setdefault(obj.class_name, set()).add(oid)
-            if oid.space == self._name:
-                highest = max(highest, oid.number)
-        self._oids.advance_to(highest)
+        with self._commit_lock:
+            self._objects = {
+                oid: DatabaseObject(
+                    obj.oid, obj.class_name, deep_copy_value(obj.value)
+                )
+                for oid, obj in snapshot.items()
+            }
+            self._extents = {}
+            self._objects_shared = False
+            self._extents_outer_shared = False
+            self._shared_extent_classes = set()
+            highest = 0
+            for oid, obj in self._objects.items():
+                self._extents.setdefault(obj.class_name, set()).add(oid)
+                if oid.space == self._name:
+                    highest = max(highest, oid.number)
+            self._oids.advance_to(highest)
+            self._commit()

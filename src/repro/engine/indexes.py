@@ -17,6 +17,15 @@ stay equality-only.
 Every index keeps an oid→key reverse map, so deletes (where the
 object's values are already gone) are O(1) instead of a scan over
 every bucket.
+
+Indexes participate in the database's MVCC snapshots (see
+:mod:`repro.engine.versions`): :meth:`AttributeIndex.publish` marks the
+bucket table *shared* and returns a :class:`FrozenAttributeIndex`
+referencing it; the next mutating event copies the buckets privately
+first (``_ensure_private``), so the frozen view keeps the old contents.
+:meth:`IndexManager.publish` captures the whole registry as an
+:class:`IndexManagerSnapshot` the planner can probe exactly like the
+live manager.
 """
 
 from __future__ import annotations
@@ -51,6 +60,8 @@ class AttributeIndex:
         self._attribute = attribute
         self._entries: Dict[object, Set[Oid]] = {}
         self._oid_keys: Dict[Oid, object] = {}
+        self._shared = False
+        self._frozen: Optional["FrozenAttributeIndex"] = None
         self._unsubscribe = database.events.subscribe(self._on_event)
         self._rebuild()
 
@@ -78,8 +89,40 @@ class AttributeIndex:
     def drop(self) -> None:
         """Detach the index from the event bus."""
         self._unsubscribe()
-        self._entries.clear()
-        self._oid_keys.clear()
+        # Rebind rather than clear: a published frozen view may still
+        # reference the old bucket table.
+        self._entries = {}
+        self._oid_keys = {}
+        self._shared = False
+        self._frozen = None
+
+    def publish(self) -> "FrozenAttributeIndex":
+        """An immutable view of the current contents.
+
+        Marks the bucket table shared; the next mutating event copies
+        it privately first. Repeated calls between mutations return
+        the same frozen object.
+        """
+        if self._frozen is None:
+            self._shared = True
+            self._frozen = self._make_frozen()
+        return self._frozen
+
+    def _make_frozen(self) -> "FrozenAttributeIndex":
+        return FrozenAttributeIndex(
+            self._class_name, self._attribute, self._entries
+        )
+
+    def _ensure_private(self) -> None:
+        """Copy the shared bucket table before the first mutation
+        after a publish (copy-on-write-on-share)."""
+        if not self._shared:
+            return
+        self._entries = {
+            key: set(bucket) for key, bucket in self._entries.items()
+        }
+        self._shared = False
+        self._frozen = None
 
     # ------------------------------------------------------------------
 
@@ -87,6 +130,7 @@ class AttributeIndex:
         return self._db.schema.isa(class_name, self._class_name)
 
     def _rebuild(self) -> None:
+        self._ensure_private()
         self._entries.clear()
         self._oid_keys.clear()
         for oid in self._db.extent(self._class_name, deep=True):
@@ -130,18 +174,21 @@ class AttributeIndex:
 
     def _on_event(self, event: Event) -> None:
         if isinstance(event, ObjectCreated) and self._covers(event.class_name):
+            self._ensure_private()
             self._insert(event.oid)
         elif isinstance(event, ObjectUpdated):
             if event.attribute != self._attribute:
                 return
             if not self._covers(event.class_name):
                 return
+            self._ensure_private()
             self._discard(event.oid)
             if event.new_value is not None:
                 self._add(event.oid, event.new_value)
         elif isinstance(event, ObjectDeleted) and self._covers(event.class_name):
             # The object's values are already gone; the reverse map
             # still knows its key.
+            self._ensure_private()
             self._discard(event.oid)
 
 
@@ -179,8 +226,24 @@ class OrderedAttributeIndex(AttributeIndex):
 
     def drop(self) -> None:
         super().drop()
-        self._numeric_keys.clear()
-        self._string_keys.clear()
+        self._numeric_keys = []
+        self._string_keys = []
+
+    def _make_frozen(self) -> "FrozenOrderedIndex":
+        return FrozenOrderedIndex(
+            self._class_name,
+            self._attribute,
+            self._entries,
+            self._numeric_keys,
+            self._string_keys,
+        )
+
+    def _ensure_private(self) -> None:
+        if not self._shared:
+            return
+        self._numeric_keys = list(self._numeric_keys)
+        self._string_keys = list(self._string_keys)
+        super()._ensure_private()
 
     def range_lookup(
         self,
@@ -194,44 +257,141 @@ class OrderedAttributeIndex(AttributeIndex):
         Bounds must be both numeric or both strings; ``None`` leaves
         that side unbounded (at least one bound is required).
         """
-        bound = low if low is not None else high
-        if bound is None:
-            raise ValueError("range_lookup needs at least one bound")
-        if isinstance(bound, bool):
-            return EMPTY_OID_SET  # booleans are not ordered
-        if isinstance(bound, (int, float)):
-            keys = self._numeric_keys
-            tag = "n"
-        elif isinstance(bound, str):
-            keys = self._string_keys
-            tag = "a"
-        else:
-            return EMPTY_OID_SET
-        if low is None:
-            start = 0
-        elif low_strict:
-            start = bisect_right(keys, low)
-        else:
-            start = bisect_left(keys, low)
-        if high is None:
-            stop = len(keys)
-        elif high_strict:
-            stop = bisect_left(keys, high)
-        else:
-            stop = bisect_right(keys, high)
-        if start >= stop:
-            return EMPTY_OID_SET
-        members: Set[Oid] = set()
-        entries = self._entries
-        for payload in keys[start:stop]:
-            members.update(entries[(tag, payload)])
-        return OidSet.of(members)
+        return _range_scan(
+            self._entries,
+            self._numeric_keys,
+            self._string_keys,
+            low,
+            high,
+            low_strict,
+            high_strict,
+        )
 
 
 def _sorted_discard(keys: list, value) -> None:
     position = bisect_left(keys, value)
     if position < len(keys) and keys[position] == value:
         del keys[position]
+
+
+def _range_scan(
+    entries: Dict[object, Set[Oid]],
+    numeric_keys: List[float],
+    string_keys: List[str],
+    low,
+    high,
+    low_strict: bool,
+    high_strict: bool,
+) -> OidSet:
+    """The bisect range scan shared by live and frozen ordered
+    indexes."""
+    bound = low if low is not None else high
+    if bound is None:
+        raise ValueError("range_lookup needs at least one bound")
+    if isinstance(bound, bool):
+        return EMPTY_OID_SET  # booleans are not ordered
+    if isinstance(bound, (int, float)):
+        keys = numeric_keys
+        tag = "n"
+    elif isinstance(bound, str):
+        keys = string_keys
+        tag = "a"
+    else:
+        return EMPTY_OID_SET
+    if low is None:
+        start = 0
+    elif low_strict:
+        start = bisect_right(keys, low)
+    else:
+        start = bisect_left(keys, low)
+    if high is None:
+        stop = len(keys)
+    elif high_strict:
+        stop = bisect_left(keys, high)
+    else:
+        stop = bisect_right(keys, high)
+    if start >= stop:
+        return EMPTY_OID_SET
+    members: Set[Oid] = set()
+    for payload in keys[start:stop]:
+        members.update(entries[(tag, payload)])
+    return OidSet.of(members)
+
+
+class FrozenAttributeIndex:
+    """An immutable hash-index view captured by a database snapshot.
+
+    Shares the publishing index's bucket table by reference; the live
+    index copies before its next mutation, so the contents here never
+    change. Supports exactly the probes the planner issues.
+    """
+
+    __slots__ = ("_class_name", "_attribute", "_entries")
+
+    def __init__(
+        self,
+        class_name: str,
+        attribute: str,
+        entries: Dict[object, Set[Oid]],
+    ):
+        self._class_name = class_name
+        self._attribute = attribute
+        self._entries = entries
+
+    @property
+    def class_name(self) -> str:
+        return self._class_name
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    def lookup(self, value) -> OidSet:
+        members = self._entries.get(canonicalize(value))
+        if not members:
+            return EMPTY_OID_SET
+        return OidSet.of(members)
+
+    def distinct_values_count(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterable[object]:
+        return self._entries.keys()
+
+
+class FrozenOrderedIndex(FrozenAttributeIndex):
+    """An immutable ordered-index view (equality plus range scans)."""
+
+    __slots__ = ("_numeric_keys", "_string_keys")
+
+    def __init__(
+        self,
+        class_name: str,
+        attribute: str,
+        entries: Dict[object, Set[Oid]],
+        numeric_keys: List[float],
+        string_keys: List[str],
+    ):
+        super().__init__(class_name, attribute, entries)
+        self._numeric_keys = numeric_keys
+        self._string_keys = string_keys
+
+    def range_lookup(
+        self,
+        low=None,
+        high=None,
+        low_strict: bool = False,
+        high_strict: bool = False,
+    ) -> OidSet:
+        return _range_scan(
+            self._entries,
+            self._numeric_keys,
+            self._string_keys,
+            low,
+            high,
+            low_strict,
+            high_strict,
+        )
 
 
 class IndexManager:
@@ -319,6 +479,79 @@ class IndexManager:
             return exact
         for (indexed_class, _), index in candidates.items():
             if isinstance(index, OrderedAttributeIndex) and self._db.schema.isa(
+                class_name, indexed_class
+            ):
+                return index
+        return None
+
+    def publish(self) -> "IndexManagerSnapshot":
+        """Capture the whole registry for a database snapshot."""
+        return IndexManagerSnapshot(
+            self._db.schema,
+            {key: index.publish() for key, index in self._indexes.items()},
+            self._version,
+        )
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+
+class IndexManagerSnapshot:
+    """The frozen index registry carried by a database snapshot.
+
+    Probe-compatible with :class:`IndexManager` (``find`` /
+    ``find_ordered`` / ``version``), so compiled plans execute against
+    a snapshot unchanged. The schema is shared by reference — index
+    DDL bumps the registry version and installs a new database
+    version, so a stale registry is never consulted for new plans.
+    """
+
+    __slots__ = ("_schema", "_indexes", "_by_attribute", "_version")
+
+    def __init__(
+        self,
+        schema,
+        indexes: Dict[Tuple[str, str], FrozenAttributeIndex],
+        version: int,
+    ):
+        self._schema = schema
+        self._indexes = indexes
+        self._by_attribute: Dict[
+            str, Dict[Tuple[str, str], FrozenAttributeIndex]
+        ] = {}
+        for key, index in indexes.items():
+            self._by_attribute.setdefault(key[1], {})[key] = index
+        self._version = version
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def find(
+        self, class_name: str, attribute: str
+    ) -> Optional[FrozenAttributeIndex]:
+        candidates = self._by_attribute.get(attribute)
+        if not candidates:
+            return None
+        exact = candidates.get((class_name, attribute))
+        if exact is not None:
+            return exact
+        for (indexed_class, _), index in candidates.items():
+            if self._schema.isa(class_name, indexed_class):
+                return index
+        return None
+
+    def find_ordered(
+        self, class_name: str, attribute: str
+    ) -> Optional[FrozenOrderedIndex]:
+        candidates = self._by_attribute.get(attribute)
+        if not candidates:
+            return None
+        exact = candidates.get((class_name, attribute))
+        if isinstance(exact, FrozenOrderedIndex):
+            return exact
+        for (indexed_class, _), index in candidates.items():
+            if isinstance(index, FrozenOrderedIndex) and self._schema.isa(
                 class_name, indexed_class
             ):
                 return index

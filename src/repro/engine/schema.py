@@ -292,7 +292,7 @@ class Schema(TypeContext):
         return name in self._classes
 
     def __iter__(self):
-        return iter(self._classes.values())
+        return iter(list(self._classes.values()))
 
     def class_names(self) -> List[str]:
         return list(self._classes)
@@ -315,9 +315,13 @@ class Schema(TypeContext):
 
     def direct_children(self, name: str) -> List[str]:
         self.require(name)
+        # Iterate over a copy: the schema object is shared by reference
+        # with database snapshots, and concurrent DDL (which serializes
+        # on the commit lock, not against readers) must not blow up a
+        # pinned reader's hierarchy walk mid-iteration.
         return [
             cdef.name
-            for cdef in self._classes.values()
+            for cdef in list(self._classes.values())
             if name in cdef.parents
         ]
 

@@ -179,6 +179,42 @@ class _TrackerStack:
 ACTIVE_TRACKERS = _TrackerStack()
 
 
+class ScopePins:
+    """A per-thread pinned-snapshot slot for one database.
+
+    The second piece of ambient per-thread state next to the tracker
+    stack: while a thread holds a pin (``Database.read_view``), every
+    read the database serves on that thread — directly, through
+    handles, or through a view evaluating a population — is answered
+    from the pinned immutable :class:`~repro.engine.versions.
+    DatabaseSnapshot` instead of the live structures. Other threads'
+    pins are invisible, so concurrent requests each read their own
+    consistent version.
+
+    Pins nest (a pinned evaluation that re-pins restores the previous
+    pin on exit), mirroring the tracker stack's nesting.
+    """
+
+    __slots__ = ("_local",)
+
+    def __init__(self):
+        self._local = threading.local()
+
+    def current(self):
+        """The calling thread's pinned snapshot, or ``None``."""
+        return getattr(self._local, "pin", None)
+
+    def push(self, snapshot):
+        """Pin ``snapshot`` for the calling thread; returns the
+        previous pin (pass it back to :meth:`restore`)."""
+        previous = getattr(self._local, "pin", None)
+        self._local.pin = snapshot
+        return previous
+
+    def restore(self, previous) -> None:
+        self._local.pin = previous
+
+
 def tracking_active() -> bool:
     return bool(ACTIVE_TRACKERS)
 

@@ -1,0 +1,308 @@
+"""Multi-version concurrency: immutable database snapshots.
+
+PR 2 made the served engine safe by excluding readers whenever a
+writer runs; this module removes that cost. A
+:class:`DatabaseSnapshot` is a *consistent, immutable* read view of
+one :class:`~repro.engine.database.Database` version: the flat object
+table, the per-class extents and the attribute indexes as they stood
+at one commit. Snapshots are built copy-on-write-on-share:
+
+- publishing a snapshot copies **nothing** — it captures references to
+  the live structures and marks them *shared*;
+- the next mutation that would touch a shared structure replaces it
+  with a private copy first (see ``Database._writable_objects`` /
+  ``_writable_extent`` and ``AttributeIndex._ensure_private``), so the
+  published snapshot keeps the old state while the live database moves
+  on;
+- when no snapshot is outstanding, mutations pay nothing.
+
+All mutations and DDL serialize through the database's commit lock and
+end by *installing* a new version: an O(1) step that bumps the store
+version and invalidates the cached snapshot. The next ``snapshot()``
+call materializes (and caches) the new version under the commit lock;
+every later call until the next install is a lock-free reference grab.
+``Database.begin_batch()`` / ``end_batch()`` bracket many mutations
+into **one** install — the engine half of the server's group commit.
+
+:class:`CommitStats` counts the traffic (snapshots taken, versions
+installed, batch sizes, conflict retries); it is surfaced through
+``ViewStats``, the CLI ``.stats`` command and the server ``stats`` op
+alongside the plan-cache counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import UnknownOidError
+from .objects import DatabaseObject, ObjectHandle, Scope
+from .oid import EMPTY_OID_SET, Oid, OidSet
+from .schema import AttributeDef, Schema
+from .tracking import ACTIVE_TRACKERS, record_extent_read
+
+
+class CommitStats:
+    """Thread-safe counters for one database's commit path."""
+
+    _FIELDS = (
+        "snapshots_taken",
+        "versions_installed",
+        "batch_commits",
+        "batched_ops",
+        "max_batch_size",
+        "conflict_retries",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.snapshots_taken = 0
+        self.versions_installed = 0
+        self.batch_commits = 0
+        self.batched_ops = 0
+        self.max_batch_size = 0
+        self.conflict_retries = 0
+
+    def record_snapshot(self) -> None:
+        with self._lock:
+            self.snapshots_taken += 1
+
+    def record_install(self, ops: int = 1) -> None:
+        """One version installed, covering ``ops`` mutations."""
+        with self._lock:
+            self.versions_installed += 1
+            if ops > 1:
+                self.batch_commits += 1
+                self.batched_ops += ops
+                if ops > self.max_batch_size:
+                    self.max_batch_size = ops
+
+    def record_conflict_retry(self) -> None:
+        with self._lock:
+            self.conflict_retries += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            for field in self._FIELDS:
+                setattr(self, field, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {field: getattr(self, field) for field in self._FIELDS}
+
+    def describe(self) -> str:
+        snap = self.snapshot()
+        return "\n".join(
+            [
+                f"snapshots taken:    {snap['snapshots_taken']}",
+                f"versions installed: {snap['versions_installed']}",
+                f"batch commits:      {snap['batch_commits']}"
+                f" ({snap['batched_ops']} ops,"
+                f" max {snap['max_batch_size']})",
+                f"conflict retries:   {snap['conflict_retries']}",
+            ]
+        )
+
+
+def commit_stats_sources(scope, _seen: Optional[set] = None) -> List[CommitStats]:
+    """Every :class:`CommitStats` reachable from a scope.
+
+    A database yields its own; a view yields its providers',
+    transitively (stacked views reach through to the base databases).
+    """
+    if _seen is None:
+        _seen = set()
+    if id(scope) in _seen:
+        return []
+    _seen.add(id(scope))
+    own = getattr(scope, "mvcc", None)
+    if isinstance(own, CommitStats):
+        return [own]
+    found: List[CommitStats] = []
+    for provider in getattr(scope, "_providers", ()):
+        found.extend(commit_stats_sources(provider, _seen))
+    return found
+
+
+def aggregate_commit_stats(scopes) -> Dict[str, int]:
+    """Summed commit counters across ``scopes`` (CLI/server ``stats``)."""
+    totals = {field: 0 for field in CommitStats._FIELDS}
+    seen: set = set()
+    for scope in scopes:
+        for stats in commit_stats_sources(scope, seen):
+            for field, value in stats.snapshot().items():
+                if field == "max_batch_size":
+                    totals[field] = max(totals[field], value)
+                else:
+                    totals[field] += value
+    return totals
+
+
+def describe_commit_totals(totals: Dict[str, int]) -> str:
+    """Render aggregated commit counters in ``.stats`` style."""
+    return "\n".join(
+        [
+            f"snapshots taken:    {totals['snapshots_taken']}",
+            f"versions installed: {totals['versions_installed']}",
+            f"batch commits:      {totals['batch_commits']}"
+            f" ({totals['batched_ops']} ops,"
+            f" max {totals['max_batch_size']})",
+            f"conflict retries:   {totals['conflict_retries']}",
+        ]
+    )
+
+
+class DatabaseSnapshot(Scope):
+    """One immutable version of a database's stored state.
+
+    A full read-only :class:`~repro.engine.objects.Scope`: queries,
+    handles and index probes all work against it, and reads record
+    into the ambient dependency trackers exactly as live reads do — a
+    view population evaluated against a pinned snapshot carries the
+    same read set it would have live.
+
+    The schema object is shared by reference, not versioned: DDL
+    serializes through the same commit path as data writes, so a
+    snapshot observes schema changes made after it was taken. Data —
+    objects, extents, index contents — is frozen.
+
+    Mutating entry points are absent by construction; ``create`` /
+    ``update`` / ``delete`` raise ``AttributeError``.
+    """
+
+    def __init__(
+        self,
+        origin,
+        version: int,
+        objects: Dict[Oid, DatabaseObject],
+        extents: Dict[str, set],
+        index_snapshot,
+    ):
+        self._origin = origin
+        self._version = version
+        self._objects = objects
+        self._extents = extents
+        self._index_snapshot = index_snapshot
+        self._schema: Schema = origin.schema
+        # Compiled plans are shared with the origin database: the plan
+        # token (schema + index versions) decides validity, and data
+        # mutations never invalidate plans.
+        self._plan_cache = getattr(origin, "_plan_cache", None)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def scope_name(self) -> str:
+        return self._origin.scope_name
+
+    @property
+    def name(self) -> str:
+        return self._origin.scope_name
+
+    @property
+    def version(self) -> int:
+        """The store version this snapshot froze."""
+        return self._version
+
+    @property
+    def origin(self):
+        """The live database this snapshot was taken from."""
+        return self._origin
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def indexes(self):
+        """The frozen index registry captured with this version."""
+        return self._index_snapshot
+
+    @property
+    def functions(self) -> Dict[str, object]:
+        return self._origin.functions
+
+    @property
+    def function_types(self) -> Dict[str, object]:
+        return self._origin.function_types
+
+    @property
+    def plan_version_token(self) -> tuple:
+        """Token compiled plans are validated against (see
+        :func:`repro.query.planner.plan_token`); identical to the live
+        database's token until a DDL or index change installs."""
+        return (
+            self._schema.version,
+            0,
+            0,
+            self._index_snapshot.version
+            if self._index_snapshot is not None
+            else -1,
+        )
+
+    # ------------------------------------------------------------------
+    # Scope protocol (reads only)
+    # ------------------------------------------------------------------
+
+    def _require(self, oid: Oid) -> DatabaseObject:
+        obj = self._objects.get(oid)
+        if obj is None:
+            raise UnknownOidError(oid)
+        return obj
+
+    def class_of(self, oid: Oid) -> str:
+        return self._require(oid).class_name
+
+    def raw_value(self, oid: Oid) -> Dict[str, object]:
+        return self._require(oid).value
+
+    def resolve_attribute_for(self, oid: Oid, attribute: str) -> AttributeDef:
+        return self._schema.resolve_attribute(self.class_of(oid), attribute)
+
+    def is_member(self, oid: Oid, class_name: str) -> bool:
+        if ACTIVE_TRACKERS:
+            record_extent_read(class_name)
+        obj = self._objects.get(oid)
+        if obj is None:
+            return False
+        return self._schema.isa(obj.class_name, class_name)
+
+    def extent(self, class_name: str, deep: bool = True) -> OidSet:
+        if ACTIVE_TRACKERS:
+            record_extent_read(class_name)
+        self._schema.require(class_name)
+        members = set(self._extents.get(class_name, ()))
+        if deep:
+            for sub in self._schema.descendants(class_name):
+                members.update(self._extents.get(sub, ()))
+        if not members:
+            return EMPTY_OID_SET
+        return OidSet.of(members)
+
+    def handles(self, class_name: str, deep: bool = True) -> List[ObjectHandle]:
+        return [
+            ObjectHandle(self, oid) for oid in self.extent(class_name, deep)
+        ]
+
+    def contains_oid(self, oid: Oid) -> bool:
+        return oid in self._objects
+
+    def all_oids(self) -> Iterator[Oid]:
+        return iter(sorted(self._objects))
+
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    def query(self, query, **parameters):
+        """Evaluate a query against this frozen version."""
+        from ..query.planner import execute
+
+        return execute(query, self, bindings=parameters or None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatabaseSnapshot({self.scope_name!r}, v{self._version},"
+            f" {len(self._objects)} objects)"
+        )

@@ -162,6 +162,13 @@ def plan_cache_of(scope) -> PlanCache:
 
 def plan_token(scope) -> tuple:
     """The version token compiled plans are validated against."""
+    # Database snapshots carry a precomputed token equal to their
+    # origin's (they share its plan cache): data mutations never
+    # invalidate plans, so live and frozen evaluation trade plans
+    # freely until a DDL or index change installs.
+    custom = getattr(scope, "plan_version_token", None)
+    if custom is not None:
+        return custom
     indexes = getattr(scope, "indexes", None)
     return (
         getattr(getattr(scope, "schema", None), "version", 0),

@@ -117,6 +117,27 @@ class Client:
     def delete(self, database: str, oid: Oid) -> None:
         self.call("delete", database=database, oid=wire_encode(oid))
 
+    def batch(self, database: str, operations: List[dict]) -> List[Oid]:
+        """Apply a list of mutation descriptors atomically — one
+        version install on the server, one event flush.
+
+        Each descriptor is ``{"op": "create", "class": C, "value": V}``,
+        ``{"op": "update", "oid": O, "attribute": A, "value": V}`` or
+        ``{"op": "delete", "oid": O}``; oids/values may be given as
+        engine objects (they are wire-encoded here). Returns the oid
+        each operation touched, in order.
+        """
+        encoded = []
+        for descriptor in operations:
+            entry = dict(descriptor)
+            if "value" in entry:
+                entry["value"] = wire_encode(entry["value"])
+            if "oid" in entry:
+                entry["oid"] = wire_encode(entry["oid"])
+            encoded.append(entry)
+        result = self.call("batch", database=database, operations=encoded)
+        return [wire_decode(oid) for oid in result["applied"]]
+
     # ------------------------------------------------------------------
 
     def close(self) -> None:

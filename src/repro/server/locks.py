@@ -51,19 +51,39 @@ class ReadWriteLock:
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        self._readers_waiting = 0
+
+    @property
+    def waiting_readers(self) -> int:
+        """Readers currently blocked behind a writer (observability;
+        a leak here would eventually misreport contention forever)."""
+        with self._cond:
+            return self._readers_waiting
+
+    @property
+    def waiting_writers(self) -> int:
+        with self._cond:
+            return self._writers_waiting
 
     # ------------------------------------------------------------------
 
     def acquire_read(self, timeout: Optional[float] = None) -> bool:
         with self._cond:
-            ok = self._cond.wait_for(
-                lambda: not self._writer and not self._writers_waiting,
-                timeout,
-            )
-            if not ok:
-                return False
-            self._readers += 1
-            return True
+            self._readers_waiting += 1
+            try:
+                # The waiting count must be decremented on *every* exit
+                # path — timeout, interrupt, or success — or a timed-out
+                # reader under contention leaks a phantom waiter.
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and not self._writers_waiting,
+                    timeout,
+                )
+                if not ok:
+                    return False
+                self._readers += 1
+                return True
+            finally:
+                self._readers_waiting -= 1
 
     def release_read(self) -> None:
         with self._cond:

@@ -72,6 +72,11 @@ class ServerMetrics:
         self.connections_opened = 0
         self.connections_closed = 0
         self.connections_rejected = 0
+        # MVCC read path / group-commit write path.
+        self.snapshot_reads = 0
+        self.group_batches = 0
+        self.group_batched_ops = 0
+        self.group_max_batch = 0
         self._latency = {
             "read": LatencyReservoir(),
             "write": LatencyReservoir(),
@@ -104,6 +109,19 @@ class ServerMetrics:
             elif event == "rejected":
                 self.connections_rejected += 1
 
+    def record_snapshot_read(self) -> None:
+        """A read request served from pinned snapshots, lock-free."""
+        with self._lock:
+            self.snapshot_reads += 1
+
+    def record_group_batch(self, size: int) -> None:
+        """One group-commit batch flushed, covering ``size`` writes."""
+        with self._lock:
+            self.group_batches += 1
+            self.group_batched_ops += size
+            if size > self.group_max_batch:
+                self.group_max_batch = size
+
     # ------------------------------------------------------------------
 
     @property
@@ -133,6 +151,12 @@ class ServerMetrics:
                     "read": _latency_summary(reads),
                     "write": _latency_summary(writes),
                 },
+                "mvcc": {
+                    "snapshot_reads": self.snapshot_reads,
+                    "group_batches": self.group_batches,
+                    "group_batched_ops": self.group_batched_ops,
+                    "group_max_batch": self.group_max_batch,
+                },
                 "requests_per_s": (
                     round((reads.count + writes.count) / uptime, 2)
                     if uptime > 0
@@ -160,6 +184,16 @@ class ServerMetrics:
                     f"  mean {summary['mean_ms']}ms"
                     f"  ({summary['count']} reqs)"
                 )
+        mvcc = snap["mvcc"]
+        if mvcc["snapshot_reads"] or mvcc["group_batches"]:
+            lines.append(
+                f"snapshot reads:  {mvcc['snapshot_reads']}"
+            )
+            lines.append(
+                f"group commits:   {mvcc['group_batches']} batches"
+                f" ({mvcc['group_batched_ops']} writes,"
+                f" max {mvcc['group_max_batch']})"
+            )
         if snap["requests"]:
             lines.append("requests by op:")
             for op in sorted(snap["requests"]):

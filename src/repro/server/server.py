@@ -1,15 +1,34 @@
 """The TCP server: accept loop, connection threads, lifecycle.
 
-:class:`ViewServer` owns the shared database scopes, the catalog-wide
-reader-writer lock and the metrics. Each accepted connection gets a
-daemon thread running :meth:`ViewServer._serve_connection`: read one
-frame, classify it read/write, acquire the corresponding side of the
-lock (bounded by ``request_timeout``), dispatch through the
-connection's private :class:`~repro.server.session.ServerSession`, and
-answer with exactly one frame. Every failure mode answers with a
-*structured error frame* — parse errors, oversized frames, unknown
-ops, engine errors, lock timeouts — the connection is only dropped
-when the transport itself dies.
+:class:`ViewServer` owns the shared database scopes, the catalog lock
+and the metrics. Each accepted connection gets a daemon thread running
+:meth:`ViewServer._serve_connection`: read one frame, classify it,
+dispatch through the connection's private
+:class:`~repro.server.session.ServerSession`, and answer with exactly
+one frame. Every failure mode answers with a *structured error frame*
+— parse errors, oversized frames, unknown ops, engine errors, lock
+timeouts — the connection is only dropped when the transport itself
+dies.
+
+Concurrency (``mvcc=True``, the default):
+
+- **reads** (queries, introspection) never touch the catalog lock.
+  The request pins an immutable snapshot of every served database
+  (:meth:`Database.read_view`) and evaluates against it — concurrent
+  commits are invisible for the duration of the request, and any
+  number of readers run truly in parallel with writers;
+- **data writes** (``create`` / ``update`` / ``delete`` / ``batch``)
+  funnel through a :class:`GroupCommitter`: writes arriving within
+  ``batch_window`` seconds coalesce into one batch, executed under the
+  catalog write lock and installed as **one** database version
+  (``begin_batch`` / ``end_batch``), amortizing snapshot invalidation
+  and version maintenance across the batch;
+- **DDL** (view definitions, imports, hides — anything that rewires
+  the catalog) still takes the write lock directly.
+
+With ``mvcc=False`` the server behaves exactly as before: the
+PR 2 writer-preference reader-writer lock guards every request (the
+baseline the E16 bench measures against).
 
 Robustness limits:
 
@@ -33,7 +52,8 @@ import signal
 import socket
 import threading
 import time
-from typing import List, Optional, Sequence, Tuple
+from contextlib import ExitStack, contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .locks import LockTimeoutError, ReadWriteLock
 from .metrics import ServerMetrics
@@ -56,6 +76,110 @@ from .session import ServerSession
 # How often an idle connection thread re-checks the stop flag.
 _POLL_INTERVAL = 0.2
 
+# Ops that mutate base data only (no catalog rewiring): eligible for
+# group commit under MVCC.
+_DATA_WRITE_OPS = frozenset({"create", "update", "delete", "batch"})
+
+
+class _Batch:
+    """One group-commit batch: entry slots plus a completion event."""
+
+    __slots__ = ("entries", "closed", "done")
+
+    def __init__(self):
+        # Each entry is [thunk, result, exception]; the leader fills
+        # slots 1/2 while followers wait on `done`.
+        self.entries: List[list] = []
+        self.closed = False
+        self.done = threading.Event()
+
+
+class GroupCommitter:
+    """Leader/follower write batching over the catalog write lock.
+
+    The first writer to arrive becomes the batch *leader*: it waits
+    ``window`` seconds for companions, closes the batch, takes the
+    write lock once, brackets every served database in
+    ``begin_batch``/``end_batch`` (one version install for the whole
+    batch) and runs each entry's thunk. Followers block on the batch's
+    completion event and pick up their slot's result or exception —
+    one entry failing never poisons its neighbours.
+    """
+
+    def __init__(self, server: "ViewServer", window: float):
+        self._server = server
+        self._window = window
+        self._mutex = threading.Lock()
+        self._open: Optional[_Batch] = None
+
+    def submit(self, thunk, timeout: Optional[float]):
+        entry = [thunk, None, None]
+        with self._mutex:
+            batch = self._open
+            if batch is not None and not batch.closed:
+                batch.entries.append(entry)
+                leader = False
+            else:
+                batch = _Batch()
+                batch.entries.append(entry)
+                self._open = batch
+                leader = True
+        if leader:
+            self._lead(batch, timeout)
+        else:
+            budget = (timeout or 0.0) + self._window + 5.0
+            if not batch.done.wait(timeout=budget):
+                raise LockTimeoutError("write", budget)
+        if entry[2] is not None:
+            raise entry[2]
+        return entry[1]
+
+    def _lead(self, batch: _Batch, timeout: Optional[float]) -> None:
+        try:
+            if self._window > 0:
+                time.sleep(self._window)
+            with self._mutex:
+                batch.closed = True
+                if self._open is batch:
+                    self._open = None
+            lock = self._server.lock
+            acquired = lock.acquire_write(timeout)
+            if not acquired:
+                # One bounded retry; the databases count it as a
+                # commit-path conflict.
+                self._server._record_conflict_retry()
+                acquired = lock.acquire_write(timeout)
+            if not acquired:
+                error = LockTimeoutError("write", timeout or 0.0)
+                for entry in batch.entries:
+                    entry[2] = error
+                return
+            try:
+                self._run(batch)
+            finally:
+                lock.release_write()
+            self._server.metrics.record_group_batch(len(batch.entries))
+        finally:
+            batch.done.set()
+
+    def _run(self, batch: _Batch) -> None:
+        databases = [
+            scope
+            for scope in self._server.scopes
+            if hasattr(scope, "begin_batch")
+        ]
+        for db in databases:
+            db.begin_batch()
+        try:
+            for entry in batch.entries:
+                try:
+                    entry[1] = entry[0]()
+                except Exception as error:
+                    entry[2] = error
+        finally:
+            for db in reversed(databases):
+                db.end_batch()
+
 
 class ViewServer:
     """Serves a catalog of shared scopes to many clients over TCP."""
@@ -70,6 +194,8 @@ class ViewServer:
         max_frame: int = MAX_FRAME,
         request_timeout: float = 10.0,
         lock=None,
+        mvcc: bool = True,
+        batch_window: float = 0.001,
     ):
         self._scopes = list(scopes)
         self._host = host
@@ -79,6 +205,8 @@ class ViewServer:
         self._request_timeout = request_timeout
         self.lock = lock if lock is not None else ReadWriteLock()
         self.metrics = ServerMetrics()
+        self._mvcc = mvcc
+        self._committer = GroupCommitter(self, batch_window)
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._threads: List[threading.Thread] = []
@@ -86,6 +214,27 @@ class ViewServer:
         self._conn_lock = threading.Lock()
         self._stopping = threading.Event()
         self._started = False
+
+    @property
+    def scopes(self) -> List:
+        return self._scopes
+
+    def _record_conflict_retry(self) -> None:
+        for scope in self._scopes:
+            stats = getattr(scope, "mvcc", None)
+            if stats is not None:
+                stats.record_conflict_retry()
+
+    @contextmanager
+    def _pinned_reads(self) -> Iterator[None]:
+        """Pin a consistent snapshot of every served database for the
+        calling thread (the MVCC lock-free read path)."""
+        with ExitStack() as stack:
+            for scope in self._scopes:
+                read_view = getattr(scope, "read_view", None)
+                if read_view is not None:
+                    stack.enter_context(read_view())
+            yield
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -280,8 +429,19 @@ class ViewServer:
         start = time.perf_counter()
         error_code = None
         try:
-            with self.lock.locked(kind, timeout=self._request_timeout):
-                result = session.handle(request)
+            if self._mvcc and kind == "read":
+                # Lock-free: evaluate against pinned snapshots.
+                with self._pinned_reads():
+                    result = session.handle(request)
+                self.metrics.record_snapshot_read()
+            elif self._mvcc and op in _DATA_WRITE_OPS:
+                result = self._committer.submit(
+                    lambda: session.handle(request),
+                    self._request_timeout,
+                )
+            else:
+                with self.lock.locked(kind, timeout=self._request_timeout):
+                    result = session.handle(request)
             frame = result_frame(request_id, result)
         except LockTimeoutError as error:
             error_code = ERR_TIMEOUT
@@ -344,6 +504,19 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--max-connections", type=int, default=64, dest="max_connections"
     )
+    parser.add_argument(
+        "--no-mvcc",
+        action="store_true",
+        help="serve reads under the reader-writer lock instead of"
+        " lock-free snapshots (the PR 2 behaviour)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.001,
+        metavar="SECONDS",
+        help="group-commit coalescing window for data writes",
+    )
     args = parser.parse_args(argv)
 
     scopes = []
@@ -365,6 +538,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         host=args.host,
         port=args.port,
         max_connections=args.max_connections,
+        mvcc=not args.no_mvcc,
+        batch_window=args.batch_window,
     )
     host, port = server.start()
     names = ", ".join(s.scope_name for s in scopes) or "(empty catalog)"

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Tuple
 
 from ..cli import Session
 from ..engine.oid import Oid
+from ..engine.versions import aggregate_commit_stats, describe_commit_totals
 from ..query.planner import aggregate_plan_stats
 from .protocol import ERR_UNKNOWN_OP, ProtocolError, wire_decode, wire_encode
 
@@ -60,7 +61,7 @@ class ServerSession:
         """``read`` or ``write`` — which side of the RW lock this op
         needs."""
         op = request.get("op")
-        if op in ("create", "update", "delete"):
+        if op in ("create", "update", "delete", "batch"):
             return WRITE
         if op != "execute":
             return READ
@@ -109,9 +110,11 @@ class ServerSession:
                 f" {plans['index_probes']} index probes,"
                 f" {plans['range_probes']} range probes"
             )
+            commit_block = describe_commit_totals(self._commit_totals())
             output = (
                 f"{output}\n-- server --\n{self._metrics.describe()}"
                 f"\n{plan_line}"
+                f"\n-- commits (all scopes) --\n{commit_block}"
             )
         return {"output": output}
 
@@ -123,6 +126,7 @@ class ServerSession:
             self._metrics.snapshot() if self._metrics is not None else {}
         )
         snapshot["plan_cache"] = self._plan_cache_totals()
+        snapshot["commits"] = self._commit_totals()
         return snapshot
 
     def _plan_cache_totals(self) -> dict:
@@ -130,6 +134,14 @@ class ServerSession:
         (the shared databases plus any private views)."""
         catalog = self.session.catalog
         return aggregate_plan_stats(
+            catalog.get(name) for name in catalog.names()
+        )
+
+    def _commit_totals(self) -> dict:
+        """MVCC commit-path counters summed over the shared databases
+        (reached transitively through any private views)."""
+        catalog = self.session.catalog
+        return aggregate_commit_stats(
             catalog.get(name) for name in catalog.names()
         )
 
@@ -155,6 +167,42 @@ class ServerSession:
         oid = self._oid_of(request)
         scope.delete(oid)
         return {"deleted": wire_encode(oid)}
+
+    def _op_batch(self, request: dict):
+        """Apply a list of mutation descriptors atomically as one
+        version install (``Database.apply_batch``)."""
+        scope, _ = self._mutable_scope(request)
+        operations = request.get("operations")
+        if not isinstance(operations, list) or not operations:
+            raise ProtocolError(
+                "batch requires a non-empty list 'operations'"
+            )
+        decoded = []
+        for descriptor in operations:
+            if not isinstance(descriptor, dict):
+                raise ProtocolError(
+                    "each batch operation must be an object"
+                )
+            entry = dict(descriptor)
+            if "value" in entry:
+                entry["value"] = wire_decode(entry["value"])
+            if "oid" in entry:
+                oid = wire_decode(entry["oid"])
+                if not isinstance(oid, Oid):
+                    raise ProtocolError(
+                        "batch operation 'oid' must be"
+                        " {\"$oid\": [space, number]}"
+                    )
+                entry["oid"] = oid
+            decoded.append(entry)
+        apply_batch = getattr(scope, "apply_batch", None)
+        if apply_batch is None:
+            raise ProtocolError(
+                f"scope {getattr(scope, 'scope_name', '?')!r} does not"
+                " accept batches (views have no proper data)"
+            )
+        applied = apply_batch(decoded)
+        return {"applied": [wire_encode(oid) for oid in applied]}
 
     # -- helpers -------------------------------------------------------
 
@@ -187,4 +235,5 @@ class ServerSession:
         "create": _op_create,
         "update": _op_update,
         "delete": _op_delete,
+        "batch": _op_batch,
     }

@@ -11,6 +11,13 @@ Single-writer transactions with undo-based abort:
   transaction;
 - outside any transaction, operations auto-commit one at a time.
 
+A transaction also brackets the database in an MVCC batch
+(``begin_batch`` / ``end_batch``): the whole transaction installs a
+single store version, so a concurrent snapshot reader either sees none
+of it or all of it — never a torn prefix. The database's commit lock
+is held for the duration, which is exactly the single-writer model
+documented above.
+
 Deletes must go through :meth:`TransactionManager.delete` so the
 pre-image needed for undo is captured.
 """
@@ -100,6 +107,7 @@ class TransactionManager:
             raise TransactionError("a transaction is already active")
         txn = Transaction(self, self._next_txid)
         self._next_txid += 1
+        self._db.begin_batch()
         self._current = txn
         return txn
 
@@ -147,6 +155,9 @@ class TransactionManager:
                 self._undoing = False
         finally:
             self._pre_images.clear()
+            # Close the MVCC batch last so undo operations land in the
+            # same (single) version install as the transaction itself.
+            self._db.end_batch()
 
     def _undo_event(self, event: Event) -> None:
         db = self._db

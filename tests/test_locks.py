@@ -92,6 +92,58 @@ class TestReadWriteLock:
         with pytest.raises(RuntimeError):
             lock.release_write()
 
+    def test_reader_timeout_does_not_leak_waiting_count(self):
+        # Regression: a reader timing out while a writer holds the lock
+        # used to leave ``_readers_waiting`` incremented, making every
+        # later writer believe a phantom reader was still queued.
+        lock = ReadWriteLock()
+        assert lock.acquire_write(timeout=1)
+        results = []
+
+        def impatient_reader():
+            results.append(lock.acquire_read(timeout=0.02))
+
+        threads = [
+            threading.Thread(target=impatient_reader) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert results == [False] * 4
+        assert lock.waiting_readers == 0
+        lock.release_write()
+        # The lock must still cycle cleanly through both modes.
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_reader_timeout_under_writer_contention(self):
+        # Same leak, but with a queued *writer* creating the blockage
+        # (writer preference turns new readers away) and a successful
+        # reader mixed in after the writer passes.
+        lock = ReadWriteLock()
+        assert lock.acquire_read(timeout=1)
+        writer_done = threading.Event()
+
+        def writer():
+            assert lock.acquire_write(timeout=5)
+            lock.release_write()
+            writer_done.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)  # writer is now waiting on the held read lock
+        assert lock.acquire_read(timeout=0.02) is False
+        assert lock.waiting_readers == 0
+        lock.release_read()
+        assert writer_done.wait(timeout=5)
+        t.join(timeout=5)
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+        assert lock.waiting_readers == 0
+
     def test_locked_dispatches_on_mode(self):
         lock = ReadWriteLock()
         with lock.locked("read", timeout=1):

@@ -1,0 +1,476 @@
+"""Tests for MVCC snapshot reads and group-commit batching.
+
+The contract under test (see ``docs/mvcc.md``):
+
+- :meth:`Database.snapshot` returns an immutable, consistent view of
+  the latest installed version — later mutations never leak into it;
+- :meth:`Database.read_view` pins the snapshot for the calling thread,
+  so every read the database serves on that thread (direct, handles,
+  view populations) answers from the frozen version;
+- a batch (``apply_batch`` / ``begin_batch``/``end_batch`` / a
+  transaction / the wire ``batch`` op) installs exactly one version;
+- concurrent snapshot readers observe every committed batch atomically
+  (never a torn prefix).
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.view import View
+from repro.engine.database import Database
+from repro.errors import ReproError, UnknownOidError
+from repro.server import Client, ViewServer
+from repro.storage.transactions import TransactionManager
+
+
+def _people_db():
+    db = Database("Staff")
+    db.define_class(
+        "Person",
+        attributes={"Name": "string", "Age": "integer"},
+    )
+    for index in range(6):
+        db.create("Person", Name=f"P{index}", Age=20 + index)
+    return db
+
+
+def _ages(rows):
+    return sorted(handle.Age for handle in rows)
+
+
+ADULTS = "select P from Person where P.Age >= 23"
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_is_unaffected_by_later_mutations(self):
+        db = _people_db()
+        snap = db.snapshot()
+        before = _ages(snap.query(ADULTS))
+        db.create("Person", Name="New", Age=99)
+        victim = next(iter(db.extent("Person")))
+        db.delete(victim)
+        assert _ages(snap.query(ADULTS)) == before
+        # A fresh snapshot sees the new world.
+        assert _ages(db.snapshot().query(ADULTS)) != before
+
+    def test_snapshot_object_reads_are_frozen(self):
+        db = _people_db()
+        oid = next(iter(db.extent("Person")))
+        snap = db.snapshot()
+        old_age = snap.raw_value(oid)["Age"]
+        db.update(oid, "Age", 1000)
+        assert snap.raw_value(oid)["Age"] == old_age
+        assert db.raw_value(oid)["Age"] == 1000
+
+    def test_snapshot_survives_delete(self):
+        db = _people_db()
+        oid = next(iter(db.extent("Person")))
+        snap = db.snapshot()
+        db.delete(oid)
+        assert snap.contains_oid(oid)
+        assert not db.contains_oid(oid)
+        with pytest.raises(UnknownOidError):
+            db.raw_value(oid)
+
+    def test_snapshot_is_cached_until_next_install(self):
+        db = _people_db()
+        first = db.snapshot()
+        assert db.snapshot() is first  # lock-free reference grab
+        db.create("Person", Name="X", Age=1)
+        second = db.snapshot()
+        assert second is not first
+        assert second.version == first.version + 1
+
+    def test_index_probes_on_snapshot_are_frozen(self):
+        db = _people_db()
+        db.create_index("Person", "Age", kind="ordered")
+        snap = db.snapshot()
+        before = _ages(snap.query(ADULTS))
+        db.create("Person", Name="Idx", Age=50)
+        assert _ages(snap.query(ADULTS)) == before
+        assert 50 in _ages(db.snapshot().query(ADULTS))
+
+
+class TestReadViewPinning:
+    def test_pinned_thread_reads_frozen_state(self):
+        db = _people_db()
+        with db.read_view():
+            count = db.object_count()
+            db.create("Person", Name="Invisible", Age=77)
+            # The writer thread is also the pinned thread: its own
+            # reads still answer from the pin.
+            assert db.object_count() == count
+            assert 77 not in _ages(db.query(ADULTS))
+        assert db.object_count() == count + 1
+        assert 77 in _ages(db.query(ADULTS))
+
+    def test_pins_nest(self):
+        db = _people_db()
+        with db.read_view() as outer:
+            db.create("Person", Name="A", Age=91)
+            with db.read_view() as inner:
+                assert inner.version == outer.version
+                assert 91 not in _ages(db.query(ADULTS))
+            assert 91 not in _ages(db.query(ADULTS))
+        assert 91 in _ages(db.query(ADULTS))
+
+    def test_pin_is_thread_local(self):
+        db = _people_db()
+        seen = {}
+
+        def other_thread():
+            seen["count"] = db.object_count()
+
+        with db.read_view():
+            db.create("Person", Name="B", Age=33)
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join(timeout=5)
+        # The unpinned thread saw the live (post-create) state even
+        # while this thread was pinned.
+        assert seen["count"] == 7
+
+    def test_view_population_respects_pin(self):
+        db = _people_db()
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class("Adult", [ADULTS])
+        assert len(view.extent("Adult")) == 3  # ages 23, 24, 25
+        with db.read_view():
+            db.create("Person", Name="C", Age=80)
+            assert len(view.extent("Adult")) == 3
+        assert len(view.extent("Adult")) == 4
+
+
+class TestBatches:
+    def test_apply_batch_installs_one_version(self):
+        db = _people_db()
+        v0 = db.store_version
+        installed0 = db.mvcc.snapshot()["versions_installed"]
+        victim = next(iter(db.extent("Person")))
+        oids = db.apply_batch(
+            [
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "N1", "Age": 41}},
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "N2", "Age": 42}},
+                {"op": "update", "oid": victim, "attribute": "Age",
+                 "value": 43},
+            ]
+        )
+        assert len(oids) == 3
+        assert db.store_version == v0 + 1
+        stats = db.mvcc.snapshot()
+        assert stats["versions_installed"] == installed0 + 1
+        assert stats["batch_commits"] == 1
+        assert stats["batched_ops"] == 3
+        assert stats["max_batch_size"] >= 3
+
+    def test_batch_is_atomic_for_concurrent_snapshots(self):
+        db = _people_db()
+        snap = db.snapshot()
+        db.apply_batch(
+            [
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "B1", "Age": 61}},
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "B2", "Age": 62}},
+            ]
+        )
+        assert snap.object_count() == 6
+        assert db.snapshot().object_count() == 8
+
+    def test_batch_feeds_view_maintenance(self):
+        db = _people_db()
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class("Adult", [ADULTS])
+        assert len(view.extent("Adult")) == 3
+        db.apply_batch(
+            [
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "V1", "Age": 70}},
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "V2", "Age": 10}},
+            ]
+        )
+        assert len(view.extent("Adult")) == 4
+
+    def test_unknown_batch_op_raises(self):
+        db = _people_db()
+        with pytest.raises(ReproError):
+            db.apply_batch([{"op": "upsert"}])
+
+    def test_transaction_installs_one_version(self):
+        db = _people_db()
+        manager = TransactionManager(db)
+        v0 = db.store_version
+        with manager.begin():
+            db.create("Person", Name="T1", Age=51)
+            db.create("Person", Name="T2", Age=52)
+        assert db.store_version == v0 + 1
+        assert db.object_count() == 8
+
+    def test_aborted_transaction_undoes_in_same_version(self):
+        db = _people_db()
+        manager = TransactionManager(db)
+        v0 = db.store_version
+        txn = manager.begin()
+        db.create("Person", Name="Gone", Age=1)
+        txn.abort()
+        assert db.object_count() == 6
+        # Create + undoing delete were both in the batch: one install.
+        assert db.store_version == v0 + 1
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["create", "update", "delete"]),
+                st.integers(min_value=0, max_value=200),
+            ),
+            max_size=12,
+        )
+    )
+    def test_snapshot_query_is_immune_to_interleaved_mutations(self, ops):
+        db = _people_db()
+        snap = db.snapshot()
+        expected = _ages(snap.query(ADULTS))
+        for kind, value in ops:
+            oids = list(db.extent("Person"))
+            if kind == "create":
+                db.create("Person", Name=f"H{value}", Age=value)
+            elif kind == "update" and oids:
+                db.update(oids[value % len(oids)], "Age", value)
+            elif kind == "delete" and oids:
+                db.delete(oids[value % len(oids)])
+            # The pre-mutation snapshot never moves...
+            assert _ages(snap.query(ADULTS)) == expected
+        # ...and a post-commit snapshot equals a fresh recompute on
+        # the live database.
+        assert _ages(db.snapshot().query(ADULTS)) == _ages(db.query(ADULTS))
+
+
+class TestConcurrentReadersAndWriters:
+    def test_balance_sum_invariant_under_batched_transfers(self):
+        # Writers move money between accounts in atomic batches;
+        # pinned readers must always see the total conserved.
+        db = Database("Bank")
+        db.define_class("Account", attributes={"Balance": "integer"})
+        accounts = [
+            db.create("Account", Balance=100).oid for _ in range(10)
+        ]
+        total = 10 * 100
+        stop = threading.Event()
+        errors = []
+
+        def writer(seed):
+            k = seed
+            while not stop.is_set():
+                src = accounts[k % len(accounts)]
+                dst = accounts[(k + 3) % len(accounts)]
+                k += 1
+                if src == dst:
+                    continue
+                # Read-modify-write inside the batch: begin_batch
+                # holds the commit lock, so the transfer is a real
+                # transaction, and the two updates install as one
+                # version.
+                db.begin_batch()
+                try:
+                    src_balance = db.raw_value(src)["Balance"]
+                    dst_balance = db.raw_value(dst)["Balance"]
+                    db.update(src, "Balance", src_balance - 7)
+                    db.update(dst, "Balance", dst_balance + 7)
+                finally:
+                    db.end_batch()
+
+        def reader():
+            for _ in range(300):
+                with db.read_view():
+                    seen = sum(
+                        db.raw_value(oid)["Balance"] for oid in accounts
+                    )
+                if seen != total:
+                    errors.append(seen)
+                    break
+
+        writers = [threading.Thread(target=writer, args=(i,))
+                   for i in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in writers:
+            t.start()
+        for t in readers:
+            t.start()
+        for t in readers:
+            t.join(timeout=30)
+        stop.set()
+        for t in writers:
+            t.join(timeout=30)
+        assert errors == []
+
+    def test_concurrent_writer_threads_serialize_cleanly(self):
+        db = _people_db()
+        barrier = threading.Barrier(4, timeout=10)
+
+        def writer(tag):
+            barrier.wait()
+            for index in range(25):
+                db.create("Person", Name=f"W{tag}-{index}", Age=30)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert db.object_count() == 6 + 4 * 25
+
+
+class TestWireBatch:
+    @pytest.fixture
+    def server_db(self):
+        return _people_db()
+
+    @pytest.fixture
+    def server(self, server_db):
+        srv = ViewServer([server_db], batch_window=0.002)
+        srv.start()
+        yield srv
+        srv.stop()
+
+    @pytest.fixture
+    def client(self, server):
+        host, port = server.address
+        with Client(host, port) as c:
+            yield c
+
+    def test_batch_op_applies_atomically(self, client, server_db):
+        v0 = server_db.store_version
+        applied = client.batch(
+            "Staff",
+            [
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "WB1", "Age": 81}},
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "WB2", "Age": 82}},
+            ],
+        )
+        assert len(applied) == 2
+        assert server_db.store_version == v0 + 1
+        assert server_db.object_count() == 8
+
+    def test_batch_then_update_and_delete(self, client, server_db):
+        (created, _) = client.batch(
+            "Staff",
+            [
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "WB3", "Age": 83}},
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "WB4", "Age": 84}},
+            ],
+        )
+        client.batch(
+            "Staff",
+            [
+                {"op": "update", "oid": created,
+                 "attribute": "Age", "value": 99},
+                {"op": "delete", "oid": created},
+            ],
+        )
+        assert not server_db.contains_oid(created)
+
+    def test_batch_rejects_bad_shapes(self, client):
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError):
+            client.call("batch", database="Staff", operations=[])
+        with pytest.raises(ServerError):
+            client.call("batch", database="Staff",
+                        operations=[{"op": "create", "class": "Person"},
+                                    "bogus"])
+
+    def test_group_commit_coalesces_concurrent_writes(self, server,
+                                                      server_db):
+        host, port = server.address
+        barrier = threading.Barrier(6, timeout=10)
+        errors = []
+
+        def one_create(tag):
+            try:
+                with Client(host, port) as c:
+                    barrier.wait()
+                    c.create("Staff", "Person",
+                             {"Name": f"G{tag}", "Age": 44})
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=one_create, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        assert server_db.object_count() == 6 + 6
+        metrics = server.metrics.snapshot()["mvcc"]
+        assert metrics["group_batches"] >= 1
+        assert metrics["group_batched_ops"] == 6
+
+    def test_reads_are_lock_free_snapshot_reads(self, client, server):
+        client.execute("create view V;")
+        client.execute("import all classes from database Staff;")
+        out = client.execute("select P from Person where P.Age >= 23")
+        assert "result(s)" in out
+        assert server.metrics.snapshot()["mvcc"]["snapshot_reads"] >= 1
+
+    def test_stats_op_reports_commit_counters(self, client, server_db):
+        server_db.snapshot()
+        client.create("Staff", "Person", {"Name": "S", "Age": 20})
+        stats = client.stats()
+        assert stats["commits"]["versions_installed"] >= 1
+        assert stats["commits"]["snapshots_taken"] >= 1
+
+    def test_no_mvcc_baseline_still_serves(self):
+        srv = ViewServer([_people_db()], mvcc=False)
+        srv.start()
+        try:
+            host, port = srv.address
+            with Client(host, port) as c:
+                c.create("Staff", "Person", {"Name": "L", "Age": 10})
+                out = c.execute("select P from Person where P.Age >= 23")
+                assert "result(s)" in out
+            assert srv.metrics.snapshot()["mvcc"]["snapshot_reads"] == 0
+        finally:
+            srv.stop()
+
+
+class TestStatsSurfacing:
+    def test_cli_stats_include_commit_counters(self):
+        from repro.cli import Session
+
+        db = _people_db()
+        db.snapshot()
+        session = Session([db])
+        output = session.execute(".stats")
+        assert "versions installed" in output
+        assert "snapshots taken" in output
+        assert session.execute(".stats reset") == "stats reset"
+        assert db.mvcc.snapshot()["versions_installed"] == 0
+
+    def test_view_stats_merge_commit_counters(self):
+        db = _people_db()
+        view = View("V")
+        view.import_database(db)
+        db.snapshot()
+        from repro.cli import Session
+
+        session = Session([db, view])
+        session.execute(".use V")
+        output = session.execute(".stats")
+        assert "versions installed" in output

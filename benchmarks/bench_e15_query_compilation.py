@@ -159,6 +159,84 @@ def run_retail() -> Table:
     return table
 
 
+def run_tracing_overhead(guard: bool = False) -> Table:
+    """E15d — the cost of the tracing instrumentation when *disabled*.
+
+    Three states of the same repeated planned query:
+
+    - *off* — tracing disabled (``trace.ENABLED`` False): the baseline
+      every non-server caller pays;
+    - *armed, idle* — ``trace.ENABLED`` True but no trace active on
+      the thread: the state a tracing server imposes on untraced work;
+    - *traced* — a live span tree collected per call (the price of an
+      actually-traced request, shown for scale, not guarded).
+
+    With ``guard=True`` the armed-idle overhead is asserted < 3%
+    (retried with the median of several rounds — the instrumentation
+    is a handful of global loads, so anything past that is noise or a
+    regression).
+    """
+    import statistics
+
+    from repro.obs import trace as obs_trace
+
+    db = people_db(indexed=True)
+    query = PEOPLE_QUERIES[2][1]
+    execute(query, db)  # warm the plan cache: measure steady state
+
+    def run_off():
+        execute(query, db)
+
+    def run_traced():
+        with obs_trace.trace_context("bench"):
+            execute(query, db)
+
+    # Size one sample to >= ~20ms so the comparison is not dominated
+    # by timer jitter at smoke scale.
+    once = time_call(run_off, repeat=3)
+    number = max(5, int(0.02 / max(once, 1e-9)))
+
+    def measure():
+        off = time_call(run_off, repeat=3, number=number)
+        obs_trace.activate()
+        try:
+            armed = time_call(run_off, repeat=3, number=number)
+            traced = time_call(run_traced, repeat=3, number=number)
+        finally:
+            obs_trace.deactivate()
+        return off, armed, traced
+
+    threshold = 0.03
+    rounds = []
+    for _ in range(5 if guard else 1):
+        off, armed, traced = measure()
+        rounds.append((off, armed, traced))
+        if not guard or (armed / off - 1.0) < threshold:
+            break
+    off = statistics.median(r[0] for r in rounds)
+    armed = statistics.median(r[1] for r in rounds)
+    traced = statistics.median(r[2] for r in rounds)
+
+    table = Table(
+        "E15d tracing overhead on a repeated planned query",
+        ["state", "per call (us)", "vs off"],
+    )
+    overhead = armed / off - 1.0
+    table.add_row("off", off * 1e6, "1.00x")
+    table.add_row("armed, idle", armed * 1e6, f"{armed / off:.3f}x")
+    table.add_row("traced", traced * 1e6, f"{traced / off:.2f}x")
+    table.note(
+        f"{number} calls per sample; armed-idle overhead"
+        f" {overhead * 100:+.2f}% (guard: < {threshold * 100:.0f}%)"
+    )
+    if guard:
+        assert overhead < threshold, (
+            f"disabled-tracing overhead {overhead * 100:.2f}% exceeds"
+            f" {threshold * 100:.0f}% (median of {len(rounds)} rounds)"
+        )
+    return table
+
+
 def test_e15_interpreted(benchmark):
     db = people_db(indexed=False)
     query = PEOPLE_QUERIES[2][1]
@@ -182,11 +260,15 @@ def test_e15_report(benchmark):
         emit(run_experiment())
         emit(run_cache_experiment())
         emit(run_retail())
+        emit(run_tracing_overhead())
 
     benchmark.pedantic(report, rounds=1, iterations=1)
 
 
 if __name__ == "__main__":
+    import sys
+
     emit(run_experiment())
     emit(run_cache_experiment())
     emit(run_retail())
+    emit(run_tracing_overhead(guard="--guard" in sys.argv))

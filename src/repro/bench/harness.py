@@ -130,7 +130,14 @@ def stats_table(view, title: str = "view maintenance stats") -> Table:
     stats = view.stats
     table = Table(
         title,
-        ["view", "hits", "misses", "delta patches", "full recomputes"],
+        [
+            "view",
+            "hits",
+            "misses",
+            "delta patches",
+            "full recomputes",
+            "invalidations",
+        ],
     )
     table.add_row(
         view.scope_name,
@@ -138,6 +145,7 @@ def stats_table(view, title: str = "view maintenance stats") -> Table:
         stats.misses,
         stats.delta_patches,
         stats.full_recomputes,
+        sum(stats.invalidations_by_class.values()),
     )
     for name, count in sorted(stats.invalidations_by_class.items()):
         table.note(f"invalidations from {name}: {count}")

@@ -28,7 +28,7 @@ from .engine.objects import ObjectHandle, TupleValue
 from .errors import ReproError
 from .lang.executor import Catalog, run_script
 from .query.planner import execute as plan_execute
-from .query.planner import explain_plan, plan_cache_of
+from .query.planner import plan_cache_of
 
 HELP = """\
 Statements end with ';'. Anything starting with 'select' is a query.
@@ -39,7 +39,9 @@ Dot commands:
   .classes            list classes of the current scope
   .schema CLASS       show a class's attributes and parents
   .extent CLASS       list the extent of a class
-  .explain QUERY      show the access plan for a query
+  .explain QUERY      EXPLAIN ANALYZE: run the query under tracing and
+                      show the plan, per-conjunct access paths, row
+                      counts, virtual-attribute evals and span timings
   .stats [reset]      maintenance, plan and commit counters of the scope
   .load FILE          execute a script file
   .quit               leave the shell"""
@@ -108,8 +110,10 @@ class Session:
             handles = [scope.get(oid) for oid in scope.extent(argument)]
             return "\n".join(self._render(h) for h in handles) or "(empty)"
         if command == ".explain":
+            from .obs.explain import explain_analyze
+
             scope = self._require_scope()
-            return explain_plan(argument, scope)
+            return explain_analyze(argument, scope)
         if command == ".stats":
             return self._stats(argument)
         if command == ".load":
@@ -241,6 +245,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .server.client import connect_main
 
         return connect_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from .obs.render import trace_main
+
+        return trace_main(argv[1:])
     if "--demo" in argv:
         session = demo_session()
         print("demo catalog:", ", ".join(session.catalog.names()))

@@ -98,6 +98,21 @@ class ViewStats:
         self.max_batch_size = totals.get("max_batch_size", 0)
         self.conflict_retries = totals.get("conflict_retries", 0)
 
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able copy of every counter (the server ``stats`` op
+        surfaces one per view under ``views``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "delta_patches": self.delta_patches,
+            "full_recomputes": self.full_recomputes,
+            "invalidations_by_class": dict(self.invalidations_by_class),
+            "plans_compiled": self.plans_compiled,
+            "plan_cache_hits": self.plan_cache_hits,
+            "index_probes": self.index_probes,
+            "range_probes": self.range_probes,
+        }
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0

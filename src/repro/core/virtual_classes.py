@@ -49,6 +49,7 @@ from ..engine.tracking import (
     replay_dependencies,
 )
 from ..errors import VirtualClassError
+from ..obs import trace as _trace
 from ..query.ast import Binding, ClassSource, Select, Var
 from ..query.compile import Runtime, compile_test
 from ..query.planner import execute as plan_execute
@@ -188,12 +189,16 @@ class VirtualClass:
         tracker = DependencyTracker()
         try:
             internal = getattr(view, "internal_evaluation", None)
-            with tracker:
-                if internal is not None:
-                    with internal():
+            with _trace.span(
+                "population.recompute", **{"class": self._name}
+            ) as sp:
+                with tracker:
+                    if internal is not None:
+                        with internal():
+                            members = self._collect_members()
+                    else:
                         members = self._collect_members()
-                else:
-                    members = self._collect_members()
+                sp.set(size=len(members) if members else 0)
         finally:
             self._evaluating = False
             tainted = frame in taint
@@ -305,12 +310,18 @@ class VirtualClass:
             epoch0 = view._epoch
         tracker = DependencyTracker()
         internal = getattr(view, "internal_evaluation", None)
-        with tracker:
-            if internal is not None:
-                with internal():
+        with _trace.span(
+            "population.delta_patch",
+            events=len(events),
+            **{"class": self._name},
+        ) as sp:
+            with tracker:
+                if internal is not None:
+                    with internal():
+                        ok = self._apply_delta(events, closure, members)
+                else:
                     ok = self._apply_delta(events, closure, members)
-            else:
-                ok = self._apply_delta(events, closure, members)
+            sp.set(applied=ok, size=len(members))
         if not ok:
             with view.maintenance_lock:
                 self._delta_overflow = True

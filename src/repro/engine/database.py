@@ -24,6 +24,7 @@ only when a published snapshot actually shares them.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
@@ -40,6 +41,7 @@ from .events import (
     ObjectDeleted,
     ObjectUpdated,
 )
+from ..obs import trace as _trace
 from .objects import DatabaseObject, ObjectHandle, Scope, unwrap
 from .oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
 from .schema import AttributeDef, ClassKind, Schema
@@ -214,11 +216,35 @@ class Database(Scope):
         finally:
             self._pins.restore(previous)
 
+    def _acquire_commit_lock(self) -> None:
+        """Acquire the commit lock, recording the wait as a
+        ``commit.lock_wait`` span when a trace is active (waits under
+        a contended group-commit batch are where write latency hides)."""
+        if _trace.ENABLED and _trace.current_trace() is not None:
+            start = time.perf_counter()
+            self._commit_lock.acquire()
+            _trace.add_span(
+                "commit.lock_wait",
+                time.perf_counter() - start,
+                database=self._name,
+            )
+        else:
+            self._commit_lock.acquire()
+
+    @contextmanager
+    def _committing(self) -> Iterator[None]:
+        """``with self._commit_lock`` plus lock-wait tracing."""
+        self._acquire_commit_lock()
+        try:
+            yield
+        finally:
+            self._commit_lock.release()
+
     def begin_batch(self) -> None:
         """Open a commit batch: the calling thread holds the commit
         lock until the matching :meth:`end_batch`, and all mutations
         in between install as **one** version."""
-        self._commit_lock.acquire()
+        self._acquire_commit_lock()
         self._batch_depth += 1
 
     def end_batch(self) -> None:
@@ -284,6 +310,14 @@ class Database(Scope):
         self._store_version += 1
         self._current_snapshot = None
         self.mvcc.record_install(ops)
+        if _trace.ENABLED:
+            _trace.add_span(
+                "commit.install",
+                0.0,
+                database=self._name,
+                version=self._store_version,
+                ops=ops,
+            )
 
     # -- copy-on-write-on-share helpers --------------------------------
 
@@ -421,7 +455,7 @@ class Database(Scope):
         tuple_value: Dict[str, object] = dict(value or {})
         tuple_value.update(attributes)
         tuple_value = {k: unwrap(v) for k, v in tuple_value.items()}
-        with self._commit_lock:
+        with self._committing():
             self._validate(class_name, tuple_value)
             oid = self._oids.fresh()
             self._writable_objects()[oid] = DatabaseObject(
@@ -450,7 +484,7 @@ class Database(Scope):
                 f"cannot insert into {cdef.kind.value} class {class_name!r}"
             )
         tuple_value = {k: unwrap(v) for k, v in dict(value or {}).items()}
-        with self._commit_lock:
+        with self._committing():
             if oid in self._objects:
                 raise ObjectError(f"oid already present: {oid}")
             self._validate(class_name, tuple_value)
@@ -474,7 +508,7 @@ class Database(Scope):
         """
         oid = target.oid if isinstance(target, ObjectHandle) else target
         new_value = unwrap(new_value)
-        with self._commit_lock:
+        with self._committing():
             obj = self._require_live(oid)
             adef = self._schema.resolve_attribute(obj.class_name, attribute)
             if adef.is_computed():
@@ -510,7 +544,7 @@ class Database(Scope):
 
     def delete(self, target) -> None:
         oid = target.oid if isinstance(target, ObjectHandle) else target
-        with self._commit_lock:
+        with self._committing():
             obj = self._require_live(oid)
             del self._writable_objects()[oid]
             self._writable_extent(obj.class_name).discard(oid)

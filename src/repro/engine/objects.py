@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..errors import ObjectError
+from ..obs import trace as _trace
 from .oid import Oid
 from .schema import AttributeDef
 from .tracking import ACTIVE_TRACKERS, record_attribute_read
@@ -83,7 +84,17 @@ class Scope:
         adef = self.resolve_attribute_for(oid, attribute)
         if adef.is_computed():
             receiver = self.get(oid)
-            raw = adef.procedure(receiver, *args)
+            if _trace.ENABLED:
+                # Coalesces per parent span: a query touching one
+                # computed attribute on N objects yields one ×N node.
+                with _trace.span(
+                    "virtual_attr.eval",
+                    attribute=attribute,
+                    **{"class": adef.origin},
+                ):
+                    raw = adef.procedure(receiver, *args)
+            else:
+                raw = adef.procedure(receiver, *args)
             return wrap_value(self, unwrap(raw))
         if args:
             raise ObjectError(

@@ -1,0 +1,50 @@
+"""Observability: tracing, EXPLAIN ANALYZE, and metrics export.
+
+- :mod:`repro.obs.trace` — thread-local span trees with a near-zero
+  disabled cost, threaded through the planner, view maintenance, the
+  commit path and the wire protocol;
+- :mod:`repro.obs.collect` — trace ring, slow-query log, span
+  histograms (:class:`~repro.obs.collect.Observability` bundles them);
+- :mod:`repro.obs.explain` — ``EXPLAIN ANALYZE`` over a traced run;
+- :mod:`repro.obs.render` — span trees as text, and ``repro trace``;
+- :mod:`repro.obs.export` — Prometheus text exposition + the
+  ``--metrics-port`` HTTP endpoint.
+
+Attributes resolve lazily (PEP 562): the engine and planner import
+``repro.obs.trace`` from hot paths, while :mod:`repro.obs.explain`
+imports the planner back — eager imports here would make that a cycle.
+
+See ``docs/observability.md``.
+"""
+
+from . import trace  # no repro-internal deps; safe to load eagerly
+
+_EXPORTS = {
+    "Observability": ("collect", "Observability"),
+    "SlowQueryLog": ("collect", "SlowQueryLog"),
+    "SpanHistogramSet": ("collect", "SpanHistogramSet"),
+    "TraceRing": ("collect", "TraceRing"),
+    "explain_analyze": ("explain", "explain_analyze"),
+    "MetricsHTTPServer": ("export", "MetricsHTTPServer"),
+    "render_prometheus": ("export", "render_prometheus"),
+    "render_slow_entry": ("render", "render_slow_entry"),
+    "render_trace": ("render", "render_trace"),
+    "trace_main": ("render", "trace_main"),
+}
+
+__all__ = ["trace"] + sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,233 @@
+"""Trace collectors: ring buffer, slow-query log, span histograms.
+
+Completed traces are *dicts* (``Trace.to_dict``) from the moment they
+enter a collector — collectors never hold live engine objects, so a
+retained trace cannot pin a database snapshot or a view.
+
+- :class:`TraceRing` keeps the last N traces for the ``traces`` wire
+  op and post-hoc debugging;
+- :class:`SlowQueryLog` keeps traces whose total duration crossed a
+  threshold, annotated with the plan text and statement found in the
+  span tree — the structured answer to "why was *that one* slow";
+- :class:`SpanHistogramSet` folds every span's duration into a
+  per-name histogram for the Prometheus exposition (see
+  :mod:`repro.obs.export`).
+
+:class:`Observability` bundles the three behind one ``record`` call —
+the server owns one instance and feeds it every finished request
+trace.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+# Histogram bucket upper bounds, in seconds (Prometheus ``le``).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+class TraceRing:
+    """A bounded, thread-safe buffer of recent trace dicts."""
+
+    def __init__(self, capacity: int = 256):
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=max(1, capacity))
+        self.total_recorded = 0
+
+    def append(self, trace_dict: dict) -> None:
+        with self._lock:
+            self._ring.append(trace_dict)
+            self.total_recorded += 1
+
+    def recent(self, limit: Optional[int] = None) -> List[dict]:
+        """The most recent traces, newest last."""
+        with self._lock:
+            items = list(self._ring)
+        if limit is not None and limit >= 0:
+            items = items[-limit:]
+        return items
+
+    def find(self, trace_id: str) -> Optional[dict]:
+        with self._lock:
+            for item in reversed(self._ring):
+                if item.get("trace_id") == trace_id:
+                    return item
+        return None
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write one trace per line (the ``repro trace`` input format);
+        returns the number written."""
+        items = self.recent()
+        with open(path, "w") as f:
+            for item in items:
+                f.write(json.dumps(item, separators=(",", ":")) + "\n")
+        return len(items)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+def _find_span(span_dict: dict, name: str) -> Optional[dict]:
+    if span_dict.get("name") == name:
+        return span_dict
+    for child in span_dict.get("children", ()):
+        found = _find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+class SlowQueryLog:
+    """Threshold-triggered span-tree dumps, with the plan text.
+
+    ``threshold`` is in seconds; ``None`` disables the log (offers are
+    dropped). A threshold of 0 logs every trace — which is exactly how
+    the wire tests exercise it.
+    """
+
+    def __init__(self, threshold: Optional[float] = None, capacity: int = 128):
+        self._lock = threading.Lock()
+        self.threshold = threshold
+        self._entries: deque = deque(maxlen=max(1, capacity))
+        self.total_logged = 0
+
+    def offer(self, trace_dict: dict) -> bool:
+        """Log the trace if it crossed the threshold; True if kept."""
+        threshold = self.threshold
+        if threshold is None:
+            return False
+        if trace_dict.get("duration_ms", 0.0) < threshold * 1e3:
+            return False
+        root = trace_dict.get("root") or {}
+        attrs = root.get("attrs") or {}
+        plan_span = _find_span(root, "plan")
+        entry = {
+            "trace_id": trace_dict.get("trace_id"),
+            "ts": trace_dict.get("ts"),
+            "duration_ms": trace_dict.get("duration_ms"),
+            "op": attrs.get("op"),
+            "statement": attrs.get("line"),
+            "plan": (plan_span.get("attrs") or {}).get("plan")
+            if plan_span
+            else None,
+            "trace": trace_dict,
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self.total_logged += 1
+        return True
+
+    def entries(self, limit: Optional[int] = None) -> List[dict]:
+        with self._lock:
+            items = list(self._entries)
+        if limit is not None and limit >= 0:
+            items = items[-limit:]
+        return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class SpanHistogram:
+    """One cumulative-bucket duration histogram (seconds)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +Inf tail
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.observe_many(seconds, 1)
+
+    def observe_many(self, seconds_each: float, count: int) -> None:
+        """Record ``count`` observations of ``seconds_each`` (used for
+        coalesced spans, where only the mean survives)."""
+        self.sum += seconds_each * count
+        self.count += count
+        for index, bound in enumerate(self.buckets):
+            if seconds_each <= bound:
+                self.counts[index] += count
+                return
+        self.counts[-1] += count
+
+    def cumulative(self) -> List[int]:
+        """Counts per ``le`` bound, cumulative (Prometheus shape)."""
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+
+class SpanHistogramSet:
+    """Per-span-name histograms fed from completed trace dicts."""
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        self._lock = threading.Lock()
+        self._buckets = tuple(buckets)
+        self._histograms: Dict[str, SpanHistogram] = {}
+
+    def observe(self, name: str, seconds: float, count: int = 1) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = SpanHistogram(self._buckets)
+            if count > 1:
+                # A coalesced span: only the summed duration survives,
+                # so bucket the mean ``count`` times (sum stays exact).
+                hist.observe_many(seconds / count, count)
+            else:
+                hist.observe(seconds)
+
+    def observe_trace(self, trace_dict: dict) -> None:
+        root = trace_dict.get("root")
+        if root:
+            self._walk(root)
+
+    def _walk(self, span_dict: dict) -> None:
+        self.observe(
+            str(span_dict.get("name", "?")),
+            float(span_dict.get("ms", 0.0)) / 1e3,
+            int(span_dict.get("count", 1)),
+        )
+        for child in span_dict.get("children", ()):
+            self._walk(child)
+
+    def snapshot(self) -> Dict[str, SpanHistogram]:
+        with self._lock:
+            return dict(self._histograms)
+
+
+class Observability:
+    """One server's collectors, fed one completed trace at a time."""
+
+    def __init__(
+        self,
+        ring_capacity: int = 256,
+        slow_threshold: Optional[float] = None,
+        buckets=DEFAULT_BUCKETS,
+    ):
+        self.ring = TraceRing(ring_capacity)
+        self.slow_log = SlowQueryLog(slow_threshold)
+        self.histograms = SpanHistogramSet(buckets)
+
+    def record(self, trace) -> dict:
+        """Fold one finished :class:`~repro.obs.trace.Trace` (or an
+        already-exported dict) into every collector."""
+        trace_dict = trace if isinstance(trace, dict) else trace.to_dict()
+        self.ring.append(trace_dict)
+        self.slow_log.offer(trace_dict)
+        self.histograms.observe_trace(trace_dict)
+        return trace_dict

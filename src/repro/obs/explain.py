@@ -1,0 +1,102 @@
+"""EXPLAIN ANALYZE: run a query under tracing, annotate the plan.
+
+``.explain`` in the shell (and the ``explain`` wire op) used to print
+the planner's one-line access-path description. This module upgrades
+it to the relational ``EXPLAIN ANALYZE``: the query is *executed*
+under a private trace, and the output combines
+
+- the chosen plan with the disposition of every ``where`` conjunct
+  (probe vs. residual — which index, which bounds);
+- the plan-cache verdict (hit, or compiled now);
+- actual row counts and wall time;
+- per-virtual-attribute evaluation counts with timings — the paper's
+  stored-vs-computed distinction (§2, Example 1) made visible per
+  query: a slow query over a virtual class shows *which* computed
+  attribute burned the time;
+- the full span tree (population recomputes, delta patches, index
+  probes, commit waits if the query ran server-side).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..query.builder import ensure_query
+from ..query.planner import fetch_plan
+from ..query.printer import format_query
+from . import trace as _trace
+from .render import render_span_tree
+
+
+def explain_analyze(query, scope) -> str:
+    """Execute ``query`` on ``scope`` under tracing; render the report.
+
+    Counts toward the scope's plan-cache statistics exactly like a
+    normal execution (the run is real, not simulated).
+    """
+    select = ensure_query(query)
+    text = format_query(select)
+    _trace.activate()
+    try:
+        with _trace.trace_context("explain", line=text) as t:
+            plan, hit, cache = fetch_plan(select, scope)
+            with _trace.span("execute", plan=plan.kind) as sp:
+                result = plan.execute(scope, cache, None, None, None)
+                rows = len(result) if isinstance(result, list) else 1
+                sp.set(rows=rows)
+    finally:
+        _trace.deactivate()
+
+    verdict = "hit" if hit else "miss (compiled now)"
+    lines = [
+        "EXPLAIN ANALYZE",
+        f"query: {text}",
+        f"plan:  {plan.describe()}",
+        f"plan cache: {verdict}",
+    ]
+    roles = getattr(plan, "conjunct_roles", None)
+    if roles:
+        lines.append("conjuncts:")
+        width = max(len(conjunct) for conjunct, _ in roles)
+        for conjunct, role in roles:
+            lines.append(f"  {conjunct.ljust(width)}  -> {role}")
+    lines.append(
+        f"rows: {rows}    total: {t.duration * 1e3:.3f}ms"
+    )
+    root_dict = t.root.to_dict()
+    virtuals = _virtual_attribute_totals(root_dict)
+    if virtuals:
+        lines.append("virtual attributes (computed per §2):")
+        for label in sorted(virtuals):
+            count, ms = virtuals[label]
+            lines.append(
+                f"  {label}: {count} eval(s), {ms:.3f}ms"
+            )
+    lines.append("spans:")
+    tree = render_span_tree(root_dict)
+    lines.extend(f"  {line}" for line in tree)
+    return "\n".join(lines)
+
+
+def _virtual_attribute_totals(
+    span_dict: dict,
+) -> Dict[str, Tuple[int, float]]:
+    """``Class.Attribute -> (eval count, total ms)`` over the tree."""
+    totals: Dict[str, Tuple[int, float]] = {}
+
+    def walk(node: dict) -> None:
+        if node.get("name") == "virtual_attr.eval":
+            attrs = node.get("attrs") or {}
+            label = (
+                f"{attrs.get('class', '?')}.{attrs.get('attribute', '?')}"
+            )
+            count, ms = totals.get(label, (0, 0.0))
+            totals[label] = (
+                count + int(node.get("count", 1)),
+                ms + float(node.get("ms", 0.0)),
+            )
+        for child in node.get("children", ()):
+            walk(child)
+
+    walk(span_dict)
+    return totals

@@ -1,0 +1,304 @@
+"""Prometheus-style text exposition of every counter the engine keeps.
+
+:func:`render_prometheus` folds four counter families into one
+text/plain page (the `Prometheus exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_,
+counters and histograms only — no client library is required):
+
+- per-view :class:`~repro.core.stats.ViewStats` (cache behaviour,
+  invalidations by class);
+- per-scope plan-cache counters (:mod:`repro.query.planner`);
+- per-database :class:`~repro.engine.versions.CommitStats`;
+- :class:`~repro.server.metrics.ServerMetrics` (requests, errors,
+  connections, latency reservoirs);
+- span-duration histograms derived from completed traces
+  (:class:`~repro.obs.collect.SpanHistogramSet`).
+
+Served two ways by the server: the ``metrics`` wire op returns the
+text in a JSON frame, and ``--metrics-port`` exposes ``GET /metrics``
+over plain HTTP for an actual scraper.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, Optional
+
+from .collect import SpanHistogramSet
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _line(name: str, value, **labels) -> str:
+    if labels:
+        inner = ",".join(
+            f'{key}="{_escape(val)}"' for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {value}"
+    return f"{name} {value}"
+
+
+def _format_seconds(value: float) -> str:
+    return f"{value:.6f}".rstrip("0").rstrip(".") or "0"
+
+
+def render_prometheus(
+    scopes: Iterable = (),
+    server_metrics=None,
+    histograms: Optional[SpanHistogramSet] = None,
+) -> str:
+    """The full exposition page for a set of scopes and one server."""
+    lines: List[str] = []
+    lines.extend(_render_scopes(scopes))
+    if server_metrics is not None:
+        lines.extend(_render_server(server_metrics))
+    if histograms is not None:
+        lines.extend(_render_histograms(histograms))
+    return "\n".join(lines) + "\n"
+
+
+def _render_scopes(scopes: Iterable) -> List[str]:
+    from ..engine.versions import commit_stats_sources
+    from ..query.planner import aggregate_plan_stats
+
+    lines: List[str] = []
+    view_rows = []
+    invalidation_rows = []
+    plan_rows = []
+    commit_seen = set()
+    commit_rows = []
+    for scope in scopes:
+        name = getattr(scope, "scope_name", "?")
+        stats = getattr(scope, "stats", None)
+        if stats is not None and hasattr(stats, "hits"):
+            view_rows.append((name, stats))
+            for cls, count in sorted(stats.invalidations_by_class.items()):
+                invalidation_rows.append((name, cls, count))
+        plans = aggregate_plan_stats([scope])
+        if any(plans.values()):
+            plan_rows.append((name, plans))
+        for source in commit_stats_sources(scope):
+            if id(source) in commit_seen:
+                continue
+            commit_seen.add(id(source))
+            commit_rows.append((name, source.snapshot()))
+
+    if view_rows:
+        lines.append(
+            "# TYPE repro_view_population_requests_total counter"
+        )
+        for name, stats in view_rows:
+            for field, verdict in (
+                ("hits", "hit"),
+                ("delta_patches", "delta_patch"),
+                ("full_recomputes", "full_recompute"),
+            ):
+                lines.append(
+                    _line(
+                        "repro_view_population_requests_total",
+                        getattr(stats, field),
+                        scope=name,
+                        verdict=verdict,
+                    )
+                )
+    if invalidation_rows:
+        lines.append("# TYPE repro_view_invalidations_total counter")
+        for name, cls, count in invalidation_rows:
+            lines.append(
+                _line(
+                    "repro_view_invalidations_total",
+                    count,
+                    scope=name,
+                    **{"class": cls},
+                )
+            )
+    if plan_rows:
+        lines.append("# TYPE repro_plan_cache_events_total counter")
+        for name, plans in plan_rows:
+            for field in (
+                "plans_compiled",
+                "plan_cache_hits",
+                "invalidations",
+                "index_probes",
+                "range_probes",
+            ):
+                lines.append(
+                    _line(
+                        "repro_plan_cache_events_total",
+                        plans[field],
+                        scope=name,
+                        event=field,
+                    )
+                )
+    if commit_rows:
+        lines.append("# TYPE repro_commit_events_total counter")
+        for name, snap in commit_rows:
+            for field, value in sorted(snap.items()):
+                if field == "max_batch_size":
+                    continue
+                lines.append(
+                    _line(
+                        "repro_commit_events_total",
+                        value,
+                        scope=name,
+                        event=field,
+                    )
+                )
+    return lines
+
+
+def _render_server(metrics) -> List[str]:
+    snap = metrics.snapshot()
+    lines = ["# TYPE repro_server_requests_total counter"]
+    for op, count in sorted(snap.get("requests", {}).items()):
+        lines.append(_line("repro_server_requests_total", count, op=op))
+    errors = snap.get("errors", {})
+    if errors:
+        lines.append("# TYPE repro_server_errors_total counter")
+        for code, count in sorted(errors.items()):
+            lines.append(
+                _line("repro_server_errors_total", count, code=code)
+            )
+    lines.append("# TYPE repro_server_connections_total counter")
+    for event, count in sorted(snap.get("connections", {}).items()):
+        lines.append(
+            _line("repro_server_connections_total", count, event=event)
+        )
+    mvcc = snap.get("mvcc", {})
+    if mvcc:
+        lines.append("# TYPE repro_server_mvcc_events_total counter")
+        for event, count in sorted(mvcc.items()):
+            lines.append(
+                _line("repro_server_mvcc_events_total", count, event=event)
+            )
+    lines.append("# TYPE repro_server_request_seconds summary")
+    for kind, summary in sorted(snap.get("latency", {}).items()):
+        for quantile, field in (("0.5", "p50_ms"), ("0.99", "p99_ms")):
+            lines.append(
+                _line(
+                    "repro_server_request_seconds",
+                    _format_seconds(summary[field] / 1e3),
+                    kind=kind,
+                    quantile=quantile,
+                )
+            )
+        lines.append(
+            _line(
+                "repro_server_request_seconds_sum",
+                _format_seconds(
+                    summary["mean_ms"] / 1e3 * summary["count"]
+                ),
+                kind=kind,
+            )
+        )
+        lines.append(
+            _line(
+                "repro_server_request_seconds_count",
+                summary["count"],
+                kind=kind,
+            )
+        )
+    lines.append(
+        _line("repro_server_uptime_seconds", snap.get("uptime_s", 0))
+    )
+    return lines
+
+
+def _render_histograms(histograms: SpanHistogramSet) -> List[str]:
+    lines: List[str] = []
+    snapshot = histograms.snapshot()
+    if not snapshot:
+        return lines
+    lines.append("# TYPE repro_span_duration_seconds histogram")
+    for name in sorted(snapshot):
+        hist = snapshot[name]
+        cumulative = hist.cumulative()
+        for bound, count in zip(hist.buckets, cumulative):
+            lines.append(
+                _line(
+                    "repro_span_duration_seconds_bucket",
+                    count,
+                    span=name,
+                    le=_format_seconds(bound),
+                )
+            )
+        lines.append(
+            _line(
+                "repro_span_duration_seconds_bucket",
+                cumulative[-1],
+                span=name,
+                le="+Inf",
+            )
+        )
+        lines.append(
+            _line(
+                "repro_span_duration_seconds_sum",
+                _format_seconds(hist.sum),
+                span=name,
+            )
+        )
+        lines.append(
+            _line(
+                "repro_span_duration_seconds_count", hist.count, span=name
+            )
+        )
+    return lines
+
+
+class MetricsHTTPServer:
+    """A tiny stdlib HTTP endpoint serving ``GET /metrics``.
+
+    Started by ``repro serve --metrics-port N``; everything else is a
+    404. The render callback is invoked per request, so the page is
+    always current.
+    """
+
+    def __init__(self, host: str, port: int, render):
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        render_page = render
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (stdlib naming)
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                try:
+                    body = render_page().encode("utf-8")
+                except Exception as error:  # render must never kill serving
+                    self.send_error(500, str(error))
+                    return
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self):
+        return self._httpd.server_address[:2]
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=2.0)

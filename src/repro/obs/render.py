@@ -1,0 +1,110 @@
+"""Rendering span trees as text, and the ``repro trace`` subcommand.
+
+One renderer serves three surfaces — ``EXPLAIN ANALYZE`` output, the
+slow-query log, and ``repro trace file.jsonl`` (pretty-printing a
+dump exported from the trace ring) — so a span tree reads the same
+everywhere::
+
+    trace t000042 12.410ms — request {kind=read, op=execute}
+    ├─ wire.read 0.030ms
+    ├─ plan 0.010ms {verdict=hit}
+    ├─ execute 11.900ms
+    │  └─ virtual_attr.eval ×40 2.100ms {attribute=Address, class=Person}
+    └─ wire.write 0.050ms
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+
+def format_span_line(span_dict: dict) -> str:
+    """One span as ``name ×count 1.234ms {attrs}``."""
+    parts = [str(span_dict.get("name", "?"))]
+    count = span_dict.get("count", 1)
+    if count != 1:
+        parts.append(f"×{count}")
+    parts.append(f"{float(span_dict.get('ms', 0.0)):.3f}ms")
+    attrs = span_dict.get("attrs")
+    if attrs:
+        inner = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        parts.append(f"{{{inner}}}")
+    return " ".join(parts)
+
+
+def render_span_tree(span_dict: dict, prefix: str = "") -> List[str]:
+    """The span's children as box-drawn tree lines (the span itself is
+    rendered by the caller — as the trace header or a parent line)."""
+    lines: List[str] = []
+    children = span_dict.get("children") or []
+    for index, child in enumerate(children):
+        last = index == len(children) - 1
+        branch = "└─ " if last else "├─ "
+        lines.append(f"{prefix}{branch}{format_span_line(child)}")
+        extension = "   " if last else "│  "
+        lines.extend(render_span_tree(child, prefix + extension))
+    return lines
+
+
+def render_trace(trace_dict: dict) -> str:
+    """A whole trace: header line plus the span tree."""
+    root = trace_dict.get("root") or {}
+    header = (
+        f"trace {trace_dict.get('trace_id', '?')}"
+        f" {float(trace_dict.get('duration_ms', root.get('ms', 0.0))):.3f}ms"
+        f" — {format_span_line(root)}"
+    )
+    return "\n".join([header] + render_span_tree(root))
+
+
+def render_slow_entry(entry: dict) -> str:
+    """One slow-query-log entry: the headline facts, then the tree."""
+    lines = [
+        f"slow query {entry.get('trace_id', '?')}:"
+        f" {float(entry.get('duration_ms', 0.0)):.3f}ms"
+        f" (op={entry.get('op')})"
+    ]
+    if entry.get("statement"):
+        lines.append(f"  statement: {entry['statement']}")
+    if entry.get("plan"):
+        lines.append(f"  plan: {entry['plan']}")
+    trace = entry.get("trace")
+    if trace:
+        lines.append("  " + render_trace(trace).replace("\n", "\n  "))
+    return "\n".join(lines)
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace FILE.jsonl`` — pretty-print an exported span-tree
+    dump (one JSON trace per line, as written by
+    :meth:`~repro.obs.collect.TraceRing.dump_jsonl` or collected from
+    the ``traces`` wire op)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace", description=trace_main.__doc__
+    )
+    parser.add_argument("file", help="a .jsonl trace dump")
+    args = parser.parse_args(argv)
+
+    status = 0
+    try:
+        stream = open(args.file)
+    except OSError as error:
+        print(f"cannot open {args.file}: {error}")
+        return 1
+    with stream:
+        for number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                trace_dict = json.loads(line)
+            except json.JSONDecodeError as error:
+                print(f"line {number}: not valid JSON ({error})")
+                status = 1
+                continue
+            print(render_trace(trace_dict))
+            print()
+    return status

@@ -1,0 +1,296 @@
+"""Thread-local tracing: nested spans with near-zero disabled cost.
+
+A *trace* is a tree of timed spans describing one logical operation —
+one server request, one ``EXPLAIN ANALYZE`` run. Spans carry a name
+from a small fixed vocabulary (``plan``, ``compile``, ``index_probe``,
+``population.delta_patch``, ``population.recompute``,
+``virtual_attr.eval``, ``commit.install``, ``commit.lock_wait``,
+``group_commit.wait``, ``wire.read``, ``wire.write``) plus free-form
+attributes (class name, plan-cache verdict, rows scanned vs. returned).
+
+The design constraint is the *disabled* path: instrumentation is
+threaded through the planner, the view-maintenance machinery and the
+commit path — all hot. Every hook therefore checks the module-level
+:data:`ENABLED` flag before allocating anything; hot call sites
+additionally guard with ``if trace.ENABLED:`` inline so the disabled
+cost is one global load and a branch (the same idiom as
+``ACTIVE_TRACKERS`` in :mod:`repro.engine.tracking`). The E15d bench
+guard (`benchmarks/bench_e15_query_compilation.py --guard`) holds that
+cost under 3%.
+
+Activation is two-level:
+
+- :func:`activate` / :func:`deactivate` flip :data:`ENABLED` globally
+  (reference-counted — the server holds an activation for its
+  lifetime, ``EXPLAIN ANALYZE`` holds one per run);
+- :func:`trace_context` arms collection *on the calling thread*: spans
+  attach only while a trace is active there, so an armed server thread
+  doing untraced work still pays almost nothing.
+
+Trace ids propagate across the wire: a client may send a ``trace``
+field on a request frame and the server adopts it as the trace id, so
+the server-side span tree attaches to the client's request (see
+``docs/observability.md``).
+
+Repeated fine-grained spans (``virtual_attr.eval`` per attribute
+access, ``commit.lock_wait`` per batched mutation) coalesce under
+their parent into one node carrying a count and a summed duration —
+a query evaluating one computed attribute over 10,000 objects yields
+one ``×10000`` node, not 10,000 nodes. Past :data:`SPAN_CAP` spans,
+*every* name coalesces, bounding trace memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+# The module-level gate. Hot call sites check this before touching
+# anything else; it is True while at least one activation is held.
+ENABLED = False
+
+# Span names that always merge into one counted node per parent.
+COALESCED = frozenset({"virtual_attr.eval", "commit.lock_wait"})
+
+# Past this many spans in one trace, every new span coalesces by name.
+SPAN_CAP = 2000
+
+_activations = 0
+_activation_lock = threading.Lock()
+_tls = threading.local()
+_trace_ids = itertools.count(1)
+
+
+def activate() -> None:
+    """Hold one activation of the tracing machinery (re-entrant)."""
+    global ENABLED, _activations
+    with _activation_lock:
+        _activations += 1
+        ENABLED = True
+
+
+def deactivate() -> None:
+    """Release one activation; the last release disables tracing."""
+    global ENABLED, _activations
+    with _activation_lock:
+        if _activations > 0:
+            _activations -= 1
+        ENABLED = _activations > 0
+
+
+class Span:
+    """One timed node of a trace tree."""
+
+    __slots__ = ("name", "attrs", "duration", "count", "children")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None):
+        self.name = name
+        self.attrs: Dict[str, object] = attrs if attrs is not None else {}
+        self.duration = 0.0
+        self.count = 1
+        self.children: List[Span] = []
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes (e.g. a verdict known only mid-span)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "ms": round(self.duration * 1e3, 3),
+        }
+        if self.count != 1:
+            out["count"] = self.count
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+NOOP = _NoopSpan()
+
+
+class Trace:
+    """One span tree plus its identity and wall-clock anchor."""
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        attrs: Optional[dict] = None,
+    ):
+        self.trace_id = trace_id or f"t{next(_trace_ids):06d}"
+        self.root = Span(name, attrs)
+        self.started_at = time.time()
+        self.span_count = 1
+        # Per-parent coalescing tables, keyed by (name, attr items).
+        self._coalesced: Dict[int, Dict[tuple, Span]] = {}
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "ts": round(self.started_at, 3),
+            "duration_ms": round(self.root.duration * 1e3, 3),
+            "root": self.root.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+
+    def attach(self, parent: Span, span: Span) -> None:
+        """Add a finished span under ``parent``, coalescing duplicates."""
+        if span.name in COALESCED or self.span_count >= SPAN_CAP:
+            if span.name in COALESCED:
+                key = (span.name, tuple(sorted(
+                    (k, v) for k, v in span.attrs.items()
+                    if isinstance(v, (str, int, bool))
+                )))
+            else:
+                key = (span.name, ())
+            table = self._coalesced.setdefault(id(parent), {})
+            node = table.get(key)
+            if node is not None:
+                node.count += 1
+                node.duration += span.duration
+                return
+            table[key] = span
+        parent.children.append(span)
+        self.span_count += 1
+
+
+class _LiveSpan:
+    """Context manager for one span on the calling thread's trace."""
+
+    __slots__ = ("_span", "_trace", "_stack", "_start")
+
+    def __init__(self, trace: Trace, stack: List[Span], name: str,
+                 attrs: dict):
+        self._trace = trace
+        self._stack = stack
+        self._span = Span(name, attrs)
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._stack.append(self._span)
+        self._start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, *exc) -> bool:
+        self._span.duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        stack = self._stack
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        parent = stack[-1] if stack else self._trace.root
+        self._trace.attach(parent, self._span)
+        return False
+
+
+def span(name: str, **attrs):
+    """A context manager timing one span of the current trace.
+
+    Returns the shared no-op when tracing is disabled or no trace is
+    active on this thread. Hot call sites should pre-check
+    ``trace.ENABLED`` and avoid even this call.
+    """
+    if not ENABLED:
+        return NOOP
+    current = getattr(_tls, "trace", None)
+    if current is None:
+        return NOOP
+    return _LiveSpan(current, _tls.stack, name, attrs)
+
+
+def add_span(name: str, seconds: float, **attrs) -> None:
+    """Record an already-finished span (duration measured externally,
+    e.g. a socket read that completed before the trace started)."""
+    if not ENABLED:
+        return
+    current = getattr(_tls, "trace", None)
+    if current is None:
+        return
+    finished = Span(name, attrs)
+    finished.duration = seconds
+    stack = _tls.stack
+    current.attach(stack[-1] if stack else current.root, finished)
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active on this thread, if any."""
+    if not ENABLED:
+        return None
+    return getattr(_tls, "trace", None)
+
+
+@contextmanager
+def trace_context(
+    name: str, trace_id: Optional[str] = None, **attrs
+) -> Iterator[Trace]:
+    """Arm collection on this thread: one root span, timed end to end.
+
+    Nests: an inner context (e.g. ``EXPLAIN ANALYZE`` issued over a
+    traced server request) collects into its own trace and the outer
+    one resumes on exit.
+    """
+    t = Trace(name, trace_id, attrs)
+    prev_trace = getattr(_tls, "trace", None)
+    prev_stack = getattr(_tls, "stack", None)
+    _tls.trace = t
+    _tls.stack = [t.root]
+    start = time.perf_counter()
+    try:
+        yield t
+    finally:
+        t.root.duration = time.perf_counter() - start
+        _tls.trace = prev_trace
+        _tls.stack = prev_stack
+
+
+@contextmanager
+def adopt(trace: Optional[Trace]) -> Iterator[None]:
+    """Run a block on behalf of another thread's trace.
+
+    The group committer executes follower write thunks on the leader's
+    thread; adopting the follower's trace makes the commit spans land
+    in the *requester's* tree. No-op when ``trace`` is None or already
+    current (the leader executing its own thunk).
+    """
+    if trace is None or not ENABLED:
+        yield
+        return
+    prev_trace = getattr(_tls, "trace", None)
+    if prev_trace is trace:
+        yield
+        return
+    prev_stack = getattr(_tls, "stack", None)
+    _tls.trace = trace
+    _tls.stack = [trace.root]
+    try:
+        yield
+    finally:
+        _tls.trace = prev_trace
+        _tls.stack = prev_stack

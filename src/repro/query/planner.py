@@ -40,6 +40,7 @@ from ..engine.tracking import ACTIVE_TRACKERS, record_attribute_read
 from ..engine.types import INTEGER, REAL, STRING
 from ..engine.values import canonicalize
 from ..errors import NonUniqueResultError, QueryError
+from ..obs import trace as _trace
 from .ast import (
     Binary,
     Binding,
@@ -52,7 +53,7 @@ from .ast import (
 )
 from .builder import ensure_query
 from .compile import CompiledQuery, Runtime, compile_expression, compile_test
-from .printer import format_query
+from .printer import format_expression, format_query
 
 # A bounded cache: real servers run a finite statement vocabulary, but
 # a misbehaving client generating unique query texts must not grow the
@@ -187,6 +188,10 @@ class Plan:
     """A compiled access path for one query."""
 
     kind = "scan"
+    # ``[(conjunct text, role)]`` — how each ``where`` conjunct is
+    # dispatched (probe vs. residual). Set by the builder; consumed by
+    # ``EXPLAIN ANALYZE``.
+    conjunct_roles: Optional[List[Tuple[str, str]]] = None
 
     def execute(self, scope, cache, bindings, functions, self_value):
         raise NotImplementedError
@@ -269,6 +274,32 @@ class _ProbePlanBase(Plan):
             # attribute per object; record the equivalent reads so
             # dependency-tracked callers still invalidate correctly.
             record_attribute_read(self.class_name, self.attribute)
+        if _trace.ENABLED and _trace.current_trace() is not None:
+            with _trace.span(
+                "index_probe",
+                kind=self.kind,
+                attribute=f"{self.class_name}.{self.attribute}",
+            ) as sp:
+                results, scanned = self._filter(
+                    scope, candidates, bindings, functions, self_value
+                )
+                sp.set(scanned=scanned, returned=len(results))
+        else:
+            results, scanned = self._filter(
+                scope, candidates, bindings, functions, self_value
+            )
+        if self.unique:
+            if len(results) != 1:
+                raise NonUniqueResultError(len(results))
+            return results[0]
+        return results
+
+    def _filter(self, scope, candidates, bindings, functions, self_value):
+        """Run residual + projection over the probe's candidate set.
+
+        Returns ``(results, scanned)`` — ``scanned`` counts candidates
+        actually visited (probe selectivity, surfaced by EXPLAIN).
+        """
         extent = scope.extent(self.class_name)
         rt = Runtime(scope, functions, self_value)
         env = dict(bindings) if bindings else {}
@@ -277,11 +308,13 @@ class _ProbePlanBase(Plan):
         project = self.project
         results: List[object] = []
         seen = set()
+        scanned = 0
         # OidSet iteration is sorted; sort here too so probe results
         # come back in the same deterministic order as a scan.
         for oid in sorted(candidates.members):
             if oid not in extent:
                 continue  # the index may cover a superclass
+            scanned += 1
             env[variable] = ObjectHandle(scope, oid)
             if residual is not None and not residual(rt, env):
                 continue
@@ -291,11 +324,7 @@ class _ProbePlanBase(Plan):
                 continue
             seen.add(key)
             results.append(value)
-        if self.unique:
-            if len(results) != 1:
-                raise NonUniqueResultError(len(results))
-            return results[0]
-        return results
+        return results, scanned
 
 
 class IndexEqPlan(_ProbePlanBase):
@@ -486,7 +515,13 @@ def build_plan(query, scope) -> Plan:
     probe = _probe_plan(select, scope)
     if probe is not None:
         return probe
-    return ScanPlan(select)
+    plan = ScanPlan(select)
+    if select.where is not None:
+        plan.conjunct_roles = [
+            (format_expression(c), "scan filter (no usable index)")
+            for c in _conjuncts(select.where)
+        ]
+    return plan
 
 
 def _probe_plan(select: Select, scope) -> Optional[Plan]:
@@ -527,9 +562,19 @@ def _probe_plan(select: Select, scope) -> Optional[Plan]:
         residual = _conjoin(
             conjuncts[:position] + conjuncts[position + 1:]
         )
-        return IndexEqPlan(
+        plan = IndexEqPlan(
             select, class_name, variable, attribute, value, residual
         )
+        plan.conjunct_roles = [
+            (
+                format_expression(c),
+                f"index probe ({class_name}.{attribute} index)"
+                if i == position
+                else "residual filter",
+            )
+            for i, c in enumerate(conjuncts)
+        ]
+        return plan
 
     find_ordered = getattr(indexes, "find_ordered", None)
     if find_ordered is None:
@@ -557,14 +602,65 @@ def _probe_plan(select: Select, scope) -> Optional[Plan]:
     residual = _conjoin(
         [c for i, c in enumerate(conjuncts) if i not in used]
     )
-    return IndexRangePlan(
+    plan = IndexRangePlan(
         select, class_name, variable, attribute, interval, residual
     )
+    plan.conjunct_roles = [
+        (
+            format_expression(c),
+            f"range probe bound ({class_name}.{attribute} ordered index)"
+            if i in used
+            else "residual filter",
+        )
+        for i, c in enumerate(conjuncts)
+    ]
+    return plan
 
 
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
+
+
+def fetch_plan(query, scope) -> Tuple[Plan, bool, PlanCache]:
+    """The cached-or-compiled plan for ``query`` on ``scope``.
+
+    Returns ``(plan, hit, cache)`` and records the scope's plan-cache
+    statistics — the shared front half of :func:`execute`, also used
+    by ``EXPLAIN ANALYZE`` (which needs the plan object itself). Under
+    an active trace the fetch is wrapped in a ``plan`` span (cache
+    verdict, plan text) and a compile in a nested ``compile`` span.
+    """
+    select = ensure_query(query)
+    cache = plan_cache_of(scope)
+    key = format_query(select)
+    token = plan_token(scope)
+    if _trace.ENABLED and _trace.current_trace() is not None:
+        with _trace.span("plan") as sp:
+            plan, hit = cache.fetch(
+                key, token, lambda: _traced_build(select, scope)
+            )
+            sp.set(
+                verdict="hit" if hit else "compiled",
+                kind=plan.kind,
+                plan=plan.describe(),
+            )
+    else:
+        plan, hit = cache.fetch(
+            key, token, lambda: build_plan(select, scope)
+        )
+    stats = getattr(scope, "stats", None)
+    if stats is not None:
+        if hit:
+            stats.record_plan_hit()
+        else:
+            stats.record_plan_compiled()
+    return plan, hit, cache
+
+
+def _traced_build(select: Select, scope) -> Plan:
+    with _trace.span("compile"):
+        return build_plan(select, scope)
 
 
 def execute(
@@ -581,6 +677,14 @@ def execute(
     per (canonical text, version token) and may run as an index probe
     or range scan.
     """
+    if _trace.ENABLED and _trace.current_trace() is not None:
+        plan, _hit, cache = fetch_plan(query, scope)
+        with _trace.span("execute", plan=plan.kind) as sp:
+            result = plan.execute(
+                scope, cache, bindings, functions, self_value
+            )
+            sp.set(rows=len(result) if isinstance(result, list) else 1)
+            return result
     select = ensure_query(query)
     cache = plan_cache_of(scope)
     key = format_query(select)

@@ -47,23 +47,32 @@ class Client:
         *,
         timeout: Optional[float] = 30.0,
         max_frame: int = MAX_FRAME,
+        trace: Optional[str] = None,
     ):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._max_frame = max_frame
         self._ids = itertools.count(1)
         self._closed = False
+        # When set, every request carries this id in its ``trace``
+        # field so the server's span tree attaches to *our* trace id
+        # (queryable back via ``traces``).
+        self.trace = trace
 
     # ------------------------------------------------------------------
 
     def call(self, op: str, **fields):
         """Send one request, wait for its response, return the result.
 
-        Raises :class:`ServerError` on an error frame and
+        A per-call ``trace`` field (or the client-level :attr:`trace`)
+        propagates a trace id to the server. Raises
+        :class:`ServerError` on an error frame and
         :class:`ConnectionClosed` if the transport dies.
         """
         if self._closed:
             raise ConnectionClosed("client is closed")
         request_id = next(self._ids)
+        if self.trace is not None and "trace" not in fields:
+            fields["trace"] = self.trace
         send_frame(self._sock, {"id": request_id, "op": op, **fields})
         response = recv_frame(self._sock, self._max_frame)
         if response is None:
@@ -95,6 +104,29 @@ class Client:
 
     def stats(self) -> dict:
         return self.call("stats")
+
+    def explain(self, query: str, database: Optional[str] = None) -> str:
+        """EXPLAIN ANALYZE ``query`` server-side; the text report."""
+        fields = {"query": query}
+        if database is not None:
+            fields["database"] = database
+        return self.call("explain", **fields)["output"]
+
+    def traces(self, limit: int = 20, trace_id: Optional[str] = None,
+               slow: bool = False):
+        """Recent traces from the server's ring (or its slow-query
+        log with ``slow=True``), newest last."""
+        fields = {"limit": limit}
+        if trace_id is not None:
+            fields["trace_id"] = trace_id
+        if slow:
+            fields["slow"] = True
+        result = self.call("traces", **fields)
+        return result["slow"] if slow else result["traces"]
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus-style metrics exposition."""
+        return self.call("metrics")["text"]
 
     def create(self, database: str, class_name: str, value: dict) -> Oid:
         result = self.call(

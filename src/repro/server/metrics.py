@@ -15,6 +15,7 @@ constant memory.
 
 from __future__ import annotations
 
+import itertools
 import random
 import threading
 import time
@@ -26,12 +27,19 @@ _RESERVOIR_CAP = 4096
 class LatencyReservoir:
     """Bounded uniform sample of request latencies (seconds)."""
 
-    def __init__(self, cap: int = _RESERVOIR_CAP):
+    # Deterministic but *distinct* per instance: with one shared seed
+    # the read and write reservoirs would draw identical slot
+    # sequences and evict in lockstep, correlating their samples.
+    _seeds = itertools.count(1)
+
+    def __init__(self, cap: int = _RESERVOIR_CAP, seed: Optional[int] = None):
         self._cap = cap
         self._sample: List[float] = []
         self._count = 0
         self._total = 0.0
-        self._rng = random.Random(0)
+        self._rng = random.Random(
+            seed if seed is not None else next(self._seeds)
+        )
 
     def record(self, seconds: float) -> None:
         self._count += 1

@@ -15,6 +15,12 @@ error responses to frames whose id could not be parsed). Error codes
 are stable strings (see ``docs/server.md``); :func:`error_code_for`
 maps the library's exception hierarchy onto them.
 
+Requests may additionally carry a ``trace`` field: a client-chosen
+trace id string. A tracing server adopts it as the id of the request's
+server-side span tree, so the trace is later retrievable by that id
+via the ``traces`` op and correlated with the client's own records
+(see ``docs/observability.md``).
+
 JSON cannot carry :class:`~repro.engine.oid.Oid` values or sets, so
 operation fields holding engine values are passed through
 :func:`wire_encode` / :func:`wire_decode`, which tag them::

@@ -55,6 +55,8 @@ import time
 from contextlib import ExitStack, contextmanager
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import trace as _trace
+from ..obs.collect import Observability
 from .locks import LockTimeoutError, ReadWriteLock
 from .metrics import ServerMetrics
 from .protocol import (
@@ -128,14 +130,22 @@ class GroupCommitter:
             self._lead(batch, timeout)
         else:
             budget = (timeout or 0.0) + self._window + 5.0
+            waited = time.perf_counter()
             if not batch.done.wait(timeout=budget):
                 raise LockTimeoutError("write", budget)
+            if _trace.ENABLED:
+                _trace.add_span(
+                    "group_commit.wait",
+                    time.perf_counter() - waited,
+                    role="follower",
+                )
         if entry[2] is not None:
             raise entry[2]
         return entry[1]
 
     def _lead(self, batch: _Batch, timeout: Optional[float]) -> None:
         try:
+            waited = time.perf_counter()
             if self._window > 0:
                 time.sleep(self._window)
             with self._mutex:
@@ -154,6 +164,14 @@ class GroupCommitter:
                 for entry in batch.entries:
                     entry[2] = error
                 return
+            if _trace.ENABLED:
+                # Window sleep + write-lock wait, on the leader's trace.
+                _trace.add_span(
+                    "group_commit.wait",
+                    time.perf_counter() - waited,
+                    role="leader",
+                    batch=len(batch.entries),
+                )
             try:
                 self._run(batch)
             finally:
@@ -196,6 +214,10 @@ class ViewServer:
         lock=None,
         mvcc: bool = True,
         batch_window: float = 0.001,
+        tracing: bool = True,
+        trace_ring: int = 256,
+        slow_query_threshold: Optional[float] = None,
+        metrics_port: Optional[int] = None,
     ):
         self._scopes = list(scopes)
         self._host = host
@@ -207,6 +229,16 @@ class ViewServer:
         self.metrics = ServerMetrics()
         self._mvcc = mvcc
         self._committer = GroupCommitter(self, batch_window)
+        self._tracing = tracing
+        # The collectors exist even with tracing off: the ``traces`` /
+        # ``metrics`` ops still answer (with empty rings) and the
+        # Prometheus page still exposes the engine counters.
+        self.obs = Observability(
+            ring_capacity=trace_ring, slow_threshold=slow_query_threshold
+        )
+        self._metrics_port = metrics_port
+        self._metrics_http = None
+        self._trace_activated = False
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._threads: List[threading.Thread] = []
@@ -255,6 +287,19 @@ class ViewServer:
         listener.listen(128)
         self._listener = listener
         self._started = True
+        if self._tracing and not self._trace_activated:
+            _trace.activate()
+            self._trace_activated = True
+        if self._metrics_port is not None and self._metrics_http is None:
+            from ..obs.export import MetricsHTTPServer, render_prometheus
+
+            self._metrics_http = MetricsHTTPServer(
+                self._host,
+                self._metrics_port,
+                lambda: render_prometheus(
+                    self._scopes, self.metrics, self.obs.histograms
+                ),
+            )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-accept", daemon=True
         )
@@ -292,6 +337,12 @@ class ViewServer:
                 pass
         for thread in list(self._threads):
             thread.join(timeout=1.0)
+        if self._metrics_http is not None:
+            self._metrics_http.close()
+            self._metrics_http = None
+        if self._trace_activated:
+            _trace.deactivate()
+            self._trace_activated = False
 
     def serve_forever(self) -> None:
         """Start (if needed) and block until ``SIGTERM``/``SIGINT``."""
@@ -383,7 +434,9 @@ class ViewServer:
     # Connection handling
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        session = ServerSession(self._scopes, metrics=self.metrics)
+        session = ServerSession(
+            self._scopes, metrics=self.metrics, obs=self.obs
+        )
         try:
             while not self._stopping.is_set():
                 try:
@@ -404,6 +457,7 @@ class ViewServer:
     ) -> bool:
         """Handle one request; False ends the connection."""
         request_id = None
+        read_start = time.perf_counter()
         try:
             request = recv_frame(conn, self._max_frame)
         except ProtocolError as error:
@@ -416,6 +470,7 @@ class ViewServer:
             return False
         if request is None:  # clean EOF
             return False
+        read_elapsed = time.perf_counter() - read_start
         request_id = request.get("id")
         if self._stopping.is_set():
             return self._answer(
@@ -426,6 +481,30 @@ class ViewServer:
             )
         op = str(request.get("op"))
         kind = session.classify(request)
+        if not self._tracing:
+            return self._dispatch_and_answer(
+                conn, session, request, request_id, op, kind, traced=False
+            )
+        trace_id = request.get("trace")
+        attrs = {"op": op, "kind": kind}
+        line = request.get("line")
+        if isinstance(line, str):
+            attrs["line"] = line
+        with _trace.trace_context(
+            "request",
+            trace_id=trace_id if isinstance(trace_id, str) else None,
+            **attrs,
+        ) as t:
+            _trace.add_span("wire.read", read_elapsed)
+            ok = self._dispatch_and_answer(
+                conn, session, request, request_id, op, kind, traced=True
+            )
+        self.obs.record(t)
+        return ok
+
+    def _dispatch_and_answer(
+        self, conn, session, request, request_id, op, kind, traced
+    ) -> bool:
         start = time.perf_counter()
         error_code = None
         try:
@@ -435,8 +514,12 @@ class ViewServer:
                     result = session.handle(request)
                 self.metrics.record_snapshot_read()
             elif self._mvcc and op in _DATA_WRITE_OPS:
+                # The thunk may run on another writer's (leader) thread;
+                # adopting the requester's trace keeps the commit spans
+                # in the requester's tree.
+                parent = _trace.current_trace()
                 result = self._committer.submit(
-                    lambda: session.handle(request),
+                    lambda: self._handle_adopted(session, request, parent),
                     self._request_timeout,
                 )
             else:
@@ -459,7 +542,17 @@ class ViewServer:
             frame = error_frame(request_id, error_code, message)
         elapsed = time.perf_counter() - start
         self.metrics.record_request(op, kind, elapsed, error_code)
-        return self._answer(conn, frame)
+        if not traced:
+            return self._answer(conn, frame)
+        write_start = time.perf_counter()
+        ok = self._answer(conn, frame)
+        _trace.add_span("wire.write", time.perf_counter() - write_start)
+        return ok
+
+    @staticmethod
+    def _handle_adopted(session, request, parent) -> object:
+        with _trace.adopt(parent):
+            return session.handle(request)
 
     def _answer(self, conn: socket.socket, frame: dict) -> bool:
         try:
@@ -517,6 +610,27 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         metavar="SECONDS",
         help="group-commit coalescing window for data writes",
     )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable request tracing (trace ring, slow-query log,"
+        " span histograms)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log the span tree of any request slower than MS"
+        " milliseconds (0 logs everything)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus-style GET /metrics endpoint on PORT",
+    )
     args = parser.parse_args(argv)
 
     scopes = []
@@ -540,10 +654,19 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         max_connections=args.max_connections,
         mvcc=not args.no_mvcc,
         batch_window=args.batch_window,
+        tracing=not args.no_tracing,
+        slow_query_threshold=(
+            args.slow_query_ms / 1e3
+            if args.slow_query_ms is not None
+            else None
+        ),
+        metrics_port=args.metrics_port,
     )
     host, port = server.start()
     names = ", ".join(s.scope_name for s in scopes) or "(empty catalog)"
     print(f"repro server on {host}:{port} serving {names}")
+    if args.metrics_port is not None:
+        print(f"metrics on http://{host}:{args.metrics_port}/metrics")
     try:
         server.serve_forever()
     finally:

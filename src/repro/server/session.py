@@ -50,9 +50,10 @@ _READ_COMMANDS = {
 class ServerSession:
     """One connection's state: a private shell session plus dispatch."""
 
-    def __init__(self, shared_scopes, metrics=None):
+    def __init__(self, shared_scopes, metrics=None, obs=None):
         self.session = Session(list(shared_scopes))
         self._metrics = metrics
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # Classification
@@ -127,7 +128,57 @@ class ServerSession:
         )
         snapshot["plan_cache"] = self._plan_cache_totals()
         snapshot["commits"] = self._commit_totals()
+        snapshot["views"] = self._view_stats()
         return snapshot
+
+    def _op_traces(self, request: dict):
+        """Recent traces from the server's ring (``slow`` selects the
+        slow-query log instead; ``trace_id`` fetches one trace)."""
+        if self._obs is None:
+            return {"traces": []}
+        limit = request.get("limit")
+        limit = limit if isinstance(limit, int) and limit >= 0 else 20
+        if request.get("slow"):
+            return {"slow": self._obs.slow_log.entries(limit)}
+        trace_id = request.get("trace_id")
+        if isinstance(trace_id, str):
+            found = self._obs.ring.find(trace_id)
+            return {"traces": [found] if found is not None else []}
+        return {"traces": self._obs.ring.recent(limit)}
+
+    def _op_metrics(self, request: dict):
+        """The Prometheus-style text exposition, in a JSON frame."""
+        from ..obs.export import render_prometheus
+
+        catalog = self.session.catalog
+        return {
+            "text": render_prometheus(
+                [catalog.get(name) for name in catalog.names()],
+                self._metrics,
+                self._obs.histograms if self._obs is not None else None,
+            )
+        }
+
+    def _op_explain(self, request: dict):
+        """EXPLAIN ANALYZE a query server-side (its spans land in the
+        session's scope, its text report in the reply)."""
+        from ..obs.explain import explain_analyze
+
+        query = request.get("query")
+        if not isinstance(query, str):
+            raise ProtocolError("explain requires a string 'query'")
+        name = request.get("database")
+        if name is not None:
+            if not isinstance(name, str):
+                raise ProtocolError("'database' must be a string")
+            scope = self.session.catalog.get(name)
+        else:
+            scope = self.session.current
+            if scope is None:
+                raise ProtocolError(
+                    "explain requires a 'database' (no current scope)"
+                )
+        return {"output": explain_analyze(query, scope)}
 
     def _plan_cache_totals(self) -> dict:
         """Plan-cache counters summed over this connection's scopes
@@ -144,6 +195,17 @@ class ServerSession:
         return aggregate_commit_stats(
             catalog.get(name) for name in catalog.names()
         )
+
+    def _view_stats(self) -> dict:
+        """Per-scope :class:`~repro.core.stats.ViewStats` snapshots
+        (including ``invalidations_by_class``), keyed by scope name."""
+        catalog = self.session.catalog
+        out = {}
+        for name in catalog.names():
+            stats = getattr(catalog.get(name), "stats", None)
+            if stats is not None and hasattr(stats, "invalidations_by_class"):
+                out[name] = stats.snapshot()
+        return out
 
     def _op_create(self, request: dict):
         scope, cls = self._mutable_scope(request, need_class=True)
@@ -232,6 +294,9 @@ class ServerSession:
         "execute": _op_execute,
         "databases": _op_databases,
         "stats": _op_stats,
+        "traces": _op_traces,
+        "metrics": _op_metrics,
+        "explain": _op_explain,
         "create": _op_create,
         "update": _op_update,
         "delete": _op_delete,

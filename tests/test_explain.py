@@ -1,0 +1,104 @@
+"""Tests for EXPLAIN ANALYZE (repro.obs.explain and the `.explain` CLI)."""
+
+import pytest
+
+from repro.cli import Session
+from repro.obs import trace
+from repro.obs.explain import explain_analyze
+
+
+class TestExplainAnalyze:
+    def test_scan_query_report(self, tiny_db):
+        out = explain_analyze(
+            "select P.Name from Person where P.Income > 5000", tiny_db
+        )
+        assert out.startswith("EXPLAIN ANALYZE")
+        assert (
+            "query: select P.Name from P in Person"
+            " where P.Income > 5000" in out
+        )
+        assert "plan cache: " in out
+        assert "P.Income > 5000" in out
+        assert "-> scan filter" in out
+        assert "rows: 2" in out
+        assert "spans:" in out
+        assert "execute" in out
+
+    def test_index_probe_vs_residual_conjuncts(self, tiny_db):
+        tiny_db.create_index("Person", "City")
+        out = explain_analyze(
+            "select P.Name from Person"
+            " where P.City = 'Paris' and P.Age >= 31",
+            tiny_db,
+        )
+        assert "-> index probe (Person.City index)" in out
+        assert "-> residual filter" in out
+        assert "index_probe" in out
+        assert "scanned=" in out and "returned=" in out
+
+    def test_range_probe_conjunct(self, tiny_db):
+        tiny_db.create_ordered_index("Person", "Age")
+        out = explain_analyze(
+            "select P.Name from Person where P.Age >= 30", tiny_db
+        )
+        assert "range probe bound (Person.Age ordered index)" in out
+
+    def test_plan_cache_verdict_flips_to_hit(self, tiny_db):
+        query = "select P.Name from Person where P.Sex = 'female'"
+        first = explain_analyze(query, tiny_db)
+        second = explain_analyze(query, tiny_db)
+        assert "plan cache: miss (compiled now)" in first
+        assert "plan cache: hit" in second
+
+    def test_tracing_is_deactivated_afterwards(self, tiny_db):
+        explain_analyze("select P from Person", tiny_db)
+        assert not trace.ENABLED
+
+    def test_virtual_attribute_eval_counts(self, tiny_db):
+        session = Session([tiny_db])
+        session.execute(
+            """
+            create view V;
+            import all classes from database Staff;
+            class Adult includes (select P from Person where P.Age >= 21);
+            attribute Label in class Adult has value
+                self.Name + '/' + self.City;
+            """
+        )
+        out = explain_analyze(
+            "select A.Label from A in Adult", session.current
+        )
+        assert "virtual attributes (computed per §2):" in out
+        assert "Adult.Label: 4 eval(s)" in out
+        assert "virtual_attr.eval ×4" in out
+        assert "population.recompute" in out
+        assert "rows: 4" in out
+
+
+class TestExplainCommand:
+    @pytest.fixture
+    def session(self, tiny_db):
+        return Session([tiny_db])
+
+    def test_dot_explain_runs_explain_analyze(self, session, tiny_db):
+        tiny_db.create_index("Person", "City")
+        out = session.execute(
+            ".explain select P from Person where P.City = 'Paris'"
+        )
+        assert "EXPLAIN ANALYZE" in out
+        assert "index probe" in out
+
+    def test_dot_explain_over_specialization_class(self, session):
+        session.execute(
+            """
+            create view V;
+            import all classes from database Staff;
+            class Adult includes (select P from Person where P.Age >= 21);
+            attribute Label in class Adult has value
+                self.Name + '/' + self.City;
+            """
+        )
+        out = session.execute(".explain select A.Label from A in Adult")
+        assert "plan cache: " in out
+        assert "Adult.Label" in out
+        assert "eval(s)" in out

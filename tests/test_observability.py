@@ -1,0 +1,256 @@
+"""Tests for the tracing core and its collectors (repro.obs)."""
+
+import threading
+
+import pytest
+
+from repro.bench import stats_table
+from repro.obs import trace
+from repro.obs.collect import (
+    Observability,
+    SlowQueryLog,
+    SpanHistogramSet,
+    TraceRing,
+)
+from repro.obs.export import render_prometheus
+from repro.obs.render import render_trace
+from repro.server.metrics import LatencyReservoir, ServerMetrics
+
+
+@pytest.fixture
+def active_trace():
+    """Tracing armed plus a live trace on the test thread."""
+    trace.activate()
+    try:
+        with trace.trace_context("test-root", op="test") as t:
+            yield t
+    finally:
+        trace.deactivate()
+
+
+class TestTraceCore:
+    def test_disabled_span_is_shared_noop(self):
+        assert trace.span("plan") is trace.NOOP
+        assert trace.current_trace() is None
+
+    def test_armed_without_context_is_still_noop(self):
+        trace.activate()
+        try:
+            assert trace.span("plan") is trace.NOOP
+        finally:
+            trace.deactivate()
+
+    def test_activation_is_refcounted(self):
+        trace.activate()
+        trace.activate()
+        trace.deactivate()
+        assert trace.ENABLED
+        trace.deactivate()
+        assert not trace.ENABLED
+
+    def test_nested_spans_build_a_tree(self, active_trace):
+        with trace.span("plan", verdict="hit"):
+            with trace.span("compile"):
+                pass
+        root = active_trace.root
+        assert [c.name for c in root.children] == ["plan"]
+        plan = root.children[0]
+        assert plan.attrs["verdict"] == "hit"
+        assert [c.name for c in plan.children] == ["compile"]
+
+    def test_span_records_durations_and_errors(self, active_trace):
+        with pytest.raises(ValueError):
+            with trace.span("execute"):
+                raise ValueError("boom")
+        span = active_trace.root.children[0]
+        assert span.attrs["error"] == "ValueError"
+        assert span.duration >= 0.0
+
+    def test_add_span_attaches_external_duration(self, active_trace):
+        trace.add_span("wire.read", 0.5, bytes=12)
+        span = active_trace.root.children[0]
+        assert span.name == "wire.read"
+        assert span.duration == 0.5
+
+    def test_coalesced_spans_merge_per_parent(self, active_trace):
+        for _ in range(10):
+            with trace.span(
+                "virtual_attr.eval", attribute="A", **{"class": "C"}
+            ):
+                pass
+        children = active_trace.root.children
+        assert len(children) == 1
+        assert children[0].count == 10
+        as_dict = children[0].to_dict()
+        assert as_dict["count"] == 10
+
+    def test_span_cap_coalesces_everything(self):
+        trace.activate()
+        try:
+            with trace.trace_context("cap") as t:
+                for _ in range(trace.SPAN_CAP + 50):
+                    with trace.span("execute"):
+                        pass
+            assert t.span_count <= trace.SPAN_CAP + 1
+        finally:
+            trace.deactivate()
+
+    def test_trace_context_nests_and_restores(self):
+        trace.activate()
+        try:
+            with trace.trace_context("outer") as outer:
+                with trace.trace_context("inner") as inner:
+                    with trace.span("plan"):
+                        pass
+                assert trace.current_trace() is outer
+            assert inner.root.children[0].name == "plan"
+            assert outer.root.children == []
+        finally:
+            trace.deactivate()
+
+    def test_client_supplied_trace_id_is_adopted(self):
+        trace.activate()
+        try:
+            with trace.trace_context("request", trace_id="client-7") as t:
+                pass
+            assert t.trace_id == "client-7"
+        finally:
+            trace.deactivate()
+
+    def test_adopt_runs_block_on_foreign_trace(self):
+        trace.activate()
+        try:
+            with trace.trace_context("requester") as t:
+                pass  # closed: simulates a follower's parked trace
+
+            def leader():
+                with trace.adopt(t):
+                    trace.add_span("commit.install", 0.0)
+
+            worker = threading.Thread(target=leader)
+            worker.start()
+            worker.join()
+            assert t.root.children[0].name == "commit.install"
+        finally:
+            trace.deactivate()
+
+    def test_to_dict_shape(self, active_trace):
+        with trace.span("plan"):
+            pass
+        exported = active_trace.to_dict()
+        assert exported["trace_id"] == active_trace.trace_id
+        assert exported["root"]["name"] == "test-root"
+        assert exported["root"]["attrs"] == {"op": "test"}
+        rendered = render_trace(exported)
+        assert "plan" in rendered and exported["trace_id"] in rendered
+
+
+class TestCollectors:
+    def _trace_dict(self, duration_ms=5.0, trace_id="t1"):
+        return {
+            "trace_id": trace_id,
+            "ts": 0.0,
+            "duration_ms": duration_ms,
+            "root": {
+                "name": "request",
+                "ms": duration_ms,
+                "attrs": {"op": "execute", "line": "select …"},
+                "children": [
+                    {"name": "plan", "ms": 0.1, "attrs": {"plan": "scan"}},
+                    {"name": "virtual_attr.eval", "ms": 2.0, "count": 4},
+                ],
+            },
+        }
+
+    def test_ring_is_bounded_and_searchable(self):
+        ring = TraceRing(capacity=3)
+        for i in range(5):
+            ring.append(self._trace_dict(trace_id=f"t{i}"))
+        assert len(ring) == 3
+        assert ring.total_recorded == 5
+        assert ring.find("t4")["trace_id"] == "t4"
+        assert ring.find("t0") is None
+        assert [t["trace_id"] for t in ring.recent(2)] == ["t3", "t4"]
+
+    def test_slow_log_threshold(self):
+        log = SlowQueryLog(threshold=0.004)
+        assert not log.offer(self._trace_dict(duration_ms=3.0))
+        assert log.offer(self._trace_dict(duration_ms=5.0))
+        entry = log.entries()[-1]
+        assert entry["op"] == "execute"
+        assert entry["statement"] == "select …"
+        assert entry["plan"] == "scan"
+
+    def test_slow_log_none_disables_zero_logs_all(self):
+        assert not SlowQueryLog(threshold=None).offer(self._trace_dict())
+        log = SlowQueryLog(threshold=0)
+        assert log.offer(self._trace_dict(duration_ms=0.0))
+
+    def test_histograms_fold_coalesced_counts(self):
+        hists = SpanHistogramSet(buckets=(0.001, 0.01))
+        hists.observe_trace(self._trace_dict())
+        snap = hists.snapshot()
+        # The ×4 coalesced span contributes 4 observations of its mean.
+        assert snap["virtual_attr.eval"].count == 4
+        assert snap["virtual_attr.eval"].sum == pytest.approx(0.002)
+        assert snap["plan"].count == 1
+        assert snap["request"].cumulative()[-1] == 1
+
+    def test_observability_bundle_records_everywhere(self):
+        obs = Observability(ring_capacity=4, slow_threshold=0)
+        obs.record(self._trace_dict())
+        assert len(obs.ring) == 1
+        assert len(obs.slow_log) == 1
+        assert "plan" in obs.histograms.snapshot()
+
+
+class TestPrometheusExport:
+    def test_renders_view_server_and_histogram_families(self, tiny_view):
+        metrics = ServerMetrics()
+        metrics.record_request("execute", "read", 0.01)
+        hists = SpanHistogramSet(buckets=(0.001,))
+        hists.observe("plan", 0.0005)
+        page = render_prometheus([tiny_view], metrics, hists)
+        assert "repro_view_population_requests_total" in page
+        assert 'repro_server_requests_total{op="execute"} 1' in page
+        assert 'repro_span_duration_seconds_bucket{le="0.001",span="plan"} 1' in page
+        assert page.endswith("\n")
+
+    def test_invalidations_by_class_exported(self, tiny_db, tiny_view):
+        tiny_db.update(tiny_db.handles("Person")[0], "Age", 31)
+        page = render_prometheus([tiny_view])
+        assert "repro_view_invalidations_total" in page
+        assert 'class="Person"' in page
+
+
+class TestLatencyReservoirSeeding:
+    def test_reservoirs_do_not_evict_in_lockstep(self):
+        # Regression: every reservoir used random.Random(0), so the
+        # read and write reservoirs drew identical slot sequences and
+        # sampled identical positions from identical streams.
+        a = LatencyReservoir(cap=16)
+        b = LatencyReservoir(cap=16)
+        for i in range(600):
+            a.record(float(i))
+            b.record(float(i))
+        assert a._sample != b._sample
+
+    def test_explicit_seed_is_reproducible(self):
+        a = LatencyReservoir(cap=16, seed=7)
+        b = LatencyReservoir(cap=16, seed=7)
+        for i in range(600):
+            a.record(float(i))
+            b.record(float(i))
+        assert a._sample == b._sample
+
+
+class TestStatsTable:
+    def test_stats_table_has_invalidations_column(self, tiny_db, tiny_view):
+        tiny_db.update(tiny_db.handles("Person")[0], "Age", 31)
+        tiny_db.update(tiny_db.handles("Person")[1], "Age", 36)
+        table = stats_table(tiny_view)
+        rendered = table.render()
+        assert "invalidations" in rendered
+        total = sum(tiny_view.stats.invalidations_by_class.values())
+        assert table.rows[0][-1] == f"{total:,}"
+        assert any("invalidations from" in note for note in table.notes)

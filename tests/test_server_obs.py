@@ -1,0 +1,178 @@
+"""Wire-level observability tests: trace propagation, the traces /
+metrics / explain ops, and the slow-query log."""
+
+import time
+import urllib.request
+
+import pytest
+
+from repro.server import Client, ViewServer
+from repro.workloads import build_people_db
+
+
+def _wait_for(condition, timeout=2.0):
+    """The server records a trace just *after* answering, so a client
+    can observe its response before the ring does — poll briefly."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = condition()
+        if value:
+            return value
+        time.sleep(0.01)
+    return condition()
+
+
+@pytest.fixture
+def server():
+    srv = ViewServer(
+        [build_people_db(20, seed=1)],
+        slow_query_threshold=0,  # log every request
+    )
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with Client(host, port) as c:
+        yield c
+
+
+def _span_names(span_dict, into=None):
+    names = set() if into is None else into
+    names.add(span_dict.get("name"))
+    for child in span_dict.get("children", ()):
+        _span_names(child, names)
+    return names
+
+
+class TestTracePropagation:
+    def test_client_trace_id_reaches_the_server_ring(self, server, client):
+        client.call("execute", line="select P from Person", trace="abc-123")
+        found = _wait_for(lambda: server.obs.ring.find("abc-123"))
+        assert found is not None
+        names = _span_names(found["root"])
+        assert "wire.read" in names and "plan" in names
+
+    def test_client_level_trace_id_tags_every_request(self, server):
+        host, port = server.address
+        with Client(host, port, trace="session-9") as c:
+            c.execute("select P from Person")
+            c.ping()
+        def tagged():
+            return [
+                t
+                for t in server.obs.ring.recent()
+                if t["trace_id"] == "session-9"
+            ]
+
+        assert _wait_for(lambda: len(tagged()) == 2), tagged()
+
+    def test_trace_id_lands_in_the_slow_query_log(self, server, client):
+        client.call("execute", line="select P from Person", trace="slow-1")
+        assert _wait_for(
+            lambda: "slow-1"
+            in [e["trace_id"] for e in server.obs.slow_log.entries()]
+        )
+        entry = next(
+            e for e in server.obs.slow_log.entries()
+            if e["trace_id"] == "slow-1"
+        )
+        assert entry["op"] == "execute"
+        assert entry["statement"] == "select P from Person"
+
+    def test_acceptance_trace_covers_all_layers(self, server):
+        """A client-initiated trace id collects wire, plan, population
+        and commit spans server-side."""
+        host, port = server.address
+        with Client(host, port, trace="acceptance-1") as c:
+            c.execute("create view V;")
+            c.execute("import all classes from database Staff;")
+            c.execute(
+                "class Adult includes"
+                " (select P from Person where P.Age >= 21);"
+            )
+            c.execute("select A from Adult")
+            oid = c.create("Staff", "Person", {"Name": "Zed", "Age": 44})
+            c.update("Staff", oid, "Age", 45)
+        def names():
+            collected = set()
+            for t in server.obs.ring.recent():
+                if t["trace_id"] == "acceptance-1":
+                    _span_names(t["root"], collected)
+            return collected
+
+        wanted = {"wire.read", "wire.write", "plan",
+                  "population.recompute", "commit.install"}
+        assert _wait_for(lambda: wanted <= names()), wanted - names()
+
+    def test_untraced_server_records_nothing(self):
+        srv = ViewServer([build_people_db(10, seed=2)], tracing=False)
+        host, port = srv.start()
+        try:
+            with Client(host, port) as c:
+                c.execute("select P from Person")
+                assert c.traces() == []
+        finally:
+            srv.stop()
+        assert len(srv.obs.ring) == 0
+
+
+class TestObservabilityOps:
+    def test_traces_op_returns_recent_and_by_id(self, client):
+        client.call("execute", line="select P from Person", trace="find-me")
+        recent = client.traces()
+        assert any(t["trace_id"] == "find-me" for t in recent)
+        only = client.traces(trace_id="find-me")
+        assert len(only) == 1 and only[0]["trace_id"] == "find-me"
+        assert client.traces(trace_id="nope") == []
+
+    def test_traces_op_slow_selector(self, client):
+        client.execute("select P from Person")
+        slow = client.traces(slow=True)
+        assert slow and all("duration_ms" in e for e in slow)
+
+    def test_metrics_op_exposes_prometheus_text(self, client):
+        client.execute("select P from Person")
+        text = client.metrics_text()
+        assert "repro_server_requests_total" in text
+        assert "repro_span_duration_seconds_bucket" in text
+
+    def test_explain_op(self, client):
+        out = client.explain(
+            "select P from Person where P.Age >= 21", database="Staff"
+        )
+        assert "EXPLAIN ANALYZE" in out
+        assert "plan cache: " in out
+
+    def test_stats_op_surfaces_view_invalidations(self, server):
+        host, port = server.address
+        with Client(host, port) as c:
+            c.execute("create view V;")
+            c.execute("import all classes from database Staff;")
+            oid = c.create("Staff", "Person", {"Name": "Flo", "Age": 28})
+            c.update("Staff", oid, "Age", 29)
+            views = c.stats()["views"]
+            assert views["V"]["invalidations_by_class"]["Person"] >= 2
+
+
+class TestMetricsHTTP:
+    def test_get_metrics_over_http(self):
+        srv = ViewServer([build_people_db(10, seed=3)], metrics_port=0)
+        srv.start()
+        try:
+            host, port = srv._metrics_http.address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=5
+            ) as response:
+                assert response.status == 200
+                body = response.read().decode("utf-8")
+            assert "repro_server_connections_total" in body
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/other", timeout=5
+                )
+        finally:
+            srv.stop()

@@ -1,0 +1,44 @@
+"""Golden-file tests for the ``repro trace`` subcommand."""
+
+import json
+import pathlib
+
+from repro.cli import main
+from repro.obs.collect import TraceRing
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+
+def test_trace_matches_golden(capsys):
+    status = main(["trace", str(DATA / "trace_sample.jsonl")])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert out == (DATA / "trace_golden.txt").read_text()
+
+
+def test_trace_missing_file_fails(capsys):
+    status = main(["trace", str(DATA / "no_such_dump.jsonl")])
+    assert status == 1
+    assert "cannot open" in capsys.readouterr().out
+
+
+def test_trace_bad_json_line_fails_but_renders_rest(tmp_path, capsys):
+    sample = (DATA / "trace_sample.jsonl").read_text().splitlines()
+    dump = tmp_path / "dump.jsonl"
+    dump.write_text(sample[0] + "\n{not json}\n" + sample[1] + "\n")
+    status = main(["trace", str(dump)])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "line 2: not valid JSON" in out
+    assert "trace t000042" in out and "trace t000043" in out
+
+
+def test_ring_dump_round_trips_through_the_cli(tmp_path, capsys):
+    ring = TraceRing(capacity=8)
+    for line in (DATA / "trace_sample.jsonl").read_text().splitlines():
+        ring.append(json.loads(line))
+    dump = tmp_path / "ring.jsonl"
+    assert ring.dump_jsonl(str(dump)) == 2
+    status = main(["trace", str(dump)])
+    assert status == 0
+    assert capsys.readouterr().out == (DATA / "trace_golden.txt").read_text()

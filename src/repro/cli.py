@@ -42,7 +42,15 @@ Dot commands:
   .explain QUERY      EXPLAIN ANALYZE: run the query under tracing and
                       show the plan, per-conjunct access paths, row
                       counts, virtual-attribute evals and span timings
-  .stats [reset]      maintenance, plan and commit counters of the scope
+  .stats [reset]      maintenance, plan, commit, version and storage
+                      counters of the scope
+  .begin              start a transaction on the current database
+  .commit             commit the open transaction
+  .abort              abort the open transaction (undo everything)
+  .savepoint NAME     set a named savepoint inside the transaction
+  .rollback NAME      undo back to a savepoint (which stays set)
+  .release NAME       forget a savepoint, keeping its changes
+  .checkpoint         force a storage checkpoint (paged databases)
   .load FILE          execute a script file
   .quit               leave the shell"""
 
@@ -116,6 +124,22 @@ class Session:
             return explain_analyze(argument, scope)
         if command == ".stats":
             return self._stats(argument)
+        if command in (
+            ".begin", ".commit", ".abort",
+            ".savepoint", ".rollback", ".release",
+        ):
+            return self._txn_command(command, argument)
+        if command == ".checkpoint":
+            scope = self._require_scope()
+            storage = getattr(scope, "storage", None)
+            if storage is None:
+                return "error: current scope has no paged storage"
+            info = storage.checkpoint()
+            return (
+                f"checkpoint {info['checkpoint_id']}:"
+                f" {info['pages']} page(s),"
+                f" journal tail {info['tail_batches']} batch(es)"
+            )
         if command == ".load":
             with open(argument) as f:
                 return self._statements(f.read())
@@ -149,8 +173,11 @@ class Session:
     def _stats(self, argument: str) -> str:
         from .engine.versions import (
             aggregate_commit_stats,
+            aggregate_version_stats,
             commit_stats_sources,
             describe_commit_totals,
+            describe_version_totals,
+            version_stats_sources,
         )
 
         scope = self._require_scope()
@@ -162,17 +189,85 @@ class Session:
             cache.reset_counters()
             for source in commit_stats_sources(scope):
                 source.reset()
+            for registry in version_stats_sources(scope):
+                registry.reset()
+            storage = getattr(scope, "storage", None)
+            if storage is not None:
+                storage.buffer.stats.reset()
             return "stats reset"
         commit_totals = aggregate_commit_stats([scope])
         if stats is not None:
             # Views: ViewStats carries the plan counters and, merged
             # here, the commit counters of the underlying databases.
             stats.merge_commit_stats(commit_totals)
-            return stats.describe()
-        output = cache.describe()
-        if any(commit_totals.values()):
-            output += f"\n{describe_commit_totals(commit_totals)}"
+            output = stats.describe()
+        else:
+            output = cache.describe()
+            if any(commit_totals.values()):
+                output += f"\n{describe_commit_totals(commit_totals)}"
+        version_totals = aggregate_version_stats([scope])
+        if any(version_totals.values()):
+            output += f"\n{describe_version_totals(version_totals)}"
+        storage = getattr(scope, "storage", None)
+        if storage is not None:
+            output += f"\n{self._describe_storage(storage)}"
         return output
+
+    @staticmethod
+    def _describe_storage(storage) -> str:
+        blocks = storage.storage_stats()
+        buf, disk, ckpt = (
+            blocks["buffer"], blocks["disk"], blocks["checkpoint"]
+        )
+        return "\n".join(
+            [
+                f"buffer pool:        {buf['pages_in_pool']}/"
+                f"{buf['capacity']} pages"
+                f" (hits {buf['hits']}, misses {buf['misses']},"
+                f" evictions {buf['evictions']},"
+                f" dirty flushes {buf['dirty_flushes']})",
+                f"page file:          {disk['file_pages']} pages"
+                f" ({disk['page_reads']} reads,"
+                f" {disk['page_writes']} writes,"
+                f" {disk['free_pages']} free)",
+                f"checkpoints:        {ckpt['checkpoints_taken']}"
+                f" (id {ckpt['checkpoint_id']},"
+                f" journal tail {ckpt['journal_tail_batches']} batches,"
+                f" replayed on open {ckpt['replayed_on_open']})",
+            ]
+        )
+
+    def _txn_command(self, command: str, argument: str) -> str:
+        scope = self._require_scope()
+        manager = getattr(scope, "txn_manager", None)
+        if manager is None:
+            if not hasattr(scope, "begin_batch"):
+                return "error: transactions need a database scope"
+            from .storage.transactions import TransactionManager
+
+            manager = TransactionManager(scope)
+        if command == ".begin":
+            txn = manager.begin()
+            return f"transaction {txn.txid} started"
+        txn = manager.current
+        if txn is None:
+            return "error: no open transaction (use .begin)"
+        if command == ".commit":
+            txn.commit()
+            return f"transaction {txn.txid} committed"
+        if command == ".abort":
+            txn.abort()
+            return f"transaction {txn.txid} aborted"
+        if not argument:
+            return f"error: {command} needs a savepoint name"
+        if command == ".savepoint":
+            txn.savepoint(argument)
+            return f"savepoint {argument}"
+        if command == ".rollback":
+            txn.rollback_to(argument)
+            return f"rolled back to {argument}"
+        txn.release(argument)
+        return f"released {argument}"
 
     def _query(self, text: str) -> str:
         scope = self._require_scope()

@@ -47,7 +47,7 @@ from .oid import EMPTY_OID_SET, Oid, OidGenerator, OidSet
 from .schema import AttributeDef, ClassKind, Schema
 from .tracking import ACTIVE_TRACKERS, ScopePins, record_extent_read
 from .values import require_conforms
-from .versions import CommitStats, DatabaseSnapshot
+from .versions import CommitStats, DatabaseSnapshot, VersionRegistry
 
 
 class Database(Scope):
@@ -82,6 +82,7 @@ class Database(Scope):
         self._batch_ops = 0
         self._pins = ScopePins()
         self.mvcc = CommitStats()
+        self.versions = VersionRegistry(name)
 
     # ------------------------------------------------------------------
     # Indexes
@@ -169,7 +170,22 @@ class Database(Scope):
                     # them where the lock-free fast path could hand
                     # them to another thread.
                     self._current_snapshot = snap
+                    self.versions.published(snap)
             return snap
+
+    def capture_snapshot(self) -> DatabaseSnapshot:
+        """A freshly materialized snapshot of the live state, bypassing
+        the cache.
+
+        The storage checkpointer calls this *mid-commit* (from the
+        journal's post-batch hook, where the cached snapshot may
+        predate the batch being committed): it must see every mutation
+        applied so far, exactly matching what the journal holds. The
+        snapshot is not cached and not registered as a published
+        version — it exists only for the checkpoint writer to stream.
+        """
+        with self._commit_lock:
+            return self._publish()
 
     def _publish(self) -> DatabaseSnapshot:
         self._objects_shared = True
@@ -208,13 +224,19 @@ class Database(Scope):
         unaffected.
         """
         snapshot = self._pins.current()
-        if snapshot is None:
+        outermost = snapshot is None
+        if outermost:
             snapshot = self.snapshot()
+            # Only the outermost pin counts: nested read_views share
+            # the same frozen version.
+            self.versions.pin(snapshot)
         previous = self._pins.push(snapshot)
         try:
             yield snapshot
         finally:
             self._pins.restore(previous)
+            if outermost:
+                self.versions.unpin(snapshot)
 
     def _acquire_commit_lock(self) -> None:
         """Acquire the commit lock, recording the wait as a
@@ -307,6 +329,10 @@ class Database(Scope):
     def _install(self, ops: int) -> None:
         """Install a new version: O(1) — bump and invalidate. The next
         snapshot() materializes the version lazily."""
+        if self._current_snapshot is not None:
+            # The cached snapshot is now an old version; the registry
+            # reclaims it immediately unless a reader has it pinned.
+            self.versions.superseded(self._current_snapshot)
         self._store_version += 1
         self._current_snapshot = None
         self.mvcc.record_install(ops)
@@ -549,7 +575,7 @@ class Database(Scope):
             del self._writable_objects()[oid]
             self._writable_extent(obj.class_name).discard(oid)
             self._events.publish(
-                ObjectDeleted(self._name, obj.class_name, oid)
+                ObjectDeleted(self._name, obj.class_name, oid, obj.value)
             )
             self._commit()
 

@@ -40,6 +40,10 @@ class ObjectUpdated(Event):
 class ObjectDeleted(Event):
     class_name: str
     oid: Oid
+    # Pre-image of the deleted object's stored value: what transaction
+    # changesets restore on rollback. ``None`` only for synthetic
+    # events constructed outside the database.
+    value: object = None
 
 
 @dataclass(frozen=True)

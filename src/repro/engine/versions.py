@@ -152,6 +152,161 @@ def describe_commit_totals(totals: Dict[str, int]) -> str:
     )
 
 
+class VersionRegistry:
+    """Tracks published snapshot versions and reclaims unpinned ones.
+
+    Copy-on-write sharing means every published version retains the
+    object table, extents and index state it froze until nothing
+    references it. This registry makes that lifetime explicit: a
+    version is *published* when the database caches its snapshot,
+    *pinned* while a ``read_view`` on some thread answers reads from
+    it, and *superseded* when a later version installs. A superseded
+    version is **reclaimed** — the registry drops its reference and
+    counts it — as soon as its last pin is released (immediately, if it
+    was never pinned). Live/pinned/retained counts are surfaced through
+    ``.stats``, the server ``stats`` op and the Prometheus export.
+
+    Snapshots materialized outside the cache (mid-batch reads, the
+    checkpointer's :meth:`Database.capture_snapshot`) are deliberately
+    not registered: their lifetime belongs to their caller.
+    """
+
+    _FIELDS = (
+        "versions_published",
+        "versions_reclaimed",
+        "versions_live",
+        "pinned_readers",
+        "retained_objects",
+        "retained_bytes_estimate",
+    )
+
+    # Nominal per-object retention cost (table slot + extent membership
+    # + value dict header) used for the bytes estimate; the point is
+    # the trend, not the exact heap size.
+    _BYTES_PER_OBJECT = 128
+
+    def __init__(self, name: str):
+        self._name = name
+        self._lock = threading.Lock()
+        # version -> [snapshot, pin_count, superseded?]
+        self._entries: Dict[int, list] = {}
+        self.versions_published = 0
+        self.versions_reclaimed = 0
+
+    def published(self, snap: "DatabaseSnapshot") -> None:
+        with self._lock:
+            if snap.version in self._entries:
+                return
+            self._entries[snap.version] = [snap, 0, False]
+            self.versions_published += 1
+
+    def superseded(self, snap: "DatabaseSnapshot") -> None:
+        """A newer version installed; reclaim now if unpinned."""
+        with self._lock:
+            entry = self._entries.get(snap.version)
+            if entry is None:
+                return
+            entry[2] = True
+            if entry[1] == 0:
+                self._reclaim(snap.version)
+
+    def pin(self, snap: "DatabaseSnapshot") -> None:
+        with self._lock:
+            entry = self._entries.get(snap.version)
+            if entry is not None and entry[0] is snap:
+                entry[1] += 1
+
+    def unpin(self, snap: "DatabaseSnapshot") -> None:
+        with self._lock:
+            entry = self._entries.get(snap.version)
+            if entry is None or entry[0] is not snap:
+                return
+            if entry[1] > 0:
+                entry[1] -= 1
+            if entry[1] == 0 and entry[2]:
+                self._reclaim(snap.version)
+
+    def _reclaim(self, version: int) -> None:
+        # Caller holds the lock. Dropping the reference is the
+        # reclamation: with no registry entry and no reader pin, the
+        # frozen object table and extents become collectable.
+        del self._entries[version]
+        self.versions_reclaimed += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            retained = sum(
+                entry[0].object_count()
+                for entry in self._entries.values()
+                if entry[2]
+            )
+            return {
+                "versions_published": self.versions_published,
+                "versions_reclaimed": self.versions_reclaimed,
+                "versions_live": len(self._entries),
+                "pinned_readers": sum(
+                    entry[1] for entry in self._entries.values()
+                ),
+                "retained_objects": retained,
+                "retained_bytes_estimate": retained * self._BYTES_PER_OBJECT,
+            }
+
+    def live_versions(self) -> List[int]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def reset(self) -> None:
+        """Reset the monotone counters (live entries are kept)."""
+        with self._lock:
+            self.versions_published = len(self._entries)
+            self.versions_reclaimed = 0
+
+
+def version_stats_sources(
+    scope, _seen: Optional[set] = None
+) -> List[VersionRegistry]:
+    """Every :class:`VersionRegistry` reachable from a scope (own, or
+    the providers' for views — mirroring
+    :func:`commit_stats_sources`)."""
+    if _seen is None:
+        _seen = set()
+    if id(scope) in _seen:
+        return []
+    _seen.add(id(scope))
+    own = getattr(scope, "versions", None)
+    if isinstance(own, VersionRegistry):
+        return [own]
+    found: List[VersionRegistry] = []
+    for provider in getattr(scope, "_providers", ()):
+        found.extend(version_stats_sources(provider, _seen))
+    return found
+
+
+def aggregate_version_stats(scopes) -> Dict[str, int]:
+    """Summed version-GC counters across ``scopes``."""
+    totals = {field: 0 for field in VersionRegistry._FIELDS}
+    seen: set = set()
+    for scope in scopes:
+        for registry in version_stats_sources(scope, seen):
+            for field, value in registry.snapshot().items():
+                totals[field] += value
+    return totals
+
+
+def describe_version_totals(totals: Dict[str, int]) -> str:
+    """Render aggregated version-GC counters in ``.stats`` style."""
+    return "\n".join(
+        [
+            f"versions published: {totals['versions_published']}"
+            f" (live {totals['versions_live']},"
+            f" reclaimed {totals['versions_reclaimed']})",
+            f"pinned readers:     {totals['pinned_readers']}",
+            f"retained objects:   {totals['retained_objects']}"
+            f" (~{totals['retained_bytes_estimate']} bytes)",
+        ]
+    )
+
+
 class DatabaseSnapshot(Scope):
     """One immutable version of a database's stored state.
 

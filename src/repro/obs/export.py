@@ -65,7 +65,7 @@ def render_prometheus(
 
 
 def _render_scopes(scopes: Iterable) -> List[str]:
-    from ..engine.versions import commit_stats_sources
+    from ..engine.versions import commit_stats_sources, version_stats_sources
     from ..query.planner import aggregate_plan_stats
 
     lines: List[str] = []
@@ -74,6 +74,9 @@ def _render_scopes(scopes: Iterable) -> List[str]:
     plan_rows = []
     commit_seen = set()
     commit_rows = []
+    version_seen = set()
+    version_rows = []
+    storage_rows = []
     for scope in scopes:
         name = getattr(scope, "scope_name", "?")
         stats = getattr(scope, "stats", None)
@@ -89,6 +92,14 @@ def _render_scopes(scopes: Iterable) -> List[str]:
                 continue
             commit_seen.add(id(source))
             commit_rows.append((name, source.snapshot()))
+        for registry in version_stats_sources(scope):
+            if id(registry) in version_seen:
+                continue
+            version_seen.add(id(registry))
+            version_rows.append((name, registry.snapshot()))
+        storage = getattr(scope, "storage", None)
+        if storage is not None:
+            storage_rows.append((name, storage.storage_stats()))
 
     if view_rows:
         lines.append(
@@ -151,6 +162,96 @@ def _render_scopes(scopes: Iterable) -> List[str]:
                         event=field,
                     )
                 )
+    if version_rows:
+        lines.append("# TYPE repro_version_events_total counter")
+        for name, snap in version_rows:
+            for field in ("versions_published", "versions_reclaimed"):
+                lines.append(
+                    _line(
+                        "repro_version_events_total",
+                        snap[field],
+                        scope=name,
+                        event=field,
+                    )
+                )
+        lines.append("# TYPE repro_versions_live gauge")
+        for name, snap in version_rows:
+            lines.append(
+                _line("repro_versions_live", snap["versions_live"], scope=name)
+            )
+        lines.append("# TYPE repro_version_pinned_readers gauge")
+        for name, snap in version_rows:
+            lines.append(
+                _line(
+                    "repro_version_pinned_readers",
+                    snap["pinned_readers"],
+                    scope=name,
+                )
+            )
+        lines.append("# TYPE repro_version_retained_bytes gauge")
+        for name, snap in version_rows:
+            lines.append(
+                _line(
+                    "repro_version_retained_bytes",
+                    snap["retained_bytes_estimate"],
+                    scope=name,
+                )
+            )
+    if storage_rows:
+        lines.append("# TYPE repro_buffer_events_total counter")
+        for name, blocks in storage_rows:
+            buf = blocks["buffer"]
+            for event in ("hits", "misses", "evictions", "dirty_flushes"):
+                lines.append(
+                    _line(
+                        "repro_buffer_events_total",
+                        buf[event],
+                        scope=name,
+                        event=event,
+                    )
+                )
+        lines.append("# TYPE repro_buffer_pool_pages gauge")
+        for name, blocks in storage_rows:
+            buf = blocks["buffer"]
+            for state, value in (
+                ("resident", buf["pages_in_pool"]),
+                ("pinned", buf["pinned"]),
+                ("capacity", buf["capacity"]),
+            ):
+                lines.append(
+                    _line(
+                        "repro_buffer_pool_pages",
+                        value,
+                        scope=name,
+                        state=state,
+                    )
+                )
+        lines.append("# TYPE repro_storage_events_total counter")
+        for name, blocks in storage_rows:
+            disk, ckpt = blocks["disk"], blocks["checkpoint"]
+            for event, value in (
+                ("page_reads", disk["page_reads"]),
+                ("page_writes", disk["page_writes"]),
+                ("pages_allocated", disk["pages_allocated"]),
+                ("checkpoints_taken", ckpt["checkpoints_taken"]),
+            ):
+                lines.append(
+                    _line(
+                        "repro_storage_events_total",
+                        value,
+                        scope=name,
+                        event=event,
+                    )
+                )
+        lines.append("# TYPE repro_storage_journal_tail_batches gauge")
+        for name, blocks in storage_rows:
+            lines.append(
+                _line(
+                    "repro_storage_journal_tail_batches",
+                    blocks["checkpoint"]["journal_tail_batches"],
+                    scope=name,
+                )
+            )
     return lines
 
 

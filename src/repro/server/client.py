@@ -170,6 +170,33 @@ class Client:
         result = self.call("batch", database=database, operations=encoded)
         return [wire_decode(oid) for oid in result["applied"]]
 
+    def txn(self, database: str, operations: List[dict]) -> dict:
+        """Run a scripted transaction — begin to commit in one request.
+
+        Descriptors are the ``batch`` shapes plus ``{"op":
+        "savepoint"/"rollback_to"/"release", "name": N}`` and ``{"op":
+        "abort"}``. A ``create`` may carry ``"ref": label``; later
+        operations may then pass ``"oid": {"$ref": label}``. Returns
+        ``{"committed": bool, "oids": {label: Oid}}``.
+        """
+        encoded = []
+        for descriptor in operations:
+            entry = dict(descriptor)
+            if "value" in entry:
+                entry["value"] = wire_encode(entry["value"])
+            oid = entry.get("oid")
+            if isinstance(oid, Oid):
+                entry["oid"] = wire_encode(oid)
+            encoded.append(entry)
+        result = self.call("txn", database=database, operations=encoded)
+        return {
+            "committed": result["committed"],
+            "oids": {
+                ref: wire_decode(oid)
+                for ref, oid in result["oids"].items()
+            },
+        }
+
     # ------------------------------------------------------------------
 
     def close(self) -> None:

@@ -79,8 +79,9 @@ from .session import ServerSession
 _POLL_INTERVAL = 0.2
 
 # Ops that mutate base data only (no catalog rewiring): eligible for
-# group commit under MVCC.
-_DATA_WRITE_OPS = frozenset({"create", "update", "delete", "batch"})
+# group commit under MVCC. ``txn`` runs a whole scripted transaction
+# (begin to commit) inside one leader-thread frame.
+_DATA_WRITE_OPS = frozenset({"create", "update", "delete", "batch", "txn"})
 
 
 class _Batch:
@@ -581,9 +582,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
 
     ``--demo`` serves the paper's demo workloads; ``--store PATH``
     serves a persistent database journaled to ``PATH`` (created empty
-    if absent) so mutations survive restarts; with neither, an empty
-    catalog is served (clients can still create views over nothing —
-    mostly useful for smoke tests).
+    if absent) so mutations survive restarts; ``--paged PATH`` serves
+    a checkpointed page-file database instead (restart cost bounded by
+    the redo tail — see ``--checkpoint-every`` and ``--pool-pages``).
+    With none of these, an empty catalog is served (clients can still
+    create views over nothing — mostly useful for smoke tests).
     """
     import argparse
 
@@ -592,6 +595,29 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--demo", action="store_true")
     parser.add_argument("--store", default=None, metavar="PATH")
+    parser.add_argument(
+        "--paged",
+        default=None,
+        metavar="PATH",
+        help="serve a checkpointed page-file database stored at PATH"
+        " (journal redo tail at PATH.journal)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        metavar="N",
+        dest="checkpoint_every",
+        help="checkpoint the paged database every N committed batches",
+    )
+    parser.add_argument(
+        "--pool-pages",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="pool_pages",
+        help="buffer-pool capacity of the paged database, in pages",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7474)
     parser.add_argument(
@@ -646,6 +672,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         store = FileStore(args.store)
         db, _manager = open_persistent(store, name="db")
         scopes.append(db)
+    paged = None
+    if args.paged:
+        from ..storage.checkpoint import PagedDatabase
+
+        kwargs = {"checkpoint_every": args.checkpoint_every or None}
+        if args.pool_pages:
+            kwargs["pool_pages"] = args.pool_pages
+        paged = PagedDatabase(args.paged, name="db", **kwargs)
+        scopes.append(paged.db)
 
     server = ViewServer(
         scopes,
@@ -672,4 +707,6 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     finally:
         if store is not None:
             store.close()
+        if paged is not None:
+            paged.close()
     return 0

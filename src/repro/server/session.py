@@ -26,8 +26,13 @@ from typing import Callable, Dict, Tuple
 
 from ..cli import Session
 from ..engine.oid import Oid
-from ..engine.versions import aggregate_commit_stats, describe_commit_totals
+from ..engine.versions import (
+    aggregate_commit_stats,
+    aggregate_version_stats,
+    describe_commit_totals,
+)
 from ..query.planner import aggregate_plan_stats
+from ..storage.transactions import TxState
 from .protocol import ERR_UNKNOWN_OP, ProtocolError, wire_decode, wire_encode
 
 READ = "read"
@@ -62,7 +67,7 @@ class ServerSession:
         """``read`` or ``write`` — which side of the RW lock this op
         needs."""
         op = request.get("op")
-        if op in ("create", "update", "delete", "batch"):
+        if op in ("create", "update", "delete", "batch", "txn"):
             return WRITE
         if op != "execute":
             return READ
@@ -97,10 +102,26 @@ class ServerSession:
     def _op_ping(self, request: dict):
         return "pong"
 
+    # Interactive transaction commands would leave the database's
+    # commit lock held by whichever thread ran the frame — and the
+    # server executes each write frame on a group-commit leader thread,
+    # so the matching .commit could run on a different thread. Scripted
+    # transactions (the ``txn`` op) run begin-to-commit in one frame.
+    _TXN_COMMANDS = {
+        ".begin", ".commit", ".abort",
+        ".savepoint", ".rollback", ".release",
+    }
+
     def _op_execute(self, request: dict):
         line = request.get("line")
         if not isinstance(line, str):
             raise ProtocolError("execute requires a string 'line'")
+        command = line.strip().split(None, 1)[0] if line.strip() else ""
+        if command in self._TXN_COMMANDS:
+            raise ProtocolError(
+                f"{command} is not available over the wire; send a"
+                " scripted transaction with the 'txn' op instead"
+            )
         output = self.session.execute(line)
         if self._metrics is not None and line.strip() == ".stats":
             plans = self._plan_cache_totals()
@@ -129,6 +150,8 @@ class ServerSession:
         snapshot["plan_cache"] = self._plan_cache_totals()
         snapshot["commits"] = self._commit_totals()
         snapshot["views"] = self._view_stats()
+        snapshot["versions"] = self._version_totals()
+        snapshot["storage"] = self._storage_stats()
         return snapshot
 
     def _op_traces(self, request: dict):
@@ -195,6 +218,24 @@ class ServerSession:
         return aggregate_commit_stats(
             catalog.get(name) for name in catalog.names()
         )
+
+    def _version_totals(self) -> dict:
+        """Version-GC counters summed over the shared databases."""
+        catalog = self.session.catalog
+        return aggregate_version_stats(
+            catalog.get(name) for name in catalog.names()
+        )
+
+    def _storage_stats(self) -> dict:
+        """Per-database storage-engine counters (paged databases
+        only), keyed by scope name."""
+        catalog = self.session.catalog
+        out = {}
+        for name in catalog.names():
+            storage = getattr(catalog.get(name), "storage", None)
+            if storage is not None:
+                out[name] = storage.storage_stats()
+        return out
 
     def _view_stats(self) -> dict:
         """Per-scope :class:`~repro.core.stats.ViewStats` snapshots
@@ -266,6 +307,110 @@ class ServerSession:
         applied = apply_batch(decoded)
         return {"applied": [wire_encode(oid) for oid in applied]}
 
+    def _op_txn(self, request: dict):
+        """Execute a scripted transaction — begin to commit in one
+        frame, with savepoint operations in between.
+
+        ``operations`` entries: ``create`` (optionally with a ``ref``
+        label; later entries may reference the created object with
+        ``{"oid": {"$ref": label}}``), ``update``, ``delete``,
+        ``savepoint``/``rollback_to``/``release`` (with ``name``), and
+        ``abort`` (undo everything and stop). Returns the committed
+        flag and the oids of labelled creates.
+        """
+        scope, _ = self._mutable_scope(request)
+        operations = request.get("operations")
+        if not isinstance(operations, list) or not operations:
+            raise ProtocolError(
+                "txn requires a non-empty list 'operations'"
+            )
+        if not hasattr(scope, "begin_batch"):
+            raise ProtocolError(
+                f"scope {getattr(scope, 'scope_name', '?')!r} does not"
+                " accept transactions (views have no proper data)"
+            )
+        manager = getattr(scope, "txn_manager", None)
+        if manager is None:
+            from ..storage.transactions import TransactionManager
+
+            manager = TransactionManager(scope)
+        refs: Dict[str, Oid] = {}
+        txn = manager.begin()
+        committed = True
+        try:
+            for entry in operations:
+                if not isinstance(entry, dict):
+                    raise ProtocolError(
+                        "each txn operation must be an object"
+                    )
+                kind = entry.get("op")
+                if kind == "create":
+                    cls = entry.get("class")
+                    if not isinstance(cls, str):
+                        raise ProtocolError(
+                            "txn create requires a 'class' name"
+                        )
+                    value = wire_decode(entry.get("value") or {})
+                    handle = scope.create(cls, value)
+                    ref = entry.get("ref")
+                    if isinstance(ref, str):
+                        refs[ref] = handle.oid
+                elif kind == "update":
+                    scope.update(
+                        self._txn_oid(entry, refs),
+                        entry.get("attribute"),
+                        wire_decode(entry.get("value")),
+                    )
+                elif kind == "delete":
+                    scope.delete(self._txn_oid(entry, refs))
+                elif kind == "savepoint":
+                    txn.savepoint(self._txn_name(entry))
+                elif kind == "rollback_to":
+                    txn.rollback_to(self._txn_name(entry))
+                elif kind == "release":
+                    txn.release(self._txn_name(entry))
+                elif kind == "abort":
+                    committed = False
+                    break
+                else:
+                    raise ProtocolError(f"unknown txn op: {kind!r}")
+            if committed:
+                txn.commit()
+            else:
+                txn.abort()
+        except BaseException:
+            if txn.state is TxState.ACTIVE:
+                txn.abort()
+            raise
+        return {
+            "committed": committed,
+            "oids": {ref: wire_encode(oid) for ref, oid in refs.items()},
+        }
+
+    @staticmethod
+    def _txn_name(entry: dict) -> str:
+        name = entry.get("name")
+        if not isinstance(name, str):
+            raise ProtocolError(
+                f"txn {entry.get('op')} requires a savepoint 'name'"
+            )
+        return name
+
+    def _txn_oid(self, entry: dict, refs: Dict[str, Oid]) -> Oid:
+        raw = entry.get("oid")
+        if isinstance(raw, dict) and isinstance(raw.get("$ref"), str):
+            label = raw["$ref"]
+            if label not in refs:
+                raise ProtocolError(f"unknown txn ref: {label!r}")
+            return refs[label]
+        oid = wire_decode(raw)
+        if not isinstance(oid, Oid):
+            raise ProtocolError(
+                "txn operation 'oid' must be {\"$oid\": [space, number]}"
+                " or {\"$ref\": label}"
+            )
+        return oid
+
     # -- helpers -------------------------------------------------------
 
     def _mutable_scope(
@@ -301,4 +446,5 @@ class ServerSession:
         "update": _op_update,
         "delete": _op_delete,
         "batch": _op_batch,
+        "txn": _op_txn,
     }

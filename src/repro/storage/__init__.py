@@ -1,12 +1,16 @@
 """Persistence substrate: codec, record stores, journaling,
-transactions, and whole-database snapshots."""
+transactions, pages, buffer pool, and checkpointed databases."""
 
+from .buffer import BufferManager, BufferStats
+from .checkpoint import PagedDatabase, open_paged
 from .journal import JournalWriter, replay_journal
+from .pages import ChainWriter, DiskManager, read_chain
 from .persistence import (
     compact,
     load_database,
     open_persistent,
     save_database,
+    snapshot_records,
 )
 from .serializer import (
     decode_value,
@@ -15,13 +19,24 @@ from .serializer import (
     type_to_data,
 )
 from .stores import FileStore, MemoryStore, RecordStore
-from .transactions import Transaction, TransactionManager, TxState
+from .transactions import (
+    Savepoint,
+    Transaction,
+    TransactionManager,
+    TxState,
+)
 
 __all__ = [
+    "BufferManager",
+    "BufferStats",
+    "ChainWriter",
+    "DiskManager",
     "FileStore",
     "JournalWriter",
     "MemoryStore",
+    "PagedDatabase",
     "RecordStore",
+    "Savepoint",
     "Transaction",
     "TransactionManager",
     "TxState",
@@ -29,9 +44,12 @@ __all__ = [
     "decode_value",
     "encode_value",
     "load_database",
+    "open_paged",
     "open_persistent",
+    "read_chain",
     "replay_journal",
     "save_database",
+    "snapshot_records",
     "type_from_data",
     "type_to_data",
 ]

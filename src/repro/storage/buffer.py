@@ -1,0 +1,236 @@
+"""The buffer pool: a bounded page cache between the engine and disk.
+
+:class:`BufferManager` keeps up to ``capacity`` page frames in memory.
+Callers *pin* a page to work on it (fetching it from disk on a miss)
+and *unpin* it when done, flagging whether they dirtied it. Unpinned
+frames are eviction candidates in LRU order; evicting a dirty frame
+writes it back first. Pinned frames are never evicted — a caller
+holding a pin can rely on the frame's buffer staying put.
+
+This is what lets checkpoints and restarts stream snapshots bigger
+than memory: a record chain of N pages passes through a pool of K << N
+frames, and the counters (:class:`BufferStats`) make the traffic
+visible in ``.stats``, the server ``stats`` op and the Prometheus
+export.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..errors import StorageError
+from .pages import DiskManager
+
+DEFAULT_POOL_PAGES = 64
+
+
+class Frame:
+    """One in-memory page: its buffer plus pin/dirty bookkeeping."""
+
+    __slots__ = ("pid", "data", "pin_count", "dirty")
+
+    def __init__(self, pid: int, data: bytearray):
+        self.pid = pid
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Frame(pid={self.pid}, pins={self.pin_count},"
+            f" dirty={self.dirty})"
+        )
+
+
+class BufferStats:
+    """Thread-safe counters for one buffer pool."""
+
+    _FIELDS = ("hits", "misses", "evictions", "dirty_flushes")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_flushes = 0
+
+    def record(self, field: str, count: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + count)
+
+    def reset(self) -> None:
+        with self._lock:
+            for field in self._FIELDS:
+                setattr(self, field, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {field: getattr(self, field) for field in self._FIELDS}
+
+
+class BufferManager:
+    """A pinned-page table with LRU eviction of unpinned frames."""
+
+    def __init__(self, disk: DiskManager, capacity: int = DEFAULT_POOL_PAGES):
+        if capacity < 2:
+            raise StorageError(
+                f"buffer pool needs at least 2 frames, got {capacity}"
+            )
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._lock = threading.RLock()
+        # pid -> Frame, in LRU order (least recently used first).
+        self._frames: "OrderedDict[int, Frame]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def pin(self, pid: int) -> Frame:
+        """Fetch the page into the pool (if absent) and pin it."""
+        with self._lock:
+            frame = self._frames.get(pid)
+            if frame is not None:
+                self.stats.record("hits")
+            else:
+                self.stats.record("misses")
+                self._make_room()
+                frame = Frame(pid, bytearray(self.disk.read_page(pid)))
+                self._frames[pid] = frame
+            frame.pin_count += 1
+            self._frames.move_to_end(pid)
+            return frame
+
+    def unpin(self, pid: int, dirty: bool = False) -> None:
+        with self._lock:
+            frame = self._frames.get(pid)
+            if frame is None or frame.pin_count <= 0:
+                raise StorageError(f"page {pid} is not pinned")
+            frame.pin_count -= 1
+            if dirty:
+                frame.dirty = True
+
+    def allocate_page(self) -> int:
+        """Allocate a fresh page and seed a zeroed frame for it (no
+        disk read — the page has no meaningful contents yet)."""
+        with self._lock:
+            pid = self.disk.allocate()
+            self.seed_page(pid)
+            return pid
+
+    def seed_page(self, pid: int) -> None:
+        """Install a zeroed frame for ``pid`` without reading disk —
+        for recycled free-list pages whose old bytes are garbage. The
+        frame is born dirty: if it is evicted before being filled, the
+        zeros (not the stale on-disk bytes) must win the next read."""
+        with self._lock:
+            frame = self._frames.get(pid)
+            if frame is None:
+                self._make_room()
+                frame = Frame(pid, bytearray(self.disk.page_size))
+                self._frames[pid] = frame
+            else:
+                if frame.pin_count:
+                    raise StorageError(
+                        f"page {pid} is pinned; cannot reseed"
+                    )
+                frame.data[:] = b"\x00" * self.disk.page_size
+            frame.dirty = True
+
+    def page(self, pid: int):
+        """``with buffer.page(pid) as frame`` — pin for the block.
+
+        Mark the frame dirty via ``frame.dirty = True`` before the
+        block exits (the exit unpin preserves the flag)."""
+        return _PinGuard(self, pid)
+
+    # ------------------------------------------------------------------
+
+    def _make_room(self) -> None:
+        """Evict LRU unpinned frames until a new frame fits."""
+        while len(self._frames) >= self.capacity:
+            victim = None
+            for frame in self._frames.values():
+                if frame.pin_count == 0:
+                    victim = frame
+                    break
+            if victim is None:
+                raise StorageError(
+                    "buffer pool exhausted: all"
+                    f" {len(self._frames)} frames are pinned"
+                )
+            if victim.dirty:
+                self.disk.write_page(victim.pid, bytes(victim.data))
+                self.stats.record("dirty_flushes")
+            del self._frames[victim.pid]
+            self.stats.record("evictions")
+
+    def flush_page(self, pid: int) -> bool:
+        """Write one dirty frame back; returns whether it wrote."""
+        with self._lock:
+            frame = self._frames.get(pid)
+            if frame is None or not frame.dirty:
+                return False
+            self.disk.write_page(pid, bytes(frame.data))
+            frame.dirty = False
+            self.stats.record("dirty_flushes")
+            return True
+
+    def flush_all(self) -> int:
+        """Write every dirty frame back; returns the count written."""
+        written = 0
+        with self._lock:
+            for frame in self._frames.values():
+                if frame.dirty:
+                    self.disk.write_page(frame.pid, bytes(frame.data))
+                    frame.dirty = False
+                    self.stats.record("dirty_flushes")
+                    written += 1
+        return written
+
+    def drop(self, pid: int) -> None:
+        """Forget a frame without writing it (freed pages)."""
+        with self._lock:
+            frame = self._frames.get(pid)
+            if frame is None:
+                return
+            if frame.pin_count:
+                raise StorageError(f"page {pid} is pinned; cannot drop")
+            del self._frames[pid]
+
+    def pool_size(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    def pinned_count(self) -> int:
+        with self._lock:
+            return sum(1 for f in self._frames.values() if f.pin_count)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters plus pool occupancy, for the stats surfaces."""
+        snap = self.stats.snapshot()
+        with self._lock:
+            snap["capacity"] = self.capacity
+            snap["pages_in_pool"] = len(self._frames)
+            snap["pinned"] = sum(
+                1 for f in self._frames.values() if f.pin_count
+            )
+        return snap
+
+
+class _PinGuard:
+    __slots__ = ("_buffer", "_pid", "_frame")
+
+    def __init__(self, buffer: BufferManager, pid: int):
+        self._buffer = buffer
+        self._pid = pid
+        self._frame: Optional[Frame] = None
+
+    def __enter__(self) -> Frame:
+        self._frame = self._buffer.pin(self._pid)
+        return self._frame
+
+    def __exit__(self, *exc) -> bool:
+        self._buffer.unpin(self._pid)
+        return False

@@ -1,0 +1,311 @@
+"""Checkpointed page-file storage: restart cost O(tail), not O(history).
+
+:class:`PagedDatabase` ties the storage engine's layers together:
+
+- a :class:`~repro.storage.pages.DiskManager` over ``<path>`` (the
+  page file) and a :class:`~repro.storage.buffer.BufferManager` with a
+  bounded pool, so snapshots stream through memory instead of living
+  in it;
+- a :class:`~repro.storage.stores.FileStore` journal at
+  ``<path>.journal`` — the *redo tail*: only operations committed
+  since the last checkpoint;
+- a :class:`~repro.storage.transactions.TransactionManager` whose
+  commits append (fsynced) to that journal.
+
+**Checkpoint protocol** (:meth:`PagedDatabase.checkpoint`):
+
+1. under the database's commit lock, capture an immutable MVCC
+   snapshot (:meth:`Database.capture_snapshot`) and note the journal
+   record count — the *cut*;
+2. release the lock and stream the snapshot into a fresh page chain
+   through the buffer pool (writers may keep committing; their batches
+   land after the cut). Chain pages come from the free list inherited
+   from the *previous* meta record, which by construction never
+   contains pages of the chain the current meta references — a crash
+   mid-checkpoint leaves the previous checkpoint fully intact;
+3. flush dirty frames and fsync the page file;
+4. re-take the commit lock, write the new meta record (double-buffered
+   slots — see :mod:`repro.storage.pages`), then atomically rewrite
+   the journal keeping only post-cut records.
+
+A crash between steps 4's meta write and journal rewrite leaves
+pre-cut batches in the tail; journal replay is idempotent
+(:mod:`repro.storage.journal`), so replaying them over the checkpoint
+converges to the same state.
+
+**Restart** (:meth:`PagedDatabase` construction on an existing file):
+read the best meta record, stream the snapshot chain through the
+buffer pool, replay the journal tail. Replayed operation counts are
+exposed (``replayed_on_open``) so tests and benches can assert the
+bound.
+
+``checkpoint_every=N`` checkpoints automatically after every N
+committed journal batches.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..engine.database import Database
+from ..errors import StorageError
+from .buffer import DEFAULT_POOL_PAGES, BufferManager
+from .journal import JournalWriter, replay_journal
+from .pages import (
+    DEFAULT_PAGE_SIZE,
+    FIRST_DATA_PID,
+    ChainWriter,
+    DiskManager,
+    chain_pages,
+    read_chain,
+    read_meta,
+    write_meta,
+)
+from .persistence import load_database_from_records, snapshot_records
+from .stores import FileStore
+from .transactions import TransactionManager
+
+FORMAT_VERSION = 1
+
+
+class PagedDatabase:
+    """A database stored in a page file plus a journal redo tail."""
+
+    def __init__(
+        self,
+        path: str,
+        name: str = "db",
+        setup=None,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        checkpoint_every: Optional[int] = None,
+        sync_on_commit: bool = True,
+    ):
+        self._path = path
+        self.disk = DiskManager(path, page_size)
+        if read_meta(self.disk) is None and self._meta_slots_nonzero():
+            # An existing file whose meta slots hold bytes we cannot
+            # read as meta: either not a page file or one written with
+            # a different page size. Refusing beats silently shadowing
+            # the data with a fresh database.
+            self.disk.close()
+            raise StorageError(
+                f"{path} is not a page file readable with"
+                f" page_size={page_size}"
+            )
+        # Reserve the meta slots up front so the first chain write
+        # never allocates page 0 or 1.
+        self.disk.ensure_pages(FIRST_DATA_PID)
+        self.buffer = BufferManager(self.disk, pool_pages)
+        self.journal_store = FileStore(path + ".journal")
+        self._checkpoint_every = checkpoint_every
+        self._batches_since_checkpoint = 0
+        self._checkpointing = False
+        self.checkpoints_taken = 0
+        self.last_checkpoint_pages = 0
+        self.last_checkpoint_seconds = 0.0
+        self.replayed_on_open = 0
+
+        meta = read_meta(self.disk)
+        if meta is not None:
+            if meta.get("format") != FORMAT_VERSION:
+                raise StorageError(
+                    f"unsupported page-file format: {meta.get('format')!r}"
+                )
+            if meta.get("page_size") != page_size:
+                raise StorageError(
+                    f"page file uses page_size={meta.get('page_size')},"
+                    f" opened with {page_size}"
+                )
+            self._checkpoint_id = int(meta["checkpoint_id"])
+            self._root = int(meta["root"])
+            self._free: List[int] = [int(p) for p in meta.get("free", [])]
+            self.db = load_database_from_records(
+                read_chain(self.buffer, self._root)
+            )
+            # The journal tail: everything committed after the
+            # checkpoint. Replay is bounded by the tail, not history.
+            self.replayed_on_open = replay_journal(
+                self.journal_store, self.db
+            )
+        else:
+            self._checkpoint_id = 0
+            self._root = 0
+            self._free = []
+            self.db = Database(name)
+            if setup is not None:
+                setup(self.db)
+        # The manager is created only now: replay must not re-journal
+        # the operations it applies.
+        self.journal = JournalWriter(
+            self.journal_store,
+            sync_on_commit=sync_on_commit,
+            on_batch=self._on_journal_batch,
+        )
+        self.transactions = TransactionManager(self.db, self.journal)
+        # Stats discovery: `.stats`, the server `stats` op and the
+        # Prometheus export find the storage engine through the scope.
+        self.db.storage = self
+        if meta is None:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def checkpoint_id(self) -> int:
+        return self._checkpoint_id
+
+    def _meta_slots_nonzero(self) -> bool:
+        from .pages import META_SLOTS
+
+        return any(
+            slot < self.disk.num_pages
+            and any(self.disk.read_page(slot))
+            for slot in META_SLOTS
+        )
+
+    def journal_tail_batches(self) -> int:
+        """Batches currently in the redo tail (replay bound)."""
+        return sum(1 for _ in self.journal_store.records())
+
+    def _on_journal_batch(self, _ops: int) -> None:
+        self._batches_since_checkpoint += 1
+        if (
+            self._checkpoint_every is not None
+            and self._batches_since_checkpoint >= self._checkpoint_every
+            and not self._checkpointing
+        ):
+            self.checkpoint()
+
+    def _allocate_page(self) -> int:
+        if self._free:
+            pid = self._free.pop()
+            self.buffer.seed_page(pid)
+            return pid
+        return self.buffer.allocate_page()
+
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, int]:
+        """Write a checkpoint and cut the journal to its redo tail.
+
+        Returns ``{"checkpoint_id", "pages", "tail_batches"}``. Safe
+        to call from the journal's post-batch hook (the commit lock is
+        re-entrant); concurrent readers are never blocked, writers only
+        during the two short locked phases.
+        """
+        if self._checkpointing:
+            raise StorageError("checkpoint already in progress")
+        self._checkpointing = True
+        started = time.perf_counter()
+        try:
+            lock = self.db._commit_lock
+            with lock:
+                snap = self.db.capture_snapshot()
+                cut = sum(1 for _ in self.journal_store.records())
+            writer = ChainWriter(self.buffer, allocate=self._allocate_page)
+            for record in snapshot_records(snap):
+                writer.append(record)
+            head, pages = writer.finish()
+            self.buffer.flush_all()
+            self.disk.sync()
+            with lock:
+                old_root = self._root
+                old_pages = (
+                    chain_pages(self.buffer, old_root) if old_root else []
+                )
+                self._checkpoint_id += 1
+                free = self._free + old_pages
+                self._write_meta(head, free)
+                tail = list(self.journal_store.records())[cut:]
+                self.journal_store.replace_records(tail)
+                self.journal_store.sync()
+                self._root = head
+                self._free = free
+                self._batches_since_checkpoint = len(tail)
+            for pid in old_pages:
+                self.buffer.drop(pid)
+            self.checkpoints_taken += 1
+            self.last_checkpoint_pages = pages
+            self.last_checkpoint_seconds = time.perf_counter() - started
+            return {
+                "checkpoint_id": self._checkpoint_id,
+                "pages": pages,
+                "tail_batches": len(tail),
+            }
+        finally:
+            self._checkpointing = False
+
+    def _write_meta(self, root: int, free: List[int]) -> None:
+        """Write the meta record, shedding free-list tail entries if
+        they overflow the page (leaked pages, never corruption)."""
+        keep = list(free)
+        while True:
+            meta = {
+                "format": FORMAT_VERSION,
+                "name": self.db.name,
+                "page_size": self.disk.page_size,
+                "checkpoint_id": self._checkpoint_id,
+                "root": root,
+                "free": keep,
+            }
+            try:
+                write_meta(self.disk, meta)
+                if len(keep) < len(free):
+                    free[:] = keep
+                return
+            except StorageError:
+                if not keep:
+                    raise
+                keep = keep[: len(keep) // 2]
+
+    # ------------------------------------------------------------------
+
+    def storage_stats(self) -> Dict[str, Dict[str, int]]:
+        """Counters of every storage layer, for the stats surfaces."""
+        return {
+            "buffer": self.buffer.snapshot(),
+            "disk": {
+                "page_reads": self.disk.page_reads,
+                "page_writes": self.disk.page_writes,
+                "pages_allocated": self.disk.pages_allocated,
+                "file_pages": self.disk.num_pages,
+                "free_pages": len(self._free),
+            },
+            "checkpoint": {
+                "checkpoints_taken": self.checkpoints_taken,
+                "checkpoint_id": self._checkpoint_id,
+                "last_checkpoint_pages": self.last_checkpoint_pages,
+                "snapshot_pages": self.last_checkpoint_pages,
+                "replayed_on_open": self.replayed_on_open,
+                "journal_tail_batches": self.journal_tail_batches(),
+            },
+        }
+
+    def close(self) -> None:
+        self.buffer.flush_all()
+        self.disk.close()
+        self.journal_store.close()
+
+    def __enter__(self) -> "PagedDatabase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def open_paged(path: str, name: str = "db", setup=None, **kwargs):
+    """Open (or initialize) a checkpointed paged database.
+
+    Returns the :class:`PagedDatabase`; its ``db`` and ``transactions``
+    attributes mirror :func:`repro.storage.persistence.open_persistent`
+    's return values.
+    """
+    return PagedDatabase(path, name, setup, **kwargs)

@@ -2,14 +2,27 @@
 
 A journal record is one committed batch of operations. Replay applies
 batches in order onto a database whose schema is already in place
-(usually restored from a snapshot in the same store — see
-:mod:`repro.storage.persistence`).
+(usually restored from a snapshot in the same store or a page-file
+checkpoint — see :mod:`repro.storage.persistence` and
+:mod:`repro.storage.checkpoint`).
 
 Record shapes (as codec values):
 
 - ``{"kind": "schema", "classes": [...]}`` — schema snapshot;
 - ``{"kind": "txn", "ops": [...]}`` — a committed batch, each op one of
   ``create`` / ``update`` / ``delete``.
+
+Durability: ``write_batch`` fsyncs the store after every committed
+batch (``sync_on_commit=True``, the default), so a committed
+transaction survives immediate process death. Benchmarks that want to
+measure raw append throughput can opt out and call ``sync()``
+themselves.
+
+Replay is *idempotent for creates*: replaying a ``create`` of an oid
+that already exists replaces the stored value. Checkpointing relies on
+this — a crash between writing the checkpoint and cutting the journal
+leaves already-checkpointed batches in the redo tail, and replaying
+them over the checkpoint must converge to the same state.
 """
 
 from __future__ import annotations
@@ -31,8 +44,17 @@ from .stores import RecordStore
 class JournalWriter:
     """Appends committed operation batches to a record store."""
 
-    def __init__(self, store: RecordStore):
+    def __init__(
+        self,
+        store: RecordStore,
+        sync_on_commit: bool = True,
+        on_batch=None,
+    ):
         self._store = store
+        self._sync_on_commit = sync_on_commit
+        self._on_batch = on_batch
+        self.batches_written = 0
+        self.ops_written = 0
 
     @property
     def store(self) -> RecordStore:
@@ -44,7 +66,9 @@ class JournalWriter:
         Values of created objects are captured at commit time; an
         object created and deleted in the same batch is journaled as an
         empty create followed by a delete, which replays to the same
-        state.
+        state. The append is fsynced before returning (unless the
+        writer was built with ``sync_on_commit=False``), then the
+        ``on_batch`` hook (checkpoint scheduling) runs.
         """
         ops: List[dict] = []
         for event in events:
@@ -76,7 +100,12 @@ class JournalWriter:
         if not ops:
             return
         self._store.append(encode_value({"kind": "txn", "ops": ops}))
-        self._store.sync()
+        if self._sync_on_commit:
+            self._store.sync()
+        self.batches_written += 1
+        self.ops_written += len(ops)
+        if self._on_batch is not None:
+            self._on_batch(len(ops))
 
 
 def replay_journal(store: RecordStore, db: Database) -> int:
@@ -99,14 +128,12 @@ def replay_journal(store: RecordStore, db: Database) -> int:
 def _apply(db: Database, op: dict) -> None:
     kind = op.get("op")
     if kind == "create":
-        if op["value"]:
-            db.insert_with_oid(op["oid"], op["class"], op["value"])
-        # An empty create followed by a delete in the same batch is a
-        # no-op pair; creating it just to delete it would trip
-        # not-null expectations, so skip empty creates whose object is
-        # deleted later; if no delete follows, insert the empty object.
-        else:
-            db.insert_with_oid(op["oid"], op["class"], {})
+        # Idempotent: a create replayed over an existing object (a
+        # redo-tail batch that predates the checkpoint it is replayed
+        # onto) replaces the object wholesale.
+        if db.contains_oid(op["oid"]):
+            db.delete(op["oid"])
+        db.insert_with_oid(op["oid"], op["class"], op["value"] or {})
     elif kind == "update":
         if db.contains_oid(op["oid"]):
             db.update(op["oid"], op["attr"], op["value"])

@@ -1,0 +1,355 @@
+"""Fixed-size pages over a single file: the bottom of the storage
+engine.
+
+A page file is an array of ``page_size`` slots addressed by page id.
+:class:`DiskManager` is the only object that touches the file; it
+reads, writes and allocates whole pages and keeps I/O counters. Layout:
+
+- **pages 0 and 1** are *meta slots*: two alternating copies of the
+  database's metadata record (checkpoint id, snapshot root page, free
+  list). A checkpoint writes the slot its predecessor did **not** use,
+  so a crash mid-write leaves the previous meta intact; on open the
+  valid slot with the highest checkpoint id wins (see
+  :func:`read_meta` / :func:`write_meta`);
+- **data pages** hold record chains (below).
+
+A *record chain* is a singly linked list of pages carrying a sequence
+of length-prefixed records — the on-page format of a database
+snapshot. Chains are written once (at checkpoint time) and read
+sequentially (at restart), always through a
+:class:`~repro.storage.buffer.BufferManager`, so a chain larger than
+the buffer pool streams through a bounded number of frames instead of
+living wholly in memory.
+
+Data page layout: ``next_pid (8 bytes BE) + used (4 bytes BE) +
+payload``. Records are ``varint length + bytes`` and may span pages
+(the chain is a byte stream; page boundaries are invisible to the
+record framing).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import StorageError
+from .serializer import decode_value, encode_value
+
+DEFAULT_PAGE_SIZE = 4096
+META_SLOTS = (0, 1)
+FIRST_DATA_PID = 2
+
+_MAGIC = b"RPPG"
+_META_HEADER = struct.Struct(">4sII")  # magic, crc32, payload length
+_PAGE_HEADER = struct.Struct(">QI")  # next pid, used bytes
+
+
+class DiskManager:
+    """Page-granular I/O over one file.
+
+    Pages are allocated by extending the file; freeing is the caller's
+    business (the meta record carries a free list). All methods are
+    whole-page: partial writes never happen above the OS layer.
+    """
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size < 256:
+            raise StorageError(f"page size too small: {page_size}")
+        self._path = path
+        self._page_size = page_size
+        self._file = open(path, "r+b" if os.path.exists(path) else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size:
+            # A crash mid-extension can leave a ragged tail; pad it to
+            # a page boundary so page addressing stays exact.
+            self._file.write(b"\x00" * (page_size - size % page_size))
+            size = self._file.tell()
+        self._num_pages = size // page_size
+        self.page_reads = 0
+        self.page_writes = 0
+        self.pages_allocated = 0
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def read_page(self, pid: int) -> bytes:
+        if not 0 <= pid < self._num_pages:
+            raise StorageError(f"page {pid} out of range")
+        self._file.seek(pid * self._page_size)
+        data = self._file.read(self._page_size)
+        if len(data) < self._page_size:
+            data = data + b"\x00" * (self._page_size - len(data))
+        self.page_reads += 1
+        return data
+
+    def write_page(self, pid: int, data: bytes) -> None:
+        if len(data) > self._page_size:
+            raise StorageError(
+                f"page payload of {len(data)} bytes exceeds page size"
+            )
+        if not 0 <= pid < self._num_pages:
+            raise StorageError(f"page {pid} out of range")
+        if len(data) < self._page_size:
+            data = bytes(data) + b"\x00" * (self._page_size - len(data))
+        self._file.seek(pid * self._page_size)
+        self._file.write(data)
+        self.page_writes += 1
+
+    def allocate(self) -> int:
+        """Extend the file by one zeroed page; returns its pid."""
+        pid = self._num_pages
+        self._file.seek(pid * self._page_size)
+        self._file.write(b"\x00" * self._page_size)
+        self._num_pages += 1
+        self.pages_allocated += 1
+        return pid
+
+    def ensure_pages(self, count: int) -> None:
+        """Grow the file to at least ``count`` pages (used to reserve
+        the meta slots on a fresh file)."""
+        while self._num_pages < count:
+            self.allocate()
+
+    def sync(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+
+    def __enter__(self) -> "DiskManager":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Meta pages
+
+
+def write_meta(disk: DiskManager, meta: dict) -> None:
+    """Write ``meta`` to the slot its ``checkpoint_id`` selects.
+
+    Slot choice alternates with the checkpoint id, so this write never
+    overwrites the newest *valid* meta: a crash mid-write is detected
+    by the crc and falls back to the other slot.
+    """
+    disk.ensure_pages(FIRST_DATA_PID)
+    payload = encode_value(meta)
+    if _META_HEADER.size + len(payload) > disk.page_size:
+        raise StorageError("meta record exceeds one page")
+    slot = META_SLOTS[int(meta.get("checkpoint_id", 0)) % 2]
+    framed = _META_HEADER.pack(_MAGIC, zlib.crc32(payload), len(payload))
+    disk.write_page(slot, framed + payload)
+    disk.sync()
+
+
+def read_meta(disk: DiskManager) -> Optional[dict]:
+    """The valid meta record with the highest checkpoint id, or
+    ``None`` on a fresh (or unrecognizable) file."""
+    best: Optional[dict] = None
+    for slot in META_SLOTS:
+        if slot >= disk.num_pages:
+            continue
+        page = disk.read_page(slot)
+        magic, crc, length = _META_HEADER.unpack_from(page)
+        if magic != _MAGIC or _META_HEADER.size + length > len(page):
+            continue
+        payload = page[_META_HEADER.size:_META_HEADER.size + length]
+        if zlib.crc32(payload) != crc:
+            continue
+        try:
+            meta = decode_value(payload)
+        except Exception:
+            continue
+        if not isinstance(meta, dict):
+            continue
+        if best is None or meta.get("checkpoint_id", 0) > best.get(
+            "checkpoint_id", 0
+        ):
+            best = meta
+    return best
+
+
+# ----------------------------------------------------------------------
+# Record chains
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+class ChainWriter:
+    """Streams length-prefixed records into a fresh page chain.
+
+    Pages come from the buffer manager (``allocate_page``), are filled
+    sequentially and unpinned dirty as soon as the stream moves past
+    them — so a snapshot bigger than the pool spills to disk behind
+    the writer instead of accumulating in memory. ``finish()`` seals
+    the tail page and returns ``(head_pid, page_count)``.
+    """
+
+    def __init__(self, buffer, allocate=None) -> None:
+        self._buffer = buffer
+        self._allocate = allocate or buffer.allocate_page
+        self._head: Optional[int] = None
+        self._pid: Optional[int] = None
+        self._frame = None
+        self._offset = 0
+        self._pages = 0
+        payload = buffer.disk.page_size - _PAGE_HEADER.size
+        if payload <= 0:
+            raise StorageError("page size leaves no payload room")
+        self._payload = payload
+
+    @property
+    def pages_written(self) -> int:
+        return self._pages
+
+    def _open_page(self) -> None:
+        pid = self._allocate()
+        frame = self._buffer.pin(pid)
+        _PAGE_HEADER.pack_into(frame.data, 0, 0, 0)
+        if self._frame is not None:
+            # Link the previous page forward and release it.
+            _PAGE_HEADER.pack_into(
+                self._frame.data, 0, pid, self._offset
+            )
+            self._buffer.unpin(self._pid, dirty=True)
+        else:
+            self._head = pid
+        self._pid = pid
+        self._frame = frame
+        self._offset = 0
+        self._pages += 1
+
+    def _write_bytes(self, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            if self._frame is None or self._offset >= self._payload:
+                self._open_page()
+            room = self._payload - self._offset
+            piece = view[:room]
+            start = _PAGE_HEADER.size + self._offset
+            self._frame.data[start:start + len(piece)] = piece
+            self._offset += len(piece)
+            view = view[len(piece):]
+
+    def append(self, record: bytes) -> None:
+        prefix = bytearray()
+        _write_varint(prefix, len(record))
+        self._write_bytes(bytes(prefix))
+        self._write_bytes(record)
+
+    def finish(self) -> Tuple[int, int]:
+        if self._head is None:
+            self._open_page()
+        _PAGE_HEADER.pack_into(self._frame.data, 0, 0, self._offset)
+        self._buffer.unpin(self._pid, dirty=True)
+        head, self._frame, self._pid = self._head, None, None
+        return head, self._pages
+
+
+def read_chain(buffer, head_pid: int) -> Iterator[bytes]:
+    """Yield the records of a chain, one page pinned at a time."""
+    stream = _chain_bytes(buffer, head_pid)
+    carry = b""
+    while True:
+        length, carry, exhausted = _read_varint_stream(stream, carry)
+        if exhausted:
+            return
+        while len(carry) < length:
+            piece = next(stream, None)
+            if piece is None:
+                raise StorageError("record chain ends mid-record")
+            carry += piece
+        yield carry[:length]
+        carry = carry[length:]
+
+
+def chain_pages(buffer, head_pid: int) -> List[int]:
+    """The pids of a chain, in order (for free-list accounting)."""
+    pids: List[int] = []
+    pid = head_pid
+    while pid:
+        pids.append(pid)
+        frame = buffer.pin(pid)
+        try:
+            next_pid, _used = _PAGE_HEADER.unpack_from(frame.data)
+        finally:
+            buffer.unpin(pid)
+        if next_pid in pids and next_pid:
+            raise StorageError("record chain contains a cycle")
+        pid = next_pid
+    return pids
+
+
+def _chain_bytes(buffer, head_pid: int) -> Iterator[bytes]:
+    pid = head_pid
+    seen = 0
+    while pid:
+        frame = buffer.pin(pid)
+        try:
+            next_pid, used = _PAGE_HEADER.unpack_from(frame.data)
+            payload = bytes(
+                frame.data[_PAGE_HEADER.size:_PAGE_HEADER.size + used]
+            )
+        finally:
+            buffer.unpin(pid)
+        yield payload
+        pid = next_pid
+        seen += 1
+        if seen > buffer.disk.num_pages:
+            raise StorageError("record chain contains a cycle")
+
+
+def _read_varint_stream(stream, carry: bytes):
+    """Decode one varint from ``carry`` + ``stream``; returns
+    ``(value, remaining_carry, exhausted)``."""
+    result = 0
+    shift = 0
+    pos = 0
+    while True:
+        while pos >= len(carry):
+            piece = next(stream, None)
+            if piece is None:
+                if pos == 0 and shift == 0:
+                    return 0, b"", True  # clean end of chain
+                raise StorageError("record chain ends mid-length")
+            carry = carry[pos:] + piece
+            pos = 0
+            if not carry:
+                continue
+        byte = carry[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, carry[pos:], False
+        shift += 7
+        if shift > 70:
+            raise StorageError("record length varint too long")

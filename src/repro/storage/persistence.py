@@ -1,10 +1,18 @@
 """Whole-database snapshots and re-opening.
 
-A persistent database is a store containing, in order: a ``database``
-record (the name), a ``schema`` record, a snapshot of object creates,
-and then journaled transaction batches. :func:`save_database` writes
-the first three; :func:`load_database` rebuilds a database from the
-whole store (snapshot + journal replay).
+A persistent database is, logically, a *snapshot* followed by a
+*journal*: a ``database`` record (the name), a ``schema`` record, the
+object creates, and then journaled transaction batches.
+:func:`snapshot_records` produces the snapshot as a stream of encoded
+records; :func:`load_database_from_records` rebuilds a database from
+any record stream of that shape. Two storage backends share them:
+
+- :func:`save_database` / :func:`load_database` put the records in a
+  flat :class:`~repro.storage.stores.RecordStore` (the journal is the
+  same store's tail) — simple, but restart replays all history;
+- :mod:`repro.storage.checkpoint` puts them in a page-file record
+  chain behind a buffer pool, with the journal cut to a short redo
+  tail at every checkpoint — restart is O(snapshot pages + tail).
 
 Computed attributes have procedures — Python code — which a data log
 cannot carry. They are journaled by name and restored as placeholders
@@ -15,7 +23,7 @@ view definitions are code and live with the application).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 from ..engine.database import Database
 from ..engine.schema import AttributeDef, AttributeKind
@@ -30,10 +38,20 @@ from .serializer import (
 from .stores import RecordStore
 from .transactions import TransactionManager
 
+# Object creates per snapshot ``txn`` record: bounds the size of one
+# record (and so of one codec decode) independently of database size.
+SNAPSHOT_CHUNK = 256
 
-def save_database(db: Database, store: RecordStore) -> None:
-    """Write a full snapshot of the database to the store."""
-    store.append(encode_value({"kind": "database", "name": db.name}))
+
+def snapshot_records(db, chunk: int = SNAPSHOT_CHUNK) -> Iterator[bytes]:
+    """The full state of ``db`` as a stream of encoded records.
+
+    ``db`` may be a live :class:`~repro.engine.database.Database` or an
+    immutable :class:`~repro.engine.versions.DatabaseSnapshot` — the
+    checkpointer hands in the latter so writers can proceed while the
+    stream is consumed.
+    """
+    yield encode_value({"kind": "database", "name": db.name})
     classes = []
     for cdef in db.schema:
         attrs = []
@@ -58,7 +76,7 @@ def save_database(db: Database, store: RecordStore) -> None:
                 "doc": cdef.doc,
             }
         )
-    store.append(encode_value({"kind": "schema", "classes": classes}))
+    yield encode_value({"kind": "schema", "classes": classes})
     ops = []
     for oid in db.all_oids():
         ops.append(
@@ -69,16 +87,24 @@ def save_database(db: Database, store: RecordStore) -> None:
                 "value": dict(db.raw_value(oid)),
             }
         )
+        if len(ops) >= chunk:
+            yield encode_value({"kind": "txn", "ops": ops})
+            ops = []
     if ops:
-        store.append(encode_value({"kind": "txn", "ops": ops}))
+        yield encode_value({"kind": "txn", "ops": ops})
+
+
+def save_database(db: Database, store: RecordStore) -> None:
+    """Write a full snapshot of the database to the store."""
+    for record in snapshot_records(db):
+        store.append(record)
     store.sync()
 
 
-def load_database(store: RecordStore) -> Database:
-    """Rebuild a database from a store written by
-    :func:`save_database` (plus any journal batches appended since)."""
+def load_database_from_records(records: Iterable[bytes]) -> Database:
+    """Rebuild a database from a snapshot-plus-journal record stream."""
     db: Optional[Database] = None
-    for raw in store.records():
+    for raw in records:
         record = decode_value(raw)
         if not isinstance(record, dict):
             raise StorageError(f"malformed record: {record!r}")
@@ -90,9 +116,6 @@ def load_database(store: RecordStore) -> Database:
                 raise StorageError("schema record before database record")
             _restore_schema(db, record["classes"])
         elif kind == "txn":
-            # Batches are replayed after the full scan (order is
-            # preserved by the store, so applying inline is also
-            # correct — do it inline to keep one pass).
             if db is None:
                 raise StorageError("txn record before database record")
             from .journal import _apply
@@ -104,6 +127,12 @@ def load_database(store: RecordStore) -> Database:
     if db is None:
         raise StorageError("store contains no database record")
     return db
+
+
+def load_database(store: RecordStore) -> Database:
+    """Rebuild a database from a store written by
+    :func:`save_database` (plus any journal batches appended since)."""
+    return load_database_from_records(store.records())
 
 
 def _restore_schema(db: Database, classes) -> None:
@@ -193,7 +222,9 @@ def open_persistent(
     re-registered by the application.
 
     Returns the database and a transaction manager whose commits append
-    to the store.
+    to the store. For checkpointed page-file storage (restart cost
+    bounded by the redo tail instead of all history), use
+    :class:`repro.storage.checkpoint.PagedDatabase` instead.
     """
     has_records = any(True for _ in store.records())
     if has_records:

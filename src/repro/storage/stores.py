@@ -6,9 +6,13 @@ implementations share the interface:
 
 - :class:`MemoryStore` — in-process, for tests and benchmarks;
 - :class:`FileStore` — a single append-only file. Each record is
-  framed as ``length (4 bytes BE) + crc32 (4 bytes BE) + payload``;
-  on open, replay stops at the first torn or corrupt frame, which
-  makes a half-written tail (crash during append) harmless.
+  framed as ``length (4 bytes BE) + crc32 (4 bytes BE) + payload``.
+  Opening a file store *recovers the tail*: the file is scanned for
+  its longest valid frame prefix and truncated there, so a
+  half-written or corrupt tail (crash during append) is physically
+  removed before any new append — later records always land on a
+  frame boundary and are readable on the next open. ``close()``
+  fsyncs before closing, so a cleanly closed store is durable.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from typing import Iterator, List
+from typing import Iterable, Iterator, List
 
 from ..errors import StorageError
 
@@ -58,6 +62,14 @@ class MemoryStore(RecordStore):
     def records(self) -> Iterator[bytes]:
         return iter(list(self._records))
 
+    def truncate(self) -> None:
+        """Drop every record (journal reset after a checkpoint)."""
+        self._records = []
+
+    def replace_records(self, records: Iterable[bytes]) -> None:
+        """Atomically replace the contents with ``records``."""
+        self._records = [bytes(r) for r in records]
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -68,10 +80,30 @@ class FileStore(RecordStore):
     def __init__(self, path: str):
         self._path = path
         self._file = open(path, "ab")
+        self._recover_tail()
 
     @property
     def path(self) -> str:
         return self._path
+
+    def _recover_tail(self) -> None:
+        """Truncate the file to its longest valid frame prefix.
+
+        Replay already stopped at the first torn frame; without the
+        truncation, the garbage tail stayed on disk and subsequent
+        appends landed *after* it — unreachable on the next open. The
+        scan runs once per open, before any append is accepted.
+        """
+        self._file.flush()
+        size = os.path.getsize(self._path)
+        valid = valid_prefix(self._path)
+        if valid < size:
+            self._file.close()
+            with open(self._path, "r+b") as fixer:
+                fixer.truncate(valid)
+                fixer.flush()
+                os.fsync(fixer.fileno())
+            self._file = open(self._path, "ab")
 
     def append(self, record: bytes) -> None:
         if self._file.closed:
@@ -86,8 +118,44 @@ class FileStore(RecordStore):
 
     def close(self) -> None:
         if not self._file.closed:
+            # fsync before closing: a committed transaction must not
+            # evaporate because the process exited right after close.
             self._file.flush()
+            os.fsync(self._file.fileno())
             self._file.close()
+
+    def truncate(self) -> None:
+        """Drop every record (journal reset after a checkpoint)."""
+        if self._file.closed:
+            raise StorageError("store is closed")
+        self._file.close()
+        with open(self._path, "r+b") as fixer:
+            fixer.truncate(0)
+            fixer.flush()
+            os.fsync(fixer.fileno())
+        self._file = open(self._path, "ab")
+
+    def replace_records(self, records: Iterable[bytes]) -> None:
+        """Atomically replace the file's contents with ``records``.
+
+        Used by checkpointing to cut the journal down to its redo
+        tail: the replacement is written to a sibling temp file,
+        fsynced, and swapped in with ``os.replace`` so a crash leaves
+        either the old journal or the new one — never a mix.
+        """
+        if self._file.closed:
+            raise StorageError("store is closed")
+        temp_path = self._path + ".swap"
+        with open(temp_path, "wb") as temp:
+            for record in records:
+                temp.write(
+                    _HEADER.pack(len(record), zlib.crc32(record)) + record
+                )
+            temp.flush()
+            os.fsync(temp.fileno())
+        self._file.close()
+        os.replace(temp_path, self._path)
+        self._file = open(self._path, "ab")
 
     def records(self) -> Iterator[bytes]:
         self._file.flush()
@@ -106,3 +174,20 @@ class FileStore(RecordStore):
 
     def __len__(self) -> int:
         return sum(1 for _ in self.records())
+
+
+def valid_prefix(path: str) -> int:
+    """The byte length of the longest valid frame prefix of ``path``."""
+    valid = 0
+    with open(path, "rb") as reader:
+        while True:
+            header = reader.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return valid
+            length, crc = _HEADER.unpack(header)
+            payload = reader.read(length)
+            if len(payload) < length:
+                return valid
+            if zlib.crc32(payload) != crc:
+                return valid
+            valid += _HEADER.size + length

@@ -1,31 +1,42 @@
-"""Transactions over a database, with optional journaling.
+"""Transactions over a database, with nested savepoints and optional
+journaling.
 
-Single-writer transactions with undo-based abort:
+Single-writer transactions built on a **changeset stack** (the
+JournalDB discipline): each open transaction carries a stack of
+changeset frames, one per savepoint plus a base frame. A frame records,
+for every object *first touched while it was on top*, the object's
+pre-image — ``_ABSENT`` for objects the frame created, or the
+``(class_name, value)`` the object had before the frame's first write.
 
-- while a transaction is open, every database event is recorded;
-- ``abort()`` applies inverse operations in reverse order (updates are
-  reverted through the normal update path so indexes and materialized
-  views stay consistent);
-- ``commit()`` appends the batch to the journal (if one is attached)
-  bracketed in a single atomic record — replay never sees a partial
-  transaction;
-- outside any transaction, operations auto-commit one at a time.
+- :meth:`Transaction.savepoint` pushes a frame;
+- :meth:`Transaction.rollback_to` restores every frame down to (and
+  including) the savepoint's own changes — SQL ``ROLLBACK TO``
+  semantics: state returns to the instant the savepoint was created
+  and the savepoint stays valid;
+- :meth:`Transaction.release` merges a frame's pre-images into the one
+  below (SQL ``RELEASE``: the changes survive, the savepoint is gone);
+- ``abort()`` restores all frames — equivalent to a ``rollback_to`` a
+  savepoint taken at ``begin()``;
+- ``commit()`` appends the surviving operations to the journal (if one
+  is attached) as a single atomic record — replay never sees a partial
+  transaction or a rolled-back savepoint's operations.
+
+Restores go through the normal database mutation paths (with the
+manager's own recording suppressed), so attribute indexes and
+materialized views track rollbacks exactly as they track forward
+operations.
 
 A transaction also brackets the database in an MVCC batch
 (``begin_batch`` / ``end_batch``): the whole transaction installs a
 single store version, so a concurrent snapshot reader either sees none
-of it or all of it — never a torn prefix. The database's commit lock
-is held for the duration, which is exactly the single-writer model
-documented above.
-
-Deletes must go through :meth:`TransactionManager.delete` so the
-pre-image needed for undo is captured.
+of it or all of it — never a torn prefix, and never a state that a
+savepoint rollback later erased.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Union
 
 from ..engine.database import Database
 from ..engine.events import (
@@ -46,6 +57,53 @@ class TxState(enum.Enum):
     ABORTED = "aborted"
 
 
+class _Absent:
+    """Sentinel pre-image: the object did not exist before the frame."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<absent>"
+
+
+_ABSENT = _Absent()
+
+
+class Changeset:
+    """One frame of a transaction's changeset stack."""
+
+    __slots__ = ("name", "pre_images", "ops_mark")
+
+    def __init__(self, name: Optional[str], ops_mark: int):
+        self.name = name
+        # oid -> _ABSENT | (class_name, value dict) at frame entry.
+        self.pre_images: Dict[Oid, object] = {}
+        self.ops_mark = ops_mark
+
+
+class Savepoint:
+    """Handle to a changeset frame; see :meth:`Transaction.savepoint`."""
+
+    __slots__ = ("_txn", "_frame")
+
+    def __init__(self, txn: "Transaction", frame: Changeset):
+        self._txn = txn
+        self._frame = frame
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._frame.name
+
+    def rollback(self) -> None:
+        self._txn.rollback_to(self)
+
+    def release(self) -> None:
+        self._txn.release(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Savepoint(name={self._frame.name!r})"
+
+
 class Transaction:
     """One open transaction; obtained from
     :meth:`TransactionManager.begin` and usable as a context manager."""
@@ -55,6 +113,68 @@ class Transaction:
         self.txid = txid
         self.state = TxState.ACTIVE
         self.ops: List[Event] = []
+        # Base frame: abort() is a rollback through it.
+        self._frames: List[Changeset] = [Changeset(None, 0)]
+
+    # ------------------------------------------------------------------
+    # Savepoints
+
+    def savepoint(self, name: Optional[str] = None) -> Savepoint:
+        """Push a changeset frame; later :meth:`rollback_to` restores
+        the database to this instant."""
+        self._require_active()
+        frame = Changeset(name, len(self.ops))
+        self._frames.append(frame)
+        return Savepoint(self, frame)
+
+    def savepoint_names(self) -> List[Optional[str]]:
+        """Names of active savepoints, oldest first (base excluded)."""
+        return [frame.name for frame in self._frames[1:]]
+
+    def rollback_to(self, target: Union[Savepoint, str]) -> None:
+        """Undo everything since the savepoint (which stays valid).
+
+        Savepoints above it are discarded, as in SQL ``ROLLBACK TO``.
+        """
+        self._require_active()
+        index = self._find(target)
+        for frame in reversed(self._frames[index:]):
+            self._manager._restore(frame.pre_images)
+        del self._frames[index + 1:]
+        kept = self._frames[index]
+        del self.ops[kept.ops_mark:]
+        kept.pre_images.clear()
+
+    def release(self, target: Union[Savepoint, str]) -> None:
+        """Forget the savepoint, keeping its changes (SQL ``RELEASE``).
+
+        Its pre-images merge into the frame below — first-touch wins,
+        so an outer rollback still restores the oldest state.
+        """
+        self._require_active()
+        index = self._find(target)
+        below = self._frames[index - 1]
+        for frame in self._frames[index:]:
+            for oid, pre in frame.pre_images.items():
+                below.pre_images.setdefault(oid, pre)
+        del self._frames[index:]
+
+    def _find(self, target: Union[Savepoint, str]) -> int:
+        if isinstance(target, Savepoint):
+            if target._txn is not self:
+                raise TransactionError(
+                    "savepoint belongs to another transaction"
+                )
+            for index in range(len(self._frames) - 1, 0, -1):
+                if self._frames[index] is target._frame:
+                    return index
+            raise TransactionError("savepoint is no longer active")
+        for index in range(len(self._frames) - 1, 0, -1):
+            if self._frames[index].name == target:
+                return index
+        raise TransactionError(f"no active savepoint named {target!r}")
+
+    # ------------------------------------------------------------------
 
     def commit(self) -> None:
         self._require_active()
@@ -65,6 +185,30 @@ class Transaction:
         self._require_active()
         self._manager._finish(self, commit=False)
         self.state = TxState.ABORTED
+
+    def _record(self, event: Event) -> None:
+        """Append the event and capture first-touch pre-images."""
+        self.ops.append(event)
+        frame = self._frames[-1]
+        oid = event.oid
+        if oid in frame.pre_images:
+            return
+        if isinstance(event, ObjectCreated):
+            frame.pre_images[oid] = _ABSENT
+        elif isinstance(event, ObjectUpdated):
+            # The event fires after the store was updated; revert the
+            # one attribute to reconstruct the value at frame entry.
+            value = dict(self._manager.database.raw_value(oid))
+            if event.old_value is None:
+                value.pop(event.attribute, None)
+            else:
+                value[event.attribute] = deep_copy_value(event.old_value)
+            frame.pre_images[oid] = (event.class_name, value)
+        elif isinstance(event, ObjectDeleted):
+            frame.pre_images[oid] = (
+                event.class_name,
+                deep_copy_value(event.value or {}),
+            )
 
     def _require_active(self) -> None:
         if self.state is not TxState.ACTIVE:
@@ -95,12 +239,18 @@ class TransactionManager:
         self._current: Optional[Transaction] = None
         self._next_txid = 1
         self._undoing = False
-        self._pre_images: Dict[Oid, Tuple[str, dict]] = {}
         database.events.subscribe(self._on_event)
+        # The CLI and server reuse a database's manager so savepoints
+        # opened in one surface are visible in the other.
+        database.txn_manager = self
 
     @property
     def database(self) -> Database:
         return self._db
+
+    @property
+    def journal(self) -> Optional[JournalWriter]:
+        return self._journal
 
     def begin(self) -> Transaction:
         if self._current is not None:
@@ -114,14 +264,13 @@ class TransactionManager:
     def in_transaction(self) -> bool:
         return self._current is not None
 
+    @property
+    def current(self) -> Optional[Transaction]:
+        return self._current
+
     def delete(self, target) -> None:
-        """Delete an object, keeping its pre-image for undo."""
+        """Delete an object (pre-images are captured from the event)."""
         oid = getattr(target, "oid", target)
-        class_name = self._db.class_of(oid)
-        self._pre_images[oid] = (
-            class_name,
-            deep_copy_value(self._db.raw_value(oid)),
-        )
         self._db.delete(oid)
 
     # ------------------------------------------------------------------
@@ -134,9 +283,33 @@ class TransactionManager:
         ):
             return
         if self._current is not None:
-            self._current.ops.append(event)
+            self._current._record(event)
         elif self._journal is not None:
             self._journal.write_batch([event], self._db)
+
+    def _restore(self, pre_images: Dict[Oid, object]) -> None:
+        """Reinstate pre-images through the normal mutation paths.
+
+        The manager's own recording is suppressed, but the events still
+        reach indexes and materialized views — a rollback maintains
+        them exactly like forward operations do.
+        """
+        db = self._db
+        self._undoing = True
+        try:
+            for oid, pre in pre_images.items():
+                if pre is _ABSENT:
+                    if db.contains_oid(oid):
+                        db.delete(oid)
+                else:
+                    class_name, value = pre
+                    if db.contains_oid(oid):
+                        db.delete(oid)
+                    db.insert_with_oid(
+                        oid, class_name, deep_copy_value(value)
+                    )
+        finally:
+            self._undoing = False
 
     def _finish(self, txn: Transaction, commit: bool) -> None:
         if self._current is not txn:
@@ -147,28 +320,9 @@ class TransactionManager:
                 if self._journal is not None and txn.ops:
                     self._journal.write_batch(txn.ops, self._db)
                 return
-            self._undoing = True
-            try:
-                for event in reversed(txn.ops):
-                    self._undo_event(event)
-            finally:
-                self._undoing = False
+            for frame in reversed(txn._frames):
+                self._restore(frame.pre_images)
         finally:
-            self._pre_images.clear()
             # Close the MVCC batch last so undo operations land in the
             # same (single) version install as the transaction itself.
             self._db.end_batch()
-
-    def _undo_event(self, event: Event) -> None:
-        db = self._db
-        if isinstance(event, ObjectCreated):
-            if db.contains_oid(event.oid):
-                db.delete(event.oid)
-        elif isinstance(event, ObjectUpdated):
-            if db.contains_oid(event.oid):
-                db.update(event.oid, event.attribute, event.old_value)
-        elif isinstance(event, ObjectDeleted):
-            pre_image = self._pre_images.get(event.oid)
-            if pre_image is not None and not db.contains_oid(event.oid):
-                class_name, value = pre_image
-                db.insert_with_oid(event.oid, class_name, value)

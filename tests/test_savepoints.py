@@ -1,0 +1,413 @@
+"""Nested savepoints: changeset-stack semantics, end to end.
+
+Library-level tests pin down the SQL semantics (``SAVEPOINT`` /
+``ROLLBACK TO`` / ``RELEASE``) of the changeset stack in
+:mod:`repro.storage.transactions`; the property test checks the core
+invariant — a savepoint rolled back is *equivalent to never having
+applied its operations*, as observed through raw state, attribute
+indexes, and materialized view caches alike. The CLI and server
+classes exercise the same machinery through their own surfaces.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import Session
+from repro.core import View
+from repro.engine import Database
+from repro.errors import TransactionError
+from repro.server import Client, ServerError, ViewServer
+from repro.storage import MemoryStore, JournalWriter, TransactionManager
+from repro.workloads import build_people_db
+
+
+@pytest.fixture
+def db():
+    d = Database("People")
+    d.define_class(
+        "Person", attributes={"Name": "string", "Age": "integer"}
+    )
+    return d
+
+
+@pytest.fixture
+def manager(db):
+    return TransactionManager(db)
+
+
+def db_state(db):
+    return {
+        oid: (db.class_of(oid), dict(db.raw_value(oid)))
+        for oid in db.all_oids()
+    }
+
+
+class TestSavepointSemantics:
+    def test_rollback_to_restores_and_keeps_savepoint(self, db, manager):
+        with manager.begin() as txn:
+            a = db.create("Person", Name="A", Age=1)
+            sp = txn.savepoint("s")
+            db.create("Person", Name="B", Age=2)
+            db.update(a, "Age", 99)
+            txn.rollback_to(sp)
+            assert db.object_count() == 1
+            assert db.get(a.oid).Age == 1
+            # The savepoint survives a rollback and can be reused.
+            db.create("Person", Name="C", Age=3)
+            txn.rollback_to("s")
+            assert db.object_count() == 1
+        assert db.object_count() == 1
+
+    def test_rollback_restores_deletes(self, db, manager):
+        a = db.create("Person", Name="A", Age=1)
+        with manager.begin() as txn:
+            sp = txn.savepoint()
+            db.delete(a)
+            assert db.object_count() == 0
+            txn.rollback_to(sp)
+        assert db.get(a.oid).Name == "A"
+        assert db.get(a.oid).Age == 1
+
+    def test_release_keeps_changes(self, db, manager):
+        with manager.begin() as txn:
+            txn.savepoint("s")
+            db.create("Person", Name="B", Age=2)
+            txn.release("s")
+            with pytest.raises(TransactionError, match="no active"):
+                txn.rollback_to("s")
+        assert db.object_count() == 1
+
+    def test_release_merges_preimages_for_outer_rollback(
+        self, db, manager
+    ):
+        """First-touch pre-images must survive a RELEASE: an outer
+        rollback still restores the oldest state."""
+        a = db.create("Person", Name="A", Age=1)
+        with manager.begin() as txn:
+            outer = txn.savepoint("outer")
+            db.update(a, "Age", 2)
+            txn.savepoint("inner")
+            db.update(a, "Age", 3)
+            txn.release("inner")
+            assert db.get(a.oid).Age == 3
+            txn.rollback_to(outer)
+            assert db.get(a.oid).Age == 1
+
+    def test_rollback_discards_inner_savepoints(self, db, manager):
+        with manager.begin() as txn:
+            outer = txn.savepoint("outer")
+            txn.savepoint("inner")
+            txn.rollback_to(outer)
+            assert txn.savepoint_names() == ["outer"]
+            with pytest.raises(TransactionError, match="inner"):
+                txn.rollback_to("inner")
+
+    def test_duplicate_names_resolve_to_topmost(self, db, manager):
+        with manager.begin() as txn:
+            db.create("Person", Name="A", Age=1)
+            txn.savepoint("s")
+            db.create("Person", Name="B", Age=2)
+            txn.savepoint("s")
+            db.create("Person", Name="C", Age=3)
+            txn.rollback_to("s")  # the inner one
+            assert db.object_count() == 2
+            txn.rollback_to("s")  # still the (same) topmost frame
+            assert db.object_count() == 2
+            txn.release("s")
+            txn.rollback_to("s")  # now the outer one
+            assert db.object_count() == 1
+
+    def test_savepoint_handle_from_other_txn_rejected(self, db, manager):
+        txn = manager.begin()
+        sp = txn.savepoint("s")
+        txn.commit()
+        with manager.begin() as txn2:
+            with pytest.raises(TransactionError, match="another"):
+                txn2.rollback_to(sp)
+
+    def test_abort_undoes_all_frames(self, db, manager):
+        a = db.create("Person", Name="A", Age=1)
+        with manager.begin() as txn:
+            db.update(a, "Age", 2)
+            txn.savepoint("s")
+            db.update(a, "Age", 3)
+            txn.savepoint("t")
+            db.create("Person", Name="B", Age=4)
+            txn.abort()
+        assert db.object_count() == 1
+        assert db.get(a.oid).Age == 1
+
+    def test_rolled_back_ops_not_journaled(self, db):
+        store = MemoryStore()
+        manager = TransactionManager(db, JournalWriter(store))
+        with manager.begin() as txn:
+            db.create("Person", Name="A", Age=1)
+            txn.savepoint("s")
+            db.create("Person", Name="B", Age=2)
+            db.create("Person", Name="C", Age=3)
+            txn.rollback_to("s")
+            db.create("Person", Name="D", Age=4)
+        from repro.storage import replay_journal
+
+        fresh = Database("People")
+        fresh.define_class(
+            "Person", attributes={"Name": "string", "Age": "integer"}
+        )
+        assert replay_journal(store, fresh) == 2
+        assert {h.Name for h in fresh.handles("Person")} == {"A", "D"}
+
+    def test_mvcc_reader_never_sees_rolled_back_state(self, db, manager):
+        a = db.create("Person", Name="A", Age=1)
+        with db.read_view() as snap_db:
+            # A reader pinned before the transaction sees the
+            # pre-transaction state through every savepoint dance.
+            with manager.begin() as txn:
+                db.update(a, "Age", 99)
+                assert snap_db.get(a.oid).Age == 1
+                txn.savepoint("s")
+                db.update(a, "Age", 7)
+                txn.rollback_to("s")
+            assert snap_db.get(a.oid).Age == 1
+        assert db.get(a.oid).Age == 99
+
+
+class TestIndexesAndViews:
+    def test_rollback_maintains_attribute_index(self, db, manager):
+        index = db.create_index("Person", "Age")
+        a = db.create("Person", Name="A", Age=1)
+        with manager.begin() as txn:
+            txn.savepoint("s")
+            db.update(a, "Age", 50)
+            b = db.create("Person", Name="B", Age=50)
+            assert len(index.lookup(50)) == 2
+            txn.rollback_to("s")
+            assert len(index.lookup(50)) == 0
+            assert a.oid in index.lookup(1)
+            assert not db.contains_oid(b.oid)
+
+    def test_rollback_maintains_materialized_view(self, db, manager):
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        materialized = view.materialize("Adult")
+        a = db.create("Person", Name="A", Age=30)
+        with manager.begin() as txn:
+            txn.savepoint("s")
+            db.update(a, "Age", 10)  # leaves Adult
+            b = db.create("Person", Name="B", Age=40)  # enters Adult
+            assert not materialized.contains(a.oid)
+            assert materialized.contains(b.oid)
+            txn.rollback_to("s")
+            assert materialized.contains(a.oid)
+            assert not materialized.contains(b.oid)
+        assert materialized.population().members == view.virtual_class(
+            "Adult"
+        ).population(use_cache=False).members
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(0, 60)),
+        st.tuples(
+            st.just("update"), st.integers(0, 9), st.integers(0, 60)
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 9)),
+    ),
+    min_size=0,
+    max_size=15,
+)
+
+
+def _apply(db, op, live):
+    if op[0] == "create":
+        live.append(db.create("Person", Name=f"N{op[1]}", Age=op[1]).oid)
+        return
+    targets = [o for o in live if db.contains_oid(o)]
+    if not targets:
+        return
+    if op[0] == "update":
+        db.update(targets[op[1] % len(targets)], "Age", op[2])
+    else:
+        db.delete(targets[op[1] % len(targets)])
+
+
+class TestRollbackEquivalence:
+    @given(prefix=_OPS, doomed=_OPS)
+    @settings(max_examples=30, deadline=None)
+    def test_rollback_is_equivalent_to_never_applied(
+        self, prefix, doomed
+    ):
+        """state(prefix; savepoint; doomed; rollback) == state(prefix)
+        — observed through raw values, an attribute index, and a
+        materialized view cache."""
+        db = Database("People")
+        db.define_class(
+            "Person", attributes={"Name": "string", "Age": "integer"}
+        )
+        index = db.create_index("Person", "Age")
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class(
+            "Adult", includes=["select P from Person where P.Age >= 21"]
+        )
+        materialized = view.materialize("Adult")
+        manager = TransactionManager(db)
+
+        live = []
+        with manager.begin() as txn:
+            for op in prefix:
+                _apply(db, op, live)
+            reference = db_state(db)
+            reference_index = {
+                age: set(index.lookup(age)) for age in range(0, 61)
+            }
+            reference_members = set(materialized.population().members)
+
+            txn.savepoint("s")
+            for op in doomed:
+                _apply(db, op, live)
+            txn.rollback_to("s")
+
+            assert db_state(db) == reference
+            assert {
+                age: set(index.lookup(age)) for age in range(0, 61)
+            } == reference_index
+            assert set(materialized.population().members) == (
+                reference_members
+            )
+        # And the cache still agrees with a from-scratch recompute.
+        assert materialized.population().members == view.virtual_class(
+            "Adult"
+        ).population(use_cache=False).members
+
+
+class TestCLISavepoints:
+    def test_txn_commands_roundtrip(self, tiny_db):
+        session = Session([tiny_db])
+        before = tiny_db.object_count()
+        assert "started" in session.execute(".begin")
+        tiny_db.create("Person", Name="Tmp", Age=50)
+        assert "savepoint s" in session.execute(".savepoint s")
+        tiny_db.create("Person", Name="Doomed", Age=60)
+        assert "rolled back" in session.execute(".rollback s")
+        assert "committed" in session.execute(".commit")
+        names = {h.Name for h in tiny_db.handles("Person")}
+        assert "Tmp" in names and "Doomed" not in names
+        assert tiny_db.object_count() == before + 1
+
+    def test_abort_via_cli(self, tiny_db):
+        session = Session([tiny_db])
+        before = tiny_db.object_count()
+        session.execute(".begin")
+        tiny_db.create("Person", Name="Tmp", Age=50)
+        assert "aborted" in session.execute(".abort")
+        assert tiny_db.object_count() == before
+
+    def test_rollback_without_txn_is_error(self, tiny_db):
+        session = Session([tiny_db])
+        assert "no open transaction" in session.execute(".rollback s")
+
+    def test_savepoint_needs_name(self, tiny_db):
+        session = Session([tiny_db])
+        session.execute(".begin")
+        assert "needs a savepoint name" in session.execute(".savepoint")
+        session.execute(".abort")
+
+    def test_txn_on_view_scope_is_error(self, tiny_db):
+        session = Session([tiny_db])
+        session.execute("create view V;")
+        assert "database scope" in session.execute(".begin")
+
+
+@pytest.fixture
+def server():
+    srv = ViewServer([build_people_db(10, seed=1)])
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with Client(host, port) as c:
+        yield c
+
+
+class TestServerTxn:
+    def test_scripted_txn_with_savepoint_rollback(self, client):
+        result = client.txn(
+            "Staff",
+            [
+                {"op": "create", "class": "Person", "ref": "keep",
+                 "value": {"Name": "Keep", "Age": 30}},
+                {"op": "savepoint", "name": "s"},
+                {"op": "create", "class": "Person", "ref": "doomed",
+                 "value": {"Name": "Doomed", "Age": 40}},
+                {"op": "update", "oid": {"$ref": "keep"},
+                 "attribute": "Age", "value": 99},
+                {"op": "rollback_to", "name": "s"},
+            ],
+        )
+        assert result["committed"] is True
+        keep = result["oids"]["keep"]
+        out = client.execute(
+            "select P from Person where P.Name = 'Keep'"
+        )
+        assert "(1 result(s))" in out
+        out = client.execute(
+            "select P from Person where P.Name = 'Doomed'"
+        )
+        assert "no results" in out
+        # The rolled-back update never happened.
+        out = client.execute(
+            "select P from Person where P.Age = 99"
+        )
+        assert "no results" in out
+        assert keep is not None
+
+    def test_txn_abort_reports_uncommitted(self, client):
+        result = client.txn(
+            "Staff",
+            [
+                {"op": "create", "class": "Person",
+                 "value": {"Name": "Gone", "Age": 1}},
+                {"op": "abort"},
+            ],
+        )
+        assert result["committed"] is False
+        out = client.execute(
+            "select P from Person where P.Name = 'Gone'"
+        )
+        assert "no results" in out
+
+    def test_release_then_rollback_to_released_fails_cleanly(
+        self, client
+    ):
+        with pytest.raises(ServerError):
+            client.txn(
+                "Staff",
+                [
+                    {"op": "savepoint", "name": "s"},
+                    {"op": "release", "name": "s"},
+                    {"op": "rollback_to", "name": "s"},
+                ],
+            )
+        # The failed transaction aborted; the connection still works.
+        assert client.ping() == "pong"
+
+    def test_interactive_begin_rejected_over_wire(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.execute(".begin")
+        assert excinfo.value.code == "bad_request"
+        assert "txn" in str(excinfo.value)
+
+    def test_unknown_ref_is_protocol_error(self, client):
+        with pytest.raises(ServerError):
+            client.txn(
+                "Staff",
+                [{"op": "delete", "oid": {"$ref": "nope"}}],
+            )

@@ -1,0 +1,330 @@
+"""Tests for the paged storage engine: disk manager, buffer pool,
+record chains, meta slots, and the checkpointed PagedDatabase."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import PagedDatabase
+from repro.storage.buffer import BufferManager
+from repro.storage.pages import (
+    FIRST_DATA_PID,
+    ChainWriter,
+    DiskManager,
+    chain_pages,
+    read_chain,
+    read_meta,
+    write_meta,
+)
+
+
+@pytest.fixture
+def disk(tmp_path):
+    with DiskManager(str(tmp_path / "pages.db"), page_size=512) as d:
+        yield d
+
+
+def ship_setup(db):
+    db.define_class("Ship", attributes={"name": "string", "tons": "integer"})
+
+
+class TestDiskManager:
+    def test_allocate_read_write_roundtrip(self, disk):
+        pid = disk.allocate()
+        disk.write_page(pid, b"hello")
+        page = disk.read_page(pid)
+        assert page[:5] == b"hello"
+        assert len(page) == 512
+        assert page[5:] == b"\x00" * 507
+
+    def test_out_of_range_access_raises(self, disk):
+        with pytest.raises(StorageError):
+            disk.read_page(0)
+        with pytest.raises(StorageError):
+            disk.write_page(5, b"x")
+
+    def test_oversized_payload_raises(self, disk):
+        disk.allocate()
+        with pytest.raises(StorageError):
+            disk.write_page(0, b"x" * 513)
+
+    def test_counters(self, disk):
+        pid = disk.allocate()
+        disk.write_page(pid, b"a")
+        disk.read_page(pid)
+        assert disk.pages_allocated == 1
+        assert disk.page_writes == 1
+        assert disk.page_reads == 1
+
+    def test_ragged_tail_padded_on_open(self, tmp_path):
+        path = str(tmp_path / "ragged.db")
+        with DiskManager(path, page_size=512) as d:
+            d.allocate()
+        with open(path, "ab") as f:
+            f.write(b"\xff" * 100)  # crash mid-extension
+        with DiskManager(path, page_size=512) as d:
+            assert d.num_pages == 2
+        assert os.path.getsize(path) == 1024
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            DiskManager(str(tmp_path / "x.db"), page_size=64)
+
+
+class TestMetaSlots:
+    def test_roundtrip(self, disk):
+        write_meta(disk, {"checkpoint_id": 1, "root": 7})
+        meta = read_meta(disk)
+        assert meta == {"checkpoint_id": 1, "root": 7}
+
+    def test_fresh_file_has_no_meta(self, disk):
+        assert read_meta(disk) is None
+
+    def test_highest_checkpoint_wins(self, disk):
+        write_meta(disk, {"checkpoint_id": 1, "root": 5})
+        write_meta(disk, {"checkpoint_id": 2, "root": 9})
+        assert read_meta(disk)["root"] == 9
+
+    def test_corrupt_slot_falls_back(self, disk):
+        write_meta(disk, {"checkpoint_id": 1, "root": 5})
+        write_meta(disk, {"checkpoint_id": 2, "root": 9})
+        # checkpoint 2 landed in slot 0; scribble over it.
+        disk.write_page(0, b"\xde\xad" * 32)
+        assert read_meta(disk)["root"] == 5
+
+    def test_oversized_meta_raises(self, disk):
+        with pytest.raises(StorageError):
+            write_meta(
+                disk, {"checkpoint_id": 1, "free": list(range(10_000))}
+            )
+
+
+class TestBufferManager:
+    def test_hit_and_miss_counting(self, disk):
+        buffer = BufferManager(disk, capacity=4)
+        pid = disk.allocate()
+        buffer.pin(pid)  # miss: fetched from disk
+        buffer.unpin(pid)
+        buffer.pin(pid)  # hit: still resident
+        buffer.unpin(pid)
+        snap = buffer.snapshot()
+        assert snap["misses"] == 1
+        assert snap["hits"] == 1
+
+    def test_lru_evicts_unpinned_only(self, disk):
+        buffer = BufferManager(disk, capacity=2)
+        a = buffer.allocate_page()  # resident, unpinned
+        b = buffer.allocate_page()
+        buffer.pin(b)  # a unpinned, b pinned
+        buffer.allocate_page()  # must evict a, not b
+        assert buffer.snapshot()["evictions"] == 1
+        assert b in [f.pid for f in buffer._frames.values()]
+        assert a not in [f.pid for f in buffer._frames.values()]
+        buffer.unpin(b)
+
+    def test_all_pinned_raises(self, disk):
+        buffer = BufferManager(disk, capacity=2)
+        buffer.pin(buffer.allocate_page())
+        buffer.pin(buffer.allocate_page())
+        with pytest.raises(StorageError, match="pinned"):
+            buffer.allocate_page()
+
+    def test_dirty_eviction_writes_back(self, disk):
+        buffer = BufferManager(disk, capacity=2)
+        a = buffer.allocate_page()
+        frame = buffer.pin(a)
+        frame.data[20:25] = b"dirty"
+        buffer.unpin(a, dirty=True)
+        # Fill the pool so `a` is evicted.
+        buffer.allocate_page()
+        buffer.allocate_page()
+        assert buffer.snapshot()["dirty_flushes"] >= 1
+        assert disk.read_page(a)[20:25] == b"dirty"
+
+    def test_seed_page_survives_eviction_as_zeros(self, disk):
+        buffer = BufferManager(disk, capacity=2)
+        a = buffer.allocate_page()
+        frame = buffer.pin(a)
+        frame.data[:5] = b"stale"
+        buffer.unpin(a, dirty=True)
+        buffer.flush_all()
+        buffer.drop(a)
+        # Recycle `a` (free-list style): the seeded frame must not
+        # resurrect the stale on-disk bytes, even through an eviction.
+        buffer.seed_page(a)
+        buffer.allocate_page()
+        buffer.allocate_page()  # evicts the seeded frame
+        with buffer.page(a) as frame:
+            assert bytes(frame.data[:5]) == b"\x00" * 5
+
+    def test_unpin_unknown_raises(self, disk):
+        buffer = BufferManager(disk, capacity=2)
+        with pytest.raises(StorageError):
+            buffer.unpin(3)
+
+    def test_capacity_floor(self, disk):
+        with pytest.raises(StorageError):
+            BufferManager(disk, capacity=1)
+
+
+class TestRecordChains:
+    def _buffer(self, disk, capacity=3):
+        disk.ensure_pages(FIRST_DATA_PID)
+        return BufferManager(disk, capacity)
+
+    def test_roundtrip(self, disk):
+        buffer = self._buffer(disk)
+        writer = ChainWriter(buffer)
+        records = [b"alpha", b"", b"b" * 50, b"tail"]
+        for record in records:
+            writer.append(record)
+        head, pages = writer.finish()
+        assert list(read_chain(buffer, head)) == records
+        assert pages >= 1
+
+    def test_records_span_pages(self, disk):
+        buffer = self._buffer(disk)
+        writer = ChainWriter(buffer)
+        big = bytes(range(256)) * 10  # 2560 bytes >> 512-byte pages
+        writer.append(big)
+        writer.append(b"after")
+        head, pages = writer.finish()
+        assert pages > 1
+        assert list(read_chain(buffer, head)) == [big, b"after"]
+
+    def test_chain_larger_than_pool_streams(self, disk):
+        buffer = self._buffer(disk, capacity=2)
+        writer = ChainWriter(buffer)
+        records = [bytes([i]) * 300 for i in range(40)]
+        for record in records:
+            writer.append(record)
+        head, pages = writer.finish()
+        assert pages > buffer.capacity
+        assert list(read_chain(buffer, head)) == records
+        assert buffer.snapshot()["evictions"] > 0
+
+    def test_chain_pages_lists_whole_chain(self, disk):
+        buffer = self._buffer(disk)
+        writer = ChainWriter(buffer)
+        writer.append(b"x" * 2000)
+        head, pages = writer.finish()
+        pids = chain_pages(buffer, head)
+        assert len(pids) == pages
+        assert pids[0] == head
+
+
+class TestPagedDatabase:
+    def test_fresh_create_and_reopen(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", ship_setup) as pg:
+            pg.db.create("Ship", {"name": "Maru", "tons": 800})
+        with PagedDatabase(path) as pg:
+            assert pg.db.name == "fleet"
+            ships = pg.db.handles("Ship")
+            assert [h.name for h in ships] == ["Maru"]
+
+    def test_checkpoint_cuts_journal(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", ship_setup) as pg:
+            for i in range(10):
+                pg.db.create("Ship", {"name": f"s{i}", "tons": i})
+            assert pg.journal_tail_batches() == 10
+            info = pg.checkpoint()
+            assert info["tail_batches"] == 0
+            assert pg.journal_tail_batches() == 0
+
+    def test_restart_replays_only_the_tail(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", ship_setup) as pg:
+            handles = [
+                pg.db.create("Ship", {"name": f"s{i}", "tons": i})
+                for i in range(30)
+            ]
+            pg.checkpoint()
+            pg.db.update(handles[0].oid, "tons", 123)
+            pg.db.delete(handles[1].oid)
+        with PagedDatabase(path) as pg:
+            # 30 creates are behind the checkpoint; only the 2
+            # post-checkpoint operations replay.
+            assert pg.replayed_on_open == 2
+            assert pg.db.raw_value(handles[0].oid)["tons"] == 123
+            assert not pg.db.contains_oid(handles[1].oid)
+            assert len(pg.db.extent("Ship")) == 29
+
+    def test_auto_checkpoint_every_n_batches(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(
+            path, "fleet", ship_setup, checkpoint_every=5
+        ) as pg:
+            start = pg.checkpoints_taken
+            for i in range(12):
+                pg.db.create("Ship", {"name": f"s{i}", "tons": i})
+            assert pg.checkpoints_taken == start + 2
+            assert pg.journal_tail_batches() == 2  # 12 mod 5
+
+    def test_checkpoint_recycles_freed_pages(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", ship_setup) as pg:
+            for i in range(20):
+                pg.db.create("Ship", {"name": f"s{i}", "tons": i})
+            pg.checkpoint()
+            pages_after_first = pg.disk.num_pages
+            # Steady-state checkpoints alternate between the same two
+            # chains' pages; the file must stop growing.
+            for _ in range(4):
+                pg.checkpoint()
+            assert pg.disk.num_pages <= pages_after_first + 2
+
+    def test_transactions_survive_restart(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", ship_setup) as pg:
+            with pg.transactions.begin():
+                a = pg.db.create("Ship", {"name": "a", "tons": 1})
+                pg.db.create("Ship", {"name": "b", "tons": 2})
+            with pg.transactions.begin() as txn:
+                pg.db.update(a.oid, "tons", 99)
+                txn.abort()
+        with PagedDatabase(path) as pg:
+            assert len(pg.db.extent("Ship")) == 2
+            assert pg.db.raw_value(a.oid)["tons"] == 1
+
+    def test_larger_than_pool_checkpoint_is_correct(self, tmp_path):
+        path = str(tmp_path / "big.pages")
+        with PagedDatabase(
+            path, "fleet", ship_setup, page_size=512, pool_pages=4
+        ) as pg:
+            for i in range(300):
+                pg.db.create("Ship", {"name": f"ship-{i:04d}", "tons": i})
+            info = pg.checkpoint()
+            assert info["pages"] > 4  # snapshot exceeds the pool
+            assert pg.buffer.snapshot()["evictions"] > 0
+        with PagedDatabase(path, page_size=512, pool_pages=4) as pg:
+            assert pg.replayed_on_open == 0
+            assert len(pg.db.extent("Ship")) == 300
+            tons = sorted(
+                pg.db.raw_value(oid)["tons"] for oid in pg.db.all_oids()
+            )
+            assert tons == list(range(300))
+
+    def test_page_size_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        PagedDatabase(path, "fleet", ship_setup, page_size=512).close()
+        with pytest.raises(StorageError, match="page_size"):
+            PagedDatabase(path, page_size=1024)
+
+    def test_storage_stats_shape(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", ship_setup) as pg:
+            pg.db.create("Ship", {"name": "x", "tons": 1})
+            stats = pg.storage_stats()
+            assert set(stats) == {"buffer", "disk", "checkpoint"}
+            assert stats["checkpoint"]["checkpoints_taken"] >= 1
+            assert stats["checkpoint"]["journal_tail_batches"] == 1
+            assert stats["disk"]["file_pages"] == pg.disk.num_pages
+
+    def test_db_exposes_storage(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", ship_setup) as pg:
+            assert pg.db.storage is pg
+            assert pg.db.txn_manager is pg.transactions

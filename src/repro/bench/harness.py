@@ -196,6 +196,19 @@ def server_metrics_table(
             f" ({mvcc['group_batched_ops']} writes,"
             f" max batch {mvcc['group_max_batch']})"
         )
+    pipeline = snap.get("pipeline") or {}
+    if pipeline.get("inflight_peak_connection"):
+        pauses = pipeline.get("backpressure_pauses") or {}
+        pause_text = (
+            ", ".join(f"{k}={v}" for k, v in sorted(pauses.items()))
+            or "none"
+        )
+        table.note(
+            "pipelining: peak"
+            f" {pipeline['inflight_peak_connection']} in-flight per"
+            f" connection ({pipeline['inflight_current']} now);"
+            f" backpressure pauses: {pause_text}"
+        )
     return table
 
 

@@ -279,6 +279,37 @@ def _render_server(metrics) -> List[str]:
             lines.append(
                 _line("repro_server_mvcc_events_total", count, event=event)
             )
+    pipeline = snap.get("pipeline", {})
+    if pipeline:
+        lines.append("# TYPE repro_server_inflight_requests gauge")
+        lines.append(
+            _line(
+                "repro_server_inflight_requests",
+                pipeline.get("inflight_current", 0),
+            )
+        )
+        lines.append(
+            "# TYPE repro_server_inflight_peak_connection gauge"
+        )
+        lines.append(
+            _line(
+                "repro_server_inflight_peak_connection",
+                pipeline.get("inflight_peak_connection", 0),
+            )
+        )
+        pauses = pipeline.get("backpressure_pauses", {})
+        if pauses:
+            lines.append(
+                "# TYPE repro_server_backpressure_pauses_total counter"
+            )
+            for kind, count in sorted(pauses.items()):
+                lines.append(
+                    _line(
+                        "repro_server_backpressure_pauses_total",
+                        count,
+                        kind=kind,
+                    )
+                )
     lines.append("# TYPE repro_server_request_seconds summary")
     for kind, summary in sorted(snap.get("latency", {}).items()):
         for quantile, field in (("0.5", "p50_ms"), ("0.99", "p99_ms")):

@@ -15,12 +15,21 @@ database. This package serves that scenario over TCP:
 - requests and responses travel as length-prefixed JSON frames
   (:mod:`~repro.server.protocol`);
 - :mod:`~repro.server.metrics` counts requests, errors and latencies,
-  surfaced through ``.stats`` and the bench harness.
+  surfaced through ``.stats`` and the bench harness;
+- :mod:`~repro.server.aio` is the **async pipelined serving layer**:
+  one event loop multiplexing thousands of connections, multiple
+  in-flight requests per connection completing out of order, a binary
+  framing option negotiated next to JSON, and backpressure that
+  pauses reading instead of dropping connections
+  (:class:`AsyncViewServer` / :class:`PipelinedClient`,
+  ``repro serve --async``).
 
-See ``docs/server.md`` for the wire protocol and concurrency model.
+See ``docs/server.md`` for the wire protocols, the concurrency model,
+and when to choose the threaded vs the async server.
 """
 
-from .client import Client, ServerError
+from .aio import AsyncViewServer, PipelinedClient
+from .client import Client, ConnectError, ServerError
 from .locks import LockTimeoutError, ReadWriteLock
 from .metrics import ServerMetrics
 from .protocol import MAX_FRAME, ProtocolError
@@ -28,9 +37,12 @@ from .server import ViewServer
 from .session import ServerSession
 
 __all__ = [
+    "AsyncViewServer",
     "Client",
+    "ConnectError",
     "LockTimeoutError",
     "MAX_FRAME",
+    "PipelinedClient",
     "ProtocolError",
     "ReadWriteLock",
     "ServerError",

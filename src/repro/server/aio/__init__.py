@@ -1,0 +1,32 @@
+"""``repro.server.aio`` — the async pipelined serving layer.
+
+A second serving layer next to the threaded
+:class:`~repro.server.ViewServer`, built for many thousands of
+concurrent connections:
+
+- :class:`AsyncViewServer` (:mod:`.server`): one event loop
+  multiplexing every connection, engine work on a bounded executor,
+  pipelined out-of-order request completion, per-connection
+  backpressure (in-flight caps and write high-water marks that pause
+  reading instead of dropping connections);
+- :mod:`.framing`: the compact binary wire format (length + type +
+  request id + tagged-value payload), negotiated per connection by the
+  ``RBP1`` preamble next to the JSON protocol;
+- :class:`PipelinedClient` (:mod:`.client`): a thread-safe client that
+  keeps many requests in flight on one connection and matches
+  responses by request id.
+
+``repro serve --async`` serves this layer from the CLI; see
+``docs/server.md`` for wire formats and semantics.
+"""
+
+from .client import PendingReply, PipelinedClient
+from .framing import MAGIC
+from .server import AsyncViewServer
+
+__all__ = [
+    "AsyncViewServer",
+    "MAGIC",
+    "PendingReply",
+    "PipelinedClient",
+]

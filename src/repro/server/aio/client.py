@@ -1,0 +1,285 @@
+"""A pipelining client: many in-flight requests on one connection.
+
+:class:`PipelinedClient` speaks either wire format (JSON framing, or
+the binary framing of :mod:`.framing` when ``binary=True`` — the
+``RBP1`` preamble is sent at connect time). Unlike the blocking
+:class:`~repro.server.client.Client`, it separates *submitting* a
+request from *collecting* its response:
+
+    with PipelinedClient(host, port, binary=True) as c:
+        replies = [c.submit("execute", line=q) for q in queries]
+        outputs = [r.result()["output"] for r in replies]
+
+``submit`` assigns the request id, writes the frame and returns a
+:class:`PendingReply` immediately; a background reader thread matches
+response frames to replies *by request id*, so responses may arrive in
+any order (the async server completes cheap requests past expensive
+ones). ``call`` is the blocking convenience (submit + wait), which
+also powers the shared :class:`~repro.server.client.CallApi`
+wrappers (``execute``, ``create``, ``batch``, ``txn``, …).
+
+``max_inflight`` is client-side flow control: ``submit`` blocks while
+that many requests are outstanding, complementing the server's own
+per-connection in-flight cap (which pauses *reading* instead of
+failing requests).
+
+The client is thread-safe: any thread may submit; any thread may wait
+on any reply.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import struct
+import threading
+from typing import Optional
+
+from ..protocol import MAX_FRAME, ConnectionClosed, ProtocolError
+from ..client import CallApi, ServerError, connect_with_retry
+from . import framing
+
+_LENGTH = struct.Struct(">I")
+
+
+class PendingReply:
+    """One outstanding request's future result."""
+
+    __slots__ = ("_event", "_result", "_error", "request_id")
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until the response arrives; raise its error if it was
+        an error frame (or the connection died)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"no response to request {self.request_id} within"
+                f" {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _resolve(self, result=None, error: BaseException = None) -> None:
+        self._result = result
+        self._error = error
+        self._event.set()
+
+
+class PipelinedClient(CallApi):
+    """One connection, many in-flight requests, either wire format."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        binary: bool = False,
+        timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = None,
+        connect_retries: int = 0,
+        retry_delay: float = 0.05,
+        max_inflight: Optional[int] = None,
+        max_frame: int = MAX_FRAME,
+        trace: Optional[str] = None,
+    ):
+        self._sock = connect_with_retry(
+            host,
+            port,
+            timeout=connect_timeout if connect_timeout is not None
+            else timeout,
+            retries=connect_retries,
+            retry_delay=retry_delay,
+        )
+        # The reader thread owns receiving; it blocks in recv until the
+        # socket dies, so the socket itself carries no timeout (waits
+        # are bounded per-reply instead).
+        self._sock.settimeout(None)
+        self._binary = binary
+        self._timeout = timeout
+        self._max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._pending = {}
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._slots = (
+            threading.BoundedSemaphore(max_inflight)
+            if max_inflight
+            else None
+        )
+        self._closed = False
+        self.trace = trace
+        if binary:
+            self._sock.sendall(framing.MAGIC)
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-pipeline-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, op: str, **fields) -> PendingReply:
+        """Write one request frame and return its pending reply."""
+        if self._closed:
+            raise ConnectionClosed("client is closed")
+        if self.trace is not None and "trace" not in fields:
+            fields["trace"] = self.trace
+        if self._slots is not None:
+            self._slots.acquire()
+        with self._lock:
+            request_id = next(self._ids)
+            reply = PendingReply(request_id)
+            self._pending[request_id] = reply
+        request = {"id": request_id, "op": op, **fields}
+        if self._binary:
+            data = framing.encode_request(request)
+        else:
+            payload = json.dumps(
+                request, separators=(",", ":")
+            ).encode("utf-8")
+            data = _LENGTH.pack(len(payload)) + payload
+        try:
+            with self._send_lock:
+                self._sock.sendall(data)
+        except OSError as error:
+            self._forget(request_id)
+            raise ConnectionClosed(
+                f"connection lost while sending: {error}"
+            )
+        return reply
+
+    def call(self, op: str, **fields):
+        """Submit one request and block for its result (the in-order
+        convenience the shared :class:`CallApi` wrappers build on)."""
+        return self.submit(op, **fields).result(self._timeout)
+
+    @property
+    def inflight(self) -> int:
+        """Requests submitted but not yet answered."""
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+
+    def _forget(self, request_id: int) -> None:
+        with self._lock:
+            self._pending.pop(request_id, None)
+        if self._slots is not None:
+            try:
+                self._slots.release()
+            except ValueError:
+                pass
+
+    def _read_loop(self) -> None:
+        error: BaseException = ConnectionClosed(
+            "server closed the connection"
+        )
+        try:
+            while True:
+                frame = self._read_frame()
+                if frame is None:
+                    break
+                self._dispatch(frame)
+        except (OSError, ConnectionClosed):
+            pass
+        except ProtocolError as pe:
+            error = pe
+        finally:
+            self._closed = True
+            with self._lock:
+                pending = list(self._pending.values())
+                self._pending.clear()
+            for reply in pending:
+                if self._slots is not None:
+                    try:
+                        self._slots.release()
+                    except ValueError:
+                        pass
+                reply._resolve(error=error)
+
+    def _dispatch(self, frame: dict) -> None:
+        request_id = frame.get("id")
+        with self._lock:
+            reply = self._pending.pop(request_id, None)
+        if reply is None:
+            return  # unsolicited (e.g. shutdown notice): drop
+        if self._slots is not None:
+            try:
+                self._slots.release()
+            except ValueError:
+                pass
+        if frame.get("ok"):
+            reply._resolve(result=frame.get("result"))
+        else:
+            err = frame.get("error") or {}
+            reply._resolve(
+                error=ServerError(
+                    str(err.get("code", "internal")),
+                    str(err.get("message", "unknown error")),
+                )
+            )
+
+    def _read_frame(self) -> Optional[dict]:
+        header = self._recv_exact(_LENGTH.size, eof_ok=True)
+        if header is None:
+            return None
+        (length,) = _LENGTH.unpack(header)
+        if length > self._max_frame:
+            raise ProtocolError(
+                f"response frame of {length} bytes exceeds"
+                f" {self._max_frame}"
+            )
+        body = self._recv_exact(length)
+        if self._binary:
+            return framing.decode_response(body)
+        try:
+            frame = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise ProtocolError(f"response frame is not valid JSON: {err}")
+        if not isinstance(frame, dict):
+            raise ProtocolError("response frame must be a JSON object")
+        return frame
+
+    def _recv_exact(self, count: int, eof_ok: bool = False):
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 65536))
+            if not chunk:
+                if eof_ok and remaining == count:
+                    return None
+                raise ConnectionClosed("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(2)  # SHUT_RDWR: wakes the reader
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._reader.join(timeout=2.0)
+
+    def __enter__(self) -> "PipelinedClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

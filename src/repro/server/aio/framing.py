@@ -1,0 +1,341 @@
+"""The binary wire format of the async server (negotiated next to JSON).
+
+A connection opens in the JSON protocol of :mod:`repro.server.protocol`
+unless the client's first four bytes are the magic preamble ``RBP1``
+("repro binary protocol 1"), in which case every subsequent frame —
+both directions — uses the compact binary framing defined here::
+
+    frame := u32 length (big-endian) | body (exactly `length` bytes)
+    body  := u8 type | u64 request_id (big-endian) | payload
+
+Frame types are :data:`TYPE_REQUEST` (client to server),
+:data:`TYPE_RESULT` and :data:`TYPE_ERROR` (server to client). The
+request id lives in the fixed header, not the payload: the server can
+echo it on *any* failure — even one where the payload is garbage it
+could read only nine bytes of — and a pipelining client can match
+responses without decoding payloads it no longer cares about. Id ``0``
+is reserved for "no id" (error frames answering frames whose body was
+undecodable); clients assign ids from 1.
+
+The payload is one *value* in a tagged, length-prefixed binary codec
+(no external dependency — msgpack is not assumed):
+
+    ========  ==========================================================
+    tag       encoding
+    ========  ==========================================================
+    ``N``     none
+    ``T``     true
+    ``F``     false
+    ``i``     int: zigzag varint
+    ``f``     float: 8-byte IEEE 754 big-endian
+    ``s``     str: varint byte length + UTF-8 bytes
+    ``l``     list: varint count + that many values
+    ``m``     map: varint count + (varint key length + UTF-8 key, value)
+    ``e``     set: varint count + that many values
+    ``o``     oid: varint space length + UTF-8 space + zigzag number
+    ========  ==========================================================
+
+A request payload is the map of request fields (everything the JSON
+frame would carry except ``id``); a result payload is the result
+value; an error payload is the map ``{"code": …, "message": …}``.
+Oids and sets have native tags, so the codec can carry any value the
+JSON protocol can (including its ``$oid``/``$set`` tagging, which the
+session layer still applies) as well as raw engine values.
+
+Decoding is defensive by construction — every length is bounds-checked
+against the remaining buffer, unknown tags, truncated values, trailing
+bytes and over-deep nesting raise :class:`ProtocolError` — because the
+async server answers a bad frame with an error frame and *keeps the
+connection*; a decoder crash would kill the read loop instead (the
+fuzz suite in ``tests/test_protocol_fuzz.py`` feeds this module
+garbage to hold it to that).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from ...engine.oid import Oid
+from ..protocol import BINARY_MAGIC, ERR_BAD_REQUEST, ProtocolError
+
+# Preamble a client sends immediately after connect to switch the
+# connection to binary framing. The first byte (0x52, "R") can never
+# open a JSON frame: it would declare a length far above any sane
+# max_frame, so the two protocols are distinguishable from byte one.
+MAGIC = BINARY_MAGIC
+
+TYPE_REQUEST = 1
+TYPE_RESULT = 2
+TYPE_ERROR = 3
+
+# length prefix | type + request id.
+LENGTH = struct.Struct(">I")
+HEADER = struct.Struct(">BQ")
+_FLOAT = struct.Struct(">d")
+
+# Nesting bound for the value decoder (and encoder, for symmetry): a
+# hostile payload of 1M open-list tags must not recurse the server
+# into a RecursionError.
+MAX_DEPTH = 100
+
+
+# ----------------------------------------------------------------------
+# Value codec
+
+
+def _pack_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _encode_int(out: bytearray, value: int) -> None:
+    # Zigzag maps small negatives to small varints; arbitrary-precision
+    # ints (Python's) are carried exactly.
+    encoded = (value << 1) if value >= 0 else ((-value << 1) - 1)
+    _pack_varint(out, encoded)
+
+
+def encode_value(value, out: bytearray = None, _depth: int = 0) -> bytes:
+    """Encode one value; raises :class:`ProtocolError` on types that
+    cannot cross the wire (mirroring :func:`protocol.wire_encode`)."""
+    if out is None:
+        out = bytearray()
+    if _depth > MAX_DEPTH:
+        raise ProtocolError("value nests deeper than the wire allows")
+    if value is None:
+        out.append(0x4E)  # N
+    elif value is True:
+        out.append(0x54)  # T
+    elif value is False:
+        out.append(0x46)  # F
+    elif isinstance(value, int):
+        out.append(0x69)  # i
+        _encode_int(out, value)
+    elif isinstance(value, float):
+        out.append(0x66)  # f
+        out.extend(_FLOAT.pack(value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(0x73)  # s
+        _pack_varint(out, len(data))
+        out.extend(data)
+    elif isinstance(value, Oid):
+        space = value.space.encode("utf-8")
+        out.append(0x6F)  # o
+        _pack_varint(out, len(space))
+        out.extend(space)
+        _encode_int(out, value.number)
+    elif isinstance(value, (list, tuple)):
+        out.append(0x6C)  # l
+        _pack_varint(out, len(value))
+        for item in value:
+            encode_value(item, out, _depth + 1)
+    elif isinstance(value, (set, frozenset)):
+        out.append(0x65)  # e
+        _pack_varint(out, len(value))
+        for item in sorted(value, key=repr):
+            encode_value(item, out, _depth + 1)
+    elif isinstance(value, dict):
+        out.append(0x6D)  # m
+        _pack_varint(out, len(value))
+        for key, item in value.items():
+            data = str(key).encode("utf-8")
+            _pack_varint(out, len(data))
+            out.extend(data)
+            encode_value(item, out, _depth + 1)
+    else:
+        raise ProtocolError(
+            f"value of type {type(value).__name__} cannot cross the wire"
+        )
+    return bytes(out)
+
+
+def _read_varint(
+    data: bytes, offset: int, max_shift: int = 70
+) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ProtocolError("truncated varint in binary payload")
+        if shift > max_shift:
+            raise ProtocolError("varint in binary payload is too long")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _read_int(data: bytes, offset: int) -> Tuple[int, int]:
+    # Lengths get the 10-byte sanity cap; *values* are Python ints of
+    # arbitrary precision, bounded only by the (already size-capped)
+    # frame they arrive in.
+    encoded, offset = _read_varint(data, offset, max_shift=7 * len(data))
+    return (encoded >> 1) if not encoded & 1 else -((encoded + 1) >> 1), offset
+
+
+def _read_bytes(data: bytes, offset: int, why: str) -> Tuple[bytes, int]:
+    length, offset = _read_varint(data, offset)
+    if length > len(data) - offset:
+        raise ProtocolError(f"truncated {why} in binary payload")
+    return data[offset : offset + length], offset + length
+
+
+def _decode_value(data: bytes, offset: int, depth: int):
+    if depth > MAX_DEPTH:
+        raise ProtocolError("binary payload nests deeper than allowed")
+    if offset >= len(data):
+        raise ProtocolError("truncated binary payload")
+    tag = data[offset]
+    offset += 1
+    if tag == 0x4E:  # N
+        return None, offset
+    if tag == 0x54:  # T
+        return True, offset
+    if tag == 0x46:  # F
+        return False, offset
+    if tag == 0x69:  # i
+        return _read_int(data, offset)
+    if tag == 0x66:  # f
+        if len(data) - offset < 8:
+            raise ProtocolError("truncated float in binary payload")
+        return _FLOAT.unpack_from(data, offset)[0], offset + 8
+    if tag == 0x73:  # s
+        raw, offset = _read_bytes(data, offset, "string")
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"invalid UTF-8 in binary payload: {error}")
+    if tag == 0x6F:  # o
+        raw, offset = _read_bytes(data, offset, "oid space")
+        try:
+            space = raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"invalid UTF-8 in binary payload: {error}")
+        number, offset = _read_int(data, offset)
+        return Oid(space, number), offset
+    if tag in (0x6C, 0x65):  # l / e
+        count, offset = _read_varint(data, offset)
+        # Each element takes at least one byte: a count beyond the
+        # remaining buffer is a lie (and would pre-allocate unbounded).
+        if count > len(data) - offset:
+            raise ProtocolError("collection count exceeds payload size")
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset, depth + 1)
+            items.append(item)
+        if tag == 0x65:
+            try:
+                return set(items), offset
+            except TypeError:
+                raise ProtocolError("unhashable element in wire set")
+        return items, offset
+    if tag == 0x6D:  # m
+        count, offset = _read_varint(data, offset)
+        if count > len(data) - offset:
+            raise ProtocolError("map count exceeds payload size")
+        result = {}
+        for _ in range(count):
+            raw, offset = _read_bytes(data, offset, "map key")
+            try:
+                key = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise ProtocolError(
+                    f"invalid UTF-8 in binary payload: {error}"
+                )
+            result[key], offset = _decode_value(data, offset, depth + 1)
+        return result, offset
+    raise ProtocolError(f"unknown binary value tag 0x{tag:02x}")
+
+
+def decode_value(data: bytes):
+    """Decode exactly one value; trailing bytes are a protocol error."""
+    value, offset = _decode_value(data, 0, 0)
+    if offset != len(data):
+        raise ProtocolError(
+            f"{len(data) - offset} trailing bytes after binary value"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Frames
+
+
+def encode_request(request: dict) -> bytes:
+    """One request frame; ``request`` is the JSON-protocol request dict
+    (its ``id`` moves into the fixed header and must be an int >= 1)."""
+    request_id = request.get("id")
+    if not isinstance(request_id, int) or request_id < 1:
+        raise ProtocolError(
+            "binary requests need an integer id >= 1, got"
+            f" {request_id!r}"
+        )
+    fields = {k: v for k, v in request.items() if k != "id"}
+    body = HEADER.pack(TYPE_REQUEST, request_id) + encode_value(fields)
+    return LENGTH.pack(len(body)) + body
+
+
+def encode_response(frame: dict) -> bytes:
+    """One response frame from a JSON-protocol response dict
+    (``{"id": …, "ok": …, "result"/"error": …}``)."""
+    request_id = frame.get("id")
+    if not isinstance(request_id, int) or request_id < 0:
+        request_id = 0
+    if frame.get("ok"):
+        body = HEADER.pack(TYPE_RESULT, request_id) + encode_value(
+            frame.get("result")
+        )
+    else:
+        body = HEADER.pack(TYPE_ERROR, request_id) + encode_value(
+            frame.get("error") or {}
+        )
+    return LENGTH.pack(len(body)) + body
+
+
+def decode_header(body: bytes) -> Tuple[int, int]:
+    """``(type, request_id)`` from the first 9 body bytes."""
+    if len(body) < HEADER.size:
+        raise ProtocolError(
+            f"binary frame body of {len(body)} bytes is shorter than"
+            f" the {HEADER.size}-byte header"
+        )
+    return HEADER.unpack_from(body)
+
+
+def decode_request(body: bytes) -> dict:
+    """A server-side request dict (with ``id``) from one frame body."""
+    frame_type, request_id = decode_header(body)
+    if frame_type != TYPE_REQUEST:
+        raise ProtocolError(
+            f"expected a request frame, got type {frame_type}",
+            code=ERR_BAD_REQUEST,
+        )
+    payload = decode_value(body[HEADER.size :])
+    if not isinstance(payload, dict):
+        raise ProtocolError("binary request payload must be a map")
+    payload["id"] = request_id if request_id else None
+    return payload
+
+
+def decode_response(body: bytes) -> dict:
+    """A client-side response dict (JSON-protocol shape) from one
+    frame body."""
+    frame_type, request_id = decode_header(body)
+    payload = decode_value(body[HEADER.size :])
+    if frame_type == TYPE_RESULT:
+        return {"id": request_id or None, "ok": True, "result": payload}
+    if frame_type == TYPE_ERROR:
+        if not isinstance(payload, dict):
+            raise ProtocolError("binary error payload must be a map")
+        return {"id": request_id or None, "ok": False, "error": payload}
+    raise ProtocolError(f"unexpected binary frame type {frame_type}")

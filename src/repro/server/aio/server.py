@@ -1,0 +1,761 @@
+"""The async pipelined server: one event loop, thousands of connections.
+
+:class:`AsyncViewServer` is a second serving layer next to the
+threaded :class:`~repro.server.server.ViewServer` — same shared
+scopes, same per-connection :class:`ServerSession`, same ops, same
+MVCC discipline — built for the deployment shape the threaded server
+cannot reach: *tens of thousands* of concurrent connections, each a
+cheap coroutine on one event loop instead of an OS thread.
+
+**Pipelining.** A connection may have many requests in flight at once
+(frames are tagged with client-assigned request ids), and responses
+complete **out of order**: each request runs as its own task, so a
+cheap ``ping`` overtakes an expensive scan submitted just before it.
+Per-connection ordering is preserved exactly where semantics need it —
+
+- *snapshot reads* (``select`` queries, ``ping``, introspection ops)
+  run concurrently with each other: each pins its own MVCC snapshot,
+  so they cannot observe torn state;
+- everything else (mutations, view DDL, session dot-commands) is a
+  **barrier**: it waits for every previously submitted request on the
+  connection, and later requests wait for it. A read submitted after a
+  write therefore sees that write — read-your-writes through group
+  commit — while reads among themselves still overtake each other.
+
+**Event loop never blocks.** Engine work (plan execution, commits,
+DDL under the catalog lock) runs on a bounded thread-pool executor;
+the loop only parses frames, schedules tasks and moves bytes. Writes
+ride the same leader/follower :class:`GroupCommitter` as the threaded
+server — and because pipelining keeps many write frames in flight per
+connection, far more of them coalesce into each commit window.
+
+**Backpressure, not failure.** Two mechanisms pause instead of drop:
+
+- *in-flight cap*: past ``max_inflight`` outstanding requests the
+  connection's read loop stops reading — TCP flow control pushes back
+  to the client — and resumes when a slot frees;
+- *write high-water*: when a connection's outbound buffer exceeds
+  ``write_high_water`` the responding task awaits ``drain()``; its
+  in-flight slot stays occupied, so a slow reader throttles its own
+  request stream rather than ballooning server memory.
+
+Both are counted (``ServerMetrics`` ``backpressure_pauses``) and
+exported (``repro_server_backpressure_pauses_total``).
+
+**Framing.** Connections open in the JSON protocol; a client whose
+first four bytes are the :data:`~.framing.MAGIC` preamble switches the
+connection to the compact binary framing of :mod:`.framing`
+(negotiation is per-connection, both formats served concurrently).
+
+The public lifecycle mirrors the threaded server (``start`` /
+``stop`` / ``serve_forever`` / context manager): the event loop runs
+on a dedicated background thread, so tests, benches and the CLI drive
+both servers identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack, contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ...obs import trace as _trace
+from ...obs.collect import Observability
+from ..locks import LockTimeoutError, ReadWriteLock
+from ..metrics import ServerMetrics
+from ..protocol import (
+    ERR_BAD_REQUEST,
+    ERR_FRAME_TOO_LARGE,
+    ERR_INTERNAL,
+    ERR_SERVER_BUSY,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    MAX_FRAME,
+    ProtocolError,
+    error_code_for,
+    error_frame,
+    result_frame,
+)
+from ..server import _DATA_WRITE_OPS, GroupCommitter
+from ..session import ServerSession
+from . import framing
+
+import json
+
+# Ops cheap and non-blocking enough to answer on the loop thread
+# itself — an executor hop costs more than the handler.
+_INLINE_OPS = frozenset({"ping"})
+
+# Read-classified ops that may run concurrently with each other on one
+# connection. ``execute`` needs a second look (dot-commands like
+# ``.use`` mutate private session state even though they classify as
+# reads for the *server* lock): only ``select`` lines join this set.
+_CONCURRENT_OPS = frozenset(
+    {"ping", "databases", "stats", "traces", "metrics", "explain"}
+)
+
+
+class _FrameError(Exception):
+    """A per-frame failure the connection survives: answer an error
+    frame carrying whatever request id could be recovered."""
+
+    def __init__(self, request_id, code: str, message: str):
+        super().__init__(message)
+        self.request_id = request_id
+        self.code = code
+
+
+class _Connection:
+    """Per-connection state: codec, session, ordering and flow control."""
+
+    __slots__ = (
+        "reader",
+        "writer",
+        "binary",
+        "session",
+        "inflight",
+        "peak_inflight",
+        "resume",
+        "barrier",
+        "outstanding",
+        "write_lock",
+    )
+
+    def __init__(self, reader, writer, session):
+        self.reader = reader
+        self.writer = writer
+        self.binary = False
+        self.session = session
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.resume = asyncio.Event()
+        self.barrier: Optional[asyncio.Task] = None
+        self.outstanding: set = set()
+        self.write_lock = asyncio.Lock()
+
+
+class AsyncViewServer:
+    """Event-loop sibling of :class:`~repro.server.ViewServer`."""
+
+    def __init__(
+        self,
+        scopes: Sequence,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 10_000,
+        max_frame: int = MAX_FRAME,
+        request_timeout: float = 10.0,
+        lock=None,
+        mvcc: bool = True,
+        batch_window: float = 0.001,
+        tracing: bool = True,
+        trace_ring: int = 256,
+        slow_query_threshold: Optional[float] = None,
+        metrics_port: Optional[int] = None,
+        max_inflight: int = 32,
+        executor_threads: Optional[int] = None,
+        binary: bool = True,
+        write_high_water: int = 1 << 18,
+    ):
+        self._scopes = list(scopes)
+        self._host = host
+        self._port = port
+        self._max_connections = max_connections
+        self._max_frame = max_frame
+        self._request_timeout = request_timeout
+        self.lock = lock if lock is not None else ReadWriteLock()
+        self.metrics = ServerMetrics()
+        self._mvcc = mvcc
+        self._committer = GroupCommitter(self, batch_window)
+        self._tracing = tracing
+        self.obs = Observability(
+            ring_capacity=trace_ring, slow_threshold=slow_query_threshold
+        )
+        self._metrics_port = metrics_port
+        self._metrics_http = None
+        self._trace_activated = False
+        self._max_inflight = max(1, max_inflight)
+        self._executor_threads = executor_threads
+        self._binary_enabled = binary
+        self._write_high_water = write_high_water
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._conn_tasks: set = set()
+        self._stopping = threading.Event()
+        self._started = False
+        self._address: Optional[Tuple[str, int]] = None
+
+    # -- shared-surface properties (GroupCommitter relies on these) ----
+
+    @property
+    def scopes(self) -> List:
+        return self._scopes
+
+    def _record_conflict_retry(self) -> None:
+        for scope in self._scopes:
+            stats = getattr(scope, "mvcc", None)
+            if stats is not None:
+                stats.record_conflict_retry()
+
+    @contextmanager
+    def _pinned_reads(self) -> Iterator[None]:
+        """Pin a consistent snapshot of every served database for the
+        calling (executor) thread — the MVCC lock-free read path."""
+        with ExitStack() as stack:
+            for scope in self._scopes:
+                read_view = getattr(scope, "read_view", None)
+                if read_view is not None:
+                    stack.enter_context(read_view())
+            yield
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("server is not started")
+        return self._address
+
+    def start(self) -> Tuple[str, int]:
+        """Spin up the loop thread, bind, return ``(host, port)``."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        if self._tracing and not self._trace_activated:
+            _trace.activate()
+            self._trace_activated = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._executor_threads,
+            thread_name_prefix="repro-aio-worker",
+        )
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="repro-aio-loop", daemon=True
+        )
+        self._loop_thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._bind(), self._loop)
+        self._address = future.result(timeout=10.0)[:2]
+        if self._metrics_port is not None and self._metrics_http is None:
+            from ...obs.export import MetricsHTTPServer, render_prometheus
+
+            self._metrics_http = MetricsHTTPServer(
+                self._host,
+                self._metrics_port,
+                lambda: render_prometheus(
+                    self._scopes, self.metrics, self.obs.histograms
+                ),
+            )
+        return self._address
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    async def _bind(self):
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            backlog=1024,
+        )
+        return self._server.sockets[0].getsockname()
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Graceful drain: stop accepting, let in-flight requests
+        finish and be answered, then close transports and the loop."""
+        if not self._started or self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._loop is not None and self._loop.is_running():
+            future = asyncio.run_coroutine_threadsafe(
+                self._shutdown(drain_timeout), self._loop
+            )
+            try:
+                future.result(timeout=drain_timeout + 5.0)
+            except Exception:
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=drain_timeout + 5.0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        if self._metrics_http is not None:
+            self._metrics_http.close()
+            self._metrics_http = None
+        if self._trace_activated:
+            _trace.deactivate()
+            self._trace_activated = False
+
+    async def _shutdown(self, drain_timeout: float) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [
+            task
+            for conn in list(self._connections)
+            for task in conn.outstanding
+            if not task.done()
+        ]
+        if pending:
+            await asyncio.wait(pending, timeout=drain_timeout)
+        for conn in list(self._connections):
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+        if self._conn_tasks:
+            done, still_running = await asyncio.wait(
+                list(self._conn_tasks), timeout=2.0
+            )
+            for task in still_running:
+                task.cancel()
+            if still_running:
+                await asyncio.gather(
+                    *still_running, return_exceptions=True
+                )
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until ``SIGTERM``/``SIGINT``."""
+        import signal
+
+        if not self._started:
+            self.start()
+        stop_requested = threading.Event()
+
+        def _handler(signum, frame):
+            stop_requested.set()
+
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                installed.append((signum, signal.signal(signum, _handler)))
+            except ValueError:  # not the main thread
+                pass
+        try:
+            while not stop_requested.wait(timeout=0.5):
+                pass
+        finally:
+            for signum, previous in installed:
+                signal.signal(signum, previous)
+            self.stop()
+
+    def __enter__(self) -> "AsyncViewServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Connection handling
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        if self._stopping.is_set() or (
+            len(self._connections) >= self._max_connections
+        ):
+            code = (
+                ERR_SHUTTING_DOWN
+                if self._stopping.is_set()
+                else ERR_SERVER_BUSY
+            )
+            message = (
+                "server is draining"
+                if code == ERR_SHUTTING_DOWN
+                else f"connection limit of {self._max_connections} reached"
+            )
+            if code == ERR_SERVER_BUSY:
+                self.metrics.record_connection("rejected")
+            try:
+                # Codec not negotiated yet: refusals are JSON.
+                writer.write(_encode_json(error_frame(None, code, message)))
+                await writer.drain()
+            except (OSError, ConnectionError):
+                pass
+            finally:
+                writer.close()
+            return
+        self.metrics.record_connection("opened")
+        session = ServerSession(
+            self._scopes, metrics=self.metrics, obs=self.obs
+        )
+        conn = _Connection(reader, writer, session)
+        self._connections.add(conn)
+        writer.transport.set_write_buffer_limits(
+            high=self._write_high_water
+        )
+        try:
+            await self._read_loop(conn)
+        except asyncio.CancelledError:
+            pass
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            self.metrics.record_connection("closed")
+            if conn.outstanding:
+                await asyncio.gather(
+                    *conn.outstanding, return_exceptions=True
+                )
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        # Codec negotiation: the first four bytes are either the binary
+        # magic or the first JSON frame's length prefix.
+        try:
+            first = await conn.reader.readexactly(4)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return
+        pending_header: Optional[bytes] = first
+        if first == framing.MAGIC:
+            if not self._binary_enabled:
+                await self._send(
+                    conn,
+                    _encode_json(
+                        error_frame(
+                            None,
+                            ERR_BAD_REQUEST,
+                            "binary framing is disabled on this server",
+                        )
+                    ),
+                )
+                return
+            conn.binary = True
+            pending_header = None
+        while True:
+            try:
+                request, read_elapsed = await self._read_request(
+                    conn, pending_header
+                )
+            except _FrameError as error:
+                pending_header = None
+                frame = error_frame(
+                    error.request_id, error.code, str(error)
+                )
+                await self._send(conn, self._encode(conn, frame))
+                continue
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ):
+                return
+            pending_header = None
+            if request is None:  # clean EOF
+                return
+            await self._dispatch(conn, request, read_elapsed)
+
+    async def _read_request(
+        self, conn: _Connection, pending_header: Optional[bytes]
+    ):
+        """Read one request frame; ``(None, _)`` on clean EOF. Raises
+        :class:`_FrameError` for per-frame failures the connection
+        survives."""
+        reader = conn.reader
+        started = time.perf_counter()
+        if pending_header is None:
+            try:
+                header = await reader.readexactly(4)
+            except asyncio.IncompleteReadError as error:
+                if not error.partial:
+                    return None, 0.0
+                raise
+        else:
+            header = pending_header
+        (length,) = framing.LENGTH.unpack(header)
+        if conn.binary:
+            if length > self._max_frame:
+                # Salvage the request id from the 9-byte body header
+                # before discarding, so the error frame is matchable.
+                request_id = None
+                if length >= framing.HEADER.size:
+                    head = await reader.readexactly(framing.HEADER.size)
+                    try:
+                        _, rid = framing.decode_header(head)
+                        request_id = rid or None
+                    except ProtocolError:
+                        pass
+                    await _discard(reader, length - framing.HEADER.size)
+                else:
+                    await _discard(reader, length)
+                raise _FrameError(
+                    request_id,
+                    ERR_FRAME_TOO_LARGE,
+                    f"frame of {length} bytes exceeds limit of"
+                    f" {self._max_frame}",
+                )
+            body = await reader.readexactly(length)
+            try:
+                request = framing.decode_request(body)
+            except ProtocolError as error:
+                request_id = None
+                try:
+                    _, rid = framing.decode_header(body)
+                    request_id = rid or None
+                except ProtocolError:
+                    pass
+                raise _FrameError(request_id, error.code, str(error))
+            return request, time.perf_counter() - started
+        if length > self._max_frame:
+            await _discard(reader, length)
+            raise _FrameError(
+                None,
+                ERR_FRAME_TOO_LARGE,
+                f"frame of {length} bytes exceeds limit of"
+                f" {self._max_frame}",
+            )
+        data = await reader.readexactly(length)
+        try:
+            request = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _FrameError(
+                None, ERR_BAD_REQUEST, f"frame is not valid JSON: {error}"
+            )
+        if not isinstance(request, dict):
+            raise _FrameError(
+                None, ERR_BAD_REQUEST, "frame payload must be a JSON object"
+            )
+        return request, time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    async def _dispatch(
+        self, conn: _Connection, request: dict, read_elapsed: float
+    ) -> None:
+        request_id = request.get("id")
+        if self._stopping.is_set():
+            frame = error_frame(
+                request_id, ERR_SHUTTING_DOWN, "server is draining"
+            )
+            await self._send(conn, self._encode(conn, frame))
+            return
+        op = str(request.get("op"))
+        kind = conn.session.classify(request)
+        concurrent = self._is_concurrent(op, kind, request)
+        # Backpressure: past the in-flight cap, stop reading (the
+        # caller — the read loop — awaits here, so TCP pushes back).
+        if conn.inflight >= self._max_inflight:
+            self.metrics.record_backpressure("inflight")
+            while conn.inflight >= self._max_inflight:
+                conn.resume.clear()
+                await conn.resume.wait()
+        if concurrent:
+            deps = (
+                [conn.barrier]
+                if conn.barrier is not None and not conn.barrier.done()
+                else []
+            )
+        else:
+            deps = [t for t in conn.outstanding if not t.done()]
+        conn.inflight += 1
+        if conn.inflight > conn.peak_inflight:
+            conn.peak_inflight = conn.inflight
+        self.metrics.inflight_started(conn.inflight)
+        if op in _INLINE_OPS and not deps:
+            # Fast path: an inline op with nothing to wait on is
+            # answered right here on the loop — no task object, no
+            # outstanding-set bookkeeping. At a 4:1 ping:select mix
+            # this is most of the request stream.
+            try:
+                data = self._execute_request(
+                    conn, request, op, kind, read_elapsed
+                )
+                await self._send(conn, data)
+            except (OSError, ConnectionError):
+                pass
+            finally:
+                conn.inflight -= 1
+                self.metrics.inflight_finished()
+                conn.resume.set()
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._process(conn, request, op, kind, deps, read_elapsed)
+        )
+        conn.outstanding.add(task)
+        task.add_done_callback(conn.outstanding.discard)
+        if not concurrent:
+            conn.barrier = task
+
+    @staticmethod
+    def _is_concurrent(op: str, kind: str, request: dict) -> bool:
+        if op in _CONCURRENT_OPS:
+            return True
+        if op == "execute" and kind == "read":
+            line = str(request.get("line", "")).strip()
+            return line.rstrip(";").lstrip().lower().startswith("select")
+        return False
+
+    async def _process(
+        self, conn, request, op, kind, deps, read_elapsed
+    ) -> None:
+        try:
+            if deps:
+                await asyncio.gather(*deps, return_exceptions=True)
+            if op in _INLINE_OPS:
+                data = self._execute_request(
+                    conn, request, op, kind, read_elapsed
+                )
+            else:
+                data = await asyncio.get_running_loop().run_in_executor(
+                    self._executor,
+                    self._execute_request,
+                    conn,
+                    request,
+                    op,
+                    kind,
+                    read_elapsed,
+                )
+            await self._send(conn, data)
+        except asyncio.CancelledError:
+            pass
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            conn.inflight -= 1
+            self.metrics.inflight_finished()
+            conn.resume.set()
+
+    def _execute_request(
+        self, conn, request: dict, op: str, kind: str, read_elapsed: float
+    ) -> bytes:
+        """Runs on an executor thread (or inline for ``_INLINE_OPS``):
+        trace, dispatch through the session, encode the response."""
+        if not self._tracing:
+            frame = self._handle(conn.session, request, op, kind)
+            return self._encode(conn, frame)
+        trace_id = request.get("trace")
+        attrs = {"op": op, "kind": kind}
+        line = request.get("line")
+        if isinstance(line, str):
+            attrs["line"] = line
+        with _trace.trace_context(
+            "request",
+            trace_id=trace_id if isinstance(trace_id, str) else None,
+            **attrs,
+        ) as t:
+            _trace.add_span("wire.read", read_elapsed)
+            frame = self._handle(conn.session, request, op, kind)
+            # Response serialization is the write-side CPU cost; the
+            # actual transport write is buffered on the loop.
+            write_start = time.perf_counter()
+            data = self._encode(conn, frame)
+            _trace.add_span(
+                "wire.write", time.perf_counter() - write_start
+            )
+        self.obs.record(t)
+        return data
+
+    def _handle(
+        self, session: ServerSession, request: dict, op: str, kind: str
+    ) -> dict:
+        request_id = request.get("id")
+        start = time.perf_counter()
+        error_code = None
+        try:
+            if op == "ping":
+                # Touches no data: a snapshot pin (and the snapshot-
+                # read counter) would be pure overhead on the single
+                # hottest op.
+                result = session.handle(request)
+            elif self._mvcc and kind == "read":
+                with self._pinned_reads():
+                    result = session.handle(request)
+                self.metrics.record_snapshot_read()
+            elif self._mvcc and op in _DATA_WRITE_OPS:
+                parent = _trace.current_trace()
+                result = self._committer.submit(
+                    lambda: self._handle_adopted(session, request, parent),
+                    self._request_timeout,
+                )
+            else:
+                with self.lock.locked(kind, timeout=self._request_timeout):
+                    result = session.handle(request)
+            frame = result_frame(request_id, result)
+        except LockTimeoutError as error:
+            error_code = ERR_TIMEOUT
+            frame = error_frame(request_id, ERR_TIMEOUT, str(error))
+        except ProtocolError as error:
+            error_code = error_code_for(error)
+            frame = error_frame(request_id, error_code, str(error))
+        except Exception as error:  # engine errors -> structured frames
+            error_code = error_code_for(error)
+            message = (
+                str(error)
+                if error_code != ERR_INTERNAL
+                else f"{type(error).__name__}: {error}"
+            )
+            frame = error_frame(request_id, error_code, message)
+        self.metrics.record_request(
+            op, kind, time.perf_counter() - start, error_code
+        )
+        return frame
+
+    @staticmethod
+    def _handle_adopted(session, request, parent) -> object:
+        with _trace.adopt(parent):
+            return session.handle(request)
+
+    # ------------------------------------------------------------------
+    # Writing
+
+    def _encode(self, conn: _Connection, frame: dict) -> bytes:
+        if conn.binary:
+            try:
+                return framing.encode_response(frame)
+            except ProtocolError:
+                # A result the binary codec cannot carry: degrade to a
+                # structured error rather than killing the connection.
+                return framing.encode_response(
+                    error_frame(
+                        frame.get("id"),
+                        ERR_INTERNAL,
+                        "result not encodable in binary framing",
+                    )
+                )
+        return _encode_json(frame)
+
+    async def _send(self, conn: _Connection, data: bytes) -> None:
+        # ``write()`` is synchronous and ``data`` is one complete
+        # frame, so concurrent senders cannot interleave mid-frame;
+        # the transport flushes buffered frames from the loop. Only a
+        # buffer past the high-water mark costs an awaited drain.
+        transport = conn.writer.transport
+        if transport.is_closing():
+            return
+        conn.writer.write(data)
+        if transport.get_write_buffer_size() > self._write_high_water:
+            self.metrics.record_backpressure("write")
+            async with conn.write_lock:
+                await conn.writer.drain()
+
+
+def _encode_json(frame: dict) -> bytes:
+    payload = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    return framing.LENGTH.pack(len(payload)) + payload
+
+
+async def _discard(reader, count: int) -> None:
+    remaining = count
+    while remaining > 0:
+        chunk = await reader.read(min(remaining, 65536))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        remaining -= len(chunk)

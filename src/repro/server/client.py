@@ -3,7 +3,16 @@
 :class:`Client` speaks the length-prefixed JSON protocol over one TCP
 connection. Requests are answered strictly in order, so the client is
 a straightforward call/response wrapper; it is *not* thread-safe — use
-one client per thread (the E14 bench does exactly that).
+one client per thread (the E14 bench does exactly that). For multiple
+in-flight requests on one connection, use
+:class:`repro.server.aio.PipelinedClient`.
+
+Connecting is bounded and typed: ``connect_timeout`` caps one attempt,
+``connect_retries`` retries a refused connection (a server still
+binding its socket), and failure surfaces as :class:`ConnectError` —
+a :class:`~repro.errors.ReproError` — instead of a raw ``OSError``,
+so callers and test helpers no longer hand-roll sleep loops around
+``ConnectionRefusedError``.
 
 Error frames surface as :class:`ServerError`, carrying the stable wire
 ``code`` so callers can dispatch (``timeout``, ``query_syntax_error``,
@@ -14,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import socket
+import time
 from typing import List, Optional
 
 from ..engine.oid import Oid
@@ -37,56 +47,58 @@ class ServerError(ReproError):
         self.wire_message = message
 
 
-class Client:
-    """One blocking connection to a :class:`~repro.server.ViewServer`."""
+class ConnectError(ReproError):
+    """The server could not be reached (refused, unreachable, timed
+    out), after any configured retries."""
 
-    def __init__(
-        self,
-        host: str,
-        port: int,
-        *,
-        timeout: Optional[float] = 30.0,
-        max_frame: int = MAX_FRAME,
-        trace: Optional[str] = None,
-    ):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._max_frame = max_frame
-        self._ids = itertools.count(1)
-        self._closed = False
-        # When set, every request carries this id in its ``trace``
-        # field so the server's span tree attaches to *our* trace id
-        # (queryable back via ``traces``).
-        self.trace = trace
-
-    # ------------------------------------------------------------------
-
-    def call(self, op: str, **fields):
-        """Send one request, wait for its response, return the result.
-
-        A per-call ``trace`` field (or the client-level :attr:`trace`)
-        propagates a trace id to the server. Raises
-        :class:`ServerError` on an error frame and
-        :class:`ConnectionClosed` if the transport dies.
-        """
-        if self._closed:
-            raise ConnectionClosed("client is closed")
-        request_id = next(self._ids)
-        if self.trace is not None and "trace" not in fields:
-            fields["trace"] = self.trace
-        send_frame(self._sock, {"id": request_id, "op": op, **fields})
-        response = recv_frame(self._sock, self._max_frame)
-        if response is None:
-            self._closed = True
-            raise ConnectionClosed("server closed the connection")
-        if response.get("ok"):
-            return response.get("result")
-        error = response.get("error") or {}
-        raise ServerError(
-            str(error.get("code", "internal")),
-            str(error.get("message", "unknown error")),
+    def __init__(self, host: str, port: int, attempts: int, cause: OSError):
+        tries = f" after {attempts} attempts" if attempts > 1 else ""
+        super().__init__(
+            f"cannot connect to {host}:{port}{tries}: {cause}"
         )
+        self.host = host
+        self.port = port
+        self.attempts = attempts
+        self.cause = cause
 
-    # -- convenience wrappers ------------------------------------------
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_delay: float = 0.05,
+) -> socket.socket:
+    """Open a TCP connection, retrying refused/unreachable attempts.
+
+    ``retries`` is the number of *additional* attempts after the first
+    (so ``retries=0`` keeps the old single-shot behaviour); failures
+    raise :class:`ConnectError` carrying the last ``OSError``.
+    """
+    attempts = max(0, int(retries)) + 1
+    last_error: Optional[OSError] = None
+    for attempt in range(attempts):
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except OSError as error:
+            last_error = error
+            if attempt + 1 < attempts:
+                time.sleep(retry_delay)
+    raise ConnectError(host, port, attempts, last_error)
+
+
+class CallApi:
+    """Convenience wrappers over a ``call(op, **fields)`` method.
+
+    Shared by the blocking :class:`Client` and the async server's
+    :class:`~repro.server.aio.PipelinedClient`: both expose the same
+    operation surface, differing only in how ``call`` reaches the
+    server.
+    """
+
+    def call(self, op: str, **fields):  # pragma: no cover - interface
+        raise NotImplementedError
 
     def ping(self) -> str:
         return self.call("ping")
@@ -197,6 +209,67 @@ class Client:
             },
         }
 
+
+class Client(CallApi):
+    """One blocking connection to a :class:`~repro.server.ViewServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = None,
+        connect_retries: int = 0,
+        retry_delay: float = 0.05,
+        max_frame: int = MAX_FRAME,
+        trace: Optional[str] = None,
+    ):
+        self._sock = connect_with_retry(
+            host,
+            port,
+            timeout=connect_timeout if connect_timeout is not None
+            else timeout,
+            retries=connect_retries,
+            retry_delay=retry_delay,
+        )
+        self._sock.settimeout(timeout)
+        self._max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._closed = False
+        # When set, every request carries this id in its ``trace``
+        # field so the server's span tree attaches to *our* trace id
+        # (queryable back via ``traces``).
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+
+    def call(self, op: str, **fields):
+        """Send one request, wait for its response, return the result.
+
+        A per-call ``trace`` field (or the client-level :attr:`trace`)
+        propagates a trace id to the server. Raises
+        :class:`ServerError` on an error frame and
+        :class:`ConnectionClosed` if the transport dies.
+        """
+        if self._closed:
+            raise ConnectionClosed("client is closed")
+        request_id = next(self._ids)
+        if self.trace is not None and "trace" not in fields:
+            fields["trace"] = self.trace
+        send_frame(self._sock, {"id": request_id, "op": op, **fields})
+        response = recv_frame(self._sock, self._max_frame)
+        if response is None:
+            self._closed = True
+            raise ConnectionClosed("server closed the connection")
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServerError(
+            str(error.get("code", "internal")),
+            str(error.get("message", "unknown error")),
+        )
+
     # ------------------------------------------------------------------
 
     def close(self) -> None:
@@ -220,8 +293,10 @@ class Client:
 
 
 def connect_main(argv: Optional[List[str]] = None) -> int:
-    """``repro connect [HOST] [PORT]`` — an interactive shell whose
-    every line is executed by the server (default 127.0.0.1:7474)."""
+    """``repro connect [HOST] [PORT] [--binary]`` — an interactive
+    shell whose every line is executed by the server (default
+    127.0.0.1:7474; ``--binary`` negotiates the binary framing of
+    :mod:`repro.server.aio` instead of JSON)."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -229,15 +304,26 @@ def connect_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("host", nargs="?", default="127.0.0.1")
     parser.add_argument("port", nargs="?", type=int, default=7474)
+    parser.add_argument(
+        "--binary",
+        action="store_true",
+        help="speak the binary framing (async servers only)",
+    )
     args = parser.parse_args(argv)
 
     try:
-        client = Client(args.host, args.port)
-    except OSError as error:
-        print(f"cannot connect to {args.host}:{args.port}: {error}")
+        if args.binary:
+            from .aio.client import PipelinedClient
+
+            client = PipelinedClient(args.host, args.port, binary=True)
+        else:
+            client = Client(args.host, args.port)
+    except ReproError as error:
+        print(str(error))
         return 1
+    codec = "binary" if args.binary else "json"
     print(
-        f"connected to {args.host}:{args.port} —"
+        f"connected to {args.host}:{args.port} ({codec} framing) —"
         " lines are executed remotely; '.quit' to leave."
     )
     with client:
@@ -260,7 +346,7 @@ def connect_main(argv: Optional[List[str]] = None) -> int:
                 buffer = ""
 
 
-def _print_remote(client: Client, text: str) -> None:
+def _print_remote(client: CallApi, text: str) -> None:
     try:
         output = client.execute(text)
     except ServerError as error:

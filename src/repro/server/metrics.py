@@ -85,6 +85,11 @@ class ServerMetrics:
         self.group_batches = 0
         self.group_batched_ops = 0
         self.group_max_batch = 0
+        # Async serving layer: pipelined in-flight depth and
+        # backpressure pauses (zero on a threaded server).
+        self.inflight_current = 0
+        self.inflight_peak_connection = 0
+        self.backpressure_pauses: Dict[str, int] = {}
         self._latency = {
             "read": LatencyReservoir(),
             "write": LatencyReservoir(),
@@ -130,6 +135,27 @@ class ServerMetrics:
             if size > self.group_max_batch:
                 self.group_max_batch = size
 
+    def inflight_started(self, connection_depth: int) -> None:
+        """A pipelined request was admitted; ``connection_depth`` is
+        its connection's in-flight count including it."""
+        with self._lock:
+            self.inflight_current += 1
+            if connection_depth > self.inflight_peak_connection:
+                self.inflight_peak_connection = connection_depth
+
+    def inflight_finished(self) -> None:
+        with self._lock:
+            self.inflight_current -= 1
+
+    def record_backpressure(self, kind: str) -> None:
+        """A connection paused: ``kind`` is ``inflight`` (read loop hit
+        the in-flight cap) or ``write`` (outbound buffer crossed the
+        high-water mark)."""
+        with self._lock:
+            self.backpressure_pauses[kind] = (
+                self.backpressure_pauses.get(kind, 0) + 1
+            )
+
     # ------------------------------------------------------------------
 
     @property
@@ -165,6 +191,13 @@ class ServerMetrics:
                     "group_batched_ops": self.group_batched_ops,
                     "group_max_batch": self.group_max_batch,
                 },
+                "pipeline": {
+                    "inflight_current": self.inflight_current,
+                    "inflight_peak_connection": (
+                        self.inflight_peak_connection
+                    ),
+                    "backpressure_pauses": dict(self.backpressure_pauses),
+                },
                 "requests_per_s": (
                     round((reads.count + writes.count) / uptime, 2)
                     if uptime > 0
@@ -192,6 +225,21 @@ class ServerMetrics:
                     f"  mean {summary['mean_ms']}ms"
                     f"  ({summary['count']} reqs)"
                 )
+        pipeline = snap["pipeline"]
+        if pipeline["inflight_peak_connection"]:
+            pauses = pipeline["backpressure_pauses"]
+            lines.append(
+                f"pipelining:      {pipeline['inflight_current']} in"
+                " flight now, peak"
+                f" {pipeline['inflight_peak_connection']}/connection;"
+                f" backpressure pauses: "
+                + (
+                    ", ".join(
+                        f"{k}={v}" for k, v in sorted(pauses.items())
+                    )
+                    or "none"
+                )
+            )
         mvcc = snap["mvcc"]
         if mvcc["snapshot_reads"] or mvcc["group_batches"]:
             lines.append(

@@ -50,6 +50,14 @@ _LENGTH = struct.Struct(">I")
 # cannot make the server buffer unbounded input.
 MAX_FRAME = 1 << 20
 
+# Preamble of the async server's binary framing
+# (:mod:`repro.server.aio.framing`). The JSON reader recognizes it so
+# a binary client reaching a JSON-only server gets a structured
+# refusal instead of a connection that silently hangs: interpreted as
+# a length prefix these bytes would declare a ~1.4 GB frame, and the
+# old reader would block draining input that never comes.
+BINARY_MAGIC = b"RBP1"
+
 # Stable error codes carried in error frames.
 ERR_BAD_REQUEST = "bad_request"
 ERR_FRAME_TOO_LARGE = "frame_too_large"
@@ -153,6 +161,11 @@ def recv_frame(
     header = _recv_exact(sock, _LENGTH.size, allow_eof=True)
     if header is None:
         return None
+    if header == BINARY_MAGIC:
+        raise ProtocolError(
+            "binary framing (RBP1) is not supported on this"
+            " connection; use the JSON protocol or an async server"
+        )
     (length,) = _LENGTH.unpack(header)
     if length > max_frame:
         _discard_exact(sock, length)

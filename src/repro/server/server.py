@@ -47,7 +47,7 @@ Robustness limits:
 
 from __future__ import annotations
 
-import select
+import selectors
 import signal
 import socket
 import threading
@@ -380,34 +380,45 @@ class ViewServer:
     # Accept loop
 
     def _accept_loop(self) -> None:
+        # selectors (epoll/kqueue underneath) rather than select():
+        # select.select rejects any fd >= FD_SETSIZE (1024), which
+        # silently capped the server around a thousand connections.
         listener = self._listener
-        while not self._stopping.is_set():
-            try:
-                ready, _, _ = select.select([listener], [], [], _POLL_INTERVAL)
-            except (OSError, ValueError):
-                return
-            if not ready:
-                continue
-            try:
-                conn, _peer = listener.accept()
-            except OSError:
-                return
-            if self._active_connections() >= self._max_connections:
-                self.metrics.record_connection("rejected")
-                self._refuse(conn)
-                continue
-            self.metrics.record_connection("opened")
-            self._threads = [t for t in self._threads if t.is_alive()]
-            with self._conn_lock:
-                self._connections.append(conn)
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(conn,),
-                name="repro-conn",
-                daemon=True,
-            )
-            self._threads.append(thread)
-            thread.start()
+        poller = selectors.DefaultSelector()
+        poller.register(listener, selectors.EVENT_READ)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    ready = poller.select(_POLL_INTERVAL)
+                except (OSError, ValueError):
+                    return
+                if not ready:
+                    continue
+                try:
+                    conn, _peer = listener.accept()
+                except OSError:
+                    return
+                self._admit(conn)
+        finally:
+            poller.close()
+
+    def _admit(self, conn: socket.socket) -> None:
+        if self._active_connections() >= self._max_connections:
+            self.metrics.record_connection("rejected")
+            self._refuse(conn)
+            return
+        self.metrics.record_connection("opened")
+        self._threads = [t for t in self._threads if t.is_alive()]
+        with self._conn_lock:
+            self._connections.append(conn)
+        thread = threading.Thread(
+            target=self._serve_connection,
+            args=(conn,),
+            name="repro-conn",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
 
     def _active_connections(self) -> int:
         with self._conn_lock:
@@ -438,19 +449,22 @@ class ViewServer:
         session = ServerSession(
             self._scopes, metrics=self.metrics, obs=self.obs
         )
+        poller = selectors.DefaultSelector()
         try:
+            poller.register(conn, selectors.EVENT_READ)
             while not self._stopping.is_set():
                 try:
-                    ready, _, _ = select.select(
-                        [conn], [], [], _POLL_INTERVAL
-                    )
+                    ready = poller.select(_POLL_INTERVAL)
                 except (OSError, ValueError):
                     return
                 if not ready:
                     continue
                 if not self._serve_one(conn, session):
                     return
+        except (OSError, ValueError):
+            return  # register() on an already-dead socket
         finally:
+            poller.close()
             self._close_connection(conn)
 
     def _serve_one(
@@ -587,6 +601,12 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     the redo tail — see ``--checkpoint-every`` and ``--pool-pages``).
     With none of these, an empty catalog is served (clients can still
     create views over nothing — mostly useful for smoke tests).
+
+    ``--async`` serves the event-loop pipelined server
+    (``repro.server.aio``) instead of the thread-per-connection one:
+    thousands of connections, multiple in-flight requests each,
+    binary framing negotiated next to JSON (``--no-binary`` disables),
+    and per-connection backpressure (``--max-inflight``).
     """
     import argparse
 
@@ -594,6 +614,37 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         prog="repro serve", description=serve_main.__doc__
     )
     parser.add_argument("--demo", action="store_true")
+    parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve the asyncio pipelined server instead of a thread"
+        " per connection",
+    )
+    parser.add_argument(
+        "--binary",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="accept the RBP1 binary framing next to JSON"
+        " (async server only; --no-binary refuses it)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        metavar="N",
+        dest="max_inflight",
+        help="async server: per-connection in-flight request cap;"
+        " past it the connection's read loop pauses (backpressure)",
+    )
+    parser.add_argument(
+        "--executor-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="executor_threads",
+        help="async server: worker threads executing engine work",
+    )
     parser.add_argument("--store", default=None, metavar="PATH")
     parser.add_argument(
         "--paged",
@@ -621,7 +672,12 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7474)
     parser.add_argument(
-        "--max-connections", type=int, default=64, dest="max_connections"
+        "--max-connections",
+        type=int,
+        default=None,
+        dest="max_connections",
+        help="concurrent-connection cap (default: 64 threaded,"
+        " 10000 async)",
     )
     parser.add_argument(
         "--no-mvcc",
@@ -682,11 +738,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         paged = PagedDatabase(args.paged, name="db", **kwargs)
         scopes.append(paged.db)
 
-    server = ViewServer(
-        scopes,
+    common = dict(
         host=args.host,
         port=args.port,
-        max_connections=args.max_connections,
         mvcc=not args.no_mvcc,
         batch_window=args.batch_window,
         tracing=not args.no_tracing,
@@ -697,9 +751,27 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         ),
         metrics_port=args.metrics_port,
     )
+    if args.use_async:
+        from .aio import AsyncViewServer
+
+        server = AsyncViewServer(
+            scopes,
+            max_connections=args.max_connections or 10_000,
+            max_inflight=args.max_inflight,
+            executor_threads=args.executor_threads,
+            binary=args.binary,
+            **common,
+        )
+    else:
+        server = ViewServer(
+            scopes,
+            max_connections=args.max_connections or 64,
+            **common,
+        )
     host, port = server.start()
     names = ", ".join(s.scope_name for s in scopes) or "(empty catalog)"
-    print(f"repro server on {host}:{port} serving {names}")
+    flavor = "async" if args.use_async else "threaded"
+    print(f"repro server ({flavor}) on {host}:{port} serving {names}")
     if args.metrics_port is not None:
         print(f"metrics on http://{host}:{args.metrics_port}/metrics")
     try:

@@ -1,0 +1,346 @@
+"""Protocol fuzz tests: hostile bytes against both wire formats.
+
+The framing contract under attack: a decoder fed garbage must raise
+:class:`ProtocolError` — never ``IndexError``/``MemoryError``/
+``RecursionError`` — and a live server fed garbage must answer a
+structured error frame *per frame* and keep the connection's read
+loop alive. Every generator is seeded, so failures replay.
+"""
+
+import json
+import random
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.engine.oid import Oid
+from repro.server import AsyncViewServer, ViewServer
+from repro.server.aio import framing
+from repro.server.protocol import ProtocolError, recv_frame, send_frame
+from repro.workloads import build_people_db
+
+_LENGTH = struct.Struct(">I")
+
+
+def _rich_value():
+    return {
+        "ints": [0, 1, -1, 2**40, -(2**40)],
+        "floats": [0.0, -2.5, 1e300],
+        "text": "héllo☃",
+        "oid": Oid("Staff", 123),
+        "set": {1, 2, 3},
+        "deep": {"a": {"b": {"c": [None, True, False]}}},
+    }
+
+
+class TestValueCodecFuzz:
+    def test_random_garbage_never_escapes_protocol_error(self):
+        rng = random.Random(7)
+        for _ in range(300):
+            blob = rng.randbytes(rng.randrange(0, 64))
+            try:
+                framing.decode_value(blob)
+            except ProtocolError:
+                pass  # the only acceptable failure
+
+    def test_every_truncation_of_a_rich_value_fails_cleanly(self):
+        data = framing.encode_value(_rich_value())
+        for cut in range(len(data)):
+            with pytest.raises(ProtocolError):
+                framing.decode_value(data[:cut])
+
+    def test_bit_flips_never_escape_protocol_error(self):
+        data = framing.encode_value(_rich_value())
+        rng = random.Random(11)
+        for _ in range(300):
+            mutated = bytearray(data)
+            for _ in range(rng.randrange(1, 4)):
+                mutated[rng.randrange(len(mutated))] ^= 1 << rng.randrange(8)
+            try:
+                framing.decode_value(bytes(mutated))
+            except ProtocolError:
+                pass
+
+    def test_lying_collection_counts_are_refused(self):
+        # A list header claiming a billion elements over a 3-byte body.
+        blob = bytearray(b"l")
+        out = bytearray()
+        framing._pack_varint(out, 10**9)
+        blob += out + b"NNN"
+        with pytest.raises(ProtocolError, match="count exceeds"):
+            framing.decode_value(bytes(blob))
+
+    def test_lying_map_counts_are_refused(self):
+        blob = bytearray(b"m")
+        out = bytearray()
+        framing._pack_varint(out, 10**9)
+        blob += out
+        with pytest.raises(ProtocolError, match="count exceeds"):
+            framing.decode_value(bytes(blob))
+
+    def test_oversized_length_varint_is_refused(self):
+        # 11 continuation bytes: a length no sane frame contains.
+        blob = b"s" + b"\xff" * 11 + b"\x01"
+        with pytest.raises(ProtocolError, match="too long"):
+            framing.decode_value(blob)
+
+    def test_deep_nesting_is_bounded_not_recursive_death(self):
+        blob = (b"l\x01" * 5000) + b"N"
+        with pytest.raises(ProtocolError, match="nests deeper"):
+            framing.decode_value(blob)
+
+    def test_invalid_utf8_in_string_is_a_protocol_error(self):
+        blob = b"s\x02\xff\xfe"
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            framing.decode_value(blob)
+
+    def test_random_valid_values_roundtrip(self):
+        rng = random.Random(13)
+
+        def gen(depth):
+            kind = rng.randrange(8 if depth < 3 else 5)
+            if kind == 0:
+                return None
+            if kind == 1:
+                return rng.choice([True, False])
+            if kind == 2:
+                return rng.randrange(-(2**64), 2**64)
+            if kind == 3:
+                return rng.random() * 10**6
+            if kind == 4:
+                return "".join(
+                    chr(rng.randrange(32, 0x2FFF))
+                    for _ in range(rng.randrange(8))
+                )
+            if kind == 5:
+                return [gen(depth + 1) for _ in range(rng.randrange(4))]
+            if kind == 6:
+                return {
+                    f"k{i}": gen(depth + 1)
+                    for i in range(rng.randrange(4))
+                }
+            return Oid("Fuzz", rng.randrange(1, 10**9))
+
+        for _ in range(200):
+            value = gen(0)
+            assert framing.decode_value(framing.encode_value(value)) == value
+
+
+@pytest.fixture
+def aserver():
+    srv = AsyncViewServer([build_people_db(5, seed=1)], max_frame=4096)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _recv_exact(sock, count):
+    data = b""
+    while len(data) < count:
+        chunk = sock.recv(count - len(data))
+        assert chunk, "connection died mid-frame"
+        data += chunk
+    return data
+
+
+def _recv_binary(sock):
+    (length,) = _LENGTH.unpack(_recv_exact(sock, 4))
+    return framing.decode_response(_recv_exact(sock, length))
+
+
+def _binary_conn(server):
+    host, port = server.address
+    sock = socket.create_connection((host, port), timeout=10)
+    sock.sendall(framing.MAGIC)
+    return sock
+
+
+class TestAsyncServerJsonFuzz:
+    def test_garbage_json_gets_error_frame_not_a_drop(self, aserver):
+        host, port = aserver.address
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            payload = b"\x00\xffnot json"
+            sock.sendall(_LENGTH.pack(len(payload)) + payload)
+            frame = recv_frame(sock)
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "bad_request"
+            send_frame(sock, {"id": 1, "op": "ping"})
+            assert recv_frame(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_split_delivery_one_byte_at_a_time(self, aserver):
+        host, port = aserver.address
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            payload = json.dumps({"id": 3, "op": "ping"}).encode()
+            data = _LENGTH.pack(len(payload)) + payload
+            for index in range(len(data)):
+                sock.sendall(data[index : index + 1])
+            assert recv_frame(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_oversized_frame_survivable(self, aserver):
+        host, port = aserver.address
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            big = json.dumps(
+                {"id": 1, "op": "execute", "line": "x" * 8192}
+            ).encode()
+            sock.sendall(_LENGTH.pack(len(big)) + big)
+            frame = recv_frame(sock)
+            assert frame["error"]["code"] == "frame_too_large"
+            send_frame(sock, {"id": 2, "op": "ping"})
+            assert recv_frame(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_garbage_frame_storm_every_frame_answered(self, aserver):
+        host, port = aserver.address
+        rng = random.Random(17)
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            for _ in range(50):
+                blob = rng.randbytes(rng.randrange(1, 200))
+                sock.sendall(_LENGTH.pack(len(blob)) + blob)
+                frame = recv_frame(sock)  # exactly one answer per frame
+                assert frame["ok"] is False
+            send_frame(sock, {"id": 99, "op": "ping"})
+            assert recv_frame(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+
+class TestAsyncServerBinaryFuzz:
+    def test_garbage_body_gets_error_frame(self, aserver):
+        sock = _binary_conn(aserver)
+        try:
+            blob = b"\xde\xad\xbe\xef\xfe\xed\xfa\xce\x00garbage"
+            sock.sendall(_LENGTH.pack(len(blob)) + blob)
+            frame = _recv_binary(sock)
+            assert frame["ok"] is False
+            sock.sendall(framing.encode_request({"id": 1, "op": "ping"}))
+            assert _recv_binary(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_split_delivery_one_byte_at_a_time(self, aserver):
+        sock = _binary_conn(aserver)
+        try:
+            data = framing.encode_request({"id": 5, "op": "ping"})
+            for index in range(len(data)):
+                sock.sendall(data[index : index + 1])
+            assert _recv_binary(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_oversized_frame_echoes_salvaged_request_id(self, aserver):
+        sock = _binary_conn(aserver)
+        try:
+            # 8000-byte frame (limit 4096) with a readable 9-byte
+            # header: the error frame must carry request id 42.
+            body = framing.HEADER.pack(framing.TYPE_REQUEST, 42)
+            body += b"\x00" * (8000 - len(body))
+            sock.sendall(_LENGTH.pack(len(body)) + body)
+            frame = _recv_binary(sock)
+            assert frame["ok"] is False
+            assert frame["id"] == 42
+            assert frame["error"]["code"] == "frame_too_large"
+            sock.sendall(framing.encode_request({"id": 43, "op": "ping"}))
+            assert _recv_binary(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_bad_payload_echoes_request_id(self, aserver):
+        sock = _binary_conn(aserver)
+        try:
+            body = framing.HEADER.pack(framing.TYPE_REQUEST, 77)
+            body += b"\xff\xff\xff"  # not a decodable value
+            sock.sendall(_LENGTH.pack(len(body)) + body)
+            frame = _recv_binary(sock)
+            assert frame["ok"] is False
+            assert frame["id"] == 77
+        finally:
+            sock.close()
+
+    def test_garbage_frame_storm_every_frame_answered(self, aserver):
+        rng = random.Random(23)
+        sock = _binary_conn(aserver)
+        try:
+            for _ in range(50):
+                blob = rng.randbytes(rng.randrange(1, 200))
+                sock.sendall(_LENGTH.pack(len(blob)) + blob)
+                frame = _recv_binary(sock)
+                # Random bytes occasionally decode into a request for
+                # an unknown op — still exactly one structured answer.
+                assert frame["ok"] is False
+            sock.sendall(framing.encode_request({"id": 999, "op": "ping"}))
+            assert _recv_binary(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_non_request_frame_type_is_refused(self, aserver):
+        sock = _binary_conn(aserver)
+        try:
+            body = framing.HEADER.pack(framing.TYPE_RESULT, 8)
+            body += framing.encode_value(None)
+            sock.sendall(_LENGTH.pack(len(body)) + body)
+            frame = _recv_binary(sock)
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "bad_request"
+        finally:
+            sock.close()
+
+
+class TestThreadedServerFuzz:
+    """The JSON-only server holds the same per-frame survival line."""
+
+    @pytest.fixture
+    def tserver(self):
+        srv = ViewServer([build_people_db(5, seed=1)], max_frame=4096)
+        srv.start()
+        yield srv
+        srv.stop()
+
+    def test_garbage_frame_storm(self, tserver):
+        host, port = tserver.address
+        rng = random.Random(29)
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            for _ in range(30):
+                blob = rng.randbytes(rng.randrange(1, 200))
+                sock.sendall(_LENGTH.pack(len(blob)) + blob)
+                frame = recv_frame(sock)
+                assert frame["ok"] is False
+            send_frame(sock, {"id": 1, "op": "ping"})
+            assert recv_frame(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_split_delivery(self, tserver):
+        host, port = tserver.address
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            payload = json.dumps({"id": 2, "op": "ping"}).encode()
+            data = _LENGTH.pack(len(payload)) + payload
+            for index in range(len(data)):
+                sock.sendall(data[index : index + 1])
+                time.sleep(0.001)
+            assert recv_frame(sock)["result"] == "pong"
+        finally:
+            sock.close()
+
+    def test_binary_magic_is_a_structured_refusal(self, tserver):
+        host, port = tserver.address
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(framing.MAGIC)
+            frame = recv_frame(sock)
+            assert frame["ok"] is False
+            assert "binary framing" in frame["error"]["message"]
+        finally:
+            sock.close()

@@ -4,6 +4,7 @@ import json
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
@@ -303,3 +304,67 @@ class TestDurability:
         finally:
             srv2.stop()
             store.close()
+
+
+class TestConnect:
+    """Typed, bounded connecting (connect_with_retry / ConnectError)."""
+
+    def test_refused_connection_is_a_typed_error(self):
+        # Grab a port that is certainly closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        from repro.errors import ReproError
+        from repro.server import ConnectError
+
+        with pytest.raises(ConnectError) as info:
+            Client("127.0.0.1", port, connect_timeout=1.0)
+        assert isinstance(info.value, ReproError)
+        assert info.value.port == port
+        assert info.value.attempts == 1
+        assert isinstance(info.value.cause, OSError)
+
+    def test_retries_are_counted(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        from repro.server import ConnectError
+
+        with pytest.raises(ConnectError) as info:
+            Client(
+                "127.0.0.1",
+                port,
+                connect_timeout=1.0,
+                connect_retries=2,
+                retry_delay=0.01,
+            )
+        assert info.value.attempts == 3
+        assert "3 attempts" in str(info.value)
+
+    def test_retry_wins_once_the_server_listens(self):
+        from repro.server.client import connect_with_retry
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def listen_late():
+            time.sleep(0.2)
+            listener.listen(1)
+
+        t = threading.Thread(target=listen_late)
+        t.start()
+        try:
+            sock = connect_with_retry(
+                "127.0.0.1",
+                port,
+                timeout=1.0,
+                retries=40,
+                retry_delay=0.05,
+            )
+            sock.close()
+        finally:
+            t.join()
+            listener.close()

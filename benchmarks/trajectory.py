@@ -1,0 +1,150 @@
+"""Aggregate every ``BENCH_*.json`` into one trajectory table.
+
+Each PR's tentpole bench drops a machine-readable ``BENCH_<pr>.json``
+next to this script (``{"pr": N, "experiment": "E..", "smoke": bool,
+"series": {...}}``). This tool folds them into a single trajectory —
+one row per (pr, experiment, series, cell) — so the performance story
+across the stacked PRs is greppable and CI can archive it as an
+artifact without re-running anything.
+
+Usage::
+
+    python benchmarks/trajectory.py            # table to stdout
+    python benchmarks/trajectory.py --json     # machine-readable
+    python benchmarks/trajectory.py --out F    # write JSON to F
+
+Cells are flattened conservatively: scalar fields of each series
+entry become ``metric=value`` pairs; nested containers are skipped
+(the per-PR JSON keeps full fidelity — the trajectory is the index,
+not the archive).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def load_benches(directory: str = HERE):
+    """All ``BENCH_*.json`` payloads, sorted by PR number."""
+    payloads = []
+    for path in glob.glob(os.path.join(directory, "BENCH_*.json")):
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (OSError, ValueError) as error:
+            print(f"skipping {path}: {error}", file=sys.stderr)
+            continue
+        payload["_file"] = os.path.basename(path)
+        payloads.append(payload)
+    payloads.sort(key=lambda p: (p.get("pr", 0), p["_file"]))
+    return payloads
+
+
+def _label(entry: dict) -> str:
+    """A human key for one series cell: its identifying string/small
+    fields, in insertion order."""
+    parts = []
+    for key, value in entry.items():
+        if isinstance(value, str):
+            parts.append(value)
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, int) and key in (
+            "connections", "depth", "shards", "shard", "clients",
+            "pages", "objects",
+        ):
+            parts.append(f"{key}={value}")
+    return " / ".join(parts) or "-"
+
+
+def _metrics(entry: dict) -> dict:
+    """The numeric fields of one series cell."""
+    return {
+        key: value
+        for key, value in entry.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def flatten(payloads) -> list:
+    """One record per series cell across every bench payload."""
+    records = []
+    for payload in payloads:
+        base = {
+            "pr": payload.get("pr"),
+            "experiment": payload.get("experiment", "?"),
+            "smoke": bool(payload.get("smoke")),
+            "file": payload["_file"],
+        }
+        series = payload.get("series")
+        if not isinstance(series, dict):
+            continue
+        for series_name, cells in series.items():
+            if not isinstance(cells, list):
+                continue
+            for cell in cells:
+                if not isinstance(cell, dict):
+                    continue
+                records.append(
+                    {
+                        **base,
+                        "series": series_name,
+                        "cell": _label(cell),
+                        "metrics": _metrics(cell),
+                    }
+                )
+    return records
+
+
+def render(records) -> str:
+    lines = ["pr  experiment  series / cell -> metrics"]
+    lines.append("-" * 72)
+    for record in records:
+        metrics = ", ".join(
+            f"{key}={value:g}" if isinstance(value, float)
+            else f"{key}={value}"
+            for key, value in record["metrics"].items()
+        )
+        smoke = " [smoke]" if record["smoke"] else ""
+        lines.append(
+            f"{record['pr']:<3} {record['experiment']:<11}"
+            f" {record['series']} / {record['cell']}{smoke} -> {metrics}"
+        )
+    lines.append("-" * 72)
+    lines.append(
+        f"{len(records)} cells from"
+        f" {len({r['file'] for r in records})} bench file(s)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    records = flatten(load_benches())
+    out_path = None
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+    if "--json" in argv or out_path:
+        payload = {"cells": records}
+        text = json.dumps(payload, indent=2) + "\n"
+        if out_path:
+            with open(out_path, "w") as f:
+                f.write(text)
+            print(f"wrote {out_path} ({len(records)} cells)")
+        else:
+            sys.stdout.write(text)
+    else:
+        print(render(records))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # `... | head` is fine
+        raise SystemExit(0)

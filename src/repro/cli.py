@@ -1,6 +1,8 @@
 """An interactive shell for databases and views.
 
-Run ``python -m repro`` (optionally with ``--demo`` for sample data).
+Run ``python -m repro`` (optionally with ``--demo`` for sample data,
+and ``--shards N`` to fan eligible scans out to N worker processes —
+see ``docs/sharding.md``).
 ``python -m repro serve`` starts the network server and ``python -m
 repro connect`` opens a remote shell against one (see
 :mod:`repro.server`). The local shell accepts:
@@ -344,31 +346,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.render import trace_main
 
         return trace_main(argv[1:])
+    shards = 0
+    if "--shards" in argv:
+        at = argv.index("--shards")
+        try:
+            shards = int(argv[at + 1])
+        except (IndexError, ValueError):
+            print("usage: --shards N", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
     if "--demo" in argv:
         session = demo_session()
         print("demo catalog:", ", ".join(session.catalog.names()))
     else:
         session = Session()
+    executors = []
+    if shards > 1:
+        from .engine import Database
+        from .exec import attach_executor
+
+        for name in session.catalog.names():
+            scope = session.catalog.get(name)
+            if isinstance(scope, Database):
+                executors.append(attach_executor(scope, shards))
+        print(f"sharded execution: {shards} worker shards per database")
     print("repro shell — Objects and Views (SIGMOD 1991). '.help' for help.")
     buffer = ""
-    while True:
-        try:
-            prompt = "....> " if buffer else "repro> "
-            line = input(prompt)
-        except (EOFError, KeyboardInterrupt):
-            print()
-            return 0
-        if line.strip().startswith("."):
-            output = session.execute(line)
-            if output:
-                print(output)
-            continue
-        buffer += line + "\n"
-        if ";" in line or line.strip().lower().startswith("select"):
-            output = session.execute(buffer)
-            buffer = ""
-            if output:
-                print(output)
+    try:
+        while True:
+            try:
+                prompt = "....> " if buffer else "repro> "
+                line = input(prompt)
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return 0
+            if line.strip().startswith("."):
+                output = session.execute(line)
+                if output:
+                    print(output)
+                continue
+            buffer += line + "\n"
+            if ";" in line or line.strip().lower().startswith("select"):
+                output = session.execute(buffer)
+                buffer = ""
+                if output:
+                    print(output)
+    finally:
+        for executor in executors:
+            executor.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,8 +35,10 @@ from ..errors import (
     ValueTypeError,
 )
 from .events import (
+    AttributeDefined,
     ClassDefined,
     EventBus,
+    IndexCreated,
     ObjectCreated,
     ObjectDeleted,
     ObjectUpdated,
@@ -83,6 +85,26 @@ class Database(Scope):
         self._pins = ScopePins()
         self.mvcc = CommitStats()
         self.versions = VersionRegistry(name)
+        # Install hooks run under the commit lock, after the version
+        # counter has advanced: replication-style subscribers (the
+        # sharded-execution coordinator) use them to stamp the events
+        # of the installed version. Must be fast and must not mutate
+        # the database.
+        self._install_hooks: List = []
+
+    def add_install_hook(self, hook) -> "callable":
+        """Register ``hook(version)`` to run after every version
+        install (under the commit lock). Returns an unregister
+        callable."""
+        self._install_hooks.append(hook)
+
+        def remove() -> None:
+            try:
+                self._install_hooks.remove(hook)
+            except ValueError:
+                pass
+
+        return remove
 
     # ------------------------------------------------------------------
     # Indexes
@@ -115,6 +137,9 @@ class Database(Scope):
         with self._commit_lock:
             index = self._live_indexes().create_index(
                 class_name, attribute, kind
+            )
+            self._events.publish(
+                IndexCreated(self._name, class_name, attribute, kind)
             )
             self._commit()
         return index
@@ -336,6 +361,8 @@ class Database(Scope):
         self._store_version += 1
         self._current_snapshot = None
         self.mvcc.record_install(ops)
+        for hook in self._install_hooks:
+            hook(self._store_version)
         if _trace.ENABLED:
             _trace.add_span(
                 "commit.install",
@@ -451,6 +478,20 @@ class Database(Scope):
         with self._commit_lock:
             adef = self._schema.define_attribute(
                 class_name, attribute, declared_type, value, arity
+            )
+            from ..storage.serializer import type_to_data
+
+            self._events.publish(
+                AttributeDefined(
+                    self._name,
+                    class_name,
+                    attribute,
+                    type_to_data(adef.declared_type)
+                    if adef.declared_type is not None
+                    else None,
+                    adef.is_computed(),
+                    adef.arity,
+                )
             )
             self._commit()
         return adef

@@ -51,6 +51,33 @@ class ClassDefined(Event):
     class_name: str
 
 
+@dataclass(frozen=True)
+class AttributeDefined(Event):
+    """A DDL event: ``define_attribute`` ran on the database.
+
+    Carries the declarative description of the attribute (the same
+    shape :mod:`repro.storage.persistence` journals): subscribers that
+    replicate schema — the sharded-execution coordinator ships these to
+    its worker replicas — can re-apply it without holding the
+    procedure object (computed attributes replicate as placeholders).
+    """
+
+    class_name: str
+    attribute: str
+    declared_type: object  # ``type_to_data`` form, or None
+    computed: bool
+    arity: int
+
+
+@dataclass(frozen=True)
+class IndexCreated(Event):
+    """A DDL event: ``create_index`` ran on the database."""
+
+    class_name: str
+    attribute: str
+    kind: str  # "hash" | "ordered"
+
+
 Subscriber = Callable[[Event], None]
 
 

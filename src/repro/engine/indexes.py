@@ -484,6 +484,22 @@ class IndexManager:
                 return index
         return None
 
+    def specs(self) -> List[Tuple[str, str, str]]:
+        """``(class, attribute, kind)`` of every index — the shape a
+        replica needs to recreate the registry."""
+        return [
+            (
+                class_name,
+                attribute,
+                "ordered"
+                if isinstance(index, OrderedAttributeIndex)
+                else "hash",
+            )
+            for (class_name, attribute), index in sorted(
+                self._indexes.items()
+            )
+        ]
+
     def publish(self) -> "IndexManagerSnapshot":
         """Capture the whole registry for a database snapshot."""
         return IndexManagerSnapshot(

@@ -1,0 +1,25 @@
+"""Multi-process sharded scatter–gather execution.
+
+See :mod:`repro.exec.coordinator` for the architecture overview and
+``docs/sharding.md`` for the user-facing story.
+"""
+
+from .coordinator import (
+    ScatterOutcome,
+    ShardExecutor,
+    Unscatterable,
+    attach_executor,
+    executor_of,
+)
+from .partition import SlicedScope, compute_boundaries, slice_of
+
+__all__ = [
+    "ScatterOutcome",
+    "ShardExecutor",
+    "SlicedScope",
+    "Unscatterable",
+    "attach_executor",
+    "compute_boundaries",
+    "executor_of",
+    "slice_of",
+]

@@ -1,0 +1,644 @@
+"""The scatter–gather coordinator: shard workers, deltas, failover.
+
+:class:`ShardExecutor` attaches to one :class:`Database` and owns N
+worker processes (spawned lazily at the first scatter). It keeps the
+worker replicas consistent with a *delta protocol* built on the
+engine's existing machinery:
+
+- every mutation/DDL event the database publishes is staged (the bus
+  fires under the commit lock);
+- the database's *install hook* — also under the commit lock — stamps
+  the staged ops with the just-installed version and appends them to
+  a ship log;
+- a scatter pins one snapshot (version ``V``), drains every log entry
+  with version ``<= V`` into the worker inboxes, then enqueues the
+  tasks tagged ``V``. FIFO queues guarantee each worker applies all
+  deltas up to ``V`` before running the task, and a worker refuses a
+  task whose version its replica does not match — so all shards
+  answer from the same pinned version and torn reads are impossible
+  by construction.
+
+An install that published no events (``restore_objects``, anything
+outside the event vocabulary) marks the executor *stale*: the next
+scatter re-bootstraps every worker from a full snapshot instead of
+trusting the log. The same path covers worker death: a dead shard's
+slice is re-executed serially against the pinned snapshot
+(``shard_failovers`` counts these) and the worker is respawned and
+re-bootstrapped on the next scatter. Any other shard error falls back
+to whole-query serial execution (:class:`Unscatterable`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..engine.events import (
+    AttributeDefined,
+    ClassDefined,
+    IndexCreated,
+    ObjectCreated,
+    ObjectDeleted,
+    ObjectUpdated,
+)
+from ..engine.objects import unwrap, wrap_value
+from ..server.aio.framing import decode_value, encode_value
+from .partition import SlicedScope, compute_boundaries, slice_of
+from .workers import worker_main
+
+_MISSING = object()
+
+# Past this many unshipped log entries the log is dropped and workers
+# are re-bootstrapped wholesale — bounds coordinator memory when no
+# scatter runs for a long write burst.
+LOG_CAP = 10_000
+
+# A scatter whose per-shard scanned counts are this skewed recomputes
+# the partition boundaries from the next snapshot.
+REBALANCE_SKEW = 4.0
+
+
+class Unscatterable(Exception):
+    """This query cannot (currently) be scattered; run it serially."""
+
+
+class _Worker:
+    __slots__ = ("shard", "process", "inbox", "version")
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.process = None
+        self.inbox = None
+        self.version = -1
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class ShardStats:
+    """Mutable counters surfaced via ``.stats`` and Prometheus."""
+
+    def __init__(self, shards: int):
+        self.scatters = 0
+        self.tasks = 0
+        self.rows_gathered = 0
+        self.serial_fallbacks = 0
+        self.shard_failovers = 0
+        self.rebootstraps = 0
+        self.rebalances = 0
+        self.deltas_shipped = 0
+        self.per_shard = [
+            {
+                "shard": i,
+                "tasks": 0,
+                "rows": 0,
+                "busy_seconds": 0.0,
+                "cpu_seconds": 0.0,
+                "plan_hits": 0,
+                "plan_misses": 0,
+            }
+            for i in range(shards)
+        ]
+
+    def snapshot(self) -> dict:
+        return {
+            "scatters": self.scatters,
+            "tasks": self.tasks,
+            "rows_gathered": self.rows_gathered,
+            "serial_fallbacks": self.serial_fallbacks,
+            "shard_failovers": self.shard_failovers,
+            "rebootstraps": self.rebootstraps,
+            "rebalances": self.rebalances,
+            "deltas_shipped": self.deltas_shipped,
+            "per_shard": [dict(row) for row in self.per_shard],
+        }
+
+
+class ScatterOutcome:
+    """What one scatter produced, before the coordinator-side merge."""
+
+    __slots__ = ("mode", "rows", "counts", "shard_info", "version")
+
+    def __init__(self, mode, rows, counts, shard_info, version):
+        self.mode = mode
+        self.rows = rows  # concatenated raw values, shard order
+        self.counts = counts  # per-shard result counts (count mode)
+        self.shard_info = shard_info  # per-shard stat dicts
+        self.version = version
+
+
+class ShardExecutor:
+    """Scatter–gather execution over N worker processes for one
+    database."""
+
+    def __init__(
+        self,
+        db,
+        shards: int,
+        min_scatter_extent: int = 2048,
+        gather_timeout: float = 60.0,
+        mp_context: Optional[str] = None,
+    ):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.db = db
+        self.shards = shards
+        self.min_scatter_extent = min_scatter_extent
+        self.gather_timeout = gather_timeout
+        methods = multiprocessing.get_all_start_methods()
+        method = mp_context or (
+            "fork" if "fork" in methods else methods[0]
+        )
+        self._ctx = multiprocessing.get_context(method)
+        self.stats = ShardStats(shards)
+        self._workers: List[_Worker] = [
+            _Worker(i) for i in range(shards)
+        ]
+        self._outbox = self._ctx.Queue()
+        self._boundaries = None
+        self._rebalance_wanted = False
+        self._task_ids = itertools.count(1)
+        # One lock serializes scatters end to end: per-scatter replies
+        # share one outbox, and delta draining must not interleave.
+        self._lock = threading.Lock()
+        # Staging/ship log, written under the database commit lock.
+        self._log_lock = threading.Lock()
+        self._staged: List[dict] = []
+        self._log: List[tuple] = []  # (version, ops, encoded|None)
+        self._stale_version = 0  # re-bootstrap needed at >= version
+        self._closed = False
+        self._unsubscribe = db.events.subscribe(self._on_event)
+        self._remove_hook = db.add_install_hook(self._on_install)
+
+    # ------------------------------------------------------------------
+    # Delta capture (runs under the database's commit lock)
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        if isinstance(event, ObjectCreated):
+            value = dict(self.db._require_live(event.oid).value)
+            self._staged.append(
+                {
+                    "op": "create",
+                    "class": event.class_name,
+                    "oid": event.oid,
+                    "value": value,
+                }
+            )
+        elif isinstance(event, ObjectUpdated):
+            self._staged.append(
+                {
+                    "op": "update",
+                    "oid": event.oid,
+                    "attr": event.attribute,
+                    "value": event.new_value,
+                }
+            )
+        elif isinstance(event, ObjectDeleted):
+            self._staged.append({"op": "delete", "oid": event.oid})
+        elif isinstance(event, ClassDefined):
+            self._staged.append(
+                {
+                    "op": "class",
+                    "name": event.class_name,
+                    "parents": list(
+                        self.db.schema.direct_parents(event.class_name)
+                    ),
+                }
+            )
+            # ``define_class(attributes={...})`` declares attributes
+            # inline without AttributeDefined events; ship them as
+            # attribute ops right behind the class op.
+            from ..storage.serializer import type_to_data
+
+            cdef = self.db.schema.require(event.class_name)
+            for name, adef in cdef.attributes.items():
+                self._staged.append(
+                    {
+                        "op": "attribute",
+                        "class": event.class_name,
+                        "name": name,
+                        "type": (
+                            type_to_data(adef.declared_type)
+                            if adef.declared_type is not None
+                            else None
+                        ),
+                        "computed": adef.is_computed(),
+                        "arity": adef.arity,
+                    }
+                )
+        elif isinstance(event, AttributeDefined):
+            self._staged.append(
+                {
+                    "op": "attribute",
+                    "class": event.class_name,
+                    "name": event.attribute,
+                    "type": event.declared_type,
+                    "computed": event.computed,
+                    "arity": event.arity,
+                }
+            )
+        elif isinstance(event, IndexCreated):
+            self._staged.append(
+                {
+                    "op": "index",
+                    "class": event.class_name,
+                    "attribute": event.attribute,
+                    "index_kind": event.kind,
+                }
+            )
+
+    def _on_install(self, version: int) -> None:
+        with self._log_lock:
+            if self._staged:
+                self._log.append((version, self._staged, None))
+                self._staged = []
+                if len(self._log) > LOG_CAP:
+                    # Write burst with no scatter draining it: drop
+                    # the log, re-bootstrap at next scatter.
+                    self._log = []
+                    self._stale_version = version
+            else:
+                # An install we saw no events for (restore paths):
+                # the log can no longer reproduce this version.
+                self._stale_version = version
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker: _Worker) -> None:
+        worker.inbox = self._ctx.Queue()
+        worker.version = -1
+        worker.process = self._ctx.Process(
+            target=worker_main,
+            args=(worker.shard, worker.inbox, self._outbox),
+            daemon=True,
+            name=f"repro-shard-{self.db.scope_name}-{worker.shard}",
+        )
+        worker.process.start()
+
+    def _bootstrap(self, worker: _Worker, snap, records, specs) -> None:
+        worker.inbox.put(
+            {
+                "kind": "bootstrap",
+                "records": records,
+                "indexes": specs,
+                "version": snap.version,
+            }
+        )
+        worker.version = snap.version
+        self.stats.rebootstraps += 1
+
+    def _prepare_workers(self, snap) -> None:
+        """Spawn/respawn/bootstrap/drain so every worker's replica is
+        at exactly ``snap.version`` once its inbox drains."""
+        version = snap.version
+        need_bootstrap = []
+        for worker in self._workers:
+            if not worker.alive():
+                self._spawn(worker)
+                need_bootstrap.append(worker)
+        with self._log_lock:
+            stale_version = self._stale_version
+            if stale_version and version < stale_version:
+                raise Unscatterable(
+                    "pinned snapshot predates a replica gap"
+                )
+            if stale_version:
+                # Re-bootstrap everyone; the log cannot be trusted.
+                need_bootstrap = list(self._workers)
+                self._stale_version = 0
+                self._log = [
+                    entry for entry in self._log if entry[0] > version
+                ]
+            for worker in self._workers:
+                if worker.version > version:
+                    raise Unscatterable(
+                        f"worker replicas at version {worker.version},"
+                        f" pin is older ({version})"
+                    )
+            if need_bootstrap:
+                from ..storage.persistence import snapshot_records
+
+                records = list(snapshot_records(snap))
+                specs = self.db._live_indexes().specs()
+                for worker in need_bootstrap:
+                    self._bootstrap(worker, snap, records, specs)
+            # Ship log entries <= version to workers behind them.
+            shipped = 0
+            for i, (entry_version, ops, encoded) in enumerate(
+                self._log
+            ):
+                if entry_version > version:
+                    continue
+                targets = [
+                    w
+                    for w in self._workers
+                    if w.version < entry_version
+                ]
+                if targets:
+                    if encoded is None:
+                        encoded = encode_value(
+                            {
+                                "kind": "delta",
+                                "version": entry_version,
+                                "ops": ops,
+                            }
+                        )
+                        self._log[i] = (entry_version, ops, encoded)
+                    for worker in targets:
+                        worker.inbox.put(encoded)
+                        shipped += 1
+            self.stats.deltas_shipped += shipped
+            for worker in self._workers:
+                worker.version = max(worker.version, version)
+            floor = min(w.version for w in self._workers)
+            self._log = [e for e in self._log if e[0] > floor]
+
+    # ------------------------------------------------------------------
+    # Scatter
+    # ------------------------------------------------------------------
+
+    def scatter(
+        self,
+        select,
+        text: str,
+        bindings: Optional[Dict[str, object]],
+        mode: str = "rows",
+        pin=None,
+    ) -> ScatterOutcome:
+        """Run ``select`` (canonical ``text``, already stripped of
+        ``unique``) across all shards at one pinned version.
+
+        ``bindings`` values must be raw model values (unwrapped).
+        Raises :class:`Unscatterable` when the scatter cannot proceed;
+        the caller falls back to serial execution.
+        """
+        if self._closed:
+            raise Unscatterable("executor is closed")
+        payload = {
+            "kind": "scatter",
+            "mode": mode,
+            "query": text,
+            "bindings": bindings or {},
+        }
+        with self._lock:
+            snap = pin if pin is not None else self.db.snapshot()
+            try:
+                self._prepare_workers(snap)
+            except Unscatterable:
+                raise
+            except Exception as error:
+                raise Unscatterable(f"worker preparation failed: {error}")
+            if self._boundaries is None or self._rebalance_wanted:
+                if self._boundaries is not None:
+                    self.stats.rebalances += 1
+                self._boundaries = compute_boundaries(
+                    snap.all_oids(), self.shards
+                )
+                self._rebalance_wanted = False
+            task_id = next(self._task_ids)
+            slices = {}
+            for worker in self._workers:
+                lo, hi = slice_of(self._boundaries, worker.shard)
+                slices[worker.shard] = (lo, hi)
+                message = dict(payload)
+                message.update(
+                    task=task_id,
+                    lo=lo,
+                    hi=hi,
+                    version=snap.version,
+                )
+                try:
+                    encoded = encode_value(message)
+                except Exception as error:
+                    raise Unscatterable(
+                        f"task not wire-encodable: {error}"
+                    )
+                worker.inbox.put(encoded)
+            replies = self._gather(task_id, snap, select, bindings,
+                                   slices, mode)
+            return self._assemble(replies, mode, snap.version)
+
+    def _gather(self, task_id, snap, select, bindings, slices, mode):
+        pending = {w.shard for w in self._workers}
+        replies: Dict[int, dict] = {}
+        deadline = time.monotonic() + self.gather_timeout
+        while pending:
+            try:
+                raw = self._outbox.get(timeout=0.2)
+            except queue_module.Empty:
+                dead = [
+                    w.shard
+                    for w in self._workers
+                    if w.shard in pending and not w.alive()
+                ]
+                for shard in dead:
+                    pending.discard(shard)
+                    replies[shard] = self._failover(
+                        shard, snap, select, bindings, slices[shard],
+                        mode,
+                    )
+                if time.monotonic() > deadline:
+                    # A stuck shard can mean a queue poisoned by a
+                    # killed process; rebuild the whole worker pool
+                    # (fresh queues included) rather than eating the
+                    # timeout on every future scatter.
+                    self._reset_workers()
+                    raise Unscatterable(
+                        f"scatter timed out waiting for shards"
+                        f" {sorted(pending)}"
+                    )
+                continue
+            reply = decode_value(raw)
+            if reply.get("task") != task_id:
+                continue  # stray reply from an abandoned scatter
+            shard = reply.get("shard")
+            if shard in pending:
+                pending.discard(shard)
+                replies[shard] = reply
+        failed = [
+            r for r in replies.values() if not r.get("ok")
+        ]
+        if failed:
+            raise Unscatterable(
+                f"shard error: {failed[0].get('error')}"
+            )
+        return replies
+
+    def _failover(self, shard, snap, select, bindings, bounds, mode):
+        """A dead shard's slice, re-executed serially on the pinned
+        snapshot."""
+        from ..query.planner import fetch_plan
+
+        self.stats.shard_failovers += 1
+        # The dead worker (queued deltas and all) is gone; the next
+        # scatter respawns and re-bootstraps it from a fresh snapshot.
+        lo, hi = bounds
+        sliced = SlicedScope(snap, lo, hi)
+        started = time.perf_counter()
+        wrapped = {
+            name: wrap_value(sliced, value)
+            for name, value in (bindings or {}).items()
+        }
+        plan, hit, cache = fetch_plan(select, sliced)
+        results = plan.execute(sliced, cache, wrapped, None, None)
+        if not isinstance(results, list):
+            results = [results]
+        elapsed = time.perf_counter() - started
+        class_name = select.bindings[0].source.class_name
+        reply = {
+            "task": None,
+            "shard": shard,
+            "ok": True,
+            "mode": mode,
+            "scanned": len(sliced.extent(class_name)),
+            "returned": len(results),
+            "elapsed": elapsed,
+            "plan_hit": hit,
+            "failover": True,
+            "version": snap.version,
+        }
+        if mode == "count":
+            reply["count"] = len(results)
+        else:
+            reply["rows"] = [unwrap(value) for value in results]
+        return reply
+
+    def _assemble(self, replies, mode, version) -> ScatterOutcome:
+        self.stats.scatters += 1
+        rows: List[object] = []
+        counts: List[int] = []
+        shard_info = []
+        scanned_values = []
+        for shard in sorted(replies):
+            reply = replies[shard]
+            per = self.stats.per_shard[shard]
+            per["tasks"] += 1
+            per["rows"] += reply.get("returned", 0)
+            per["busy_seconds"] += reply.get("elapsed", 0.0)
+            per["cpu_seconds"] += reply.get(
+                "cpu", reply.get("elapsed", 0.0)
+            )
+            if reply.get("plan_hit"):
+                per["plan_hits"] += 1
+            else:
+                per["plan_misses"] += 1
+            self.stats.tasks += 1
+            scanned_values.append(reply.get("scanned", 0))
+            shard_info.append(
+                {
+                    "shard": shard,
+                    "scanned": reply.get("scanned", 0),
+                    "returned": reply.get("returned", 0),
+                    "elapsed": reply.get("elapsed", 0.0),
+                    "plan_hit": bool(reply.get("plan_hit")),
+                    "failover": bool(reply.get("failover")),
+                }
+            )
+            if mode == "count":
+                counts.append(reply.get("count", 0))
+            else:
+                shard_rows = reply.get("rows") or []
+                rows.extend(shard_rows)
+        self.stats.rows_gathered += len(rows) + sum(counts)
+        if len(scanned_values) > 1 and sum(scanned_values):
+            average = sum(scanned_values) / len(scanned_values)
+            if (
+                max(scanned_values) > REBALANCE_SKEW * average
+                and sum(scanned_values) > self.min_scatter_extent
+            ):
+                self._rebalance_wanted = True
+        return ScatterOutcome(mode, rows, counts, shard_info, version)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def _reset_workers(self) -> None:
+        """Terminate every worker and discard all queues; the next
+        scatter spawns and bootstraps a clean pool."""
+        for worker in self._workers:
+            if worker.process is not None:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.process = None
+            worker.inbox = None
+            worker.version = -1
+        self._outbox = self._ctx.Queue()
+
+    def alive_workers(self) -> int:
+        return sum(1 for w in self._workers if w.alive())
+
+    def rebalance(self) -> None:
+        """Recompute partition boundaries at the next scatter."""
+        self._rebalance_wanted = True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._unsubscribe()
+        self._remove_hook()
+        for worker in self._workers:
+            if worker.alive():
+                try:
+                    worker.inbox.put(
+                        encode_value({"kind": "stop"})
+                    )
+                except Exception:
+                    pass
+        for worker in self._workers:
+            if worker.process is not None:
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=1.0)
+        if getattr(self.db, "_shard_executor", None) is self:
+            self.db._shard_executor = None
+
+
+def attach_executor(db, shards: int, **kwargs) -> ShardExecutor:
+    """Attach a :class:`ShardExecutor` to ``db`` (replacing any
+    existing one); ``db.query`` and every planner entry point scatter
+    eligible queries from now on."""
+    existing = getattr(db, "_shard_executor", None)
+    if existing is not None:
+        existing.close()
+    executor = ShardExecutor(db, shards, **kwargs)
+    db._shard_executor = executor
+    return executor
+
+
+def executor_of(scope):
+    """``(executor, provider database-or-snapshot)`` serving ``scope``,
+    or ``(None, None)``.
+
+    A :class:`Database` carries its executor directly; a
+    ``DatabaseSnapshot`` borrows its origin's (the scatter pins the
+    snapshot's own version); a single-provider view borrows its base
+    database's (eligibility is checked separately).
+    """
+    marker = getattr(scope, "_shard_executor", _MISSING)
+    if marker is not _MISSING:
+        # An explicit None (SlicedScope, a closed attach) means "never
+        # scatter from here" — do not fall through to origin/providers.
+        return (marker, scope) if marker is not None else (None, None)
+    origin = getattr(scope, "origin", None)
+    if origin is not None:
+        executor = getattr(origin, "_shard_executor", None)
+        if executor is not None:
+            return executor, scope  # pin the snapshot itself
+    providers = getattr(scope, "_providers", None)
+    if providers is not None and len(providers) == 1:
+        provider = providers[0]
+        executor = getattr(provider, "_shard_executor", None)
+        if executor is not None:
+            return executor, provider
+    return None, None

@@ -1,0 +1,131 @@
+"""Oid-range partitioning for sharded scatter–gather execution.
+
+Shards own *contiguous ranges of the total oid order* (``Oid`` orders
+as the ``(space, number)`` tuple). Contiguity is what makes the gather
+step trivial and exact: a serial scan visits candidates in sorted oid
+order, so concatenating per-shard results *in shard order* reproduces
+the serial visit order — the coordinator only re-applies the global
+set-semantics dedup (first occurrence wins) and the ``unique`` check.
+
+Boundaries are computed once from a snapshot by splitting the sorted
+oid list into equal runs (:func:`compute_boundaries`); the last shard
+is unbounded above, so freshly allocated oids (monotone per database)
+always land in it and the cross-shard ordering invariant can never be
+violated by growth. A skewed scatter triggers a rebalance, which just
+recomputes the boundaries — slice bounds travel with every task, so
+no worker state needs rebuilding.
+
+:class:`SlicedScope` is the worker-side (and failover-side) view of a
+scope restricted to one oid range: ``extent()`` filters to
+``[lo, hi)``; everything else — schema, indexes, object access, class
+membership, navigation — delegates unchanged, so path expressions and
+membership tests see the *whole* database while the scan variable
+ranges only over the slice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..engine.oid import EMPTY_OID_SET, Oid, OidSet
+
+Bound = Optional[Oid]  # None = unbounded on that side
+
+
+def compute_boundaries(oids, shards: int) -> List[Bound]:
+    """Lower bounds of each shard: ``[None, b1, ..., b_{n-1}]``.
+
+    Shard ``i`` owns ``[bounds[i], bounds[i+1])`` with the first shard
+    unbounded below and the last unbounded above. ``oids`` must be an
+    iterable in sorted order (``all_oids()`` guarantees that).
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    ordered = list(oids)
+    bounds: List[Bound] = [None]
+    if shards == 1 or not ordered:
+        return bounds + [None] * (shards - 1)
+    step = len(ordered) / shards
+    previous = None
+    for i in range(1, shards):
+        candidate = ordered[min(int(step * i), len(ordered) - 1)]
+        # Boundaries must strictly increase; duplicates would make a
+        # shard own an empty range *and* break the [lo, hi) contract.
+        if previous is not None and candidate <= previous:
+            candidate = previous
+        bounds.append(candidate)
+        previous = candidate
+    return bounds
+
+
+def slice_of(bounds: List[Bound], shard: int) -> Tuple[Bound, Bound]:
+    """The ``(lo, hi)`` oid range shard ``shard`` owns."""
+    lo = bounds[shard]
+    hi = bounds[shard + 1] if shard + 1 < len(bounds) else None
+    return lo, hi
+
+
+def in_slice(oid: Oid, lo: Bound, hi: Bound) -> bool:
+    if lo is not None and oid < lo:
+        return False
+    if hi is not None and oid >= hi:
+        return False
+    return True
+
+
+class SlicedScope:
+    """A scope whose class extents are restricted to one oid range.
+
+    Wraps any Scope (a worker's replica database, or a pinned snapshot
+    during failover). Only ``extent`` is overridden; every other
+    attribute delegates to the target, so attribute navigation,
+    ``is_member`` tests and index probes observe the full database —
+    slicing applies to what the scan variable ranges over, which is
+    exactly the work being partitioned.
+
+    Carries its own plan cache (attached lazily by ``plan_cache_of``),
+    validated against the target's schema/index versions — so shipped
+    DDL invalidates worker-local scatter plans the same way it
+    invalidates coordinator plans.
+    """
+
+    # Never scatter from inside a slice (guards recursion when the
+    # failover path plans a slice of a scope that has an executor).
+    _shard_executor = None
+
+    def __init__(self, target, lo: Bound = None, hi: Bound = None):
+        self._target = target
+        self._lo = lo
+        self._hi = hi
+        self._extent_cache = {}
+
+    def set_slice(self, lo: Bound, hi: Bound) -> None:
+        self._lo = lo
+        self._hi = hi
+
+    @property
+    def scope_name(self) -> str:
+        return self._target.scope_name
+
+    def extent(self, class_name: str, deep: bool = True) -> OidSet:
+        version = getattr(self._target, "store_version", None)
+        key = (class_name, deep, version, self._lo, self._hi)
+        if version is not None:
+            cached = self._extent_cache.get(key)
+            if cached is not None:
+                return cached
+        full = self._target.extent(class_name, deep)
+        lo, hi = self._lo, self._hi
+        if lo is None and hi is None:
+            sliced = full
+        else:
+            members = [oid for oid in full if in_slice(oid, lo, hi)]
+            sliced = OidSet.of(members) if members else EMPTY_OID_SET
+        if version is not None:
+            if len(self._extent_cache) > 64:
+                self._extent_cache.clear()
+            self._extent_cache[key] = sliced
+        return sliced
+
+    def __getattr__(self, name):
+        return getattr(self._target, name)

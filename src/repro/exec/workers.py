@@ -1,0 +1,206 @@
+"""The shard worker process.
+
+Each worker is a long-lived ``multiprocessing`` process owning a full
+*replica* of the coordinator's database, kept current by a delta
+stream, plus the oid-range slice it scans on behalf of scatter tasks.
+The replica is a whole database — not a storage slice — because query
+evaluation navigates (``P.Spouse.Age``) and tests membership across
+the entire object graph; only the *scan* is partitioned, via
+:class:`~repro.exec.partition.SlicedScope`.
+
+Wire format on the task queues: hot-path messages (deltas, scatter
+tasks, replies) are single RBP1-encoded values — the compact binary
+codec of :mod:`repro.server.aio.framing`, which carries oids, sets and
+None natively — wrapped in the one cheap ``bytes`` pickle the queue
+applies. The bootstrap message alone travels as a plain dict, because
+its payload is the storage-layer record stream of
+:func:`repro.storage.persistence.snapshot_records` (already encoded
+bytes).
+
+Messages a worker accepts (FIFO per worker — ordering is the
+consistency mechanism: every delta shipped before a task is applied
+before that task runs):
+
+- ``bootstrap``: replace the replica with one rebuilt from snapshot
+  records; create the listed indexes; adopt the coordinator version.
+- ``delta``: apply one installed version's ops (data ops via the
+  journal replayer; ``class``/``attribute``/``index`` DDL ops via the
+  schema machinery — computed attributes become raising placeholders
+  exactly as persistence restores them).
+- ``scatter``: run one query over the worker's slice at an expected
+  version; refuse (error reply) on version mismatch rather than serve
+  a torn read.
+- ``stop``: exit the loop.
+
+Every scatter reply reports rows scanned/returned, wall time and the
+worker plan-cache verdict, so the coordinator can surface per-shard
+spans in EXPLAIN ANALYZE and ``repro_shard_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from ..engine.objects import unwrap, wrap_value
+from ..server.aio.framing import decode_value, encode_value
+from .partition import SlicedScope
+
+
+def _apply_delta_op(db, op: dict) -> None:
+    kind = op.get("op")
+    if kind in ("create", "update", "delete"):
+        from ..storage.journal import _apply
+
+        _apply(db, op)
+    elif kind == "class":
+        db.define_class(op["name"], op.get("parents") or ())
+    elif kind == "attribute":
+        from ..storage.persistence import _restore_attribute
+
+        _restore_attribute(
+            db,
+            op["class"],
+            {
+                "name": op["name"],
+                "type": op.get("type"),
+                "computed": bool(op.get("computed")),
+                "arity": int(op.get("arity") or 0),
+            },
+        )
+    elif kind == "index":
+        db.create_index(op["class"], op["attribute"], op["index_kind"])
+    else:
+        raise ValueError(f"unknown delta op: {kind!r}")
+
+
+class _WorkerState:
+    """Replica + slice + parsed-query cache of one worker process."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.replica = None
+        self.sliced = None
+        self.version = -1
+        self._parsed = {}
+
+    def bootstrap(self, records, indexes, version: int) -> None:
+        from ..storage.persistence import load_database_from_records
+
+        self.replica = load_database_from_records(records)
+        for class_name, attribute, kind in indexes:
+            self.replica.create_index(class_name, attribute, kind)
+        self.sliced = SlicedScope(self.replica)
+        self.version = version
+        self._parsed.clear()
+
+    def apply_delta(self, version: int, ops) -> None:
+        if self.replica is None:
+            raise RuntimeError("delta before bootstrap")
+        for op in ops:
+            _apply_delta_op(self.replica, op)
+        self.version = version
+
+    def parse(self, text: str):
+        select = self._parsed.get(text)
+        if select is None:
+            from ..query.builder import ensure_query
+
+            select = ensure_query(text)
+            if len(self._parsed) > 256:
+                self._parsed.clear()
+            self._parsed[text] = select
+        return select
+
+    def run_scatter(self, task: dict) -> dict:
+        from ..query.planner import fetch_plan
+
+        expected = task["version"]
+        if self.replica is None or self.version != expected:
+            raise RuntimeError(
+                f"shard {self.shard} replica at version {self.version},"
+                f" task pinned to {expected}"
+            )
+        select = self.parse(task["query"])
+        self.sliced.set_slice(task.get("lo"), task.get("hi"))
+        bindings = {
+            name: wrap_value(self.sliced, value)
+            for name, value in (task.get("bindings") or {}).items()
+        }
+        started = time.perf_counter()
+        started_cpu = time.process_time()
+        plan, hit, cache = fetch_plan(select, self.sliced)
+        results = plan.execute(self.sliced, cache, bindings, None, None)
+        if not isinstance(results, list):  # unique is stripped upstream
+            results = [results]
+        # Wall time includes time spent descheduled when workers
+        # outnumber cores; CPU time is the slice's true scan cost
+        # (what the shard would take with a core of its own).
+        elapsed = time.perf_counter() - started
+        cpu = time.process_time() - started_cpu
+        class_name = select.bindings[0].source.class_name
+        scanned = len(self.sliced.extent(class_name))
+        reply = {
+            "task": task["task"],
+            "shard": self.shard,
+            "ok": True,
+            "mode": task["mode"],
+            "scanned": scanned,
+            "returned": len(results),
+            "elapsed": elapsed,
+            "cpu": cpu,
+            "plan_hit": hit,
+            "version": self.version,
+        }
+        if task["mode"] == "count":
+            reply["count"] = len(results)
+        else:
+            reply["rows"] = [unwrap(value) for value in results]
+        return reply
+
+
+def worker_main(shard: int, inbox, outbox) -> None:
+    """Entry point of one shard worker process."""
+    state = _WorkerState(shard)
+    while True:
+        message = inbox.get()
+        if isinstance(message, (bytes, bytearray)):
+            message = decode_value(bytes(message))
+        kind = message.get("kind")
+        if kind == "stop":
+            return
+        try:
+            if kind == "bootstrap":
+                state.bootstrap(
+                    message["records"],
+                    message.get("indexes") or (),
+                    message["version"],
+                )
+            elif kind == "delta":
+                state.apply_delta(message["version"], message["ops"])
+            elif kind == "scatter":
+                outbox.put(encode_value(state.run_scatter(message)))
+            else:
+                raise ValueError(f"unknown worker message: {kind!r}")
+        except Exception as error:  # reply, never die: the
+            # coordinator turns shard errors into serial fallbacks.
+            if kind == "scatter":
+                outbox.put(
+                    encode_value(
+                        {
+                            "task": message.get("task"),
+                            "shard": shard,
+                            "ok": False,
+                            "error": (
+                                f"{type(error).__name__}: {error}"
+                            ),
+                            "trace": traceback.format_exc(limit=4),
+                        }
+                    )
+                )
+            else:
+                # A failed bootstrap/delta leaves the replica
+                # unusable; poison the version so every later scatter
+                # errors (and the coordinator re-bootstraps).
+                state.version = -1
+                state.replica = None

@@ -36,14 +36,21 @@ def explain_analyze(query, scope) -> str:
     """
     select = ensure_query(query)
     text = format_query(select)
+    scattered = False
     _trace.activate()
     try:
         with _trace.trace_context("explain", line=text) as t:
             plan, hit, cache = fetch_plan(select, scope)
             with _trace.span("execute", plan=plan.kind) as sp:
-                result = plan.execute(scope, cache, None, None, None)
+                from ..query.shard import try_scatter
+
+                scattered, result = try_scatter(
+                    select, scope, None, None, None
+                )
+                if not scattered:
+                    result = plan.execute(scope, cache, None, None, None)
                 rows = len(result) if isinstance(result, list) else 1
-                sp.set(rows=rows)
+                sp.set(rows=rows, scattered=scattered)
     finally:
         _trace.deactivate()
 
@@ -51,7 +58,8 @@ def explain_analyze(query, scope) -> str:
     lines = [
         "EXPLAIN ANALYZE",
         f"query: {text}",
-        f"plan:  {plan.describe()}",
+        f"plan:  {plan.describe()}"
+        + (" [scattered across shards]" if scattered else ""),
         f"plan cache: {verdict}",
     ]
     roles = getattr(plan, "conjunct_roles", None)

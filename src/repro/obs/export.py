@@ -11,6 +11,10 @@ counters and histograms only — no client library is required):
 - per-database :class:`~repro.engine.versions.CommitStats`;
 - :class:`~repro.server.metrics.ServerMetrics` (requests, errors,
   connections, latency reservoirs);
+- shard-executor counters (:mod:`repro.exec`) for scopes running the
+  scatter–gather engine: scatters, fallbacks, failovers, deltas
+  shipped, plus per-shard tasks/rows/busy-time/plan-cache verdicts
+  and an alive-workers gauge;
 - span-duration histograms derived from completed traces
   (:class:`~repro.obs.collect.SpanHistogramSet`).
 
@@ -77,6 +81,8 @@ def _render_scopes(scopes: Iterable) -> List[str]:
     version_seen = set()
     version_rows = []
     storage_rows = []
+    shard_rows = []
+    shard_seen = set()
     for scope in scopes:
         name = getattr(scope, "scope_name", "?")
         stats = getattr(scope, "stats", None)
@@ -100,6 +106,12 @@ def _render_scopes(scopes: Iterable) -> List[str]:
         storage = getattr(scope, "storage", None)
         if storage is not None:
             storage_rows.append((name, storage.storage_stats()))
+        executor = getattr(scope, "_shard_executor", None)
+        if executor is not None and id(executor) not in shard_seen:
+            shard_seen.add(id(executor))
+            shard_rows.append(
+                (name, executor.stats.snapshot(), executor.alive_workers())
+            )
 
     if view_rows:
         lines.append(
@@ -251,6 +263,73 @@ def _render_scopes(scopes: Iterable) -> List[str]:
                     blocks["checkpoint"]["journal_tail_batches"],
                     scope=name,
                 )
+            )
+    if shard_rows:
+        lines.append("# TYPE repro_shard_events_total counter")
+        for name, snap, _alive in shard_rows:
+            for event in (
+                "scatters",
+                "tasks",
+                "rows_gathered",
+                "serial_fallbacks",
+                "shard_failovers",
+                "rebootstraps",
+                "rebalances",
+                "deltas_shipped",
+            ):
+                lines.append(
+                    _line(
+                        "repro_shard_events_total",
+                        snap[event],
+                        scope=name,
+                        event=event,
+                    )
+                )
+        lines.append("# TYPE repro_shard_tasks_total counter")
+        lines.append("# TYPE repro_shard_rows_total counter")
+        lines.append("# TYPE repro_shard_busy_seconds_total counter")
+        lines.append("# TYPE repro_shard_plan_events_total counter")
+        for name, snap, _alive in shard_rows:
+            for per in snap["per_shard"]:
+                shard = str(per["shard"])
+                lines.append(
+                    _line(
+                        "repro_shard_tasks_total",
+                        per["tasks"],
+                        scope=name,
+                        shard=shard,
+                    )
+                )
+                lines.append(
+                    _line(
+                        "repro_shard_rows_total",
+                        per["rows"],
+                        scope=name,
+                        shard=shard,
+                    )
+                )
+                lines.append(
+                    _line(
+                        "repro_shard_busy_seconds_total",
+                        _format_seconds(per["busy_seconds"]),
+                        scope=name,
+                        shard=shard,
+                    )
+                )
+                for verdict in ("plan_hits", "plan_misses"):
+                    lines.append(
+                        _line(
+                            "repro_shard_plan_events_total",
+                            per[verdict],
+                            scope=name,
+                            shard=shard,
+                            verdict=verdict,
+                        )
+                    )
+        lines.append("# TYPE repro_shard_workers_alive gauge")
+        for name, snap, alive in shard_rows:
+            lines.append(
+                _line("repro_shard_workers_alive", alive, scope=name)
             )
     return lines
 

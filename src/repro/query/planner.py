@@ -60,6 +60,21 @@ from .printer import format_expression, format_query
 # cache without bound.
 _PLAN_CACHE_CAP = 1024
 
+# Loaded on first use: the scatter module pulls in the exec package
+# (and through it the server wire codec), which must not happen while
+# this module is still initializing.
+_try_scatter = None
+
+
+def _scatter_hook(query, scope, bindings, functions, self_value):
+    """``repro.query.shard.try_scatter``, imported lazily."""
+    global _try_scatter
+    if _try_scatter is None:
+        from .shard import try_scatter
+
+        _try_scatter = try_scatter
+    return _try_scatter(query, scope, bindings, functions, self_value)
+
 
 # ----------------------------------------------------------------------
 # Plan cache
@@ -675,8 +690,15 @@ def execute(
     The drop-in replacement for :func:`repro.query.eval.evaluate`:
     same result contract, but the query is compiled to closures once
     per (canonical text, version token) and may run as an index probe
-    or range scan.
+    or range scan — or scatter across shard worker processes when the
+    scope has a :class:`~repro.exec.ShardExecutor` attached and the
+    query is eligible (see :mod:`repro.query.shard`).
     """
+    handled, result = _scatter_hook(
+        query, scope, bindings, functions, self_value
+    )
+    if handled:
+        return result
     if _trace.ENABLED and _trace.current_trace() is not None:
         plan, _hit, cache = fetch_plan(query, scope)
         with _trace.span("execute", plan=plan.kind) as sp:

@@ -40,7 +40,14 @@ frame would carry except ``id``); a result payload is the result
 value; an error payload is the map ``{"code": …, "message": …}``.
 Oids and sets have native tags, so the codec can carry any value the
 JSON protocol can (including its ``$oid``/``$set`` tagging, which the
-session layer still applies) as well as raw engine values.
+session layer still applies) as well as raw engine values. Map keys
+are strings, as in JSON; encoding refuses non-string keys rather than
+stringifying them, so whatever round-trips does so as an *identity*
+(modulo the canonical-form normalizations: tuples come back as lists,
+frozensets as sets). The sharded execution engine
+(:mod:`repro.exec`) rides on this codec for its task/delta/reply
+wire format, so the property test in ``tests/test_shard_codec.py``
+pins the round trip over every engine value type.
 
 Decoding is defensive by construction — every length is bounds-checked
 against the remaining buffer, unknown tags, truncated values, trailing
@@ -146,7 +153,17 @@ def encode_value(value, out: bytearray = None, _depth: int = 0) -> bytes:
         out.append(0x6D)  # m
         _pack_varint(out, len(value))
         for key, item in value.items():
-            data = str(key).encode("utf-8")
+            # Keys are strings on the wire. Stringifying other key
+            # types here would *silently* mangle the value (the decoder
+            # hands back str keys, so the round trip would not be
+            # identity); refuse instead, like any other unencodable
+            # value.
+            if not isinstance(key, str):
+                raise ProtocolError(
+                    f"map key of type {type(key).__name__} cannot"
+                    " cross the wire (keys must be strings)"
+                )
+            data = key.encode("utf-8")
             _pack_varint(out, len(data))
             out.extend(data)
             encode_value(item, out, _depth + 1)

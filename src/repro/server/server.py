@@ -607,6 +607,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     thousands of connections, multiple in-flight requests each,
     binary framing negotiated next to JSON (``--no-binary`` disables),
     and per-connection backpressure (``--max-inflight``).
+
+    ``--shards N`` attaches the multi-process scatter–gather executor
+    to every served database: eligible whole-extent scans fan out to
+    N worker processes and merge back (``docs/sharding.md``), with
+    ``repro_shard_*`` counters on the metrics endpoint.
     """
     import argparse
 
@@ -713,6 +718,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         metavar="PORT",
         help="serve a Prometheus-style GET /metrics endpoint on PORT",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="attach an N-way scatter-gather executor to every served"
+        " database: big extent scans fan out to N worker processes"
+        " (see docs/sharding.md)",
+    )
     args = parser.parse_args(argv)
 
     scopes = []
@@ -737,6 +751,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             kwargs["pool_pages"] = args.pool_pages
         paged = PagedDatabase(args.paged, name="db", **kwargs)
         scopes.append(paged.db)
+
+    executors = []
+    if args.shards and args.shards > 1:
+        from ..engine import Database
+        from ..exec import attach_executor
+
+        for scope in scopes:
+            if isinstance(scope, Database):
+                executors.append(attach_executor(scope, args.shards))
 
     common = dict(
         host=args.host,
@@ -772,11 +795,18 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     names = ", ".join(s.scope_name for s in scopes) or "(empty catalog)"
     flavor = "async" if args.use_async else "threaded"
     print(f"repro server ({flavor}) on {host}:{port} serving {names}")
+    if executors:
+        print(
+            f"sharded execution: {args.shards} worker shards per"
+            f" database ({len(executors)} database(s))"
+        )
     if args.metrics_port is not None:
         print(f"metrics on http://{host}:{args.metrics_port}/metrics")
     try:
         server.serve_forever()
     finally:
+        for executor in executors:
+            executor.close()
         if store is not None:
             store.close()
         if paged is not None:

@@ -324,3 +324,75 @@ def test_server_reports_plan_cache_hits():
             assert "plan cache (all scopes):" in text
     finally:
         srv.stop()
+
+
+# ----------------------------------------------------------------------
+# Scatter plans: worker-side caches invalidate like coordinator ones
+# ----------------------------------------------------------------------
+
+
+def _per_shard(executor, key):
+    return [row[key] for row in executor.stats.per_shard]
+
+
+def test_sharded_plan_caches_invalidate_on_ddl(db):
+    """Schema and index DDL must invalidate the compiled scatter plan
+    on *every* shard, not just the coordinator: each worker validates
+    its replica-side plan cache against the replica's schema/index
+    versions, which the shipped DDL ops bump."""
+    from repro.exec import attach_executor
+
+    executor = attach_executor(db, 2, min_scatter_extent=1)
+    try:
+        query = "select P from Person where P.Age > 40"
+        db.query(query)  # compiled on every shard
+        db.query(query)
+        assert all(h >= 1 for h in _per_shard(executor, "plan_hits"))
+
+        # Schema DDL: a new attribute bumps every replica's schema
+        # version, so each shard recompiles exactly once.
+        misses = _per_shard(executor, "plan_misses")
+        db.define_attribute("Person", "Nickname",
+                            declared_type="string")
+        db.query(query)
+        after = _per_shard(executor, "plan_misses")
+        assert all(b - a == 1 for a, b in zip(misses, after))
+        db.query(query)  # and the recompiled plan is cached again
+        assert _per_shard(executor, "plan_misses") == after
+
+        # Index DDL ships too: every shard recompiles (to the probe
+        # plan) and the scattered answer still matches serial.
+        db.create_index("Person", "Age", "ordered")
+        result = db.query(query)
+        newest = _per_shard(executor, "plan_misses")
+        assert all(b - a == 1 for a, b in zip(after, newest))
+        assert [h.oid for h in result] == [
+            h.oid for h in evaluate(query, db)
+        ]
+        assert executor.stats.serial_fallbacks == 0
+    finally:
+        executor.close()
+
+
+def test_view_hide_makes_scatter_ineligible_but_correct(db):
+    """A hide does not invalidate scatter plans — it disqualifies the
+    view from scattering entirely (the worker replica knows nothing of
+    hides), and the serial answer honors the hide."""
+    from repro.exec import attach_executor
+
+    executor = attach_executor(db, 2, min_scatter_extent=1)
+    try:
+        view = View("V")
+        view.import_database(db)
+        query = "select P from Person where P.Age > 40"
+        view.query(query)
+        scattered = executor.stats.scatters
+        assert scattered >= 1
+        view.hide_attribute("Person", "Flag")
+        result = view.query(query)
+        assert executor.stats.scatters == scattered  # went serial
+        assert len(result) == len(evaluate(query, db))
+        with pytest.raises(HiddenAttributeError):
+            view.query("select P.Flag from P in Person")
+    finally:
+        executor.close()

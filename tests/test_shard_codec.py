@@ -1,0 +1,162 @@
+"""Property tests for the RBP1 value codec under shard-executor use.
+
+The sharded execution engine ships scatter tasks, delta ops and reply
+rows through :mod:`repro.server.aio.framing`'s value codec, so the
+round trip must be an identity over every engine value type — up to
+the codec's canonical-form normalizations (tuples come back as lists,
+frozensets as sets). Anything that cannot round-trip faithfully must
+*refuse* to encode (``ProtocolError``), never silently mangle: a
+mangled value inside a shard reply would surface as a wrong query
+answer, not an error.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.oid import Oid
+from repro.server.aio.framing import decode_value, encode_value
+from repro.server.protocol import ProtocolError
+
+# ----------------------------------------------------------------------
+# Strategies: every value type the engine can put in a shard message
+# ----------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    # Python ints are arbitrary precision and the varint carries them
+    # exactly — exercise well past 64 bits.
+    st.integers(min_value=-(2 ** 100), max_value=2 ** 100),
+    st.floats(allow_nan=False),  # NaN != NaN: no identity round trip
+    st.text(max_size=20),
+    st.builds(
+        Oid,
+        st.text(max_size=10),
+        st.integers(min_value=0, max_value=2 ** 48),
+    ),
+)
+
+# Set elements stay scalar: the engine's sets hold oids and scalars,
+# and the wire decodes nested set tags to (unhashable) ``set``.
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.sets(_scalars, max_size=4),
+        st.frozensets(_scalars, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=25,
+)
+
+
+def fingerprint(value):
+    """A type-exact canonical form, modulo the codec's documented
+    normalizations (tuple == list, frozenset == set).
+
+    Stricter than the engine's ``canonicalize``: ints, bools and
+    floats keep distinct tags (``canonicalize`` folds ``1 == 1.0``,
+    which would mask an int→float mangle), and floats compare by bit
+    pattern (so ``-0.0`` surviving as ``0.0`` would fail).
+    """
+    if isinstance(value, dict):
+        return (
+            "m",
+            tuple(
+                sorted((k, fingerprint(v)) for k, v in value.items())
+            ),
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("e", frozenset(fingerprint(v) for v in value))
+    if isinstance(value, (list, tuple)):
+        return ("l", tuple(fingerprint(v) for v in value))
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, int):
+        return ("i", value)
+    if isinstance(value, float):
+        return ("f", struct.pack(">d", value))
+    if isinstance(value, Oid):
+        return ("o", value.space, value.number)
+    if isinstance(value, str):
+        return ("s", value)
+    assert value is None
+    return ("n",)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=300, deadline=None)
+    @given(_values)
+    def test_round_trip_is_identity_up_to_normalization(self, value):
+        assert fingerprint(decode_value(encode_value(value))) == (
+            fingerprint(value)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(st.text(max_size=8), _values, max_size=6))
+    def test_map_round_trip_preserves_key_value_pairs(self, mapping):
+        decoded = decode_value(encode_value(mapping))
+        assert set(decoded) == set(mapping)
+        for key in mapping:
+            assert fingerprint(decoded[key]) == fingerprint(mapping[key])
+
+
+class TestExactTypes:
+    """Pinned examples for each normalization / exactness claim."""
+
+    def test_scalars_come_back_type_exact(self):
+        for value in (None, True, False, 0, -1, 2 ** 90, 0.5, -0.0,
+                      "", "héllo", Oid("People", 7)):
+            decoded = decode_value(encode_value(value))
+            assert decoded == value
+            assert type(decoded) is type(value)
+
+    def test_negative_zero_survives(self):
+        decoded = decode_value(encode_value(-0.0))
+        assert struct.pack(">d", decoded) == struct.pack(">d", -0.0)
+
+    def test_bool_does_not_collapse_to_int(self):
+        assert decode_value(encode_value([True, 1])) == [True, 1]
+        decoded = decode_value(encode_value([True, 1]))
+        assert type(decoded[0]) is bool and type(decoded[1]) is int
+
+    def test_tuple_normalizes_to_list(self):
+        assert decode_value(encode_value((1, 2))) == [1, 2]
+
+    def test_frozenset_normalizes_to_set(self):
+        decoded = decode_value(encode_value(frozenset({1, 2})))
+        assert decoded == {1, 2}
+        assert isinstance(decoded, set)
+
+
+class TestRefusals:
+    """Unfaithful values refuse to encode instead of mangling."""
+
+    def test_non_string_map_key_refused(self):
+        # Previously ``str(key)``-ified — {1: "x"} decoded to
+        # {"1": "x"}, a silent mangle a shard reply must never make.
+        for key in (1, 1.5, True, None, (1, 2), Oid("S", 1)):
+            with pytest.raises(ProtocolError, match="map key"):
+                encode_value({key: "x"})
+
+    def test_string_keys_still_fine(self):
+        assert decode_value(encode_value({"1": "x"})) == {"1": "x"}
+
+    def test_bytes_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_value(b"raw")
+
+    def test_arbitrary_object_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_value(object())
+
+    def test_over_deep_nesting_refused(self):
+        value = "leaf"
+        for _ in range(200):
+            value = [value]
+        with pytest.raises(ProtocolError):
+            encode_value(value)

@@ -1,0 +1,336 @@
+"""Tests for the multi-process sharded scatter–gather engine.
+
+Every test asserts *equality with serial execution* — the sharded
+engine's contract is that it is invisible except for speed. The
+stats counters are used to prove a scatter (or a fallback) actually
+happened, so these tests cannot silently pass by always running
+serially.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import View
+from repro.engine import Database
+from repro.errors import NonUniqueResultError
+from repro.exec import attach_executor, executor_of
+from repro.query.planner import execute as plan_execute
+
+
+def build_db(n=60):
+    db = Database("Shardtest")
+    db.define_class(
+        "Person",
+        attributes={
+            "Name": "string",
+            "Age": "integer",
+            "City": "string",
+            "Spouse": "Person",
+        },
+    )
+    handles = []
+    for i in range(n):
+        handles.append(
+            db.create(
+                "Person",
+                Name=f"p{i}",
+                Age=i % 50,
+                City=["Paris", "Rome", "London"][i % 3],
+            )
+        )
+    for i in range(0, n - 1, 2):
+        db.update(handles[i], "Spouse", handles[i + 1])
+    return db
+
+
+@pytest.fixture
+def db():
+    return build_db()
+
+
+@pytest.fixture
+def sharded(db):
+    executor = attach_executor(db, 2, min_scatter_extent=1,
+                               gather_timeout=30.0)
+    yield executor
+    executor.close()
+
+
+def oids(result):
+    return [h.oid for h in result]
+
+
+QUERIES = [
+    "select P from Person where P.Age >= 25",
+    "select P from Person where P.Age >= 10 and P.City = 'Rome'",
+    "select P.Name from P in Person where P.Age < 5",
+    "select [Name: P.Name, Town: P.City] from P in Person"
+    " where P.Age > 40",
+    "select P.City from P in Person",  # dedup across shards
+    "select P from Person where P.Spouse.Age > 45",  # navigation
+    "select P from Person where exists(P.Spouse)",
+]
+
+
+class TestEquality:
+    def test_matches_serial_and_actually_scatters(self, db, sharded):
+        # Serial ground truth from an identical database with no
+        # executor attached (same creation order, same oid numbering
+        # relative to class layout).
+        plain = build_db()
+        before = sharded.stats.scatters
+        for q in QUERIES:
+            sharded_result = db.query(q)
+            serial_result = plain.query(q)
+            if sharded_result and hasattr(sharded_result[0], "oid"):
+                assert [h.oid.number for h in sharded_result] == [
+                    h.oid.number for h in serial_result
+                ], q
+            else:
+                assert sharded_result == serial_result, q
+        assert sharded.stats.scatters - before >= len(QUERIES)
+        assert sharded.stats.serial_fallbacks == 0
+
+    def test_unique_across_shards(self, db, sharded):
+        one = db.query("select the P from Person where P.Name = 'p7'")
+        assert one.Name == "p7"
+        with pytest.raises(NonUniqueResultError):
+            db.query("select the P from Person where P.Age >= 0")
+        assert sharded.stats.scatters >= 2
+
+    def test_bound_parameters_ship(self, db, sharded):
+        before = sharded.stats.scatters
+        result = db.query(
+            "select P from Person where P.Age >= limit", limit=40
+        )
+        plain = [h for h in db.handles("Person") if h.Age >= 40]
+        assert oids(result) == oids(plain)
+        assert sharded.stats.scatters > before
+
+
+class TestDeltaShipping:
+    def test_mutations_visible_to_next_scatter(self, db, sharded):
+        q = "select P from Person where P.Age >= 48"
+        first = db.query(q)
+        nova = db.create("Person", Name="nova", Age=49, City="Rome")
+        second = db.query(q)
+        assert len(second) == len(first) + 1
+        assert nova.oid in oids(second)
+        db.update(nova, "Age", 3)
+        assert nova.oid not in oids(db.query(q))
+        db.delete(nova)
+        assert len(db.query(q)) == len(first)
+        assert sharded.stats.serial_fallbacks == 0
+        assert sharded.stats.deltas_shipped > 0
+
+    def test_ddl_ships_class_attribute_index(self, db, sharded):
+        db.query("select P from Person")  # workers up
+        db.define_class("Robot", attributes={"Serial": "string"})
+        db.define_attribute("Robot", "Power", declared_type="integer")
+        for i in range(10):
+            db.create("Robot", Serial=f"r{i}", Power=i)
+        db.create_index("Robot", "Power", "ordered")
+        before = sharded.stats.scatters
+        result = db.query("select R from Robot where R.Power >= 5")
+        assert len(result) == 5
+        assert sharded.stats.scatters > before
+        assert sharded.stats.serial_fallbacks == 0
+
+    def test_computed_attribute_falls_back_serially(self, db, sharded):
+        db.define_attribute("Person", "Doubled",
+                            value=lambda self: self.Age * 2)
+        result = db.query("select P from Person where P.Doubled >= 80")
+        expected = [h for h in db.handles("Person") if h.Age * 2 >= 80]
+        assert oids(result) == oids(expected)
+
+
+class TestSnapshotPinning:
+    def test_snapshot_scatter_pins_its_version(self, db, sharded):
+        q = "select P from Person where P.Age >= 48"
+        snap = db.snapshot()
+        pinned_before = plan_execute(q, snap)
+        db.create("Person", Name="late", Age=49, City="Rome")
+        # Workers have not advanced past the pin: still scatterable.
+        pinned_after = plan_execute(q, snap)
+        assert oids(pinned_after) == oids(pinned_before)
+        # Advance the workers past the pin; the snapshot query now
+        # falls back serially but stays frozen-correct.
+        live = db.query(q)
+        assert len(live) == len(pinned_before) + 1
+        assert oids(plan_execute(q, snap)) == oids(pinned_before)
+
+    def test_no_torn_reads_under_concurrent_batches(self, db, sharded):
+        """The two accounts live in different shard slices; every
+        scatter must see one atomic batch version of both."""
+        db.define_class(
+            "Account", attributes={"Tag": "string", "Balance": "integer"}
+        )
+        alpha = db.create("Account", Tag="alpha", Balance=500)
+        for i in range(40):  # push the second account into shard 1
+            db.create("Person", Name=f"f{i}", Age=1, City="Nowhere")
+        beta = db.create("Account", Tag="beta", Balance=500)
+        for i in range(30):
+            db.create("Person", Name=f"g{i}", Age=1, City="Nowhere")
+        sharded.rebalance()  # boundaries straddle the two accounts
+
+        stop = threading.Event()
+        writer_error = []
+
+        def writer():
+            flip = 1
+            try:
+                while not stop.is_set():
+                    db.begin_batch()
+                    try:
+                        db.update(alpha, "Balance",
+                                  alpha.Balance - 50 * flip)
+                        db.update(beta, "Balance",
+                                  beta.Balance + 50 * flip)
+                    finally:
+                        db.end_batch()
+                    flip = -flip
+            except Exception as error:  # pragma: no cover
+                writer_error.append(error)
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            q = ("select [Tag: A.Tag, Balance: A.Balance]"
+                 " from A in Account")
+            for _ in range(25):
+                rows = db.query(q)
+                assert len(rows) == 2
+                total = sum(row.Balance for row in rows)
+                assert total == 1000, f"torn read: {rows}"
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not writer_error
+        assert sharded.stats.scatters >= 25
+        # Both shards contributed rows: the accounts really straddled
+        # a shard boundary (otherwise this test proves nothing).
+        per_shard = sharded.stats.per_shard
+        assert per_shard[0]["rows"] > 0 and per_shard[1]["rows"] > 0
+
+
+class TestFailover:
+    def test_mid_scatter_worker_death_fails_over(self, db, sharded):
+        q = "select P from Person where P.Age >= 25"
+        expected = oids(db.query(q))  # also spins the workers up
+        original = sharded._prepare_workers
+
+        def murderous_prepare(snap):
+            original(snap)
+            victim = sharded._workers[1]
+            victim.process.terminate()
+            victim.process.join()
+
+        sharded._prepare_workers = murderous_prepare
+        try:
+            result = db.query(q)
+        finally:
+            sharded._prepare_workers = original
+        assert oids(result) == expected
+        assert sharded.stats.shard_failovers == 1
+        # The pool recovers: next scatter respawns the dead worker.
+        assert oids(db.query(q)) == expected
+        assert sharded.alive_workers() == 2
+        assert sharded.stats.shard_failovers == 1
+
+    def test_death_between_scatters_respawns(self, db, sharded):
+        q = "select P from Person where P.Age >= 25"
+        expected = oids(db.query(q))
+        sharded._workers[0].process.terminate()
+        sharded._workers[0].process.join()
+        assert oids(db.query(q)) == expected
+        assert sharded.alive_workers() == 2
+
+
+class TestAggregates:
+    def test_count_subquery_combines_partial_counts(self, db, sharded):
+        q = ("select the count((select P from Person where P.Age >= 25))"
+             " from X in Person where X.Name = 'p0'")
+        before = sharded.stats.scatters
+        result = db.query(q)
+        assert result == len(
+            [h for h in db.handles("Person") if h.Age >= 25]
+        )
+        assert sharded.stats.scatters > before
+
+    def test_value_aggregates_dedup_before_combining(self, db, sharded):
+        # sum over a projection with cross-shard duplicates: serial
+        # set semantics dedups Ages globally before summing.
+        q = ("select the sum((select P.Age from P in Person))"
+             " from X in Person where X.Name = 'p0'")
+        result = db.query(q)
+        assert result == sum({h.Age for h in db.handles("Person")})
+
+    def test_exists_subquery(self, db, sharded):
+        q = ("select X.Name from X in Person where X.Name = 'p1'"
+             " and exists((select P from Person where P.Age > 48))")
+        result = db.query(q)
+        assert result == ["p1"]
+
+
+class TestEligibility:
+    def test_scope_function_stays_serial(self, db, sharded):
+        db.register_function("shout", lambda v: str(v).upper())
+        before = sharded.stats.scatters
+        result = db.query(
+            "select shout(P.Name) from P in Person where P.Age >= 48"
+        )
+        assert result and all(r == r.upper() for r in result)
+        assert sharded.stats.scatters == before  # never shipped
+
+    def test_small_extent_stays_serial(self, db):
+        executor = attach_executor(db, 2, min_scatter_extent=10_000)
+        try:
+            result = db.query("select P from Person where P.Age >= 25")
+            assert len(result) > 0
+            assert executor.stats.scatters == 0
+        finally:
+            executor.close()
+
+    def test_closed_executor_detaches(self, db):
+        executor = attach_executor(db, 2, min_scatter_extent=1)
+        executor.close()
+        assert executor_of(db) == (None, None)
+        assert len(db.query("select P from Person where P.Age >= 25"))
+
+
+class TestViews:
+    def test_plain_window_view_scatters(self, db, sharded):
+        view = View("W")
+        view.import_database(db)
+        before = sharded.stats.scatters
+        result = view.query("select P from Person where P.Age >= 25")
+        assert oids(result) == oids(
+            db.query("select P from Person where P.Age >= 25")
+        )
+        assert sharded.stats.scatters > before
+
+    def test_view_with_hide_stays_serial_but_correct(self, db, sharded):
+        view = View("H")
+        view.import_database(db)
+        view.hide_attribute("Person", "City")
+        before = sharded.stats.scatters
+        result = view.query("select P from Person where P.Age >= 25")
+        assert len(result) == len(
+            [h for h in db.handles("Person") if h.Age >= 25]
+        )
+        assert sharded.stats.scatters == before
+
+    def test_view_with_virtual_class_stays_serial(self, db, sharded):
+        view = View("V")
+        view.import_database(db)
+        view.define_virtual_class(
+            "Greybeard",
+            includes=["select P from Person where P.Age >= 45"],
+        )
+        before = sharded.stats.scatters
+        result = view.query("select G from Greybeard")
+        assert len(result) == len(
+            [h for h in db.handles("Person") if h.Age >= 45]
+        )
+        assert sharded.stats.scatters == before

@@ -39,9 +39,22 @@ def load_benches(directory: str = HERE):
         except (OSError, ValueError) as error:
             print(f"skipping {path}: {error}", file=sys.stderr)
             continue
+        if not isinstance(payload, dict):
+            print(
+                f"skipping {path}: payload is not an object",
+                file=sys.stderr,
+            )
+            continue
         payload["_file"] = os.path.basename(path)
         payloads.append(payload)
-    payloads.sort(key=lambda p: (p.get("pr", 0), p["_file"]))
+    # Schemas are heterogeneous across PRs: ``pr`` may be absent or
+    # null. Sort those first rather than crashing the whole index.
+    payloads.sort(
+        key=lambda p: (
+            p["pr"] if isinstance(p.get("pr"), (int, float)) else -1,
+            p["_file"],
+        )
+    )
     return payloads
 
 
@@ -111,8 +124,13 @@ def render(records) -> str:
             for key, value in record["metrics"].items()
         )
         smoke = " [smoke]" if record["smoke"] else ""
+        # Missing keys render as an em dash — a bench file with a
+        # sparse schema must not crash the whole trajectory.
+        pr = record.get("pr")
+        pr = str(pr) if pr is not None else "—"
+        experiment = str(record.get("experiment") or "—")
         lines.append(
-            f"{record['pr']:<3} {record['experiment']:<11}"
+            f"{pr:<3} {experiment:<11}"
             f" {record['series']} / {record['cell']}{smoke} -> {metrics}"
         )
     lines.append("-" * 72)

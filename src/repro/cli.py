@@ -138,8 +138,10 @@ class Session:
                 return "error: current scope has no paged storage"
             info = storage.checkpoint()
             return (
-                f"checkpoint {info['checkpoint_id']}:"
+                f"checkpoint {info['checkpoint_id']}"
+                f" ({info['kind']}):"
                 f" {info['pages']} page(s),"
+                f" {info['bytes']} bytes,"
                 f" journal tail {info['tail_batches']} batch(es)"
             )
         if command == ".load":
@@ -221,23 +223,38 @@ class Session:
         buf, disk, ckpt = (
             blocks["buffer"], blocks["disk"], blocks["checkpoint"]
         )
-        return "\n".join(
-            [
-                f"buffer pool:        {buf['pages_in_pool']}/"
-                f"{buf['capacity']} pages"
-                f" (hits {buf['hits']}, misses {buf['misses']},"
-                f" evictions {buf['evictions']},"
-                f" dirty flushes {buf['dirty_flushes']})",
-                f"page file:          {disk['file_pages']} pages"
-                f" ({disk['page_reads']} reads,"
-                f" {disk['page_writes']} writes,"
-                f" {disk['free_pages']} free)",
-                f"checkpoints:        {ckpt['checkpoints_taken']}"
-                f" (id {ckpt['checkpoint_id']},"
-                f" journal tail {ckpt['journal_tail_batches']} batches,"
-                f" replayed on open {ckpt['replayed_on_open']})",
-            ]
-        )
+        lines = [
+            f"buffer pool:        {buf['pages_in_pool']}/"
+            f"{buf['capacity']} pages"
+            f" (hit ratio {buf['hit_ratio']:.2%},"
+            f" hits {buf['hits']}, misses {buf['misses']},"
+            f" evictions {buf['evictions']},"
+            f" dirty flushes {buf['dirty_flushes']})",
+            f"page file:          {disk['file_pages']} pages"
+            f" ({disk['page_reads']} reads,"
+            f" {disk['page_writes']} writes,"
+            f" {disk['free_pages']} free)",
+            f"checkpoints:        {ckpt['checkpoints_taken']}"
+            f" ({ckpt['full_checkpoints']} full,"
+            f" {ckpt['incremental_checkpoints']} incremental,"
+            f" id {ckpt['checkpoint_id']},"
+            f" last {ckpt['last_checkpoint_kind'] or 'none'}"
+            f" {ckpt['last_checkpoint_bytes']} bytes,"
+            f" journal tail {ckpt['journal_tail_batches']} batches,"
+            f" replayed on open {ckpt['replayed_on_open']})",
+        ]
+        table = blocks.get("table")
+        if table is not None:
+            limit = table["resident_limit"]
+            lines.append(
+                f"object table:       {table['resident_objects']}/"
+                f"{table['directory_objects']} resident"
+                f" (limit {limit if limit is not None else 'none'},"
+                f" faults {table['faults']},"
+                f" faulted objects {table['faulted_objects']},"
+                f" evicted {table['evicted_objects']})"
+            )
+        return "\n".join(lines)
 
     def _txn_command(self, command: str, argument: str) -> str:
         scope = self._require_scope()

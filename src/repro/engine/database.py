@@ -52,6 +52,20 @@ from .values import require_conforms
 from .versions import CommitStats, DatabaseSnapshot, VersionRegistry
 
 
+def _class_name_in(objects, oid: Oid) -> Optional[str]:
+    """The class ``oid`` is real in within an object map, or ``None``.
+
+    Uses the map's fault-free ``class_name_of`` directory lookup when
+    it has one (demand-paged tables), so membership tests never pull
+    cold objects into memory.
+    """
+    lookup = getattr(objects, "class_name_of", None)
+    if lookup is not None:
+        return lookup(oid)
+    obj = objects.get(oid)
+    return obj.class_name if obj is not None else None
+
+
 class Database(Scope):
     """A named object-oriented database."""
 
@@ -376,7 +390,14 @@ class Database(Scope):
 
     def _writable_objects(self) -> Dict[Oid, DatabaseObject]:
         if self._objects_shared:
-            self._objects = dict(self._objects)
+            # The object map forks polymorphically: a plain dict is
+            # copied, a demand-paged table (storage-backed databases)
+            # does an O(1) copy-on-write fork so published snapshots
+            # keep faulting from their own generation.
+            fork = getattr(self._objects, "fork", None)
+            self._objects = (
+                fork() if fork is not None else dict(self._objects)
+            )
             self._objects_shared = False
         return self._objects
 
@@ -419,6 +440,14 @@ class Database(Scope):
         pinned = self._pins.current()
         if pinned is not None:
             return pinned.class_of(oid)
+        # A demand-paged object map answers class membership from its
+        # directory without faulting the object in.
+        lookup = getattr(self._objects, "class_name_of", None)
+        if lookup is not None:
+            name = lookup(oid)
+            if name is None:
+                raise UnknownOidError(oid)
+            return name
         return self._require(oid).class_name
 
     def raw_value(self, oid: Oid) -> Dict[str, object]:
@@ -436,10 +465,10 @@ class Database(Scope):
             return pinned.is_member(oid, class_name)
         if ACTIVE_TRACKERS:
             record_extent_read(class_name)
-        obj = self._objects.get(oid)
-        if obj is None:
+        real_class = _class_name_in(self._objects, oid)
+        if real_class is None:
             return False
-        return self._schema.isa(obj.class_name, class_name)
+        return self._schema.isa(real_class, class_name)
 
     # ------------------------------------------------------------------
     # Schema definition conveniences
@@ -683,8 +712,7 @@ class Database(Scope):
         return obj
 
     def _class_of_or_none(self, oid: Oid) -> Optional[str]:
-        obj = self._objects.get(oid)
-        return obj.class_name if obj is not None else None
+        return _class_name_in(self._objects, oid)
 
     def _validate(self, class_name: str, tuple_value: Dict[str, object]) -> None:
         attributes = self._schema.attributes_of(class_name)
@@ -721,6 +749,32 @@ class Database(Scope):
                 )
                 for oid, obj in self._objects.items()
             }
+
+    def attach_object_table(self, table, extents: Dict[str, set]) -> None:
+        """Adopt a storage-provided object map (bootstrap only).
+
+        The paged storage engine calls this once, while opening a
+        database, to install a demand-paged table (any mapping
+        honouring the object-map protocol works) plus the extent sets
+        derived from its directory. No events are published and no
+        install hooks run — there are no subscribers yet; the version
+        still advances so stale cached snapshots cannot survive.
+        """
+        with self._commit_lock:
+            self._objects = table
+            self._extents = extents
+            self._objects_shared = False
+            self._extents_outer_shared = False
+            self._shared_extent_classes = set()
+            highest = 0
+            for oid in table:
+                if oid.space == self._name:
+                    highest = max(highest, oid.number)
+            self._oids.advance_to(highest)
+            if self._current_snapshot is not None:
+                self.versions.superseded(self._current_snapshot)
+            self._store_version += 1
+            self._current_snapshot = None
 
     def restore_objects(self, snapshot: Dict[Oid, DatabaseObject]) -> None:
         from .values import deep_copy_value

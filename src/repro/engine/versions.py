@@ -407,8 +407,20 @@ class DatabaseSnapshot(Scope):
             raise UnknownOidError(oid)
         return obj
 
+    def _class_name_of(self, oid: Oid) -> Optional[str]:
+        # Demand-paged object maps answer this from their directory
+        # without faulting the object in (see engine.database).
+        lookup = getattr(self._objects, "class_name_of", None)
+        if lookup is not None:
+            return lookup(oid)
+        obj = self._objects.get(oid)
+        return obj.class_name if obj is not None else None
+
     def class_of(self, oid: Oid) -> str:
-        return self._require(oid).class_name
+        name = self._class_name_of(oid)
+        if name is None:
+            raise UnknownOidError(oid)
+        return name
 
     def raw_value(self, oid: Oid) -> Dict[str, object]:
         return self._require(oid).value
@@ -419,10 +431,10 @@ class DatabaseSnapshot(Scope):
     def is_member(self, oid: Oid, class_name: str) -> bool:
         if ACTIVE_TRACKERS:
             record_extent_read(class_name)
-        obj = self._objects.get(oid)
-        if obj is None:
+        real_class = self._class_name_of(oid)
+        if real_class is None:
             return False
-        return self._schema.isa(obj.class_name, class_name)
+        return self._schema.isa(real_class, class_name)
 
     def extent(self, class_name: str, deep: bool = True) -> OidSet:
         if ACTIVE_TRACKERS:

@@ -222,6 +222,15 @@ def _render_scopes(scopes: Iterable) -> List[str]:
                         event=event,
                     )
                 )
+        lines.append("# TYPE repro_buffer_hit_ratio gauge")
+        for name, blocks in storage_rows:
+            lines.append(
+                _line(
+                    "repro_buffer_hit_ratio",
+                    blocks["buffer"]["hit_ratio"],
+                    scope=name,
+                )
+            )
         lines.append("# TYPE repro_buffer_pool_pages gauge")
         for name, blocks in storage_rows:
             buf = blocks["buffer"]
@@ -261,6 +270,29 @@ def _render_scopes(scopes: Iterable) -> List[str]:
                 _line(
                     "repro_storage_journal_tail_batches",
                     blocks["checkpoint"]["journal_tail_batches"],
+                    scope=name,
+                )
+            )
+        lines.append("# TYPE repro_storage_checkpoint_bytes gauge")
+        for name, blocks in storage_rows:
+            ckpt = blocks["checkpoint"]
+            lines.append(
+                _line(
+                    "repro_storage_checkpoint_bytes",
+                    ckpt["last_checkpoint_bytes"],
+                    scope=name,
+                    kind=ckpt["last_checkpoint_kind"] or "none",
+                )
+            )
+        lines.append("# TYPE repro_storage_faults_total counter")
+        for name, blocks in storage_rows:
+            table = blocks.get("table")
+            if table is None:
+                continue
+            lines.append(
+                _line(
+                    "repro_storage_faults_total",
+                    table["faults"],
                     scope=name,
                 )
             )

@@ -315,19 +315,25 @@ class _ProbePlanBase(Plan):
         Returns ``(results, scanned)`` — ``scanned`` counts candidates
         actually visited (probe selectivity, surfaced by EXPLAIN).
         """
-        extent = scope.extent(self.class_name)
         rt = Runtime(scope, functions, self_value)
         env = dict(bindings) if bindings else {}
         variable = self.variable
         residual = self.residual
         project = self.project
+        is_member = scope.is_member
+        class_name = self.class_name
         results: List[object] = []
         seen = set()
         scanned = 0
         # OidSet iteration is sorted; sort here too so probe results
         # come back in the same deterministic order as a scan.
+        # Membership is tested per candidate (is_member) instead of
+        # materializing the whole extent: a probe over a demand-paged
+        # database streams through its candidates without building an
+        # O(extent) set — and the membership test itself is a
+        # directory lookup, never an object fault.
         for oid in sorted(candidates.members):
-            if oid not in extent:
+            if not is_member(oid, class_name):
                 continue  # the index may cover a superclass
             scanned += 1
             env[variable] = ObjectHandle(scope, oid)

@@ -674,6 +674,24 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         dest="pool_pages",
         help="buffer-pool capacity of the paged database, in pages",
     )
+    parser.add_argument(
+        "--incremental-checkpoints",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        dest="incremental_checkpoints",
+        help="let checkpoints write only objects dirtied since the"
+        " previous one (--no-incremental-checkpoints forces every"
+        " checkpoint to rewrite the full database)",
+    )
+    parser.add_argument(
+        "--resident-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="resident_limit",
+        help="paged database: drop clean demand-faulted objects past"
+        " N resident (default: keep everything faulted in)",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7474)
     parser.add_argument(
@@ -746,7 +764,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     if args.paged:
         from ..storage.checkpoint import PagedDatabase
 
-        kwargs = {"checkpoint_every": args.checkpoint_every or None}
+        kwargs = {
+            "checkpoint_every": args.checkpoint_every or None,
+            "incremental_checkpoints": args.incremental_checkpoints,
+            "resident_limit": args.resident_limit,
+        }
         if args.pool_pages:
             kwargs["pool_pages"] = args.pool_pages
         paged = PagedDatabase(args.paged, name="db", **kwargs)

@@ -4,6 +4,12 @@ transactions, pages, buffer pool, and checkpointed databases."""
 from .buffer import BufferManager, BufferStats
 from .checkpoint import PagedDatabase, open_paged
 from .journal import JournalWriter, replay_journal
+from .objecttable import (
+    Generation,
+    PagedObjectTable,
+    TableStats,
+    segment_key,
+)
 from .pages import ChainWriter, DiskManager, read_chain
 from .persistence import (
     compact,
@@ -13,7 +19,10 @@ from .persistence import (
     snapshot_records,
 )
 from .serializer import (
+    decode_object_record,
     decode_value,
+    encode_object_record,
+    encode_tombstone_record,
     encode_value,
     type_from_data,
     type_to_data,
@@ -32,16 +41,22 @@ __all__ = [
     "ChainWriter",
     "DiskManager",
     "FileStore",
+    "Generation",
     "JournalWriter",
     "MemoryStore",
     "PagedDatabase",
+    "PagedObjectTable",
     "RecordStore",
+    "TableStats",
     "Savepoint",
     "Transaction",
     "TransactionManager",
     "TxState",
     "compact",
+    "decode_object_record",
     "decode_value",
+    "encode_object_record",
+    "encode_tombstone_record",
     "encode_value",
     "load_database",
     "open_paged",
@@ -49,6 +64,7 @@ __all__ = [
     "read_chain",
     "replay_journal",
     "save_database",
+    "segment_key",
     "snapshot_records",
     "type_from_data",
     "type_to_data",

@@ -210,6 +210,12 @@ class BufferManager:
     def snapshot(self) -> Dict[str, int]:
         """Counters plus pool occupancy, for the stats surfaces."""
         snap = self.stats.snapshot()
+        accesses = snap["hits"] + snap["misses"]
+        # A ratio, not a counter: the one derived value every stats
+        # surface wants (CLI, server stats op, Prometheus gauge).
+        snap["hit_ratio"] = (
+            snap["hits"] / accesses if accesses else 0.0
+        )
         with self._lock:
             snap["capacity"] = self.capacity
             snap["pages_in_pool"] = len(self._frames)

@@ -1,43 +1,73 @@
-"""Checkpointed page-file storage: restart cost O(tail), not O(history).
+"""Checkpointed page-file storage: restart cost O(tail), checkpoint
+cost O(dirty), memory cost O(working set).
 
 :class:`PagedDatabase` ties the storage engine's layers together:
 
 - a :class:`~repro.storage.pages.DiskManager` over ``<path>`` (the
   page file) and a :class:`~repro.storage.buffer.BufferManager` with a
-  bounded pool, so snapshots stream through memory instead of living
-  in it;
+  bounded pool, so chains stream through memory instead of living in
+  it;
+- a :class:`~repro.storage.objecttable.PagedObjectTable` as the
+  engine's object map — opening a database loads only the directory
+  (oid → class) and the delta-resident objects; everything else is
+  faulted from its chain segment on first touch and evictable again
+  under ``resident_limit``;
 - a :class:`~repro.storage.stores.FileStore` journal at
   ``<path>.journal`` — the *redo tail*: only operations committed
   since the last checkpoint;
 - a :class:`~repro.storage.transactions.TransactionManager` whose
   commits append (fsynced) to that journal.
 
+**On-disk layout (format 2).** The meta page (double-buffered slots —
+see :mod:`repro.storage.pages`) points at a *manifest* chain; the
+manifest names the database, carries the schema, and references:
+
+- **base segments** — one record chain per ``(space, number >> 8)``
+  block of oids, holding full object records. Written only by *full*
+  checkpoints;
+- a **directory chain** — per-class oid lists (the extent map), so
+  open never touches a segment;
+- **delta chains** — one per *incremental* checkpoint since the last
+  full one: full images of the objects dirtied in that window, plus
+  tombstones for deletions.
+
+**Incremental checkpoints.** Mutations mark their oid dirty (an event
+subscription). ``checkpoint()`` then writes one delta chain for the
+dirty set and a fresh manifest that links every unchanged segment,
+the directory and the prior delta chains *by reference* — cost
+O(writes since the last checkpoint), not O(database). A *full*
+checkpoint (the first one, an explicit ``checkpoint(full=True)``, or
+automatic compaction once the accumulated deltas pass
+``COMPACT_RATIO`` of the base) rewrites segments + directory and
+clears the delta list.
+
+**Page GC (horizon K).** Pages a checkpoint unlinks go to a *retired
+queue* stamped with the checkpoint id that dropped them; they are
+recycled onto the free list once ``gc_horizon`` further checkpoints
+have committed **and** — for segment pages — no live
+:class:`~repro.storage.objecttable.Generation` (a pinned MVCC
+snapshot's table, say) can still fault from them. Retirement is
+crash-safe by construction: a page retired while writing checkpoint N
+is unreachable from meta N, and recovery never falls back past the
+newest durable meta.
+
 **Checkpoint protocol** (:meth:`PagedDatabase.checkpoint`):
 
 1. under the database's commit lock, capture an immutable MVCC
-   snapshot (:meth:`Database.capture_snapshot`) and note the journal
-   record count — the *cut*;
-2. release the lock and stream the snapshot into a fresh page chain
-   through the buffer pool (writers may keep committing; their batches
-   land after the cut). Chain pages come from the free list inherited
-   from the *previous* meta record, which by construction never
-   contains pages of the chain the current meta references — a crash
-   mid-checkpoint leaves the previous checkpoint fully intact;
+   snapshot, note the journal record count (the *cut*) and swap out
+   the dirty set;
+2. release the lock and stream the new chains through the buffer pool
+   (writers may keep committing; their batches land after the cut and
+   their oids re-enter the dirty set). Chain pages come from the free
+   list, which never contains pages any durable meta can reach;
 3. flush dirty frames and fsync the page file;
-4. re-take the commit lock, write the new meta record (double-buffered
-   slots — see :mod:`repro.storage.pages`), then atomically rewrite
-   the journal keeping only post-cut records.
+4. re-take the commit lock, advance the retired queue, write the new
+   meta record, then atomically cut the journal to post-cut records.
 
-A crash between steps 4's meta write and journal rewrite leaves
-pre-cut batches in the tail; journal replay is idempotent
+A crash between step 4's meta write and journal cut leaves pre-cut
+batches in the tail; journal replay is idempotent
 (:mod:`repro.storage.journal`), so replaying them over the checkpoint
 converges to the same state.
-
-**Restart** (:meth:`PagedDatabase` construction on an existing file):
-read the best meta record, stream the snapshot chain through the
-buffer pool, replay the journal tail. Replayed operation counts are
-exposed (``replayed_on_open``) so tests and benches can assert the
-bound.
 
 ``checkpoint_every=N`` checkpoints automatically after every N
 committed journal batches.
@@ -46,12 +76,22 @@ committed journal batches.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+import weakref
+from itertools import islice
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..engine.database import Database
+from ..engine.objects import DatabaseObject
+from ..engine.oid import Oid
 from ..errors import StorageError
 from .buffer import DEFAULT_POOL_PAGES, BufferManager
 from .journal import JournalWriter, replay_journal
+from .objecttable import (
+    Generation,
+    PagedObjectTable,
+    TableStats,
+    segment_key,
+)
 from .pages import (
     DEFAULT_PAGE_SIZE,
     FIRST_DATA_PID,
@@ -62,11 +102,32 @@ from .pages import (
     read_meta,
     write_meta,
 )
-from .persistence import load_database_from_records, snapshot_records
+from .persistence import (
+    SNAPSHOT_CHUNK,
+    _restore_schema,
+    snapshot_records,
+)
+from .serializer import (
+    decode_object_record,
+    decode_value,
+    encode_object_record,
+    encode_tombstone_record,
+    encode_value,
+)
 from .stores import FileStore
 from .transactions import TransactionManager
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+# Compaction policy: a checkpoint turns full once the pending delta
+# records would exceed COMPACT_RATIO of the object count (and at
+# least COMPACT_MIN_RECORDS — small databases stay incremental), or
+# once the delta list itself gets long enough to slow reopening.
+COMPACT_RATIO = 0.25
+COMPACT_MIN_RECORDS = 256
+MAX_DELTA_CHAINS = 64
+
+DEFAULT_GC_HORIZON = 2
 
 
 class PagedDatabase:
@@ -82,7 +143,12 @@ class PagedDatabase:
         pool_pages: int = DEFAULT_POOL_PAGES,
         checkpoint_every: Optional[int] = None,
         sync_on_commit: bool = True,
+        incremental_checkpoints: bool = True,
+        resident_limit: Optional[int] = None,
+        gc_horizon: int = DEFAULT_GC_HORIZON,
     ):
+        if gc_horizon < 1:
+            raise StorageError(f"gc_horizon must be >= 1, got {gc_horizon}")
         self._path = path
         self.disk = DiskManager(path, page_size)
         if read_meta(self.disk) is None and self._meta_slots_nonzero():
@@ -101,14 +167,46 @@ class PagedDatabase:
         self.buffer = BufferManager(self.disk, pool_pages)
         self.journal_store = FileStore(path + ".journal")
         self._checkpoint_every = checkpoint_every
+        self._incremental = incremental_checkpoints
+        self._resident_limit = resident_limit
+        self._gc_horizon = gc_horizon
+        self.compact_ratio = COMPACT_RATIO
+        self.compact_min_records = COMPACT_MIN_RECORDS
+        self.max_delta_chains = MAX_DELTA_CHAINS
         self._batches_since_checkpoint = 0
         self._checkpointing = False
         self.checkpoints_taken = 0
+        self.full_checkpoints = 0
+        self.incremental_checkpoints = 0
         self.last_checkpoint_pages = 0
+        self.last_checkpoint_bytes = 0
+        self.last_checkpoint_kind = ""
         self.last_checkpoint_seconds = 0.0
+        self.checkpoint_pages_total = 0
         self.replayed_on_open = 0
+        self.pages_read_on_open = 0
+
+        # Chain state of the current durable checkpoint. ``pids`` are
+        # filled in as chains are written; ``None`` means the chain
+        # was inherited from disk and is walked when it is retired.
+        self._manifest_head = 0
+        self._manifest_pids: Optional[List[int]] = []
+        self._segments: Dict[Tuple[str, int], dict] = {}
+        self._dir_head = 0
+        self._dir_pids: Optional[List[int]] = []
+        self._deltas: List[dict] = []
+        self._delta_records = 0
+        self._free: List[int] = []
+        # Retired batches: {"ckpt": id, "pids": [...], "gen": weakref
+        # or None}. ``gen`` gates segment pages on generation
+        # liveness; plain chains (manifest/directory/delta) are only
+        # read at open and recycle on the horizon alone.
+        self._retired: List[dict] = []
+        self._dirty: Set[Oid] = set()
+        self._table_stats = TableStats()
 
         meta = read_meta(self.disk)
+        reads_before = self.disk.page_reads
         if meta is not None:
             if meta.get("format") != FORMAT_VERSION:
                 raise StorageError(
@@ -120,23 +218,31 @@ class PagedDatabase:
                     f" opened with {page_size}"
                 )
             self._checkpoint_id = int(meta["checkpoint_id"])
-            self._root = int(meta["root"])
-            self._free: List[int] = [int(p) for p in meta.get("free", [])]
-            self.db = load_database_from_records(
-                read_chain(self.buffer, self._root)
-            )
+            self._free = [int(p) for p in meta.get("free", [])]
+            self._retired = [
+                {"ckpt": int(ckpt), "pids": [int(p) for p in pids],
+                 "gen": None}
+                for ckpt, pids in meta.get("retired", [])
+            ]
+            self.db = self._load(int(meta["root"]))
+        else:
+            self._checkpoint_id = 0
+            self.db = Database(name)
+            self._generation = Generation(0, {})
+            self._attach_table(self.db, {}, {}, set())
+            if setup is not None:
+                setup(self.db)
+        # Dirty tracking must see journal replay (replayed operations
+        # are in the tail and must land in the next checkpoint), so
+        # subscribe before replaying.
+        self.db.events.subscribe(self._on_commit_event)
+        if meta is not None:
             # The journal tail: everything committed after the
             # checkpoint. Replay is bounded by the tail, not history.
             self.replayed_on_open = replay_journal(
                 self.journal_store, self.db
             )
-        else:
-            self._checkpoint_id = 0
-            self._root = 0
-            self._free = []
-            self.db = Database(name)
-            if setup is not None:
-                setup(self.db)
+        self.pages_read_on_open = self.disk.page_reads - reads_before
         # The manager is created only now: replay must not re-journal
         # the operations it applies.
         self.journal = JournalWriter(
@@ -152,6 +258,101 @@ class PagedDatabase:
             self.checkpoint()
 
     # ------------------------------------------------------------------
+    # Open path
+    # ------------------------------------------------------------------
+
+    def _load(self, root: int) -> Database:
+        """Rebuild the engine from a manifest chain: schema plus the
+        directory plus delta-resident objects — base segments stay on
+        disk until faulted."""
+        name: Optional[str] = None
+        classes = None
+        for raw in read_chain(self.buffer, root):
+            record = decode_value(raw)
+            if not isinstance(record, dict):
+                raise StorageError(f"malformed manifest record: {record!r}")
+            kind = record.get("kind")
+            if kind == "database":
+                name = record["name"]
+            elif kind == "schema":
+                classes = record["classes"]
+            elif kind == "segment":
+                self._segments[(record["space"], record["block"])] = {
+                    "head": int(record["head"]),
+                    "count": int(record["count"]),
+                    "pids": None,
+                }
+            elif kind == "dir":
+                self._dir_head = int(record["head"])
+                self._dir_pids = None
+            elif kind == "delta":
+                self._deltas.append(
+                    {
+                        "head": int(record["head"]),
+                        "count": int(record["count"]),
+                        "pids": None,
+                    }
+                )
+            else:
+                raise StorageError(f"unknown manifest record kind: {kind!r}")
+        if name is None or classes is None:
+            raise StorageError("manifest chain lacks database/schema records")
+        self._manifest_head = root
+        self._manifest_pids = None
+        self._delta_records = sum(d["count"] for d in self._deltas)
+
+        db = Database(name)
+        _restore_schema(db, classes)
+        directory: Dict[Oid, str] = {}
+        if self._dir_head:
+            for raw in read_chain(self.buffer, self._dir_head):
+                record = decode_value(raw)
+                for oid in record["oids"]:
+                    directory[oid] = record["class"]
+        # Delta replay, oldest chain first: the latest image (or
+        # tombstone) of each dirtied object wins. Delta objects stay
+        # resident and fault-protected until the next full checkpoint.
+        entries: Dict[Oid, DatabaseObject] = {}
+        for delta in self._deltas:
+            for raw in read_chain(self.buffer, delta["head"]):
+                oid, class_name, value = decode_object_record(raw)
+                if class_name is None:
+                    directory.pop(oid, None)
+                    entries.pop(oid, None)
+                else:
+                    directory[oid] = class_name
+                    entries[oid] = DatabaseObject(oid, class_name, value)
+        self._generation = Generation(
+            self._checkpoint_id,
+            {key: seg["head"] for key, seg in self._segments.items()},
+        )
+        self._attach_table(db, directory, entries, set(entries))
+        return db
+
+    def _attach_table(
+        self,
+        db: Database,
+        directory: Dict[Oid, str],
+        entries: Dict[Oid, DatabaseObject],
+        unfaultable: Set[Oid],
+    ) -> None:
+        extents: Dict[str, set] = {
+            class_name: set() for class_name in db.schema.class_names()
+        }
+        for oid, class_name in directory.items():
+            extents.setdefault(class_name, set()).add(oid)
+        table = PagedObjectTable(
+            self.buffer,
+            self._generation,
+            directory,
+            entries,
+            unfaultable,
+            resident_limit=self._resident_limit,
+            stats=self._table_stats,
+        )
+        db.attach_object_table(table, extents)
+
+    # ------------------------------------------------------------------
 
     @property
     def path(self) -> str:
@@ -160,6 +361,10 @@ class PagedDatabase:
     @property
     def checkpoint_id(self) -> int:
         return self._checkpoint_id
+
+    @property
+    def gc_horizon(self) -> int:
+        return self._gc_horizon
 
     def _meta_slots_nonzero(self) -> bool:
         from .pages import META_SLOTS
@@ -173,6 +378,11 @@ class PagedDatabase:
     def journal_tail_batches(self) -> int:
         """Batches currently in the redo tail (replay bound)."""
         return sum(1 for _ in self.journal_store.records())
+
+    def _on_commit_event(self, event) -> None:
+        oid = getattr(event, "oid", None)
+        if oid is not None:
+            self._dirty.add(oid)
 
     def _on_journal_batch(self, _ops: int) -> None:
         self._batches_since_checkpoint += 1
@@ -190,15 +400,42 @@ class PagedDatabase:
             return pid
         return self.buffer.allocate_page()
 
+    def _live_table(self) -> Optional[PagedObjectTable]:
+        """The engine's object map, if it is still one of ours.
+
+        ``restore_objects`` (plain-dict restore) would silently bypass
+        dirty tracking; checkpoints fall back to full rewrites when
+        the table has been replaced.
+        """
+        table = self.db._objects
+        if (
+            isinstance(table, PagedObjectTable)
+            and table.stats is self._table_stats
+        ):
+            return table
+        return None
+
+    def _chain_pids(self, head: int, cached: Optional[List[int]]) -> List[int]:
+        if not head:
+            return []
+        if cached is not None:
+            return cached
+        return chain_pages(self.buffer, head)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
     # ------------------------------------------------------------------
 
-    def checkpoint(self) -> Dict[str, int]:
+    def checkpoint(self, full: Optional[bool] = None) -> Dict[str, object]:
         """Write a checkpoint and cut the journal to its redo tail.
 
-        Returns ``{"checkpoint_id", "pages", "tail_batches"}``. Safe
-        to call from the journal's post-batch hook (the commit lock is
-        re-entrant); concurrent readers are never blocked, writers only
-        during the two short locked phases.
+        ``full=None`` lets the compaction policy decide; ``True``
+        forces a full rewrite, ``False`` forces an incremental delta
+        (where one is possible). Returns ``{"checkpoint_id", "kind",
+        "pages", "bytes", "tail_batches"}``. Safe to call from the
+        journal's post-batch hook (the commit lock is re-entrant);
+        concurrent readers are never blocked, writers only during the
+        two short locked phases.
         """
         if self._checkpointing:
             raise StorageError("checkpoint already in progress")
@@ -209,66 +446,337 @@ class PagedDatabase:
             with lock:
                 snap = self.db.capture_snapshot()
                 cut = sum(1 for _ in self.journal_store.records())
-            writer = ChainWriter(self.buffer, allocate=self._allocate_page)
-            for record in snapshot_records(snap):
-                writer.append(record)
-            head, pages = writer.finish()
+                dirty, self._dirty = self._dirty, set()
+            kind = self._decide_kind(full, snap, dirty)
+            try:
+                if kind == "full":
+                    state = self._write_full(snap)
+                else:
+                    state = self._write_incremental(snap, dirty)
+            except BaseException:
+                # The dirty set must survive a failed checkpoint: put
+                # it back (merged with whatever committed meanwhile).
+                with lock:
+                    self._dirty |= dirty
+                raise
             self.buffer.flush_all()
             self.disk.sync()
             with lock:
-                old_root = self._root
-                old_pages = (
-                    chain_pages(self.buffer, old_root) if old_root else []
-                )
-                self._checkpoint_id += 1
-                free = self._free + old_pages
-                self._write_meta(head, free)
+                new_id = self._checkpoint_id + 1
+                for batch in state["retired"]:
+                    if batch["pids"]:
+                        batch["ckpt"] = new_id
+                        self._retired.append(batch)
+                freed = self._promote_retired(new_id)
+                free = self._free + freed
+                self._write_meta(new_id, state["manifest_head"], free)
                 tail = list(self.journal_store.records())[cut:]
                 self.journal_store.replace_records(tail)
                 self.journal_store.sync()
-                self._root = head
+                self._checkpoint_id = new_id
                 self._free = free
+                self._manifest_head = state["manifest_head"]
+                self._manifest_pids = state["manifest_pids"]
+                if kind == "full":
+                    self._segments = state["segments"]
+                    self._dir_head = state["dir_head"]
+                    self._dir_pids = state["dir_pids"]
+                    self._deltas = []
+                    self._delta_records = 0
+                    self._generation = state["generation"]
+                    table = self._live_table()
+                    if table is not None:
+                        # Post-cut mutations live in the journal tail,
+                        # not the new segments: they stay protected.
+                        table.swap_generation(
+                            self._generation, set(self._dirty)
+                        )
+                elif state["delta"] is not None:
+                    self._deltas.append(state["delta"])
+                    self._delta_records += state["delta"]["count"]
                 self._batches_since_checkpoint = len(tail)
-            for pid in old_pages:
-                self.buffer.drop(pid)
+            for pid in freed:
+                try:
+                    self.buffer.drop(pid)
+                except StorageError:  # pragma: no cover - defensive
+                    pass
             self.checkpoints_taken += 1
-            self.last_checkpoint_pages = pages
+            if kind == "full":
+                self.full_checkpoints += 1
+            else:
+                self.incremental_checkpoints += 1
+            self.last_checkpoint_pages = state["pages"]
+            self.last_checkpoint_bytes = state["pages"] * self.disk.page_size
+            self.last_checkpoint_kind = kind
+            self.checkpoint_pages_total += state["pages"]
             self.last_checkpoint_seconds = time.perf_counter() - started
             return {
                 "checkpoint_id": self._checkpoint_id,
-                "pages": pages,
+                "kind": kind,
+                "pages": state["pages"],
+                "bytes": self.last_checkpoint_bytes,
                 "tail_batches": len(tail),
             }
         finally:
             self._checkpointing = False
 
-    def _write_meta(self, root: int, free: List[int]) -> None:
-        """Write the meta record, shedding free-list tail entries if
-        they overflow the page (leaked pages, never corruption)."""
-        keep = list(free)
+    def _decide_kind(self, full, snap, dirty: Set[Oid]) -> str:
+        if full is True or not self._incremental:
+            return "full"
+        if not self._manifest_head:
+            return "full"  # nothing durable to delta against
+        if self._live_table() is None:
+            return "full"  # object map replaced; dirty set untrustworthy
+        if full is False:
+            return "incremental"
+        if len(self._deltas) >= self.max_delta_chains:
+            return "full"
+        pending = self._delta_records + len(dirty)
+        threshold = max(
+            self.compact_min_records,
+            int(self.compact_ratio * max(1, snap.object_count())),
+        )
+        if pending >= threshold:
+            return "full"
+        return "incremental"
+
+    def _write_full(self, snap) -> dict:
+        """Rewrite segments + directory + manifest from the snapshot.
+
+        Retires every chain of the previous checkpoint: the old
+        segments (generation-gated) and the old manifest, directory
+        and delta chains (horizon-gated only)."""
+        old_plain = (
+            self._chain_pids(self._manifest_head, self._manifest_pids)
+            + self._chain_pids(self._dir_head, self._dir_pids)
+        )
+        for delta in self._deltas:
+            old_plain += self._chain_pids(delta["head"], delta["pids"])
+        old_segment_pids: List[int] = []
+        for seg in self._segments.values():
+            old_segment_pids += self._chain_pids(seg["head"], seg["pids"])
+        old_generation = self._generation
+
+        pages = 0
+        segments: Dict[Tuple[str, int], dict] = {}
+        extent_lists: Dict[str, List[Oid]] = {}
+        writer: Optional[ChainWriter] = None
+        current_key: Optional[Tuple[str, int]] = None
+        count = 0
+
+        def close_segment() -> None:
+            nonlocal pages, writer, count
+            if writer is None:
+                return
+            head, seg_pages = writer.finish()
+            segments[current_key] = {
+                "head": head,
+                "count": count,
+                "pids": writer.pids,
+            }
+            pages += seg_pages
+            writer = None
+            count = 0
+
+        # snap.all_oids() is sorted by (space, number), so each
+        # segment's oids are contiguous: one streaming pass writes
+        # every segment chain without holding objects back.
+        for oid in snap.all_oids():
+            key = segment_key(oid)
+            if key != current_key:
+                close_segment()
+                current_key = key
+                writer = ChainWriter(
+                    self.buffer, allocate=self._allocate_page
+                )
+            class_name = snap.class_of(oid)
+            writer.append(
+                encode_object_record(
+                    oid, class_name, snap.raw_value(oid)
+                )
+            )
+            extent_lists.setdefault(class_name, []).append(oid)
+            count += 1
+        close_segment()
+
+        dir_head, dir_pids = 0, []
+        if extent_lists:
+            dir_writer = ChainWriter(
+                self.buffer, allocate=self._allocate_page
+            )
+            for class_name in sorted(extent_lists):
+                oids = extent_lists[class_name]
+                for start in range(0, len(oids), SNAPSHOT_CHUNK):
+                    dir_writer.append(
+                        encode_value(
+                            {
+                                "kind": "extent",
+                                "class": class_name,
+                                "oids": oids[start:start + SNAPSHOT_CHUNK],
+                            }
+                        )
+                    )
+            dir_head, dir_pages = dir_writer.finish()
+            dir_pids = dir_writer.pids
+            pages += dir_pages
+
+        manifest_head, manifest_pids, manifest_pages = self._write_manifest(
+            snap, segments, dir_head, deltas=[]
+        )
+        pages += manifest_pages
+        return {
+            "manifest_head": manifest_head,
+            "manifest_pids": manifest_pids,
+            "segments": segments,
+            "dir_head": dir_head,
+            "dir_pids": dir_pids,
+            "delta": None,
+            "generation": Generation(
+                self._checkpoint_id + 1,
+                {key: seg["head"] for key, seg in segments.items()},
+            ),
+            "pages": pages,
+            "retired": [
+                {"pids": old_plain, "gen": None},
+                {
+                    "pids": old_segment_pids,
+                    "gen": weakref.ref(old_generation),
+                },
+            ],
+        }
+
+    def _write_incremental(self, snap, dirty: Set[Oid]) -> dict:
+        """Write one delta chain for the dirty set plus a manifest
+        linking every unchanged chain by reference. Retires only the
+        old manifest."""
+        old_manifest = self._chain_pids(
+            self._manifest_head, self._manifest_pids
+        )
+        pages = 0
+        delta: Optional[dict] = None
+        if dirty:
+            writer = ChainWriter(self.buffer, allocate=self._allocate_page)
+            count = 0
+            for oid in sorted(dirty):
+                if snap.contains_oid(oid):
+                    writer.append(
+                        encode_object_record(
+                            oid, snap.class_of(oid), snap.raw_value(oid)
+                        )
+                    )
+                else:
+                    writer.append(encode_tombstone_record(oid))
+                count += 1
+            head, delta_pages = writer.finish()
+            delta = {"head": head, "count": count, "pids": writer.pids}
+            pages += delta_pages
+        deltas = self._deltas + ([delta] if delta is not None else [])
+        manifest_head, manifest_pids, manifest_pages = self._write_manifest(
+            snap, self._segments, self._dir_head, deltas
+        )
+        pages += manifest_pages
+        return {
+            "manifest_head": manifest_head,
+            "manifest_pids": manifest_pids,
+            "delta": delta,
+            "pages": pages,
+            "retired": [{"pids": old_manifest, "gen": None}],
+        }
+
+    def _write_manifest(
+        self, snap, segments, dir_head: int, deltas: List[dict]
+    ) -> Tuple[int, List[int], int]:
+        writer = ChainWriter(self.buffer, allocate=self._allocate_page)
+        # snapshot_records' first two records are exactly the
+        # database-name and schema records the manifest carries.
+        for record in islice(snapshot_records(snap), 2):
+            writer.append(record)
+        for (space, block), seg in sorted(segments.items()):
+            writer.append(
+                encode_value(
+                    {
+                        "kind": "segment",
+                        "space": space,
+                        "block": block,
+                        "head": seg["head"],
+                        "count": seg["count"],
+                    }
+                )
+            )
+        writer.append(encode_value({"kind": "dir", "head": dir_head}))
+        for delta in deltas:
+            writer.append(
+                encode_value(
+                    {
+                        "kind": "delta",
+                        "head": delta["head"],
+                        "count": delta["count"],
+                    }
+                )
+            )
+        head, pages = writer.finish()
+        return head, writer.pids, pages
+
+    def _promote_retired(self, current_id: int) -> List[int]:
+        """Move recyclable retired batches to the free list.
+
+        A batch retired while writing checkpoint R recycles once
+        ``current_id >= R + gc_horizon - 1`` — i.e. it has survived
+        ``gc_horizon`` metas — and, for segment batches, once its
+        generation object is dead (no table can fault from it)."""
+        kept: List[dict] = []
+        freed: List[int] = []
+        for batch in self._retired:
+            gen_ref = batch.get("gen")
+            gen_alive = gen_ref is not None and gen_ref() is not None
+            if (
+                not gen_alive
+                and current_id >= batch["ckpt"] + self._gc_horizon - 1
+            ):
+                freed.extend(batch["pids"])
+            else:
+                kept.append(batch)
+        self._retired = kept
+        return freed
+
+    def _write_meta(self, checkpoint_id: int, root: int,
+                    free: List[int]) -> None:
+        """Write the meta record, shedding free-list entries and then
+        retired batches if they overflow the page (leaked pages, never
+        corruption). The in-memory lists stay complete — shedding only
+        affects what a restart can recycle."""
+        keep_free = list(free)
+        keep_retired = list(self._retired)
         while True:
             meta = {
                 "format": FORMAT_VERSION,
                 "name": self.db.name,
                 "page_size": self.disk.page_size,
-                "checkpoint_id": self._checkpoint_id,
+                "checkpoint_id": checkpoint_id,
                 "root": root,
-                "free": keep,
+                "free": keep_free,
+                "retired": [
+                    [batch["ckpt"], batch["pids"]]
+                    for batch in keep_retired
+                ],
             }
             try:
                 write_meta(self.disk, meta)
-                if len(keep) < len(free):
-                    free[:] = keep
                 return
             except StorageError:
-                if not keep:
+                if keep_free:
+                    keep_free = keep_free[: len(keep_free) // 2]
+                elif keep_retired:
+                    keep_retired = keep_retired[1:]
+                else:
                     raise
-                keep = keep[: len(keep) // 2]
 
     # ------------------------------------------------------------------
 
-    def storage_stats(self) -> Dict[str, Dict[str, int]]:
+    def storage_stats(self) -> Dict[str, Dict[str, object]]:
         """Counters of every storage layer, for the stats surfaces."""
+        table = self._live_table()
+        retired_pages = sum(len(b["pids"]) for b in self._retired)
         return {
             "buffer": self.buffer.snapshot(),
             "disk": {
@@ -277,14 +785,36 @@ class PagedDatabase:
                 "pages_allocated": self.disk.pages_allocated,
                 "file_pages": self.disk.num_pages,
                 "free_pages": len(self._free),
+                "retired_pages": retired_pages,
             },
             "checkpoint": {
                 "checkpoints_taken": self.checkpoints_taken,
+                "full_checkpoints": self.full_checkpoints,
+                "incremental_checkpoints": self.incremental_checkpoints,
                 "checkpoint_id": self._checkpoint_id,
                 "last_checkpoint_pages": self.last_checkpoint_pages,
+                "last_checkpoint_bytes": self.last_checkpoint_bytes,
+                "last_checkpoint_kind": self.last_checkpoint_kind,
+                "checkpoint_pages_total": self.checkpoint_pages_total,
                 "snapshot_pages": self.last_checkpoint_pages,
+                "delta_chains": len(self._deltas),
+                "delta_records": self._delta_records,
                 "replayed_on_open": self.replayed_on_open,
                 "journal_tail_batches": self.journal_tail_batches(),
+            },
+            "table": {
+                "directory_objects": len(self.db._objects),
+                "resident_objects": (
+                    table.resident_count() if table is not None else
+                    len(self.db._objects)
+                ),
+                "protected_objects": (
+                    table.protected_count() if table is not None else 0
+                ),
+                "faults": self._table_stats.faults,
+                "faulted_objects": self._table_stats.fault_objects,
+                "evicted_objects": self._table_stats.evictions,
+                "resident_limit": self._resident_limit,
             },
         }
 

@@ -1,0 +1,366 @@
+"""A demand-paged object table: the engine's object map backed by
+chain segments.
+
+:class:`PagedObjectTable` replaces the plain ``{oid: DatabaseObject}``
+dict inside a :class:`~repro.engine.database.Database` when the
+database is opened from a page file. It is *lazy*: opening a database
+loads only the **directory** (oid → class name, built from the
+checkpoint's extent chains) and the delta-resident objects; everything
+else stays on disk until first touch, when the object's whole
+**segment** (a record chain holding ~``2**SEGMENT_SHIFT`` neighbours
+by oid) is faulted in through the
+:class:`~repro.storage.buffer.BufferManager`. Clean cold entries are
+dropped again once ``resident_limit`` is exceeded, so a database
+larger than RAM streams through a bounded working set.
+
+**Generations.** A :class:`Generation` is one checkpoint's immutable
+segment map. Incremental checkpoints keep the generation (segments
+are untouched; the dirty objects ride in delta chains and stay
+resident); a *full* checkpoint installs a fresh generation on the
+live table. A pinned MVCC snapshot keeps faulting from the generation
+it froze with: page recycling in the checkpointer is gated on the
+generation object's liveness (a weak reference), so the old segments
+stay readable for as long as any table references them.
+
+**MVCC interplay.** ``fork()`` is the table's copy-on-write-on-share
+hook: publishing a snapshot marks the table shared, and the first
+mutation afterwards forks it — O(1), because the resident entries,
+the directory and the fault-protection set are themselves
+copy-on-write between parent and child. Faults and evictions may
+touch a *shared* entries dict deliberately: any divergence between
+the sharers goes through a mutator, which unshares first, so a shared
+dict only ever receives values both sides agree on.
+
+**Fault protection.** An oid whose latest value is *not* in this
+generation's base segments — created, updated or deleted since the
+last full checkpoint — must never be dropped (re-faulting it would
+resurrect the stale base record) and must shadow its base record
+during a neighbour's segment fault. ``_unfaultable`` tracks exactly
+that set; it is cleared when a full checkpoint folds the deltas into
+fresh segments.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine.objects import DatabaseObject
+from ..engine.oid import Oid
+from ..errors import StorageError
+from .pages import read_chain
+from .serializer import decode_object_record
+
+# Objects per base segment: oids are grouped by ``number >> SHIFT``,
+# so one fault materializes up to 2**SHIFT oid-adjacent objects (scan
+# locality) while keeping per-segment rewrite cost small.
+SEGMENT_SHIFT = 8
+
+
+def segment_key(oid: Oid) -> Tuple[str, int]:
+    """The (space, block) pair naming the segment an oid lives in."""
+    return (oid.space, oid.number >> SEGMENT_SHIFT)
+
+
+class Generation:
+    """One checkpoint's immutable segment map.
+
+    ``segments`` maps :func:`segment_key` to the head pid of the
+    segment's record chain. The checkpointer holds a weak reference:
+    pages of a superseded generation are recycled only after every
+    table (live or pinned snapshot) referencing it is gone.
+    """
+
+    __slots__ = ("gen_id", "segments", "__weakref__")
+
+    def __init__(self, gen_id: int, segments: Dict[Tuple[str, int], int]):
+        self.gen_id = gen_id
+        self.segments = segments
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Generation(id={self.gen_id},"
+            f" segments={len(self.segments)})"
+        )
+
+
+class TableStats:
+    """Fault/eviction counters, shared by every fork of one table."""
+
+    __slots__ = ("faults", "fault_objects", "evictions")
+
+    def __init__(self):
+        self.faults = 0  # segment faults (chain reads)
+        self.fault_objects = 0  # objects materialized by faults
+        self.evictions = 0  # clean entries dropped
+
+
+class PagedObjectTable:
+    """A ``Mapping``-shaped object map that faults from chain segments.
+
+    The engine only ever uses the mapping protocol on its object map
+    (``get``/``[]``/``in``/``len``/``iter``/``items``), so this class
+    slots into :class:`~repro.engine.database.Database` and
+    :class:`~repro.engine.versions.DatabaseSnapshot` unchanged. Reads
+    of resident entries are lock-free; faults, evictions and mutations
+    serialize on one lock shared by the whole fork family.
+    """
+
+    __slots__ = (
+        "_buffer",
+        "_generation",
+        "_directory",
+        "_entries",
+        "_unfaultable",
+        "_dir_shared",
+        "_entries_shared",
+        "_unfaultable_shared",
+        "_lock",
+        "resident_limit",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        buffer,
+        generation: Generation,
+        directory: Dict[Oid, str],
+        entries: Dict[Oid, DatabaseObject],
+        unfaultable: Set[Oid],
+        resident_limit: Optional[int] = None,
+        stats: Optional[TableStats] = None,
+        lock: Optional[threading.RLock] = None,
+    ):
+        self._buffer = buffer
+        self._generation = generation
+        self._directory = directory
+        self._entries = entries
+        self._unfaultable = unfaultable
+        self._dir_shared = False
+        self._entries_shared = False
+        self._unfaultable_shared = False
+        self._lock = lock if lock is not None else threading.RLock()
+        self.resident_limit = resident_limit
+        self.stats = stats if stats is not None else TableStats()
+
+    # ------------------------------------------------------------------
+    # Fork (copy-on-write-on-share)
+    # ------------------------------------------------------------------
+
+    def fork(self) -> "PagedObjectTable":
+        """An O(1) logical copy sharing structures copy-on-write.
+
+        Called by ``Database._writable_objects`` when the live table
+        is referenced by a published snapshot: the snapshot keeps
+        ``self`` (and its generation), the live database continues on
+        the fork.
+        """
+        with self._lock:
+            child = PagedObjectTable(
+                self._buffer,
+                self._generation,
+                self._directory,
+                self._entries,
+                self._unfaultable,
+                resident_limit=self.resident_limit,
+                stats=self.stats,
+                lock=self._lock,
+            )
+            self._dir_shared = child._dir_shared = True
+            self._entries_shared = child._entries_shared = True
+            self._unfaultable_shared = child._unfaultable_shared = True
+            return child
+
+    def _writable_entries(self) -> Dict[Oid, DatabaseObject]:
+        if self._entries_shared:
+            self._entries = dict(self._entries)
+            self._entries_shared = False
+        return self._entries
+
+    def _writable_directory(self) -> Dict[Oid, str]:
+        if self._dir_shared:
+            self._directory = dict(self._directory)
+            self._dir_shared = False
+        return self._directory
+
+    def _writable_unfaultable(self) -> Set[Oid]:
+        if self._unfaultable_shared:
+            self._unfaultable = set(self._unfaultable)
+            self._unfaultable_shared = False
+        return self._unfaultable
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> Generation:
+        return self._generation
+
+    def swap_generation(
+        self, generation: Generation, unfaultable: Set[Oid]
+    ) -> None:
+        """Install a full checkpoint's fresh segment map.
+
+        ``unfaultable`` is the set of oids mutated *after* the
+        checkpoint cut (they are in the journal tail, not the new
+        segments). Everything else becomes clean and evictable. Called
+        under the database commit lock by the checkpointer.
+        """
+        with self._lock:
+            self._generation = generation
+            self._unfaultable = set(unfaultable)
+            self._unfaultable_shared = False
+
+    def resident_count(self) -> int:
+        return len(self._entries)
+
+    def protected_count(self) -> int:
+        return len(self._unfaultable)
+
+    # ------------------------------------------------------------------
+    # Mapping protocol (what the engine uses)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, oid) -> bool:
+        return oid in self._directory
+
+    def __iter__(self) -> Iterator[Oid]:
+        return iter(self._directory)
+
+    def class_name_of(self, oid: Oid) -> Optional[str]:
+        """The class an oid is real in, or ``None`` — never faults."""
+        return self._directory.get(oid)
+
+    def get(self, oid: Oid, default=None):
+        obj = self._entries.get(oid)
+        if obj is not None:
+            return obj
+        if oid not in self._directory:
+            return default
+        return self._fault(oid)
+
+    def __getitem__(self, oid: Oid) -> DatabaseObject:
+        obj = self.get(oid)
+        if obj is None:
+            raise KeyError(oid)
+        return obj
+
+    def __setitem__(self, oid: Oid, obj: DatabaseObject) -> None:
+        with self._lock:
+            self._writable_unfaultable().add(oid)
+            self._writable_entries()[oid] = obj
+            if self._directory.get(oid) != obj.class_name:
+                self._writable_directory()[oid] = obj.class_name
+
+    def __delitem__(self, oid: Oid) -> None:
+        with self._lock:
+            directory = self._writable_directory()
+            if oid not in directory:
+                raise KeyError(oid)
+            del directory[oid]
+            self._writable_entries().pop(oid, None)
+            self._writable_unfaultable().discard(oid)
+
+    def items(self):
+        """Materializing iteration — faults every non-resident object
+        (used by whole-database copies, not the query path)."""
+        for oid in sorted(self._directory):
+            obj = self.get(oid)
+            if obj is not None:
+                yield oid, obj
+
+    def values(self):
+        for _oid, obj in self.items():
+            yield obj
+
+    def keys(self):
+        return self._directory.keys()
+
+    # ------------------------------------------------------------------
+    # Faulting
+    # ------------------------------------------------------------------
+
+    def _fault(self, oid: Oid) -> Optional[DatabaseObject]:
+        """Materialize ``oid``'s segment; returns the object.
+
+        The whole segment is decoded in one pass (its neighbours are
+        the likeliest next reads), shadowed by any resident entry —
+        a resident value always wins over the base record, which is
+        what keeps dirty and delta-backed objects correct.
+        """
+        with self._lock:
+            obj = self._entries.get(oid)
+            if obj is not None:
+                return obj  # another thread faulted it first
+            if oid not in self._directory:
+                return None  # deleted while we waited for the lock
+            head = self._generation.segments.get(segment_key(oid))
+            if head is None:
+                raise StorageError(
+                    f"object {oid} has no segment in generation"
+                    f" {self._generation.gen_id}"
+                )
+            # Deliberately not _writable_entries(): a fault adds
+            # values every sharer agrees on (see the module docstring).
+            entries = self._entries
+            directory = self._directory
+            loaded = 0
+            wanted = None
+            for raw in read_chain(self._buffer, head):
+                roid, class_name, value = decode_object_record(raw)
+                if class_name is None:
+                    continue  # tombstones never appear in segments
+                if roid in entries:
+                    continue  # resident (possibly newer) value wins
+                if directory.get(roid) != class_name:
+                    continue  # deleted or re-created since this gen
+                obj2 = DatabaseObject(roid, class_name, value)
+                entries[roid] = obj2
+                loaded += 1
+                if roid == oid:
+                    wanted = obj2
+            self.stats.faults += 1
+            self.stats.fault_objects += loaded
+            if wanted is None:
+                raise StorageError(
+                    f"object {oid} missing from its segment (generation"
+                    f" {self._generation.gen_id})"
+                )
+            self._evict_excess()
+            return wanted
+
+    def _evict_excess(self) -> None:
+        """Drop clean cold entries past ``resident_limit``.
+
+        Only clean, segment-backed entries are candidates; dirty and
+        delta-backed objects (``_unfaultable``) always stay. Eviction
+        order is insertion order — oldest residents go first.
+        """
+        limit = self.resident_limit
+        if limit is None:
+            return
+        entries = self._entries
+        excess = len(entries) - limit
+        if excess <= 0:
+            return
+        unfaultable = self._unfaultable
+        victims: List[Oid] = []
+        for oid in entries:
+            if oid not in unfaultable:
+                victims.append(oid)
+                if len(victims) >= excess:
+                    break
+        for oid in victims:
+            del entries[oid]
+        self.stats.evictions += len(victims)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PagedObjectTable({len(self._directory)} objects,"
+            f" {len(self._entries)} resident,"
+            f" gen={self._generation.gen_id})"
+        )

@@ -222,6 +222,10 @@ class ChainWriter:
         self._frame = None
         self._offset = 0
         self._pages = 0
+        # Every pid this writer filled, in chain order: the page-level
+        # accounting incremental checkpoints need to retire a chain
+        # later without re-walking it from disk.
+        self.pids: List[int] = []
         payload = buffer.disk.page_size - _PAGE_HEADER.size
         if payload <= 0:
             raise StorageError("page size leaves no payload room")
@@ -233,6 +237,7 @@ class ChainWriter:
 
     def _open_page(self) -> None:
         pid = self._allocate()
+        self.pids.append(pid)
         frame = self._buffer.pin(pid)
         _PAGE_HEADER.pack_into(frame.data, 0, 0, 0)
         if self._frame is not None:

@@ -220,6 +220,47 @@ def _decode(data: bytes, pos: int):
 
 
 # ----------------------------------------------------------------------
+# Object records (chain-segment payloads)
+# ----------------------------------------------------------------------
+
+
+def encode_object_record(oid: Oid, class_name: str, value: dict) -> bytes:
+    """One stored object as a chain-segment record.
+
+    The record is an ordinary codec value, so segments written by one
+    process are readable by any other; :func:`decode_object_record` is
+    the exact inverse regardless of how the chain split the record
+    across pages (records larger than a page span pages transparently
+    — see :mod:`repro.storage.pages`).
+    """
+    return encode_value(
+        {"kind": "obj", "oid": oid, "class": class_name, "value": value}
+    )
+
+
+def encode_tombstone_record(oid: Oid) -> bytes:
+    """A delta-chain deletion marker for ``oid``."""
+    return encode_value({"kind": "del", "oid": oid})
+
+
+def decode_object_record(raw: bytes):
+    """Decode a segment/delta record.
+
+    Returns ``(oid, class_name, value)`` for an object record or
+    ``(oid, None, None)`` for a tombstone.
+    """
+    record = decode_value(raw)
+    if not isinstance(record, dict):
+        raise SerializationError(f"malformed object record: {record!r}")
+    kind = record.get("kind")
+    if kind == "obj":
+        return record["oid"], record["class"], record["value"]
+    if kind == "del":
+        return record["oid"], None, None
+    raise SerializationError(f"unknown object record kind: {kind!r}")
+
+
+# ----------------------------------------------------------------------
 # Types as data
 # ----------------------------------------------------------------------
 

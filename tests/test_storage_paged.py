@@ -4,6 +4,8 @@ record chains, meta slots, and the checkpointed PagedDatabase."""
 import os
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import StorageError
 from repro.storage import PagedDatabase
@@ -318,13 +320,225 @@ class TestPagedDatabase:
         with PagedDatabase(path, "fleet", ship_setup) as pg:
             pg.db.create("Ship", {"name": "x", "tons": 1})
             stats = pg.storage_stats()
-            assert set(stats) == {"buffer", "disk", "checkpoint"}
+            assert set(stats) == {"buffer", "disk", "checkpoint", "table"}
             assert stats["checkpoint"]["checkpoints_taken"] >= 1
             assert stats["checkpoint"]["journal_tail_batches"] == 1
+            assert stats["checkpoint"]["last_checkpoint_kind"] in (
+                "full", "incremental"
+            )
             assert stats["disk"]["file_pages"] == pg.disk.num_pages
+            assert 0.0 <= stats["buffer"]["hit_ratio"] <= 1.0
+            assert stats["table"]["directory_objects"] == 1
 
     def test_db_exposes_storage(self, tmp_path):
         path = str(tmp_path / "fleet.pages")
         with PagedDatabase(path, "fleet", ship_setup) as pg:
             assert pg.db.storage is pg
             assert pg.db.txn_manager is pg.transactions
+
+
+class TestObjectRecordChains:
+    """Property tests for the serializer's chain-segment round-trip:
+    object records → a page chain → objects again, across page-size
+    boundaries and with records spanning more than two pages."""
+
+    _VALUES = st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=6,
+        ),
+        st.one_of(
+            st.integers(-(2**40), 2**40),
+            st.text(max_size=1400),  # up to ~3 pages at 512 bytes
+            st.none(),
+            st.booleans(),
+        ),
+        max_size=5,
+    )
+
+    @given(
+        items=st.lists(
+            st.tuples(
+                st.integers(0, 2000),
+                st.one_of(st.none(), _VALUES),  # None → tombstone
+            ),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda item: item[0],
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_split_merge_roundtrip(self, items, tmp_path_factory):
+        from repro.engine.oid import Oid
+        from repro.storage.serializer import (
+            decode_object_record,
+            encode_object_record,
+            encode_tombstone_record,
+        )
+
+        tmp = tmp_path_factory.mktemp("chains")
+        with DiskManager(str(tmp / "pages.db"), page_size=512) as disk:
+            disk.ensure_pages(FIRST_DATA_PID)
+            buffer = BufferManager(disk, capacity=3)
+            writer = ChainWriter(buffer)
+            expected = []
+            for number, value in items:
+                oid = Oid("db", number)
+                if value is None:
+                    writer.append(encode_tombstone_record(oid))
+                    expected.append((oid, None, None))
+                else:
+                    writer.append(
+                        encode_object_record(oid, "Thing", value)
+                    )
+                    expected.append((oid, "Thing", value))
+            head, pages = writer.finish()
+            assert len(writer.pids) == pages
+            decoded = [
+                decode_object_record(raw)
+                for raw in read_chain(buffer, head)
+            ]
+            assert decoded == expected
+
+    def test_record_spanning_more_than_two_pages(self, disk):
+        from repro.engine.oid import Oid
+        from repro.storage.serializer import (
+            decode_object_record,
+            encode_object_record,
+        )
+
+        disk.ensure_pages(FIRST_DATA_PID)
+        buffer = BufferManager(disk, capacity=3)
+        writer = ChainWriter(buffer)
+        oid = Oid("db", 7)
+        value = {"blob": "x" * (3 * 512)}  # > 3 pages of 512 bytes
+        writer.append(encode_object_record(oid, "Thing", value))
+        head, pages = writer.finish()
+        assert pages > 2
+        (got,) = [
+            decode_object_record(raw) for raw in read_chain(buffer, head)
+        ]
+        assert got == (oid, "Thing", value)
+
+
+class TestDemandPaging:
+    def _populate(self, pg, count):
+        ops = [
+            {
+                "op": "create",
+                "class": "Ship",
+                "value": {"name": f"ship-{i:05d}", "tons": i},
+            }
+            for i in range(count)
+        ]
+        return pg.db.apply_batch(ops)
+
+    def test_open_touches_fewer_pages_than_full_load(self, tmp_path):
+        """The CI guard: opening a checkpointed database must read a
+        small fraction of the page file, not all of it."""
+        path = str(tmp_path / "big.pages")
+        with PagedDatabase(
+            path, "fleet", ship_setup, sync_on_commit=False
+        ) as pg:
+            self._populate(pg, 3000)
+            pg.checkpoint(full=True)
+        with PagedDatabase(path) as pg:
+            file_pages = pg.disk.num_pages
+            assert pg.pages_read_on_open < file_pages / 2
+            assert pg.storage_stats()["table"]["resident_objects"] == 0
+            # Touching one object faults only its ~256-oid segment.
+            some_oid = next(iter(pg.db.all_oids()))
+            assert pg.db.raw_value(some_oid)["name"].startswith("ship-")
+            table = pg.storage_stats()["table"]
+            assert table["faults"] == 1
+            assert table["resident_objects"] <= 256
+
+    def test_incremental_checkpoint_writes_o_dirty(self, tmp_path):
+        path = str(tmp_path / "big.pages")
+        with PagedDatabase(
+            path, "fleet", ship_setup, sync_on_commit=False
+        ) as pg:
+            oids = self._populate(pg, 2000)
+            first = pg.checkpoint()
+            assert first["kind"] == "full"
+            for oid in oids[::400]:  # 5 of 2000 dirty
+                pg.db.update(oid, "tons", 1)
+            inc = pg.checkpoint()
+            assert inc["kind"] == "incremental"
+            full = pg.checkpoint(full=True)
+            assert full["pages"] >= 5 * inc["pages"]
+
+    def test_incremental_survives_restart(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", ship_setup) as pg:
+            oids = self._populate(pg, 40)
+            pg.checkpoint(full=True)
+            pg.db.update(oids[3], "tons", 777)
+            pg.db.delete(oids[4])
+            assert pg.checkpoint()["kind"] == "incremental"
+        with PagedDatabase(path) as pg:
+            assert pg.replayed_on_open == 0
+            assert pg.db.raw_value(oids[3])["tons"] == 777
+            assert not pg.db.contains_oid(oids[4])
+            assert len(pg.db.extent("Ship")) == 39
+
+    def test_disabled_incremental_always_full(self, tmp_path):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(
+            path, "fleet", ship_setup, incremental_checkpoints=False
+        ) as pg:
+            oids = self._populate(pg, 20)
+            pg.checkpoint()
+            pg.db.update(oids[0], "tons", 1)
+            assert pg.checkpoint()["kind"] == "full"
+
+    def test_resident_limit_bounds_memory(self, tmp_path):
+        path = str(tmp_path / "big.pages")
+        with PagedDatabase(
+            path, "fleet", ship_setup, sync_on_commit=False
+        ) as pg:
+            self._populate(pg, 2000)
+            pg.checkpoint(full=True)
+        with PagedDatabase(path, resident_limit=100) as pg:
+            tons = sorted(
+                pg.db.raw_value(oid)["tons"] for oid in pg.db.all_oids()
+            )
+            assert tons == list(range(2000))
+            table = pg.storage_stats()["table"]
+            assert table["resident_objects"] <= 100
+            assert table["evicted_objects"] > 0
+            assert table["faulted_objects"] >= 2000
+
+    def test_pinned_snapshot_faults_from_its_own_generation(
+        self, tmp_path
+    ):
+        """A snapshot taken before a full checkpoint must keep reading
+        pre-checkpoint values, faulting them from the *old* generation's
+        segments even after the live table swapped to the new one."""
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(
+            path, "fleet", ship_setup, sync_on_commit=False
+        ) as pg:
+            oids = self._populate(pg, 600)
+            pg.checkpoint(full=True)
+        with PagedDatabase(path, sync_on_commit=False) as pg:
+            snap = pg.db.snapshot()
+            for oid in pg.db.all_oids():
+                pg.db.update(oid, "tons", 10_000)
+            pg.checkpoint(full=True)  # live table swaps generation
+            # More checkpoints: the old segments may be retired but must
+            # not be recycled while the snapshot can still fault them.
+            pg.checkpoint(full=True)
+            pg.checkpoint(full=True)
+            assert pg.db.raw_value(oids[123])["tons"] == 10_000
+            old = sorted(snap.raw_value(oid)["tons"] for oid in oids[::50])
+            assert old == list(range(0, 600, 50))
+            del snap
+            import gc
+
+            gc.collect()
+            pg.checkpoint(full=True)
+            pg.checkpoint(full=True)
+            # With the generation dead, the old segment pages recycle.
+            assert pg.storage_stats()["disk"]["free_pages"] > 0

@@ -297,6 +297,56 @@ class TestPagedCrashRecovery:
             assert recovered.replayed_on_open == 3
             assert db_state(recovered.db) == expected
 
+    def test_truncate_every_offset_across_incremental_boundary(
+        self, tmp_path
+    ):
+        """Every possible torn journal tail over an *incremental*
+        checkpoint must recover to the delta-reconstructed state plus
+        some whole prefix of the post-checkpoint batches."""
+        path = str(tmp_path / "live.db")
+        crash = str(tmp_path / "crash.db")
+        paged = PagedDatabase(path, setup=self._schema)
+        people = [
+            paged.db.create("Person", Name=f"P{i}", Age=i)
+            for i in range(12)
+        ]
+        paged.checkpoint(full=True)
+        # Dirty a few objects, delete one, and checkpoint again: the
+        # recovery base is now a delta chain over the full base.
+        for i in range(4):
+            paged.db.update(people[i].oid, "Age", 100 + i)
+        paged.db.delete(people[11].oid)
+        info = paged.checkpoint()
+        assert info["kind"] == "incremental"
+        prefix_states = [db_state(paged.db)]
+        paged.db.create("Person", Name="T0", Age=50)
+        prefix_states.append(db_state(paged.db))
+        paged.db.update(people[5].oid, "Age", 55)
+        prefix_states.append(db_state(paged.db))
+        paged.db.delete(people[10].oid)
+        prefix_states.append(db_state(paged.db))
+        shutil.copy(path, crash)  # crash image of the page file
+        with open(path + ".journal", "rb") as f:
+            tail = f.read()
+        paged.close()
+
+        recovered_prefixes = set()
+        for offset in range(len(tail) + 1):
+            with open(crash + ".journal", "wb") as f:
+                f.write(tail[:offset])
+            with PagedDatabase(crash) as recovered:
+                state = db_state(recovered.db)
+            matches = [
+                k for k, s in enumerate(prefix_states) if s == state
+            ]
+            assert matches, (
+                f"journal truncated at byte {offset} recovered a state"
+                " that is not the incremental checkpoint plus a batch"
+                " prefix"
+            )
+            recovered_prefixes.add(matches[0])
+        assert recovered_prefixes == set(range(len(prefix_states)))
+
     def test_fresh_file_crash_before_first_checkpoint(self, tmp_path):
         """A file that dies before any meta record was written must
         reopen as fresh rather than be rejected as foreign."""
@@ -311,3 +361,67 @@ class TestPagedCrashRecovery:
         with PagedDatabase(path, setup=self._schema) as fresh:
             assert fresh.db.object_count() == 0
             assert fresh.checkpoint_id >= 1
+
+
+def _person_schema(db):
+    db.define_class(
+        "Person", attributes={"Name": "string", "Age": "integer"}
+    )
+
+
+def _apply_ops_paged(paged, ops, cuts):
+    """Apply the _OPS workload to a paged database, forcing an
+    incremental checkpoint after each op index in ``cuts``."""
+    live = []
+    for index, op in enumerate(ops):
+        if op[0] == "create":
+            h = paged.db.create("Person", Name=f"P{op[1]}", Age=op[1])
+            live.append(h.oid)
+        elif op[0] == "update":
+            targets = [o for o in live if paged.db.contains_oid(o)]
+            if targets:
+                paged.db.update(
+                    targets[op[1] % len(targets)], "Age", op[2]
+                )
+        else:  # delete
+            targets = [o for o in live if paged.db.contains_oid(o)]
+            if targets:
+                paged.db.delete(targets[op[1] % len(targets)])
+        if index in cuts:
+            info = paged.checkpoint(full=False)
+            assert info["kind"] == "incremental"
+
+
+class TestIncrementalEquivalence:
+    @given(
+        ops=_OPS,
+        cuts=st.sets(st.integers(0, 11), max_size=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_n_incrementals_plus_tail_equals_one_full(self, ops, cuts):
+        """N incremental checkpoints plus the redo tail must recover
+        to exactly the state one full checkpoint of the same history
+        recovers to (and both must equal the live state)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            inc = os.path.join(tmp, "inc.db")
+            inc_crash = os.path.join(tmp, "inc_crash.db")
+            full = os.path.join(tmp, "full.db")
+            full_crash = os.path.join(tmp, "full_crash.db")
+
+            pa = PagedDatabase(inc, setup=_person_schema)
+            _apply_ops_paged(pa, ops, cuts)
+            expected = db_state(pa.db)
+            _copy_paged(inc, inc_crash)
+            pa.close()
+
+            pb = PagedDatabase(full, setup=_person_schema)
+            _apply_ops_paged(pb, ops, set())
+            pb.checkpoint(full=True)
+            assert db_state(pb.db) == expected
+            _copy_paged(full, full_crash)
+            pb.close()
+
+            with PagedDatabase(inc_crash) as ra:
+                assert db_state(ra.db) == expected
+            with PagedDatabase(full_crash) as rb:
+                assert db_state(rb.db) == expected

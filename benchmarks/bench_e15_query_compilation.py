@@ -159,7 +159,9 @@ def run_retail() -> Table:
     return table
 
 
-def run_tracing_overhead(guard: bool = False) -> Table:
+def run_tracing_overhead(
+    guard: bool = False, shards: int = 0, statements: bool = False
+) -> Table:
     """E15d — the cost of the tracing instrumentation when *disabled*.
 
     Three states of the same repeated planned query:
@@ -175,9 +177,19 @@ def run_tracing_overhead(guard: bool = False) -> Table:
     (retried with the median of several rounds — the instrumentation
     is a handful of global loads, so anything past that is noise or a
     regression).
+
+    ``shards`` attaches a scatter–gather executor to the database for
+    the duration, so the guard also covers the scatter decision path
+    (the executor keeps its default ``min_scatter_extent``, so the
+    repeated query takes the decline-and-run-serial path — the common
+    case a sharded server imposes on small statements). ``statements``
+    keeps the statement-statistics registry enabled in *both* states,
+    so the guard measures the tracing delta with the registry's cost
+    already in the baseline — the enabled-but-idle server shape.
     """
     import statistics
 
+    from repro.obs import stats as obs_stats
     from repro.obs import trace as obs_trace
 
     db = people_db(indexed=True)
@@ -191,34 +203,53 @@ def run_tracing_overhead(guard: bool = False) -> Table:
         with obs_trace.trace_context("bench"):
             execute(query, db)
 
-    # Size one sample to >= ~20ms so the comparison is not dominated
-    # by timer jitter at smoke scale.
-    once = time_call(run_off, repeat=3)
-    number = max(5, int(0.02 / max(once, 1e-9)))
+    executor = None
+    if shards > 1:
+        from repro.exec import attach_executor
 
-    def measure():
-        off = time_call(run_off, repeat=3, number=number)
-        obs_trace.activate()
-        try:
-            armed = time_call(run_off, repeat=3, number=number)
-            traced = time_call(run_traced, repeat=3, number=number)
-        finally:
-            obs_trace.deactivate()
-        return off, armed, traced
+        executor = attach_executor(db, shards)
+    if statements:
+        obs_stats.enable()
+    try:
+        # Size one sample to >= ~20ms so the comparison is not
+        # dominated by timer jitter at smoke scale.
+        once = time_call(run_off, repeat=3)
+        number = max(5, int(0.02 / max(once, 1e-9)))
 
-    threshold = 0.03
-    rounds = []
-    for _ in range(5 if guard else 1):
-        off, armed, traced = measure()
-        rounds.append((off, armed, traced))
-        if not guard or (armed / off - 1.0) < threshold:
-            break
-    off = statistics.median(r[0] for r in rounds)
-    armed = statistics.median(r[1] for r in rounds)
-    traced = statistics.median(r[2] for r in rounds)
+        def measure():
+            off = time_call(run_off, repeat=3, number=number)
+            obs_trace.activate()
+            try:
+                armed = time_call(run_off, repeat=3, number=number)
+                traced = time_call(run_traced, repeat=3, number=number)
+            finally:
+                obs_trace.deactivate()
+            return off, armed, traced
 
+        threshold = 0.03
+        rounds = []
+        for _ in range(5 if guard else 1):
+            off, armed, traced = measure()
+            rounds.append((off, armed, traced))
+            if not guard or (armed / off - 1.0) < threshold:
+                break
+        off = statistics.median(r[0] for r in rounds)
+        armed = statistics.median(r[1] for r in rounds)
+        traced = statistics.median(r[2] for r in rounds)
+    finally:
+        if statements:
+            obs_stats.disable()
+        if executor is not None:
+            executor.close()
+
+    extras = []
+    if shards > 1:
+        extras.append(f"{shards}-shard executor attached")
+    if statements:
+        extras.append("statement registry enabled")
     table = Table(
-        "E15d tracing overhead on a repeated planned query",
+        "E15d tracing overhead on a repeated planned query"
+        + (f" ({', '.join(extras)})" if extras else ""),
         ["state", "per call (us)", "vs off"],
     )
     overhead = armed / off - 1.0
@@ -268,7 +299,21 @@ def test_e15_report(benchmark):
 if __name__ == "__main__":
     import sys
 
+    shards = 0
+    if "--shards" in sys.argv:
+        at = sys.argv.index("--shards")
+        try:
+            shards = int(sys.argv[at + 1])
+        except (IndexError, ValueError):
+            print("usage: --shards N", file=sys.stderr)
+            raise SystemExit(2)
     emit(run_experiment())
     emit(run_cache_experiment())
     emit(run_retail())
-    emit(run_tracing_overhead(guard="--guard" in sys.argv))
+    emit(
+        run_tracing_overhead(
+            guard="--guard" in sys.argv,
+            shards=shards,
+            statements="--statements" in sys.argv,
+        )
+    )

@@ -1,0 +1,265 @@
+"""E21 — distributed tracing across shard workers + statement
+statistics (PR 10).
+
+Not a paper claim: an observability ablation. The tentpole is that a
+traced scattered query stitches each worker's span subtree (shipped
+back in the RBP1 task reply) under the coordinator's ``scatter.shard``
+spans — worker pid, shard index, oid range, rows and plan-cache
+verdict all visible in one EXPLAIN ANALYZE — while untraced scatters
+ship **zero** tracing bytes and the statement-statistics registry
+answers "which statement shape is eating the server".
+
+Series:
+
+- E21a (stitching): EXPLAIN ANALYZE of a scattered query; asserts the
+  report nests per-shard subtrees (``scatter.shard`` with a worker
+  pid label) and records how many remote spans were shipped.
+- E21b (tracing cost on scatters): per-query wall time of the same
+  scattered query untraced vs traced — the price of shipping span
+  trees across the process boundary.
+- E21c (statement registry): a statement vocabulary run under the
+  registry; asserts the top entry by total time has the expected call
+  and scatter counts, prints the ``repro top``-style table, and
+  measures the registry's per-call overhead enabled vs disabled.
+"""
+
+import json
+import os
+
+from common import SMOKE, emit
+from repro.bench import Table, scaled, statements_table, time_call
+from repro.engine import Database
+from repro.exec import attach_executor
+from repro.obs import stats as obs_stats
+from repro.obs import trace as obs_trace
+from repro.obs.explain import explain_analyze
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BENCH_JSON = os.path.join(HERE, "BENCH_10.json")
+ROOT_JSON = os.path.join(os.path.dirname(HERE), "BENCH_10.json")
+
+OBJECTS = scaled(60_000)
+SHARDS = 2
+REPEAT = 3 if not SMOKE else 2
+CITIES = ["Rome", "Paris", "London", "Oslo", "Kyoto"]
+
+# Written in the planner's canonical form (format_query), which is
+# also the registry key — E21c matches entries on it.
+SCATTER_QUERY = "select P from P in Person where P.Age = 37"
+
+VOCABULARY = [
+    ("hot scan", "select P from P in Person where P.Age = 37", 6),
+    ("projection", "select P.Name from P in Person where P.Age >= 97", 3),
+    ("cold scan", "select P from P in Person where P.City = 'Oslo'", 1),
+]
+
+_series = {"stitching": {}, "tracing_cost": [], "statements": []}
+
+
+def build_db():
+    db = Database("Tracebench")
+    db.define_class(
+        "Person",
+        attributes={"Name": "string", "Age": "integer", "City": "string"},
+    )
+    rows = []
+    for i in range(OBJECTS):
+        rows.append(
+            {
+                "op": "create",
+                "class": "Person",
+                "value": {
+                    "Name": f"p{i}",
+                    "Age": i % 100,
+                    "City": CITIES[i % len(CITIES)],
+                },
+            }
+        )
+    db.apply_batch(rows)
+    return db
+
+
+def run_stitching(db, executor) -> Table:
+    db.query(SCATTER_QUERY)  # warm workers and plans
+    before = executor.stats.scatters
+    report = explain_analyze(SCATTER_QUERY, db)
+    assert executor.stats.scatters > before, "query did not scatter"
+    shard_spans = report.count("scatter.shard")
+    assert shard_spans == SHARDS, (
+        f"expected {SHARDS} scatter.shard spans, report has"
+        f" {shard_spans}:\n{report}"
+    )
+    assert "pid" in report, f"no worker pid label in report:\n{report}"
+    # Each remote subtree line renders with a [shard N pid M] label on
+    # its root; the shipped children (plan/execute) sit beneath it.
+    remote_lines = sum(
+        1 for line in report.splitlines() if "[shard " in line
+    )
+    span_lines = sum(
+        1
+        for line in report.splitlines()
+        if "├─" in line or "└─" in line
+    )
+    _series["stitching"] = {
+        "query": SCATTER_QUERY,
+        "shards": SHARDS,
+        "scatter_shard_spans": shard_spans,
+        "remote_labelled_lines": remote_lines,
+        "span_lines": span_lines,
+    }
+    table = Table(
+        f"E21a — stitched scatter trace, {OBJECTS:,} objects",
+        ["metric", "value"],
+    )
+    table.add_row("shards", SHARDS)
+    table.add_row("scatter.shard spans", shard_spans)
+    table.add_row("remote-labelled span lines", remote_lines)
+    table.add_row("total span lines", span_lines)
+    table.note("per-shard subtrees carry worker pid, oid range, rows")
+    table.note("and plan-cache verdict — see docs/observability.md")
+    return table
+
+
+def run_tracing_cost(db, executor) -> Table:
+    db.query(SCATTER_QUERY)  # warm
+
+    def untraced():
+        db.query(SCATTER_QUERY)
+
+    def traced():
+        with obs_trace.trace_context("bench"):
+            db.query(SCATTER_QUERY)
+
+    off = time_call(untraced, repeat=REPEAT)
+    obs_trace.activate()
+    try:
+        armed = time_call(untraced, repeat=REPEAT)
+        on = time_call(traced, repeat=REPEAT)
+    finally:
+        obs_trace.deactivate()
+
+    table = Table(
+        "E21b — tracing cost on a scattered query",
+        ["state", "ms/query", "vs untraced"],
+    )
+    for label, seconds in (
+        ("untraced", off),
+        ("armed, idle", armed),
+        ("traced (spans shipped)", on),
+    ):
+        table.add_row(label, seconds * 1e3, f"{seconds / off:.3f}x")
+        _series["tracing_cost"].append(
+            {
+                "state": label,
+                "seconds": seconds,
+                "ratio_vs_untraced": round(seconds / off, 4),
+            }
+        )
+    table.note(
+        "untraced scatters ship zero tracing bytes: the task payload"
+        " has no trace flag and replies carry no span tree"
+    )
+    return table
+
+
+def run_statements(db, executor) -> Table:
+    obs_stats.REGISTRY.reset()
+    obs_stats.enable()
+    try:
+        for _label, text, calls in VOCABULARY:
+            for _ in range(calls):
+                db.query(text)
+    finally:
+        obs_stats.disable()
+
+    top = obs_stats.REGISTRY.snapshot(top=5)
+    assert top, "registry recorded nothing"
+    hot = next(e for e in top if e["text"] == VOCABULARY[0][1])
+    assert hot["calls"] == VOCABULARY[0][2], (
+        f"hot statement recorded {hot['calls']} calls,"
+        f" expected {VOCABULARY[0][2]}"
+    )
+    assert top[0]["total_ms"] >= top[-1]["total_ms"], "not sorted"
+    # The whole-extent scans scatter on every call once the executor
+    # is attached; the registry's scatter column must agree.
+    assert hot["scattered"] == hot["calls"], (
+        f"hot statement scattered {hot['scattered']}/{hot['calls']}"
+    )
+    assert hot["rows_scanned"] >= OBJECTS * hot["calls"], (
+        "scatter scanned-rows channel lost rows:"
+        f" {hot['rows_scanned']} < {OBJECTS * hot['calls']}"
+    )
+    for entry in top:
+        _series["statements"].append(
+            {
+                "statement": entry["text"],
+                "kind": entry["kind"],
+                "calls": entry["calls"],
+                "total_ms": entry["total_ms"],
+                "p99_ms": entry["p99_ms"],
+                "rows_returned": entry["rows_returned"],
+                "rows_scanned": entry["rows_scanned"],
+                "scattered": entry["scattered"],
+            }
+        )
+
+    # Per-call cost of the recording hook itself, measured serially
+    # (no executor noise): registry disabled vs enabled.
+    query = VOCABULARY[1][1]
+    db.query(query)
+    off = time_call(lambda: db.query(query), repeat=REPEAT)
+    obs_stats.enable()
+    try:
+        on = time_call(lambda: db.query(query), repeat=REPEAT)
+    finally:
+        obs_stats.disable()
+    _series["statements_overhead"] = {
+        "off_seconds": off,
+        "on_seconds": on,
+        "ratio": round(on / off, 4),
+    }
+
+    table = statements_table(top=5, title="E21c — top statements")
+    table.note(
+        f"registry recording cost: {on / off:.3f}x per call"
+        " (enabled vs disabled, scattered projection)"
+    )
+    return table
+
+
+def write_json():
+    payload = {
+        "pr": 10,
+        "experiment": "E21",
+        "smoke": SMOKE,
+        "objects": OBJECTS,
+        "shards": SHARDS,
+        "series": _series,
+    }
+    for path in (BENCH_JSON, ROOT_JSON):
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote {path}")
+
+
+def run_all():
+    db = build_db()
+    executor = attach_executor(
+        db, SHARDS, min_scatter_extent=64, gather_timeout=600.0
+    )
+    try:
+        emit(run_stitching(db, executor))
+        emit(run_tracing_cost(db, executor))
+        emit(run_statements(db, executor))
+    finally:
+        executor.close()
+    write_json()
+
+
+def test_e21_report(benchmark):
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    run_all()

@@ -13,6 +13,12 @@ Usage::
     python benchmarks/trajectory.py --json     # machine-readable
     python benchmarks/trajectory.py --out F    # write JSON to F
 
+Every run also *publishes* the trajectory at the repo root: each
+``benchmarks/BENCH_*.json`` is mirrored to ``/BENCH_<pr>.json`` and
+the flattened index is written to ``/TRAJECTORY.json``, so the
+performance story is visible without descending into ``benchmarks/``
+(``--no-publish`` skips this).
+
 Cells are flattened conservatively: scalar fields of each series
 entry become ``metric=value`` pairs; nested containers are skipped
 (the per-PR JSON keeps full fidelity — the trajectory is the index,
@@ -141,9 +147,27 @@ def render(records) -> str:
     return "\n".join(lines)
 
 
+def publish(records, root: str = None) -> None:
+    """Mirror ``benchmarks/BENCH_*.json`` to the repo root and write
+    the flattened index there as ``TRAJECTORY.json``."""
+    import shutil
+
+    root = root if root is not None else os.path.dirname(HERE)
+    for path in sorted(glob.glob(os.path.join(HERE, "BENCH_*.json"))):
+        target = os.path.join(root, os.path.basename(path))
+        if os.path.abspath(target) != os.path.abspath(path):
+            shutil.copyfile(path, target)
+    trajectory_path = os.path.join(root, "TRAJECTORY.json")
+    with open(trajectory_path, "w") as f:
+        json.dump({"cells": records}, f, indent=2)
+        f.write("\n")
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     records = flatten(load_benches())
+    if "--no-publish" not in argv:
+        publish(records)
     out_path = None
     if "--out" in argv:
         out_path = argv[argv.index("--out") + 1]

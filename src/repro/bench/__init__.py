@@ -7,6 +7,7 @@ from .harness import (
     ratio,
     scaled,
     server_metrics_table,
+    statements_table,
     stats_table,
     throughput,
     time_call,
@@ -19,6 +20,7 @@ __all__ = [
     "ratio",
     "scaled",
     "server_metrics_table",
+    "statements_table",
     "stats_table",
     "throughput",
     "time_call",

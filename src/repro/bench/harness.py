@@ -212,6 +212,51 @@ def server_metrics_table(
     return table
 
 
+def statements_table(
+    registry=None, top: int = 10, title: str = "top statements"
+) -> Table:
+    """A ``repro top``-style table over the statement-statistics
+    registry — statements sorted by total time with calls, rows,
+    latency percentiles and plan-cache/scatter verdicts (E21c).
+    """
+    if registry is None:
+        from ..obs import stats as _stats
+
+        registry = _stats.REGISTRY
+    table = Table(
+        title,
+        [
+            "statement",
+            "calls",
+            "total ms",
+            "mean ms",
+            "p99 ms",
+            "rows",
+            "plan",
+            "scatter",
+        ],
+    )
+    for entry in registry.snapshot(top=top):
+        text = entry["text"]
+        if len(text) > 48:
+            text = text[:45] + "..."
+        table.add_row(
+            text,
+            entry["calls"],
+            entry["total_ms"],
+            entry["mean_ms"],
+            entry["p99_ms"],
+            entry["rows_returned"],
+            f"{entry['plan_hits']}h/{entry['plans_compiled']}c",
+            f"{entry['scattered']}/{entry['calls']}",
+        )
+    if not table.rows:
+        table.note("no statements recorded")
+    if registry.evictions:
+        table.note(f"registry evictions: {registry.evictions}")
+    return table
+
+
 def microseconds(seconds: float) -> float:
     return seconds * 1e6
 

@@ -13,8 +13,8 @@ repro connect`` opens a remote shell against one (see
 - queries (``select …``) evaluated against the current view (or the
   current database before any view exists);
 - dot-commands: ``.help``, ``.databases``, ``.classes``, ``.schema C``,
-  ``.extent C``, ``.explain Q``, ``.use NAME``, ``.load FILE``,
-  ``.quit``.
+  ``.extent C``, ``.explain Q``, ``.stats``, ``.statements``,
+  ``.use NAME``, ``.load FILE``, ``.quit``.
 
 The :class:`Session` object is the testable core: it maps one input
 line (or statement) to printable output with no I/O of its own.
@@ -46,6 +46,9 @@ Dot commands:
                       counts, virtual-attribute evals and span timings
   .stats [reset]      maintenance, plan, commit, version and storage
                       counters of the scope
+  .statements [N]     top-N statements by total time (calls, rows,
+                      latency percentiles, plan-cache and scatter
+                      verdicts); '.statements reset' clears it
   .begin              start a transaction on the current database
   .commit             commit the open transaction
   .abort              abort the open transaction (undo everything)
@@ -126,6 +129,19 @@ class Session:
             return explain_analyze(argument, scope)
         if command == ".stats":
             return self._stats(argument)
+        if command == ".statements":
+            from .obs import stats as statement_stats
+
+            if argument == "reset":
+                statement_stats.REGISTRY.reset()
+                return "statement statistics reset"
+            top = 10
+            if argument:
+                try:
+                    top = max(1, int(argument))
+                except ValueError:
+                    return "usage: .statements [N|reset]"
+            return statement_stats.REGISTRY.describe(top=top)
         if command in (
             ".begin", ".commit", ".abort",
             ".savepoint", ".rollback", ".release",
@@ -387,6 +403,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             if isinstance(scope, Database):
                 executors.append(attach_executor(scope, shards))
         print(f"sharded execution: {shards} worker shards per database")
+    # The interactive shell keeps statement statistics on so
+    # ``.statements`` has data; scripts importing Session stay
+    # un-instrumented unless they enable the registry themselves.
+    from .obs import stats as statement_stats
+
+    statement_stats.enable()
     print("repro shell — Objects and Views (SIGMOD 1991). '.help' for help.")
     buffer = ""
     try:
@@ -409,6 +431,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if output:
                     print(output)
     finally:
+        statement_stats.disable()
         for executor in executors:
             executor.close()
 

@@ -371,13 +371,17 @@ class ShardExecutor:
         bindings: Optional[Dict[str, object]],
         mode: str = "rows",
         pin=None,
+        trace: bool = False,
     ) -> ScatterOutcome:
         """Run ``select`` (canonical ``text``, already stripped of
         ``unique``) across all shards at one pinned version.
 
         ``bindings`` values must be raw model values (unwrapped).
-        Raises :class:`Unscatterable` when the scatter cannot proceed;
-        the caller falls back to serial execution.
+        With ``trace`` set, each worker arms its tracer for the task
+        and ships its span tree back in the reply (untraced scatters
+        ship zero span bytes). Raises :class:`Unscatterable` when the
+        scatter cannot proceed; the caller falls back to serial
+        execution.
         """
         if self._closed:
             raise Unscatterable("executor is closed")
@@ -387,6 +391,8 @@ class ShardExecutor:
             "query": text,
             "bindings": bindings or {},
         }
+        if trace:
+            payload["trace"] = True
         with self._lock:
             snap = pin if pin is not None else self.db.snapshot()
             try:
@@ -482,6 +488,7 @@ class ShardExecutor:
         lo, hi = bounds
         sliced = SlicedScope(snap, lo, hi)
         started = time.perf_counter()
+        started_cpu = time.process_time()
         wrapped = {
             name: wrap_value(sliced, value)
             for name, value in (bindings or {}).items()
@@ -491,6 +498,7 @@ class ShardExecutor:
         if not isinstance(results, list):
             results = [results]
         elapsed = time.perf_counter() - started
+        cpu = time.process_time() - started_cpu
         class_name = select.bindings[0].source.class_name
         reply = {
             "task": None,
@@ -500,7 +508,10 @@ class ShardExecutor:
             "scanned": len(sliced.extent(class_name)),
             "returned": len(results),
             "elapsed": elapsed,
+            "cpu": cpu,
             "plan_hit": hit,
+            "lo": lo,
+            "hi": hi,
             "failover": True,
             "version": snap.version,
         }
@@ -534,11 +545,16 @@ class ShardExecutor:
             shard_info.append(
                 {
                     "shard": shard,
+                    "pid": reply.get("pid"),
+                    "lo": reply.get("lo"),
+                    "hi": reply.get("hi"),
                     "scanned": reply.get("scanned", 0),
                     "returned": reply.get("returned", 0),
                     "elapsed": reply.get("elapsed", 0.0),
+                    "cpu": reply.get("cpu"),
                     "plan_hit": bool(reply.get("plan_hit")),
                     "failover": bool(reply.get("failover")),
+                    "spans": reply.get("spans"),
                 }
             )
             if mode == "count":

@@ -39,10 +39,12 @@ spans in EXPLAIN ANALYZE and ``repro_shard_*`` metrics.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 
 from ..engine.objects import unwrap, wrap_value
+from ..obs import trace as _trace
 from ..server.aio.framing import decode_value, encode_value
 from .partition import SlicedScope
 
@@ -127,12 +129,36 @@ class _WorkerState:
             name: wrap_value(self.sliced, value)
             for name, value in (task.get("bindings") or {}).items()
         }
+        traced = bool(task.get("trace"))
+        spans = None
         started = time.perf_counter()
         started_cpu = time.process_time()
-        plan, hit, cache = fetch_plan(select, self.sliced)
-        results = plan.execute(self.sliced, cache, bindings, None, None)
-        if not isinstance(results, list):  # unique is stripped upstream
-            results = [results]
+        if traced:
+            # Arm the tracer for this one task: the span tree (plan /
+            # compile / index_probe / population.recompute /
+            # virtual_attr.eval ...) ships back in the reply for the
+            # coordinator to stitch under its ``scatter.shard`` span.
+            _trace.activate()
+            try:
+                with _trace.trace_context("shard.task") as t:
+                    plan, hit, cache = fetch_plan(select, self.sliced)
+                    with _trace.span("execute", plan=plan.kind) as sp:
+                        results = plan.execute(
+                            self.sliced, cache, bindings, None, None
+                        )
+                        if not isinstance(results, list):
+                            results = [results]
+                        sp.set(rows=len(results))
+            finally:
+                _trace.deactivate()
+            spans = t.root.to_dict()
+        else:
+            plan, hit, cache = fetch_plan(select, self.sliced)
+            results = plan.execute(
+                self.sliced, cache, bindings, None, None
+            )
+            if not isinstance(results, list):  # unique stripped upstream
+                results = [results]
         # Wall time includes time spent descheduled when workers
         # outnumber cores; CPU time is the slice's true scan cost
         # (what the shard would take with a core of its own).
@@ -150,8 +176,15 @@ class _WorkerState:
             "elapsed": elapsed,
             "cpu": cpu,
             "plan_hit": hit,
+            "lo": task.get("lo"),
+            "hi": task.get("hi"),
             "version": self.version,
         }
+        if spans is not None:
+            # Only traced tasks pay the span payload: untraced
+            # replies carry zero tracing bytes on the wire.
+            reply["pid"] = os.getpid()
+            reply["spans"] = spans
         if task["mode"] == "count":
             reply["count"] = len(results)
         else:
@@ -161,6 +194,10 @@ class _WorkerState:
 
 def worker_main(shard: int, inbox, outbox) -> None:
     """Entry point of one shard worker process."""
+    # A fork inherits the coordinator's tracer state (global flag and
+    # possibly the forking thread's live trace); drop it so spans are
+    # collected only when a task explicitly asks.
+    _trace.reset_process_state()
     state = _WorkerState(shard)
     while True:
         message = inbox.get()

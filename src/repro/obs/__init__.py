@@ -2,7 +2,11 @@
 
 - :mod:`repro.obs.trace` — thread-local span trees with a near-zero
   disabled cost, threaded through the planner, view maintenance, the
-  commit path and the wire protocol;
+  commit path, the storage engine, shard workers and the wire
+  protocol;
+- :mod:`repro.obs.stats` — the statement-statistics registry
+  (per-statement calls, rows, latency percentiles, plan-cache and
+  scatter verdicts);
 - :mod:`repro.obs.collect` — trace ring, slow-query log, span
   histograms (:class:`~repro.obs.collect.Observability` bundles them);
 - :mod:`repro.obs.explain` — ``EXPLAIN ANALYZE`` over a traced run;
@@ -20,6 +24,7 @@ See ``docs/observability.md``.
 from . import trace  # no repro-internal deps; safe to load eagerly
 
 _EXPORTS = {
+    "StatementRegistry": ("stats", "StatementRegistry"),
     "Observability": ("collect", "Observability"),
     "SlowQueryLog": ("collect", "SlowQueryLog"),
     "SpanHistogramSet": ("collect", "SpanHistogramSet"),

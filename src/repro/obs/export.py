@@ -65,6 +65,7 @@ def render_prometheus(
         lines.extend(_render_server(server_metrics))
     if histograms is not None:
         lines.extend(_render_histograms(histograms))
+    lines.extend(_render_statements())
     return "\n".join(lines) + "\n"
 
 
@@ -495,22 +496,107 @@ def _render_histograms(histograms: SpanHistogramSet) -> List[str]:
     return lines
 
 
+def _render_statements(top: int = 10) -> List[str]:
+    """Top-N statement-statistics series (empty when disabled/idle)."""
+    from . import stats as _stats
+
+    entries = _stats.REGISTRY.snapshot(top=top)
+    if not entries:
+        return []
+    lines = [
+        "# TYPE repro_statement_seconds_total counter",
+        "# TYPE repro_statement_calls_total counter",
+        "# TYPE repro_statement_rows_total counter",
+        "# TYPE repro_statement_latency_seconds summary",
+        "# TYPE repro_statement_dispatch_total counter",
+    ]
+    for entry in entries:
+        text = entry["text"]
+        if len(text) > 120:
+            text = text[:117] + "..."
+        labels = {"statement": text, "kind": entry["kind"]}
+        lines.append(
+            _line(
+                "repro_statement_seconds_total",
+                _format_seconds(entry["total_ms"] / 1e3),
+                **labels,
+            )
+        )
+        lines.append(
+            _line(
+                "repro_statement_calls_total", entry["calls"], **labels
+            )
+        )
+        for direction, field in (
+            ("returned", "rows_returned"),
+            ("scanned", "rows_scanned"),
+        ):
+            lines.append(
+                _line(
+                    "repro_statement_rows_total",
+                    entry[field],
+                    direction=direction,
+                    **labels,
+                )
+            )
+        for quantile, field in (("0.5", "p50_ms"), ("0.99", "p99_ms")):
+            lines.append(
+                _line(
+                    "repro_statement_latency_seconds",
+                    _format_seconds(entry[field] / 1e3),
+                    quantile=quantile,
+                    **labels,
+                )
+            )
+        for mode in ("scattered", "serial"):
+            lines.append(
+                _line(
+                    "repro_statement_dispatch_total",
+                    entry[mode],
+                    mode=mode,
+                    **labels,
+                )
+            )
+    return lines
+
+
 class MetricsHTTPServer:
     """A tiny stdlib HTTP endpoint serving ``GET /metrics``.
 
-    Started by ``repro serve --metrics-port N``; everything else is a
-    404. The render callback is invoked per request, so the page is
-    always current.
+    Started by ``repro serve --metrics-port N``. ``GET /health`` is a
+    liveness probe answering 200 with a small JSON body (status,
+    uptime, version); everything else is a 404. The render callback is
+    invoked per request, so the page is always current.
     """
 
     def __init__(self, host: str, port: int, render):
+        import json
+        import time as _time
         from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+        from .. import __version__
+
         render_page = render
+        started = _time.time()
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 (stdlib naming)
-                if self.path.rstrip("/") not in ("", "/metrics"):
+                path = self.path.split("?", 1)[0].rstrip("/")
+                if path == "/health":
+                    body = json.dumps(
+                        {
+                            "status": "ok",
+                            "uptime_s": round(_time.time() - started, 3),
+                            "version": __version__,
+                        }
+                    ).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                if path not in ("", "/metrics"):
                     self.send_error(404)
                     return
                 try:

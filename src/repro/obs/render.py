@@ -20,13 +20,27 @@ from typing import List, Optional
 
 
 def format_span_line(span_dict: dict) -> str:
-    """One span as ``name ×count 1.234ms {attrs}``."""
+    """One span as ``name ×count 1.234ms {attrs}``.
+
+    Spans shipped back from shard workers carry a ``pid`` attribute
+    (and usually a ``shard`` index); those render as a bracketed
+    ``[shard N pid M]`` origin label so remote subtrees are obvious at
+    a glance in a stitched trace.
+    """
     parts = [str(span_dict.get("name", "?"))]
     count = span_dict.get("count", 1)
     if count != 1:
         parts.append(f"×{count}")
     parts.append(f"{float(span_dict.get('ms', 0.0)):.3f}ms")
     attrs = span_dict.get("attrs")
+    if attrs and "pid" in attrs:
+        attrs = dict(attrs)
+        pid = attrs.pop("pid")
+        shard = attrs.pop("shard", None)
+        if shard is None:
+            parts.append(f"[pid {pid}]")
+        else:
+            parts.append(f"[shard {shard} pid {pid}]")
     if attrs:
         inner = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
         parts.append(f"{{{inner}}}")

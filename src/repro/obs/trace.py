@@ -246,6 +246,65 @@ def current_trace() -> Optional[Trace]:
     return getattr(_tls, "trace", None)
 
 
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a span tree from its :meth:`Span.to_dict` form.
+
+    The inverse of ``to_dict`` up to the millisecond rounding it
+    applies — used by the scatter coordinator to re-attach worker span
+    trees shipped inside RBP1 task replies
+    (:mod:`repro.exec.workers`)."""
+    span = Span(str(data.get("name", "?")))
+    span.duration = float(data.get("ms", 0.0)) / 1e3
+    count = data.get("count")
+    if isinstance(count, int) and count > 1:
+        span.count = count
+    attrs = data.get("attrs")
+    if isinstance(attrs, dict):
+        span.attrs.update(attrs)
+    for child in data.get("children") or ():
+        if isinstance(child, dict):
+            span.children.append(span_from_dict(child))
+    return span
+
+
+def _tree_size(span: Span) -> int:
+    return 1 + sum(_tree_size(child) for child in span.children)
+
+
+def attach_span(span: Span) -> None:
+    """Attach an externally finished span — children and all — under
+    the current stack position.
+
+    The stitching primitive: a ``scatter.shard`` span carrying a
+    worker's shipped subtree lands in the live trace verbatim (no
+    coalescing — each shard must stay its own node; worker-side
+    ``SPAN_CAP`` already bounds the subtree)."""
+    if not ENABLED:
+        return
+    current = getattr(_tls, "trace", None)
+    if current is None:
+        return
+    stack = _tls.stack
+    parent = stack[-1] if stack else current.root
+    parent.children.append(span)
+    current.span_count += _tree_size(span)
+
+
+def reset_process_state() -> None:
+    """Forget inherited activations and any armed thread state.
+
+    A forked worker process inherits the parent's :data:`ENABLED` flag
+    and the forking thread's live trace; shard workers call this on
+    entry so untraced tasks ship nothing and traced tasks collect into
+    a fresh tree of their own."""
+    global ENABLED, _activations
+    with _activation_lock:
+        _activations = 0
+        ENABLED = False
+    _tls.trace = None
+    _tls.stack = None
+
+
 @contextmanager
 def trace_context(
     name: str, trace_id: Optional[str] = None, **attrs

@@ -33,6 +33,7 @@ or an index create/drop invalidates them.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..engine.objects import ObjectHandle, unwrap
@@ -40,6 +41,7 @@ from ..engine.tracking import ACTIVE_TRACKERS, record_attribute_read
 from ..engine.types import INTEGER, REAL, STRING
 from ..engine.values import canonicalize
 from ..errors import NonUniqueResultError, QueryError
+from ..obs import stats as _stats
 from ..obs import trace as _trace
 from .ast import (
     Binary,
@@ -700,6 +702,10 @@ def execute(
     scope has a :class:`~repro.exec.ShardExecutor` attached and the
     query is eligible (see :mod:`repro.query.shard`).
     """
+    if _stats.ENABLED:
+        return _recorded_execute(
+            query, scope, bindings, functions, self_value
+        )
     handled, result = _scatter_hook(
         query, scope, bindings, functions, self_value
     )
@@ -725,6 +731,47 @@ def execute(
         else:
             stats.record_plan_compiled()
     return plan.execute(scope, cache, bindings, functions, self_value)
+
+
+def _recorded_execute(query, scope, bindings, functions, self_value):
+    """:func:`execute` with the statement registry armed: same result
+    contract and spans, plus one
+    :class:`~repro.obs.stats.StatementRegistry` record per call."""
+    select = ensure_query(query)
+    text = format_query(select)
+    kind = type(scope).__name__
+    hit = None
+    result = None
+    failed = True
+    started = time.perf_counter()
+    try:
+        handled, result = _scatter_hook(
+            select, scope, bindings, functions, self_value
+        )
+        if not handled:
+            _stats.take_scatter()  # drop partial aggregate scatters
+            plan, hit, cache = fetch_plan(select, scope)
+            if _trace.ENABLED and _trace.current_trace() is not None:
+                with _trace.span("execute", plan=plan.kind) as sp:
+                    result = plan.execute(
+                        scope, cache, bindings, functions, self_value
+                    )
+                    sp.set(
+                        rows=len(result)
+                        if isinstance(result, list)
+                        else 1
+                    )
+            else:
+                result = plan.execute(
+                    scope, cache, bindings, functions, self_value
+                )
+        failed = False
+        return result
+    finally:
+        rows = 0
+        if not failed:
+            rows = len(result) if isinstance(result, list) else 1
+        _stats.record_call(text, kind, started, rows, hit, failed)
 
 
 def explain_plan(query, scope) -> str:

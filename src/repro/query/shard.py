@@ -53,6 +53,7 @@ from ..engine.tracking import ACTIVE_TRACKERS
 from ..engine.values import canonicalize
 from ..errors import NonUniqueResultError
 from ..exec.coordinator import Unscatterable, executor_of
+from ..obs import stats as _stats
 from ..obs import trace as _trace
 from .ast import (
     Binary,
@@ -295,23 +296,18 @@ def _count_mode(function: str, inner: Select) -> bool:
 
 def _run_scatter(executor, select: Select, bindings, mode: str, pin):
     """One traced scatter of ``select`` (``unique`` already stripped);
-    emits per-shard spans for EXPLAIN ANALYZE."""
+    emits per-shard spans — each carrying the worker's shipped span
+    subtree — for EXPLAIN ANALYZE and the slow-query log."""
     text = format_query(select)
     if _trace.ENABLED and _trace.current_trace() is not None:
         with _trace.span(
             "scatter", shards=executor.shards, mode=mode
         ) as sp:
-            outcome = executor.scatter(select, text, bindings, mode, pin)
+            outcome = executor.scatter(
+                select, text, bindings, mode, pin, trace=True
+            )
             for info in outcome.shard_info:
-                _trace.add_span(
-                    "scatter.shard",
-                    info["elapsed"],
-                    shard=info["shard"],
-                    scanned=info["scanned"],
-                    returned=info["returned"],
-                    plan="hit" if info["plan_hit"] else "compiled",
-                    failover=info["failover"],
-                )
+                _attach_shard_span(info)
             sp.set(
                 version=outcome.version,
                 gathered=(
@@ -320,8 +316,48 @@ def _run_scatter(executor, select: Select, bindings, mode: str, pin):
                     else len(outcome.rows)
                 ),
             )
-            return outcome
-    return executor.scatter(select, text, bindings, mode, pin)
+    else:
+        outcome = executor.scatter(select, text, bindings, mode, pin)
+    if _stats.ENABLED:
+        _stats.note_scatter(
+            sum(info["scanned"] for info in outcome.shard_info)
+        )
+    return outcome
+
+
+def _oid_range(info: dict) -> str:
+    """``lo..hi`` with ``*`` for an open end (the first/last slice)."""
+    lo, hi = info.get("lo"), info.get("hi")
+    low = "*" if lo is None else str(lo)
+    high = "*" if hi is None else str(hi)
+    return f"{low}..{high}"
+
+
+def _attach_shard_span(info: dict) -> None:
+    """One ``scatter.shard`` span — worker pid, shard index, oid
+    range, wall-vs-CPU time — with the worker's shipped span tree
+    re-attached beneath it (failovers ran serially on the coordinator
+    and ship none)."""
+    attrs = {
+        "shard": info["shard"],
+        "oids": _oid_range(info),
+        "scanned": info["scanned"],
+        "returned": info["returned"],
+        "plan": "hit" if info["plan_hit"] else "compiled",
+        "failover": info["failover"],
+    }
+    if info.get("pid") is not None:
+        attrs["pid"] = info["pid"]
+    if info.get("cpu") is not None:
+        attrs["cpu_ms"] = round(info["cpu"] * 1e3, 3)
+    span = _trace.Span("scatter.shard", attrs)
+    span.duration = info["elapsed"]
+    shipped = info.get("spans")
+    if isinstance(shipped, dict):
+        for child in shipped.get("children") or ():
+            if isinstance(child, dict):
+                span.children.append(_trace.span_from_dict(child))
+    _trace.attach_span(span)
 
 
 def _merge_rows(outcome, scope, unique: bool):

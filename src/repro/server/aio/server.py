@@ -62,6 +62,7 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack, contextmanager
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ...obs import stats as _stats
 from ...obs import trace as _trace
 from ...obs.collect import Observability
 from ..locks import LockTimeoutError, ReadWriteLock
@@ -94,7 +95,15 @@ _INLINE_OPS = frozenset({"ping"})
 # ``.use`` mutate private session state even though they classify as
 # reads for the *server* lock): only ``select`` lines join this set.
 _CONCURRENT_OPS = frozenset(
-    {"ping", "databases", "stats", "traces", "metrics", "explain"}
+    {
+        "ping",
+        "databases",
+        "stats",
+        "traces",
+        "metrics",
+        "statements",
+        "explain",
+    }
 )
 
 
@@ -178,6 +187,7 @@ class AsyncViewServer:
         self._metrics_port = metrics_port
         self._metrics_http = None
         self._trace_activated = False
+        self._statements_enabled = False
         self._max_inflight = max(1, max_inflight)
         self._executor_threads = executor_threads
         self._binary_enabled = binary
@@ -232,6 +242,9 @@ class AsyncViewServer:
         if self._tracing and not self._trace_activated:
             _trace.activate()
             self._trace_activated = True
+        if not self._statements_enabled:
+            _stats.enable()
+            self._statements_enabled = True
         self._executor = ThreadPoolExecutor(
             max_workers=self._executor_threads,
             thread_name_prefix="repro-aio-worker",
@@ -296,6 +309,9 @@ class AsyncViewServer:
         if self._trace_activated:
             _trace.deactivate()
             self._trace_activated = False
+        if self._statements_enabled:
+            _stats.disable()
+            self._statements_enabled = False
 
     async def _shutdown(self, drain_timeout: float) -> None:
         if self._server is not None:

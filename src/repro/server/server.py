@@ -55,6 +55,7 @@ import time
 from contextlib import ExitStack, contextmanager
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import stats as _stats
 from ..obs import trace as _trace
 from ..obs.collect import Observability
 from .locks import LockTimeoutError, ReadWriteLock
@@ -240,6 +241,7 @@ class ViewServer:
         self._metrics_port = metrics_port
         self._metrics_http = None
         self._trace_activated = False
+        self._statements_enabled = False
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._threads: List[threading.Thread] = []
@@ -291,6 +293,9 @@ class ViewServer:
         if self._tracing and not self._trace_activated:
             _trace.activate()
             self._trace_activated = True
+        if not self._statements_enabled:
+            _stats.enable()
+            self._statements_enabled = True
         if self._metrics_port is not None and self._metrics_http is None:
             from ..obs.export import MetricsHTTPServer, render_prometheus
 
@@ -344,6 +349,9 @@ class ViewServer:
         if self._trace_activated:
             _trace.deactivate()
             self._trace_activated = False
+        if self._statements_enabled:
+            _stats.disable()
+            self._statements_enabled = False
 
     def serve_forever(self) -> None:
         """Start (if needed) and block until ``SIGTERM``/``SIGINT``."""

@@ -49,6 +49,7 @@ _READ_COMMANDS = {
     ".extent",
     ".explain",
     ".stats",
+    ".statements",
 }
 
 
@@ -181,6 +182,27 @@ class ServerSession:
                 self._obs.histograms if self._obs is not None else None,
             )
         }
+
+    def _op_statements(self, request: dict):
+        """The statement-statistics registry, top-N by total time.
+
+        ``limit`` bounds the list (default 20); ``reset`` clears the
+        registry after snapshotting it.
+        """
+        from ..obs import stats as _stats
+
+        limit = request.get("limit")
+        limit = limit if isinstance(limit, int) and limit > 0 else 20
+        snapshot = _stats.REGISTRY.snapshot(top=limit)
+        result = {
+            "enabled": _stats.ENABLED,
+            "statements": snapshot,
+            "tracked": len(_stats.REGISTRY),
+            "evictions": _stats.REGISTRY.evictions,
+        }
+        if request.get("reset"):
+            _stats.REGISTRY.reset()
+        return result
 
     def _op_explain(self, request: dict):
         """EXPLAIN ANALYZE a query server-side (its spans land in the
@@ -441,6 +463,7 @@ class ServerSession:
         "stats": _op_stats,
         "traces": _op_traces,
         "metrics": _op_metrics,
+        "statements": _op_statements,
         "explain": _op_explain,
         "create": _op_create,
         "update": _op_update,

@@ -17,10 +17,12 @@ export.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, Optional
 
 from ..errors import StorageError
+from ..obs import trace as _trace
 from .pages import DiskManager
 
 DEFAULT_POOL_PAGES = 64
@@ -149,6 +151,10 @@ class BufferManager:
 
     def _make_room(self) -> None:
         """Evict LRU unpinned frames until a new frame fits."""
+        if len(self._frames) < self.capacity:
+            return
+        started = time.perf_counter() if _trace.ENABLED else 0.0
+        evicted = 0
         while len(self._frames) >= self.capacity:
             victim = None
             for frame in self._frames.values():
@@ -165,6 +171,13 @@ class BufferManager:
                 self.stats.record("dirty_flushes")
             del self._frames[victim.pid]
             self.stats.record("evictions")
+            evicted += 1
+        if _trace.ENABLED and evicted:
+            _trace.add_span(
+                "storage.buffer_evict",
+                time.perf_counter() - started,
+                frames=evicted,
+            )
 
     def flush_page(self, pid: int) -> bool:
         """Write one dirty frame back; returns whether it wrote."""

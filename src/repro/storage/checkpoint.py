@@ -84,6 +84,7 @@ from ..engine.database import Database
 from ..engine.objects import DatabaseObject
 from ..engine.oid import Oid
 from ..errors import StorageError
+from ..obs import trace as _trace
 from .buffer import DEFAULT_POOL_PAGES, BufferManager
 from .journal import JournalWriter, replay_journal
 from .objecttable import (
@@ -443,25 +444,30 @@ class PagedDatabase:
         started = time.perf_counter()
         try:
             lock = self.db._commit_lock
-            with lock:
-                snap = self.db.capture_snapshot()
-                cut = sum(1 for _ in self.journal_store.records())
-                dirty, self._dirty = self._dirty, set()
-            kind = self._decide_kind(full, snap, dirty)
-            try:
-                if kind == "full":
-                    state = self._write_full(snap)
-                else:
-                    state = self._write_incremental(snap, dirty)
-            except BaseException:
-                # The dirty set must survive a failed checkpoint: put
-                # it back (merged with whatever committed meanwhile).
+            with _trace.span("checkpoint.snapshot_cut") as cut_sp:
                 with lock:
-                    self._dirty |= dirty
-                raise
-            self.buffer.flush_all()
-            self.disk.sync()
-            with lock:
+                    snap = self.db.capture_snapshot()
+                    cut = sum(1 for _ in self.journal_store.records())
+                    dirty, self._dirty = self._dirty, set()
+                cut_sp.set(batches=cut, dirty=len(dirty))
+            kind = self._decide_kind(full, snap, dirty)
+            with _trace.span("checkpoint.chain_stream", kind=kind) as st_sp:
+                try:
+                    if kind == "full":
+                        state = self._write_full(snap)
+                    else:
+                        state = self._write_incremental(snap, dirty)
+                except BaseException:
+                    # The dirty set must survive a failed checkpoint:
+                    # put it back (merged with whatever committed
+                    # meanwhile).
+                    with lock:
+                        self._dirty |= dirty
+                    raise
+                self.buffer.flush_all()
+                self.disk.sync()
+                st_sp.set(pages=state["pages"])
+            with _trace.span("checkpoint.meta_write"), lock:
                 new_id = self._checkpoint_id + 1
                 for batch in state["retired"]:
                     if batch["pids"]:

@@ -37,6 +37,7 @@ from ..engine.events import (
     ObjectUpdated,
 )
 from ..errors import StorageError
+from ..obs import trace as _trace
 from .serializer import decode_value, encode_value
 from .stores import RecordStore
 
@@ -101,7 +102,11 @@ class JournalWriter:
             return
         self._store.append(encode_value({"kind": "txn", "ops": ops}))
         if self._sync_on_commit:
-            self._store.sync()
+            if _trace.ENABLED:
+                with _trace.span("journal.fsync", ops=len(ops)):
+                    self._store.sync()
+            else:
+                self._store.sync()
         self.batches_written += 1
         self.ops_written += len(ops)
         if self._on_batch is not None:

@@ -43,11 +43,13 @@ fresh segments.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..engine.objects import DatabaseObject
 from ..engine.oid import Oid
 from ..errors import StorageError
+from ..obs import trace as _trace
 from .pages import read_chain
 from .serializer import decode_object_record
 
@@ -298,7 +300,9 @@ class PagedObjectTable:
                 return obj  # another thread faulted it first
             if oid not in self._directory:
                 return None  # deleted while we waited for the lock
-            head = self._generation.segments.get(segment_key(oid))
+            key = segment_key(oid)
+            head = self._generation.segments.get(key)
+            started = time.perf_counter() if _trace.ENABLED else 0.0
             if head is None:
                 raise StorageError(
                     f"object {oid} has no segment in generation"
@@ -325,6 +329,13 @@ class PagedObjectTable:
                     wanted = obj2
             self.stats.faults += 1
             self.stats.fault_objects += loaded
+            if _trace.ENABLED:
+                _trace.add_span(
+                    "storage.segment_fault",
+                    time.perf_counter() - started,
+                    segment=f"{key[0]}:{key[1]}",
+                    objects=loaded,
+                )
             if wanted is None:
                 raise StorageError(
                     f"object {oid} missing from its segment (generation"
@@ -357,6 +368,10 @@ class PagedObjectTable:
         for oid in victims:
             del entries[oid]
         self.stats.evictions += len(victims)
+        if _trace.ENABLED and victims:
+            _trace.add_span(
+                "storage.table_evict", 0.0, objects=len(victims)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

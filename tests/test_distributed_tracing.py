@@ -1,0 +1,341 @@
+"""Distributed tracing across shard workers.
+
+Three contracts under test:
+
+- the worker span tree survives the RBP1 wire round-trip losslessly
+  (``Span.to_dict`` → ``encode_value`` → ``decode_value`` →
+  ``span_from_dict`` is the identity up to the millisecond rounding
+  ``to_dict`` itself applies) — pinned as a hypothesis property;
+- **untraced scatters ship zero tracing bytes**: a task without the
+  ``trace`` flag produces a reply with no ``spans``/``pid`` key and no
+  such bytes on the wire;
+- a traced ``EXPLAIN ANALYZE`` over a live 2-shard executor renders
+  each worker's subtree stitched under its ``scatter.shard`` span,
+  labelled with the worker pid.
+
+Plus the storage-layer spans (checkpoint phases, segment faults,
+buffer evictions, journal fsync) that ride along in a worker's — or
+any traced thread's — tree.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+from repro.exec import attach_executor
+from repro.exec.workers import _WorkerState
+from repro.obs import trace as _trace
+from repro.obs.explain import explain_analyze
+from repro.server.aio.framing import decode_value, encode_value
+from repro.storage import PagedDatabase
+from repro.storage.persistence import snapshot_records
+
+
+def _span_names(span_dict, into=None):
+    names = set() if into is None else into
+    names.add(span_dict.get("name"))
+    for child in span_dict.get("children", ()):
+        _span_names(child, names)
+    return names
+
+
+# ----------------------------------------------------------------------
+# The wire round-trip property
+# ----------------------------------------------------------------------
+
+_attr_values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=16),
+)
+_attrs = st.dictionaries(
+    st.text(min_size=1, max_size=10), _attr_values, max_size=3
+)
+_names = st.sampled_from(
+    ["shard.task", "plan", "compile", "execute", "index_probe",
+     "population.recompute", "virtual_attr.eval", "journal.fsync"]
+)
+
+
+@st.composite
+def _span_trees(draw, depth=0):
+    span = _trace.Span(draw(_names), draw(_attrs))
+    span.duration = draw(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+    )
+    span.count = draw(st.integers(min_value=1, max_value=10_000))
+    if depth < 3:
+        for child in draw(
+            st.lists(_span_trees(depth=depth + 1), max_size=3)
+        ):
+            span.children.append(child)
+    return span
+
+
+class TestWireRoundTrip:
+    @given(_span_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_span_tree_survives_rbp1_round_trip(self, span):
+        """to_dict → RBP1 → span_from_dict → to_dict is the identity:
+        a worker subtree re-attaches on the coordinator losslessly."""
+        shipped = span.to_dict()
+        wire = encode_value(shipped)
+        revived = _trace.span_from_dict(decode_value(wire))
+        assert revived.to_dict() == shipped
+
+    def test_round_trip_keeps_structure_not_just_leaves(self):
+        root = _trace.Span("shard.task")
+        root.duration = 0.0123
+        child = _trace.Span("execute", {"rows": 7, "plan": "scan"})
+        child.duration = 0.011
+        grand = _trace.Span("virtual_attr.eval", {"attribute": "Age"})
+        grand.count = 7
+        grand.duration = 0.004
+        child.children.append(grand)
+        root.children.append(child)
+        revived = _trace.span_from_dict(
+            decode_value(encode_value(root.to_dict()))
+        )
+        assert revived.name == "shard.task"
+        assert revived.children[0].attrs == {"rows": 7, "plan": "scan"}
+        assert revived.children[0].children[0].count == 7
+
+
+# ----------------------------------------------------------------------
+# The worker side, in-process
+# ----------------------------------------------------------------------
+
+
+def _worker_state():
+    db = Database("Shardtest")
+    db.define_class(
+        "Person", attributes={"Name": "string", "Age": "integer"}
+    )
+    for i in range(8):
+        db.create("Person", Name=f"w{i}", Age=20 + i)
+    state = _WorkerState(0)
+    state.bootstrap(list(snapshot_records(db)), (), 7)
+    return state
+
+
+def _task(**extra):
+    task = {
+        "task": 1,
+        "version": 7,
+        "query": "select P from P in Person where P.Age >= 22",
+        "mode": "rows",
+        "lo": None,
+        "hi": None,
+    }
+    task.update(extra)
+    return task
+
+
+class TestWorkerReplies:
+    def test_untraced_reply_ships_zero_tracing_bytes(self):
+        reply = _worker_state().run_scatter(_task())
+        assert reply["ok"] and reply["returned"] == 6
+        assert "spans" not in reply and "pid" not in reply
+        wire = encode_value(reply)
+        assert b"spans" not in wire and b"pid" not in wire
+
+    def test_traced_reply_ships_the_span_tree(self):
+        reply = _worker_state().run_scatter(_task(task=2, trace=True))
+        assert reply["ok"]
+        assert reply["pid"] == os.getpid()
+        spans = reply["spans"]
+        assert spans["name"] == "shard.task"
+        names = _span_names(spans)
+        assert "plan" in names and "execute" in names
+        execute = next(
+            c for c in spans["children"] if c["name"] == "execute"
+        )
+        assert execute["attrs"]["rows"] == reply["returned"]
+        # The traced reply still crosses the wire.
+        assert decode_value(encode_value(reply))["spans"] == spans
+
+    def test_traced_task_releases_its_activation(self):
+        state = _worker_state()
+        assert not _trace.ENABLED
+        state.run_scatter(_task(trace=True))
+        # activate()/deactivate() balance: the worker is dark between
+        # traced tasks, so untraced work after a traced task still
+        # pays only the ENABLED check.
+        assert not _trace.ENABLED
+        reply = state.run_scatter(_task(task=3))
+        assert "spans" not in reply
+
+    def test_shipped_tree_reattaches_losslessly(self):
+        shipped = _worker_state().run_scatter(_task(trace=True))["spans"]
+        revived = _trace.span_from_dict(shipped)
+        assert revived.to_dict() == shipped
+
+
+class TestStitchingPrimitives:
+    def test_attach_span_is_a_noop_when_dark(self):
+        span = _trace.Span("scatter.shard", {"shard": 0})
+        _trace.attach_span(span)  # disabled: swallowed, no error
+
+    def test_attach_span_lands_verbatim_when_armed(self):
+        _trace.activate()
+        try:
+            with _trace.trace_context("request") as t:
+                shard = _trace.Span("scatter.shard", {"shard": 0})
+                # Children keep their identity even for names the live
+                # tracer would coalesce: the shipped subtree is final.
+                shard.children.append(_trace.Span("virtual_attr.eval"))
+                shard.children.append(_trace.Span("virtual_attr.eval"))
+                before = t.span_count
+                _trace.attach_span(shard)
+                assert t.root.children[-1] is shard
+                assert len(shard.children) == 2
+                assert t.span_count == before + 3
+        finally:
+            _trace.deactivate()
+
+    def test_reset_process_state_drops_inherited_activations(self):
+        _trace.activate()
+        _trace.activate()
+        _trace.reset_process_state()
+        assert not _trace.ENABLED
+        assert _trace.current_trace() is None
+        # A fresh activation still works after the reset (the worker
+        # arms per traced task).
+        _trace.activate()
+        try:
+            assert _trace.ENABLED
+        finally:
+            _trace.deactivate()
+        assert not _trace.ENABLED
+
+
+# ----------------------------------------------------------------------
+# End to end: stitched EXPLAIN ANALYZE over a live executor
+# ----------------------------------------------------------------------
+
+
+class TestEndToEndStitching:
+    def test_explain_analyze_renders_stitched_worker_spans(self):
+        db = Database("Shardtest")
+        db.define_class(
+            "Person",
+            attributes={"Name": "string", "Age": "integer"},
+        )
+        for i in range(60):
+            db.create("Person", Name=f"p{i}", Age=i % 50)
+        executor = attach_executor(
+            db, 2, min_scatter_extent=1, gather_timeout=30.0
+        )
+        try:
+            out = explain_analyze(
+                "select P from Person where P.Age >= 25", db
+            )
+            assert executor.stats.scatters >= 1
+        finally:
+            executor.close()
+        # One scatter.shard span per shard, each labelled with its
+        # worker's origin and carrying the shipped subtree beneath it.
+        assert out.count("scatter.shard") == 2
+        assert "[shard 0 pid " in out and "[shard 1 pid " in out
+        assert "cpu_ms=" in out and "oids=" in out
+        assert "scatter.merge" in out
+        # The worker's root ("shard.task") is unwrapped at stitch
+        # time; its children hang directly off scatter.shard.
+        assert "shard.task" not in out
+
+
+# ----------------------------------------------------------------------
+# Storage-layer spans
+# ----------------------------------------------------------------------
+
+
+def _ship_setup(db):
+    db.define_class(
+        "Ship", attributes={"name": "string", "tons": "integer"}
+    )
+
+
+@pytest.fixture
+def traced():
+    _trace.activate()
+    try:
+        with _trace.trace_context("storage") as t:
+            yield t
+    finally:
+        _trace.deactivate()
+
+
+class TestStorageSpans:
+    def test_checkpoint_emits_its_three_phases(self, tmp_path, traced):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", _ship_setup) as pg:
+            for i in range(10):
+                pg.db.create("Ship", {"name": f"s{i}", "tons": i})
+            pg.checkpoint()
+        names = _span_names(traced.root.to_dict())
+        assert {
+            "checkpoint.snapshot_cut",
+            "checkpoint.chain_stream",
+            "checkpoint.meta_write",
+        } <= names
+        stream = next(
+            span for span in traced.root.children
+            if span.name == "checkpoint.chain_stream"
+        )
+        assert stream.attrs["kind"] in ("full", "incremental")
+        assert stream.attrs["pages"] >= 1
+
+    def test_commit_fsync_is_spanned(self, tmp_path, traced):
+        path = str(tmp_path / "fleet.pages")
+        with PagedDatabase(path, "fleet", _ship_setup) as pg:
+            pg.db.create("Ship", {"name": "Maru", "tons": 800})
+        fsyncs = [
+            span for span in traced.root.children
+            if span.name == "journal.fsync"
+        ]
+        assert fsyncs and fsyncs[0].attrs["ops"] >= 1
+
+    def test_segment_faults_are_spanned(self, tmp_path):
+        path = str(tmp_path / "big.pages")
+        with PagedDatabase(
+            path, "fleet", _ship_setup, sync_on_commit=False
+        ) as pg:
+            oids = [
+                pg.db.create(
+                    "Ship", {"name": f"s{i}", "tons": i}
+                ).oid
+                for i in range(300)
+            ]
+            pg.checkpoint(full=True)
+        with PagedDatabase(path, resident_limit=20) as pg:
+            _trace.activate()
+            try:
+                with _trace.trace_context("fault") as t:
+                    for oid in oids[::7]:
+                        pg.db.raw_value(oid)
+            finally:
+                _trace.deactivate()
+            faults = [
+                span for span in t.root.children
+                if span.name == "storage.segment_fault"
+            ]
+            assert faults
+            assert all(span.attrs["objects"] >= 1 for span in faults)
+            assert all(":" in span.attrs["segment"] for span in faults)
+
+    def test_buffer_evictions_are_spanned(self, tmp_path, traced):
+        path = str(tmp_path / "small.pages")
+        with PagedDatabase(
+            path, "fleet", _ship_setup,
+            page_size=512, pool_pages=4, sync_on_commit=False,
+        ) as pg:
+            for i in range(300):
+                pg.db.create("Ship", {"name": f"s{i:04d}", "tons": i})
+            pg.checkpoint()
+            assert pg.buffer.snapshot()["evictions"] > 0
+        names = _span_names(traced.root.to_dict())
+        assert "storage.buffer_evict" in names

@@ -14,6 +14,11 @@ def test_trace_matches_golden(capsys):
     out = capsys.readouterr().out
     assert status == 0
     assert out == (DATA / "trace_golden.txt").read_text()
+    # The stitched scattered trace renders its remote subtrees with a
+    # bracketed worker-origin label (pid folded out of the attrs).
+    assert "[shard 0 pid 4242]" in out
+    assert "[shard 1 pid 4243]" in out
+    assert "pid=4242" not in out
 
 
 def test_trace_missing_file_fails(capsys):
@@ -38,7 +43,7 @@ def test_ring_dump_round_trips_through_the_cli(tmp_path, capsys):
     for line in (DATA / "trace_sample.jsonl").read_text().splitlines():
         ring.append(json.loads(line))
     dump = tmp_path / "ring.jsonl"
-    assert ring.dump_jsonl(str(dump)) == 2
+    assert ring.dump_jsonl(str(dump)) == 3
     status = main(["trace", str(dump)])
     assert status == 0
     assert capsys.readouterr().out == (DATA / "trace_golden.txt").read_text()
